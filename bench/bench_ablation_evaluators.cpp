@@ -1,0 +1,76 @@
+// Ablation — contribution of each tracking heuristic (DESIGN.md §5).
+//
+// The paper combines four evaluators because no single one suffices: the
+// displacement evaluator mis-assigns long movers, SPMD alone cannot link
+// frames, the call stack cannot discriminate regions sharing code, and the
+// sequence needs pivots from the others. This bench re-runs representative
+// studies with evaluators disabled and reports tracked regions/coverage.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sim/studies.hpp"
+#include "tracking/tracker.hpp"
+
+using namespace perftrack;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bool displacement, spmd, callstack, sequence;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_title("Ablation", "evaluator contributions to tracking");
+  bench::print_paper(
+      "the full combination discriminates ~90% of the objects on average; "
+      "each heuristic covers failures of the others (§3)");
+
+  const Variant variants[] = {
+      {"full combination", true, true, true, true},
+      {"displacement only", true, false, false, false},
+      {"no SPMD merge", true, false, true, true},
+      {"no callstack prune", true, true, false, true},
+      {"no sequence refine", true, true, true, false},
+  };
+
+  const struct {
+    const char* name;
+    sim::Study study;
+  } studies[] = {
+      {"WRF", sim::study_wrf()},
+      {"CGPOP", sim::study_cgpop()},
+      {"NAS BT", sim::study_nas_bt()},
+      {"QuantumESPRESSO", sim::study_espresso()},
+  };
+
+  Table table({"Study", "Variant", "Tracked", "Coverage %", "Wide relations"});
+  for (const auto& entry : studies) {
+    auto frames = entry.study.frames();
+    for (const Variant& variant : variants) {
+      tracking::TrackingParams params;
+      params.use_displacement = variant.displacement;
+      params.use_spmd = variant.spmd;
+      params.use_callstack = variant.callstack;
+      params.use_sequence = variant.sequence;
+      tracking::TrackingResult result =
+          tracking::track_frames(frames, params);
+      std::size_t wide = 0;
+      for (const auto& pair : result.pairs)
+        for (const auto& rel : pair.relations)
+          if (!rel.univocal()) ++wide;
+      table.begin_row();
+      table.cell(entry.name);
+      table.cell(variant.name);
+      table.cell(result.complete_count);
+      table.cell(result.coverage * 100.0, 0);
+      table.cell(wide);
+    }
+  }
+  std::printf("%s", table.to_text().c_str());
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 10 — Performance trends for NAS BT code regions.
+//
+// (a) IPC: regions 1, 2, 4, 5 lose 40-65% from class W to A and then
+//     stabilise; regions 3 and 6 keep declining and only stabilise at B.
+// (b) The IPC loss mirrors the growth of L2 data cache misses.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "sim/studies.hpp"
+#include "tracking/report.hpp"
+#include "tracking/trends.hpp"
+
+using namespace perftrack;
+
+int main() {
+  bench::print_title("Figure 10", "NAS BT per-region trends across classes");
+  bench::print_paper(
+      "(a) sharp 40-65% IPC loss W->A for four regions, two regions "
+      "decline until class B; (b) L2 misses per instruction rise "
+      "accordingly");
+
+  sim::Study study = sim::study_nas_bt();
+  tracking::TrackingResult result =
+      tracking::track_frames(study.frames(), {});
+
+  std::vector<std::string> labels;
+  for (const auto& f : result.frames) labels.push_back(f.label());
+
+  bench::print_section("(a) IPC per region");
+  std::vector<tracking::TrendSeries> ipc_series;
+  for (const auto& region : result.regions) {
+    if (!region.complete) continue;
+    auto ipc = tracking::region_metric_mean(result, region.id,
+                                            trace::Metric::Ipc);
+    ipc_series.push_back({"R" + std::to_string(region.id + 1), ipc});
+    double wa = ipc[1] / ipc[0] - 1.0;  // W -> A step
+    double ab = ipc[2] / ipc[1] - 1.0;  // A -> B step
+    double bc = ipc[3] / ipc[2] - 1.0;  // B -> C step
+    std::printf("  Region %d: W %.2f, A %.2f, B %.2f, C %.2f  "
+                "(W->A %s, A->B %s, B->C %s)\n",
+                region.id + 1, ipc[0], ipc[1], ipc[2], ipc[3],
+                format_percent(wa).c_str(), format_percent(ab).c_str(),
+                format_percent(bc).c_str());
+  }
+  tracking::TrendChartOptions chart;
+  chart.y_label = "IPC";
+  std::printf("\n%s\n",
+              tracking::trend_chart(ipc_series, labels, chart).c_str());
+
+  bench::print_section("(b) L2 data cache misses per kilo-instruction");
+  std::vector<tracking::TrendSeries> l2_series;
+  for (const auto& region : result.regions) {
+    if (!region.complete) continue;
+    auto l2 = tracking::region_metric_mean(result, region.id,
+                                           trace::Metric::L2MissesPerKi);
+    l2_series.push_back({"R" + std::to_string(region.id + 1), l2});
+    std::printf("  Region %d: W %.2f, A %.2f, B %.2f, C %.2f\n",
+                region.id + 1, l2[0], l2[1], l2[2], l2[3]);
+  }
+  tracking::TrendChartOptions l2_chart;
+  l2_chart.y_label = "L2 misses / Ki";
+  std::printf("\n%s",
+              tracking::trend_chart(l2_series, labels, l2_chart).c_str());
+  return 0;
+}

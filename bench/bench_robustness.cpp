@@ -1,0 +1,85 @@
+// Robustness — the headline reproduction is not a lucky draw.
+//
+// Two sweeps over the Table 2 pipeline:
+//   1. seed sweep: every study re-simulated with shifted seeds (a fresh
+//      synthetic "measurement run") — tracked counts and coverage must
+//      hold across runs;
+//   2. noise sweep: WRF with the per-burst measurement noise scaled up to
+//      8x — how much variability can the four heuristics absorb before
+//      clusters smear together and tracking degrades?
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sim/studies.hpp"
+#include "tracking/tracker.hpp"
+
+using namespace perftrack;
+
+int main() {
+  bench::print_title("Robustness", "seed and noise sensitivity of Table 2");
+  bench::print_paper(
+      "the algorithm discriminates ~90% of the objects on average; a "
+      "credible reproduction must hold across measurement runs");
+
+  bench::print_section("seed sweep: tracked regions per study and run");
+  {
+    Table table({"Study", "run 1", "run 2", "run 3", "coverage 1", "2", "3"});
+    const std::uint64_t offsets[] = {0, 77777, 1234567};
+    std::vector<std::vector<std::size_t>> tracked;
+    std::vector<std::vector<double>> coverage;
+    std::vector<std::string> names;
+    for (std::size_t r = 0; r < 3; ++r) {
+      sim::StudyOptions options;
+      options.seed_offset = offsets[r];
+      std::size_t row = 0;
+      for (const sim::Study& study : sim::all_studies(options)) {
+        if (r == 0) {
+          names.push_back(study.name);
+          tracked.emplace_back();
+          coverage.emplace_back();
+        }
+        tracking::TrackingResult result =
+            tracking::track_frames(study.frames(), {});
+        tracked[row].push_back(result.complete_count);
+        coverage[row].push_back(result.coverage);
+        ++row;
+      }
+    }
+    for (std::size_t row = 0; row < names.size(); ++row) {
+      table.begin_row();
+      table.cell(names[row]);
+      for (std::size_t r = 0; r < 3; ++r) table.cell(tracked[row][r]);
+      for (std::size_t r = 0; r < 3; ++r)
+        table.cell(coverage[row][r] * 100.0, 0);
+    }
+    std::printf("%s\n", table.to_text().c_str());
+  }
+
+  bench::print_section("noise sweep: WRF with scaled measurement noise");
+  {
+    Table table({"noise scale", "objects (128)", "objects (256)", "tracked",
+                 "coverage %"});
+    for (double scale : {1.0, 2.0, 4.0, 8.0}) {
+      sim::StudyOptions options;
+      options.noise_scale = scale;
+      sim::Study study = sim::study_wrf(options);
+      auto frames = study.frames();
+      tracking::TrackingResult result = tracking::track_frames(frames, {});
+      table.begin_row();
+      table.cell(scale, 1);
+      table.cell(result.frames[0].object_count());
+      table.cell(result.frames[1].object_count());
+      table.cell(result.complete_count);
+      table.cell(result.coverage * 100.0, 0);
+    }
+    std::printf("%s\n", table.to_text().c_str());
+    std::printf(
+        "(tracking holds while clusters remain separable; at high noise "
+        "neighbouring clusters merge in the clustering stage itself, "
+        "which is a property of the object-recognition step, not of the "
+        "tracking heuristics)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Table 2 — Summary of experiments.
+//
+// Ten case studies; for each, the number of input images, the tracked
+// regions the algorithm discriminates, and the coverage (tracked regions
+// over the maximum number of identifiable objects — the smallest per-frame
+// object count, since a pairwise relation count can never exceed
+// min(n, m)). The paper reports an average coverage of ~90%.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "sim/studies.hpp"
+#include "tracking/tracker.hpp"
+
+using namespace perftrack;
+
+int main(int argc, char** argv) {
+  bench::print_title("Table 2", "summary of the ten tracking case studies");
+  bench::print_paper(
+      "images/regions/coverage: Gadget 2/8/88, QuantumE 2/6/66, "
+      "WRF 2/12/100, Gromacs 3/5/100, CGPOP 4/2/66, NAS BT 4/6/100, "
+      "HydroC 12/2/100, MR-Genesis 12/2/100, NAS FT 15/2/100, "
+      "Gromacs 20/4/80; average ~90%");
+
+  // --threshold-sweep additionally ablates the 5% outlier threshold on the
+  // WRF study (a design choice called out in DESIGN.md).
+  bool threshold_sweep =
+      argc > 1 && std::string(argv[1]) == "--threshold-sweep";
+
+  Table table({"Application", "Input images", "Tracked regions",
+               "Coverage %", "Paper regions", "Paper coverage %"});
+  struct PaperRow {
+    int regions;
+    int coverage;
+  };
+  const PaperRow paper[] = {{8, 88},  {6, 66},  {12, 100}, {5, 100},
+                            {2, 66},  {6, 100}, {2, 100},  {2, 100},
+                            {2, 100}, {4, 80}};
+
+  double coverage_sum = 0.0;
+  std::size_t row = 0;
+  for (const sim::Study& study : sim::all_studies()) {
+    tracking::TrackingResult result =
+        tracking::track_frames(study.frames(), {});
+    table.begin_row();
+    table.cell(study.name);
+    table.cell(study.traces.size());
+    table.cell(result.complete_count);
+    table.cell(result.coverage * 100.0, 0);
+    table.cell(static_cast<long long>(paper[row].regions));
+    table.cell(static_cast<long long>(paper[row].coverage));
+    coverage_sum += result.coverage;
+    ++row;
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf("average coverage: %.0f%% (paper: ~90%%)\n",
+              coverage_sum / static_cast<double>(row) * 100.0);
+
+  if (threshold_sweep) {
+    bench::print_section(
+        "ablation: outlier threshold sweep on WRF (default 5%)");
+    sim::Study wrf = sim::study_wrf();
+    auto frames = wrf.frames();
+    for (double threshold : {0.0, 0.01, 0.05, 0.10, 0.25}) {
+      tracking::TrackingParams params;
+      params.outlier_threshold = threshold;
+      tracking::TrackingResult result =
+          tracking::track_frames(frames, params);
+      std::printf("  threshold %4.0f%%: tracked %zu, coverage %.0f%%\n",
+                  threshold * 100.0, result.complete_count,
+                  result.coverage * 100.0);
+    }
+  }
+  return 0;
+}

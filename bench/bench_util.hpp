@@ -1,0 +1,29 @@
+#pragma once
+// Shared helpers for the reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper: it
+// prints a header stating what the paper reports, runs the pipeline on the
+// simulated study, and prints the measured counterpart so the two can be
+// compared side by side (shape, not absolute numbers — the substrate is a
+// simulator, not the authors' testbed).
+
+#include <cstdio>
+#include <string>
+
+namespace perftrack::bench {
+
+inline void print_title(const std::string& id, const std::string& what) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), what.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_paper(const std::string& expectation) {
+  std::printf("paper: %s\n\n", expectation.c_str());
+}
+
+inline void print_section(const std::string& name) {
+  std::printf("--- %s ---\n", name.c_str());
+}
+
+}  // namespace perftrack::bench

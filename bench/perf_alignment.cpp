@@ -1,0 +1,54 @@
+// Microbenchmark — sequence alignment (pairwise NW and centre-star MSA)
+// at the sequence lengths and task counts the SPMD evaluator sees.
+
+#include <benchmark/benchmark.h>
+
+#include "align/msa.hpp"
+#include "common/rng.hpp"
+
+using namespace perftrack;
+
+namespace {
+
+std::vector<align::Symbol> spmd_like_sequence(std::size_t phases,
+                                              std::size_t iterations,
+                                              Rng& rng) {
+  // SPMD sequences are near-identical phase ladders with occasional drops.
+  std::vector<align::Symbol> seq;
+  seq.reserve(phases * iterations);
+  for (std::size_t it = 0; it < iterations; ++it)
+    for (std::size_t p = 0; p < phases; ++p)
+      if (!rng.chance(0.02)) seq.push_back(static_cast<align::Symbol>(p));
+  return seq;
+}
+
+void BM_NeedlemanWunsch(benchmark::State& state) {
+  Rng rng(11);
+  auto a = spmd_like_sequence(12, static_cast<std::size_t>(state.range(0)),
+                              rng);
+  auto b = spmd_like_sequence(12, static_cast<std::size_t>(state.range(0)),
+                              rng);
+  for (auto _ : state) {
+    auto result = align::needleman_wunsch(a, b);
+    benchmark::DoNotOptimize(result.score);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.size() * b.size()));
+}
+BENCHMARK(BM_NeedlemanWunsch)->Arg(6)->Arg(12)->Arg(24);
+
+void BM_StarAlign(benchmark::State& state) {
+  Rng rng(13);
+  std::vector<std::vector<align::Symbol>> seqs;
+  for (std::int64_t t = 0; t < state.range(0); ++t)
+    seqs.push_back(spmd_like_sequence(12, 12, rng));
+  for (auto _ : state) {
+    auto msa = align::star_align(seqs);
+    benchmark::DoNotOptimize(msa.column_count());
+  }
+}
+BENCHMARK(BM_StarAlign)->Arg(16)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

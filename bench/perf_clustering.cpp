@@ -1,0 +1,69 @@
+// Microbenchmark — DBSCAN and frame building at study-sized point counts.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/frame.hpp"
+#include "sim/apps/apps.hpp"
+#include "sim/studies.hpp"
+
+using namespace perftrack;
+
+namespace {
+
+std::shared_ptr<const trace::Trace> wrf_trace(std::uint32_t tasks) {
+  static std::map<std::uint32_t, std::shared_ptr<const trace::Trace>> cache;
+  auto it = cache.find(tasks);
+  if (it != cache.end()) return it->second;
+  sim::AppModel app = sim::make_wrf();
+  sim::Scenario s;
+  s.label = "WRF-" + std::to_string(tasks);
+  s.num_tasks = tasks;
+  s.platform = sim::marenostrum();
+  auto trace = app.simulate_shared(s);
+  cache[tasks] = trace;
+  return trace;
+}
+
+void BM_Dbscan(benchmark::State& state) {
+  auto trace = wrf_trace(static_cast<std::uint32_t>(state.range(0)));
+  cluster::ClusteringParams params = sim::default_clustering();
+  cluster::Projection proj = cluster::project(*trace, params.projection);
+  cluster::Transform transform =
+      cluster::Transform::fit(proj.points, params.log_scale);
+  geom::PointSet normalized = transform.apply(proj.points);
+  for (auto _ : state) {
+    auto result = cluster::dbscan(normalized, params.dbscan);
+    benchmark::DoNotOptimize(result.cluster_count);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(normalized.size()));
+}
+BENCHMARK(BM_Dbscan)->Arg(32)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_BuildFrame(benchmark::State& state) {
+  auto trace = wrf_trace(static_cast<std::uint32_t>(state.range(0)));
+  cluster::ClusteringParams params = sim::default_clustering();
+  for (auto _ : state) {
+    cluster::Frame frame = cluster::build_frame(trace, params);
+    benchmark::DoNotOptimize(frame.object_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace->burst_count()));
+}
+BENCHMARK(BM_BuildFrame)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateWrf(benchmark::State& state) {
+  sim::AppModel app = sim::make_wrf();
+  sim::Scenario s;
+  s.num_tasks = static_cast<std::uint32_t>(state.range(0));
+  s.platform = sim::marenostrum();
+  for (auto _ : state) {
+    trace::Trace trace = app.simulate(s);
+    benchmark::DoNotOptimize(trace.burst_count());
+  }
+}
+BENCHMARK(BM_SimulateWrf)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Microbenchmark — kd-tree build and query vs brute force.
+//
+// The kd-tree backs DBSCAN's neighbourhood expansion and the displacement
+// evaluator's nearest-neighbour cross-classification; this quantifies the
+// win over linear scans at the point counts the studies produce.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "geom/kdtree.hpp"
+
+using namespace perftrack;
+
+namespace {
+
+geom::PointSet random_points(std::size_t n, std::size_t dims,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  geom::PointSet points(dims);
+  points.reserve(n);
+  std::vector<double> coords(dims);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& c : coords) c = rng.uniform(0.0, 1.0);
+    points.add(coords);
+  }
+  return points;
+}
+
+void BM_KdTreeBuild(benchmark::State& state) {
+  auto points = random_points(static_cast<std::size_t>(state.range(0)), 2, 7);
+  for (auto _ : state) {
+    geom::KdTree tree(points);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KdTreeBuild)->Arg(1000)->Arg(10000)->Arg(60000);
+
+void BM_KdTreeNearest(benchmark::State& state) {
+  auto points = random_points(static_cast<std::size_t>(state.range(0)), 2, 7);
+  auto queries = random_points(1000, 2, 13);
+  geom::KdTree tree(points);
+  std::size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.nearest(queries[q % queries.size()]));
+    ++q;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KdTreeNearest)->Arg(1000)->Arg(10000)->Arg(60000);
+
+void BM_BruteForceNearest(benchmark::State& state) {
+  auto points = random_points(static_cast<std::size_t>(state.range(0)), 2, 7);
+  auto queries = random_points(1000, 2, 13);
+  std::size_t q = 0;
+  for (auto _ : state) {
+    auto query = queries[q % queries.size()];
+    std::size_t best = 0;
+    double best_sq = 1e300;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double d2 = geom::squared_distance(query, points[i]);
+      if (d2 < best_sq) {
+        best_sq = d2;
+        best = i;
+      }
+    }
+    benchmark::DoNotOptimize(best);
+    ++q;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BruteForceNearest)->Arg(1000)->Arg(10000)->Arg(60000);
+
+void BM_KdTreeRadius(benchmark::State& state) {
+  auto points = random_points(static_cast<std::size_t>(state.range(0)), 2, 7);
+  geom::KdTree tree(points);
+  std::vector<std::size_t> out;
+  std::size_t q = 0;
+  for (auto _ : state) {
+    tree.radius_query(points[q % points.size()], 0.025, out);
+    benchmark::DoNotOptimize(out.size());
+    ++q;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KdTreeRadius)->Arg(10000)->Arg(60000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Microbenchmark — end-to-end tracking cost per study size.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/studies.hpp"
+#include "tracking/tracker.hpp"
+
+using namespace perftrack;
+
+namespace {
+
+void BM_TrackPairWrf(benchmark::State& state) {
+  static auto frames = sim::study_wrf().frames();  // 128 + 256 tasks
+  for (auto _ : state) {
+    auto result = tracking::track_frames(frames, {});
+    benchmark::DoNotOptimize(result.complete_count);
+  }
+  std::int64_t bursts = 0;
+  for (const auto& f : frames)
+    bursts += static_cast<std::int64_t>(f.projection().size());
+  state.SetItemsProcessed(state.iterations() * bursts);
+}
+BENCHMARK(BM_TrackPairWrf)->Unit(benchmark::kMillisecond);
+
+void BM_TrackSequenceHydroc(benchmark::State& state) {
+  static auto frames = sim::study_hydroc(9).frames();
+  for (auto _ : state) {
+    auto result = tracking::track_frames(frames, {});
+    benchmark::DoNotOptimize(result.complete_count);
+  }
+}
+BENCHMARK(BM_TrackSequenceHydroc)->Unit(benchmark::kMillisecond);
+
+void BM_TrackSequenceMrGenesis(benchmark::State& state) {
+  static auto frames = sim::study_mrgenesis().frames();
+  for (auto _ : state) {
+    auto result = tracking::track_frames(frames, {});
+    benchmark::DoNotOptimize(result.complete_count);
+  }
+}
+BENCHMARK(BM_TrackSequenceMrGenesis)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

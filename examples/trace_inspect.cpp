@@ -1,0 +1,74 @@
+// Trace round-trip and inspection: serialise an experiment to the .ptt
+// text format, load it back, and summarise its structure.
+//
+// Usage:
+//   ./examples/trace_inspect             # generate, save, reload a sample
+//   ./examples/trace_inspect FILE.ptt    # inspect an existing trace file
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "cluster/frame.hpp"
+#include "cluster/scatter.hpp"
+#include "common/strings.hpp"
+#include "sim/apps/apps.hpp"
+#include "sim/studies.hpp"
+#include "trace/trace_io.hpp"
+
+using namespace perftrack;
+
+int main(int argc, char** argv) {
+  std::string path;
+  if (argc > 1) {
+    path = argv[1];
+  } else {
+    // No input: produce a sample trace first.
+    path = "hydroc_sample.ptt";
+    sim::AppModel app = sim::make_hydroc();
+    sim::Scenario scenario;
+    scenario.label = "HydroC sample";
+    scenario.num_tasks = 8;
+    scenario.block_kb = 32.0;
+    scenario.platform = sim::minotauro();
+    trace::save_trace(path, app.simulate(scenario));
+    std::printf("wrote sample trace to %s\n", path.c_str());
+  }
+
+  trace::Trace trace = trace::load_trace(path);
+  trace.validate();
+
+  std::printf("application : %s\n", trace.application().c_str());
+  std::printf("label       : %s\n", trace.label().c_str());
+  std::printf("tasks       : %u\n", trace.num_tasks());
+  for (const auto& [key, value] : trace.attributes())
+    std::printf("attr %-12s %s\n", key.c_str(), value.c_str());
+  std::printf("bursts      : %zu\n", trace.burst_count());
+  std::printf("compute time: %.3fs across tasks, ends at %.3fs\n",
+              trace.total_computation_time(), trace.end_time());
+
+  // Time per source location.
+  std::map<trace::CallstackId, double> time_by_location;
+  for (const auto& burst : trace.bursts())
+    time_by_location[burst.callstack] += burst.duration;
+  std::printf("\ntime by code region:\n");
+  for (const auto& [cs, seconds] : time_by_location)
+    std::printf("  %-45s %8.3fs\n",
+                trace.callstacks().describe(cs).c_str(), seconds);
+
+  // Cluster it and draw the frame.
+  auto shared = std::make_shared<const trace::Trace>(std::move(trace));
+  cluster::ClusteringParams params = sim::default_clustering();
+  cluster::Frame frame = cluster::build_frame(shared, params);
+  std::printf("\n%zu behavioural clusters:\n", frame.object_count());
+  for (const auto& object : frame.objects())
+    std::printf("  cluster %d: %5zu bursts, %s instructions, IPC %.2f\n",
+                object.id + 1, object.size(),
+                format_si(object.centroid[0]).c_str(), object.centroid[1]);
+  cluster::ScatterOptions options;
+  options.x_axis = 1;
+  options.y_axis = 0;
+  options.log_y = true;
+  std::cout << "\n" << cluster::ascii_scatter(frame, options);
+  return 0;
+}

@@ -1,0 +1,100 @@
+#include "align/msa.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace perftrack::align {
+
+std::vector<Symbol> MultipleAlignment::column(std::size_t c) const {
+  PT_REQUIRE(c < column_count(), "column index out of range");
+  std::vector<Symbol> out;
+  out.reserve(rows_.size());
+  for (const auto& row : rows_) out.push_back(row[c]);
+  return out;
+}
+
+std::vector<Symbol> MultipleAlignment::consensus() const {
+  std::vector<Symbol> out;
+  for (std::size_t c = 0; c < column_count(); ++c) {
+    std::map<Symbol, std::size_t> votes;
+    for (const auto& row : rows_)
+      if (row[c] != kGap) ++votes[row[c]];
+    if (votes.empty()) continue;
+    auto best = votes.begin();
+    for (auto it = votes.begin(); it != votes.end(); ++it)
+      if (it->second > best->second) best = it;
+    out.push_back(best->first);
+  }
+  return out;
+}
+
+MultipleAlignment star_align(const std::vector<std::vector<Symbol>>& sequences,
+                             const AlignmentScores& scores) {
+  MultipleAlignment out;
+  if (sequences.empty()) return out;
+
+  // Centre = longest sequence; SPMD applications make every task's sequence
+  // nearly identical, so any centre works, but the longest minimises gaps.
+  std::size_t centre = 0;
+  for (std::size_t s = 1; s < sequences.size(); ++s)
+    if (sequences[s].size() > sequences[centre].size()) centre = s;
+
+  // `master` is the progressively gapped centre sequence; rows hold each
+  // input sequence gapped to master's current column structure.
+  std::vector<Symbol> master = sequences[centre];
+  std::vector<std::vector<Symbol>> rows(sequences.size());
+  rows[centre] = master;
+
+  for (std::size_t s = 0; s < sequences.size(); ++s) {
+    if (s == centre) continue;
+    PairAlignment pa = needleman_wunsch(master, sequences[s], scores);
+
+    // pa.a is `master` with possible new gaps. Merge those new gaps into
+    // every already-placed row ("once a gap, always a gap").
+    if (pa.a != master) {
+      std::vector<std::size_t> insert_before;  // positions in old master
+      std::size_t mi = 0;
+      for (std::size_t c = 0; c < pa.a.size(); ++c) {
+        if (mi < master.size() && pa.a[c] == master[mi]) {
+          ++mi;
+        } else {
+          PT_ASSERT(pa.a[c] == kGap, "centre symbols must be preserved");
+          insert_before.push_back(mi);
+        }
+      }
+      PT_ASSERT(mi == master.size(), "centre alignment dropped symbols");
+
+      for (auto& row : rows) {
+        if (row.empty()) continue;
+        std::vector<Symbol> expanded;
+        expanded.reserve(pa.a.size());
+        std::size_t gap_cursor = 0;
+        for (std::size_t i = 0; i <= master.size(); ++i) {
+          while (gap_cursor < insert_before.size() &&
+                 insert_before[gap_cursor] == i) {
+            expanded.push_back(kGap);
+            ++gap_cursor;
+          }
+          if (i < master.size()) expanded.push_back(row[i]);
+        }
+        row = std::move(expanded);
+      }
+      master = pa.a;
+    }
+    rows[s] = pa.b;
+  }
+
+  // Rows aligned before later master expansions were already expanded in the
+  // loop; rows aligned after are at full length. Verify and emit.
+  for (auto& row : rows) {
+    PT_ASSERT(row.size() == master.size() || row.empty(),
+              "row/master length mismatch after merge");
+    if (row.empty()) row.assign(master.size(), kGap);
+  }
+  out.rows() = std::move(rows);
+  return out;
+}
+
+}  // namespace perftrack::align

@@ -1,0 +1,106 @@
+#include "align/nw.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace perftrack::align {
+
+std::size_t PairAlignment::matches() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != kGap && a[i] == b[i]) ++n;
+  return n;
+}
+
+double PairAlignment::identity() const {
+  std::size_t la = 0, lb = 0;
+  for (Symbol s : a)
+    if (s != kGap) ++la;
+  for (Symbol s : b)
+    if (s != kGap) ++lb;
+  std::size_t longest = std::max(la, lb);
+  if (longest == 0) return 1.0;
+  return static_cast<double>(matches()) / static_cast<double>(longest);
+}
+
+PairAlignment needleman_wunsch(std::span<const Symbol> a,
+                               std::span<const Symbol> b,
+                               const AlignmentScores& scores) {
+  return needleman_wunsch(
+      a, b,
+      [&scores](Symbol x, Symbol y) {
+        return x == y ? scores.match : scores.mismatch;
+      },
+      scores.gap);
+}
+
+PairAlignment needleman_wunsch(
+    std::span<const Symbol> a, std::span<const Symbol> b,
+    const std::function<double(Symbol, Symbol)>& pair_score,
+    double gap_penalty) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+
+  // dp is (n+1) x (m+1), row-major. move stores the traceback direction:
+  // 0 = diagonal (align a[i-1] with b[j-1]), 1 = up (gap in b), 2 = left
+  // (gap in a). Ties prefer diagonal, then up — deterministic tracebacks.
+  std::vector<double> dp((n + 1) * (m + 1), 0.0);
+  std::vector<std::uint8_t> move((n + 1) * (m + 1), 0);
+  auto at = [m](std::size_t i, std::size_t j) { return i * (m + 1) + j; };
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    dp[at(i, 0)] = static_cast<double>(i) * gap_penalty;
+    move[at(i, 0)] = 1;
+  }
+  for (std::size_t j = 1; j <= m; ++j) {
+    dp[at(0, j)] = static_cast<double>(j) * gap_penalty;
+    move[at(0, j)] = 2;
+  }
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      double diag = dp[at(i - 1, j - 1)] + pair_score(a[i - 1], b[j - 1]);
+      double up = dp[at(i - 1, j)] + gap_penalty;
+      double left = dp[at(i, j - 1)] + gap_penalty;
+      double best = diag;
+      std::uint8_t dir = 0;
+      if (up > best) {
+        best = up;
+        dir = 1;
+      }
+      if (left > best) {
+        best = left;
+        dir = 2;
+      }
+      dp[at(i, j)] = best;
+      move[at(i, j)] = dir;
+    }
+  }
+
+  PairAlignment out;
+  out.score = dp[at(n, m)];
+  std::size_t i = n, j = m;
+  while (i > 0 || j > 0) {
+    std::uint8_t dir = move[at(i, j)];
+    if (dir == 0) {
+      out.a.push_back(a[i - 1]);
+      out.b.push_back(b[j - 1]);
+      --i;
+      --j;
+    } else if (dir == 1) {
+      out.a.push_back(a[i - 1]);
+      out.b.push_back(kGap);
+      --i;
+    } else {
+      out.a.push_back(kGap);
+      out.b.push_back(b[j - 1]);
+      --j;
+    }
+  }
+  std::reverse(out.a.begin(), out.a.end());
+  std::reverse(out.b.begin(), out.b.end());
+  return out;
+}
+
+}  // namespace perftrack::align

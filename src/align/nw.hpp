@@ -1,0 +1,58 @@
+#pragma once
+// Needleman–Wunsch global sequence alignment.
+//
+// The SPMD-simultaneity and execution-sequence evaluators (paper §3.2 and
+// §3.4, building on González et al. [8]) reduce to globally aligning
+// sequences of cluster identifiers. This is the classic O(|a|·|b|) dynamic
+// program with linear gap penalty; the scoring can be the default
+// match/mismatch scheme or an arbitrary symbol-pair function (used by the
+// execution-sequence evaluator, whose "match" is defined by pivot relations
+// between two *different* experiments' identifier spaces).
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace perftrack::align {
+
+/// A sequence symbol; cluster identifiers are non-negative.
+using Symbol = std::int32_t;
+
+/// Gap marker inserted by alignment.
+inline constexpr Symbol kGap = -1;
+
+struct AlignmentScores {
+  double match = 2.0;
+  double mismatch = -1.0;
+  double gap = -1.0;
+};
+
+/// Result of a pairwise global alignment: both sequences padded with kGap to
+/// a common length.
+struct PairAlignment {
+  std::vector<Symbol> a;
+  std::vector<Symbol> b;
+  double score = 0.0;
+
+  std::size_t length() const { return a.size(); }
+
+  /// Count of columns where both symbols are non-gap and equal.
+  std::size_t matches() const;
+
+  /// matches() / max(|a|,|b| original lengths); 1.0 for two empty sequences.
+  double identity() const;
+};
+
+/// Align with the default match/mismatch/gap scheme.
+PairAlignment needleman_wunsch(std::span<const Symbol> a,
+                               std::span<const Symbol> b,
+                               const AlignmentScores& scores = {});
+
+/// Align with an arbitrary pair score and linear gap penalty.
+PairAlignment needleman_wunsch(
+    std::span<const Symbol> a, std::span<const Symbol> b,
+    const std::function<double(Symbol, Symbol)>& pair_score,
+    double gap_penalty);
+
+}  // namespace perftrack::align

@@ -1,0 +1,36 @@
+#pragma once
+// DBSCAN parameter auto-tuning: the k-distance knee heuristic.
+//
+// The paper's analyst-facing pipeline does not assume prior knowledge of
+// the application — that should extend to the clustering radius. The
+// classic heuristic (Ester et al., also used across the BSC clustering
+// line): compute every point's distance to its k-th nearest neighbour,
+// sort descending, and pick eps at the curve's knee — inside a cluster
+// the k-distance is small and flat, noise points drive the steep head of
+// the curve, and the knee separates the two regimes. The knee is located
+// as the point of maximum distance to the straight line joining the
+// curve's endpoints.
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/pointset.hpp"
+
+namespace perftrack::cluster {
+
+struct AutotuneResult {
+  double eps = 0.0;
+  std::size_t min_pts = 0;
+  /// Sorted (descending) k-distance curve, for plotting/inspection.
+  std::vector<double> k_distances;
+  /// Index of the knee within k_distances.
+  std::size_t knee_index = 0;
+};
+
+/// Suggest an eps for `points` (in the normalised clustering space) at the
+/// given min_pts. Uses k = min_pts as the k-distance order, per the
+/// original heuristic. Needs at least min_pts + 1 points.
+AutotuneResult suggest_dbscan_params(const geom::PointSet& points,
+                                     std::size_t min_pts = 5);
+
+}  // namespace perftrack::cluster

@@ -1,0 +1,68 @@
+#include "cluster/dbscan.hpp"
+
+#include "common/error.hpp"
+#include "geom/kdtree.hpp"
+
+namespace perftrack::cluster {
+
+std::size_t DbscanResult::noise_count() const {
+  std::size_t n = 0;
+  for (auto l : labels)
+    if (l == kNoise) ++n;
+  return n;
+}
+
+DbscanResult dbscan(const geom::PointSet& points, const DbscanParams& params) {
+  PT_REQUIRE(params.eps > 0.0, "eps must be positive");
+  PT_REQUIRE(params.min_pts >= 1, "min_pts must be >= 1");
+
+  const std::size_t n = points.size();
+  DbscanResult result;
+  result.labels.assign(n, kNoise);
+  if (n == 0) return result;
+
+  geom::KdTree tree(points);
+
+  // -2 = unvisited, kNoise = visited and (so far) noise, >=0 = cluster id.
+  constexpr std::int32_t kUnvisited = -2;
+  std::vector<std::int32_t>& labels = result.labels;
+  labels.assign(n, kUnvisited);
+
+  std::vector<std::size_t> neighbours;
+  std::vector<std::size_t> frontier;
+
+  std::int32_t next_cluster = 0;
+  for (std::size_t seed = 0; seed < n; ++seed) {
+    if (labels[seed] != kUnvisited) continue;
+    tree.radius_query(points[seed], params.eps, neighbours);
+    if (neighbours.size() < params.min_pts) {
+      labels[seed] = kNoise;
+      continue;
+    }
+    // Start a new cluster and expand it breadth-first from the seed.
+    const std::int32_t cluster = next_cluster++;
+    labels[seed] = cluster;
+    frontier.assign(neighbours.begin(), neighbours.end());
+    while (!frontier.empty()) {
+      std::size_t p = frontier.back();
+      frontier.pop_back();
+      if (labels[p] == kNoise) labels[p] = cluster;  // border point
+      if (labels[p] != kUnvisited) continue;
+      labels[p] = cluster;
+      tree.radius_query(points[p], params.eps, neighbours);
+      if (neighbours.size() >= params.min_pts) {
+        // p is a core point: its whole neighbourhood joins the cluster.
+        for (std::size_t q : neighbours)
+          if (labels[q] == kUnvisited || labels[q] == kNoise)
+            frontier.push_back(q);
+      }
+    }
+  }
+
+  for (auto& l : labels)
+    PT_ASSERT(l != kUnvisited, "dbscan left a point unvisited");
+  result.cluster_count = next_cluster;
+  return result;
+}
+
+}  // namespace perftrack::cluster

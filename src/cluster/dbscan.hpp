@@ -1,0 +1,38 @@
+#pragma once
+// DBSCAN density-based clustering.
+//
+// The object-recognition step of the pipeline (paper §2, following González
+// et al. [7, 9]): CPU bursts that are close in the normalised metric space
+// form dense clouds — one behavioural trend each — while sparse points are
+// noise. Classic DBSCAN with kd-tree neighbourhood queries; deterministic:
+// seeds are visited in index order, so labels are reproducible.
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/pointset.hpp"
+
+namespace perftrack::cluster {
+
+inline constexpr std::int32_t kNoise = -1;
+
+struct DbscanParams {
+  /// Neighbourhood radius in the normalised [0,1]^d space.
+  double eps = 0.04;
+  /// Minimum neighbourhood size (including the point itself) for a core
+  /// point.
+  std::size_t min_pts = 5;
+};
+
+struct DbscanResult {
+  std::vector<std::int32_t> labels;  ///< per point: cluster id or kNoise
+  std::int32_t cluster_count = 0;
+
+  std::size_t noise_count() const;
+};
+
+/// Cluster `points` (expected in comparable per-dimension scales, typically
+/// [0,1]^d from Transform::apply).
+DbscanResult dbscan(const geom::PointSet& points, const DbscanParams& params);
+
+}  // namespace perftrack::cluster

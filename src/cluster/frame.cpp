@@ -1,0 +1,133 @@
+#include "cluster/frame.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace perftrack::cluster {
+
+const ClusterObject& Frame::object(ObjectId id) const {
+  PT_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < objects_.size(),
+             "object id out of range");
+  return objects_[static_cast<std::size_t>(id)];
+}
+
+Frame assemble_frame(std::shared_ptr<const trace::Trace> trace,
+                     Projection projection, std::vector<std::int32_t> labels,
+                     const ClusteringParams& params) {
+  PT_REQUIRE(trace != nullptr, "trace must not be null");
+  PT_REQUIRE(labels.size() == projection.size(),
+             "labels/projection size mismatch");
+
+  Frame frame;
+  frame.label_ = trace->label();
+  frame.num_tasks_ = trace->num_tasks();
+  frame.source_ = trace;
+
+  // --- Aggregate per raw cluster id. ---
+  std::int32_t max_label = -1;
+  for (auto l : labels) max_label = std::max(max_label, l);
+  const auto raw_count = static_cast<std::size_t>(max_label + 1);
+
+  std::vector<double> duration_of(raw_count, 0.0);
+  std::vector<std::size_t> size_of(raw_count, 0);
+  for (std::size_t row = 0; row < labels.size(); ++row) {
+    if (labels[row] == kNoise) continue;
+    auto c = static_cast<std::size_t>(labels[row]);
+    duration_of[c] += projection.durations[row];
+    ++size_of[c];
+  }
+
+  double total_clustered = std::accumulate(duration_of.begin(),
+                                           duration_of.end(), 0.0);
+
+  // --- Optionally demote tiny clusters to noise. ---
+  std::vector<bool> keep(raw_count, true);
+  if (params.min_cluster_time_fraction > 0.0 && total_clustered > 0.0) {
+    for (std::size_t c = 0; c < raw_count; ++c)
+      keep[c] = duration_of[c] >=
+                params.min_cluster_time_fraction * total_clustered;
+  }
+
+  // --- Renumber surviving clusters by decreasing total duration
+  //     (ties: original id, so renumbering is deterministic). ---
+  std::vector<std::size_t> order;
+  for (std::size_t c = 0; c < raw_count; ++c)
+    if (keep[c] && size_of[c] > 0) order.push_back(c);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (duration_of[a] != duration_of[b])
+      return duration_of[a] > duration_of[b];
+    return a < b;
+  });
+  std::vector<std::int32_t> renumber(raw_count, kNoise);
+  for (std::size_t rank = 0; rank < order.size(); ++rank)
+    renumber[order[rank]] = static_cast<std::int32_t>(rank);
+
+  frame.labels_.assign(labels.size(), kNoise);
+  for (std::size_t row = 0; row < labels.size(); ++row)
+    if (labels[row] != kNoise)
+      frame.labels_[row] = renumber[static_cast<std::size_t>(labels[row])];
+
+  // --- Build cluster objects. ---
+  const std::size_t dims = projection.points.dims();
+  frame.objects_.resize(order.size());
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    ClusterObject& obj = frame.objects_[rank];
+    obj.id = static_cast<ObjectId>(rank);
+    obj.centroid.assign(dims, 0.0);
+    obj.total_duration = duration_of[order[rank]];
+  }
+  for (std::size_t row = 0; row < frame.labels_.size(); ++row) {
+    std::int32_t id = frame.labels_[row];
+    if (id == kNoise) continue;
+    ClusterObject& obj = frame.objects_[static_cast<std::size_t>(id)];
+    obj.rows.push_back(static_cast<std::uint32_t>(row));
+    auto p = projection.points[row];
+    for (std::size_t d = 0; d < dims; ++d) obj.centroid[d] += p[d];
+    const trace::Burst& burst =
+        trace->bursts()[projection.burst_index[row]];
+    obj.callstack_weight[burst.callstack] += 1.0;
+  }
+  for (ClusterObject& obj : frame.objects_) {
+    if (!obj.rows.empty()) {
+      for (double& v : obj.centroid) v /= static_cast<double>(obj.rows.size());
+      for (auto& [cs, w] : obj.callstack_weight)
+        w /= static_cast<double>(obj.rows.size());
+    }
+    obj.metric_mean = obj.centroid;
+    frame.clustered_duration_ += obj.total_duration;
+  }
+
+  // --- Per-task cluster sequences (noise rows skipped). ---
+  // Projection rows preserve burst order, and Trace guarantees per-task time
+  // order, so walking rows grouped by task yields execution order.
+  std::vector<std::vector<align::Symbol>> seqs(trace->num_tasks());
+  for (std::size_t row = 0; row < frame.labels_.size(); ++row) {
+    std::int32_t id = frame.labels_[row];
+    if (id == kNoise) continue;
+    const trace::Burst& burst =
+        trace->bursts()[projection.burst_index[row]];
+    auto& seq = seqs[burst.task];
+    if (params.collapse_sequence_runs && !seq.empty() && seq.back() == id)
+      continue;
+    seq.push_back(id);
+  }
+  frame.task_sequences_ = std::move(seqs);
+
+  frame.projection_ = std::move(projection);
+  return frame;
+}
+
+Frame build_frame(std::shared_ptr<const trace::Trace> trace,
+                  const ClusteringParams& params) {
+  PT_REQUIRE(trace != nullptr, "trace must not be null");
+  Projection proj = project(*trace, params.projection);
+  Transform transform = Transform::fit(proj.points, params.log_scale);
+  geom::PointSet normalized = transform.apply(proj.points);
+  DbscanResult result = dbscan(normalized, params.dbscan);
+  return assemble_frame(std::move(trace), std::move(proj),
+                        std::move(result.labels), params);
+}
+
+}  // namespace perftrack::cluster

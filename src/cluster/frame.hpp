@@ -1,0 +1,128 @@
+#pragma once
+// Frames: the "images" of the tracking pipeline.
+//
+// A Frame is one experiment reduced to its objects (paper §2): the projected
+// point cloud, the DBSCAN labels, per-cluster aggregates (centroid, metric
+// means, call-stack reference weights, total duration), and the per-task
+// time-ordered sequences of cluster ids the SPMD and execution-sequence
+// evaluators consume. Clusters are renumbered by decreasing total duration,
+// mirroring the BSC convention that cluster 1 is the most time-consuming
+// region.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "align/nw.hpp"
+#include "cluster/dbscan.hpp"
+#include "cluster/normalize.hpp"
+#include "cluster/projection.hpp"
+#include "trace/trace.hpp"
+
+namespace perftrack::cluster {
+
+/// Cluster identifier within a frame: 0-based, dense. Display ids are 1-based.
+using ObjectId = std::int32_t;
+
+struct ClusterObject {
+  ObjectId id = 0;
+
+  /// Projection rows belonging to this cluster, ascending.
+  std::vector<std::uint32_t> rows;
+
+  /// Mean coordinates in the raw metric space.
+  std::vector<double> centroid;
+
+  /// Per-axis mean of the raw metric values (same as centroid; kept for
+  /// clarity when axes are a subset of reported metrics).
+  std::vector<double> metric_mean;
+
+  /// Fraction of the cluster's bursts starting at each source location.
+  std::map<trace::CallstackId, double> callstack_weight;
+
+  /// Sum of burst durations (seconds) over all member bursts.
+  double total_duration = 0.0;
+
+  std::size_t size() const { return rows.size(); }
+};
+
+struct ClusteringParams {
+  ProjectionParams projection;
+  DbscanParams dbscan;
+
+  /// Per-axis log10 scaling before min-max normalisation (empty = none).
+  std::vector<bool> log_scale;
+
+  /// Collapse runs of equal consecutive cluster ids in the per-task
+  /// sequences (several bursts of the same phase in a row become one
+  /// sequence symbol). The paper's phase sequences are at this granularity.
+  bool collapse_sequence_runs = true;
+
+  /// Drop clusters whose total duration is below this fraction of the
+  /// frame's total clustered duration (tiny objects are irrelevant to the
+  /// analysis and destabilise tracking). 0 disables.
+  double min_cluster_time_fraction = 0.0;
+};
+
+class Frame {
+public:
+  Frame() = default;
+
+  const std::string& label() const { return label_; }
+  std::uint32_t num_tasks() const { return num_tasks_; }
+  const trace::Trace& source() const { return *source_; }
+  std::shared_ptr<const trace::Trace> source_ptr() const { return source_; }
+
+  const Projection& projection() const { return projection_; }
+
+  /// Per projection row: cluster id or kNoise.
+  const std::vector<std::int32_t>& labels() const { return labels_; }
+
+  const std::vector<ClusterObject>& objects() const { return objects_; }
+  std::size_t object_count() const { return objects_.size(); }
+  const ClusterObject& object(ObjectId id) const;
+
+  /// Per-task sequence of cluster ids in execution order (noise skipped).
+  const std::vector<std::vector<align::Symbol>>& task_sequences() const {
+    return task_sequences_;
+  }
+
+  /// Sum of burst durations over all clustered (non-noise) rows.
+  double clustered_duration() const { return clustered_duration_; }
+
+  /// Builder used by build_frame and by tests that craft frames directly.
+  struct Builder;
+
+private:
+  std::string label_;
+  std::uint32_t num_tasks_ = 0;
+  std::shared_ptr<const trace::Trace> source_;
+  Projection projection_;
+  std::vector<std::int32_t> labels_;
+  std::vector<ClusterObject> objects_;
+  std::vector<std::vector<align::Symbol>> task_sequences_;
+  double clustered_duration_ = 0.0;
+
+  friend struct Builder;
+  friend Frame build_frame(std::shared_ptr<const trace::Trace>,
+                           const ClusteringParams&);
+  friend Frame assemble_frame(std::shared_ptr<const trace::Trace>,
+                              Projection, std::vector<std::int32_t>,
+                              const ClusteringParams&);
+};
+
+/// Cluster a trace into a Frame. The trace is kept alive via shared_ptr.
+Frame build_frame(std::shared_ptr<const trace::Trace> trace,
+                  const ClusteringParams& params);
+
+/// Assemble a Frame from an existing projection + labelling (used by
+/// build_frame after DBSCAN, and by tests injecting synthetic labels).
+/// Labels use kNoise (-1) for unclustered rows; other values are renumbered
+/// by decreasing cluster duration.
+Frame assemble_frame(std::shared_ptr<const trace::Trace> trace,
+                     Projection projection, std::vector<std::int32_t> labels,
+                     const ClusteringParams& params);
+
+}  // namespace perftrack::cluster

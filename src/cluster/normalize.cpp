@@ -1,0 +1,63 @@
+#include "cluster/normalize.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace perftrack::cluster {
+
+namespace {
+constexpr double kLogFloor = 1e-12;
+
+double maybe_log(double x, bool log_scale) {
+  return log_scale ? std::log10(std::max(x, kLogFloor)) : x;
+}
+}  // namespace
+
+Transform Transform::fit(const geom::PointSet& points,
+                         const std::vector<bool>& log_scale) {
+  PT_REQUIRE(log_scale.empty() || log_scale.size() == points.dims(),
+             "log_scale length must match dimensionality");
+  Transform t;
+  const std::size_t dims = points.dims();
+  t.log_.assign(dims, false);
+  for (std::size_t d = 0; d < log_scale.size(); ++d) t.log_[d] = log_scale[d];
+  t.lo_.assign(dims, std::numeric_limits<double>::infinity());
+  t.hi_.assign(dims, -std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    auto p = points[i];
+    for (std::size_t d = 0; d < dims; ++d) {
+      double v = maybe_log(p[d], t.log_[d]);
+      t.lo_[d] = std::min(t.lo_[d], v);
+      t.hi_[d] = std::max(t.hi_[d], v);
+    }
+  }
+  if (points.empty()) {
+    t.lo_.assign(dims, 0.0);
+    t.hi_.assign(dims, 1.0);
+  }
+  return t;
+}
+
+geom::PointSet Transform::apply(const geom::PointSet& points) const {
+  PT_REQUIRE(points.dims() == dims(), "dimensionality mismatch");
+  geom::PointSet out(points.dims());
+  out.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    out.add(apply_one(points[i]));
+  return out;
+}
+
+std::vector<double> Transform::apply_one(std::span<const double> coords) const {
+  PT_REQUIRE(coords.size() == dims(), "dimensionality mismatch");
+  std::vector<double> out(coords.size());
+  for (std::size_t d = 0; d < coords.size(); ++d) {
+    double v = maybe_log(coords[d], log_[d]);
+    double range = hi_[d] - lo_[d];
+    out[d] = range > 0.0 ? (v - lo_[d]) / range : 0.5;
+  }
+  return out;
+}
+
+}  // namespace perftrack::cluster

@@ -1,0 +1,43 @@
+#pragma once
+// Coordinate transforms applied before density clustering.
+//
+// DBSCAN's epsilon is isotropic, so each dimension must be brought to a
+// comparable range first. Transform optionally log-scales dimensions whose
+// values span decades (instruction counts in the paper's figures are drawn
+// on log axes for the same reason) and then min-max normalises each
+// dimension to [0, 1]. The fitted parameters are kept so the same transform
+// can be applied to other point sets (e.g. projecting one frame's points
+// into another frame's normalised space).
+
+#include <vector>
+
+#include "geom/pointset.hpp"
+
+namespace perftrack::cluster {
+
+class Transform {
+public:
+  /// Fit on `points`. `log_scale[d]` requests log10 on dimension d (applied
+  /// as log10(max(x, floor)) with a tiny positive floor so zeros survive);
+  /// empty vector means no log scaling anywhere.
+  static Transform fit(const geom::PointSet& points,
+                       const std::vector<bool>& log_scale = {});
+
+  /// Map points into [0,1]^d using the fitted parameters. Dimensions that
+  /// were constant during fit map to 0.5.
+  geom::PointSet apply(const geom::PointSet& points) const;
+
+  /// Transform a single coordinate vector.
+  std::vector<double> apply_one(std::span<const double> coords) const;
+
+  std::size_t dims() const { return lo_.size(); }
+  double low(std::size_t d) const { return lo_[d]; }
+  double high(std::size_t d) const { return hi_[d]; }
+  bool log_scaled(std::size_t d) const { return log_[d]; }
+
+private:
+  std::vector<double> lo_, hi_;
+  std::vector<bool> log_;
+};
+
+}  // namespace perftrack::cluster

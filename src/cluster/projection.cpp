@@ -1,0 +1,55 @@
+#include "cluster/projection.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace perftrack::cluster {
+
+double duration_threshold_for_coverage(const trace::Trace& trace,
+                                       double fraction) {
+  PT_REQUIRE(fraction <= 1.0, "coverage fraction must be <= 1");
+  if (fraction <= 0.0) return 0.0;
+  std::vector<double> durations;
+  durations.reserve(trace.burst_count());
+  for (const auto& b : trace.bursts()) durations.push_back(b.duration);
+  std::sort(durations.begin(), durations.end(), std::greater<>());
+  double total = 0.0;
+  for (double d : durations) total += d;
+  if (total <= 0.0) return 0.0;
+  double cumulative = 0.0;
+  for (double d : durations) {
+    cumulative += d;
+    if (cumulative >= fraction * total) return d;
+  }
+  return 0.0;
+}
+
+Projection project(const trace::Trace& trace, const ProjectionParams& params) {
+  PT_REQUIRE(!params.metrics.empty(), "projection needs at least one metric");
+
+  double threshold = params.min_duration;
+  if (params.time_coverage > 0.0)
+    threshold = std::max(threshold, duration_threshold_for_coverage(
+                                        trace, params.time_coverage));
+
+  Projection out;
+  out.metrics = params.metrics;
+  out.points = geom::PointSet(params.metrics.size());
+  out.points.reserve(trace.burst_count());
+
+  std::vector<double> coords(params.metrics.size());
+  auto bursts = trace.bursts();
+  for (std::uint32_t i = 0; i < bursts.size(); ++i) {
+    const trace::Burst& b = bursts[i];
+    if (b.duration < threshold) continue;
+    for (std::size_t d = 0; d < params.metrics.size(); ++d)
+      coords[d] = trace::evaluate_metric(b, params.metrics[d]);
+    out.points.add(coords);
+    out.burst_index.push_back(i);
+    out.durations.push_back(b.duration);
+  }
+  return out;
+}
+
+}  // namespace perftrack::cluster

@@ -1,0 +1,52 @@
+#pragma once
+// Projection of a trace into a metric space.
+//
+// Selects the bursts worth analysing (the paper keeps computations above a
+// duration threshold so the identified objects represent a large share of
+// the application time) and evaluates the chosen metrics on each, producing
+// the point cloud the clustering stage consumes. Row i of the point set maps
+// back to a trace burst through burst_index[i].
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/pointset.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace perftrack::cluster {
+
+struct ProjectionParams {
+  /// Metric-space axes; defaults to the paper's usual
+  /// (Instructions Completed, IPC) pair.
+  std::vector<trace::Metric> metrics{trace::Metric::Instructions,
+                                     trace::Metric::Ipc};
+
+  /// Drop bursts shorter than this many seconds.
+  double min_duration = 0.0;
+
+  /// If > 0, additionally derive a duration threshold so the retained
+  /// bursts cover at least this fraction of total computation time
+  /// (longest bursts first). Typical value: 0.9.
+  double time_coverage = 0.0;
+};
+
+struct Projection {
+  std::vector<trace::Metric> metrics;
+  geom::PointSet points;                   ///< raw metric coordinates
+  std::vector<std::uint32_t> burst_index;  ///< row -> index into trace.bursts()
+  std::vector<double> durations;           ///< row -> burst duration (hot path copy)
+
+  std::size_t size() const { return burst_index.size(); }
+};
+
+/// Duration threshold such that bursts with duration >= threshold cover at
+/// least `fraction` of the trace's total computation time. fraction in
+/// [0, 1]; returns 0 for fraction <= 0.
+double duration_threshold_for_coverage(const trace::Trace& trace,
+                                       double fraction);
+
+/// Build the point cloud for `trace` under `params`.
+Projection project(const trace::Trace& trace, const ProjectionParams& params);
+
+}  // namespace perftrack::cluster

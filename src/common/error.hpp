@@ -1,0 +1,59 @@
+#pragma once
+// Error handling primitives for perftrack.
+//
+// The library reports unrecoverable misuse and I/O failures with exceptions
+// derived from Error. PT_REQUIRE is used to validate preconditions on public
+// API boundaries; internal invariants use PT_ASSERT (disabled in release-like
+// builds only if PT_NO_ASSERT is defined).
+
+#include <stdexcept>
+#include <string>
+
+namespace perftrack {
+
+/// Base class for all perftrack exceptions.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition of a public API.
+class PreconditionError : public Error {
+public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// Reading or writing a trace / report file failed.
+class IoError : public Error {
+public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// A file was syntactically or semantically malformed.
+class ParseError : public Error {
+public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  throw PreconditionError(std::string(file) + ":" + std::to_string(line) +
+                          ": precondition failed: " + expr +
+                          (msg.empty() ? "" : (" — " + msg)));
+}
+}  // namespace detail
+
+}  // namespace perftrack
+
+/// Validate a precondition on a public API boundary; throws PreconditionError.
+#define PT_REQUIRE(expr, msg)                                              \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::perftrack::detail::raise_precondition(#expr, __FILE__, __LINE__,   \
+                                              (msg));                      \
+  } while (0)
+
+/// Internal invariant check. Same mechanics as PT_REQUIRE; kept distinct so
+/// the intent (bug in perftrack vs. bug in the caller) is visible at the site.
+#define PT_ASSERT(expr, msg) PT_REQUIRE(expr, msg)

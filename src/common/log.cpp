@@ -1,0 +1,34 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace perftrack {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message) {
+  std::string line = std::string("[perftrack ") + level_name(level) + "] " +
+                     message + "\n";
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+}  // namespace detail
+
+}  // namespace perftrack

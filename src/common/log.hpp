@@ -1,0 +1,46 @@
+#pragma once
+// Minimal levelled logger.
+//
+// Logging defaults to Warn so that library code stays quiet; tools and
+// benches raise the level explicitly. The logger writes to stderr and is
+// safe to call from multiple threads (each message is a single write).
+
+#include <sstream>
+#include <string>
+
+namespace perftrack {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement: PT_LOG(Info) << "clustered " << n << " bursts";
+class LogLine {
+public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ >= log_level()) detail::log_write(level_, stream_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (level_ >= log_level()) stream_ << value;
+    return *this;
+  }
+
+private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace perftrack
+
+#define PT_LOG(level) ::perftrack::LogLine(::perftrack::LogLevel::level)

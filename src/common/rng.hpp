@@ -1,0 +1,83 @@
+#pragma once
+// Deterministic random number generation.
+//
+// All stochastic parts of perftrack (the workload simulator, synthetic test
+// fixtures) draw from Rng so that every experiment is reproducible from a
+// seed. Rng wraps a 64-bit Mersenne Twister and exposes the handful of
+// distributions the simulator needs. Independent sub-streams can be forked
+// with derive(), which mixes a tag into the parent seed — forked streams do
+// not consume numbers from the parent, so adding a phase to an application
+// model never perturbs the random values of the other phases.
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace perftrack {
+
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed) : seed_(seed), engine_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+
+  /// Fork an independent stream identified by (tag, index).
+  /// Uses splitmix64-style mixing so nearby tags decorrelate.
+  Rng derive(std::string_view tag, std::uint64_t index = 0) const {
+    std::uint64_t h = seed_;
+    for (char c : tag) h = mix(h ^ static_cast<std::uint64_t>(c));
+    h = mix(h ^ index);
+    return Rng(h);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) {
+    if (stddev <= 0.0) return mean;
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Normal truncated to [lo, hi] by clamping (adequate for mild noise).
+  double normal_clamped(double mean, double stddev, double lo, double hi) {
+    double v = normal(mean, stddev);
+    if (v < lo) return lo;
+    if (v > hi) return hi;
+    return v;
+  }
+
+  /// Lognormal multiplicative jitter around 1.0: exp(N(0, sigma)).
+  double jitter(double sigma) {
+    if (sigma <= 0.0) return 1.0;
+    return std::exp(std::normal_distribution<double>(0.0, sigma)(engine_));
+  }
+
+  /// Bernoulli trial.
+  bool chance(double probability) {
+    return std::bernoulli_distribution(probability)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+private:
+  static std::uint64_t mix(std::uint64_t x) {
+    // splitmix64 finaliser.
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  std::uint64_t seed_;
+  std::mt19937_64 engine_;
+};
+
+}  // namespace perftrack

@@ -1,0 +1,67 @@
+#pragma once
+// Descriptive statistics used across the clustering and tracking stages.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace perftrack {
+
+/// Streaming accumulator for count / mean / variance / extrema
+/// (Welford's algorithm, numerically stable).
+class RunningStats {
+public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return count_ ? mean_ * static_cast<double>(count_) : 0.0; }
+
+private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile with linear interpolation; p in [0,100]. Sorts a copy.
+double percentile(std::span<const double> values, double p);
+
+/// Arithmetic mean; 0 for an empty span.
+double mean_of(std::span<const double> values);
+
+/// Sum of values.
+double sum_of(std::span<const double> values);
+
+/// Weighted mean; 0 if total weight is 0.
+double weighted_mean(std::span<const double> values,
+                     std::span<const double> weights);
+
+/// Relative change (b - a) / a as a fraction; 0 when a == 0.
+double relative_change(double a, double b);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets; out-of-range
+/// values are clamped to the first/last bucket.
+class Histogram {
+public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x);
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_[bin]; }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t bin) const;
+  double bin_high(std::size_t bin) const;
+
+private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace perftrack

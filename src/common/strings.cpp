@@ -1,0 +1,66 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace perftrack {
+
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      break;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t b = 0, e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
+  return text.substr(b, e - b);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string format_double(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_si(double value, int decimals) {
+  const double a = std::fabs(value);
+  if (a >= 1e9) return format_double(value / 1e9, decimals) + "G";
+  if (a >= 1e6) return format_double(value / 1e6, decimals) + "M";
+  if (a >= 1e3) return format_double(value / 1e3, decimals) + "K";
+  return format_double(value, decimals);
+}
+
+std::string format_percent(double fraction, int decimals) {
+  double pct = fraction * 100.0;
+  std::string s = format_double(pct, decimals) + "%";
+  if (pct > 0.0) s.insert(s.begin(), '+');
+  return s;
+}
+
+std::string join(const std::vector<std::string>& items, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+}  // namespace perftrack

@@ -1,0 +1,31 @@
+#pragma once
+// Small string helpers shared by the trace parser and report writers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace perftrack {
+
+/// Split on a single delimiter character; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// printf-style double formatting with fixed decimals.
+std::string format_double(double value, int decimals);
+
+/// Human-readable large number: 12345678 -> "12.3M".
+std::string format_si(double value, int decimals = 1);
+
+/// "+4.9%" / "-20.1%" from a fractional change.
+std::string format_percent(double fraction, int decimals = 1);
+
+/// Join items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+}  // namespace perftrack

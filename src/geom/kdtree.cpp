@@ -1,0 +1,215 @@
+#include "geom/kdtree.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace perftrack::geom {
+
+KdTree::KdTree(const PointSet& points, std::size_t leaf_size)
+    : points_(points), leaf_size_(std::max<std::size_t>(1, leaf_size)) {
+  index_.resize(points.size());
+  std::iota(index_.begin(), index_.end(), 0);
+  if (!index_.empty()) {
+    nodes_.reserve(2 * index_.size() / leaf_size_ + 2);
+    root_ = build(0, index_.size());
+  }
+}
+
+std::int32_t KdTree::build(std::size_t begin, std::size_t end) {
+  Node node;
+  node.begin = static_cast<std::uint32_t>(begin);
+  node.end = static_cast<std::uint32_t>(end);
+
+  if (end - begin <= leaf_size_) {
+    // Deterministic leaf ordering makes query results reproducible.
+    std::sort(index_.begin() + static_cast<std::ptrdiff_t>(begin),
+              index_.begin() + static_cast<std::ptrdiff_t>(end));
+    nodes_.push_back(node);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  }
+
+  // Split along the dimension with the widest spread in this range.
+  const std::size_t dims = points_.dims();
+  std::vector<double> lo(dims, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(dims, -std::numeric_limits<double>::infinity());
+  for (std::size_t i = begin; i < end; ++i) {
+    auto p = points_[index_[i]];
+    for (std::size_t d = 0; d < dims; ++d) {
+      lo[d] = std::min(lo[d], p[d]);
+      hi[d] = std::max(hi[d], p[d]);
+    }
+  }
+  std::size_t split_dim = 0;
+  double best_spread = -1.0;
+  for (std::size_t d = 0; d < dims; ++d) {
+    double spread = hi[d] - lo[d];
+    if (spread > best_spread) {
+      best_spread = spread;
+      split_dim = d;
+    }
+  }
+  if (best_spread <= 0.0) {
+    // All points identical in every dimension; keep as one leaf.
+    std::sort(index_.begin() + static_cast<std::ptrdiff_t>(begin),
+              index_.begin() + static_cast<std::ptrdiff_t>(end));
+    nodes_.push_back(node);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  }
+
+  std::size_t mid = begin + (end - begin) / 2;
+  std::nth_element(index_.begin() + static_cast<std::ptrdiff_t>(begin),
+                   index_.begin() + static_cast<std::ptrdiff_t>(mid),
+                   index_.begin() + static_cast<std::ptrdiff_t>(end),
+                   [&](std::size_t a, std::size_t b) {
+                     return points_[a][split_dim] < points_[b][split_dim];
+                   });
+
+  node.split_dim = static_cast<std::uint16_t>(split_dim);
+  node.split_value = points_[index_[mid]][split_dim];
+
+  // Reserve our slot before recursing so children get stable indices.
+  nodes_.push_back(node);
+  std::int32_t self = static_cast<std::int32_t>(nodes_.size() - 1);
+  std::int32_t left = build(begin, mid);
+  std::int32_t right = build(mid, end);
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+std::size_t KdTree::nearest(std::span<const double> query) const {
+  PT_REQUIRE(size() > 0, "nearest() on empty tree");
+  PT_REQUIRE(query.size() == points_.dims(), "query dimension mismatch");
+  double best_sq = std::numeric_limits<double>::infinity();
+  std::size_t best_idx = index_[0];
+  search_nearest(root_, query, best_sq, best_idx);
+  return best_idx;
+}
+
+double KdTree::nearest_squared_distance(std::span<const double> query) const {
+  return squared_distance(query, points_[nearest(query)]);
+}
+
+void KdTree::search_nearest(std::int32_t node_id, std::span<const double> query,
+                            double& best_sq, std::size_t& best_idx) const {
+  const Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  if (node.is_leaf()) {
+    for (std::uint32_t i = node.begin; i < node.end; ++i) {
+      std::size_t idx = index_[i];
+      double d2 = squared_distance(query, points_[idx]);
+      if (d2 < best_sq || (d2 == best_sq && idx < best_idx)) {
+        best_sq = d2;
+        best_idx = idx;
+      }
+    }
+    return;
+  }
+  double diff = query[node.split_dim] - node.split_value;
+  std::int32_t near = diff < 0.0 ? node.left : node.right;
+  std::int32_t far = diff < 0.0 ? node.right : node.left;
+  search_nearest(near, query, best_sq, best_idx);
+  if (diff * diff <= best_sq) search_nearest(far, query, best_sq, best_idx);
+}
+
+// Bounded max-heap of (squared distance, index) candidates.
+struct KdTree::KnnHeap {
+  explicit KnnHeap(std::size_t k) : capacity(k) {}
+
+  std::size_t capacity;
+  // (distance², index); the root is the worst kept candidate.
+  std::vector<std::pair<double, std::size_t>> items;
+
+  double worst() const {
+    return items.size() < capacity ? std::numeric_limits<double>::infinity()
+                                   : items.front().first;
+  }
+
+  void offer(double dist_sq, std::size_t idx) {
+    std::pair<double, std::size_t> candidate{dist_sq, idx};
+    if (items.size() < capacity) {
+      items.push_back(candidate);
+      std::push_heap(items.begin(), items.end());
+      return;
+    }
+    if (candidate < items.front()) {
+      std::pop_heap(items.begin(), items.end());
+      items.back() = candidate;
+      std::push_heap(items.begin(), items.end());
+    }
+  }
+};
+
+std::vector<std::size_t> KdTree::k_nearest(std::span<const double> query,
+                                           std::size_t k) const {
+  PT_REQUIRE(query.size() == points_.dims(), "query dimension mismatch");
+  k = std::min(k, size());
+  std::vector<std::size_t> out;
+  if (k == 0) return out;
+  KnnHeap heap(k);
+  search_knn(root_, query, heap);
+  std::sort(heap.items.begin(), heap.items.end());
+  out.reserve(heap.items.size());
+  for (const auto& [dist_sq, idx] : heap.items) out.push_back(idx);
+  return out;
+}
+
+void KdTree::search_knn(std::int32_t node_id, std::span<const double> query,
+                        KnnHeap& heap) const {
+  const Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  if (node.is_leaf()) {
+    for (std::uint32_t i = node.begin; i < node.end; ++i) {
+      std::size_t idx = index_[i];
+      heap.offer(squared_distance(query, points_[idx]), idx);
+    }
+    return;
+  }
+  double diff = query[node.split_dim] - node.split_value;
+  std::int32_t near = diff < 0.0 ? node.left : node.right;
+  std::int32_t far = diff < 0.0 ? node.right : node.left;
+  search_knn(near, query, heap);
+  if (diff * diff <= heap.worst()) search_knn(far, query, heap);
+}
+
+std::vector<std::size_t> KdTree::radius_query(std::span<const double> query,
+                                              double radius) const {
+  std::vector<std::size_t> out;
+  radius_query(query, radius, out);
+  return out;
+}
+
+void KdTree::radius_query(std::span<const double> query, double radius,
+                          std::vector<std::size_t>& out) const {
+  PT_REQUIRE(query.size() == points_.dims(), "query dimension mismatch");
+  PT_REQUIRE(radius >= 0.0, "radius must be non-negative");
+  out.clear();
+  if (root_ < 0) return;
+  search_radius(root_, query, radius * radius, out);
+  std::sort(out.begin(), out.end());
+}
+
+void KdTree::search_radius(std::int32_t node_id, std::span<const double> query,
+                           double radius_sq,
+                           std::vector<std::size_t>& out) const {
+  const Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  if (node.is_leaf()) {
+    for (std::uint32_t i = node.begin; i < node.end; ++i) {
+      std::size_t idx = index_[i];
+      if (squared_distance(query, points_[idx]) <= radius_sq)
+        out.push_back(idx);
+    }
+    return;
+  }
+  double diff = query[node.split_dim] - node.split_value;
+  if (diff < 0.0) {
+    search_radius(node.left, query, radius_sq, out);
+    if (diff * diff <= radius_sq) search_radius(node.right, query, radius_sq, out);
+  } else {
+    search_radius(node.right, query, radius_sq, out);
+    if (diff * diff <= radius_sq) search_radius(node.left, query, radius_sq, out);
+  }
+}
+
+}  // namespace perftrack::geom

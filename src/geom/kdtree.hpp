@@ -1,0 +1,81 @@
+#pragma once
+// kd-tree over a PointSet.
+//
+// Accelerates the two hot queries of the pipeline:
+//   * radius queries for DBSCAN neighbourhood expansion, and
+//   * nearest-neighbour queries for the displacement evaluator's
+//     cross-classification of bursts between frames.
+//
+// The tree stores indices into the backing PointSet (no coordinate copies)
+// in a single node array, split by the widest-spread dimension at the
+// median. Leaves hold up to `leaf_size` points and are scanned linearly —
+// for the 2-D metric spaces used here that beats deeper trees.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geom/pointset.hpp"
+
+namespace perftrack::geom {
+
+class KdTree {
+public:
+  /// Build over `points`; the PointSet must outlive the tree.
+  explicit KdTree(const PointSet& points, std::size_t leaf_size = 16);
+
+  std::size_t size() const { return index_.size(); }
+
+  /// Index of the nearest point to `query` (ties broken by lower index);
+  /// `size()` must be > 0.
+  std::size_t nearest(std::span<const double> query) const;
+
+  /// Nearest point's squared distance to `query`.
+  double nearest_squared_distance(std::span<const double> query) const;
+
+  /// The k nearest points to `query`, ordered by ascending distance (ties
+  /// by index). k is clamped to size(). Used by the DBSCAN parameter
+  /// auto-tuner's k-distance curve.
+  std::vector<std::size_t> k_nearest(std::span<const double> query,
+                                     std::size_t k) const;
+
+  /// All point indices within Euclidean `radius` of `query`
+  /// (inclusive boundary), in ascending index order.
+  std::vector<std::size_t> radius_query(std::span<const double> query,
+                                        double radius) const;
+
+  /// As radius_query but appends into `out` (cleared first); avoids
+  /// reallocation in DBSCAN's inner loop.
+  void radius_query(std::span<const double> query, double radius,
+                    std::vector<std::size_t>& out) const;
+
+private:
+  struct Node {
+    // Leaf: [begin, end) range in index_. Internal: split dim/value and kids.
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::uint16_t split_dim = 0;
+    double split_value = 0.0;
+    bool is_leaf() const { return left < 0; }
+  };
+
+  struct KnnHeap;
+
+  std::int32_t build(std::size_t begin, std::size_t end);
+  void search_nearest(std::int32_t node, std::span<const double> query,
+                      double& best_sq, std::size_t& best_idx) const;
+  void search_knn(std::int32_t node, std::span<const double> query,
+                  KnnHeap& heap) const;
+  void search_radius(std::int32_t node, std::span<const double> query,
+                     double radius_sq, std::vector<std::size_t>& out) const;
+
+  const PointSet& points_;
+  std::size_t leaf_size_;
+  std::vector<std::size_t> index_;  // permutation of point indices
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+};
+
+}  // namespace perftrack::geom

@@ -1,0 +1,270 @@
+#include "paraver/prv.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace perftrack::paraver {
+
+namespace {
+
+constexpr double kNsPerSecond = 1e9;
+
+std::uint64_t to_ns(double seconds) {
+  return static_cast<std::uint64_t>(std::llround(seconds * kNsPerSecond));
+}
+
+double to_seconds(std::uint64_t ns) {
+  return static_cast<double>(ns) / kNsPerSecond;
+}
+
+std::uint64_t parse_u64(std::string_view text, const char* what) {
+  std::uint64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size())
+    throw ParseError(std::string("bad ") + what + ": " + std::string(text));
+  return value;
+}
+
+}  // namespace
+
+namespace detail {
+
+void write_prv_streams(std::ostream& prv, std::ostream& pcf,
+                       const trace::Trace& trace) {
+  PcfConfig config;
+  config.application = trace.application();
+
+  const std::uint32_t tasks = trace.num_tasks();
+  const std::uint64_t duration = to_ns(trace.end_time());
+
+  // Header: one node with `tasks` cpus, one application with `tasks`
+  // tasks of one thread each, every task on node 1.
+  prv << "#Paraver (01/01/2026 at 00:00):" << duration << "_ns:1(" << tasks
+      << "):1:" << tasks << "(";
+  for (std::uint32_t t = 0; t < tasks; ++t) {
+    if (t) prv << ",";
+    prv << "1:1";
+  }
+  prv << ")\n";
+
+  // Records must be emitted in global time order for Paraver proper; we
+  // sort (time, task) keys of burst boundaries.
+  struct Record {
+    std::uint64_t time;
+    std::uint32_t task;
+    std::string text;
+  };
+  std::vector<Record> records;
+  records.reserve(trace.burst_count() * 2);
+
+  for (const trace::Burst& burst : trace.bursts()) {
+    const std::uint64_t begin = to_ns(burst.begin_time);
+    const std::uint64_t end = to_ns(burst.end_time());
+    const int cpu = static_cast<int>(burst.task) + 1;
+    const int task1 = static_cast<int>(burst.task) + 1;
+
+    std::ostringstream state;
+    state << "1:" << cpu << ":1:" << task1 << ":1:" << begin << ":" << end
+          << ":" << kStateRunning;
+    records.push_back({begin, burst.task, state.str()});
+
+    std::ostringstream event;
+    event << "2:" << cpu << ":1:" << task1 << ":1:" << end;
+    auto add = [&event](std::uint64_t type, std::uint64_t value) {
+      event << ":" << type << ":" << value;
+    };
+    add(kEventInstructions, static_cast<std::uint64_t>(std::llround(
+                                burst.counters.get(
+                                    trace::Counter::Instructions))));
+    add(kEventCycles, static_cast<std::uint64_t>(std::llround(
+                          burst.counters.get(trace::Counter::Cycles))));
+    add(kEventL1Misses, static_cast<std::uint64_t>(std::llround(
+                            burst.counters.get(
+                                trace::Counter::L1DMisses))));
+    add(kEventL2Misses, static_cast<std::uint64_t>(std::llround(
+                            burst.counters.get(trace::Counter::L2Misses))));
+    add(kEventTlbMisses, static_cast<std::uint64_t>(std::llround(
+                             burst.counters.get(
+                                 trace::Counter::TlbMisses))));
+    if (burst.callstack != trace::kUnknownCallstack) {
+      const trace::SourceLocation& loc =
+          trace.callstacks().resolve(burst.callstack);
+      add(kEventCaller, config.intern_caller(loc));
+    }
+    records.push_back({end, burst.task, event.str()});
+  }
+
+  std::stable_sort(records.begin(), records.end(),
+                   [](const Record& a, const Record& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.task < b.task;
+                   });
+  for (const Record& record : records) prv << record.text << "\n";
+  if (!prv) throw IoError("prv write failed");
+
+  write_pcf(pcf, config);
+}
+
+trace::Trace read_prv_streams(std::istream& prv, std::istream& pcf) {
+  PcfConfig config = read_pcf(pcf);
+
+  std::string line;
+  if (!std::getline(prv, line) || !starts_with(trim(line), "#Paraver"))
+    throw ParseError("missing #Paraver header");
+
+  // Header: "#Paraver (...):<duration>:<nodes>(...):<napps>:<ntasks>(...)".
+  // We need the task count: the 5th top-level colon field (date contains
+  // a colon inside parentheses, so split with nesting awareness).
+  std::vector<std::string> fields;
+  {
+    std::string current;
+    int depth = 0;
+    for (char c : line) {
+      if (c == '(') ++depth;
+      if (c == ')') --depth;
+      if (c == ':' && depth == 0) {
+        fields.push_back(current);
+        current.clear();
+      } else {
+        current += c;
+      }
+    }
+    fields.push_back(current);
+  }
+  if (fields.size() < 5) throw ParseError("truncated #Paraver header");
+  std::string task_field = fields[4];
+  std::size_t paren = task_field.find('(');
+  if (paren == std::string::npos)
+    throw ParseError("malformed task list in #Paraver header");
+  auto num_tasks = static_cast<std::uint32_t>(
+      parse_u64(trim(task_field.substr(0, paren)), "task count"));
+  if (num_tasks == 0) throw ParseError("header declares zero tasks");
+
+  trace::Trace out("paraver-import", num_tasks);
+  if (!config.application.empty()) {
+    out = trace::Trace(config.application, num_tasks);
+    out.set_label(config.application);
+  }
+
+  // Open running-state intervals per task, waiting for their counter event.
+  struct Open {
+    std::uint64_t begin = 0, end = 0;
+    bool active = false;
+  };
+  std::vector<Open> open(num_tasks);
+  int line_no = 1;
+
+  auto flush_burst = [&](std::uint32_t task, const Open& interval,
+                         const std::map<std::uint64_t, std::uint64_t>&
+                             events) {
+    trace::Burst burst;
+    burst.task = task;
+    burst.begin_time = to_seconds(interval.begin);
+    burst.duration = to_seconds(interval.end - interval.begin);
+    auto counter = [&](std::uint64_t type, trace::Counter c) {
+      auto it = events.find(type);
+      if (it != events.end())
+        burst.counters.set(c, static_cast<double>(it->second));
+    };
+    counter(kEventInstructions, trace::Counter::Instructions);
+    counter(kEventCycles, trace::Counter::Cycles);
+    counter(kEventL1Misses, trace::Counter::L1DMisses);
+    counter(kEventL2Misses, trace::Counter::L2Misses);
+    counter(kEventTlbMisses, trace::Counter::TlbMisses);
+    auto caller_it = events.find(kEventCaller);
+    if (caller_it != events.end()) {
+      const trace::SourceLocation* loc = config.caller(caller_it->second);
+      if (loc == nullptr)
+        throw ParseError("caller value " +
+                         std::to_string(caller_it->second) +
+                         " missing from the .pcf dictionary");
+      burst.callstack = out.callstacks().intern(*loc);
+    }
+    out.add_burst(burst);
+  };
+
+  while (std::getline(prv, line)) {
+    ++line_no;
+    std::string_view text = trim(line);
+    if (text.empty() || text.front() == '#') continue;
+    auto fields2 = split(text, ':');
+    if (fields2.empty()) continue;
+    if (fields2[0] == "3" || fields2[0] == "c") continue;  // comms et al.
+
+    if (fields2[0] == "1") {
+      if (fields2.size() != 8)
+        throw ParseError("line " + std::to_string(line_no) +
+                         ": state record needs 8 fields");
+      auto task = static_cast<std::uint32_t>(
+          parse_u64(fields2[3], "task") - 1);
+      if (task >= num_tasks)
+        throw ParseError("line " + std::to_string(line_no) +
+                         ": task out of range");
+      if (parse_u64(fields2[7], "state") !=
+          static_cast<std::uint64_t>(kStateRunning))
+        continue;  // only running intervals are bursts
+      open[task].begin = parse_u64(fields2[5], "begin time");
+      open[task].end = parse_u64(fields2[6], "end time");
+      if (open[task].end < open[task].begin)
+        throw ParseError("line " + std::to_string(line_no) +
+                         ": state interval ends before it begins");
+      open[task].active = true;
+    } else if (fields2[0] == "2") {
+      if (fields2.size() < 8 || (fields2.size() - 6) % 2 != 0)
+        throw ParseError("line " + std::to_string(line_no) +
+                         ": event record needs time + (type,value) pairs");
+      auto task = static_cast<std::uint32_t>(
+          parse_u64(fields2[3], "task") - 1);
+      if (task >= num_tasks)
+        throw ParseError("line " + std::to_string(line_no) +
+                         ": task out of range");
+      std::uint64_t time = parse_u64(fields2[5], "event time");
+      std::map<std::uint64_t, std::uint64_t> events;
+      for (std::size_t i = 6; i + 1 < fields2.size(); i += 2)
+        events[parse_u64(fields2[i], "event type")] =
+            parse_u64(fields2[i + 1], "event value");
+      // Counter events at the end of an open running interval close the
+      // burst (the Extrae convention).
+      if (open[task].active && time == open[task].end &&
+          events.count(kEventInstructions)) {
+        flush_burst(task, open[task], events);
+        open[task].active = false;
+      }
+    } else {
+      throw ParseError("line " + std::to_string(line_no) +
+                       ": unknown record kind '" + fields2[0] + "'");
+    }
+  }
+  if (prv.bad()) throw IoError("prv read failed");
+  out.validate();
+  return out;
+}
+
+}  // namespace detail
+
+void save_prv(const std::string& base_path, const trace::Trace& trace) {
+  std::ofstream prv(base_path + ".prv");
+  if (!prv) throw IoError("cannot open for writing: " + base_path + ".prv");
+  std::ofstream pcf(base_path + ".pcf");
+  if (!pcf) throw IoError("cannot open for writing: " + base_path + ".pcf");
+  detail::write_prv_streams(prv, pcf, trace);
+}
+
+trace::Trace load_prv(const std::string& base_path) {
+  std::ifstream prv(base_path + ".prv");
+  if (!prv) throw IoError("cannot open for reading: " + base_path + ".prv");
+  std::ifstream pcf(base_path + ".pcf");
+  if (!pcf) throw IoError("cannot open for reading: " + base_path + ".pcf");
+  return detail::read_prv_streams(prv, pcf);
+}
+
+}  // namespace perftrack::paraver

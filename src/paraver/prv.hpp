@@ -1,0 +1,47 @@
+#pragma once
+// Paraver trace (.prv) interoperability.
+//
+// The paper's tool chain (Extrae -> Paraver/ClusteringSuite) exchanges
+// traces in the Paraver text format. This module implements the subset
+// needed for burst-level analysis, following the Extrae conventions:
+//
+//   #Paraver (<date>):<duration>_ns:<nodes>(<cpus>):<napps>:<ntasks>(...)
+//   1:cpu:appl:task:thread:begin:end:state          state record
+//   2:cpu:appl:task:thread:time:type:value[:t:v]*   event record
+//   3:...                                           comm record (skipped)
+//
+// A CPU burst is a running-state (state 1) interval; at its end time an
+// event record carries the hardware-counter deltas (PAPI event types) and
+// the level-1 caller (type 30000000, value resolved through the .pcf
+// dictionary — see paraver/pcf.hpp). Timestamps are nanoseconds.
+//
+// write_prv emits a (trace.prv, trace.pcf) pair from a burst trace;
+// read_prv reconstructs a burst trace from such a pair. The round trip
+// preserves bursts exactly up to 1 ns quantisation.
+
+#include <string>
+
+#include "paraver/pcf.hpp"
+#include "trace/trace.hpp"
+
+namespace perftrack::paraver {
+
+/// State record value for "running" (computing) in the Paraver model.
+inline constexpr int kStateRunning = 1;
+
+/// Serialise `trace` as a Paraver .prv next to its .pcf dictionary.
+/// `base_path` gets ".prv"/".pcf" appended.
+void save_prv(const std::string& base_path, const trace::Trace& trace);
+
+/// Load a (prv, pcf) pair back into a burst trace. `base_path` as above.
+/// Throws ParseError on malformed input, IoError on unreadable files.
+trace::Trace load_prv(const std::string& base_path);
+
+namespace detail {
+// Exposed for tests: stream-level implementations.
+void write_prv_streams(std::ostream& prv, std::ostream& pcf,
+                       const trace::Trace& trace);
+trace::Trace read_prv_streams(std::istream& prv, std::istream& pcf);
+}  // namespace detail
+
+}  // namespace perftrack::paraver

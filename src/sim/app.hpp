@@ -1,0 +1,59 @@
+#pragma once
+// Application models and the trace generator.
+//
+// An AppModel is the synthetic equivalent of one of the paper's MPI
+// applications: an ordered list of phases executed by every task in every
+// iteration (SPMD), plus a reference task count that anchors the scaling
+// laws. simulate() runs the model under a Scenario and emits the Trace an
+// Extrae-style interposition layer would have recorded: per task, the
+// time-ordered CPU bursts with hardware counters (from the analytical cache
+// model) and call-stack references, separated by communication gaps.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/phase.hpp"
+#include "sim/scenario.hpp"
+#include "trace/trace.hpp"
+
+namespace perftrack::sim {
+
+class AppModel {
+public:
+  AppModel(std::string name, double ref_tasks, int default_iterations);
+
+  const std::string& name() const { return name_; }
+  double ref_tasks() const { return ref_tasks_; }
+  int default_iterations() const { return default_iterations_; }
+
+  void add_phase(PhaseSpec phase);
+  const std::vector<PhaseSpec>& phases() const { return phases_; }
+
+  CacheModel& cache_model() { return cache_; }
+  const CacheModel& cache_model() const { return cache_; }
+
+  /// Fraction of a burst's duration spent in the following communication
+  /// gap (advances the task clock between bursts).
+  void set_comm_fraction(double fraction) { comm_fraction_ = fraction; }
+
+  /// Generate the trace of one execution under `scenario`.
+  trace::Trace simulate(const Scenario& scenario) const;
+
+  /// Convenience: simulate and wrap in a shared_ptr (frames keep traces
+  /// alive by shared ownership).
+  std::shared_ptr<const trace::Trace> simulate_shared(
+      const Scenario& scenario) const;
+
+private:
+  std::string name_;
+  double ref_tasks_;
+  int default_iterations_;
+  std::vector<PhaseSpec> phases_;
+  CacheModel cache_;
+  double comm_fraction_ = 0.15;
+};
+
+}  // namespace perftrack::sim

@@ -1,0 +1,58 @@
+#pragma once
+// The application model zoo.
+//
+// One synthetic model per application of the paper's evaluation (§4,
+// Table 2). Each builder returns an AppModel whose phase structure and
+// scaling laws reproduce the qualitative behaviour the paper reports for
+// that code: cluster counts, splits/merges across scenarios, and the IPC /
+// instruction / cache-miss trends of Figs. 7-12 and Table 3. The
+// per-experiment scenario sweeps live in sim/studies.hpp.
+
+#include "sim/app.hpp"
+
+namespace perftrack::sim {
+
+/// WRF weather model (§2-3): 12 behavioural regions at 128 tasks; doubling
+/// to 256 halves per-task instructions, splits one region into two
+/// imbalance zones, degrades two regions' IPC by ~20% and improves three
+/// by ~5%; one region shows ~5% instruction replication.
+AppModel make_wrf();
+
+/// CGPOP ocean-model proxy (§4.1): two main instruction trends; the second
+/// splits into two IPC behaviours on MinoTauro; vendor compilers trade
+/// ~30-36% fewer instructions for proportionally lower IPC.
+AppModel make_cgpop();
+
+/// NAS BT solver (§4.2): six regions; IPC collapses 40-65% from class W to
+/// A for four regions (working set outgrows L2 immediately) and keeps
+/// degrading until class B for the other two, mirrored by L2 misses.
+AppModel make_nas_bt();
+
+/// NAS FT benchmark (Table 2): two dominant regions, stable structure
+/// across a long scenario sweep.
+AppModel make_nas_ft();
+
+/// MR-Genesis relativistic MHD code (§4.3): two regions with identical
+/// response; instructions constant, IPC degrades with node occupancy
+/// through L2/TLB/bandwidth contention.
+AppModel make_mrgenesis();
+
+/// HydroC / RAMSES proxy (§4.4): one computing phase with bimodal
+/// behaviour (two sweep directions); block size drives control-instruction
+/// overhead at small blocks and an L1-capacity IPC dip past 32 KB blocks.
+AppModel make_hydroc();
+
+/// Gromacs molecular dynamics (Table 2): five regions; one of them
+/// exhibits a per-task bimodal split that tracking cannot discriminate in
+/// the 20-frame study (80% coverage).
+AppModel make_gromacs(bool bimodal_nonbonded = false);
+
+/// Gadget cosmology code (Table 2): nine behaviours of which two are the
+/// simultaneous halves of one bimodal phase (88% coverage).
+AppModel make_gadget();
+
+/// Quantum ESPRESSO (Table 2): nine behaviours, three bimodal phases whose
+/// halves execute simultaneously (66% coverage).
+AppModel make_espresso();
+
+}  // namespace perftrack::sim

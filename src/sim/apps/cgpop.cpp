@@ -1,0 +1,81 @@
+#include "sim/apps/apps.hpp"
+
+namespace perftrack::sim {
+
+// CGPOP, the Parallel Ocean Program conjugate-gradient proxy app (§4.1).
+//
+// Two dominant computing regions (paper Table 3): the matrix-vector product
+// of the CG solver (region 1, ~6.8M instructions per burst on MareNostrum /
+// gfortran at IPC 0.25) and the halo update (region 2, ~4.5M instructions,
+// same IPC on MareNostrum). The matvec runs four times per CG iteration,
+// which yields the paper's ~5.7x duration ratio between regions.
+//
+// On MinoTauro the halo update splits into two IPC behaviours (the paper's
+// region 2 -> {2, 3} platform split): the split is per-task, so both halves
+// execute simultaneously and the tracker must group them — exactly the
+// grouping that caps the CGPOP study at 66% coverage in Table 2.
+//
+// Compiler and platform responses (instructions, IPC) come from the
+// CompilerModel / Platform factors; no per-phase tuning is needed to
+// reproduce Table 3's "fewer instructions at proportionally lower IPC".
+AppModel make_cgpop() {
+  AppModel app("CGPOP", /*ref_tasks=*/128.0, /*default_iterations=*/25);
+
+  // CGPOP's IPC is fixed by compiler/platform factors (Table 3); a nearly
+  // neutral cache model keeps the measured IPC at those values.
+  CacheModelParams cache;
+  cache.l1_base = 0.002;
+  cache.l1_peak = 0.002;
+  cache.l1_penalty = 2.0;
+  cache.l2_base = 0.0002;
+  cache.l2_peak = 0.0004;
+  cache.l2_penalty = 30.0;
+  cache.tlb_base = 0.00005;
+  cache.tlb_peak = 0.0001;
+  cache.tlb_penalty = 10.0;
+  app.cache_model() = CacheModel(cache);
+
+  {
+    PhaseSpec p;
+    p.name = "btrops_matvec";
+    p.location = {"btrops_matvec", "solvers.F90", 401};
+    p.base_instructions = 6.8e6;
+    // 0.25 measured on packed MareNostrum nodes; the node-sharing stall
+    // factor (~1.18 at full occupancy) is part of the platform model.
+    p.base_ipc = 0.294;
+    p.working_set_kb = 48.0;
+    p.repeats = 4;
+    // Bimodal on MareNostrum (Fig. 8a/b: the large instruction trend is
+    // divided into IPC sub-regions); mean stays at Table 3's 0.25.
+    p.modes = {
+        BehaviorMode{.task_fraction = 0.5,
+                     .ipc_factor = 0.85,
+                     .platform_filter = "MareNostrum"},
+        BehaviorMode{.task_fraction = 0.5,
+                     .ipc_factor = 1.15,
+                     .platform_filter = "MareNostrum"},
+    };
+    app.add_phase(p);
+  }
+  {
+    PhaseSpec p;
+    p.name = "update_halo";
+    p.location = {"update_halo", "boundary.F90", 1132};
+    p.base_instructions = 4.5e6;
+    p.base_ipc = 0.294;
+    p.working_set_kb = 32.0;
+    // Bimodal on MinoTauro only: mean IPC 0.42 * (1.0, 1.4)/2 ~= 0.50,
+    // the paper's Table 3 value for region 2 on MinoTauro/gfortran.
+    p.modes = {
+        BehaviorMode{.task_fraction = 0.5, .platform_filter = "MinoTauro"},
+        BehaviorMode{.task_fraction = 0.5,
+                     .ipc_factor = 1.4,
+                     .platform_filter = "MinoTauro"},
+    };
+    app.add_phase(p);
+  }
+
+  return app;
+}
+
+}  // namespace perftrack::sim

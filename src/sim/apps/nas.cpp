@@ -1,0 +1,106 @@
+#include "sim/apps/apps.hpp"
+
+namespace perftrack::sim {
+
+// NAS Parallel Benchmarks (§4.2 and Table 2).
+//
+// BT: six computing regions run at 16 tasks with problem classes W, A, B, C
+// (4x size increase per class; instructions grow two orders of magnitude
+// from W to C, Fig. 9). The IPC response is driven entirely by the cache
+// model: the three solver sweeps and the rhs computation start with working
+// sets near the L2 capacity at class W, so one class step pushes them far
+// past it — the sharp 40-65% IPC loss from W to A that then stabilises
+// (Fig. 10a, regions 1, 2, 4, 5). The `add` and `exact_rhs` regions start
+// with small working sets and cross the capacity gradually, degrading until
+// class B. Fig. 10b's L2-miss growth is the same transition seen from the
+// counter side.
+AppModel make_nas_bt() {
+  AppModel app("NAS-BT", /*ref_tasks=*/16.0, /*default_iterations=*/20);
+
+  // Stronger L2 sensitivity than the default: BT's sweeps are memory bound.
+  CacheModelParams cache;
+  // L1 is far outgrown at every class — keep its (constant) cost small so
+  // the class-to-class signal is the L2 transition.
+  cache.l1_peak = 0.012;
+  cache.l1_penalty = 4.0;
+  // A sharp capacity cliff (narrow logistic) reproduces the paper's
+  // "sharp loss, then stable" profiles: one 4x class step carries a region
+  // from well inside L2 to deep saturation.
+  cache.l2_base = 0.0004;
+  cache.l2_peak = 0.0045;
+  cache.l2_width = 0.45;
+  cache.l2_penalty = 160.0;
+  app.cache_model() = CacheModel(cache);
+
+  // Instructions grow ~100x over the W(1) -> A(4) -> B(16) -> C(64)
+  // problem-scale ladder: 64^1.107 ~= 100.
+  constexpr double kInstrScaleExp = 1.107;
+  // Working sets grow linearly with the problem scale and are fixed at
+  // 16 tasks; ws_task_exp keeps the usual strong-scaling shrink if the
+  // task count is varied.
+  auto sweep = [&](const char* name, std::uint32_t line, double instr,
+                   double ipc, double ws_kb) {
+    PhaseSpec p;
+    p.name = name;
+    p.location = {name, "bt.f", line};
+    p.base_instructions = instr;
+    p.base_ipc = ipc;
+    p.working_set_kb = ws_kb;
+    p.instr_scale_exp = kInstrScaleExp;
+    p.ws_scale_exp = 1.0;
+    return p;
+  };
+
+  // Regions 1, 2, 4, 5: class-W working sets just under the 1 MB L2; the
+  // 4x step to class A carries them deep past it (sharp 40-65% IPC loss),
+  // classes B and C sit on the saturated plateau.
+  app.add_phase(sweep("x_solve", 2712, 9.0e6, 1.55, 500.0));
+  {
+    // Region 2 keeps the class-W IPC variability the paper notes.
+    PhaseSpec p = sweep("y_solve", 3104, 7.5e6, 1.35, 470.0);
+    p.noise_ipc = 0.05;
+    app.add_phase(p);
+  }
+  app.add_phase(sweep("z_solve", 3496, 6.2e6, 1.18, 440.0));
+  app.add_phase(sweep("compute_rhs", 1874, 4.6e6, 1.72, 520.0));
+
+  // Regions 3, 6: working sets two octaves lower — they cross the L2
+  // capacity between classes A and B and only stabilise at B.
+  app.add_phase(sweep("add", 4121, 3.2e6, 1.90, 130.0));
+  app.add_phase(sweep("exact_rhs", 912, 2.2e6, 1.48, 100.0));
+
+  return app;
+}
+
+// FT: a long, structurally stable scenario sweep (15 frames in Table 2)
+// with two dominant regions — the 3-D FFT and the time-evolution update.
+AppModel make_nas_ft() {
+  AppModel app("NAS-FT", /*ref_tasks=*/16.0, /*default_iterations=*/18);
+
+  {
+    PhaseSpec p;
+    p.name = "fft3d";
+    p.location = {"fft3d", "ft.f", 1045};
+    p.base_instructions = 12e6;
+    p.base_ipc = 1.30;
+    p.working_set_kb = 384.0;
+    p.instr_scale_exp = 1.15;  // n log n growth over the sweep
+    p.ws_scale_exp = 1.0;
+    app.add_phase(p);
+  }
+  {
+    PhaseSpec p;
+    p.name = "evolve";
+    p.location = {"evolve", "ft.f", 633};
+    p.base_instructions = 4e6;
+    p.base_ipc = 0.95;
+    p.working_set_kb = 128.0;
+    p.instr_scale_exp = 1.0;
+    p.ws_scale_exp = 1.0;
+    app.add_phase(p);
+  }
+
+  return app;
+}
+
+}  // namespace perftrack::sim

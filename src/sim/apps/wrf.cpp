@@ -1,0 +1,191 @@
+#include "sim/apps/apps.hpp"
+
+namespace perftrack::sim {
+
+// WRF (Weather Research & Forecasting model), §2-3 of the paper.
+//
+// Twelve behavioural regions at the 128-task reference. The paper's Table 1
+// shows several regions sharing call-stack references into
+// module_comm_dm.f90 — modelled here as distinct phases (separable by the
+// execution-sequence evaluator) that reuse a source line. Doubling the task
+// count:
+//   * halves per-task instructions everywhere except solve_em, whose ~5%
+//     replicated halo work makes total instructions grow (Fig. 7b);
+//   * splits advect_scalar into two imbalance zones (Fig. 3: region 4 maps
+//     34%/65% onto regions 4 and 11);
+//   * costs the two low-IPC filter regions ~20% of their IPC while three
+//     regions gain ~5% (Fig. 7a).
+AppModel make_wrf() {
+  AppModel app("WRF", /*ref_tasks=*/128.0, /*default_iterations=*/12);
+
+  // WRF's per-region IPC responses are modelled directly (ipc_task_exp);
+  // keep the cache model nearly neutral so halving the per-task working
+  // set at 256 tasks does not add its own IPC trend on top.
+  CacheModelParams cache;
+  cache.l1_base = 0.002;
+  cache.l1_peak = 0.002;
+  cache.l1_penalty = 2.0;
+  cache.l2_base = 0.0002;
+  cache.l2_peak = 0.0004;
+  cache.l2_penalty = 30.0;
+  cache.tlb_base = 0.00005;
+  cache.tlb_peak = 0.0001;
+  cache.tlb_penalty = 10.0;
+  app.cache_model() = CacheModel(cache);
+
+  auto loc = [](const char* function, std::uint32_t line) {
+    return trace::SourceLocation{function, "module_comm_dm.f90", line};
+  };
+
+  {
+    PhaseSpec p;
+    p.name = "solve_em";
+    p.location = loc("solve_em", 4939);
+    p.base_instructions = 40e6;
+    p.base_ipc = 1.10;
+    p.working_set_kb = 96.0;
+    // ~5% total instruction replication per doubling: per-task instructions
+    // shrink slightly slower than 1/tasks.
+    p.instr_task_exp = -0.93;
+    app.add_phase(p);
+  }
+  {
+    // Regions 2 and 5: two invocations of the same halo-exchange line with
+    // distinct compute density (paper Table 1, line 6474).
+    PhaseSpec p;
+    p.name = "halo_em_a";
+    p.location = loc("halo_em", 6474);
+    p.base_instructions = 25e6;
+    p.base_ipc = 0.95;
+    p.working_set_kb = 64.0;
+    // Vertical stretch: instruction imbalance (paper: "region 2 denotes
+    // instructions imbalance").
+    p.imbalance_fraction = 0.25;
+    p.imbalance_amount = 0.35;
+    app.add_phase(p);
+
+    PhaseSpec q;
+    q.name = "halo_em_b";
+    q.location = loc("halo_em", 6474);
+    q.base_instructions = 15.2e6;
+    q.base_ipc = 1.22;
+    q.working_set_kb = 48.0;
+    app.add_phase(q);
+  }
+  {
+    PhaseSpec p;
+    p.name = "rk_step";
+    p.location = loc("rk_step_prep", 6060);
+    p.base_instructions = 18e6;
+    p.base_ipc = 1.32;
+    p.working_set_kb = 72.0;
+    app.add_phase(p);
+  }
+  {
+    // Region 4: splits into two imbalance zones at 256 tasks (the paper's
+    // region 4 -> {4, 11} transition, Fig. 3). The split is per-task, so
+    // both halves run simultaneously and the SPMD evaluator correctly
+    // groups them as one tracked region.
+    PhaseSpec p;
+    p.name = "advect_scalar";
+    p.location = loc("advect_scalar", 2472);
+    p.base_instructions = 11.2e6;
+    p.base_ipc = 0.85;
+    p.working_set_kb = 56.0;
+    p.ipc_task_exp = 0.070;  // ~ +5% per doubling (Fig. 7a)
+    // Wide cluster: the split-to-be region carries visible instruction
+    // variability already at 128 tasks.
+    p.noise_instr = 0.02;
+    // The split is purely instructional — "new zones of imbalance appear" —
+    // roughly preserves the total work (0.35*1.164 + 0.65*0.874 ~= 0.975), and brackets
+    // the old cluster's position so the displacement cross-classification
+    // reproduces Fig. 3's ~34%/65% row for region 4.
+    p.modes = {
+        BehaviorMode{.task_fraction = 0.35,
+                     .instr_factor = 1.1636,
+                     .min_tasks = 256},
+        BehaviorMode{.task_fraction = 0.65,
+                     .instr_factor = 0.8736,
+                     .min_tasks = 256},
+    };
+    app.add_phase(p);
+  }
+  {
+    PhaseSpec p;
+    p.name = "physics_driver";
+    p.location = loc("physics_driver", 3105);
+    p.base_instructions = 10e6;
+    p.base_ipc = 1.45;
+    p.working_set_kb = 40.0;
+    p.ipc_task_exp = 0.070;
+    app.add_phase(p);
+  }
+  {
+    // Region 7: wide horizontal cluster (IPC variation, paper Fig. 1a);
+    // shares its source line with nothing, but sits in the same file
+    // region as the low-IPC filters.
+    PhaseSpec p;
+    p.name = "microphysics";
+    p.location = loc("microphysics", 5734);
+    p.base_instructions = 7.3e6;
+    p.base_ipc = 0.62;
+    p.working_set_kb = 128.0;
+    p.ipc_task_exp = 0.070;
+    p.noise_ipc = 0.055;
+    app.add_phase(p);
+  }
+  {
+    PhaseSpec p;
+    p.name = "radiation";
+    p.location = loc("radiation_driver", 7210);
+    p.base_instructions = 6e6;
+    p.base_ipc = 1.18;
+    p.working_set_kb = 36.0;
+    app.add_phase(p);
+  }
+  {
+    PhaseSpec p;
+    p.name = "pbl_driver";
+    p.location = loc("pbl_driver", 1890);
+    p.base_instructions = 5e6;
+    p.base_ipc = 0.76;
+    p.working_set_kb = 32.0;
+    app.add_phase(p);
+  }
+  {
+    PhaseSpec p;
+    p.name = "cumulus";
+    p.location = loc("cumulus_driver", 8450);
+    p.base_instructions = 5.2e6;
+    p.base_ipc = 1.04;
+    p.working_set_kb = 28.0;
+    app.add_phase(p);
+  }
+  {
+    // Regions 11 and 12: the two small low-IPC filters that lose ~20% IPC
+    // when doubling tasks (Fig. 7a) and move far in the performance space
+    // (the "long way" case of §3.1). They share source line 6275
+    // (Table 1).
+    PhaseSpec p;
+    p.name = "small_step_filter";
+    p.location = loc("small_step_filter", 6275);
+    p.base_instructions = 1.9e6;
+    p.base_ipc = 0.50;
+    p.working_set_kb = 24.0;
+    p.ipc_task_exp = -0.322;  // ~ -20% per doubling
+    p.noise_ipc = 0.045;      // horizontal stretch (Fig. 1a)
+    app.add_phase(p);
+
+    PhaseSpec q;
+    q.name = "polar_filter";
+    q.location = loc("polar_filter", 6275);
+    q.base_instructions = 1.6e6;
+    q.base_ipc = 0.42;
+    q.working_set_kb = 20.0;
+    q.ipc_task_exp = -0.322;
+    app.add_phase(q);
+  }
+  return app;
+}
+
+}  // namespace perftrack::sim

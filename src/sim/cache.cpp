@@ -1,0 +1,58 @@
+#include "sim/cache.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace perftrack::sim {
+
+double CacheModel::capacity_rate(double ws_kb, double capacity_kb, double base,
+                                 double peak, double width) {
+  PT_REQUIRE(capacity_kb > 0.0 && width > 0.0,
+             "cache capacity and width must be positive");
+  if (ws_kb <= 0.0) return base;
+  double x = std::log2(ws_kb / capacity_kb) / width;
+  double logistic = 1.0 / (1.0 + std::exp(-x));
+  return base + peak * logistic;
+}
+
+double contention_factor(double coefficient, double exponent,
+                         const Scenario& scenario) {
+  if (coefficient <= 0.0) return 1.0;
+  double o = scenario.occupancy();
+  double o_min = 1.0 / static_cast<double>(scenario.platform.cores_per_node);
+  // Normalise so one task per node is the uncontended baseline.
+  double raw = coefficient * std::pow(o, exponent);
+  double floor = coefficient * std::pow(o_min, exponent);
+  return (1.0 + raw) / (1.0 + floor);
+}
+
+MissRates CacheModel::rates(double working_set_kb,
+                            const Scenario& scenario) const {
+  const Platform& p = scenario.platform;
+  MissRates r;
+  r.l1 = capacity_rate(working_set_kb, p.l1_kb, params_.l1_base,
+                       params_.l1_peak, params_.l1_width);
+  r.l2 = capacity_rate(working_set_kb, p.l2_kb, params_.l2_base,
+                       params_.l2_peak, params_.l2_width);
+  r.tlb = capacity_rate(working_set_kb, p.tlb_reach_kb, params_.tlb_base,
+                        params_.tlb_peak, params_.tlb_width);
+  r.l2 *= contention_factor(p.l2_contention, p.contention_exponent, scenario);
+  r.tlb *= contention_factor(p.tlb_contention, p.contention_exponent,
+                             scenario);
+  return r;
+}
+
+double CacheModel::cpi(double ipc_ideal, const MissRates& rates,
+                       const Scenario& scenario) const {
+  PT_REQUIRE(ipc_ideal > 0.0, "ideal IPC must be positive");
+  double cpi = 1.0 / ipc_ideal;
+  cpi += rates.l1 * params_.l1_penalty;
+  cpi += rates.l2 * params_.l2_penalty;
+  cpi += rates.tlb * params_.tlb_penalty;
+  cpi *= contention_factor(scenario.platform.bw_contention,
+                           scenario.platform.contention_exponent, scenario);
+  return cpi;
+}
+
+}  // namespace perftrack::sim

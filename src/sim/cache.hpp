@@ -1,0 +1,70 @@
+#pragma once
+// Analytical cache / TLB / contention model.
+//
+// The paper's case studies all trace IPC changes back to memory-hierarchy
+// effects: NAS BT loses IPC as the working set outgrows L2 (§4.2, Fig. 10b),
+// MR-Genesis as node occupancy inflates L2/TLB misses (§4.3, Fig. 11b), and
+// HydroC when the block stops fitting in the 32 KB L1 (§4.4, Fig. 12c).
+// This model produces those relationships analytically:
+//
+//   miss rate(ws) = base + peak * logistic(log2(ws / capacity) / width)
+//
+// — a smooth capacity transition centred where the working set equals the
+// cache size — and contention factors that scale miss rates and add stall
+// cycles as the node fills. CPI is then
+//
+//   cpi = 1/ipc_ideal + Σ rate_i * penalty_i, scaled by bandwidth stalls.
+
+#include "sim/platform.hpp"
+#include "sim/scenario.hpp"
+
+namespace perftrack::sim {
+
+struct MissRates {
+  double l1 = 0.0;   ///< L1D misses per instruction
+  double l2 = 0.0;   ///< L2 misses per instruction
+  double tlb = 0.0;  ///< TLB misses per instruction
+};
+
+struct CacheModelParams {
+  double l1_base = 0.004, l1_peak = 0.060, l1_width = 0.8;
+  double l2_base = 0.0004, l2_peak = 0.012, l2_width = 1.0;
+  double tlb_base = 0.0001, tlb_peak = 0.004, tlb_width = 1.0;
+
+  // Stall cycles per miss.
+  double l1_penalty = 8.0;
+  double l2_penalty = 160.0;
+  double tlb_penalty = 40.0;
+};
+
+class CacheModel {
+public:
+  CacheModel() = default;
+  explicit CacheModel(CacheModelParams params) : params_(params) {}
+
+  const CacheModelParams& params() const { return params_; }
+
+  /// Smooth capacity miss-rate transition for a working set of `ws_kb`
+  /// against a capacity of `capacity_kb`.
+  static double capacity_rate(double ws_kb, double capacity_kb, double base,
+                              double peak, double width);
+
+  /// Miss rates for a phase with the given per-task working set under the
+  /// scenario's platform and node occupancy (contention included).
+  MissRates rates(double working_set_kb, const Scenario& scenario) const;
+
+  /// Cycles per instruction given an ideal IPC and the miss rates,
+  /// including the scenario's bandwidth-contention stall factor.
+  double cpi(double ipc_ideal, const MissRates& rates,
+             const Scenario& scenario) const;
+
+private:
+  CacheModelParams params_;
+};
+
+/// Contention multiplier (1 + coefficient * occupancy^exponent), normalised
+/// so that a single task per node gives exactly 1.0.
+double contention_factor(double coefficient, double exponent,
+                         const Scenario& scenario);
+
+}  // namespace perftrack::sim

@@ -1,0 +1,11 @@
+#include "sim/compiler.hpp"
+
+namespace perftrack::sim {
+
+CompilerModel gfortran() { return {"gfortran", 1.0, 1.0}; }
+
+CompilerModel xlf() { return {"xlf", 0.64, 0.64}; }
+
+CompilerModel ifort() { return {"ifort", 0.70, 0.715}; }
+
+}  // namespace perftrack::sim

@@ -1,0 +1,31 @@
+#pragma once
+// Compiler models.
+//
+// The CGPOP study (§4.1) compares a generic compiler (GNU Fortran) against
+// the platform vendors' compilers (IBM XL, Intel) and finds the specialised
+// compilers emit ~30-36% fewer instructions at a proportionally lower IPC,
+// leaving execution time essentially unchanged. A CompilerModel captures
+// exactly those two levers.
+
+#include <string>
+
+namespace perftrack::sim {
+
+struct CompilerModel {
+  std::string name;
+  /// Multiplier on the instruction count a phase executes.
+  double instruction_factor = 1.0;
+  /// Multiplier on the ideal IPC the phase achieves.
+  double ipc_factor = 1.0;
+};
+
+/// GNU Fortran: the 1.0/1.0 reference point.
+CompilerModel gfortran();
+
+/// IBM XL Fortran on PowerPC: -36% instructions, -36% IPC (paper Table 3).
+CompilerModel xlf();
+
+/// Intel Fortran on Xeon: -30% instructions, -28% IPC (paper Table 3).
+CompilerModel ifort();
+
+}  // namespace perftrack::sim

@@ -1,0 +1,82 @@
+#include "sim/phase.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace perftrack::sim {
+
+PhaseSpec::Sample PhaseSpec::evaluate(const Scenario& scenario,
+                                      std::uint32_t task,
+                                      double ref_tasks) const {
+  PT_REQUIRE(ref_tasks > 0.0, "reference task count must be positive");
+  PT_REQUIRE(task < scenario.num_tasks, "task out of range");
+
+  const double task_ratio =
+      static_cast<double>(scenario.num_tasks) / ref_tasks;
+  const double scale = scenario.problem_scale;
+
+  Sample s;
+  s.instructions = base_instructions * std::pow(task_ratio, instr_task_exp) *
+                   std::pow(scale, instr_scale_exp) *
+                   scenario.compiler.instruction_factor *
+                   scenario.platform.instr_factor;
+  s.ipc_ideal = base_ipc * std::pow(task_ratio, ipc_task_exp) *
+                std::pow(scale, ipc_scale_exp) *
+                scenario.platform.ipc_factor * scenario.compiler.ipc_factor;
+  s.working_set_kb = working_set_kb * std::pow(task_ratio, ws_task_exp) *
+                     std::pow(scale, ws_scale_exp);
+
+  // Block-size response (HydroC-style working-set knob).
+  if (scenario.block_kb > 0.0 && block_ws_factor > 0.0) {
+    s.working_set_kb = scenario.block_kb * block_ws_factor;
+    if (instr_block_exp != 0.0)
+      s.instructions *=
+          std::pow(scenario.block_kb / block_ref_kb, instr_block_exp);
+    if (block_side_overhead > 0.0) {
+      double side = std::sqrt(scenario.block_kb * 1024.0 / 8.0);
+      s.instructions *= 1.0 + block_side_overhead / side;
+    }
+  }
+
+  // Work imbalance: a linear ramp over the first `imbalance_fraction` of
+  // the task range, from (1 + amount) at task 0 down to 1 at the boundary.
+  // The ramp keeps the cluster connected (an elongated object, not a
+  // split), matching the paper's "stretched" imbalance clusters.
+  if (imbalance_fraction > 0.0 && imbalance_amount != 0.0 &&
+      scenario.num_tasks >= imbalance_min_tasks) {
+    double pos = (static_cast<double>(task) + 0.5) /
+                 static_cast<double>(scenario.num_tasks);
+    if (pos < imbalance_fraction)
+      s.instructions *= 1.0 + imbalance_amount * (1.0 - pos / imbalance_fraction);
+  }
+
+  // Multimodal behaviour: applicable modes partition the task range by
+  // their (renormalised) fractions; the task's position picks its mode.
+  if (!modes.empty()) {
+    double total = 0.0;
+    for (const BehaviorMode& m : modes)
+      if (m.applies(scenario)) total += m.task_fraction;
+    if (total > 0.0) {
+      double pos = (static_cast<double>(task) + 0.5) /
+                   static_cast<double>(scenario.num_tasks);
+      double cursor = 0.0;
+      for (const BehaviorMode& m : modes) {
+        if (!m.applies(scenario)) continue;
+        cursor += m.task_fraction / total;
+        if (pos <= cursor || cursor >= 1.0 - 1e-12) {
+          s.instructions *= m.instr_factor;
+          s.ipc_ideal *= m.ipc_factor;
+          s.working_set_kb *= m.ws_factor;
+          break;
+        }
+      }
+    }
+  }
+
+  PT_ASSERT(s.instructions > 0.0 && s.ipc_ideal > 0.0,
+            "phase sample must be positive");
+  return s;
+}
+
+}  // namespace perftrack::sim

@@ -1,0 +1,118 @@
+#pragma once
+// Phase specifications: the behavioural building blocks of an application.
+//
+// An AppModel is a list of phases executed once per iteration by every task
+// (the SPMD structure the paper's §3.2 evaluator exploits). Each PhaseSpec
+// describes one computing region: its source location, its instruction and
+// working-set laws as functions of the scenario, its ideal IPC, optional
+// work imbalance across tasks, and optional multimodal behaviour (a single
+// code region exhibiting two or more distinct performances — the
+// bimodality that makes clusters split, §2).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/scenario.hpp"
+#include "trace/callstack.hpp"
+
+namespace perftrack::sim {
+
+/// One behavioural mode of a multimodal phase. Modes partition the tasks:
+/// mode i covers a contiguous `task_fraction` share of the task range.
+/// Modes can be conditional on the platform or on a minimum task count so a
+/// region can be unimodal in one experiment and split in the next (the
+/// WRF region-4 and CGPOP region-2 splits of the paper).
+struct BehaviorMode {
+  double task_fraction = 1.0;
+  double instr_factor = 1.0;
+  double ipc_factor = 1.0;
+  double ws_factor = 1.0;
+
+  /// Apply only on this platform ("" = any).
+  std::string platform_filter;
+  /// Apply only when the scenario runs at least this many tasks.
+  std::uint32_t min_tasks = 0;
+
+  bool applies(const Scenario& scenario) const {
+    if (!platform_filter.empty() &&
+        platform_filter != scenario.platform.name)
+      return false;
+    return scenario.num_tasks >= min_tasks;
+  }
+};
+
+struct PhaseSpec {
+  std::string name;
+  trace::SourceLocation location;
+
+  /// Instructions per task per invocation at the reference scenario
+  /// (ref_tasks tasks, problem_scale 1).
+  double base_instructions = 1e7;
+
+  /// Ideal IPC (before cache penalties and platform/compiler factors).
+  double base_ipc = 1.2;
+
+  /// Per-task working set (KB) at the reference scenario.
+  double working_set_kb = 64.0;
+
+  // Scaling laws: factor = pow(num_tasks / ref_tasks, exp) etc.
+  double instr_task_exp = -1.0;    ///< strong scaling by default
+  double instr_scale_exp = 1.0;    ///< instructions grow with problem size
+  double ws_task_exp = -1.0;
+  double ws_scale_exp = 1.0;
+  double ipc_task_exp = 0.0;       ///< direct IPC response to task count
+  double ipc_scale_exp = 0.0;      ///< direct IPC response to problem size
+
+  /// If the scenario sets block_kb, the working set becomes
+  /// block_kb * block_ws_factor instead of the scaling law (HydroC), and
+  /// instructions are additionally multiplied by
+  /// pow(block_kb / block_ref_kb, instr_block_exp).
+  double block_ws_factor = 0.0;    ///< 0 = insensitive to block size
+  double block_ref_kb = 32.0;
+  double instr_block_exp = 0.0;
+
+  /// Control-instruction overhead of small blocks: instructions are
+  /// multiplied by (1 + block_side_overhead / side) where `side` is the
+  /// element count per block side (square blocks of 8-byte elements).
+  /// Models HydroC's "more working sets to compute -> more control
+  /// instructions" (§4.4). 0 disables.
+  double block_side_overhead = 0.0;
+
+  /// Work imbalance: the first `imbalance_fraction` of the tasks execute
+  /// extra instructions on a linear ramp from (1 + imbalance_amount) at
+  /// task 0 down to 1 at the fraction boundary — an elongated (stretched)
+  /// cluster rather than a split one.
+  double imbalance_fraction = 0.0;
+  double imbalance_amount = 0.0;
+  /// Only apply the imbalance at or above this task count.
+  std::uint32_t imbalance_min_tasks = 0;
+
+  /// Multimodality; empty = unimodal. Fractions of applicable modes are
+  /// renormalised; if no mode applies the phase is unimodal.
+  std::vector<BehaviorMode> modes;
+
+  /// Multiplier on every miss rate of this phase (models access-pattern
+  /// differences between phases sharing one cache model: a strided sweep
+  /// misses more than a unit-stride one).
+  double miss_sensitivity = 1.0;
+
+  /// Lognormal noise sigmas on instructions and ideal IPC.
+  double noise_instr = 0.008;
+  double noise_ipc = 0.012;
+
+  /// Invocations per iteration.
+  int repeats = 1;
+
+  /// Evaluate the deterministic (pre-noise) per-task values under a
+  /// scenario. `task` selects imbalance membership and behaviour mode.
+  struct Sample {
+    double instructions = 0.0;
+    double ipc_ideal = 0.0;
+    double working_set_kb = 0.0;
+  };
+  Sample evaluate(const Scenario& scenario, std::uint32_t task,
+                  double ref_tasks) const;
+};
+
+}  // namespace perftrack::sim

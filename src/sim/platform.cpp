@@ -1,0 +1,54 @@
+#include "sim/platform.hpp"
+
+namespace perftrack::sim {
+
+Platform marenostrum() {
+  Platform p;
+  p.name = "MareNostrum";
+  p.cores_per_node = 4;  // 2x dual-core PowerPC 970MP
+  p.clock_ghz = 2.3;
+  p.l1_kb = 32.0;
+  p.l2_kb = 1024.0;
+  p.tlb_reach_kb = 4096.0;
+  p.ipc_factor = 1.0;
+  p.l2_contention = 1.2;
+  p.tlb_contention = 0.8;
+  p.bw_contention = 0.18;
+  p.contention_exponent = 3.0;
+  return p;
+}
+
+Platform minotauro() {
+  Platform p;
+  p.name = "MinoTauro";
+  p.cores_per_node = 12;  // 2x 6-core Xeon E5649
+  p.clock_ghz = 2.53;
+  p.l1_kb = 32.0;
+  p.l2_kb = 256.0;  // private L2 per core
+  p.tlb_reach_kb = 2048.0;
+  // Out-of-order Xeon sustains clearly higher IPC than the PPC 970MP on the
+  // paper's codes (CGPOP: 0.25 -> 0.42 for the same compiler family, both
+  // measured on fully packed nodes — the factor below is the *uncontended*
+  // ratio; bandwidth contention takes its ~17.5% back at full occupancy).
+  p.ipc_factor = 1.62;
+  p.instr_factor = 0.735;
+  p.l2_contention = 1.6;
+  p.tlb_contention = 1.1;
+  p.bw_contention = 0.136;
+  p.contention_exponent = 6.0;
+  return p;
+}
+
+Platform reference_platform() {
+  Platform p;
+  p.name = "Reference";
+  p.cores_per_node = 16;
+  p.clock_ghz = 1.0;
+  p.l1_kb = 32.0;
+  p.l2_kb = 512.0;
+  p.tlb_reach_kb = 4096.0;
+  p.ipc_factor = 1.0;
+  return p;
+}
+
+}  // namespace perftrack::sim

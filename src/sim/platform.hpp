@@ -1,0 +1,56 @@
+#pragma once
+// Hardware platform models.
+//
+// Stand-ins for the machines of the paper's evaluation (§4): MareNostrum
+// (IBM JS21 nodes, 2x dual-core PowerPC 970MP @ 2.3 GHz) and MinoTauro
+// (2x Intel Xeon E5649 6-core @ 2.53 GHz). A Platform carries the knobs the
+// analytical performance model needs: clock, core count per node, cache and
+// TLB capacities, an architecture IPC factor, and the contention
+// coefficients that govern how sharing a node degrades cache/bandwidth
+// behaviour (exercised by the MR-Genesis study, §4.3).
+
+#include <string>
+
+namespace perftrack::sim {
+
+struct Platform {
+  std::string name;
+  int cores_per_node = 4;
+  double clock_ghz = 2.3;
+
+  // Per-core cache capacities (KB) and TLB reach (KB of address space the
+  // TLB covers without missing).
+  double l1_kb = 32.0;
+  double l2_kb = 1024.0;
+  double tlb_reach_kb = 2048.0;
+
+  /// Architecture quality multiplier applied to every phase's ideal IPC.
+  double ipc_factor = 1.0;
+
+  /// ISA multiplier on the instruction count a phase executes (a RISC
+  /// PowerPC executes more instructions than an x86 Xeon for the same
+  /// source; CGPOP's 6.8M vs 5M in paper Table 3).
+  double instr_factor = 1.0;
+
+  // Node-sharing contention model: colocating `t` tasks on a node with `c`
+  // cores (occupancy o = t/c) multiplies the L2 miss rate by
+  // (1 + l2_contention * o^contention_exponent), the TLB miss rate by
+  // (1 + tlb_contention * o^contention_exponent) and adds memory-bandwidth
+  // stall cycles as a (1 + bw_contention * o^contention_exponent) factor on
+  // CPI. A single occupied core (o = 1/c) is the uncontended baseline.
+  double l2_contention = 0.0;
+  double tlb_contention = 0.0;
+  double bw_contention = 0.0;
+  double contention_exponent = 3.0;
+};
+
+/// MareNostrum-like PowerPC platform (paper [1]).
+Platform marenostrum();
+
+/// MinoTauro-like Xeon platform (paper [2]).
+Platform minotauro();
+
+/// A featureless 1.0-factor platform for unit tests.
+Platform reference_platform();
+
+}  // namespace perftrack::sim

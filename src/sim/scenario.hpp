@@ -1,0 +1,68 @@
+#pragma once
+// Execution scenarios.
+//
+// A Scenario is the "execution conditions" axis of the paper: everything
+// that distinguishes one experiment from another — process count, physical
+// mapping (tasks per node), problem size, application-specific working-set
+// knobs, platform, compiler, and the random seed that individualises the
+// run's noise.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/compiler.hpp"
+#include "sim/platform.hpp"
+
+namespace perftrack::sim {
+
+struct Scenario {
+  /// Experiment label used in frames and reports ("WRF-128", "BT class A").
+  std::string label;
+
+  std::uint32_t num_tasks = 16;
+
+  /// Tasks placed per node; 0 means "fill nodes" (= cores_per_node).
+  std::uint32_t tasks_per_node = 0;
+
+  /// Problem-size factor relative to the application's reference problem.
+  double problem_scale = 1.0;
+
+  /// Application-specific working-set knob (HydroC block size in KB);
+  /// 0 = application default.
+  double block_kb = 0.0;
+
+  Platform platform = reference_platform();
+  CompilerModel compiler = gfortran();
+
+  std::uint64_t seed = 42;
+
+  /// Multiplier on every phase's noise sigmas — the measurement-noise
+  /// robustness knob (1.0 = the application model's own variability).
+  double noise_scale = 1.0;
+
+  /// Override the application's default iteration count; 0 keeps it.
+  int iterations = 0;
+
+  /// Extra attributes copied verbatim into the trace.
+  std::map<std::string, std::string> extra;
+
+  /// Effective tasks per node, clamped to [1, num_tasks].
+  std::uint32_t effective_tasks_per_node() const {
+    std::uint32_t tpn = tasks_per_node != 0
+                            ? tasks_per_node
+                            : static_cast<std::uint32_t>(
+                                  platform.cores_per_node);
+    if (tpn > num_tasks) tpn = num_tasks;
+    return tpn == 0 ? 1 : tpn;
+  }
+
+  /// Node occupancy fraction in (0, 1]: tasks per node / cores per node.
+  double occupancy() const {
+    double o = static_cast<double>(effective_tasks_per_node()) /
+               static_cast<double>(platform.cores_per_node);
+    return o > 1.0 ? 1.0 : o;
+  }
+};
+
+}  // namespace perftrack::sim

@@ -1,0 +1,261 @@
+#include "sim/studies.hpp"
+
+#include <cmath>
+
+#include "common/strings.hpp"
+#include "sim/apps/apps.hpp"
+
+namespace perftrack::sim {
+
+std::vector<cluster::Frame> Study::frames() const {
+  std::vector<cluster::Frame> out;
+  out.reserve(traces.size());
+  for (const auto& t : traces) out.push_back(build_frame(t, clustering));
+  return out;
+}
+
+cluster::ClusteringParams default_clustering() {
+  cluster::ClusteringParams params;
+  params.projection.metrics = {trace::Metric::Instructions,
+                               trace::Metric::Ipc};
+  params.log_scale = {true, false};
+  params.dbscan.eps = 0.025;
+  params.dbscan.min_pts = 5;
+  params.min_cluster_time_fraction = 0.005;
+  params.collapse_sequence_runs = true;
+  return params;
+}
+
+Study study_wrf(const StudyOptions& options) {
+  Study study;
+  study.name = "WRF";
+  study.clustering = default_clustering();
+  AppModel app = make_wrf();
+  for (std::uint32_t tasks : {128u, 256u}) {
+    Scenario s;
+    s.label = "WRF-" + std::to_string(tasks);
+    s.num_tasks = tasks;
+    s.platform = marenostrum();
+    s.seed = 1000 + tasks;
+    s.seed += options.seed_offset;
+    s.noise_scale = options.noise_scale;
+    study.traces.push_back(app.simulate_shared(s));
+  }
+  return study;
+}
+
+Study study_cgpop(const StudyOptions& options) {
+  Study study;
+  study.name = "CGPOP";
+  study.clustering = default_clustering();
+  AppModel app = make_cgpop();
+
+  struct Config {
+    Platform platform;
+    CompilerModel compiler;
+  };
+  const Config configs[] = {
+      {marenostrum(), gfortran()},
+      {marenostrum(), xlf()},
+      {minotauro(), gfortran()},
+      {minotauro(), ifort()},
+  };
+  std::uint64_t seed = 2000;
+  for (const Config& c : configs) {
+    Scenario s;
+    s.label = "CGPOP " + c.platform.name + "/" + c.compiler.name;
+    s.num_tasks = 128;
+    s.platform = c.platform;
+    s.compiler = c.compiler;
+    s.seed = ++seed;
+    s.seed += options.seed_offset;
+    s.noise_scale = options.noise_scale;
+    study.traces.push_back(app.simulate_shared(s));
+  }
+  return study;
+}
+
+Study study_nas_bt(const StudyOptions& options) {
+  Study study;
+  study.name = "NAS BT";
+  study.clustering = default_clustering();
+  AppModel app = make_nas_bt();
+
+  struct ClassSpec {
+    const char* name;
+    double scale;
+  };
+  // W is the workstation size; A, B, C are 4x apart (§4.2).
+  const ClassSpec classes[] = {{"W", 1.0}, {"A", 4.0}, {"B", 16.0},
+                               {"C", 64.0}};
+  std::uint64_t seed = 3000;
+  for (const ClassSpec& c : classes) {
+    Scenario s;
+    s.label = std::string("BT class ") + c.name;
+    s.num_tasks = 16;
+    s.problem_scale = c.scale;
+    s.platform = marenostrum();
+    s.extra["class"] = c.name;
+    s.seed = ++seed;
+    s.seed += options.seed_offset;
+    s.noise_scale = options.noise_scale;
+    study.traces.push_back(app.simulate_shared(s));
+  }
+  return study;
+}
+
+Study study_nas_ft(const StudyOptions& options) {
+  Study study;
+  study.name = "NAS FT";
+  study.clustering = default_clustering();
+  AppModel app = make_nas_ft();
+  for (int i = 0; i < 15; ++i) {
+    Scenario s;
+    s.label = "FT step " + std::to_string(i + 1);
+    s.num_tasks = 16;
+    s.problem_scale = std::pow(1.25, i);
+    s.platform = minotauro();
+    s.seed = 4000 + static_cast<std::uint64_t>(i);
+    s.seed += options.seed_offset;
+    s.noise_scale = options.noise_scale;
+    study.traces.push_back(app.simulate_shared(s));
+  }
+  return study;
+}
+
+Study study_mrgenesis(const StudyOptions& options) {
+  Study study;
+  study.name = "MR-Genesis";
+  study.clustering = default_clustering();
+  // Only two well-separated objects per frame, but the frame-local IPC
+  // range is narrow, which magnifies per-burst noise after normalisation;
+  // a wider eps keeps each region connected.
+  study.clustering.dbscan.eps = 0.08;
+  AppModel app = make_mrgenesis();
+  for (std::uint32_t per_node = 1; per_node <= 12; ++per_node) {
+    Scenario s;
+    s.label = "MRG " + std::to_string(per_node) + "/node";
+    s.num_tasks = 12;
+    s.tasks_per_node = per_node;
+    s.platform = minotauro();
+    s.seed = 5000 + per_node;
+    s.seed += options.seed_offset;
+    s.noise_scale = options.noise_scale;
+    study.traces.push_back(app.simulate_shared(s));
+  }
+  return study;
+}
+
+Study study_hydroc(int frames, const StudyOptions& options) {
+  Study study;
+  study.name = "HydroC";
+  study.clustering = default_clustering();
+  AppModel app = make_hydroc();
+  double side = 4.0;  // elements per block side, doubling per frame
+  for (int i = 0; i < frames; ++i) {
+    Scenario s;
+    s.label = "HydroC block " + format_double(side, 0);
+    s.num_tasks = 16;
+    s.block_kb = side * side * 8.0 / 1024.0;
+    s.platform = minotauro();
+    s.extra["block_side"] = format_double(side, 0);
+    s.seed = 6000 + static_cast<std::uint64_t>(i);
+    s.seed += options.seed_offset;
+    s.noise_scale = options.noise_scale;
+    study.traces.push_back(app.simulate_shared(s));
+    side *= 2.0;
+  }
+  return study;
+}
+
+Study study_gromacs_scaling(const StudyOptions& options) {
+  Study study;
+  study.name = "Gromacs";
+  study.clustering = default_clustering();
+  AppModel app = make_gromacs(false);
+  for (std::uint32_t tasks : {32u, 64u, 128u}) {
+    Scenario s;
+    s.label = "Gromacs-" + std::to_string(tasks);
+    s.num_tasks = tasks;
+    s.platform = minotauro();
+    s.seed = 7000 + tasks;
+    s.seed += options.seed_offset;
+    s.noise_scale = options.noise_scale;
+    study.traces.push_back(app.simulate_shared(s));
+  }
+  return study;
+}
+
+Study study_gromacs_evolution(const StudyOptions& options) {
+  Study study;
+  study.name = "Gromacs (evolution)";
+  study.clustering = default_clustering();
+  AppModel app = make_gromacs(true);
+  for (int i = 0; i < 20; ++i) {
+    Scenario s;
+    s.label = "Gromacs t" + std::to_string(i);
+    s.num_tasks = 64;
+    // The frames are consecutive time intervals of one run; the drifting
+    // problem_scale stands for the slow mixing of the particle system.
+    s.problem_scale = 1.0 + 0.03 * i;
+    s.platform = minotauro();
+    s.seed = 8000 + static_cast<std::uint64_t>(i);
+    s.seed += options.seed_offset;
+    s.noise_scale = options.noise_scale;
+    study.traces.push_back(app.simulate_shared(s));
+  }
+  return study;
+}
+
+Study study_gadget(const StudyOptions& options) {
+  Study study;
+  study.name = "Gadget";
+  study.clustering = default_clustering();
+  AppModel app = make_gadget();
+  for (std::uint32_t tasks : {64u, 128u}) {
+    Scenario s;
+    s.label = "Gadget-" + std::to_string(tasks);
+    s.num_tasks = tasks;
+    s.platform = marenostrum();
+    s.seed = 9000 + tasks;
+    s.seed += options.seed_offset;
+    s.noise_scale = options.noise_scale;
+    study.traces.push_back(app.simulate_shared(s));
+  }
+  return study;
+}
+
+Study study_espresso(const StudyOptions& options) {
+  Study study;
+  study.name = "QuantumESPRESSO";
+  study.clustering = default_clustering();
+  AppModel app = make_espresso();
+  for (std::uint32_t tasks : {64u, 128u}) {
+    Scenario s;
+    s.label = "QE-" + std::to_string(tasks);
+    s.num_tasks = tasks;
+    s.platform = marenostrum();
+    s.seed = 9500 + tasks;
+    s.seed += options.seed_offset;
+    s.noise_scale = options.noise_scale;
+    study.traces.push_back(app.simulate_shared(s));
+  }
+  return study;
+}
+
+std::vector<Study> all_studies(const StudyOptions& options) {
+  std::vector<Study> out;
+  out.push_back(study_gadget(options));
+  out.push_back(study_espresso(options));
+  out.push_back(study_wrf(options));
+  out.push_back(study_gromacs_scaling(options));
+  out.push_back(study_cgpop(options));
+  out.push_back(study_nas_bt(options));
+  out.push_back(study_hydroc(12, options));
+  out.push_back(study_mrgenesis(options));
+  out.push_back(study_nas_ft(options));
+  out.push_back(study_gromacs_evolution(options));
+  return out;
+}
+
+}  // namespace perftrack::sim

@@ -1,0 +1,53 @@
+#pragma once
+// The paper's experiment sweeps (§4, Table 2).
+//
+// A Study bundles the sequence of simulated experiments ("input images")
+// of one case study with the clustering configuration used to turn each
+// trace into a frame. all_studies() returns the ten studies of Table 2 in
+// the paper's order.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/frame.hpp"
+#include "sim/app.hpp"
+
+namespace perftrack::sim {
+
+struct Study {
+  std::string name;
+  std::vector<std::shared_ptr<const trace::Trace>> traces;
+  cluster::ClusteringParams clustering;
+
+  /// Cluster every trace into its frame, in sequence order.
+  std::vector<cluster::Frame> frames() const;
+};
+
+/// Shared default clustering configuration: Instructions x IPC space,
+/// log-scaled instruction axis, DBSCAN in the normalised space.
+cluster::ClusteringParams default_clustering();
+
+/// Robustness knobs shared by every study: shift all scenario seeds (a
+/// different synthetic "measurement run") and scale the per-burst noise.
+struct StudyOptions {
+  std::uint64_t seed_offset = 0;
+  double noise_scale = 1.0;
+};
+
+Study study_wrf(const StudyOptions& options = {});                ///< §2-3: 128 vs 256 tasks on MareNostrum
+Study study_cgpop(const StudyOptions& options = {});              ///< §4.1: {MareNostrum, MinoTauro} x {generic, vendor compiler}
+Study study_nas_bt(const StudyOptions& options = {});             ///< §4.2: classes W, A, B, C at 16 tasks
+Study study_nas_ft(const StudyOptions& options = {});             ///< Table 2: 15-step problem-size sweep
+Study study_mrgenesis(const StudyOptions& options = {});          ///< §4.3: 12 tasks, 1..12 tasks per node
+Study study_hydroc(int frames = 9, const StudyOptions& options = {});  ///< §4.4: block sizes doubling from 4
+Study study_gromacs_scaling(const StudyOptions& options = {});    ///< Table 2: 3-frame strong scaling
+Study study_gromacs_evolution(const StudyOptions& options = {});  ///< Table 2: 20-frame time evolution
+Study study_gadget(const StudyOptions& options = {});             ///< Table 2: 2 frames
+Study study_espresso(const StudyOptions& options = {});           ///< Table 2: 2 frames
+
+/// The ten studies of Table 2, in row order. `hydroc_frames` matches the
+/// table's 12 input images by default.
+std::vector<Study> all_studies(const StudyOptions& options = {});
+
+}  // namespace perftrack::sim

@@ -1,0 +1,44 @@
+#include "trace/callstack.hpp"
+
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace perftrack::trace {
+
+std::size_t CallstackTable::KeyHash::operator()(const Key& k) const {
+  std::size_t h = std::hash<std::string>{}(k.function);
+  h ^= std::hash<std::string>{}(k.file) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+       (h >> 2);
+  h ^= std::hash<std::uint32_t>{}(k.line) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+       (h >> 2);
+  return h;
+}
+
+CallstackTable::CallstackTable() {
+  // Slot 0: the unknown location.
+  locations_.push_back(SourceLocation{"<unknown>", "<unknown>", 0});
+}
+
+CallstackId CallstackTable::intern(const SourceLocation& loc) {
+  Key key{loc.function, loc.file, loc.line};
+  auto it = by_location_.find(key);
+  if (it != by_location_.end()) return it->second;
+  auto id = static_cast<CallstackId>(locations_.size());
+  locations_.push_back(loc);
+  by_location_.emplace(std::move(key), id);
+  return id;
+}
+
+const SourceLocation& CallstackTable::resolve(CallstackId id) const {
+  PT_REQUIRE(id < locations_.size(), "callstack id out of range");
+  return locations_[id];
+}
+
+std::string CallstackTable::describe(CallstackId id) const {
+  const SourceLocation& loc = resolve(id);
+  if (id == kUnknownCallstack) return "<unknown>";
+  return loc.function + " (" + loc.file + ":" + std::to_string(loc.line) + ")";
+}
+
+}  // namespace perftrack::trace

@@ -1,0 +1,60 @@
+#pragma once
+// Call-stack references.
+//
+// Each CPU burst carries a reference to the source location where the
+// computation begins (function, file, line) — the information Extrae obtains
+// by unwinding at the MPI entry. References are interned into a per-trace
+// CallstackTable so bursts store a compact integer id and identical
+// locations compare by id.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace perftrack::trace {
+
+/// Interned identifier of a source location. 0 is always "unknown".
+using CallstackId = std::uint32_t;
+
+inline constexpr CallstackId kUnknownCallstack = 0;
+
+struct SourceLocation {
+  std::string function;
+  std::string file;
+  std::uint32_t line = 0;
+
+  bool operator==(const SourceLocation&) const = default;
+};
+
+/// Bidirectional map between SourceLocation values and CallstackIds.
+/// Id 0 is reserved for the unknown location.
+class CallstackTable {
+public:
+  CallstackTable();
+
+  /// Intern a location; returns an existing id if already present.
+  CallstackId intern(const SourceLocation& loc);
+
+  const SourceLocation& resolve(CallstackId id) const;
+
+  std::size_t size() const { return locations_.size(); }
+
+  /// "function (file:line)" or "<unknown>".
+  std::string describe(CallstackId id) const;
+
+private:
+  struct Key {
+    std::string function, file;
+    std::uint32_t line;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  std::vector<SourceLocation> locations_;
+  std::unordered_map<Key, CallstackId, KeyHash> by_location_;
+};
+
+}  // namespace perftrack::trace

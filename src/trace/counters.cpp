@@ -1,0 +1,26 @@
+#include "trace/counters.hpp"
+
+#include "common/error.hpp"
+
+namespace perftrack::trace {
+
+std::string_view counter_name(Counter c) {
+  switch (c) {
+    case Counter::Instructions: return "INSTR";
+    case Counter::Cycles: return "CYC";
+    case Counter::L1DMisses: return "L1DM";
+    case Counter::L2Misses: return "L2M";
+    case Counter::TlbMisses: return "TLBM";
+  }
+  throw PreconditionError("invalid counter enum value");
+}
+
+Counter counter_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    auto c = static_cast<Counter>(i);
+    if (counter_name(c) == name) return c;
+  }
+  throw ParseError("unknown counter name: " + std::string(name));
+}
+
+}  // namespace perftrack::trace

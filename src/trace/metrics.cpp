@@ -1,0 +1,74 @@
+#include "trace/metrics.hpp"
+
+#include "common/error.hpp"
+
+namespace perftrack::trace {
+
+std::string_view metric_name(Metric m) {
+  switch (m) {
+    case Metric::Duration: return "Duration";
+    case Metric::Instructions: return "Instructions";
+    case Metric::Ipc: return "IPC";
+    case Metric::Cycles: return "Cycles";
+    case Metric::L1MissesPerKi: return "L1_misses_per_ki";
+    case Metric::L2MissesPerKi: return "L2_misses_per_ki";
+    case Metric::TlbMissesPerKi: return "TLB_misses_per_ki";
+  }
+  throw PreconditionError("invalid metric enum value");
+}
+
+Metric metric_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    auto m = static_cast<Metric>(i);
+    if (metric_name(m) == name) return m;
+  }
+  throw ParseError("unknown metric name: " + std::string(name));
+}
+
+bool metric_scales_with_tasks(Metric m) {
+  switch (m) {
+    case Metric::Duration:
+    case Metric::Instructions:
+    case Metric::Cycles:
+      return true;
+    case Metric::Ipc:
+    case Metric::L1MissesPerKi:
+    case Metric::L2MissesPerKi:
+    case Metric::TlbMissesPerKi:
+      return false;
+  }
+  throw PreconditionError("invalid metric enum value");
+}
+
+double evaluate_metric(const Burst& burst, Metric m) {
+  const CounterSet& c = burst.counters;
+  double instr = c.get(Counter::Instructions);
+  switch (m) {
+    case Metric::Duration:
+      return burst.duration;
+    case Metric::Instructions:
+      return instr;
+    case Metric::Ipc: {
+      double cyc = c.get(Counter::Cycles);
+      return cyc > 0.0 ? instr / cyc : 0.0;
+    }
+    case Metric::Cycles:
+      return c.get(Counter::Cycles);
+    case Metric::L1MissesPerKi:
+      return instr > 0.0 ? c.get(Counter::L1DMisses) / instr * 1000.0 : 0.0;
+    case Metric::L2MissesPerKi:
+      return instr > 0.0 ? c.get(Counter::L2Misses) / instr * 1000.0 : 0.0;
+    case Metric::TlbMissesPerKi:
+      return instr > 0.0 ? c.get(Counter::TlbMisses) / instr * 1000.0 : 0.0;
+  }
+  throw PreconditionError("invalid metric enum value");
+}
+
+std::vector<double> evaluate_metric(const Trace& trace, Metric m) {
+  std::vector<double> out;
+  out.reserve(trace.burst_count());
+  for (const Burst& b : trace.bursts()) out.push_back(evaluate_metric(b, m));
+  return out;
+}
+
+}  // namespace perftrack::trace

@@ -1,0 +1,52 @@
+#pragma once
+// Performance metrics derived from bursts.
+//
+// The clustering/tracking pipeline works in an arbitrary metric space; a
+// Metric names one axis of that space and knows how to evaluate itself on a
+// Burst. Metrics also carry the metadata the paper's scale-normalisation
+// step needs: whether the metric scales with the number of processes
+// (totals such as Instructions shrink per-task as tasks grow and are
+// re-weighted by the task count before frames are compared) or not (rates
+// such as IPC, which are min-max adjusted over all experiments instead).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace perftrack::trace {
+
+enum class Metric : std::uint8_t {
+  Duration = 0,      ///< burst duration, seconds
+  Instructions,      ///< raw instruction count
+  Ipc,               ///< instructions / cycles
+  Cycles,            ///< raw cycle count
+  L1MissesPerKi,     ///< L1D misses per 1000 instructions
+  L2MissesPerKi,     ///< L2 misses per 1000 instructions
+  TlbMissesPerKi,    ///< TLB misses per 1000 instructions
+};
+
+inline constexpr std::size_t kMetricCount = 7;
+
+/// Human-readable metric name ("IPC", "Instructions", ...).
+std::string_view metric_name(Metric m);
+
+/// Parse a name produced by metric_name; throws ParseError on unknown.
+Metric metric_from_name(std::string_view name);
+
+/// True for per-process totals that scale with the process count
+/// (instructions, cycles, duration, misses); false for rates (IPC, per-Ki
+/// ratios). The tracking scale-normalisation weights the former by the
+/// number of tasks so experiments with different core counts are comparable.
+bool metric_scales_with_tasks(Metric m);
+
+/// Evaluate a metric on one burst. Rates guard against division by zero
+/// (a zero-cycle burst reports IPC 0).
+double evaluate_metric(const Burst& burst, Metric m);
+
+/// Evaluate a metric on every burst of a trace, in bursts() order.
+std::vector<double> evaluate_metric(const Trace& trace, Metric m);
+
+}  // namespace perftrack::trace

@@ -1,0 +1,43 @@
+#include "trace/slice.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace perftrack::trace {
+
+std::vector<std::shared_ptr<const Trace>> split_into_intervals(
+    const Trace& trace, std::size_t intervals) {
+  PT_REQUIRE(intervals >= 1, "need at least one interval");
+
+  const double end = trace.end_time();
+  const double width = end > 0.0 ? end / static_cast<double>(intervals) : 1.0;
+
+  std::vector<std::shared_ptr<Trace>> slices;
+  slices.reserve(intervals);
+  for (std::size_t i = 0; i < intervals; ++i) {
+    auto slice = std::make_shared<Trace>(trace.application(),
+                                         trace.num_tasks());
+    slice->set_label(trace.label() + " [" + std::to_string(i + 1) + "/" +
+                     std::to_string(intervals) + "]");
+    for (const auto& [key, value] : trace.attributes())
+      slice->set_attribute(key, value);
+    slice->set_attribute("interval", std::to_string(i + 1));
+    slices.push_back(std::move(slice));
+  }
+
+  for (const Burst& burst : trace.bursts()) {
+    double midpoint = burst.begin_time + burst.duration / 2.0;
+    auto index = static_cast<std::size_t>(midpoint / width);
+    index = std::min(index, intervals - 1);
+    Burst copy = burst;
+    copy.callstack = slices[index]->callstacks().intern(
+        trace.callstacks().resolve(burst.callstack));
+    slices[index]->add_burst(copy);
+  }
+
+  std::vector<std::shared_ptr<const Trace>> out(slices.begin(), slices.end());
+  return out;
+}
+
+}  // namespace perftrack::trace

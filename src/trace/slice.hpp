@@ -1,0 +1,25 @@
+#pragma once
+// Slicing one experiment into time intervals.
+//
+// The paper's technique applies equally to "different time intervals within
+// the same experiment" (§1, §6): each interval becomes one frame of the
+// sequence, and tracking shows how the application's behaviour evolves over
+// the run. split_into_intervals cuts a trace into N equal wall-clock
+// windows; a burst belongs to the window containing its midpoint, so every
+// burst lands in exactly one interval.
+
+#include <memory>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace perftrack::trace {
+
+/// Cut `trace` into `intervals` equal wall-clock windows. Burst begin times
+/// are kept absolute (per-task ordering within each slice is preserved).
+/// Labels become "<label> [i/N]". Slices may be empty of bursts if the
+/// application was idle in a window; they still carry all metadata.
+std::vector<std::shared_ptr<const Trace>> split_into_intervals(
+    const Trace& trace, std::size_t intervals);
+
+}  // namespace perftrack::trace

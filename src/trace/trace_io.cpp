@@ -1,0 +1,201 @@
+#include "trace/trace_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace perftrack::trace {
+
+namespace {
+
+constexpr std::string_view kMagic = "#PTT 1";
+
+double parse_double(std::string_view text, int line_no) {
+  // std::from_chars for double is available in GCC 11+.
+  double value = 0.0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                   value);
+  if (ec != std::errc{} || ptr != text.data() + text.size())
+    throw ParseError("line " + std::to_string(line_no) +
+                     ": bad number: " + std::string(text));
+  return value;
+}
+
+std::uint64_t parse_uint(std::string_view text, int line_no) {
+  std::uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                   value);
+  if (ec != std::errc{} || ptr != text.data() + text.size())
+    throw ParseError("line " + std::to_string(line_no) +
+                     ": bad unsigned integer: " + std::string(text));
+  return value;
+}
+
+/// Split `text` into at most `max_fields` whitespace-separated fields; the
+/// last field absorbs the remainder (so function names may contain spaces).
+std::vector<std::string_view> fields_of(std::string_view text,
+                                        std::size_t max_fields) {
+  std::vector<std::string_view> out;
+  std::size_t pos = 0;
+  while (pos < text.size() && out.size() + 1 < max_fields) {
+    while (pos < text.size() && text[pos] == ' ') ++pos;
+    if (pos >= text.size()) break;
+    std::size_t end = text.find(' ', pos);
+    if (end == std::string_view::npos) end = text.size();
+    out.push_back(text.substr(pos, end - pos));
+    pos = end;
+  }
+  while (pos < text.size() && text[pos] == ' ') ++pos;
+  if (pos < text.size()) out.push_back(trim(text.substr(pos)));
+  return out;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const Trace& trace) {
+  out << kMagic << '\n';
+  out << "app " << trace.application() << '\n';
+  out << "label " << trace.label() << '\n';
+  out << "tasks " << trace.num_tasks() << '\n';
+  for (const auto& [key, value] : trace.attributes())
+    out << "attr " << key << ' ' << value << '\n';
+
+  const CallstackTable& cs = trace.callstacks();
+  for (CallstackId id = 1; id < cs.size(); ++id) {
+    const SourceLocation& loc = cs.resolve(id);
+    out << "callstack " << id << ' ' << loc.line << ' ' << loc.file << ' '
+        << loc.function << '\n';
+  }
+
+  out.precision(17);
+  for (const Burst& b : trace.bursts()) {
+    out << "burst " << b.task << ' ' << b.begin_time << ' ' << b.duration
+        << ' ' << b.callstack;
+    for (std::size_t i = 0; i < kCounterCount; ++i)
+      out << ' ' << b.counters.get(static_cast<Counter>(i));
+    out << '\n';
+  }
+  if (!out) throw IoError("trace write failed");
+}
+
+void save_trace(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  write_trace(out, trace);
+}
+
+Trace read_trace(std::istream& in) {
+  std::string line;
+  int line_no = 0;
+
+  if (!std::getline(in, line) || trim(line) != kMagic)
+    throw ParseError("missing #PTT 1 magic header");
+  ++line_no;
+
+  std::optional<std::string> app;
+  std::optional<std::string> label;
+  std::optional<std::uint32_t> tasks;
+  std::map<std::string, std::string> attrs;
+  // Callstack ids in the file are remapped through interning on load.
+  std::map<std::uint64_t, SourceLocation> file_callstacks;
+
+  struct RawBurst {
+    std::uint32_t task;
+    double begin, duration;
+    std::uint64_t callstack;
+    std::array<double, kCounterCount> counters;
+  };
+  std::vector<RawBurst> raw_bursts;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view text = trim(line);
+    if (text.empty() || text.front() == '#') continue;
+
+    if (starts_with(text, "app ")) {
+      app = std::string(trim(text.substr(4)));
+    } else if (starts_with(text, "label ")) {
+      label = std::string(trim(text.substr(6)));
+    } else if (starts_with(text, "tasks ")) {
+      tasks = static_cast<std::uint32_t>(parse_uint(trim(text.substr(6)),
+                                                    line_no));
+    } else if (starts_with(text, "attr ")) {
+      auto f = fields_of(text.substr(5), 2);
+      if (f.size() != 2)
+        throw ParseError("line " + std::to_string(line_no) + ": bad attr");
+      attrs[std::string(f[0])] = std::string(f[1]);
+    } else if (starts_with(text, "callstack ")) {
+      auto f = fields_of(text.substr(10), 4);
+      if (f.size() != 4)
+        throw ParseError("line " + std::to_string(line_no) +
+                         ": bad callstack record");
+      SourceLocation loc;
+      std::uint64_t id = parse_uint(f[0], line_no);
+      loc.line = static_cast<std::uint32_t>(parse_uint(f[1], line_no));
+      loc.file = std::string(f[2]);
+      loc.function = std::string(f[3]);
+      file_callstacks[id] = std::move(loc);
+    } else if (starts_with(text, "burst ")) {
+      auto f = fields_of(text.substr(6), 4 + kCounterCount);
+      if (f.size() != 4 + kCounterCount)
+        throw ParseError("line " + std::to_string(line_no) +
+                         ": bad burst record (expected " +
+                         std::to_string(4 + kCounterCount) + " fields)");
+      RawBurst rb;
+      rb.task = static_cast<std::uint32_t>(parse_uint(f[0], line_no));
+      rb.begin = parse_double(f[1], line_no);
+      rb.duration = parse_double(f[2], line_no);
+      rb.callstack = parse_uint(f[3], line_no);
+      for (std::size_t i = 0; i < kCounterCount; ++i)
+        rb.counters[i] = parse_double(f[4 + i], line_no);
+      raw_bursts.push_back(rb);
+    } else {
+      throw ParseError("line " + std::to_string(line_no) +
+                       ": unknown record: " + std::string(text));
+    }
+  }
+  if (in.bad()) throw IoError("trace read failed");
+
+  if (!app) throw ParseError("trace missing 'app' record");
+  if (!tasks) throw ParseError("trace missing 'tasks' record");
+
+  Trace trace(*app, *tasks);
+  if (label) trace.set_label(*label);
+  for (const auto& [key, value] : attrs) trace.set_attribute(key, value);
+
+  std::map<std::uint64_t, CallstackId> id_map;
+  id_map[0] = kUnknownCallstack;
+  for (const auto& [file_id, loc] : file_callstacks)
+    id_map[file_id] = trace.callstacks().intern(loc);
+
+  for (const RawBurst& rb : raw_bursts) {
+    auto it = id_map.find(rb.callstack);
+    if (it == id_map.end())
+      throw ParseError("burst references undeclared callstack id " +
+                       std::to_string(rb.callstack));
+    Burst b;
+    b.task = rb.task;
+    b.begin_time = rb.begin;
+    b.duration = rb.duration;
+    b.callstack = it->second;
+    for (std::size_t i = 0; i < kCounterCount; ++i)
+      b.counters.set(static_cast<Counter>(i), rb.counters[i]);
+    trace.add_burst(b);
+  }
+  trace.validate();
+  return trace;
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open for reading: " + path);
+  return read_trace(in);
+}
+
+}  // namespace perftrack::trace

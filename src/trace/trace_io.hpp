@@ -1,0 +1,41 @@
+#pragma once
+// Text serialisation of traces (.ptt — "perftrack trace").
+//
+// A deliberately simple line format in the spirit of Paraver's textual
+// traces, so that fixtures can be versioned, diffed, and produced by other
+// tools. Layout:
+//
+//   #PTT 1
+//   app <application name>
+//   label <experiment label>
+//   tasks <count>
+//   attr <key> <value>
+//   callstack <id> <line> <file> <function...>
+//   burst <task> <begin> <duration> <callstack-id> <INSTR> <CYC> <L1DM> <L2M> <TLBM>
+//
+// `function` is the final field of a callstack line and may contain spaces;
+// `file` may not. Burst lines must appear in per-task time order (the same
+// invariant Trace::add_burst enforces). Blank lines and lines starting with
+// '#' (after the magic) are ignored.
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace perftrack::trace {
+
+/// Serialise `trace` to the stream. Throws IoError on stream failure.
+void write_trace(std::ostream& out, const Trace& trace);
+
+/// Serialise to a file; throws IoError on failure.
+void save_trace(const std::string& path, const Trace& trace);
+
+/// Parse a trace from the stream; throws ParseError on malformed input and
+/// IoError on stream failure.
+Trace read_trace(std::istream& in);
+
+/// Parse from a file.
+Trace load_trace(const std::string& path);
+
+}  // namespace perftrack::trace

@@ -1,0 +1,75 @@
+#include "tracking/evaluator_displacement.hpp"
+
+#include "common/error.hpp"
+#include "geom/kdtree.hpp"
+
+namespace perftrack::tracking {
+
+namespace {
+
+/// Clustered points of a frame in the common normalised space, plus the
+/// cluster id of each.
+struct ClusteredCloud {
+  geom::PointSet points;
+  std::vector<cluster::ObjectId> cluster_of;
+};
+
+ClusteredCloud clustered_cloud(const cluster::Frame& frame,
+                               const ScaleNormalization& scale) {
+  ClusteredCloud cloud;
+  geom::PointSet normalized = scale.apply(frame);
+  cloud.points = geom::PointSet(normalized.dims());
+  for (std::size_t row = 0; row < normalized.size(); ++row) {
+    cluster::ObjectId id = frame.labels()[row];
+    if (id == cluster::kNoise) continue;
+    cloud.points.add(normalized[row]);
+    cloud.cluster_of.push_back(id);
+  }
+  return cloud;
+}
+
+/// Classify every point of `from` into the nearest cluster of `to`.
+CorrelationMatrix classify(const ClusteredCloud& from, std::size_t from_count,
+                           const ClusteredCloud& to, std::size_t to_count) {
+  CorrelationMatrix m(from_count, to_count);
+  if (from.points.empty() || to.points.empty()) return m;
+
+  geom::KdTree tree(to.points);
+  std::vector<std::size_t> per_cluster(from_count, 0);
+  for (std::size_t i = 0; i < from.points.size(); ++i) {
+    std::size_t nearest = tree.nearest(from.points[i]);
+    auto from_id = static_cast<std::size_t>(from.cluster_of[i]);
+    auto to_id = static_cast<std::size_t>(to.cluster_of[nearest]);
+    m.add(from_id, to_id, 1.0);
+    ++per_cluster[from_id];
+  }
+  for (std::size_t i = 0; i < from_count; ++i) {
+    if (per_cluster[i] == 0) continue;
+    for (std::size_t j = 0; j < to_count; ++j)
+      m.set(i, j, m.at(i, j) / static_cast<double>(per_cluster[i]));
+  }
+  return m;
+}
+
+}  // namespace
+
+DisplacementResult evaluate_displacement(const cluster::Frame& frame_a,
+                                         const cluster::Frame& frame_b,
+                                         const ScaleNormalization& scale,
+                                         double outlier_threshold) {
+  PT_REQUIRE(outlier_threshold >= 0.0 && outlier_threshold < 1.0,
+             "outlier threshold must be in [0,1)");
+  ClusteredCloud cloud_a = clustered_cloud(frame_a, scale);
+  ClusteredCloud cloud_b = clustered_cloud(frame_b, scale);
+
+  DisplacementResult out;
+  out.a_to_b = classify(cloud_a, frame_a.object_count(), cloud_b,
+                        frame_b.object_count());
+  out.b_to_a = classify(cloud_b, frame_b.object_count(), cloud_a,
+                        frame_a.object_count());
+  out.a_to_b.threshold(outlier_threshold);
+  out.b_to_a.threshold(outlier_threshold);
+  return out;
+}
+
+}  // namespace perftrack::tracking

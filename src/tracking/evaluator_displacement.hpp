@@ -1,0 +1,28 @@
+#pragma once
+// Displacement evaluator (paper §3.1, Fig. 3).
+//
+// Cross-classifies every clustered burst of frame A into the clusters of
+// frame B (nearest neighbour in the common scale-normalised space) and
+// vice versa. Cell (i, j) of the A->B matrix is the fraction of A_i's
+// bursts whose nearest counterpart belongs to B_j. Short displacements
+// dominate when behaviour is stable; splits appear as one row distributing
+// over several columns.
+
+#include "cluster/frame.hpp"
+#include "tracking/correlation.hpp"
+#include "tracking/scale.hpp"
+
+namespace perftrack::tracking {
+
+struct DisplacementResult {
+  CorrelationMatrix a_to_b;  ///< rows: A objects, cols: B objects
+  CorrelationMatrix b_to_a;  ///< rows: B objects, cols: A objects
+};
+
+/// `outlier_threshold` zeroes cells below it (the paper's 5% rule).
+DisplacementResult evaluate_displacement(const cluster::Frame& frame_a,
+                                         const cluster::Frame& frame_b,
+                                         const ScaleNormalization& scale,
+                                         double outlier_threshold = 0.05);
+
+}  // namespace perftrack::tracking

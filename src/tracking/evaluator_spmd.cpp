@@ -1,0 +1,56 @@
+#include "tracking/evaluator_spmd.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace perftrack::tracking {
+
+CorrelationMatrix evaluate_spmd(const cluster::Frame& frame,
+                                const FrameAlignment& alignment,
+                                double outlier_threshold) {
+  const std::size_t n = frame.object_count();
+  CorrelationMatrix m(n, n);
+  const align::MultipleAlignment& msa = alignment.alignment();
+
+  std::vector<std::size_t> occurrences(n, 0);
+  std::vector<std::vector<std::size_t>> pair_count(
+      n, std::vector<std::size_t>(n, 0));
+
+  for (std::size_t c = 0; c < msa.column_count(); ++c) {
+    std::set<align::Symbol> present;
+    for (std::size_t s = 0; s < msa.sequence_count(); ++s) {
+      align::Symbol sym = msa.row(s)[c];
+      if (sym != align::kGap) present.insert(sym);
+    }
+    for (align::Symbol sym : present)
+      if (sym >= 0 && static_cast<std::size_t>(sym) < n)
+        ++occurrences[static_cast<std::size_t>(sym)];
+    for (auto it = present.begin(); it != present.end(); ++it) {
+      for (auto jt = std::next(it); jt != present.end(); ++jt) {
+        auto i = static_cast<std::size_t>(*it);
+        auto j = static_cast<std::size_t>(*jt);
+        if (i < n && j < n) {
+          ++pair_count[i][j];
+          ++pair_count[j][i];
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      // Columns featuring either object; co-occurrence relative to the
+      // rarer one so a small split still registers strongly.
+      std::size_t denom = std::min(occurrences[i], occurrences[j]);
+      if (denom == 0) continue;
+      m.set(i, j,
+            static_cast<double>(pair_count[i][j]) /
+                static_cast<double>(denom));
+    }
+  }
+  m.threshold(outlier_threshold);
+  return m;
+}
+
+}  // namespace perftrack::tracking

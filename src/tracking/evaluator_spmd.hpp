@@ -1,0 +1,24 @@
+#pragma once
+// SPMD-simultaneity evaluator (paper §3.2, Fig. 4).
+//
+// In an SPMD application every process executes the same phase at the same
+// time; if two *different* clusters occupy the same column of the frame's
+// global per-task sequence alignment, they are the same code region whose
+// performance diverged across processes. The evaluator reports a square
+// per-frame matrix: cell (i, j) is the fraction of the columns featuring
+// either cluster in which both appear in different tasks.
+
+#include "cluster/frame.hpp"
+#include "tracking/correlation.hpp"
+#include "tracking/frame_alignment.hpp"
+
+namespace perftrack::tracking {
+
+/// Symmetric object_count x object_count matrix of co-occurrence
+/// probabilities. Cells below `outlier_threshold` are zeroed; the diagonal
+/// is zero (an object is trivially simultaneous with itself).
+CorrelationMatrix evaluate_spmd(const cluster::Frame& frame,
+                                const FrameAlignment& alignment,
+                                double outlier_threshold = 0.05);
+
+}  // namespace perftrack::tracking

@@ -1,0 +1,10 @@
+#include "tracking/frame_alignment.hpp"
+
+namespace perftrack::tracking {
+
+FrameAlignment::FrameAlignment(const cluster::Frame& frame,
+                               const align::AlignmentScores& scores)
+    : msa_(align::star_align(frame.task_sequences(), scores)),
+      consensus_(msa_.consensus()) {}
+
+}  // namespace perftrack::tracking

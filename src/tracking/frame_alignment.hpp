@@ -1,0 +1,34 @@
+#pragma once
+// Cached per-frame sequence alignment.
+//
+// Both the SPMD evaluator (§3.2) and the execution-sequence evaluator
+// (§3.4) need the global alignment of a frame's per-task cluster sequences
+// ([8]'s technique). FrameAlignment computes it once per frame and derives
+// the two artefacts they consume: the column structure (who executes
+// simultaneously) and the consensus sequence (the experiment's
+// representative execution order).
+
+#include <vector>
+
+#include "align/msa.hpp"
+#include "cluster/frame.hpp"
+
+namespace perftrack::tracking {
+
+class FrameAlignment {
+public:
+  explicit FrameAlignment(const cluster::Frame& frame,
+                          const align::AlignmentScores& scores = {});
+
+  const align::MultipleAlignment& alignment() const { return msa_; }
+
+  /// Representative execution sequence of the experiment (per-column
+  /// majority vote over tasks).
+  const std::vector<align::Symbol>& consensus() const { return consensus_; }
+
+private:
+  align::MultipleAlignment msa_;
+  std::vector<align::Symbol> consensus_;
+};
+
+}  // namespace perftrack::tracking

@@ -1,0 +1,33 @@
+#pragma once
+// GNUplot export of a tracking result.
+//
+// The BSC tool chain the paper builds on renders its scatter frames and
+// trend lines through GNUplot; this module emits the same artefacts:
+//   <base>.frames.dat   one block per frame: x=IPC, y=instructions, region
+//   <base>.trends.dat   one block per region: frame index, IPC, instr total
+//   <base>.gp           a ready-to-run script rendering both as PNGs
+// Run `gnuplot <base>.gp` to produce <base>.frames.png / <base>.trends.png.
+
+#include <string>
+
+#include "tracking/tracker.hpp"
+
+namespace perftrack::tracking {
+
+struct GnuplotOptions {
+  /// Subsample cap per (frame, object) in the scatter data; 0 = all.
+  std::size_t max_points_per_object = 2000;
+};
+
+/// Write the three files next to `base_path`; throws IoError on failure.
+void save_gnuplot(const std::string& base_path, const TrackingResult& result,
+                  const GnuplotOptions& options = {});
+
+/// In-memory variants (exposed for tests).
+std::string gnuplot_frames_dat(const TrackingResult& result,
+                               const GnuplotOptions& options = {});
+std::string gnuplot_trends_dat(const TrackingResult& result);
+std::string gnuplot_script(const std::string& base_path,
+                           const TrackingResult& result);
+
+}  // namespace perftrack::tracking

@@ -1,0 +1,219 @@
+#include "tracking/html_report.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "tracking/trends.hpp"
+
+namespace perftrack::tracking {
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// The data payload: frames with per-point (x=IPC, y=log10 instructions,
+/// region) triples, plus per-region trend series.
+std::string build_payload(const TrackingResult& result,
+                          const HtmlReportOptions& options) {
+  std::ostringstream json;
+  json << "{\"frames\":[";
+  for (std::size_t f = 0; f < result.frames.size(); ++f) {
+    const cluster::Frame& frame = result.frames[f];
+    if (f) json << ",";
+    json << "{\"label\":\"" << json_escape(frame.label())
+         << "\",\"points\":[";
+    bool first = true;
+    std::vector<std::size_t> emitted(frame.object_count(), 0);
+    for (std::size_t row = 0; row < frame.projection().size(); ++row) {
+      std::int32_t object = frame.labels()[row];
+      if (object == cluster::kNoise) continue;
+      auto& count = emitted[static_cast<std::size_t>(object)];
+      if (options.max_points_per_object > 0 &&
+          count >= options.max_points_per_object)
+        continue;
+      ++count;
+      std::int32_t region =
+          result.renaming[f][static_cast<std::size_t>(object)];
+      auto p = frame.projection().points[row];
+      double y = std::log10(std::max(p[0], 1e-12)) +
+                 std::log10(static_cast<double>(frame.num_tasks()));
+      if (!first) json << ",";
+      first = false;
+      json << "[" << format_double(p[1], 4) << ","
+           << format_double(y, 4) << "," << region << "]";
+    }
+    json << "]}";
+  }
+  json << "],\"regions\":[";
+  bool first_region = true;
+  for (const TrackedRegion& region : result.regions) {
+    if (!region.complete) continue;
+    if (!first_region) json << ",";
+    first_region = false;
+    auto ipc = region_metric_mean(result, region.id, trace::Metric::Ipc);
+    auto instr = region_counter_total(result, region.id,
+                                      trace::Counter::Instructions);
+    json << "{\"id\":" << region.id + 1 << ",\"ipc\":[";
+    for (std::size_t f = 0; f < ipc.size(); ++f) {
+      if (f) json << ",";
+      json << format_double(ipc[f], 5);
+    }
+    json << "],\"instr\":[";
+    for (std::size_t f = 0; f < instr.size(); ++f) {
+      if (f) json << ",";
+      json << format_double(instr[f], 1);
+    }
+    json << "]}";
+  }
+  json << "],\"coverage\":" << format_double(result.coverage, 4)
+       << ",\"complete\":" << result.complete_count << "}";
+  return json.str();
+}
+
+constexpr const char* kPage = R"HTML(<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>%TITLE%</title>
+<style>
+ body{font-family:system-ui,sans-serif;margin:1.5rem;background:#fafafa;color:#222}
+ h1{font-size:1.3rem} h2{font-size:1.05rem;margin-top:1.6rem}
+ canvas{background:#fff;border:1px solid #ccc;border-radius:4px}
+ .row{display:flex;gap:1.5rem;flex-wrap:wrap}
+ button{margin-right:.5rem} #framelabel{font-weight:600;margin-left:.8rem}
+ table{border-collapse:collapse;font-size:.85rem}
+ td,th{border:1px solid #ddd;padding:.25rem .6rem;text-align:right}
+ th:first-child,td:first-child{text-align:left}
+</style></head><body>
+<h1>%TITLE%</h1>
+<p><b>%COMPLETE%</b> tracked regions, coverage <b>%COVERAGE%</b>.
+Every region keeps its colour along the whole sequence; press play to
+animate the experiments (paper Fig. 6).</p>
+<div>
+ <button id="play">&#9654; play</button>
+ <input type="range" id="slider" min="0" value="0" style="width:340px">
+ <span id="framelabel"></span>
+</div>
+<div class="row">
+ <div><h2>Performance space (IPC &times; total instructions, log)</h2>
+      <canvas id="scatter" width="560" height="420"></canvas></div>
+ <div><h2>Region IPC across the sequence (paper Fig. 7a)</h2>
+      <canvas id="trend" width="560" height="420"></canvas></div>
+</div>
+<h2>Region IPC table</h2>
+<div id="tablebox"></div>
+<script>
+const DATA = %DATA%;
+const palette = ["#4363d8","#e6194B","#3cb44b","#ffe119","#911eb4",
+ "#f58231","#42d4f4","#f032e6","#bfef45","#fabed4","#469990","#dcbeff",
+ "#9A6324","#800000","#aaffc3","#808000"];
+function colour(r){return r<0?"#bbb":palette[r%palette.length];}
+
+// Global bounds across all frames so the animation axes are fixed.
+let xmin=1e300,xmax=-1e300,ymin=1e300,ymax=-1e300;
+for(const fr of DATA.frames)for(const p of fr.points){
+ xmin=Math.min(xmin,p[0]);xmax=Math.max(xmax,p[0]);
+ ymin=Math.min(ymin,p[1]);ymax=Math.max(ymax,p[1]);}
+const padx=(xmax-xmin)*0.06||1,pady=(ymax-ymin)*0.06||1;
+xmin-=padx;xmax+=padx;ymin-=pady;ymax+=pady;
+
+const scatter=document.getElementById("scatter").getContext("2d");
+function drawFrame(i){
+ const c=scatter,W=560,H=420;c.clearRect(0,0,W,H);
+ c.strokeStyle="#999";c.strokeRect(40,10,W-50,H-40);
+ c.fillStyle="#444";c.font="11px sans-serif";
+ c.fillText("IPC",W/2,H-6);
+ c.save();c.translate(12,H/2);c.rotate(-Math.PI/2);
+ c.fillText("log10 total instructions",0,0);c.restore();
+ for(const p of DATA.frames[i].points){
+  const x=40+(p[0]-xmin)/(xmax-xmin)*(W-50);
+  const y=10+(1-(p[1]-ymin)/(ymax-ymin))*(H-40);
+  c.fillStyle=colour(p[2]);c.fillRect(x-1.5,y-1.5,3,3);}
+ document.getElementById("framelabel").textContent=
+   DATA.frames[i].label+"  ("+(i+1)+"/"+DATA.frames.length+")";
+}
+function drawTrend(){
+ const c=document.getElementById("trend").getContext("2d"),W=560,H=420;
+ c.clearRect(0,0,W,H);c.strokeStyle="#999";c.strokeRect(40,10,W-50,H-40);
+ let lo=1e300,hi=-1e300;
+ for(const r of DATA.regions)for(const v of r.ipc){lo=Math.min(lo,v);hi=Math.max(hi,v);}
+ const pad=(hi-lo)*0.08||1;lo-=pad;hi+=pad;
+ const n=DATA.frames.length;
+ for(const r of DATA.regions){
+  c.strokeStyle=colour(r.id-1);c.lineWidth=2;c.beginPath();
+  r.ipc.forEach((v,f)=>{
+   const x=40+(n>1?f/(n-1):0)*(W-50);
+   const y=10+(1-(v-lo)/(hi-lo))*(H-40);
+   f?c.lineTo(x,y):c.moveTo(x,y);});
+  c.stroke();
+  c.fillStyle=colour(r.id-1);c.font="11px sans-serif";
+  c.fillText("R"+r.id,W-30,10+(1-(r.ipc[n-1]-lo)/(hi-lo))*(H-40));}
+ c.fillStyle="#444";c.fillText("IPC",8,20);
+}
+function buildTable(){
+ let html="<table><tr><th>Region</th>";
+ for(const fr of DATA.frames)html+="<th>"+fr.label+"</th>";
+ html+="<th>&Delta;IPC</th></tr>";
+ for(const r of DATA.regions){
+  html+="<tr><td style='color:"+colour(r.id-1)+"'>&#9632; Region "+r.id+"</td>";
+  for(const v of r.ipc)html+="<td>"+v.toFixed(3)+"</td>";
+  const d=(r.ipc[r.ipc.length-1]/r.ipc[0]-1)*100;
+  html+="<td>"+(d>=0?"+":"")+d.toFixed(1)+"%</td></tr>";}
+ document.getElementById("tablebox").innerHTML=html+"</table>";
+}
+const slider=document.getElementById("slider");
+slider.max=DATA.frames.length-1;
+slider.oninput=()=>drawFrame(+slider.value);
+let timer=null;
+document.getElementById("play").onclick=function(){
+ if(timer){clearInterval(timer);timer=null;this.innerHTML="&#9654; play";return;}
+ this.innerHTML="&#9208; pause";
+ timer=setInterval(()=>{slider.value=(+slider.value+1)%DATA.frames.length;
+  drawFrame(+slider.value);},700);
+};
+drawFrame(0);drawTrend();buildTable();
+</script></body></html>
+)HTML";
+
+}  // namespace
+
+std::string html_report(const TrackingResult& result,
+                        const HtmlReportOptions& options) {
+  std::string page = kPage;
+  auto replace_all = [&page](const std::string& key,
+                             const std::string& value) {
+    std::size_t pos = 0;
+    while ((pos = page.find(key, pos)) != std::string::npos) {
+      page.replace(pos, key.size(), value);
+      pos += value.size();
+    }
+  };
+  replace_all("%TITLE%", options.title);
+  replace_all("%COMPLETE%", std::to_string(result.complete_count));
+  replace_all("%COVERAGE%",
+              format_double(result.coverage * 100.0, 0) + "%");
+  replace_all("%DATA%", build_payload(result, options));
+  return page;
+}
+
+void save_html_report(const std::string& path,
+                      const TrackingResult& result,
+                      const HtmlReportOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  out << html_report(result, options);
+  if (!out) throw IoError("write failed: " + path);
+}
+
+}  // namespace perftrack::tracking

@@ -1,0 +1,34 @@
+#pragma once
+// Self-contained HTML report of a tracking result.
+//
+// The paper presents the tracked sequence as "a simple animation" of
+// recoloured scatter plots (Fig. 6) plus per-region trend charts
+// (Fig. 7). This generator emits one dependency-free HTML file with:
+//   * an animated scatter view (canvas) stepping through the frames, with
+//     tracked regions keeping their colour across the whole sequence,
+//   * per-region IPC and instructions trend charts,
+//   * the relation listing and coverage summary.
+// Open the file in any browser; no network access needed.
+
+#include <string>
+
+#include "tracking/tracker.hpp"
+
+namespace perftrack::tracking {
+
+struct HtmlReportOptions {
+  std::string title = "perftrack report";
+  /// Subsample cap per (frame, region) for the scatter payload; keeps the
+  /// file small for big traces. 0 = keep everything.
+  std::size_t max_points_per_object = 400;
+};
+
+/// Render the report as a single HTML document.
+std::string html_report(const TrackingResult& result,
+                        const HtmlReportOptions& options = {});
+
+/// Write html_report() to a file; throws IoError on failure.
+void save_html_report(const std::string& path, const TrackingResult& result,
+                      const HtmlReportOptions& options = {});
+
+}  // namespace perftrack::tracking

@@ -1,0 +1,39 @@
+#include "tracking/pipeline.hpp"
+
+#include "common/error.hpp"
+
+namespace perftrack::tracking {
+
+TrackingPipeline::TrackingPipeline() {
+  // The paper's default metric space: Instructions x IPC, instruction axis
+  // log-scaled (Fig. 1).
+  clustering_.projection.metrics = {trace::Metric::Instructions,
+                                    trace::Metric::Ipc};
+  clustering_.log_scale = {true, false};
+}
+
+void TrackingPipeline::add_experiment(
+    std::shared_ptr<const trace::Trace> trace) {
+  PT_REQUIRE(trace != nullptr, "experiment trace must not be null");
+  traces_.push_back(std::move(trace));
+}
+
+void TrackingPipeline::set_clustering(cluster::ClusteringParams params) {
+  clustering_ = std::move(params);
+}
+
+void TrackingPipeline::set_tracking(TrackingParams params) {
+  tracking_ = std::move(params);
+}
+
+TrackingResult TrackingPipeline::run() const {
+  PT_REQUIRE(traces_.size() >= 2,
+             "tracking needs at least two experiments");
+  std::vector<cluster::Frame> frames;
+  frames.reserve(traces_.size());
+  for (const auto& trace : traces_)
+    frames.push_back(cluster::build_frame(trace, clustering_));
+  return track_frames(std::move(frames), tracking_);
+}
+
+}  // namespace perftrack::tracking

@@ -1,0 +1,50 @@
+#pragma once
+// High-level facade: from traces to a tracked sequence in one call.
+//
+// This is the library's main entry point, mirroring the tool described in
+// the paper: feed it the experiments (traces), choose the metric pair and
+// clustering/tracking parameters, run, and read back the tracked regions,
+// their trends and the rendered reports.
+//
+//   TrackingPipeline pipeline;
+//   pipeline.add_experiment(trace_128);
+//   pipeline.add_experiment(trace_256);
+//   TrackingResult result = pipeline.run();
+//   std::cout << describe_tracking(result);
+
+#include <memory>
+#include <vector>
+
+#include "cluster/frame.hpp"
+#include "tracking/tracker.hpp"
+
+namespace perftrack::tracking {
+
+class TrackingPipeline {
+public:
+  TrackingPipeline();
+
+  /// Append one experiment; sequence order is insertion order.
+  void add_experiment(std::shared_ptr<const trace::Trace> trace);
+
+  /// Clustering configuration used to build every frame.
+  void set_clustering(cluster::ClusteringParams params);
+  const cluster::ClusteringParams& clustering() const { return clustering_; }
+
+  /// Tracking (evaluator/combiner) configuration.
+  void set_tracking(TrackingParams params);
+  const TrackingParams& tracking() const { return tracking_; }
+
+  std::size_t experiment_count() const { return traces_.size(); }
+
+  /// Cluster every experiment and track the sequence. Requires >= 2
+  /// experiments.
+  TrackingResult run() const;
+
+private:
+  std::vector<std::shared_ptr<const trace::Trace>> traces_;
+  cluster::ClusteringParams clustering_;
+  TrackingParams tracking_;
+};
+
+}  // namespace perftrack::tracking

@@ -1,0 +1,146 @@
+#include "tracking/prediction.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "tracking/trends.hpp"
+
+namespace perftrack::tracking {
+
+namespace {
+
+struct LeastSquares {
+  double slope = 0.0, intercept = 0.0, r_squared = 0.0;
+};
+
+LeastSquares least_squares(std::span<const double> x,
+                           std::span<const double> y) {
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  LeastSquares fit;
+  double denom = n * sxx - sx * sx;
+  if (denom == 0.0) {  // all x equal: flat line through the mean
+    fit.slope = 0.0;
+    fit.intercept = sy / n;
+    fit.r_squared = 0.0;
+    return fit;
+  }
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double e = y[i] - (fit.intercept + fit.slope * x[i]);
+    ss_res += e * e;
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace
+
+double TrendModel::predict(double x) const {
+  switch (kind) {
+    case Kind::Linear:
+      return a + b * x;
+    case Kind::PowerLaw:
+      PT_REQUIRE(x > 0.0, "power-law prediction needs positive x");
+      return a * std::pow(x, b);
+  }
+  throw PreconditionError("invalid trend model kind");
+}
+
+std::string TrendModel::describe() const {
+  std::string formula =
+      kind == Kind::Linear
+          ? "y = " + format_si(a, 3) + " + " + format_si(b, 3) + " * x"
+          : "y = " + format_si(a, 3) + " * x^" + format_double(b, 3);
+  return formula + " (R2 " + format_double(r_squared, 4) + ")";
+}
+
+TrendModel fit_linear(std::span<const double> x, std::span<const double> y) {
+  PT_REQUIRE(x.size() == y.size(), "x/y length mismatch");
+  PT_REQUIRE(x.size() >= 2, "fit needs at least two points");
+  LeastSquares fit = least_squares(x, y);
+  TrendModel model;
+  model.kind = TrendModel::Kind::Linear;
+  model.a = fit.intercept;
+  model.b = fit.slope;
+  model.r_squared = fit.r_squared;
+  return model;
+}
+
+TrendModel fit_power_law(std::span<const double> x,
+                         std::span<const double> y) {
+  PT_REQUIRE(x.size() == y.size(), "x/y length mismatch");
+  PT_REQUIRE(x.size() >= 2, "fit needs at least two points");
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    PT_REQUIRE(x[i] > 0.0 && y[i] > 0.0,
+               "power-law fit needs positive data");
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  LeastSquares fit = least_squares(lx, ly);
+  TrendModel model;
+  model.kind = TrendModel::Kind::PowerLaw;
+  model.a = std::exp(fit.intercept);
+  model.b = fit.slope;
+  // Report R² in the original space for comparability with the linear fit.
+  double sy = 0.0;
+  for (double v : y) sy += v;
+  double mean = sy / static_cast<double>(y.size());
+  double ss_tot = 0.0, ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double e = y[i] - model.predict(x[i]);
+    ss_res += e * e;
+    ss_tot += (y[i] - mean) * (y[i] - mean);
+  }
+  model.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return model;
+}
+
+TrendModel fit_trend(std::span<const double> x, std::span<const double> y) {
+  TrendModel best = fit_linear(x, y);
+  bool power_applicable = true;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    if (x[i] <= 0.0 || y[i] <= 0.0) power_applicable = false;
+  if (power_applicable) {
+    TrendModel power = fit_power_law(x, y);
+    // Ties (e.g. two samples, where both fits are exact) go to the power
+    // law: it stays positive under extrapolation, which is the sane
+    // default for positive performance data.
+    if (power.r_squared >= best.r_squared - 1e-12) best = power;
+  }
+  return best;
+}
+
+std::vector<RegionForecast> forecast_regions(const TrackingResult& result,
+                                             std::span<const double> x,
+                                             trace::Metric metric,
+                                             double x_future) {
+  PT_REQUIRE(x.size() == result.frames.size(),
+             "need one scenario value per frame");
+  std::vector<RegionForecast> out;
+  for (const TrackedRegion& region : result.regions) {
+    if (!region.complete) continue;
+    std::vector<double> series = region_metric_mean(result, region.id,
+                                                    metric);
+    RegionForecast forecast;
+    forecast.region_id = region.id;
+    forecast.model = fit_trend(x, series);
+    forecast.predicted = forecast.model.predict(x_future);
+    out.push_back(forecast);
+  }
+  return out;
+}
+
+}  // namespace perftrack::tracking

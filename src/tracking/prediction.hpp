@@ -1,0 +1,64 @@
+#pragma once
+// Performance prediction from tracked trends (the paper's §6 future work:
+// "build predictive models able to foresee the performance of experiments
+// beyond the sample space").
+//
+// Once a region is tracked across a parametric sweep, its per-frame metric
+// series is a function of the scenario parameter (task count, problem
+// scale, block size, ...). TrendModel fits the two shapes that cover the
+// laws seen in practice — linear (y = a + b·x) and power (y = a·x^b, i.e.
+// linear in log-log, covering strong scaling and capacity effects) — and
+// fit_trend() picks the better one by R². forecast_regions() applies this
+// per tracked region to extrapolate a metric to an unseen scenario value.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tracking/tracker.hpp"
+#include "trace/metrics.hpp"
+
+namespace perftrack::tracking {
+
+struct TrendModel {
+  enum class Kind { Linear, PowerLaw };
+
+  Kind kind = Kind::Linear;
+  /// Linear: y = a + b x. PowerLaw: y = a * x^b.
+  double a = 0.0;
+  double b = 0.0;
+  /// Coefficient of determination on the fitted points (1 = perfect).
+  double r_squared = 0.0;
+
+  double predict(double x) const;
+
+  /// "y = 3.2e6 * x^-0.98 (R2 0.999)" etc.
+  std::string describe() const;
+};
+
+/// Least-squares line fit; needs >= 2 points.
+TrendModel fit_linear(std::span<const double> x, std::span<const double> y);
+
+/// Power-law fit (least squares in log-log space); requires strictly
+/// positive x and y.
+TrendModel fit_power_law(std::span<const double> x,
+                         std::span<const double> y);
+
+/// Fit both shapes (power law only where applicable) and return the one
+/// with the higher R².
+TrendModel fit_trend(std::span<const double> x, std::span<const double> y);
+
+struct RegionForecast {
+  int region_id = 0;
+  TrendModel model;
+  double predicted = 0.0;
+};
+
+/// Fit each complete region's mean `metric` against the per-frame scenario
+/// values `x` (one per frame) and predict the value at `x_future`.
+std::vector<RegionForecast> forecast_regions(const TrackingResult& result,
+                                             std::span<const double> x,
+                                             trace::Metric metric,
+                                             double x_future);
+
+}  // namespace perftrack::tracking

@@ -1,0 +1,52 @@
+#pragma once
+// Report rendering: trend charts, tracked scatter plots, relation listings.
+//
+// The paper communicates its results as trend-line charts (Figs. 7, 10-12),
+// recoloured scatter sequences (Fig. 6) and relation/correlation listings
+// (Fig. 3, Table 1). These helpers render all three as terminal text; CSV
+// variants feed external plotting.
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "tracking/tracker.hpp"
+#include "tracking/trends.hpp"
+
+namespace perftrack::tracking {
+
+/// One labelled series of a trend chart.
+struct TrendSeries {
+  std::string label;
+  std::vector<double> values;  ///< one value per frame
+};
+
+/// ASCII line chart: one column per frame, one glyph per series
+/// (Fig. 7-style). Y range is derived from the data unless fixed.
+struct TrendChartOptions {
+  int width = 72;
+  int height = 16;
+  double y_min = __builtin_nan("");
+  double y_max = __builtin_nan("");
+  std::string y_label;
+};
+
+std::string trend_chart(const std::vector<TrendSeries>& series,
+                        const std::vector<std::string>& frame_labels,
+                        const TrendChartOptions& options = {});
+
+/// Table of one metric's per-frame means for every complete region.
+Table trend_table(const TrackingResult& result, trace::Metric metric);
+
+/// The tracked sequence as recoloured ASCII scatter plots on common axes
+/// (Fig. 6): every region keeps its number along the whole sequence.
+std::string tracked_scatters(const TrackingResult& result, int width = 72,
+                             int height = 18);
+
+/// Human-readable listing of every pair's relations and the final regions.
+std::string describe_tracking(const TrackingResult& result);
+
+/// CSV with one row per (region, frame) and the standard metric columns.
+std::string trends_csv(const TrackingResult& result);
+
+}  // namespace perftrack::tracking

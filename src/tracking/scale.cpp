@@ -1,0 +1,87 @@
+#include "tracking/scale.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "trace/metrics.hpp"
+
+namespace perftrack::tracking {
+
+namespace {
+constexpr double kLogFloor = 1e-12;
+
+double transform_value(double raw, bool weighted, std::uint32_t num_tasks,
+                       bool log_scale) {
+  double v = weighted ? raw * static_cast<double>(num_tasks) : raw;
+  return log_scale ? std::log10(std::max(v, kLogFloor)) : v;
+}
+}  // namespace
+
+ScaleNormalization ScaleNormalization::fit(
+    std::span<const cluster::Frame> frames,
+    const std::vector<bool>& log_scale, bool task_weighting) {
+  PT_REQUIRE(!frames.empty(), "need at least one frame to fit scales");
+  const auto& metrics = frames.front().projection().metrics;
+  for (const cluster::Frame& f : frames)
+    PT_REQUIRE(f.projection().metrics == metrics,
+               "all frames must share the same metric axes");
+  PT_REQUIRE(log_scale.empty() || log_scale.size() == metrics.size(),
+             "log_scale length must match dimensionality");
+
+  ScaleNormalization s;
+  s.metrics_ = metrics;
+  s.weighted_.resize(metrics.size());
+  for (std::size_t d = 0; d < metrics.size(); ++d)
+    s.weighted_[d] =
+        task_weighting && trace::metric_scales_with_tasks(metrics[d]);
+  s.log_.assign(metrics.size(), false);
+  for (std::size_t d = 0; d < log_scale.size(); ++d) s.log_[d] = log_scale[d];
+
+  s.lo_.assign(metrics.size(), std::numeric_limits<double>::infinity());
+  s.hi_.assign(metrics.size(), -std::numeric_limits<double>::infinity());
+  for (const cluster::Frame& f : frames) {
+    const auto& points = f.projection().points;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (f.labels()[i] == cluster::kNoise) continue;
+      auto p = points[i];
+      for (std::size_t d = 0; d < metrics.size(); ++d) {
+        double v = transform_value(p[d], s.weighted_[d], f.num_tasks(),
+                                   s.log_[d]);
+        s.lo_[d] = std::min(s.lo_[d], v);
+        s.hi_[d] = std::max(s.hi_[d], v);
+      }
+    }
+  }
+  for (std::size_t d = 0; d < metrics.size(); ++d) {
+    if (s.lo_[d] > s.hi_[d]) {  // no clustered points anywhere
+      s.lo_[d] = 0.0;
+      s.hi_[d] = 1.0;
+    }
+  }
+  return s;
+}
+
+geom::PointSet ScaleNormalization::apply(const cluster::Frame& frame) const {
+  const auto& points = frame.projection().points;
+  PT_REQUIRE(points.dims() == dims(), "dimensionality mismatch");
+  geom::PointSet out(dims());
+  out.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    out.add(apply_one(points[i], frame.num_tasks()));
+  return out;
+}
+
+std::vector<double> ScaleNormalization::apply_one(
+    std::span<const double> coords, std::uint32_t num_tasks) const {
+  PT_REQUIRE(coords.size() == dims(), "dimensionality mismatch");
+  std::vector<double> out(coords.size());
+  for (std::size_t d = 0; d < coords.size(); ++d) {
+    double v = transform_value(coords[d], weighted_[d], num_tasks, log_[d]);
+    double range = hi_[d] - lo_[d];
+    out[d] = range > 0.0 ? (v - lo_[d]) / range : 0.5;
+  }
+  return out;
+}
+
+}  // namespace perftrack::tracking

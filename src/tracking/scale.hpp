@@ -1,0 +1,52 @@
+#pragma once
+// Cross-experiment scale normalisation (paper §2, Fig. 1c).
+//
+// Frames from different experiments live on incomparable scales: doubling
+// the process count halves per-task instruction counts without any change
+// of behaviour. Before tracking, metrics that are correlated with the
+// process count (Instructions, Cycles, Duration) are weighted by the
+// number of tasks — turning per-task totals into application totals — and
+// every axis is then min-max adjusted over ALL experiments of the sequence,
+// so displacements measured by the tracking evaluators reflect behavioural
+// change, not scale change.
+
+#include <span>
+#include <vector>
+
+#include "cluster/frame.hpp"
+#include "geom/pointset.hpp"
+
+namespace perftrack::tracking {
+
+class ScaleNormalization {
+public:
+  /// Fit over every frame of the sequence. `log_scale[d]` applies log10 to
+  /// dimension d before the min-max step (instruction-like axes span
+  /// decades); empty = none. All frames must share the same metric axes.
+  /// `task_weighting` disables the per-task-total weighting when false
+  /// (used by the normalisation ablation bench).
+  static ScaleNormalization fit(std::span<const cluster::Frame> frames,
+                                const std::vector<bool>& log_scale = {},
+                                bool task_weighting = true);
+
+  /// Normalised coordinates for every projection row of `frame`
+  /// (same row indexing as frame.projection()).
+  geom::PointSet apply(const cluster::Frame& frame) const;
+
+  /// Normalise one raw coordinate vector from a frame with `num_tasks`.
+  std::vector<double> apply_one(std::span<const double> coords,
+                                std::uint32_t num_tasks) const;
+
+  std::size_t dims() const { return lo_.size(); }
+
+  /// True if dimension d is weighted by the task count.
+  bool task_weighted(std::size_t d) const { return weighted_[d]; }
+
+private:
+  std::vector<trace::Metric> metrics_;
+  std::vector<bool> weighted_;
+  std::vector<bool> log_;
+  std::vector<double> lo_, hi_;
+};
+
+}  // namespace perftrack::tracking

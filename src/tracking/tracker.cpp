@@ -1,0 +1,161 @@
+#include "tracking/tracker.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "trace/metrics.hpp"
+
+namespace perftrack::tracking {
+
+std::size_t TrackedRegion::frames_present() const {
+  std::size_t n = 0;
+  for (const auto& frame_members : members)
+    if (!frame_members.empty()) ++n;
+  return n;
+}
+
+const TrackedRegion& TrackingResult::region(int id) const {
+  PT_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < regions.size(),
+             "region id out of range");
+  return regions[static_cast<std::size_t>(id)];
+}
+
+namespace {
+
+/// Union-find over (frame, object) nodes across the whole sequence.
+class SequenceComponents {
+public:
+  explicit SequenceComponents(const std::vector<cluster::Frame>& frames) {
+    offsets_.reserve(frames.size());
+    std::size_t total = 0;
+    for (const auto& f : frames) {
+      offsets_.push_back(total);
+      total += f.object_count();
+    }
+    parent_.resize(total);
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t node(std::size_t frame, ObjectId object) const {
+    return offsets_[frame] + static_cast<std::size_t>(object);
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t x, std::size_t y) { parent_[find(x)] = find(y); }
+
+private:
+  std::vector<std::size_t> offsets_;
+  std::vector<std::size_t> parent_;
+};
+
+std::vector<bool> default_log_scale(const cluster::Frame& frame) {
+  const auto& metrics = frame.projection().metrics;
+  std::vector<bool> log_scale(metrics.size());
+  for (std::size_t d = 0; d < metrics.size(); ++d)
+    log_scale[d] = trace::metric_scales_with_tasks(metrics[d]);
+  return log_scale;
+}
+
+}  // namespace
+
+TrackingResult track_frames(std::vector<cluster::Frame> frames,
+                            const TrackingParams& params) {
+  PT_REQUIRE(frames.size() >= 2, "tracking needs at least two frames");
+
+  TrackingResult result;
+  result.frames = std::move(frames);
+  const std::size_t frame_count = result.frames.size();
+
+  std::vector<bool> log_scale = params.log_scale.empty()
+                                    ? default_log_scale(result.frames[0])
+                                    : params.log_scale;
+  result.scale = ScaleNormalization::fit(result.frames, log_scale);
+
+  // Per-frame alignments, computed once.
+  std::vector<FrameAlignment> alignments;
+  alignments.reserve(frame_count);
+  for (const auto& f : result.frames)
+    alignments.emplace_back(f, params.alignment_scores);
+
+  // Pairwise tracking.
+  result.pairs.reserve(frame_count - 1);
+  for (std::size_t p = 0; p + 1 < frame_count; ++p) {
+    result.pairs.push_back(track_pair(result.frames[p], alignments[p],
+                                      result.frames[p + 1], alignments[p + 1],
+                                      result.scale, params));
+    PT_LOG(Debug) << "pair " << p << ": "
+                  << result.pairs.back().relations.size() << " relations";
+  }
+
+  // Chain relations into whole-sequence regions.
+  SequenceComponents components(result.frames);
+  for (std::size_t p = 0; p + 1 < frame_count; ++p) {
+    for (const Relation& rel : result.pairs[p].relations) {
+      std::size_t anchor = components.node(p, *rel.left.begin());
+      for (ObjectId a : rel.left)
+        components.unite(anchor, components.node(p, a));
+      for (ObjectId b : rel.right)
+        components.unite(anchor, components.node(p + 1, b));
+    }
+  }
+
+  std::map<std::size_t, TrackedRegion> by_root;
+  for (std::size_t f = 0; f < frame_count; ++f) {
+    for (std::size_t o = 0; o < result.frames[f].object_count(); ++o) {
+      auto id = static_cast<ObjectId>(o);
+      std::size_t root = components.find(components.node(f, id));
+      TrackedRegion& region = by_root[root];
+      if (region.members.empty()) region.members.resize(frame_count);
+      region.members[f].insert(id);
+      region.total_duration += result.frames[f].object(id).total_duration;
+    }
+  }
+
+  result.regions.reserve(by_root.size());
+  for (auto& [root, region] : by_root) {
+    region.complete = region.frames_present() == frame_count;
+    result.regions.push_back(std::move(region));
+  }
+  std::sort(result.regions.begin(), result.regions.end(),
+            [](const TrackedRegion& x, const TrackedRegion& y) {
+              if (x.complete != y.complete) return x.complete;
+              return x.total_duration > y.total_duration;
+            });
+  for (std::size_t r = 0; r < result.regions.size(); ++r)
+    result.regions[r].id = static_cast<int>(r);
+
+  result.complete_count = 0;
+  for (const TrackedRegion& region : result.regions)
+    if (region.complete) ++result.complete_count;
+
+  std::size_t min_objects = result.frames[0].object_count();
+  for (const auto& f : result.frames)
+    min_objects = std::min(min_objects, f.object_count());
+  result.coverage = min_objects == 0
+                        ? 0.0
+                        : static_cast<double>(result.complete_count) /
+                              static_cast<double>(min_objects);
+
+  // Frame-object -> region renaming (for recoloured output, Fig. 6).
+  result.renaming.resize(frame_count);
+  for (std::size_t f = 0; f < frame_count; ++f)
+    result.renaming[f].assign(result.frames[f].object_count(), -1);
+  for (const TrackedRegion& region : result.regions)
+    for (std::size_t f = 0; f < frame_count; ++f)
+      for (ObjectId o : region.members[f])
+        result.renaming[f][static_cast<std::size_t>(o)] = region.id;
+
+  return result;
+}
+
+}  // namespace perftrack::tracking

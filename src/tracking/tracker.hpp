@@ -1,0 +1,64 @@
+#pragma once
+// Whole-sequence tracking (paper §3.5).
+//
+// Runs the pair combiner over every consecutive frame pair and chains the
+// relations into tracked regions: sets of objects, one (or a group) per
+// frame, that are the same behavioural entity along the whole sequence.
+// Regions present in every frame are "complete"; the coverage score is
+// complete regions / the maximum number of identifiable objects (the
+// smallest per-frame object count — a pairwise relation count can never
+// exceed min(n, m), so this is the best any tracker could do).
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "cluster/frame.hpp"
+#include "tracking/combiner.hpp"
+#include "tracking/scale.hpp"
+
+namespace perftrack::tracking {
+
+struct TrackedRegion {
+  /// Dense region index; display numbering is id + 1.
+  int id = 0;
+
+  /// Objects of this region in each frame (empty set = not present there).
+  std::vector<std::set<ObjectId>> members;
+
+  /// Present in every frame of the sequence.
+  bool complete = false;
+
+  /// Sum of the member objects' total burst durations across all frames.
+  double total_duration = 0.0;
+
+  std::size_t frames_present() const;
+};
+
+struct TrackingResult {
+  std::vector<cluster::Frame> frames;
+  ScaleNormalization scale;
+
+  /// Pairwise artefacts: pairs[p] tracks frames[p] -> frames[p+1].
+  std::vector<PairTracking> pairs;
+
+  /// All regions: complete ones first (ordered by decreasing duration),
+  /// then partial ones.
+  std::vector<TrackedRegion> regions;
+
+  std::size_t complete_count = 0;
+
+  /// complete_count / min over frames of the object count.
+  double coverage = 0.0;
+
+  /// renaming[f][object] = region id, or -1 for objects in no region.
+  std::vector<std::vector<std::int32_t>> renaming;
+
+  const TrackedRegion& region(int id) const;
+};
+
+/// Track a sequence of >= 2 frames built over the same metric axes.
+TrackingResult track_frames(std::vector<cluster::Frame> frames,
+                            const TrackingParams& params = {});
+
+}  // namespace perftrack::tracking

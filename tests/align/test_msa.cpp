@@ -1,0 +1,116 @@
+#include "align/msa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace perftrack::align {
+namespace {
+
+std::vector<Symbol> seq(std::initializer_list<int> values) {
+  return std::vector<Symbol>(values.begin(), values.end());
+}
+
+std::vector<Symbol> strip_gaps(std::span<const Symbol> aligned) {
+  std::vector<Symbol> out;
+  for (Symbol s : aligned)
+    if (s != kGap) out.push_back(s);
+  return out;
+}
+
+TEST(StarAlign, EmptyInput) {
+  MultipleAlignment msa = star_align({});
+  EXPECT_EQ(msa.sequence_count(), 0u);
+  EXPECT_EQ(msa.column_count(), 0u);
+  EXPECT_TRUE(msa.consensus().empty());
+}
+
+TEST(StarAlign, IdenticalSequences) {
+  std::vector<std::vector<Symbol>> seqs(5, seq({0, 1, 2, 3}));
+  MultipleAlignment msa = star_align(seqs);
+  EXPECT_EQ(msa.sequence_count(), 5u);
+  EXPECT_EQ(msa.column_count(), 4u);
+  for (std::size_t s = 0; s < 5; ++s)
+    EXPECT_EQ(strip_gaps(msa.row(s)), seqs[s]);
+  EXPECT_EQ(msa.consensus(), seq({0, 1, 2, 3}));
+}
+
+TEST(StarAlign, OneSequenceMissingAPhase) {
+  std::vector<std::vector<Symbol>> seqs{
+      seq({0, 1, 2, 3}), seq({0, 1, 2, 3}), seq({0, 2, 3})};
+  MultipleAlignment msa = star_align(seqs);
+  EXPECT_EQ(msa.column_count(), 4u);
+  // The short row gets a gap at the missing position.
+  EXPECT_EQ(msa.row(2)[1], kGap);
+  // Majority vote still reconstructs the full phase ladder.
+  EXPECT_EQ(msa.consensus(), seq({0, 1, 2, 3}));
+}
+
+TEST(StarAlign, SymbolSubstitutionKeepsColumns) {
+  // Two tasks execute phase 1, one executes phase 7 at the same position —
+  // the bimodal-split situation the SPMD evaluator relies on.
+  std::vector<std::vector<Symbol>> seqs{
+      seq({0, 1, 2}), seq({0, 1, 2}), seq({0, 7, 2})};
+  MultipleAlignment msa = star_align(seqs);
+  EXPECT_EQ(msa.column_count(), 3u);
+  auto column = msa.column(1);
+  EXPECT_EQ(column[0], 1);
+  EXPECT_EQ(column[2], 7);
+  EXPECT_EQ(msa.consensus(), seq({0, 1, 2}));
+}
+
+TEST(StarAlign, EmptyMemberSequenceBecomesAllGaps) {
+  std::vector<std::vector<Symbol>> seqs{seq({1, 2, 3}), {}};
+  MultipleAlignment msa = star_align(seqs);
+  EXPECT_EQ(msa.column_count(), 3u);
+  EXPECT_EQ(strip_gaps(msa.row(1)).size(), 0u);
+}
+
+TEST(StarAlign, ConsensusMajorityTieBreaksToSmallerSymbol) {
+  std::vector<std::vector<Symbol>> seqs{seq({5}), seq({3})};
+  MultipleAlignment msa = star_align(seqs);
+  EXPECT_EQ(msa.consensus(), seq({3}));
+}
+
+TEST(MultipleAlignmentTest, ColumnOutOfRangeThrows) {
+  MultipleAlignment msa = star_align({seq({1, 2})});
+  EXPECT_THROW(msa.column(2), perftrack::PreconditionError);
+}
+
+class MsaProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MsaProperty, RowsReduceToInputs) {
+  perftrack::Rng rng(GetParam());
+  // SPMD-like inputs: near-identical phase ladders with random dropouts and
+  // occasional substitutions.
+  std::vector<Symbol> ladder;
+  int phases = static_cast<int>(rng.uniform_int(3, 10));
+  int iterations = static_cast<int>(rng.uniform_int(2, 6));
+  for (int it = 0; it < iterations; ++it)
+    for (int p = 0; p < phases; ++p) ladder.push_back(p);
+
+  std::vector<std::vector<Symbol>> seqs;
+  int tasks = static_cast<int>(rng.uniform_int(2, 12));
+  for (int t = 0; t < tasks; ++t) {
+    std::vector<Symbol> s;
+    for (Symbol sym : ladder) {
+      if (rng.chance(0.05)) continue;  // dropout
+      s.push_back(rng.chance(0.05) ? sym + 100 : sym);
+    }
+    seqs.push_back(std::move(s));
+  }
+
+  MultipleAlignment msa = star_align(seqs);
+  ASSERT_EQ(msa.sequence_count(), seqs.size());
+  for (std::size_t s = 0; s < seqs.size(); ++s) {
+    EXPECT_EQ(strip_gaps(msa.row(s)), seqs[s]) << "row " << s;
+    EXPECT_EQ(msa.row(s).size(), msa.column_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MsaProperty,
+                         ::testing::Values(2, 4, 6, 8, 10, 12, 14, 16));
+
+}  // namespace
+}  // namespace perftrack::align

@@ -1,0 +1,117 @@
+#include "align/nw.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace perftrack::align {
+namespace {
+
+std::vector<Symbol> seq(std::initializer_list<int> values) {
+  return std::vector<Symbol>(values.begin(), values.end());
+}
+
+/// Symbols of `aligned` with gaps removed.
+std::vector<Symbol> strip_gaps(const std::vector<Symbol>& aligned) {
+  std::vector<Symbol> out;
+  for (Symbol s : aligned)
+    if (s != kGap) out.push_back(s);
+  return out;
+}
+
+TEST(NeedlemanWunsch, IdenticalSequencesAlignWithoutGaps) {
+  auto a = seq({1, 2, 3, 4, 5});
+  PairAlignment result = needleman_wunsch(a, a);
+  EXPECT_EQ(result.a, a);
+  EXPECT_EQ(result.b, a);
+  EXPECT_EQ(result.matches(), 5u);
+  EXPECT_DOUBLE_EQ(result.identity(), 1.0);
+  EXPECT_DOUBLE_EQ(result.score, 10.0);  // 5 matches x 2.0
+}
+
+TEST(NeedlemanWunsch, SingleInsertion) {
+  auto a = seq({1, 2, 3});
+  auto b = seq({1, 2, 9, 3});
+  PairAlignment result = needleman_wunsch(a, b);
+  ASSERT_EQ(result.length(), 4u);
+  EXPECT_EQ(result.a, seq({1, 2, kGap, 3}));
+  EXPECT_EQ(result.b, b);
+  EXPECT_EQ(result.matches(), 3u);
+}
+
+TEST(NeedlemanWunsch, SingleDeletion) {
+  auto a = seq({1, 2, 9, 3});
+  auto b = seq({1, 2, 3});
+  PairAlignment result = needleman_wunsch(a, b);
+  EXPECT_EQ(result.b, seq({1, 2, kGap, 3}));
+  EXPECT_EQ(result.matches(), 3u);
+}
+
+TEST(NeedlemanWunsch, EmptySequences) {
+  PairAlignment both = needleman_wunsch({}, {});
+  EXPECT_EQ(both.length(), 0u);
+  EXPECT_DOUBLE_EQ(both.identity(), 1.0);
+
+  auto a = seq({1, 2});
+  PairAlignment left = needleman_wunsch(a, {});
+  EXPECT_EQ(left.a, a);
+  EXPECT_EQ(left.b, seq({kGap, kGap}));
+  EXPECT_DOUBLE_EQ(left.identity(), 0.0);
+}
+
+TEST(NeedlemanWunsch, CompletelyDifferentSequences) {
+  auto a = seq({1, 1, 1});
+  auto b = seq({2, 2, 2});
+  PairAlignment result = needleman_wunsch(a, b);
+  EXPECT_EQ(result.matches(), 0u);
+  EXPECT_DOUBLE_EQ(result.identity(), 0.0);
+}
+
+TEST(NeedlemanWunsch, CustomScoreFunction) {
+  // Score function that treats 1<->7 as a match (cross-experiment ids).
+  auto score = [](Symbol x, Symbol y) {
+    bool match = (x == 1 && y == 7) || x == y;
+    return match ? 2.0 : -1.0;
+  };
+  auto a = seq({1, 2, 3});
+  auto b = seq({7, 2, 3});
+  PairAlignment result = needleman_wunsch(a, b, score, -1.0);
+  EXPECT_EQ(result.a, a);
+  EXPECT_EQ(result.b, b);
+  EXPECT_DOUBLE_EQ(result.score, 6.0);
+}
+
+TEST(NeedlemanWunsch, PrefersMatchesOverGaps) {
+  auto a = seq({5, 1, 2, 3});
+  auto b = seq({1, 2, 3, 6});
+  PairAlignment result = needleman_wunsch(a, b);
+  EXPECT_EQ(result.matches(), 3u);  // 1,2,3 aligned
+}
+
+class NwProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NwProperty, AlignmentPreservesInputSequences) {
+  perftrack::Rng rng(GetParam());
+  std::vector<Symbol> a, b;
+  int la = static_cast<int>(rng.uniform_int(0, 60));
+  int lb = static_cast<int>(rng.uniform_int(0, 60));
+  for (int i = 0; i < la; ++i)
+    a.push_back(static_cast<Symbol>(rng.uniform_int(0, 8)));
+  for (int i = 0; i < lb; ++i)
+    b.push_back(static_cast<Symbol>(rng.uniform_int(0, 8)));
+
+  PairAlignment result = needleman_wunsch(a, b);
+  // Both gapped rows have equal length and reduce to the originals.
+  EXPECT_EQ(result.a.size(), result.b.size());
+  EXPECT_EQ(strip_gaps(result.a), a);
+  EXPECT_EQ(strip_gaps(result.b), b);
+  // No column is gap-gap.
+  for (std::size_t c = 0; c < result.length(); ++c)
+    EXPECT_FALSE(result.a[c] == kGap && result.b[c] == kGap);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NwProperty,
+                         ::testing::Values(3, 7, 19, 31, 57, 91));
+
+}  // namespace
+}  // namespace perftrack::align

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the command-line tools:
+#   trace_inspect generates a sample .ptt; perftrack inspects, slices and
+#   tracks it; ptconvert round-trips it through the Paraver format.
+set -euo pipefail
+
+TOOLS_DIR=$1
+EXAMPLES_DIR=$2
+WORK_DIR=$(mktemp -d)
+trap 'rm -rf "$WORK_DIR"' EXIT
+cd "$WORK_DIR"
+
+echo "== generate a sample trace =="
+"$EXAMPLES_DIR/trace_inspect" > /dev/null
+test -f hydroc_sample.ptt
+
+echo "== perftrack inspect =="
+"$TOOLS_DIR/perftrack" inspect hydroc_sample.ptt | grep -q "behavioural clusters"
+
+echo "== perftrack evolve with CSV and HTML output =="
+"$TOOLS_DIR/perftrack" evolve --intervals 4 hydroc_sample.ptt \
+    --csv trends.csv --html report.html | grep -q "coverage 100%"
+test -s trends.csv
+head -1 trends.csv | grep -q "region,frame"
+grep -q "<!DOCTYPE html>" report.html
+
+echo "== perftrack track over two interval slices =="
+"$TOOLS_DIR/perftrack" track hydroc_sample.ptt hydroc_sample.ptt \
+    --matrices | grep -q "tracked regions: 2"
+
+echo "== ptconvert round trip through Paraver =="
+"$TOOLS_DIR/ptconvert" to-prv hydroc_sample.ptt pv_base | grep -q "wrote"
+test -s pv_base.prv
+test -s pv_base.pcf
+"$TOOLS_DIR/ptconvert" to-ptt pv_base back.ptt | grep -q "wrote"
+"$TOOLS_DIR/perftrack" inspect back.ptt | grep -q "behavioural clusters"
+
+echo "== bad input is rejected cleanly =="
+if "$TOOLS_DIR/perftrack" track only_one.ptt 2> /dev/null; then
+  echo "expected failure on a single input" >&2
+  exit 1
+fi
+
+echo "cli smoke: OK"

@@ -1,0 +1,75 @@
+#include "cluster/autotune.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "cluster/dbscan.hpp"
+
+namespace perftrack::cluster {
+namespace {
+
+geom::PointSet blobs_with_noise(std::size_t blob_count,
+                                std::size_t per_blob, double sigma,
+                                std::size_t noise, std::uint64_t seed) {
+  Rng rng(seed);
+  geom::PointSet points(2);
+  for (std::size_t c = 0; c < blob_count; ++c) {
+    double cx = 0.15 + 0.7 * static_cast<double>(c) /
+                            std::max<std::size_t>(1, blob_count - 1);
+    double cy = c % 2 == 0 ? 0.25 : 0.75;
+    for (std::size_t i = 0; i < per_blob; ++i)
+      points.add(std::vector<double>{cx + rng.normal(0.0, sigma),
+                                     cy + rng.normal(0.0, sigma)});
+  }
+  for (std::size_t i = 0; i < noise; ++i)
+    points.add(std::vector<double>{rng.uniform(0.0, 1.0),
+                                   rng.uniform(0.0, 1.0)});
+  return points;
+}
+
+TEST(AutotuneTest, Validation) {
+  geom::PointSet points(2, {0.0, 0.0, 1.0, 1.0});
+  EXPECT_THROW(suggest_dbscan_params(points, 0), PreconditionError);
+  EXPECT_THROW(suggest_dbscan_params(points, 2), PreconditionError);
+}
+
+TEST(AutotuneTest, CurveIsSortedDescending) {
+  geom::PointSet points = blobs_with_noise(3, 60, 0.01, 10, 5);
+  AutotuneResult result = suggest_dbscan_params(points, 5);
+  for (std::size_t i = 1; i < result.k_distances.size(); ++i)
+    EXPECT_LE(result.k_distances[i], result.k_distances[i - 1]);
+  EXPECT_EQ(result.k_distances.size(), points.size());
+  EXPECT_DOUBLE_EQ(result.eps, result.k_distances[result.knee_index]);
+}
+
+class AutotuneRecovery : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AutotuneRecovery, SuggestedEpsRecoversTheBlobs) {
+  const std::size_t blobs = 4;
+  geom::PointSet points = blobs_with_noise(blobs, 80, 0.012, 12,
+                                           GetParam());
+  AutotuneResult tuned = suggest_dbscan_params(points, 5);
+  // eps must sit between the intra-cluster scale and the blob separation.
+  EXPECT_GT(tuned.eps, 0.005);
+  EXPECT_LT(tuned.eps, 0.2);
+  DbscanResult clusters =
+      dbscan(points, {.eps = tuned.eps, .min_pts = tuned.min_pts});
+  EXPECT_EQ(clusters.cluster_count, static_cast<std::int32_t>(blobs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutotuneRecovery,
+                         ::testing::Values(3, 11, 29, 47));
+
+TEST(AutotuneTest, DegenerateDuplicatesFallBack) {
+  geom::PointSet points(2);
+  for (int i = 0; i < 50; ++i) points.add(std::vector<double>{0.5, 0.5});
+  AutotuneResult result = suggest_dbscan_params(points, 5);
+  EXPECT_GT(result.eps, 0.0);
+  DbscanResult clusters =
+      dbscan(points, {.eps = result.eps, .min_pts = result.min_pts});
+  EXPECT_EQ(clusters.cluster_count, 1);
+}
+
+}  // namespace
+}  // namespace perftrack::cluster

@@ -1,0 +1,151 @@
+#include "cluster/dbscan.hpp"
+
+#include <gtest/gtest.h>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "geom/kdtree.hpp"
+
+namespace perftrack::cluster {
+namespace {
+
+geom::PointSet blob(std::span<const std::pair<double, double>> centres,
+                    std::size_t per_blob, double sigma, std::uint64_t seed) {
+  Rng rng(seed);
+  geom::PointSet points(2);
+  for (auto [cx, cy] : centres)
+    for (std::size_t i = 0; i < per_blob; ++i)
+      points.add(std::vector<double>{cx + rng.normal(0.0, sigma),
+                                     cy + rng.normal(0.0, sigma)});
+  return points;
+}
+
+TEST(DbscanTest, EmptyInput) {
+  geom::PointSet points(2);
+  DbscanResult result = dbscan(points, {});
+  EXPECT_EQ(result.cluster_count, 0);
+  EXPECT_TRUE(result.labels.empty());
+}
+
+TEST(DbscanTest, RejectsBadParams) {
+  geom::PointSet points(2, {0.0, 0.0});
+  EXPECT_THROW(dbscan(points, {.eps = 0.0, .min_pts = 1}),
+               PreconditionError);
+  EXPECT_THROW(dbscan(points, {.eps = 0.1, .min_pts = 0}),
+               PreconditionError);
+}
+
+TEST(DbscanTest, TwoSeparatedBlobs) {
+  std::vector<std::pair<double, double>> centres{{0.2, 0.2}, {0.8, 0.8}};
+  geom::PointSet points = blob(centres, 100, 0.01, 3);
+  DbscanResult result = dbscan(points, {.eps = 0.05, .min_pts = 5});
+  EXPECT_EQ(result.cluster_count, 2);
+  EXPECT_EQ(result.noise_count(), 0u);
+  // All points of one blob share a label.
+  std::set<std::int32_t> first_blob(result.labels.begin(),
+                                    result.labels.begin() + 100);
+  EXPECT_EQ(first_blob.size(), 1u);
+  std::set<std::int32_t> second_blob(result.labels.begin() + 100,
+                                     result.labels.end());
+  EXPECT_EQ(second_blob.size(), 1u);
+  EXPECT_NE(*first_blob.begin(), *second_blob.begin());
+}
+
+TEST(DbscanTest, SparsePointsAreNoise) {
+  std::vector<std::pair<double, double>> centres{{0.5, 0.5}};
+  geom::PointSet points = blob(centres, 50, 0.005, 7);
+  points.add(std::vector<double>{0.0, 0.0});  // isolated outlier
+  DbscanResult result = dbscan(points, {.eps = 0.03, .min_pts = 5});
+  EXPECT_EQ(result.cluster_count, 1);
+  EXPECT_EQ(result.labels.back(), kNoise);
+  EXPECT_EQ(result.noise_count(), 1u);
+}
+
+TEST(DbscanTest, MinPtsTooHighMakesEverythingNoise) {
+  std::vector<std::pair<double, double>> centres{{0.5, 0.5}};
+  geom::PointSet points = blob(centres, 10, 0.005, 7);
+  DbscanResult result = dbscan(points, {.eps = 0.03, .min_pts = 50});
+  EXPECT_EQ(result.cluster_count, 0);
+  EXPECT_EQ(result.noise_count(), 10u);
+}
+
+TEST(DbscanTest, ChainConnectivityMergesElongatedCluster) {
+  // A line of dense blobs spaced under eps apart forms ONE cluster — the
+  // "stretched" imbalance clusters of the paper rely on this.
+  geom::PointSet points(2);
+  Rng rng(11);
+  for (int step = 0; step < 20; ++step)
+    for (int i = 0; i < 20; ++i)
+      points.add(std::vector<double>{0.02 * step + rng.normal(0.0, 0.002),
+                                     0.5 + rng.normal(0.0, 0.002)});
+  DbscanResult result = dbscan(points, {.eps = 0.025, .min_pts = 5});
+  EXPECT_EQ(result.cluster_count, 1);
+}
+
+TEST(DbscanTest, DeterministicLabels) {
+  std::vector<std::pair<double, double>> centres{
+      {0.2, 0.2}, {0.8, 0.8}, {0.2, 0.8}};
+  geom::PointSet points = blob(centres, 60, 0.01, 5);
+  DbscanParams params{.eps = 0.05, .min_pts = 4};
+  DbscanResult a = dbscan(points, params);
+  DbscanResult b = dbscan(points, params);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+// Property: every point labelled into a cluster has either >= min_pts
+// neighbours (core) or a core point within eps (border); noise has no core
+// point within eps.
+class DbscanInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DbscanInvariants, CoreAndBorderConditionsHold) {
+  Rng rng(GetParam());
+  geom::PointSet points(2);
+  int blobs = static_cast<int>(rng.uniform_int(1, 4));
+  for (int c = 0; c < blobs; ++c) {
+    double cx = rng.uniform(0.1, 0.9), cy = rng.uniform(0.1, 0.9);
+    int n = static_cast<int>(rng.uniform_int(10, 80));
+    for (int i = 0; i < n; ++i)
+      points.add(std::vector<double>{cx + rng.normal(0.0, 0.02),
+                                     cy + rng.normal(0.0, 0.02)});
+  }
+  for (int i = 0; i < 10; ++i)  // scattered noise
+    points.add(std::vector<double>{rng.uniform(0.0, 1.0),
+                                   rng.uniform(0.0, 1.0)});
+
+  DbscanParams params{.eps = 0.03, .min_pts = 6};
+  DbscanResult result = dbscan(points, params);
+
+  geom::KdTree tree(points);
+  std::vector<bool> is_core(points.size(), false);
+  for (std::size_t i = 0; i < points.size(); ++i)
+    is_core[i] =
+        tree.radius_query(points[i], params.eps).size() >= params.min_pts;
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    auto neighbours = tree.radius_query(points[i], params.eps);
+    bool near_core = false;
+    for (std::size_t n : neighbours)
+      if (is_core[n]) near_core = true;
+    if (result.labels[i] == kNoise) {
+      EXPECT_FALSE(near_core) << "noise point " << i << " near a core point";
+    } else {
+      EXPECT_TRUE(near_core) << "clustered point " << i << " has no core";
+      // Core neighbours must share the point's cluster.
+      if (is_core[i]) {
+        for (std::size_t n : neighbours) {
+          if (is_core[n]) {
+            EXPECT_EQ(result.labels[i], result.labels[n])
+                << "cores " << i << " and " << n << " within eps differ";
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbscanInvariants,
+                         ::testing::Values(1, 9, 17, 33, 65));
+
+}  // namespace
+}  // namespace perftrack::cluster

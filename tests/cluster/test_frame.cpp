@@ -1,0 +1,162 @@
+#include "cluster/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "testing/test_traces.hpp"
+
+namespace perftrack::cluster {
+namespace {
+
+using testing::MiniPhase;
+using testing::MiniTraceSpec;
+using testing::make_mini_trace;
+
+MiniTraceSpec three_phase_spec() {
+  MiniTraceSpec spec;
+  spec.tasks = 4;
+  spec.iterations = 5;
+  spec.phases = {
+      MiniPhase{8e6, 1.0, {"heavy", "a.c", 10}},
+      MiniPhase{1e6, 2.0, {"mid", "a.c", 20}},
+      MiniPhase{2e5, 0.5, {"light", "b.c", 30}},
+  };
+  return spec;
+}
+
+ClusteringParams default_params() {
+  ClusteringParams params;
+  params.log_scale = {true, false};
+  params.dbscan.eps = 0.05;
+  params.dbscan.min_pts = 4;
+  return params;
+}
+
+TEST(FrameTest, BuildsOneClusterPerPhase) {
+  auto trace = make_mini_trace(three_phase_spec());
+  Frame frame = build_frame(trace, default_params());
+  EXPECT_EQ(frame.object_count(), 3u);
+  EXPECT_EQ(frame.label(), "mini");
+  EXPECT_EQ(frame.num_tasks(), 4u);
+  // All bursts clustered.
+  for (auto label : frame.labels()) EXPECT_NE(label, kNoise);
+}
+
+TEST(FrameTest, ClustersOrderedByTotalDuration) {
+  auto trace = make_mini_trace(three_phase_spec());
+  Frame frame = build_frame(trace, default_params());
+  // Durations: heavy 8e6/1.0 = 8ms, light 2e5/0.5 = 0.4ms, mid 1e6/2 = 0.5ms
+  // per burst -> order: heavy, mid, light.
+  ASSERT_EQ(frame.object_count(), 3u);
+  EXPECT_GT(frame.object(0).total_duration, frame.object(1).total_duration);
+  EXPECT_GT(frame.object(1).total_duration, frame.object(2).total_duration);
+  // Cluster 0 is the heavy phase.
+  EXPECT_NEAR(frame.object(0).centroid[0], 8e6, 1e-3);
+}
+
+TEST(FrameTest, CallstackWeightsSumToOne) {
+  auto trace = make_mini_trace(three_phase_spec());
+  Frame frame = build_frame(trace, default_params());
+  for (const auto& object : frame.objects()) {
+    double sum = 0.0;
+    for (const auto& [cs, weight] : object.callstack_weight) sum += weight;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_EQ(object.callstack_weight.size(), 1u);  // one phase per cluster
+  }
+}
+
+TEST(FrameTest, TaskSequencesFollowPhaseOrder) {
+  auto trace = make_mini_trace(three_phase_spec());
+  Frame frame = build_frame(trace, default_params());
+  ASSERT_EQ(frame.task_sequences().size(), 4u);
+  // Build the expected per-iteration pattern from the actual labels of the
+  // first three projection rows (phase execution order).
+  std::vector<align::Symbol> iteration{frame.labels()[0], frame.labels()[1],
+                                       frame.labels()[2]};
+  for (const auto& seq : frame.task_sequences()) {
+    ASSERT_EQ(seq.size(), 15u);  // 3 phases x 5 iterations, no collapses
+    for (std::size_t i = 0; i < seq.size(); ++i)
+      EXPECT_EQ(seq[i], iteration[i % 3]);
+  }
+}
+
+TEST(FrameTest, CollapseSequenceRuns) {
+  MiniTraceSpec spec = three_phase_spec();
+  // Duplicate the heavy phase back-to-back: with collapsing, the pair
+  // appears once per iteration.
+  spec.phases.insert(spec.phases.begin(),
+                     MiniPhase{8e6, 1.0, {"heavy", "a.c", 10}});
+  auto trace = make_mini_trace(spec);
+  ClusteringParams params = default_params();
+  params.collapse_sequence_runs = true;
+  Frame frame = build_frame(trace, params);
+  for (const auto& seq : frame.task_sequences())
+    EXPECT_EQ(seq.size(), 15u);  // not 20: the run of two collapses to one
+
+  params.collapse_sequence_runs = false;
+  Frame raw = build_frame(trace, params);
+  for (const auto& seq : raw.task_sequences()) EXPECT_EQ(seq.size(), 20u);
+}
+
+TEST(FrameTest, MinClusterTimeFractionDropsTinyClusters) {
+  auto trace = make_mini_trace(three_phase_spec());
+  ClusteringParams params = default_params();
+  // Cluster time shares: heavy ~90%, mid ~5.6%, light ~4.5%. A 5% floor
+  // drops exactly the light cluster.
+  params.min_cluster_time_fraction = 0.05;
+  Frame frame = build_frame(trace, params);
+  EXPECT_EQ(frame.object_count(), 2u);
+  // The dropped phase's rows read noise.
+  std::size_t noise = 0;
+  for (auto label : frame.labels())
+    if (label == kNoise) ++noise;
+  EXPECT_EQ(noise, 20u);
+}
+
+TEST(FrameTest, ObjectRowsMatchLabels) {
+  auto trace = make_mini_trace(three_phase_spec());
+  Frame frame = build_frame(trace, default_params());
+  for (const auto& object : frame.objects())
+    for (std::uint32_t row : object.rows)
+      EXPECT_EQ(frame.labels()[row], object.id);
+}
+
+TEST(FrameTest, ObjectOutOfRangeThrows) {
+  auto trace = make_mini_trace(three_phase_spec());
+  Frame frame = build_frame(trace, default_params());
+  EXPECT_THROW(frame.object(99), PreconditionError);
+  EXPECT_THROW(frame.object(-1), PreconditionError);
+}
+
+TEST(FrameTest, NullTraceThrows) {
+  EXPECT_THROW(build_frame(nullptr, default_params()), PreconditionError);
+}
+
+TEST(AssembleFrameTest, LabelSizeMismatchThrows) {
+  auto trace = make_mini_trace(three_phase_spec());
+  ClusteringParams params = default_params();
+  Projection proj = project(*trace, params.projection);
+  std::vector<std::int32_t> labels(proj.size() - 1, 0);
+  EXPECT_THROW(
+      assemble_frame(trace, std::move(proj), std::move(labels), params),
+      PreconditionError);
+}
+
+TEST(AssembleFrameTest, InjectedLabelsAreRenumberedByDuration) {
+  auto trace = make_mini_trace(three_phase_spec());
+  ClusteringParams params = default_params();
+  Projection proj = project(*trace, params.projection);
+  // Label phases as 5 (heavy), 9 (mid), 1 (light) per burst position.
+  std::vector<std::int32_t> labels(proj.size());
+  const std::int32_t raw_ids[3] = {5, 9, 1};
+  for (std::size_t row = 0; row < labels.size(); ++row)
+    labels[row] = raw_ids[row % 3];
+  Frame frame =
+      assemble_frame(trace, std::move(proj), std::move(labels), params);
+  ASSERT_EQ(frame.object_count(), 3u);
+  // heavy (raw 5) has the largest duration -> id 0.
+  EXPECT_EQ(frame.labels()[0], 0);
+}
+
+}  // namespace
+}  // namespace perftrack::cluster

@@ -1,0 +1,77 @@
+#include "cluster/normalize.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace perftrack::cluster {
+namespace {
+
+TEST(TransformTest, MinMaxToUnitInterval) {
+  geom::PointSet points(2, {0.0, 10.0, 4.0, 20.0, 2.0, 15.0});
+  Transform t = Transform::fit(points);
+  geom::PointSet out = t.apply(points);
+  EXPECT_DOUBLE_EQ(out[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1][0], 1.0);
+  EXPECT_DOUBLE_EQ(out[2][0], 0.5);
+  EXPECT_DOUBLE_EQ(out[0][1], 0.0);
+  EXPECT_DOUBLE_EQ(out[1][1], 1.0);
+  EXPECT_DOUBLE_EQ(out[2][1], 0.5);
+}
+
+TEST(TransformTest, ConstantDimensionMapsToHalf) {
+  geom::PointSet points(1, {7.0, 7.0, 7.0});
+  Transform t = Transform::fit(points);
+  geom::PointSet out = t.apply(points);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_DOUBLE_EQ(out[i][0], 0.5);
+}
+
+TEST(TransformTest, LogScaling) {
+  geom::PointSet points(1, {10.0, 1000.0});
+  Transform t = Transform::fit(points, {true});
+  EXPECT_TRUE(t.log_scaled(0));
+  geom::PointSet out = t.apply(points);
+  EXPECT_DOUBLE_EQ(out[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1][0], 1.0);
+  // 100 is the geometric midpoint.
+  auto mid = t.apply_one(std::vector<double>{100.0});
+  EXPECT_NEAR(mid[0], 0.5, 1e-12);
+}
+
+TEST(TransformTest, LogScalingSurvivesZeros) {
+  geom::PointSet points(1, {0.0, 100.0});
+  Transform t = Transform::fit(points, {true});
+  geom::PointSet out = t.apply(points);
+  EXPECT_DOUBLE_EQ(out[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1][0], 1.0);
+  EXPECT_TRUE(std::isfinite(out[0][0]));
+}
+
+TEST(TransformTest, EmptyFitYieldsIdentityRange) {
+  geom::PointSet points(2);
+  Transform t = Transform::fit(points);
+  auto out = t.apply_one(std::vector<double>{0.5, 0.25});
+  EXPECT_DOUBLE_EQ(out[0], 0.5);
+  EXPECT_DOUBLE_EQ(out[1], 0.25);
+}
+
+TEST(TransformTest, RejectsMismatches) {
+  geom::PointSet points(2, {1.0, 2.0});
+  EXPECT_THROW(Transform::fit(points, {true}), PreconditionError);
+  Transform t = Transform::fit(points);
+  geom::PointSet wrong(3);
+  EXPECT_THROW(t.apply(wrong), PreconditionError);
+  EXPECT_THROW(t.apply_one(std::vector<double>{1.0}), PreconditionError);
+}
+
+TEST(TransformTest, ApplyToOtherPointSetUsesFittedRange) {
+  geom::PointSet fit_points(1, {0.0, 10.0});
+  Transform t = Transform::fit(fit_points);
+  auto out = t.apply_one(std::vector<double>{20.0});
+  EXPECT_DOUBLE_EQ(out[0], 2.0);  // extrapolates beyond [0,1]
+}
+
+}  // namespace
+}  // namespace perftrack::cluster

@@ -1,0 +1,92 @@
+#include "cluster/projection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "testing/test_traces.hpp"
+
+namespace perftrack::cluster {
+namespace {
+
+using testing::MiniTraceSpec;
+using testing::make_mini_trace;
+
+MiniTraceSpec two_phase_spec() {
+  MiniTraceSpec spec;
+  spec.tasks = 2;
+  spec.iterations = 3;
+  spec.phases = {{1e6, 1.0}, {5e4, 2.0}};  // long and short phases
+  return spec;
+}
+
+TEST(ProjectionTest, ProjectsAllBurstsByDefault) {
+  auto trace = make_mini_trace(two_phase_spec());
+  ProjectionParams params;
+  Projection proj = project(*trace, params);
+  EXPECT_EQ(proj.size(), trace->burst_count());
+  EXPECT_EQ(proj.points.dims(), 2u);
+  // First row is the first burst: (instructions, ipc).
+  EXPECT_DOUBLE_EQ(proj.points[0][0], 1e6);
+  EXPECT_DOUBLE_EQ(proj.points[0][1], 1.0);
+  EXPECT_DOUBLE_EQ(proj.durations[0], trace->bursts()[0].duration);
+}
+
+TEST(ProjectionTest, MinDurationFilters) {
+  auto trace = make_mini_trace(two_phase_spec());
+  ProjectionParams params;
+  // Long phase: 1e6/1.0/1e9 = 1 ms. Short: 5e4/2.0/1e9 = 25 us.
+  params.min_duration = 1e-4;
+  Projection proj = project(*trace, params);
+  EXPECT_EQ(proj.size(), trace->burst_count() / 2);
+  for (std::size_t row = 0; row < proj.size(); ++row)
+    EXPECT_DOUBLE_EQ(proj.points[row][0], 1e6);
+}
+
+TEST(ProjectionTest, TimeCoverageFilterKeepsDominantBursts) {
+  auto trace = make_mini_trace(two_phase_spec());
+  ProjectionParams params;
+  // The long phase carries ~97.6% of the time, so covering 90% only needs
+  // the long bursts.
+  params.time_coverage = 0.9;
+  Projection proj = project(*trace, params);
+  EXPECT_EQ(proj.size(), trace->burst_count() / 2);
+}
+
+TEST(ProjectionTest, CustomMetricAxes) {
+  auto trace = make_mini_trace(two_phase_spec());
+  ProjectionParams params;
+  params.metrics = {trace::Metric::Duration};
+  Projection proj = project(*trace, params);
+  EXPECT_EQ(proj.points.dims(), 1u);
+  EXPECT_DOUBLE_EQ(proj.points[0][0], trace->bursts()[0].duration);
+}
+
+TEST(ProjectionTest, RejectsEmptyMetrics) {
+  auto trace = make_mini_trace(two_phase_spec());
+  ProjectionParams params;
+  params.metrics = {};
+  EXPECT_THROW(project(*trace, params), PreconditionError);
+}
+
+TEST(DurationThreshold, CoversRequestedFraction) {
+  auto trace = make_mini_trace(two_phase_spec());
+  EXPECT_DOUBLE_EQ(duration_threshold_for_coverage(*trace, 0.0), 0.0);
+  double threshold = duration_threshold_for_coverage(*trace, 0.5);
+  double covered = 0.0, total = 0.0;
+  for (const auto& b : trace->bursts()) {
+    total += b.duration;
+    if (b.duration >= threshold) covered += b.duration;
+  }
+  EXPECT_GE(covered, 0.5 * total);
+  EXPECT_THROW(duration_threshold_for_coverage(*trace, 1.5),
+               PreconditionError);
+}
+
+TEST(DurationThreshold, FullCoverageKeepsEverything) {
+  auto trace = make_mini_trace(two_phase_spec());
+  double threshold = duration_threshold_for_coverage(*trace, 1.0);
+  for (const auto& b : trace->bursts()) EXPECT_GE(b.duration, threshold);
+}
+
+}  // namespace
+}  // namespace perftrack::cluster

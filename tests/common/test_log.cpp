@@ -1,0 +1,32 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace perftrack {
+namespace {
+
+TEST(LogTest, LevelRoundTrip) {
+  LogLevel original = log_level();
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  set_log_level(original);
+}
+
+TEST(LogTest, SuppressedMessagesDoNotFormat) {
+  LogLevel original = log_level();
+  set_log_level(LogLevel::Off);
+  // Streaming into a suppressed LogLine must be a no-op (and not crash).
+  PT_LOG(Debug) << "dropped " << 42;
+  PT_LOG(Error) << "also dropped " << 3.14;
+  set_log_level(original);
+}
+
+TEST(LogTest, DefaultLevelIsWarnOrConfigured) {
+  // The library default keeps Info quiet.
+  EXPECT_GE(static_cast<int>(log_level()), static_cast<int>(LogLevel::Warn));
+}
+
+}  // namespace
+}  // namespace perftrack

@@ -1,0 +1,98 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace perftrack {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 50; ++i)
+    if (a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, DeriveIsDeterministicAndIndependent) {
+  Rng parent(7);
+  Rng c1 = parent.derive("phase", 3);
+  Rng c2 = Rng(7).derive("phase", 3);
+  EXPECT_EQ(c1.seed(), c2.seed());
+  // Deriving does not consume parent randomness.
+  Rng p1(7), p2(7);
+  (void)p1.derive("x", 0);
+  EXPECT_DOUBLE_EQ(p1.uniform(0.0, 1.0), p2.uniform(0.0, 1.0));
+}
+
+TEST(RngTest, DeriveTagAndIndexMatter) {
+  Rng parent(7);
+  EXPECT_NE(parent.derive("a", 0).seed(), parent.derive("b", 0).seed());
+  EXPECT_NE(parent.derive("a", 0).seed(), parent.derive("a", 1).seed());
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.uniform_int(1, 3);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 1;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalZeroStddevReturnsMean) {
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(rng.normal(5.0, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(rng.normal(5.0, -1.0), 5.0);
+}
+
+TEST(RngTest, NormalClampedStaysInBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.normal_clamped(0.0, 10.0, -1.0, 1.0);
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(RngTest, JitterPositiveCentredOnOne) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    double v = rng.jitter(0.05);
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 5000.0, 1.0, 0.01);
+  EXPECT_DOUBLE_EQ(rng.jitter(0.0), 1.0);
+}
+
+TEST(RngTest, ChanceRoughProbability) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (rng.chance(0.25)) ++hits;
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace perftrack

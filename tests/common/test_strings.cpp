@@ -1,0 +1,78 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace perftrack {
+namespace {
+
+TEST(Split, Basic) {
+  auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  auto parts = split(",a,,b,", ',');
+  ASSERT_EQ(parts.size(), 5u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[4], "");
+}
+
+TEST(Split, NoDelimiter) {
+  auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Split, EmptyInput) {
+  auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" a b "), "a b");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("burst 1 2", "burst "));
+  EXPECT_FALSE(starts_with("burs", "burst"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_FALSE(starts_with("", "x"));
+}
+
+TEST(FormatDouble, Decimals) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.0, 0), "3");
+  EXPECT_EQ(format_double(-1.5, 1), "-1.5");
+}
+
+TEST(FormatSi, Scales) {
+  EXPECT_EQ(format_si(12.3e9), "12.3G");
+  EXPECT_EQ(format_si(6.8e6), "6.8M");
+  EXPECT_EQ(format_si(4500.0), "4.5K");
+  EXPECT_EQ(format_si(42.0), "42.0");
+  EXPECT_EQ(format_si(-6.8e6), "-6.8M");
+}
+
+TEST(FormatPercent, SignedPercentages) {
+  EXPECT_EQ(format_percent(0.049), "+4.9%");
+  EXPECT_EQ(format_percent(-0.201), "-20.1%");
+  EXPECT_EQ(format_percent(0.0), "0.0%");
+}
+
+TEST(Join, Basics) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace perftrack

@@ -1,0 +1,202 @@
+#include "geom/kdtree.hpp"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace perftrack::geom {
+namespace {
+
+PointSet random_points(std::size_t n, std::size_t dims, Rng& rng) {
+  PointSet points(dims);
+  std::vector<double> coords(dims);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& c : coords) c = rng.uniform(0.0, 1.0);
+    points.add(coords);
+  }
+  return points;
+}
+
+std::size_t brute_nearest(const PointSet& points,
+                          std::span<const double> query) {
+  std::size_t best = 0;
+  double best_sq = 1e300;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    double d2 = squared_distance(query, points[i]);
+    if (d2 < best_sq || (d2 == best_sq && i < best)) {
+      best_sq = d2;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> brute_radius(const PointSet& points,
+                                      std::span<const double> query,
+                                      double radius) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < points.size(); ++i)
+    if (squared_distance(query, points[i]) <= radius * radius)
+      out.push_back(i);
+  return out;
+}
+
+TEST(KdTreeTest, SinglePoint) {
+  PointSet points(2, {0.5, 0.5});
+  KdTree tree(points);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.nearest(std::vector<double>{0.0, 0.0}), 0u);
+  EXPECT_DOUBLE_EQ(
+      tree.nearest_squared_distance(std::vector<double>{0.5, 0.5}), 0.0);
+}
+
+TEST(KdTreeTest, EmptyTreeNearestThrows) {
+  PointSet points(2);
+  KdTree tree(points);
+  EXPECT_THROW(tree.nearest(std::vector<double>{0.0, 0.0}),
+               PreconditionError);
+}
+
+TEST(KdTreeTest, EmptyTreeRadiusIsEmpty) {
+  PointSet points(2);
+  KdTree tree(points);
+  EXPECT_TRUE(tree.radius_query(std::vector<double>{0.0, 0.0}, 1.0).empty());
+}
+
+TEST(KdTreeTest, QueryDimensionMismatchThrows) {
+  PointSet points(2, {0.0, 0.0});
+  KdTree tree(points);
+  EXPECT_THROW(tree.nearest(std::vector<double>{0.0}), PreconditionError);
+  EXPECT_THROW(tree.radius_query(std::vector<double>{0.0, 0.0, 0.0}, 1.0),
+               PreconditionError);
+}
+
+TEST(KdTreeTest, NegativeRadiusThrows) {
+  PointSet points(2, {0.0, 0.0});
+  KdTree tree(points);
+  EXPECT_THROW(tree.radius_query(std::vector<double>{0.0, 0.0}, -0.1),
+               PreconditionError);
+}
+
+TEST(KdTreeTest, DuplicatePoints) {
+  PointSet points(2);
+  for (int i = 0; i < 40; ++i) points.add(std::vector<double>{1.0, 1.0});
+  KdTree tree(points);
+  // Ties break to the lowest index.
+  EXPECT_EQ(tree.nearest(std::vector<double>{1.0, 1.0}), 0u);
+  auto all = tree.radius_query(std::vector<double>{1.0, 1.0}, 0.0);
+  EXPECT_EQ(all.size(), 40u);
+}
+
+TEST(KdTreeTest, RadiusBoundaryInclusive) {
+  PointSet points(1, {0.0, 1.0, 2.0});
+  KdTree tree(points);
+  auto hits = tree.radius_query(std::vector<double>{0.0}, 1.0);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], 0u);
+  EXPECT_EQ(hits[1], 1u);
+}
+
+// Property tests: kd-tree results must exactly match brute force.
+struct KdCase {
+  std::size_t n;
+  std::size_t dims;
+  std::uint64_t seed;
+};
+
+class KdTreeProperty : public ::testing::TestWithParam<KdCase> {};
+
+TEST_P(KdTreeProperty, NearestMatchesBruteForce) {
+  auto [n, dims, seed] = GetParam();
+  Rng rng(seed);
+  PointSet points = random_points(n, dims, rng);
+  KdTree tree(points, /*leaf_size=*/4);
+  for (int q = 0; q < 50; ++q) {
+    std::vector<double> query(dims);
+    for (auto& c : query) c = rng.uniform(-0.2, 1.2);
+    EXPECT_EQ(tree.nearest(query), brute_nearest(points, query));
+  }
+}
+
+TEST_P(KdTreeProperty, RadiusMatchesBruteForce) {
+  auto [n, dims, seed] = GetParam();
+  Rng rng(seed + 1000);
+  PointSet points = random_points(n, dims, rng);
+  KdTree tree(points, /*leaf_size=*/4);
+  for (double radius : {0.01, 0.1, 0.3, 2.0}) {
+    for (int q = 0; q < 10; ++q) {
+      std::vector<double> query(dims);
+      for (auto& c : query) c = rng.uniform(0.0, 1.0);
+      EXPECT_EQ(tree.radius_query(query, radius),
+                brute_radius(points, query, radius));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, KdTreeProperty,
+    ::testing::Values(KdCase{1, 2, 1}, KdCase{2, 2, 2}, KdCase{17, 2, 3},
+                      KdCase{100, 2, 4}, KdCase{500, 2, 5},
+                      KdCase{100, 3, 6}, KdCase{100, 5, 7},
+                      KdCase{999, 1, 8}));
+
+std::vector<std::size_t> brute_knn(const PointSet& points,
+                                   std::span<const double> query,
+                                   std::size_t k) {
+  std::vector<std::size_t> indices(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) indices[i] = i;
+  std::sort(indices.begin(), indices.end(),
+            [&](std::size_t a, std::size_t b) {
+              double da = squared_distance(query, points[a]);
+              double db = squared_distance(query, points[b]);
+              if (da != db) return da < db;
+              return a < b;
+            });
+  indices.resize(std::min(k, indices.size()));
+  return indices;
+}
+
+TEST_P(KdTreeProperty, KnnMatchesBruteForce) {
+  auto [n, dims, seed] = GetParam();
+  Rng rng(seed + 5000);
+  PointSet points = random_points(n, dims, rng);
+  KdTree tree(points, /*leaf_size=*/4);
+  for (std::size_t k : {std::size_t{1}, std::size_t{5}, std::size_t{20}}) {
+    for (int q = 0; q < 10; ++q) {
+      std::vector<double> query(dims);
+      for (auto& c : query) c = rng.uniform(0.0, 1.0);
+      EXPECT_EQ(tree.k_nearest(query, k), brute_knn(points, query, k));
+    }
+  }
+}
+
+TEST(KdTreeTest, KnnClampsAndHandlesZero) {
+  PointSet points(1, {0.0, 1.0, 2.0});
+  KdTree tree(points);
+  EXPECT_TRUE(tree.k_nearest(std::vector<double>{0.0}, 0).empty());
+  auto all = tree.k_nearest(std::vector<double>{0.9}, 99);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], 1u);  // 1.0 is nearest to 0.9
+}
+
+TEST(KdTreeTest, ClusteredDataNearest) {
+  // Clustered (non-uniform) data exercises unbalanced splits.
+  Rng rng(55);
+  PointSet points(2);
+  for (int c = 0; c < 5; ++c) {
+    double cx = rng.uniform(0.0, 1.0), cy = rng.uniform(0.0, 1.0);
+    for (int i = 0; i < 60; ++i)
+      points.add(std::vector<double>{cx + rng.normal(0.0, 0.01),
+                                     cy + rng.normal(0.0, 0.01)});
+  }
+  KdTree tree(points);
+  for (int q = 0; q < 40; ++q) {
+    std::vector<double> query{rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
+    EXPECT_EQ(tree.nearest(query), brute_nearest(points, query));
+  }
+}
+
+}  // namespace
+}  // namespace perftrack::geom

@@ -1,0 +1,228 @@
+// End-to-end integration: the ten Table 2 case studies through the full
+// pipeline (simulate -> cluster -> track), pinning the paper's tracked
+// region counts and coverage. These are the repository's ground-truth
+// regression tests for the headline result.
+
+#include <gtest/gtest.h>
+
+#include "sim/studies.hpp"
+#include "tracking/tracker.hpp"
+#include "tracking/trends.hpp"
+
+namespace perftrack {
+namespace {
+
+struct StudyExpectation {
+  const char* name;
+  sim::Study (*make)();
+  std::size_t images;
+  std::size_t tracked;
+  double coverage;  // fraction
+};
+
+// Default-argument wrappers (function pointers cannot carry defaults).
+sim::Study make_gadget() { return sim::study_gadget(); }
+sim::Study make_espresso() { return sim::study_espresso(); }
+sim::Study make_wrf() { return sim::study_wrf(); }
+sim::Study make_gromacs_scaling() { return sim::study_gromacs_scaling(); }
+sim::Study make_cgpop() { return sim::study_cgpop(); }
+sim::Study make_nas_bt() { return sim::study_nas_bt(); }
+sim::Study make_mrgenesis() { return sim::study_mrgenesis(); }
+sim::Study make_nas_ft() { return sim::study_nas_ft(); }
+sim::Study make_gromacs_evolution() {
+  return sim::study_gromacs_evolution();
+}
+sim::Study make_hydroc12() { return sim::study_hydroc(12); }
+
+class StudyEndToEnd : public ::testing::TestWithParam<StudyExpectation> {};
+
+TEST_P(StudyEndToEnd, MatchesTable2) {
+  const StudyExpectation& expected = GetParam();
+  sim::Study study = expected.make();
+  ASSERT_EQ(study.traces.size(), expected.images);
+  tracking::TrackingResult result =
+      tracking::track_frames(study.frames(), {});
+  EXPECT_EQ(result.complete_count, expected.tracked) << expected.name;
+  EXPECT_NEAR(result.coverage, expected.coverage, 0.02) << expected.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table2, StudyEndToEnd,
+    ::testing::Values(
+        StudyExpectation{"Gadget", &make_gadget, 2, 8, 8.0 / 9.0},
+        StudyExpectation{"QuantumESPRESSO", &make_espresso, 2, 6,
+                         6.0 / 9.0},
+        StudyExpectation{"WRF", &make_wrf, 2, 12, 1.0},
+        StudyExpectation{"Gromacs", &make_gromacs_scaling, 3, 5, 1.0},
+        StudyExpectation{"CGPOP", &make_cgpop, 4, 2, 2.0 / 3.0},
+        StudyExpectation{"NAS-BT", &make_nas_bt, 4, 6, 1.0},
+        StudyExpectation{"HydroC", &make_hydroc12, 12, 2, 1.0},
+        StudyExpectation{"MR-Genesis", &make_mrgenesis, 12, 2, 1.0},
+        StudyExpectation{"NAS-FT", &make_nas_ft, 15, 2, 1.0},
+        StudyExpectation{"Gromacs-evolution", &make_gromacs_evolution,
+                         20, 4, 0.8}),
+    [](const ::testing::TestParamInfo<StudyExpectation>& info) {
+      std::string name = info.param.name;
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+TEST(StudyDetails, ResultsAreSeedStable) {
+  // A different seed offset is a fresh synthetic measurement run; the
+  // Table 2 structure must not depend on the default seeds.
+  sim::StudyOptions other_run;
+  other_run.seed_offset = 31337;
+  struct Case {
+    sim::Study study;
+    std::size_t tracked;
+  };
+  for (Case c : {Case{sim::study_cgpop(other_run), 2},
+                 Case{sim::study_nas_bt(other_run), 6},
+                 Case{sim::study_gadget(other_run), 8}}) {
+    tracking::TrackingResult result =
+        tracking::track_frames(c.study.frames(), {});
+    EXPECT_EQ(result.complete_count, c.tracked) << c.study.name;
+  }
+}
+
+TEST(StudyDetails, ModerateNoiseDoesNotBreakTracking) {
+  sim::StudyOptions noisy;
+  noisy.noise_scale = 1.5;
+  sim::Study study = sim::study_nas_bt(noisy);
+  tracking::TrackingResult result =
+      tracking::track_frames(study.frames(), {});
+  EXPECT_EQ(result.complete_count, 6u);
+  EXPECT_DOUBLE_EQ(result.coverage, 1.0);
+}
+
+TEST(StudyDetails, WrfSplitRegionIsGroupedNotLost) {
+  sim::Study study = sim::study_wrf();
+  tracking::TrackingResult result =
+      tracking::track_frames(study.frames(), {});
+  // Exactly one pairwise relation is wide (the region-4 split), and the
+  // 256-task frame's extra object belongs to it.
+  ASSERT_EQ(result.pairs.size(), 1u);
+  std::size_t wide = 0;
+  for (const auto& rel : result.pairs[0].relations)
+    if (!rel.univocal()) {
+      ++wide;
+      EXPECT_EQ(rel.left.size(), 1u);
+      EXPECT_EQ(rel.right.size(), 2u);
+    }
+  EXPECT_EQ(wide, 1u);
+}
+
+TEST(StudyDetails, WrfTrendsMatchPaperDirections) {
+  sim::Study study = sim::study_wrf();
+  tracking::TrackingResult result =
+      tracking::track_frames(study.frames(), {});
+  int improved = 0, degraded = 0, stable = 0;
+  bool region1_replicates = false;
+  for (const auto& region : result.regions) {
+    if (!region.complete) continue;
+    auto ipc = tracking::region_metric_mean(result, region.id,
+                                            trace::Metric::Ipc);
+    double change = ipc.back() / ipc.front() - 1.0;
+    if (change > 0.03) ++improved;
+    else if (change < -0.03) ++degraded;
+    else ++stable;
+    if (region.id == 0) {
+      auto totals = tracking::region_counter_total(
+          result, region.id, trace::Counter::Instructions);
+      double growth = totals.back() / totals.front() - 1.0;
+      region1_replicates = growth > 0.03 && growth < 0.08;
+    }
+  }
+  EXPECT_EQ(improved, 3);   // paper: regions 4, 6, 7 gain ~5%
+  EXPECT_EQ(degraded, 2);   // paper: regions 11, 12 lose ~20%
+  EXPECT_EQ(stable, 7);
+  EXPECT_TRUE(region1_replicates);  // paper: ~+5% total instructions
+}
+
+TEST(StudyDetails, CgpopCompilerTradeoff) {
+  sim::Study study = sim::study_cgpop();
+  tracking::TrackingResult result =
+      tracking::track_frames(study.frames(), {});
+  ASSERT_GE(result.complete_count, 1u);
+  const auto& region = result.regions.front();
+  auto instr = tracking::region_metric_mean(result, region.id,
+                                            trace::Metric::Instructions);
+  auto ipc = tracking::region_metric_mean(result, region.id,
+                                          trace::Metric::Ipc);
+  auto duration = tracking::region_duration_total(result, region.id);
+  // Frames: MN/gfortran, MN/xlf, MT/gfortran, MT/ifort.
+  EXPECT_NEAR(instr[1] / instr[0], 0.64, 0.02);  // xlf: -36% instructions
+  EXPECT_NEAR(ipc[1] / ipc[0], 0.64, 0.03);      // ... at -36% IPC
+  EXPECT_NEAR(duration[1] / duration[0], 1.0, 0.02);  // time unchanged
+  EXPECT_NEAR(instr[3] / instr[2], 0.70, 0.02);  // ifort: -30%
+  // MinoTauro ~2.5x faster than MareNostrum (paper Table 3).
+  EXPECT_NEAR(duration[0] / duration[2], 2.5, 0.35);
+}
+
+TEST(StudyDetails, NasBtIpcCollapsesWithL2Misses) {
+  sim::Study study = sim::study_nas_bt();
+  tracking::TrackingResult result =
+      tracking::track_frames(study.frames(), {});
+  int sharp_then_stable = 0, gradual = 0;
+  for (const auto& region : result.regions) {
+    if (!region.complete) continue;
+    auto ipc = tracking::region_metric_mean(result, region.id,
+                                            trace::Metric::Ipc);
+    auto l2 = tracking::region_metric_mean(result, region.id,
+                                           trace::Metric::L2MissesPerKi);
+    double wa = ipc[1] / ipc[0] - 1.0;
+    double bc = ipc[3] / ipc[2] - 1.0;
+    if (wa < -0.40 && bc > -0.05) ++sharp_then_stable;
+    if (wa > -0.25) ++gradual;
+    // L2 misses rise monotonically with the class for every region.
+    EXPECT_LT(l2[0], l2[3]);
+  }
+  EXPECT_EQ(sharp_then_stable, 4);  // paper regions 1, 2, 4, 5
+  EXPECT_EQ(gradual, 2);            // paper regions 3, 6
+}
+
+TEST(StudyDetails, MrGenesisOccupancyCurve) {
+  sim::Study study = sim::study_mrgenesis();
+  tracking::TrackingResult result =
+      tracking::track_frames(study.frames(), {});
+  for (const auto& region : result.regions) {
+    if (!region.complete) continue;
+    auto ipc = tracking::region_metric_mean(result, region.id,
+                                            trace::Metric::Ipc);
+    auto instr = tracking::region_metric_mean(result, region.id,
+                                              trace::Metric::Instructions);
+    // Instructions constant: only the mapping changes.
+    EXPECT_NEAR(instr.back() / instr.front(), 1.0, 0.02);
+    // Gentle decline up to 8 tasks/node, sharp beyond, ~-17.5% total.
+    for (std::size_t f = 1; f < 8; ++f)
+      EXPECT_GT(ipc[f] / ipc[f - 1], 0.985);
+    double total = ipc.back() / ipc.front() - 1.0;
+    EXPECT_NEAR(total, -0.175, 0.04);
+    double last_step = ipc[11] / ipc[10] - 1.0;
+    EXPECT_LT(last_step, -0.05);
+  }
+}
+
+TEST(StudyDetails, HydrocL1CapacityDip) {
+  sim::Study study = sim::study_hydroc(9);
+  tracking::TrackingResult result =
+      tracking::track_frames(study.frames(), {});
+  // Frame 4 -> 5 is the 64 -> 128 block step.
+  for (const auto& region : result.regions) {
+    if (!region.complete) continue;
+    auto l1 = tracking::region_metric_mean(result, region.id,
+                                           trace::Metric::L1MissesPerKi);
+    double jump = l1[5] / l1[4] - 1.0;
+    EXPECT_GT(jump, 0.25);  // paper: ~+40%
+    EXPECT_LT(jump, 0.65);
+    auto ipc = tracking::region_metric_mean(result, region.id,
+                                            trace::Metric::Ipc);
+    double total = ipc.back() / ipc.front() - 1.0;
+    EXPECT_LT(total, -0.03);
+    EXPECT_GT(total, -0.15);  // paper: -5% / -10%
+  }
+}
+
+}  // namespace
+}  // namespace perftrack

@@ -1,0 +1,83 @@
+#include "paraver/pcf.hpp"
+
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace perftrack::paraver {
+namespace {
+
+TEST(PcfConfigTest, InternAssignsStableValues) {
+  PcfConfig config;
+  trace::SourceLocation a{"solve", "solver.f90", 42};
+  trace::SourceLocation b{"halo", "comm.f90", 7};
+  std::uint64_t va = config.intern_caller(a);
+  std::uint64_t vb = config.intern_caller(b);
+  EXPECT_NE(va, vb);
+  EXPECT_EQ(config.intern_caller(a), va);  // idempotent
+  ASSERT_NE(config.caller(va), nullptr);
+  EXPECT_EQ(*config.caller(va), a);
+  EXPECT_EQ(config.caller(999), nullptr);
+}
+
+TEST(PcfRoundTrip, CallersAndApplicationSurvive) {
+  PcfConfig config;
+  config.application = "WRF";
+  config.set_caller(1, {"solve_em", "module_comm_dm.f90", 4939});
+  config.set_caller(2, {"operator new [](unsigned long)", "mm.cpp", 12});
+
+  std::stringstream stream;
+  write_pcf(stream, config);
+  PcfConfig loaded = read_pcf(stream);
+
+  EXPECT_EQ(loaded.application, "WRF");
+  ASSERT_NE(loaded.caller(1), nullptr);
+  EXPECT_EQ(loaded.caller(1)->function, "solve_em");
+  EXPECT_EQ(loaded.caller(1)->file, "module_comm_dm.f90");
+  EXPECT_EQ(loaded.caller(1)->line, 4939u);
+  ASSERT_NE(loaded.caller(2), nullptr);
+  EXPECT_EQ(loaded.caller(2)->function, "operator new [](unsigned long)");
+}
+
+TEST(PcfRead, LabelWithoutLocationFallsBack) {
+  std::stringstream stream(
+      "EVENT_TYPE\n"
+      "0    30000000    Caller at level 1\n"
+      "VALUES\n"
+      "0      End\n"
+      "3      mysterious_function\n");
+  PcfConfig config = read_pcf(stream);
+  ASSERT_NE(config.caller(3), nullptr);
+  EXPECT_EQ(config.caller(3)->function, "mysterious_function");
+  EXPECT_EQ(config.caller(3)->line, 0u);
+}
+
+TEST(PcfRead, IgnoresForeignEventTypes) {
+  std::stringstream stream(
+      "EVENT_TYPE\n"
+      "0    40000001    Some other event\n"
+      "VALUES\n"
+      "1      NotACaller\n"
+      "\n"
+      "EVENT_TYPE\n"
+      "0    30000000    Caller at level 1\n"
+      "VALUES\n"
+      "1      real_caller (x.c:9)\n");
+  PcfConfig config = read_pcf(stream);
+  ASSERT_NE(config.caller(1), nullptr);
+  EXPECT_EQ(config.caller(1)->function, "real_caller");
+  EXPECT_EQ(config.caller(1)->line, 9u);
+}
+
+TEST(PcfRead, MalformedValueThrows) {
+  std::stringstream stream(
+      "EVENT_TYPE\n"
+      "0    30000000    Caller at level 1\n"
+      "VALUES\n"
+      "abc    broken\n");
+  EXPECT_THROW(read_pcf(stream), ParseError);
+}
+
+}  // namespace
+}  // namespace perftrack::paraver

@@ -1,0 +1,174 @@
+#include "sim/app.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "trace/metrics.hpp"
+
+namespace perftrack::sim {
+namespace {
+
+AppModel two_phase_app() {
+  AppModel app("toy", /*ref_tasks=*/4.0, /*default_iterations=*/5);
+  PhaseSpec a;
+  a.name = "compute";
+  a.location = {"compute", "toy.c", 10};
+  a.base_instructions = 2e6;
+  a.base_ipc = 1.2;
+  a.working_set_kb = 16.0;
+  app.add_phase(a);
+  PhaseSpec b;
+  b.name = "exchange";
+  b.location = {"exchange", "toy.c", 20};
+  b.base_instructions = 5e5;
+  b.base_ipc = 0.8;
+  b.working_set_kb = 8.0;
+  b.repeats = 2;
+  app.add_phase(b);
+  return app;
+}
+
+Scenario toy_scenario() {
+  Scenario s;
+  s.label = "toy-4";
+  s.num_tasks = 4;
+  s.platform = reference_platform();
+  return s;
+}
+
+TEST(AppModelTest, ConstructorValidates) {
+  EXPECT_THROW(AppModel("x", 0.0, 5), PreconditionError);
+  EXPECT_THROW(AppModel("x", 4.0, 0), PreconditionError);
+}
+
+TEST(AppModelTest, AddPhaseValidates) {
+  AppModel app("x", 4.0, 5);
+  PhaseSpec p;
+  p.name = "";
+  EXPECT_THROW(app.add_phase(p), PreconditionError);
+  p.name = "ok";
+  p.repeats = 0;
+  EXPECT_THROW(app.add_phase(p), PreconditionError);
+}
+
+TEST(AppModelTest, SimulateRequiresPhases) {
+  AppModel app("x", 4.0, 5);
+  EXPECT_THROW(app.simulate(toy_scenario()), PreconditionError);
+}
+
+TEST(AppModelTest, BurstCountMatchesStructure) {
+  AppModel app = two_phase_app();
+  trace::Trace trace = app.simulate(toy_scenario());
+  // 4 tasks x 5 iterations x (1 + 2 repeats) bursts.
+  EXPECT_EQ(trace.burst_count(), 4u * 5u * 3u);
+  EXPECT_EQ(trace.num_tasks(), 4u);
+  EXPECT_EQ(trace.label(), "toy-4");
+  trace.validate();
+}
+
+TEST(AppModelTest, IterationOverride) {
+  AppModel app = two_phase_app();
+  Scenario s = toy_scenario();
+  s.iterations = 2;
+  EXPECT_EQ(app.simulate(s).burst_count(), 4u * 2u * 3u);
+}
+
+TEST(AppModelTest, DeterministicForSameSeed) {
+  AppModel app = two_phase_app();
+  trace::Trace a = app.simulate(toy_scenario());
+  trace::Trace b = app.simulate(toy_scenario());
+  ASSERT_EQ(a.burst_count(), b.burst_count());
+  for (std::size_t i = 0; i < a.burst_count(); ++i) {
+    EXPECT_DOUBLE_EQ(a.bursts()[i].duration, b.bursts()[i].duration);
+    EXPECT_EQ(a.bursts()[i].counters, b.bursts()[i].counters);
+  }
+}
+
+TEST(AppModelTest, DifferentSeedsProduceDifferentNoise) {
+  AppModel app = two_phase_app();
+  Scenario s1 = toy_scenario();
+  Scenario s2 = toy_scenario();
+  s2.seed = 777;
+  trace::Trace a = app.simulate(s1);
+  trace::Trace b = app.simulate(s2);
+  EXPECT_NE(a.bursts()[0].counters.get(trace::Counter::Instructions),
+            b.bursts()[0].counters.get(trace::Counter::Instructions));
+}
+
+TEST(AppModelTest, CountersAreInternallyConsistent) {
+  AppModel app = two_phase_app();
+  trace::Trace trace = app.simulate(toy_scenario());
+  const double clock_hz = toy_scenario().platform.clock_ghz * 1e9;
+  for (const auto& burst : trace.bursts()) {
+    double instr = burst.counters.get(trace::Counter::Instructions);
+    double cycles = burst.counters.get(trace::Counter::Cycles);
+    EXPECT_GT(instr, 0.0);
+    EXPECT_GT(cycles, 0.0);
+    // duration = cycles / clock
+    EXPECT_NEAR(burst.duration, cycles / clock_hz, 1e-12);
+    // Miss counts are rates times instructions, so far below instructions.
+    EXPECT_LT(burst.counters.get(trace::Counter::L1DMisses), instr);
+    EXPECT_GE(burst.counters.get(trace::Counter::L2Misses), 0.0);
+  }
+}
+
+TEST(AppModelTest, PerTaskClocksAdvance) {
+  AppModel app = two_phase_app();
+  trace::Trace trace = app.simulate(toy_scenario());
+  for (std::uint32_t task = 0; task < trace.num_tasks(); ++task) {
+    double prev_end = -1.0;
+    for (auto idx : trace.task_bursts(task)) {
+      const auto& burst = trace.bursts()[idx];
+      EXPECT_GT(burst.begin_time, prev_end);  // comm gap separates bursts
+      prev_end = burst.end_time();
+    }
+  }
+}
+
+TEST(AppModelTest, AttributesCarryScenario) {
+  AppModel app = two_phase_app();
+  Scenario s = toy_scenario();
+  s.compiler = xlf();
+  s.problem_scale = 4.0;
+  s.extra["class"] = "A";
+  trace::Trace trace = app.simulate(s);
+  EXPECT_EQ(trace.attribute_or("compiler", ""), "xlf");
+  EXPECT_EQ(trace.attribute_or("platform", ""), "Reference");
+  EXPECT_EQ(trace.attribute_or("class", ""), "A");
+  EXPECT_NE(trace.attribute_or("problem_scale", ""), "");
+}
+
+TEST(AppModelTest, CallstacksPointToPhases) {
+  AppModel app = two_phase_app();
+  trace::Trace trace = app.simulate(toy_scenario());
+  std::set<std::string> functions;
+  for (const auto& burst : trace.bursts())
+    functions.insert(trace.callstacks().resolve(burst.callstack).function);
+  EXPECT_EQ(functions, (std::set<std::string>{"compute", "exchange"}));
+}
+
+TEST(AppModelTest, MissSensitivityScalesMissCounters) {
+  AppModel app("sens", 4.0, 2);
+  PhaseSpec p;
+  p.name = "p";
+  p.base_instructions = 1e6;
+  p.base_ipc = 1.0;
+  p.working_set_kb = 64.0;
+  p.noise_instr = 0.0;
+  p.noise_ipc = 0.0;
+  app.add_phase(p);
+  AppModel app2x("sens2", 4.0, 2);
+  PhaseSpec q = p;
+  q.miss_sensitivity = 2.0;
+  app2x.add_phase(q);
+
+  Scenario s = toy_scenario();
+  double l1_a = app.simulate(s).bursts()[0].counters.get(
+      trace::Counter::L1DMisses);
+  double l1_b = app2x.simulate(s).bursts()[0].counters.get(
+      trace::Counter::L1DMisses);
+  EXPECT_NEAR(l1_b, 2.0 * l1_a, 1e-9 * l1_b);
+}
+
+}  // namespace
+}  // namespace perftrack::sim

@@ -1,0 +1,121 @@
+#include "sim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace perftrack::sim {
+namespace {
+
+TEST(CapacityRate, MonotoneInWorkingSet) {
+  double prev = 0.0;
+  for (double ws = 1.0; ws <= 65536.0; ws *= 2.0) {
+    double rate = CacheModel::capacity_rate(ws, 256.0, 0.001, 0.01, 1.0);
+    EXPECT_GE(rate, prev);
+    prev = rate;
+  }
+}
+
+TEST(CapacityRate, LimitsAreBaseAndBasePlusPeak) {
+  double tiny = CacheModel::capacity_rate(1e-6, 256.0, 0.001, 0.01, 1.0);
+  double huge = CacheModel::capacity_rate(1e12, 256.0, 0.001, 0.01, 1.0);
+  EXPECT_NEAR(tiny, 0.001, 1e-5);
+  EXPECT_NEAR(huge, 0.011, 1e-5);
+}
+
+TEST(CapacityRate, MidpointAtCapacity) {
+  double mid = CacheModel::capacity_rate(256.0, 256.0, 0.0, 0.01, 1.0);
+  EXPECT_NEAR(mid, 0.005, 1e-12);
+}
+
+TEST(CapacityRate, ZeroWorkingSetIsBase) {
+  EXPECT_DOUBLE_EQ(CacheModel::capacity_rate(0.0, 256.0, 0.002, 0.01, 1.0),
+                   0.002);
+}
+
+TEST(CapacityRate, RejectsBadCapacityAndWidth) {
+  EXPECT_THROW(CacheModel::capacity_rate(1.0, 0.0, 0.0, 0.01, 1.0),
+               PreconditionError);
+  EXPECT_THROW(CacheModel::capacity_rate(1.0, 256.0, 0.0, 0.01, 0.0),
+               PreconditionError);
+}
+
+Scenario scenario_with_occupancy(std::uint32_t tasks_per_node) {
+  Scenario s;
+  s.platform = minotauro();  // 12 cores/node, nonzero contention factors
+  s.num_tasks = 12;
+  s.tasks_per_node = tasks_per_node;
+  return s;
+}
+
+TEST(ContentionFactor, SingleTaskPerNodeIsBaseline) {
+  Scenario s = scenario_with_occupancy(1);
+  EXPECT_NEAR(contention_factor(1.5, 6.0, s), 1.0, 1e-9);
+}
+
+TEST(ContentionFactor, GrowsWithOccupancy) {
+  double prev = 0.0;
+  for (std::uint32_t tpn = 1; tpn <= 12; ++tpn) {
+    double f = contention_factor(1.5, 6.0, scenario_with_occupancy(tpn));
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+  EXPECT_GT(prev, 1.5);  // full node well above baseline
+}
+
+TEST(ContentionFactor, ZeroCoefficientIsNeutral) {
+  EXPECT_DOUBLE_EQ(contention_factor(0.0, 3.0, scenario_with_occupancy(12)),
+                   1.0);
+}
+
+TEST(CacheModelTest, RatesReflectWorkingSetAndContention) {
+  CacheModel model;
+  Scenario idle = scenario_with_occupancy(1);
+  Scenario packed = scenario_with_occupancy(12);
+  MissRates small_idle = model.rates(8.0, idle);
+  MissRates big_idle = model.rates(4096.0, idle);
+  EXPECT_GT(big_idle.l1, small_idle.l1);
+  EXPECT_GT(big_idle.l2, small_idle.l2);
+  EXPECT_GT(big_idle.tlb, small_idle.tlb);
+  // Contention inflates L2 and TLB but not L1 (private).
+  MissRates big_packed = model.rates(4096.0, packed);
+  EXPECT_DOUBLE_EQ(big_packed.l1, big_idle.l1);
+  EXPECT_GT(big_packed.l2, big_idle.l2);
+  EXPECT_GT(big_packed.tlb, big_idle.tlb);
+}
+
+TEST(CacheModelTest, CpiAddsPenalties) {
+  CacheModelParams params;
+  params.l1_penalty = 10.0;
+  params.l2_penalty = 100.0;
+  params.tlb_penalty = 50.0;
+  CacheModel model(params);
+  Scenario s;
+  s.platform = reference_platform();  // no contention
+  MissRates rates{.l1 = 0.01, .l2 = 0.001, .tlb = 0.0001};
+  double cpi = model.cpi(2.0, rates, s);
+  EXPECT_NEAR(cpi, 0.5 + 0.1 + 0.1 + 0.005, 1e-12);
+}
+
+TEST(CacheModelTest, CpiRejectsNonPositiveIpc) {
+  CacheModel model;
+  Scenario s;
+  EXPECT_THROW(model.cpi(0.0, {}, s), PreconditionError);
+}
+
+TEST(ScenarioTest, OccupancyAndTasksPerNode) {
+  Scenario s;
+  s.platform = minotauro();
+  s.num_tasks = 4;
+  s.tasks_per_node = 0;  // fill nodes, clamped to num_tasks
+  EXPECT_EQ(s.effective_tasks_per_node(), 4u);
+  s.tasks_per_node = 99;
+  EXPECT_EQ(s.effective_tasks_per_node(), 4u);
+  s.num_tasks = 24;
+  s.tasks_per_node = 6;
+  EXPECT_EQ(s.effective_tasks_per_node(), 6u);
+  EXPECT_DOUBLE_EQ(s.occupancy(), 0.5);
+}
+
+}  // namespace
+}  // namespace perftrack::sim

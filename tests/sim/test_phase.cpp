@@ -1,0 +1,174 @@
+#include "sim/phase.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace perftrack::sim {
+namespace {
+
+PhaseSpec base_phase() {
+  PhaseSpec p;
+  p.name = "p";
+  p.base_instructions = 1e7;
+  p.base_ipc = 1.5;
+  p.working_set_kb = 100.0;
+  return p;
+}
+
+Scenario scenario_with_tasks(std::uint32_t tasks) {
+  Scenario s;
+  s.num_tasks = tasks;
+  s.platform = reference_platform();
+  return s;
+}
+
+TEST(PhaseSpecTest, ReferenceScenarioIsIdentity) {
+  PhaseSpec p = base_phase();
+  auto s = p.evaluate(scenario_with_tasks(16), 0, 16.0);
+  EXPECT_DOUBLE_EQ(s.instructions, 1e7);
+  EXPECT_DOUBLE_EQ(s.ipc_ideal, 1.5);
+  EXPECT_DOUBLE_EQ(s.working_set_kb, 100.0);
+}
+
+TEST(PhaseSpecTest, StrongScalingHalvesInstructions) {
+  PhaseSpec p = base_phase();
+  auto s = p.evaluate(scenario_with_tasks(32), 0, 16.0);
+  EXPECT_DOUBLE_EQ(s.instructions, 5e6);
+  EXPECT_DOUBLE_EQ(s.working_set_kb, 50.0);
+}
+
+TEST(PhaseSpecTest, TaskExponentsApply) {
+  PhaseSpec p = base_phase();
+  p.instr_task_exp = -0.93;
+  p.ipc_task_exp = -0.322;
+  auto s = p.evaluate(scenario_with_tasks(32), 0, 16.0);
+  EXPECT_NEAR(s.instructions, 1e7 * std::pow(2.0, -0.93), 1.0);
+  EXPECT_NEAR(s.ipc_ideal, 1.5 * std::pow(2.0, -0.322), 1e-9);
+}
+
+TEST(PhaseSpecTest, ProblemScaleApplies) {
+  PhaseSpec p = base_phase();
+  p.instr_scale_exp = 1.107;
+  Scenario s = scenario_with_tasks(16);
+  s.problem_scale = 4.0;
+  auto sample = p.evaluate(s, 0, 16.0);
+  EXPECT_NEAR(sample.instructions, 1e7 * std::pow(4.0, 1.107), 10.0);
+  EXPECT_DOUBLE_EQ(sample.working_set_kb, 400.0);
+}
+
+TEST(PhaseSpecTest, CompilerAndPlatformFactors) {
+  PhaseSpec p = base_phase();
+  Scenario s = scenario_with_tasks(16);
+  s.compiler = CompilerModel{"x", 0.64, 0.64};
+  s.platform.ipc_factor = 2.0;
+  s.platform.instr_factor = 0.5;
+  auto sample = p.evaluate(s, 0, 16.0);
+  EXPECT_DOUBLE_EQ(sample.instructions, 1e7 * 0.64 * 0.5);
+  EXPECT_DOUBLE_EQ(sample.ipc_ideal, 1.5 * 0.64 * 2.0);
+}
+
+TEST(PhaseSpecTest, ImbalanceRampIsContinuousAndBounded) {
+  PhaseSpec p = base_phase();
+  p.imbalance_fraction = 0.5;
+  p.imbalance_amount = 0.4;
+  Scenario s = scenario_with_tasks(100);
+  double prev = p.evaluate(s, 0, 16.0).instructions;
+  // Strictly decreasing along the ramp, back to base beyond it.
+  for (std::uint32_t task = 1; task < 50; ++task) {
+    double cur = p.evaluate(s, task, 16.0).instructions;
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+  double base = 1e7 * std::pow(100.0 / 16.0, -1.0);
+  EXPECT_NEAR(p.evaluate(s, 50, 16.0).instructions, base, 1e-6);
+  EXPECT_NEAR(p.evaluate(s, 99, 16.0).instructions, base, 1e-6);
+  // Task 0 close to the full boost.
+  EXPECT_NEAR(p.evaluate(s, 0, 16.0).instructions, base * 1.396, base * 0.01);
+}
+
+TEST(PhaseSpecTest, ImbalanceMinTasksGate) {
+  PhaseSpec p = base_phase();
+  p.imbalance_fraction = 0.5;
+  p.imbalance_amount = 0.4;
+  p.imbalance_min_tasks = 64;
+  Scenario s = scenario_with_tasks(16);
+  double base = p.evaluate(s, 0, 16.0).instructions;
+  EXPECT_DOUBLE_EQ(base, 1e7);  // inactive below the gate
+}
+
+TEST(PhaseSpecTest, ModesPartitionTasks) {
+  PhaseSpec p = base_phase();
+  p.modes = {
+      BehaviorMode{.task_fraction = 0.25, .ipc_factor = 2.0},
+      BehaviorMode{.task_fraction = 0.75, .ipc_factor = 0.5},
+  };
+  Scenario s = scenario_with_tasks(16);
+  int fast = 0, slow = 0;
+  for (std::uint32_t task = 0; task < 16; ++task) {
+    double ipc = p.evaluate(s, task, 16.0).ipc_ideal;
+    if (ipc == 3.0) ++fast;
+    else if (ipc == 0.75) ++slow;
+  }
+  EXPECT_EQ(fast, 4);
+  EXPECT_EQ(slow, 12);
+}
+
+TEST(PhaseSpecTest, ModeFiltersByPlatformAndTasks) {
+  PhaseSpec p = base_phase();
+  p.modes = {
+      BehaviorMode{.task_fraction = 1.0,
+                   .ipc_factor = 2.0,
+                   .platform_filter = "MinoTauro",
+                   .min_tasks = 32},
+  };
+  Scenario wrong_platform = scenario_with_tasks(32);
+  EXPECT_DOUBLE_EQ(p.evaluate(wrong_platform, 0, 16.0).ipc_ideal, 1.5);
+
+  Scenario right = scenario_with_tasks(32);
+  right.platform = minotauro();
+  double expected = 1.5 * 2.0 * right.platform.ipc_factor;
+  EXPECT_DOUBLE_EQ(p.evaluate(right, 0, 16.0).ipc_ideal, expected);
+
+  Scenario too_few = scenario_with_tasks(16);
+  too_few.platform = minotauro();
+  EXPECT_DOUBLE_EQ(p.evaluate(too_few, 0, 16.0).ipc_ideal,
+                   1.5 * too_few.platform.ipc_factor);
+}
+
+TEST(PhaseSpecTest, BlockSizeControlsWorkingSet) {
+  PhaseSpec p = base_phase();
+  p.block_ws_factor = 1.0;
+  Scenario s = scenario_with_tasks(16);
+  s.block_kb = 32.0;
+  EXPECT_DOUBLE_EQ(p.evaluate(s, 0, 16.0).working_set_kb, 32.0);
+  // Without block sensitivity the knob is ignored.
+  PhaseSpec q = base_phase();
+  EXPECT_DOUBLE_EQ(q.evaluate(s, 0, 16.0).working_set_kb, 100.0);
+}
+
+TEST(PhaseSpecTest, BlockOverheadShrinksWithSide) {
+  PhaseSpec p = base_phase();
+  p.block_ws_factor = 1.0;
+  p.block_side_overhead = 0.4;
+  Scenario small = scenario_with_tasks(16);
+  small.block_kb = 4.0 * 4.0 * 8.0 / 1024.0;  // side 4
+  Scenario big = scenario_with_tasks(16);
+  big.block_kb = 64.0 * 64.0 * 8.0 / 1024.0;  // side 64
+  double instr_small = p.evaluate(small, 0, 16.0).instructions;
+  double instr_big = p.evaluate(big, 0, 16.0).instructions;
+  EXPECT_NEAR(instr_small, 1e7 * 1.1, 1.0);
+  EXPECT_NEAR(instr_big, 1e7 * (1.0 + 0.4 / 64.0), 1.0);
+  EXPECT_GT(instr_small, instr_big);
+}
+
+TEST(PhaseSpecTest, RejectsBadArguments) {
+  PhaseSpec p = base_phase();
+  Scenario s = scenario_with_tasks(4);
+  EXPECT_THROW(p.evaluate(s, 4, 16.0), PreconditionError);  // task range
+  EXPECT_THROW(p.evaluate(s, 0, 0.0), PreconditionError);   // ref tasks
+}
+
+}  // namespace
+}  // namespace perftrack::sim

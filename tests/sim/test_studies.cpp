@@ -1,0 +1,106 @@
+#include "sim/studies.hpp"
+
+#include <gtest/gtest.h>
+
+namespace perftrack::sim {
+namespace {
+
+std::vector<std::size_t> object_counts(const Study& study) {
+  std::vector<std::size_t> out;
+  for (const auto& frame : study.frames()) out.push_back(frame.object_count());
+  return out;
+}
+
+TEST(StudiesTest, CgpopStructure) {
+  Study study = study_cgpop();
+  ASSERT_EQ(study.traces.size(), 4u);
+  EXPECT_EQ(study.traces[0]->attribute_or("platform", ""), "MareNostrum");
+  EXPECT_EQ(study.traces[3]->attribute_or("compiler", ""), "ifort");
+  // Two instruction trends, one split by IPC -> 3 relevant objects per
+  // frame (paper Fig. 8).
+  EXPECT_EQ(object_counts(study),
+            (std::vector<std::size_t>{3, 3, 3, 3}));
+}
+
+TEST(StudiesTest, NasBtStructure) {
+  Study study = study_nas_bt();
+  ASSERT_EQ(study.traces.size(), 4u);
+  EXPECT_EQ(study.traces[0]->attribute_or("class", ""), "W");
+  EXPECT_EQ(object_counts(study),
+            (std::vector<std::size_t>{6, 6, 6, 6}));
+}
+
+TEST(StudiesTest, HydrocStructure) {
+  Study study = study_hydroc(9);
+  ASSERT_EQ(study.traces.size(), 9u);
+  EXPECT_EQ(study.traces[0]->attribute_or("block_side", ""), "4");
+  EXPECT_EQ(study.traces[8]->attribute_or("block_side", ""), "1024");
+  for (std::size_t count : object_counts(study)) EXPECT_EQ(count, 2u);
+}
+
+TEST(StudiesTest, MrGenesisStructure) {
+  Study study = study_mrgenesis();
+  ASSERT_EQ(study.traces.size(), 12u);
+  EXPECT_EQ(study.traces[0]->attribute_or("tasks_per_node", ""), "1");
+  EXPECT_EQ(study.traces[11]->attribute_or("tasks_per_node", ""), "12");
+  for (std::size_t count : object_counts(study)) EXPECT_EQ(count, 2u);
+}
+
+TEST(StudiesTest, NasFtStructure) {
+  Study study = study_nas_ft();
+  ASSERT_EQ(study.traces.size(), 15u);
+  for (std::size_t count : object_counts(study)) EXPECT_EQ(count, 2u);
+}
+
+TEST(StudiesTest, GromacsScalingStructure) {
+  Study study = study_gromacs_scaling();
+  ASSERT_EQ(study.traces.size(), 3u);
+  EXPECT_EQ(study.traces[0]->num_tasks(), 32u);
+  EXPECT_EQ(study.traces[2]->num_tasks(), 128u);
+  for (std::size_t count : object_counts(study)) EXPECT_EQ(count, 5u);
+}
+
+TEST(StudiesTest, GromacsEvolutionStructure) {
+  Study study = study_gromacs_evolution();
+  ASSERT_EQ(study.traces.size(), 20u);
+  // 4 phases + the bimodal non-bonded kernel -> 5 objects per frame.
+  for (std::size_t count : object_counts(study)) EXPECT_EQ(count, 5u);
+}
+
+TEST(StudiesTest, GadgetStructure) {
+  Study study = study_gadget();
+  ASSERT_EQ(study.traces.size(), 2u);
+  // 8 phases, one bimodal -> 9 objects.
+  for (std::size_t count : object_counts(study)) EXPECT_EQ(count, 9u);
+}
+
+TEST(StudiesTest, EspressoStructure) {
+  Study study = study_espresso();
+  ASSERT_EQ(study.traces.size(), 2u);
+  // 6 phases, three bimodal -> 9 objects.
+  for (std::size_t count : object_counts(study)) EXPECT_EQ(count, 9u);
+}
+
+TEST(StudiesTest, AllStudiesMatchesTable2Order) {
+  auto studies = all_studies();
+  ASSERT_EQ(studies.size(), 10u);
+  EXPECT_EQ(studies[0].name, "Gadget");
+  EXPECT_EQ(studies[2].name, "WRF");
+  EXPECT_EQ(studies[9].name, "Gromacs (evolution)");
+  // Input-image counts of Table 2.
+  std::vector<std::size_t> images;
+  for (const auto& s : studies) images.push_back(s.traces.size());
+  EXPECT_EQ(images, (std::vector<std::size_t>{2, 2, 2, 3, 4, 4, 12, 12, 15,
+                                              20}));
+}
+
+TEST(StudiesTest, DefaultClusteringUsesPaperAxes) {
+  cluster::ClusteringParams params = default_clustering();
+  ASSERT_EQ(params.projection.metrics.size(), 2u);
+  EXPECT_EQ(params.projection.metrics[0], trace::Metric::Instructions);
+  EXPECT_EQ(params.projection.metrics[1], trace::Metric::Ipc);
+  EXPECT_EQ(params.log_scale, (std::vector<bool>{true, false}));
+}
+
+}  // namespace
+}  // namespace perftrack::sim

@@ -1,0 +1,84 @@
+#pragma once
+// Shared synthetic-trace builders for the cluster and tracking tests.
+//
+// Builds tiny, fully controlled traces: a list of (instructions, ipc,
+// location) phase descriptors executed by every task in every iteration,
+// in order — the smallest SPMD structure that exercises projection,
+// clustering and all four evaluators deterministically.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "trace/trace.hpp"
+
+namespace perftrack::testing {
+
+struct MiniPhase {
+  double instructions;
+  double ipc;
+  trace::SourceLocation location{"phase", "test.c", 1};
+  /// Optional per-task multipliers on ipc for a contiguous leading share of
+  /// the tasks (bimodal splits): tasks in [0, split_fraction) use
+  /// split_ipc_factor.
+  double split_fraction = 0.0;
+  double split_ipc_factor = 1.0;
+  double split_instr_factor = 1.0;
+};
+
+struct MiniTraceSpec {
+  std::string label = "mini";
+  std::uint32_t tasks = 4;
+  int iterations = 6;
+  std::vector<MiniPhase> phases;
+  double clock_hz = 1e9;
+  double noise = 0.0;  ///< lognormal sigma on instructions and ipc
+  std::uint64_t seed = 1;
+};
+
+inline std::shared_ptr<const trace::Trace> make_mini_trace(
+    const MiniTraceSpec& spec) {
+  auto trace = std::make_shared<trace::Trace>("mini-app", spec.tasks);
+  trace->set_label(spec.label);
+  std::vector<trace::CallstackId> callstacks;
+  for (const MiniPhase& phase : spec.phases)
+    callstacks.push_back(trace->callstacks().intern(phase.location));
+
+  Rng rng(spec.seed);
+  for (std::uint32_t task = 0; task < spec.tasks; ++task) {
+    Rng task_rng = rng.derive("task", task);
+    double clock = 0.0;
+    for (int iter = 0; iter < spec.iterations; ++iter) {
+      for (std::size_t p = 0; p < spec.phases.size(); ++p) {
+        const MiniPhase& phase = spec.phases[p];
+        double instr = phase.instructions;
+        double ipc = phase.ipc;
+        double pos = (task + 0.5) / static_cast<double>(spec.tasks);
+        if (phase.split_fraction > 0.0 && pos < phase.split_fraction) {
+          ipc *= phase.split_ipc_factor;
+          instr *= phase.split_instr_factor;
+        }
+        if (spec.noise > 0.0) {
+          instr *= task_rng.jitter(spec.noise);
+          ipc *= task_rng.jitter(spec.noise);
+        }
+        double cycles = instr / ipc;
+        double duration = cycles / spec.clock_hz;
+
+        trace::Burst burst;
+        burst.task = task;
+        burst.begin_time = clock;
+        burst.duration = duration;
+        burst.callstack = callstacks[p];
+        burst.counters.set(trace::Counter::Instructions, instr);
+        burst.counters.set(trace::Counter::Cycles, cycles);
+        trace->add_burst(burst);
+        clock += duration * 1.1;
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace perftrack::testing

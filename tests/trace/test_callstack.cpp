@@ -1,0 +1,52 @@
+#include "trace/callstack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace perftrack::trace {
+namespace {
+
+TEST(CallstackTableTest, UnknownSlotIsReserved) {
+  CallstackTable table;
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.resolve(kUnknownCallstack).function, "<unknown>");
+  EXPECT_EQ(table.describe(kUnknownCallstack), "<unknown>");
+}
+
+TEST(CallstackTableTest, InternDeduplicates) {
+  CallstackTable table;
+  SourceLocation loc{"solve", "solver.f90", 42};
+  CallstackId a = table.intern(loc);
+  CallstackId b = table.intern(loc);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(CallstackTableTest, DistinctLocationsGetDistinctIds) {
+  CallstackTable table;
+  CallstackId a = table.intern({"f", "x.c", 1});
+  CallstackId b = table.intern({"f", "x.c", 2});   // different line
+  CallstackId c = table.intern({"f", "y.c", 1});   // different file
+  CallstackId d = table.intern({"g", "x.c", 1});   // different function
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  EXPECT_EQ(table.size(), 5u);
+}
+
+TEST(CallstackTableTest, ResolveRoundTrip) {
+  CallstackTable table;
+  SourceLocation loc{"advect", "module_comm_dm.f90", 2472};
+  CallstackId id = table.intern(loc);
+  EXPECT_EQ(table.resolve(id), loc);
+  EXPECT_EQ(table.describe(id), "advect (module_comm_dm.f90:2472)");
+}
+
+TEST(CallstackTableTest, ResolveOutOfRangeThrows) {
+  CallstackTable table;
+  EXPECT_THROW(table.resolve(99), PreconditionError);
+}
+
+}  // namespace
+}  // namespace perftrack::trace

@@ -1,0 +1,75 @@
+#include "trace/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace perftrack::trace {
+namespace {
+
+Burst make_burst(double instr, double cycles, double l1 = 0.0,
+                 double l2 = 0.0, double tlb = 0.0) {
+  Burst b;
+  b.duration = 0.25;
+  b.counters.set(Counter::Instructions, instr);
+  b.counters.set(Counter::Cycles, cycles);
+  b.counters.set(Counter::L1DMisses, l1);
+  b.counters.set(Counter::L2Misses, l2);
+  b.counters.set(Counter::TlbMisses, tlb);
+  return b;
+}
+
+TEST(MetricTest, NamesRoundTrip) {
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    auto m = static_cast<Metric>(i);
+    EXPECT_EQ(metric_from_name(metric_name(m)), m);
+  }
+  EXPECT_THROW(metric_from_name("bogus"), ParseError);
+}
+
+TEST(MetricTest, ScalesWithTasksFlags) {
+  EXPECT_TRUE(metric_scales_with_tasks(Metric::Instructions));
+  EXPECT_TRUE(metric_scales_with_tasks(Metric::Cycles));
+  EXPECT_TRUE(metric_scales_with_tasks(Metric::Duration));
+  EXPECT_FALSE(metric_scales_with_tasks(Metric::Ipc));
+  EXPECT_FALSE(metric_scales_with_tasks(Metric::L1MissesPerKi));
+  EXPECT_FALSE(metric_scales_with_tasks(Metric::L2MissesPerKi));
+  EXPECT_FALSE(metric_scales_with_tasks(Metric::TlbMissesPerKi));
+}
+
+TEST(MetricTest, EvaluateBasics) {
+  Burst b = make_burst(2e6, 4e6, 1000.0, 200.0, 50.0);
+  EXPECT_DOUBLE_EQ(evaluate_metric(b, Metric::Duration), 0.25);
+  EXPECT_DOUBLE_EQ(evaluate_metric(b, Metric::Instructions), 2e6);
+  EXPECT_DOUBLE_EQ(evaluate_metric(b, Metric::Cycles), 4e6);
+  EXPECT_DOUBLE_EQ(evaluate_metric(b, Metric::Ipc), 0.5);
+  EXPECT_DOUBLE_EQ(evaluate_metric(b, Metric::L1MissesPerKi), 0.5);
+  EXPECT_DOUBLE_EQ(evaluate_metric(b, Metric::L2MissesPerKi), 0.1);
+  EXPECT_DOUBLE_EQ(evaluate_metric(b, Metric::TlbMissesPerKi), 0.025);
+}
+
+TEST(MetricTest, DivisionGuards) {
+  Burst zero_cycles = make_burst(1e6, 0.0);
+  EXPECT_DOUBLE_EQ(evaluate_metric(zero_cycles, Metric::Ipc), 0.0);
+  Burst zero_instr = make_burst(0.0, 1e6, 100.0, 100.0, 100.0);
+  EXPECT_DOUBLE_EQ(evaluate_metric(zero_instr, Metric::L1MissesPerKi), 0.0);
+  EXPECT_DOUBLE_EQ(evaluate_metric(zero_instr, Metric::L2MissesPerKi), 0.0);
+  EXPECT_DOUBLE_EQ(evaluate_metric(zero_instr, Metric::TlbMissesPerKi), 0.0);
+}
+
+TEST(MetricTest, EvaluateWholeTrace) {
+  Trace trace("app", 2);
+  Burst b0 = make_burst(1e6, 2e6);
+  b0.task = 0;
+  trace.add_burst(b0);
+  Burst b1 = make_burst(3e6, 3e6);
+  b1.task = 1;
+  trace.add_burst(b1);
+  auto values = evaluate_metric(trace, Metric::Ipc);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_DOUBLE_EQ(values[0], 0.5);
+  EXPECT_DOUBLE_EQ(values[1], 1.0);
+}
+
+}  // namespace
+}  // namespace perftrack::trace

@@ -1,0 +1,99 @@
+#include "trace/slice.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "testing/test_traces.hpp"
+
+namespace perftrack::trace {
+namespace {
+
+using perftrack::testing::MiniPhase;
+using perftrack::testing::MiniTraceSpec;
+using perftrack::testing::make_mini_trace;
+
+std::shared_ptr<const Trace> sample_trace() {
+  MiniTraceSpec spec;
+  spec.label = "run";
+  spec.tasks = 3;
+  spec.iterations = 8;
+  spec.phases = {MiniPhase{2e6, 1.0, {"p1", "x.c", 1}},
+                 MiniPhase{1e6, 2.0, {"p2", "x.c", 2}}};
+  return make_mini_trace(spec);
+}
+
+TEST(SliceTest, RejectsZeroIntervals) {
+  auto trace = sample_trace();
+  EXPECT_THROW(split_into_intervals(*trace, 0), PreconditionError);
+}
+
+TEST(SliceTest, OneIntervalKeepsEverything) {
+  auto trace = sample_trace();
+  auto slices = split_into_intervals(*trace, 1);
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0]->burst_count(), trace->burst_count());
+  EXPECT_EQ(slices[0]->label(), "run [1/1]");
+}
+
+TEST(SliceTest, BurstsArePartitioned) {
+  auto trace = sample_trace();
+  auto slices = split_into_intervals(*trace, 4);
+  ASSERT_EQ(slices.size(), 4u);
+  std::size_t total = 0;
+  for (const auto& slice : slices) {
+    total += slice->burst_count();
+    slice->validate();
+    EXPECT_EQ(slice->num_tasks(), trace->num_tasks());
+  }
+  EXPECT_EQ(total, trace->burst_count());
+}
+
+TEST(SliceTest, BurstsLandInTheirWindow) {
+  auto trace = sample_trace();
+  const std::size_t n = 4;
+  auto slices = split_into_intervals(*trace, n);
+  double width = trace->end_time() / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const Burst& burst : slices[i]->bursts()) {
+      double midpoint = burst.begin_time + burst.duration / 2.0;
+      auto expected = std::min<std::size_t>(
+          static_cast<std::size_t>(midpoint / width), n - 1);
+      EXPECT_EQ(expected, i);
+    }
+  }
+}
+
+TEST(SliceTest, MetadataAndCallstacksSurvive) {
+  MiniTraceSpec spec;
+  spec.label = "run";
+  spec.phases = {MiniPhase{2e6, 1.0, {"solve", "solver.c", 42}}};
+  auto original = make_mini_trace(spec);
+  auto mutable_copy = std::make_shared<Trace>(*original);
+  mutable_copy->set_attribute("compiler", "xlf");
+  auto slices = split_into_intervals(*mutable_copy, 2);
+  for (const auto& slice : slices) {
+    EXPECT_EQ(slice->attribute_or("compiler", ""), "xlf");
+    EXPECT_FALSE(slice->attribute_or("interval", "").empty());
+    for (const Burst& burst : slice->bursts())
+      EXPECT_EQ(slice->callstacks().resolve(burst.callstack).function,
+                "solve");
+  }
+}
+
+TEST(SliceTest, EmptyWindowsAreAllowed) {
+  // One burst spanning the whole run: its midpoint falls in the middle
+  // window; the others are empty but well-formed.
+  Trace t("app", 1);
+  Burst b;
+  b.duration = 0.1;
+  t.add_burst(b);
+  auto slices = split_into_intervals(t, 3);
+  ASSERT_EQ(slices.size(), 3u);
+  EXPECT_EQ(slices[0]->burst_count(), 0u);
+  EXPECT_EQ(slices[1]->burst_count(), 1u);
+  EXPECT_EQ(slices[2]->burst_count(), 0u);
+  for (const auto& slice : slices) slice->validate();
+}
+
+}  // namespace
+}  // namespace perftrack::trace

@@ -1,0 +1,146 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace perftrack::trace {
+namespace {
+
+Trace make_rich_trace(std::uint64_t seed, std::uint32_t tasks,
+                      int bursts_per_task) {
+  perftrack::Rng rng(seed);
+  Trace t("TestApp", tasks);
+  t.set_label("TestApp-" + std::to_string(tasks));
+  t.set_attribute("platform", "Reference");
+  t.set_attribute("compiler", "gfortran");
+  CallstackId cs1 = t.callstacks().intern({"solve it", "solver.f90", 42});
+  CallstackId cs2 = t.callstacks().intern({"halo", "comm.f90", 7});
+  for (std::uint32_t task = 0; task < tasks; ++task) {
+    double clock = 0.0;
+    for (int i = 0; i < bursts_per_task; ++i) {
+      Burst b;
+      b.task = task;
+      b.begin_time = clock;
+      b.duration = rng.uniform(0.001, 0.1);
+      b.callstack = i % 2 == 0 ? cs1 : cs2;
+      b.counters.set(Counter::Instructions, rng.uniform(1e5, 1e7));
+      b.counters.set(Counter::Cycles, rng.uniform(1e5, 1e7));
+      b.counters.set(Counter::L1DMisses, rng.uniform(0.0, 1e4));
+      b.counters.set(Counter::L2Misses, rng.uniform(0.0, 1e3));
+      b.counters.set(Counter::TlbMisses, rng.uniform(0.0, 1e2));
+      t.add_burst(b);
+      clock += b.duration + rng.uniform(0.0, 0.01);
+    }
+  }
+  return t;
+}
+
+void expect_traces_equal(const Trace& a, const Trace& b) {
+  EXPECT_EQ(a.application(), b.application());
+  EXPECT_EQ(a.label(), b.label());
+  EXPECT_EQ(a.num_tasks(), b.num_tasks());
+  EXPECT_EQ(a.attributes(), b.attributes());
+  ASSERT_EQ(a.burst_count(), b.burst_count());
+  for (std::size_t i = 0; i < a.burst_count(); ++i) {
+    const Burst& x = a.bursts()[i];
+    const Burst& y = b.bursts()[i];
+    EXPECT_EQ(x.task, y.task);
+    EXPECT_DOUBLE_EQ(x.begin_time, y.begin_time);
+    EXPECT_DOUBLE_EQ(x.duration, y.duration);
+    EXPECT_EQ(a.callstacks().resolve(x.callstack),
+              b.callstacks().resolve(y.callstack));
+    EXPECT_EQ(x.counters, y.counters);
+  }
+}
+
+class TraceIoRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceIoRoundTrip, WriteReadPreservesEverything) {
+  Trace original = make_rich_trace(GetParam(), 3, 10);
+  std::stringstream stream;
+  write_trace(stream, original);
+  Trace loaded = read_trace(stream);
+  expect_traces_equal(original, loaded);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceIoRoundTrip,
+                         ::testing::Values(1, 17, 23, 99));
+
+TEST(TraceIoTest, FileRoundTrip) {
+  Trace original = make_rich_trace(5, 2, 4);
+  std::string path = ::testing::TempDir() + "/pt_trace_test.ptt";
+  save_trace(path, original);
+  Trace loaded = load_trace(path);
+  expect_traces_equal(original, loaded);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, FunctionNamesWithSpacesSurvive) {
+  Trace t("app", 1);
+  CallstackId cs =
+      t.callstacks().intern({"operator new [](unsigned long)", "mm.cpp", 1});
+  Burst b;
+  b.callstack = cs;
+  t.add_burst(b);
+  std::stringstream stream;
+  write_trace(stream, t);
+  Trace loaded = read_trace(stream);
+  EXPECT_EQ(loaded.callstacks().resolve(loaded.bursts()[0].callstack).function,
+            "operator new [](unsigned long)");
+}
+
+TEST(TraceIoTest, MissingMagicThrows) {
+  std::stringstream stream("app foo\ntasks 1\n");
+  EXPECT_THROW(read_trace(stream), ParseError);
+}
+
+TEST(TraceIoTest, MissingAppThrows) {
+  std::stringstream stream("#PTT 1\ntasks 1\n");
+  EXPECT_THROW(read_trace(stream), ParseError);
+}
+
+TEST(TraceIoTest, MissingTasksThrows) {
+  std::stringstream stream("#PTT 1\napp foo\n");
+  EXPECT_THROW(read_trace(stream), ParseError);
+}
+
+TEST(TraceIoTest, UnknownRecordThrows) {
+  std::stringstream stream("#PTT 1\napp foo\ntasks 1\nwhatisthis 1 2\n");
+  EXPECT_THROW(read_trace(stream), ParseError);
+}
+
+TEST(TraceIoTest, BadNumberThrows) {
+  std::stringstream stream(
+      "#PTT 1\napp foo\ntasks 1\nburst 0 zero 0.1 0 1 1 0 0 0\n");
+  EXPECT_THROW(read_trace(stream), ParseError);
+}
+
+TEST(TraceIoTest, ShortBurstLineThrows) {
+  std::stringstream stream("#PTT 1\napp foo\ntasks 1\nburst 0 0.0 0.1 0 1\n");
+  EXPECT_THROW(read_trace(stream), ParseError);
+}
+
+TEST(TraceIoTest, UndeclaredCallstackThrows) {
+  std::stringstream stream(
+      "#PTT 1\napp foo\ntasks 1\nburst 0 0.0 0.1 9 1 1 0 0 0\n");
+  EXPECT_THROW(read_trace(stream), ParseError);
+}
+
+TEST(TraceIoTest, CommentsAndBlanksIgnored) {
+  std::stringstream stream(
+      "#PTT 1\n\n# a comment\napp foo\ntasks 1\n\nburst 0 0.0 0.1 0 1 2 0 0 "
+      "0\n");
+  Trace t = read_trace(stream);
+  EXPECT_EQ(t.burst_count(), 1u);
+  EXPECT_DOUBLE_EQ(t.bursts()[0].counters.get(Counter::Cycles), 2.0);
+}
+
+TEST(TraceIoTest, LoadMissingFileThrows) {
+  EXPECT_THROW(load_trace("/nonexistent-xyz/trace.ptt"), IoError);
+}
+
+}  // namespace
+}  // namespace perftrack::trace

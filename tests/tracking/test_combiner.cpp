@@ -1,0 +1,157 @@
+#include "tracking/combiner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_traces.hpp"
+
+namespace perftrack::tracking {
+namespace {
+
+using perftrack::testing::MiniPhase;
+using perftrack::testing::MiniTraceSpec;
+using perftrack::testing::make_mini_trace;
+
+cluster::ClusteringParams clustering() {
+  cluster::ClusteringParams params;
+  params.log_scale = {true, false};
+  params.dbscan.eps = 0.05;
+  params.dbscan.min_pts = 3;
+  return params;
+}
+
+struct Pair {
+  cluster::Frame fa, fb;
+  PairTracking run(const TrackingParams& params = {}) const {
+    std::vector<cluster::Frame> frames{fa, fb};
+    ScaleNormalization scale =
+        ScaleNormalization::fit(frames, {true, false});
+    FrameAlignment align_a(fa, params.alignment_scores);
+    FrameAlignment align_b(fb, params.alignment_scores);
+    return track_pair(fa, align_a, fb, align_b, scale, params);
+  }
+};
+
+Pair make_pair(const MiniTraceSpec& a, const MiniTraceSpec& b) {
+  return Pair{cluster::build_frame(make_mini_trace(a), clustering()),
+              cluster::build_frame(make_mini_trace(b), clustering())};
+}
+
+TEST(Combiner, IdenticalExperimentsTrackOneToOne) {
+  MiniTraceSpec a;
+  a.label = "A";
+  a.phases = {MiniPhase{8e6, 1.0, {"p1", "x.c", 1}},
+              MiniPhase{3e6, 1.5, {"p2", "x.c", 2}},
+              MiniPhase{1e6, 0.5, {"p3", "x.c", 3}}};
+  MiniTraceSpec b = a;
+  b.label = "B";
+  b.seed = 9;
+  PairTracking result = make_pair(a, b).run();
+  ASSERT_EQ(result.relations.size(), 3u);
+  for (const Relation& rel : result.relations) EXPECT_TRUE(rel.univocal());
+  EXPECT_TRUE(result.relations.unmatched_left.empty());
+  EXPECT_TRUE(result.relations.unmatched_right.empty());
+}
+
+TEST(Combiner, PerTaskSplitYieldsWideRelationViaSpmd) {
+  // The WRF region-4 situation: one phase splits per-task in B; the SPMD
+  // evaluator merges the two halves so tracking reports A1 = {B_i, B_j}.
+  MiniTraceSpec a;
+  a.label = "A";
+  a.tasks = 8;
+  a.phases = {MiniPhase{8e6, 1.0, {"p1", "x.c", 1}},
+              MiniPhase{1e6, 1.5, {"p2", "x.c", 2}}};
+  MiniTraceSpec b = a;
+  b.label = "B";
+  b.phases[0].split_fraction = 0.5;
+  b.phases[0].split_instr_factor = 1.7;
+  Pair pair = make_pair(a, b);
+  ASSERT_EQ(pair.fb.object_count(), 3u);
+  PairTracking result = pair.run();
+  ASSERT_EQ(result.relations.size(), 2u);
+  std::ptrdiff_t split_rel = result.relations.find_by_left(0);
+  ASSERT_GE(split_rel, 0);
+  EXPECT_EQ(result.relations.relations[static_cast<std::size_t>(split_rel)]
+                .right.size(),
+            2u);
+}
+
+TEST(Combiner, CallstackPrunesCoincidentalNeighbours) {
+  // Two phases of B sit nearby in space, but only one shares A's source
+  // reference; the other must not join the relation.
+  MiniTraceSpec a;
+  a.label = "A";
+  a.phases = {MiniPhase{8e6, 1.0, {"mine", "x.c", 1}},
+              MiniPhase{1e6, 2.0, {"other", "x.c", 50}}};
+  MiniTraceSpec b;
+  b.label = "B";
+  b.phases = {MiniPhase{8.6e6, 1.02, {"foreign", "y.c", 9}},
+              MiniPhase{7.4e6, 0.98, {"mine", "x.c", 1}},
+              MiniPhase{1e6, 2.0, {"other", "x.c", 50}}};
+  PairTracking result = make_pair(a, b).run();
+  // A0 ("mine") must relate only to the B object with the same reference.
+  std::ptrdiff_t rel = result.relations.find_by_left(0);
+  ASSERT_GE(rel, 0);
+  const Relation& r =
+      result.relations.relations[static_cast<std::size_t>(rel)];
+  EXPECT_EQ(r.left, (std::set<ObjectId>{0}));
+  ASSERT_EQ(r.right.size(), 1u);
+  // The foreign object stays unmatched.
+  EXPECT_EQ(result.relations.unmatched_right.size(), 1u);
+}
+
+// The WRF filters situation (§3.1): two same-line phases move a long way
+// down the IPC axis between experiments, so the nearest-neighbour
+// cross-classification maps BOTH old clusters onto the nearer new one and
+// the farther new cluster is only reachable via the sequence refinement.
+Pair long_mover_pair() {
+  MiniTraceSpec a;
+  a.label = "A";
+  a.tasks = 8;
+  a.phases = {MiniPhase{40e6, 1.2, {"anchor", "x.c", 9}},
+              MiniPhase{8e6, 0.60, {"twin", "x.c", 7}},
+              MiniPhase{8e6, 0.45, {"twin", "x.c", 7}}};
+  MiniTraceSpec b = a;
+  b.label = "B";
+  b.seed = 4;
+  b.phases[1].ipc = 0.48;  // both twins degraded ~20%
+  b.phases[2].ipc = 0.33;
+  return make_pair(a, b);
+}
+
+TEST(Combiner, SequenceSplitsWideRelationOfSameLinePhases) {
+  PairTracking result = long_mover_pair().run();
+  // All three relations resolve univocally thanks to the sequence pass.
+  ASSERT_EQ(result.relations.size(), 3u);
+  for (const Relation& rel : result.relations)
+    EXPECT_TRUE(rel.univocal()) << rel.describe();
+  EXPECT_TRUE(result.relations.unmatched_right.empty());
+}
+
+TEST(Combiner, DisabledSequenceKeepsWideRelation) {
+  TrackingParams params;
+  params.use_sequence = false;
+  PairTracking result = long_mover_pair().run(params);
+  // Without the refinement the twins stay grouped (or one side unmatched).
+  bool degraded = !result.relations.unmatched_right.empty();
+  for (const Relation& rel : result.relations)
+    if (!rel.univocal()) degraded = true;
+  EXPECT_TRUE(degraded);
+}
+
+TEST(Combiner, EvaluatorArtefactsExposed) {
+  MiniTraceSpec a;
+  a.label = "A";
+  a.phases = {MiniPhase{8e6, 1.0, {"p1", "x.c", 1}},
+              MiniPhase{1e6, 1.5, {"p2", "x.c", 2}}};
+  MiniTraceSpec b = a;
+  b.label = "B";
+  PairTracking result = make_pair(a, b).run();
+  EXPECT_EQ(result.displacement.a_to_b.rows(), 2u);
+  EXPECT_EQ(result.spmd_a.rows(), 2u);
+  EXPECT_EQ(result.spmd_b.rows(), 2u);
+  EXPECT_EQ(result.callstack.rows(), 2u);
+  EXPECT_EQ(result.sequence.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace perftrack::tracking

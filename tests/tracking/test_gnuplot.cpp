@@ -1,0 +1,95 @@
+#include "tracking/gnuplot.hpp"
+
+#include <fstream>
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "testing/test_traces.hpp"
+
+namespace perftrack::tracking {
+namespace {
+
+using perftrack::testing::MiniPhase;
+using perftrack::testing::MiniTraceSpec;
+using perftrack::testing::make_mini_trace;
+
+TrackingResult sample_result() {
+  cluster::ClusteringParams params;
+  params.log_scale = {true, false};
+  params.dbscan.eps = 0.05;
+  params.dbscan.min_pts = 3;
+  std::vector<cluster::Frame> frames;
+  for (int i = 0; i < 2; ++i) {
+    MiniTraceSpec spec;
+    spec.label = "run-" + std::to_string(i);
+    spec.seed = 70 + static_cast<std::uint64_t>(i);
+    spec.phases = {MiniPhase{8e6, 1.0, {"p1", "x.c", 1}},
+                   MiniPhase{1e6, 2.0, {"p2", "x.c", 2}}};
+    frames.push_back(cluster::build_frame(make_mini_trace(spec), params));
+  }
+  return track_frames(std::move(frames), {});
+}
+
+std::size_t count_blocks(const std::string& dat) {
+  // gnuplot blocks are separated by double blank lines.
+  std::size_t blocks = 0, pos = 0;
+  while ((pos = dat.find("\n\n\n", pos)) != std::string::npos) {
+    ++blocks;
+    pos += 3;
+  }
+  return blocks;
+}
+
+TEST(GnuplotTest, FramesDatHasOneBlockPerFrame) {
+  TrackingResult result = sample_result();
+  std::string dat = gnuplot_frames_dat(result);
+  EXPECT_EQ(count_blocks(dat), result.frames.size());
+  EXPECT_NE(dat.find("# frame 0: run-0"), std::string::npos);
+  EXPECT_NE(dat.find("# frame 1: run-1"), std::string::npos);
+}
+
+TEST(GnuplotTest, FramesDatRespectsSubsampling) {
+  TrackingResult result = sample_result();
+  GnuplotOptions tiny;
+  tiny.max_points_per_object = 3;
+  std::string small = gnuplot_frames_dat(result, tiny);
+  std::string full = gnuplot_frames_dat(result, {.max_points_per_object = 0});
+  EXPECT_LT(small.size(), full.size());
+}
+
+TEST(GnuplotTest, TrendsDatHasOneBlockPerCompleteRegion) {
+  TrackingResult result = sample_result();
+  std::string dat = gnuplot_trends_dat(result);
+  EXPECT_EQ(count_blocks(dat), result.complete_count);
+  EXPECT_NE(dat.find("# region 1"), std::string::npos);
+}
+
+TEST(GnuplotTest, ScriptReferencesAllArtifacts) {
+  TrackingResult result = sample_result();
+  std::string script = gnuplot_script("out/base", result);
+  EXPECT_NE(script.find("out/base.frames.dat"), std::string::npos);
+  EXPECT_NE(script.find("out/base.trends.dat"), std::string::npos);
+  EXPECT_NE(script.find("out/base.frames.png"), std::string::npos);
+  EXPECT_NE(script.find("Region 1"), std::string::npos);
+  EXPECT_NE(script.find("Region 2"), std::string::npos);
+  EXPECT_NE(script.find("multiplot"), std::string::npos);
+}
+
+TEST(GnuplotTest, SaveWritesThreeFiles) {
+  TrackingResult result = sample_result();
+  std::string base = ::testing::TempDir() + "/pt_gp";
+  save_gnuplot(base, result);
+  for (const char* suffix : {".frames.dat", ".trends.dat", ".gp"}) {
+    std::ifstream in(base + suffix);
+    EXPECT_TRUE(in.good()) << suffix;
+    std::remove((base + suffix).c_str());
+  }
+}
+
+TEST(GnuplotTest, SaveBadPathThrows) {
+  TrackingResult result = sample_result();
+  EXPECT_THROW(save_gnuplot("/nonexistent-xyz/base", result), IoError);
+}
+
+}  // namespace
+}  // namespace perftrack::tracking

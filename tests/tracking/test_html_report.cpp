@@ -1,0 +1,81 @@
+#include "tracking/html_report.hpp"
+
+#include <fstream>
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "testing/test_traces.hpp"
+
+namespace perftrack::tracking {
+namespace {
+
+using perftrack::testing::MiniPhase;
+using perftrack::testing::MiniTraceSpec;
+using perftrack::testing::make_mini_trace;
+
+TrackingResult sample_result() {
+  cluster::ClusteringParams params;
+  params.log_scale = {true, false};
+  params.dbscan.eps = 0.05;
+  params.dbscan.min_pts = 3;
+  std::vector<cluster::Frame> frames;
+  for (int i = 0; i < 3; ++i) {
+    MiniTraceSpec spec;
+    spec.label = "exp-" + std::to_string(i);
+    spec.seed = 50 + static_cast<std::uint64_t>(i);
+    spec.phases = {MiniPhase{8e6, 1.0, {"p1", "x.c", 1}},
+                   MiniPhase{1e6, 2.0, {"p2", "x.c", 2}}};
+    frames.push_back(cluster::build_frame(make_mini_trace(spec), params));
+  }
+  return track_frames(std::move(frames), {});
+}
+
+TEST(HtmlReportTest, ContainsStructureAndData) {
+  TrackingResult result = sample_result();
+  HtmlReportOptions options;
+  options.title = "my tracking run";
+  std::string page = html_report(result, options);
+  EXPECT_NE(page.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(page.find("my tracking run"), std::string::npos);
+  EXPECT_NE(page.find("\"label\":\"exp-0\""), std::string::npos);
+  EXPECT_NE(page.find("\"label\":\"exp-2\""), std::string::npos);
+  EXPECT_NE(page.find("\"coverage\":1.0"), std::string::npos);
+  // One region entry per complete region.
+  EXPECT_NE(page.find("\"id\":1"), std::string::npos);
+  EXPECT_NE(page.find("\"id\":2"), std::string::npos);
+  // No unresolved template keys (literal percent signs are fine).
+  for (const char* key : {"%TITLE%", "%COMPLETE%", "%COVERAGE%", "%DATA%"})
+    EXPECT_EQ(page.find(key), std::string::npos) << key;
+}
+
+TEST(HtmlReportTest, SubsamplingCapsPayload) {
+  TrackingResult result = sample_result();
+  HtmlReportOptions tiny;
+  tiny.max_points_per_object = 2;
+  HtmlReportOptions full;
+  full.max_points_per_object = 0;
+  std::string small = html_report(result, tiny);
+  std::string big = html_report(result, full);
+  EXPECT_LT(small.size(), big.size());
+}
+
+TEST(HtmlReportTest, SaveWritesFile) {
+  TrackingResult result = sample_result();
+  std::string path = ::testing::TempDir() + "/pt_report.html";
+  save_html_report(path, result);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_EQ(first_line, "<!DOCTYPE html>");
+  std::remove(path.c_str());
+}
+
+TEST(HtmlReportTest, SaveBadPathThrows) {
+  TrackingResult result = sample_result();
+  EXPECT_THROW(save_html_report("/nonexistent-xyz/report.html", result),
+               IoError);
+}
+
+}  // namespace
+}  // namespace perftrack::tracking

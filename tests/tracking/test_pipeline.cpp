@@ -1,0 +1,78 @@
+#include "tracking/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "testing/test_traces.hpp"
+
+namespace perftrack::tracking {
+namespace {
+
+using perftrack::testing::MiniPhase;
+using perftrack::testing::MiniTraceSpec;
+using perftrack::testing::make_mini_trace;
+
+std::shared_ptr<const trace::Trace> experiment(const std::string& label,
+                                               std::uint64_t seed) {
+  MiniTraceSpec spec;
+  spec.label = label;
+  spec.seed = seed;
+  spec.phases = {MiniPhase{8e6, 1.0, {"p1", "x.c", 1}},
+                 MiniPhase{1e6, 2.0, {"p2", "x.c", 2}}};
+  return make_mini_trace(spec);
+}
+
+TEST(PipelineTest, DefaultsToPaperAxes) {
+  TrackingPipeline pipeline;
+  ASSERT_EQ(pipeline.clustering().projection.metrics.size(), 2u);
+  EXPECT_EQ(pipeline.clustering().projection.metrics[0],
+            trace::Metric::Instructions);
+  EXPECT_EQ(pipeline.clustering().projection.metrics[1],
+            trace::Metric::Ipc);
+}
+
+TEST(PipelineTest, RejectsNullAndTooFewExperiments) {
+  TrackingPipeline pipeline;
+  EXPECT_THROW(pipeline.add_experiment(nullptr), PreconditionError);
+  pipeline.add_experiment(experiment("A", 1));
+  EXPECT_THROW(pipeline.run(), PreconditionError);
+}
+
+TEST(PipelineTest, EndToEndRun) {
+  TrackingPipeline pipeline;
+  pipeline.add_experiment(experiment("A", 1));
+  pipeline.add_experiment(experiment("B", 2));
+  pipeline.add_experiment(experiment("C", 3));
+  cluster::ClusteringParams params = pipeline.clustering();
+  params.dbscan.eps = 0.05;
+  params.dbscan.min_pts = 3;
+  pipeline.set_clustering(params);
+
+  TrackingResult result = pipeline.run();
+  EXPECT_EQ(result.frames.size(), 3u);
+  EXPECT_EQ(result.complete_count, 2u);
+  EXPECT_DOUBLE_EQ(result.coverage, 1.0);
+  EXPECT_EQ(result.frames[0].label(), "A");
+  EXPECT_EQ(result.frames[2].label(), "C");
+}
+
+TEST(PipelineTest, TrackingParamsArePassedThrough) {
+  TrackingPipeline pipeline;
+  pipeline.add_experiment(experiment("A", 1));
+  pipeline.add_experiment(experiment("B", 2));
+  cluster::ClusteringParams cparams = pipeline.clustering();
+  cparams.dbscan.eps = 0.05;
+  cparams.dbscan.min_pts = 3;
+  pipeline.set_clustering(cparams);
+
+  TrackingParams tparams;
+  tparams.use_sequence = false;
+  tparams.use_spmd = false;
+  pipeline.set_tracking(tparams);
+  EXPECT_FALSE(pipeline.tracking().use_sequence);
+  TrackingResult result = pipeline.run();
+  EXPECT_EQ(result.complete_count, 2u);
+}
+
+}  // namespace
+}  // namespace perftrack::tracking

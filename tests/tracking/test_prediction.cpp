@@ -1,0 +1,154 @@
+#include "tracking/prediction.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "testing/test_traces.hpp"
+
+namespace perftrack::tracking {
+namespace {
+
+using perftrack::testing::MiniPhase;
+using perftrack::testing::MiniTraceSpec;
+using perftrack::testing::make_mini_trace;
+
+TEST(TrendModelTest, LinearFitRecoversLine) {
+  std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y{3.0, 5.0, 7.0, 9.0};  // y = 1 + 2x
+  TrendModel model = fit_linear(x, y);
+  EXPECT_NEAR(model.a, 1.0, 1e-9);
+  EXPECT_NEAR(model.b, 2.0, 1e-9);
+  EXPECT_NEAR(model.r_squared, 1.0, 1e-9);
+  EXPECT_NEAR(model.predict(10.0), 21.0, 1e-9);
+}
+
+TEST(TrendModelTest, PowerLawFitRecoversStrongScaling) {
+  // y = 6.4e7 / x — per-task instructions under strong scaling.
+  std::vector<double> x{16.0, 32.0, 64.0, 128.0};
+  std::vector<double> y;
+  for (double v : x) y.push_back(6.4e7 / v);
+  TrendModel model = fit_power_law(x, y);
+  EXPECT_NEAR(model.b, -1.0, 1e-9);
+  EXPECT_NEAR(model.a, 6.4e7, 1.0);
+  EXPECT_NEAR(model.predict(256.0), 2.5e5, 1.0);
+}
+
+TEST(TrendModelTest, FitTrendPicksTheBetterShape) {
+  std::vector<double> x{1.0, 2.0, 4.0, 8.0};
+  // Not a line: y = x^0.5.
+  std::vector<double> power_y;
+  for (double v : x) power_y.push_back(std::sqrt(v));
+  EXPECT_EQ(fit_trend(x, power_y).kind, TrendModel::Kind::PowerLaw);
+  // A perfect line (with an offset, so no power law matches exactly).
+  std::vector<double> linear_y{3.0, 5.0, 9.0, 17.0};  // y = 1 + 2x
+  TrendModel linear = fit_trend(x, linear_y);
+  EXPECT_EQ(linear.kind, TrendModel::Kind::Linear);
+  EXPECT_NEAR(linear.predict(16.0), 33.0, 1e-9);
+}
+
+TEST(TrendModelTest, FitTrendFallsBackToLinearOnNonPositiveData) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{-1.0, 0.0, 1.0};
+  TrendModel model = fit_trend(x, y);
+  EXPECT_EQ(model.kind, TrendModel::Kind::Linear);
+}
+
+TEST(TrendModelTest, TwoPointTieGoesToPowerLaw) {
+  // With two samples both fits are exact; the power law must win because
+  // it stays positive under extrapolation (a line through two strong-
+  // scaling points goes negative).
+  std::vector<double> x{32.0, 64.0};
+  std::vector<double> y{2e6, 1e6};
+  TrendModel model = fit_trend(x, y);
+  EXPECT_EQ(model.kind, TrendModel::Kind::PowerLaw);
+  EXPECT_NEAR(model.predict(128.0), 5e5, 1.0);
+  EXPECT_GT(model.predict(1024.0), 0.0);
+}
+
+TEST(TrendModelTest, ConstantXGivesFlatModel) {
+  std::vector<double> x{2.0, 2.0, 2.0};
+  std::vector<double> y{1.0, 2.0, 3.0};
+  TrendModel model = fit_linear(x, y);
+  EXPECT_DOUBLE_EQ(model.b, 0.0);
+  EXPECT_DOUBLE_EQ(model.predict(5.0), 2.0);
+}
+
+TEST(TrendModelTest, Validation) {
+  std::vector<double> one{1.0};
+  EXPECT_THROW(fit_linear(one, one), PreconditionError);
+  std::vector<double> x{1.0, 2.0};
+  std::vector<double> bad{0.0, 1.0};
+  EXPECT_THROW(fit_power_law(x, bad), PreconditionError);
+  TrendModel power;
+  power.kind = TrendModel::Kind::PowerLaw;
+  power.a = 1.0;
+  power.b = 1.0;
+  EXPECT_THROW(power.predict(-1.0), PreconditionError);
+}
+
+TEST(TrendModelTest, DescribeMentionsShapeAndR2) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{2.0, 4.0, 6.0};
+  EXPECT_NE(fit_linear(x, y).describe().find("R2"), std::string::npos);
+}
+
+TEST(ForecastTest, PredictsHeldOutExperiment) {
+  // Strong-scaling sweep at 4, 8, 16 tasks; forecast 32 and compare with
+  // the actual simulation.
+  auto experiment = [](std::uint32_t tasks) {
+    MiniTraceSpec spec;
+    spec.label = std::to_string(tasks) + " tasks";
+    spec.tasks = tasks;
+    spec.phases = {
+        MiniPhase{64e6 / tasks, 1.0, {"p1", "x.c", 1}},
+        MiniPhase{8e6 / tasks, 2.0, {"p2", "x.c", 2}},
+    };
+    return make_mini_trace(spec);
+  };
+  cluster::ClusteringParams params;
+  params.log_scale = {true, false};
+  params.dbscan.eps = 0.05;
+  params.dbscan.min_pts = 3;
+  std::vector<cluster::Frame> frames;
+  for (std::uint32_t tasks : {4u, 8u, 16u})
+    frames.push_back(cluster::build_frame(experiment(tasks), params));
+  TrackingResult result = track_frames(std::move(frames), {});
+  ASSERT_EQ(result.complete_count, 2u);
+
+  std::vector<double> x{4.0, 8.0, 16.0};
+  auto forecasts = forecast_regions(result, x,
+                                    trace::Metric::Instructions, 32.0);
+  ASSERT_EQ(forecasts.size(), 2u);
+  for (const RegionForecast& forecast : forecasts) {
+    EXPECT_EQ(forecast.model.kind, TrendModel::Kind::PowerLaw);
+    EXPECT_NEAR(forecast.model.b, -1.0, 0.02);
+  }
+  // Region 0 is the heavy phase: 64e6/32 = 2e6 per burst at 32 tasks.
+  EXPECT_NEAR(forecasts[0].predicted, 2e6, 2e6 * 0.03);
+}
+
+TEST(ForecastTest, RequiresOneXPerFrame) {
+  auto experiment = [](std::uint32_t tasks, const char* label) {
+    MiniTraceSpec spec;
+    spec.label = label;
+    spec.tasks = tasks;
+    spec.phases = {MiniPhase{1e6, 1.0, {"p", "x.c", 1}}};
+    return make_mini_trace(spec);
+  };
+  cluster::ClusteringParams params;
+  params.log_scale = {true, false};
+  params.dbscan.eps = 0.05;
+  params.dbscan.min_pts = 3;
+  std::vector<cluster::Frame> frames{
+      cluster::build_frame(experiment(4, "a"), params),
+      cluster::build_frame(experiment(4, "b"), params)};
+  TrackingResult result = track_frames(std::move(frames), {});
+  std::vector<double> wrong{1.0};
+  EXPECT_THROW(
+      forecast_regions(result, wrong, trace::Metric::Ipc, 2.0),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace perftrack::tracking

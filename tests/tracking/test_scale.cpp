@@ -1,0 +1,101 @@
+#include "tracking/scale.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "testing/test_traces.hpp"
+
+namespace perftrack::tracking {
+namespace {
+
+using perftrack::testing::MiniPhase;
+using perftrack::testing::MiniTraceSpec;
+using perftrack::testing::make_mini_trace;
+
+cluster::ClusteringParams clustering() {
+  cluster::ClusteringParams params;
+  params.log_scale = {true, false};
+  params.dbscan.eps = 0.05;
+  params.dbscan.min_pts = 3;
+  return params;
+}
+
+/// Frames of the same app at 4 and 8 tasks with perfect strong scaling:
+/// per-task instructions halve, IPC constant.
+std::vector<cluster::Frame> scaling_frames() {
+  MiniTraceSpec small;
+  small.label = "app-4";
+  small.tasks = 4;
+  small.phases = {MiniPhase{8e6, 1.0}, MiniPhase{2e6, 1.5}};
+  MiniTraceSpec big = small;
+  big.label = "app-8";
+  big.tasks = 8;
+  big.phases = {MiniPhase{4e6, 1.0}, MiniPhase{1e6, 1.5}};
+  std::vector<cluster::Frame> frames;
+  frames.push_back(cluster::build_frame(make_mini_trace(small), clustering()));
+  frames.push_back(cluster::build_frame(make_mini_trace(big), clustering()));
+  return frames;
+}
+
+TEST(ScaleNormalizationTest, TaskWeightingAlignsScaledExperiments) {
+  auto frames = scaling_frames();
+  ScaleNormalization scale =
+      ScaleNormalization::fit(frames, {true, false});
+  EXPECT_TRUE(scale.task_weighted(0));   // Instructions
+  EXPECT_FALSE(scale.task_weighted(1));  // IPC
+
+  // The same phase lands at the same normalised position in both frames:
+  // 8e6 x 4 tasks == 4e6 x 8 tasks.
+  auto a = scale.apply_one(std::vector<double>{8e6, 1.0}, 4);
+  auto b = scale.apply_one(std::vector<double>{4e6, 1.0}, 8);
+  EXPECT_NEAR(a[0], b[0], 1e-12);
+  EXPECT_NEAR(a[1], b[1], 1e-12);
+}
+
+TEST(ScaleNormalizationTest, WithoutWeightingFramesDiverge) {
+  auto frames = scaling_frames();
+  ScaleNormalization scale =
+      ScaleNormalization::fit(frames, {true, false}, /*task_weighting=*/false);
+  EXPECT_FALSE(scale.task_weighted(0));
+  auto a = scale.apply_one(std::vector<double>{8e6, 1.0}, 4);
+  auto b = scale.apply_one(std::vector<double>{4e6, 1.0}, 8);
+  EXPECT_GT(a[0] - b[0], 0.1);
+}
+
+TEST(ScaleNormalizationTest, MinMaxIsGlobalAcrossFrames) {
+  auto frames = scaling_frames();
+  ScaleNormalization scale =
+      ScaleNormalization::fit(frames, {true, false});
+  geom::PointSet n0 = scale.apply(frames[0]);
+  geom::PointSet n1 = scale.apply(frames[1]);
+  double lo = 1e300, hi = -1e300;
+  for (std::size_t i = 0; i < n0.size(); ++i) {
+    lo = std::min(lo, n0[i][1]);
+    hi = std::max(hi, n0[i][1]);
+  }
+  for (std::size_t i = 0; i < n1.size(); ++i) {
+    lo = std::min(lo, n1[i][1]);
+    hi = std::max(hi, n1[i][1]);
+  }
+  EXPECT_NEAR(lo, 0.0, 1e-9);
+  EXPECT_NEAR(hi, 1.0, 1e-9);
+}
+
+TEST(ScaleNormalizationTest, RejectsEmptyAndMismatched) {
+  EXPECT_THROW(ScaleNormalization::fit({}), PreconditionError);
+  auto frames = scaling_frames();
+  EXPECT_THROW(ScaleNormalization::fit(frames, {true}), PreconditionError);
+  ScaleNormalization scale = ScaleNormalization::fit(frames);
+  EXPECT_THROW(scale.apply_one(std::vector<double>{1.0}, 4),
+               PreconditionError);
+}
+
+TEST(ScaleNormalizationTest, ApplyCoversAllRows) {
+  auto frames = scaling_frames();
+  ScaleNormalization scale = ScaleNormalization::fit(frames);
+  geom::PointSet normalized = scale.apply(frames[0]);
+  EXPECT_EQ(normalized.size(), frames[0].projection().size());
+}
+
+}  // namespace
+}  // namespace perftrack::tracking

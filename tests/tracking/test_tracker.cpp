@@ -1,0 +1,139 @@
+#include "tracking/tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "testing/test_traces.hpp"
+
+namespace perftrack::tracking {
+namespace {
+
+using perftrack::testing::MiniPhase;
+using perftrack::testing::MiniTraceSpec;
+using perftrack::testing::make_mini_trace;
+
+cluster::ClusteringParams clustering() {
+  cluster::ClusteringParams params;
+  params.log_scale = {true, false};
+  params.dbscan.eps = 0.05;
+  params.dbscan.min_pts = 3;
+  return params;
+}
+
+MiniTraceSpec base_spec(const std::string& label, std::uint64_t seed) {
+  MiniTraceSpec spec;
+  spec.label = label;
+  spec.seed = seed;
+  spec.phases = {MiniPhase{8e6, 1.0, {"p1", "x.c", 1}},
+                 MiniPhase{3e6, 1.5, {"p2", "x.c", 2}},
+                 MiniPhase{1e6, 0.5, {"p3", "x.c", 3}}};
+  return spec;
+}
+
+std::vector<cluster::Frame> frame_sequence(int count) {
+  std::vector<cluster::Frame> frames;
+  for (int i = 0; i < count; ++i)
+    frames.push_back(cluster::build_frame(
+        make_mini_trace(base_spec("exp-" + std::to_string(i),
+                                  100 + static_cast<std::uint64_t>(i))),
+        clustering()));
+  return frames;
+}
+
+TEST(TrackerTest, RequiresTwoFrames) {
+  EXPECT_THROW(track_frames(frame_sequence(1), {}), PreconditionError);
+}
+
+TEST(TrackerTest, StableSequenceTracksEverything) {
+  TrackingResult result = track_frames(frame_sequence(4), {});
+  EXPECT_EQ(result.complete_count, 3u);
+  EXPECT_DOUBLE_EQ(result.coverage, 1.0);
+  EXPECT_EQ(result.pairs.size(), 3u);
+  EXPECT_EQ(result.regions.size(), 3u);
+  for (const auto& region : result.regions) {
+    EXPECT_TRUE(region.complete);
+    EXPECT_EQ(region.frames_present(), 4u);
+  }
+}
+
+TEST(TrackerTest, RegionsOrderedByDuration) {
+  TrackingResult result = track_frames(frame_sequence(3), {});
+  for (std::size_t r = 1; r < result.regions.size(); ++r)
+    EXPECT_GE(result.regions[r - 1].total_duration,
+              result.regions[r].total_duration);
+  // Region 0 is the heavy phase in every frame.
+  for (std::size_t f = 0; f < result.frames.size(); ++f) {
+    ASSERT_EQ(result.regions[0].members[f].size(), 1u);
+    ObjectId o = *result.regions[0].members[f].begin();
+    EXPECT_NEAR(result.frames[f].object(o).centroid[0], 8e6, 8e6 * 0.05);
+  }
+}
+
+TEST(TrackerTest, RenamingIsConsistentWithRegions) {
+  TrackingResult result = track_frames(frame_sequence(3), {});
+  for (const auto& region : result.regions)
+    for (std::size_t f = 0; f < result.frames.size(); ++f)
+      for (ObjectId o : region.members[f])
+        EXPECT_EQ(result.renaming[f][static_cast<std::size_t>(o)],
+                  region.id);
+  // Every object is named (full coverage here).
+  for (std::size_t f = 0; f < result.frames.size(); ++f)
+    for (auto name : result.renaming[f]) EXPECT_GE(name, 0);
+}
+
+TEST(TrackerTest, SplitRegionStaysOneRegionAcrossChain) {
+  // Middle and last frames have the first phase split per-task; chaining
+  // must keep one region whose members widen to two objects there.
+  std::vector<cluster::Frame> frames;
+  for (int i = 0; i < 3; ++i) {
+    MiniTraceSpec spec = base_spec("exp-" + std::to_string(i),
+                                   200 + static_cast<std::uint64_t>(i));
+    spec.tasks = 8;
+    if (i >= 1) {
+      spec.phases[0].split_fraction = 0.5;
+      spec.phases[0].split_instr_factor = 1.7;
+    }
+    frames.push_back(cluster::build_frame(make_mini_trace(spec),
+                                          clustering()));
+  }
+  ASSERT_EQ(frames[0].object_count(), 3u);
+  ASSERT_EQ(frames[1].object_count(), 4u);
+  TrackingResult result = track_frames(frames, {});
+  EXPECT_EQ(result.complete_count, 3u);
+  EXPECT_DOUBLE_EQ(result.coverage, 1.0);
+  // One region holds two objects in the split frames.
+  bool found_split = false;
+  for (const auto& region : result.regions)
+    if (region.members[1].size() == 2 && region.members[2].size() == 2)
+      found_split = true;
+  EXPECT_TRUE(found_split);
+}
+
+TEST(TrackerTest, VanishingPhaseYieldsPartialRegion) {
+  // A phase present only in the first two frames: it cannot span the
+  // sequence, so it becomes a partial region and lowers coverage.
+  std::vector<cluster::Frame> frames;
+  for (int i = 0; i < 3; ++i) {
+    MiniTraceSpec spec = base_spec("exp-" + std::to_string(i),
+                                   300 + static_cast<std::uint64_t>(i));
+    if (i == 2) spec.phases.pop_back();  // p3 disappears
+    frames.push_back(cluster::build_frame(make_mini_trace(spec),
+                                          clustering()));
+  }
+  TrackingResult result = track_frames(frames, {});
+  EXPECT_EQ(result.complete_count, 2u);
+  EXPECT_DOUBLE_EQ(result.coverage, 1.0);  // min objects = 2, both tracked
+  EXPECT_EQ(result.regions.size(), 3u);
+  EXPECT_FALSE(result.regions.back().complete);
+  EXPECT_EQ(result.regions.back().frames_present(), 2u);
+}
+
+TEST(TrackerTest, RegionAccessorValidates) {
+  TrackingResult result = track_frames(frame_sequence(2), {});
+  EXPECT_NO_THROW(result.region(0));
+  EXPECT_THROW(result.region(99), PreconditionError);
+  EXPECT_THROW(result.region(-1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace perftrack::tracking

@@ -1,0 +1,33 @@
+#include <cstdio>
+#include <cstring>
+#include "sim/studies.hpp"
+#include "tracking/tracker.hpp"
+#include "tracking/report.hpp"
+using namespace perftrack;
+int main(int argc, char** argv) {
+  std::vector<sim::Study> studies;
+  bool verbose = false;
+  std::string which = argc > 1 ? argv[1] : "";
+  if (argc > 2 && std::string(argv[2]) == "-v") verbose = true;
+  if (which == "wrf") studies.push_back(sim::study_wrf());
+  else if (which == "cgpop") studies.push_back(sim::study_cgpop());
+  else if (which == "bt") studies.push_back(sim::study_nas_bt());
+  else if (which == "gadget") studies.push_back(sim::study_gadget());
+  else if (which == "qe") studies.push_back(sim::study_espresso());
+  else if (which == "hydroc") studies.push_back(sim::study_hydroc(12));
+  else if (which == "mrg") studies.push_back(sim::study_mrgenesis());
+  else if (which == "ft") studies.push_back(sim::study_nas_ft());
+  else if (which == "gromacs3") studies.push_back(sim::study_gromacs_scaling());
+  else if (which == "gromacs20") studies.push_back(sim::study_gromacs_evolution());
+  else studies = sim::all_studies();
+  for (const auto& st : studies) {
+    auto frames = st.frames();
+    std::printf("== %-22s frames=%zu objects:", st.name.c_str(), frames.size());
+    for (auto& f : frames) std::printf(" %zu", f.object_count());
+    auto result = tracking::track_frames(std::move(frames), {});
+    std::printf(" -> tracked=%zu coverage=%.0f%%\n", result.complete_count,
+                result.coverage * 100);
+    if (verbose) std::fputs(tracking::describe_tracking(result).c_str(), stdout);
+  }
+  return 0;
+}

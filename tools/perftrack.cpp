@@ -1,0 +1,210 @@
+// perftrack — command-line front end.
+//
+// Track behavioural regions across experiments given as .ptt trace files,
+// or across time intervals of a single experiment:
+//
+//   perftrack track   [options] A.ptt B.ptt [C.ptt ...]
+//   perftrack evolve  [options] --intervals N RUN.ptt
+//   perftrack inspect TRACE.ptt
+//
+// Options:
+//   --eps X               DBSCAN radius in the normalised space (0.025)
+//   --min-pts N           DBSCAN core threshold (5)
+//   --min-cluster-frac F  drop clusters below this time share (0.005)
+//   --csv FILE            write per-region trends as CSV
+//   --html FILE           write an animated HTML report (frames + trends)
+//   --gnuplot BASE        write BASE.{frames.dat,trends.dat,gp} for gnuplot
+//   --matrices            print the evaluator correlation matrices
+//   --scatter             print the tracked frames as ASCII scatter plots
+//   --no-spmd / --no-callstack / --no-sequence   disable a heuristic
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cluster/scatter.hpp"
+#include "common/error.hpp"
+#include "sim/studies.hpp"
+#include "trace/slice.hpp"
+#include "trace/trace_io.hpp"
+#include "tracking/gnuplot.hpp"
+#include "tracking/html_report.hpp"
+#include "tracking/pipeline.hpp"
+#include "tracking/report.hpp"
+
+using namespace perftrack;
+
+namespace {
+
+struct Options {
+  std::string command;
+  std::vector<std::string> inputs;
+  double eps = 0.025;
+  std::size_t min_pts = 5;
+  double min_cluster_frac = 0.005;
+  std::size_t intervals = 8;
+  std::string csv_path;
+  std::string html_path;
+  std::string gnuplot_base;
+  bool matrices = false;
+  bool scatter = false;
+  tracking::TrackingParams tracking;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: perftrack track   [options] A.ptt B.ptt [...]\n"
+               "       perftrack evolve  [options] --intervals N RUN.ptt\n"
+               "       perftrack inspect TRACE.ptt\n"
+               "options: --eps X --min-pts N --min-cluster-frac F\n"
+               "         --csv FILE --html FILE --gnuplot BASE\n"
+               "         --matrices --scatter --intervals N\n"
+               "         --no-spmd --no-callstack --no-sequence\n");
+  return 2;
+}
+
+bool parse(int argc, char** argv, Options& options) {
+  if (argc < 2) return false;
+  options.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) throw Error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--eps") options.eps = std::stod(next_value());
+    else if (arg == "--min-pts")
+      options.min_pts = static_cast<std::size_t>(std::stoul(next_value()));
+    else if (arg == "--min-cluster-frac")
+      options.min_cluster_frac = std::stod(next_value());
+    else if (arg == "--intervals")
+      options.intervals = static_cast<std::size_t>(std::stoul(next_value()));
+    else if (arg == "--csv") options.csv_path = next_value();
+    else if (arg == "--html") options.html_path = next_value();
+    else if (arg == "--gnuplot") options.gnuplot_base = next_value();
+    else if (arg == "--matrices") options.matrices = true;
+    else if (arg == "--scatter") options.scatter = true;
+    else if (arg == "--no-spmd") options.tracking.use_spmd = false;
+    else if (arg == "--no-callstack") options.tracking.use_callstack = false;
+    else if (arg == "--no-sequence") options.tracking.use_sequence = false;
+    else if (arg.rfind("--", 0) == 0) throw Error("unknown option " + arg);
+    else options.inputs.push_back(arg);
+  }
+  return true;
+}
+
+int run_tracking(const Options& options,
+                 std::vector<std::shared_ptr<const trace::Trace>> traces) {
+  tracking::TrackingPipeline pipeline;
+  for (auto& t : traces) pipeline.add_experiment(std::move(t));
+
+  cluster::ClusteringParams clustering = sim::default_clustering();
+  clustering.dbscan.eps = options.eps;
+  clustering.dbscan.min_pts = options.min_pts;
+  clustering.min_cluster_time_fraction = options.min_cluster_frac;
+  pipeline.set_clustering(clustering);
+  pipeline.set_tracking(options.tracking);
+
+  tracking::TrackingResult result = pipeline.run();
+
+  std::cout << tracking::describe_tracking(result) << "\n";
+  std::cout << "IPC per region:\n"
+            << tracking::trend_table(result, trace::Metric::Ipc).to_text(2)
+            << "\n";
+
+  if (options.matrices) {
+    for (std::size_t p = 0; p < result.pairs.size(); ++p) {
+      std::cout << "displacement " << result.frames[p].label() << " -> "
+                << result.frames[p + 1].label() << ":\n"
+                << result.pairs[p].displacement.a_to_b.to_text("A", "B")
+                << "\ncallstack:\n"
+                << result.pairs[p].callstack.to_text("A", "B") << "\n";
+    }
+  }
+  if (options.scatter)
+    std::cout << tracking::tracked_scatters(result) << "\n";
+  if (!options.csv_path.empty()) {
+    std::ofstream out(options.csv_path);
+    if (!out) throw IoError("cannot write " + options.csv_path);
+    out << tracking::trends_csv(result);
+    std::printf("trends written to %s\n", options.csv_path.c_str());
+  }
+  if (!options.html_path.empty()) {
+    tracking::save_html_report(options.html_path, result);
+    std::printf("HTML report written to %s\n", options.html_path.c_str());
+  }
+  if (!options.gnuplot_base.empty()) {
+    tracking::save_gnuplot(options.gnuplot_base, result);
+    std::printf("gnuplot artefacts written to %s.{frames.dat,trends.dat,gp}\n",
+                options.gnuplot_base.c_str());
+  }
+  return 0;
+}
+
+int cmd_track(const Options& options) {
+  if (options.inputs.size() < 2) {
+    std::fprintf(stderr, "track needs at least two trace files\n");
+    return 2;
+  }
+  std::vector<std::shared_ptr<const trace::Trace>> traces;
+  for (const std::string& path : options.inputs)
+    traces.push_back(std::make_shared<const trace::Trace>(
+        trace::load_trace(path)));
+  return run_tracking(options, std::move(traces));
+}
+
+int cmd_evolve(const Options& options) {
+  if (options.inputs.size() != 1) {
+    std::fprintf(stderr, "evolve needs exactly one trace file\n");
+    return 2;
+  }
+  trace::Trace run = trace::load_trace(options.inputs[0]);
+  auto slices = trace::split_into_intervals(run, options.intervals);
+  std::printf("split %s into %zu intervals\n", run.label().c_str(),
+              slices.size());
+  return run_tracking(options, std::move(slices));
+}
+
+int cmd_inspect(const Options& options) {
+  if (options.inputs.size() != 1) {
+    std::fprintf(stderr, "inspect needs exactly one trace file\n");
+    return 2;
+  }
+  trace::Trace t = trace::load_trace(options.inputs[0]);
+  t.validate();
+  std::printf("application %s, label %s, %u tasks, %zu bursts, %.3fs "
+              "compute time\n",
+              t.application().c_str(), t.label().c_str(), t.num_tasks(),
+              t.burst_count(), t.total_computation_time());
+  auto shared = std::make_shared<const trace::Trace>(std::move(t));
+  cluster::ClusteringParams params = sim::default_clustering();
+  params.dbscan.eps = options.eps;
+  params.dbscan.min_pts = options.min_pts;
+  cluster::Frame frame = cluster::build_frame(shared, params);
+  std::printf("%zu behavioural clusters\n", frame.object_count());
+  cluster::ScatterOptions scatter;
+  scatter.x_axis = 1;
+  scatter.y_axis = 0;
+  scatter.log_y = true;
+  std::cout << cluster::ascii_scatter(frame, scatter);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  try {
+    if (!parse(argc, argv, options)) return usage();
+    if (options.command == "track") return cmd_track(options);
+    if (options.command == "evolve") return cmd_evolve(options);
+    if (options.command == "inspect") return cmd_inspect(options);
+    return usage();
+  } catch (const Error& error) {
+    std::fprintf(stderr, "perftrack: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,47 @@
+// ptconvert — convert between the perftrack .ptt format and the Paraver
+// (.prv + .pcf) pair.
+//
+//   ptconvert to-prv  INPUT.ptt OUTPUT_BASE      # writes OUTPUT_BASE.{prv,pcf}
+//   ptconvert to-ptt  INPUT_BASE OUTPUT.ptt      # reads INPUT_BASE.{prv,pcf}
+
+#include <cstdio>
+#include <string>
+
+#include "common/error.hpp"
+#include "paraver/prv.hpp"
+#include "trace/trace_io.hpp"
+
+using namespace perftrack;
+
+namespace {
+int usage() {
+  std::fprintf(stderr,
+               "usage: ptconvert to-prv INPUT.ptt OUTPUT_BASE\n"
+               "       ptconvert to-ptt INPUT_BASE OUTPUT.ptt\n");
+  return 2;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 4) return usage();
+  std::string command = argv[1];
+  try {
+    if (command == "to-prv") {
+      trace::Trace input = trace::load_trace(argv[2]);
+      paraver::save_prv(argv[3], input);
+      std::printf("wrote %s.prv and %s.pcf (%zu bursts)\n", argv[3],
+                  argv[3], input.burst_count());
+      return 0;
+    }
+    if (command == "to-ptt") {
+      trace::Trace input = paraver::load_prv(argv[2]);
+      trace::save_trace(argv[3], input);
+      std::printf("wrote %s (%zu bursts)\n", argv[3], input.burst_count());
+      return 0;
+    }
+  } catch (const Error& error) {
+    std::fprintf(stderr, "ptconvert: %s\n", error.what());
+    return 1;
+  }
+  return usage();
+}
