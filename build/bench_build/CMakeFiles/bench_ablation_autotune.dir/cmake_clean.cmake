@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_autotune"
+  "../bench/bench_ablation_autotune.pdb"
+  "CMakeFiles/bench_ablation_autotune.dir/bench_ablation_autotune.cpp.o"
+  "CMakeFiles/bench_ablation_autotune.dir/bench_ablation_autotune.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_evaluators"
+  "../bench/bench_ablation_evaluators.pdb"
+  "CMakeFiles/bench_ablation_evaluators.dir/bench_ablation_evaluators.cpp.o"
+  "CMakeFiles/bench_ablation_evaluators.dir/bench_ablation_evaluators.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_evaluators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

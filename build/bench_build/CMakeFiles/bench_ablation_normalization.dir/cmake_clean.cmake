@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_normalization"
+  "../bench/bench_ablation_normalization.pdb"
+  "CMakeFiles/bench_ablation_normalization.dir/bench_ablation_normalization.cpp.o"
+  "CMakeFiles/bench_ablation_normalization.dir/bench_ablation_normalization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_normalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

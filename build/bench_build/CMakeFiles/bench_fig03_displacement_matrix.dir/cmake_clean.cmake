@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_displacement_matrix"
+  "../bench/bench_fig03_displacement_matrix.pdb"
+  "CMakeFiles/bench_fig03_displacement_matrix.dir/bench_fig03_displacement_matrix.cpp.o"
+  "CMakeFiles/bench_fig03_displacement_matrix.dir/bench_fig03_displacement_matrix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_displacement_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_spmd_timeline"
+  "../bench/bench_fig04_spmd_timeline.pdb"
+  "CMakeFiles/bench_fig04_spmd_timeline.dir/bench_fig04_spmd_timeline.cpp.o"
+  "CMakeFiles/bench_fig04_spmd_timeline.dir/bench_fig04_spmd_timeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_spmd_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_sequence_alignment"
+  "../bench/bench_fig05_sequence_alignment.pdb"
+  "CMakeFiles/bench_fig05_sequence_alignment.dir/bench_fig05_sequence_alignment.cpp.o"
+  "CMakeFiles/bench_fig05_sequence_alignment.dir/bench_fig05_sequence_alignment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_sequence_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

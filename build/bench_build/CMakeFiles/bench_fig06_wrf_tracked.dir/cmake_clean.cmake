@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_wrf_tracked"
+  "../bench/bench_fig06_wrf_tracked.pdb"
+  "CMakeFiles/bench_fig06_wrf_tracked.dir/bench_fig06_wrf_tracked.cpp.o"
+  "CMakeFiles/bench_fig06_wrf_tracked.dir/bench_fig06_wrf_tracked.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_wrf_tracked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

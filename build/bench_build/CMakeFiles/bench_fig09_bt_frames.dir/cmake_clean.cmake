@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_bt_frames"
+  "../bench/bench_fig09_bt_frames.pdb"
+  "CMakeFiles/bench_fig09_bt_frames.dir/bench_fig09_bt_frames.cpp.o"
+  "CMakeFiles/bench_fig09_bt_frames.dir/bench_fig09_bt_frames.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_bt_frames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

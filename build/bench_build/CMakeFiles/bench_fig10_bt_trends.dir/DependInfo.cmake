@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_bt_trends.cpp" "bench_build/CMakeFiles/bench_fig10_bt_trends.dir/bench_fig10_bt_trends.cpp.o" "gcc" "bench_build/CMakeFiles/bench_fig10_bt_trends.dir/bench_fig10_bt_trends.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/pt_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracking/CMakeFiles/pt_tracking.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/pt_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/pt_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_bt_trends"
+  "../bench/bench_fig10_bt_trends.pdb"
+  "CMakeFiles/bench_fig10_bt_trends.dir/bench_fig10_bt_trends.cpp.o"
+  "CMakeFiles/bench_fig10_bt_trends.dir/bench_fig10_bt_trends.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_bt_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_mrgenesis"
+  "../bench/bench_fig11_mrgenesis.pdb"
+  "CMakeFiles/bench_fig11_mrgenesis.dir/bench_fig11_mrgenesis.cpp.o"
+  "CMakeFiles/bench_fig11_mrgenesis.dir/bench_fig11_mrgenesis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_mrgenesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_hydroc"
+  "../bench/bench_fig12_hydroc.pdb"
+  "CMakeFiles/bench_fig12_hydroc.dir/bench_fig12_hydroc.cpp.o"
+  "CMakeFiles/bench_fig12_hydroc.dir/bench_fig12_hydroc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_hydroc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_prediction"
+  "../bench/bench_prediction.pdb"
+  "CMakeFiles/bench_prediction.dir/bench_prediction.cpp.o"
+  "CMakeFiles/bench_prediction.dir/bench_prediction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

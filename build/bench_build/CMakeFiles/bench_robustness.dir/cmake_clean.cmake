@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_robustness"
+  "../bench/bench_robustness.pdb"
+  "CMakeFiles/bench_robustness.dir/bench_robustness.cpp.o"
+  "CMakeFiles/bench_robustness.dir/bench_robustness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab01_callstack"
+  "../bench/bench_tab01_callstack.pdb"
+  "CMakeFiles/bench_tab01_callstack.dir/bench_tab01_callstack.cpp.o"
+  "CMakeFiles/bench_tab01_callstack.dir/bench_tab01_callstack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab01_callstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab02_summary"
+  "../bench/bench_tab02_summary.pdb"
+  "CMakeFiles/bench_tab02_summary.dir/bench_tab02_summary.cpp.o"
+  "CMakeFiles/bench_tab02_summary.dir/bench_tab02_summary.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab02_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab03_cgpop"
+  "../bench/bench_tab03_cgpop.pdb"
+  "CMakeFiles/bench_tab03_cgpop.dir/bench_tab03_cgpop.cpp.o"
+  "CMakeFiles/bench_tab03_cgpop.dir/bench_tab03_cgpop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab03_cgpop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_alignment"
+  "../bench/perf_alignment.pdb"
+  "CMakeFiles/perf_alignment.dir/perf_alignment.cpp.o"
+  "CMakeFiles/perf_alignment.dir/perf_alignment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

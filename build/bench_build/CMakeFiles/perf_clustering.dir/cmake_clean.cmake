@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_clustering"
+  "../bench/perf_clustering.pdb"
+  "CMakeFiles/perf_clustering.dir/perf_clustering.cpp.o"
+  "CMakeFiles/perf_clustering.dir/perf_clustering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

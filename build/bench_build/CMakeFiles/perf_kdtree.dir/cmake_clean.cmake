@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_kdtree"
+  "../bench/perf_kdtree.pdb"
+  "CMakeFiles/perf_kdtree.dir/perf_kdtree.cpp.o"
+  "CMakeFiles/perf_kdtree.dir/perf_kdtree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_kdtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_tracking"
+  "../bench/perf_tracking.pdb"
+  "CMakeFiles/perf_tracking.dir/perf_tracking.cpp.o"
+  "CMakeFiles/perf_tracking.dir/perf_tracking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_study.dir/compiler_study.cpp.o"
+  "CMakeFiles/compiler_study.dir/compiler_study.cpp.o.d"
+  "compiler_study"
+  "compiler_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evolution_study.dir/evolution_study.cpp.o"
+  "CMakeFiles/evolution_study.dir/evolution_study.cpp.o.d"
+  "evolution_study"
+  "evolution_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evolution_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

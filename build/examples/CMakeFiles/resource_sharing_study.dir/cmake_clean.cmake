@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_sharing_study.dir/resource_sharing_study.cpp.o"
+  "CMakeFiles/resource_sharing_study.dir/resource_sharing_study.cpp.o.d"
+  "resource_sharing_study"
+  "resource_sharing_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_sharing_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalability_study.dir/scalability_study.cpp.o"
+  "CMakeFiles/scalability_study.dir/scalability_study.cpp.o.d"
+  "scalability_study"
+  "scalability_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalability_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_inspect.dir/trace_inspect.cpp.o"
+  "CMakeFiles/trace_inspect.dir/trace_inspect.cpp.o.d"
+  "trace_inspect"
+  "trace_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

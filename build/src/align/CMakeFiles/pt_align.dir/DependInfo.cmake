@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/msa.cpp" "src/align/CMakeFiles/pt_align.dir/msa.cpp.o" "gcc" "src/align/CMakeFiles/pt_align.dir/msa.cpp.o.d"
+  "/root/repo/src/align/nw.cpp" "src/align/CMakeFiles/pt_align.dir/nw.cpp.o" "gcc" "src/align/CMakeFiles/pt_align.dir/nw.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_align.dir/msa.cpp.o"
+  "CMakeFiles/pt_align.dir/msa.cpp.o.d"
+  "CMakeFiles/pt_align.dir/nw.cpp.o"
+  "CMakeFiles/pt_align.dir/nw.cpp.o.d"
+  "libpt_align.a"
+  "libpt_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

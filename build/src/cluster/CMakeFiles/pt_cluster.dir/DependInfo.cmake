@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/autotune.cpp" "src/cluster/CMakeFiles/pt_cluster.dir/autotune.cpp.o" "gcc" "src/cluster/CMakeFiles/pt_cluster.dir/autotune.cpp.o.d"
+  "/root/repo/src/cluster/dbscan.cpp" "src/cluster/CMakeFiles/pt_cluster.dir/dbscan.cpp.o" "gcc" "src/cluster/CMakeFiles/pt_cluster.dir/dbscan.cpp.o.d"
+  "/root/repo/src/cluster/frame.cpp" "src/cluster/CMakeFiles/pt_cluster.dir/frame.cpp.o" "gcc" "src/cluster/CMakeFiles/pt_cluster.dir/frame.cpp.o.d"
+  "/root/repo/src/cluster/normalize.cpp" "src/cluster/CMakeFiles/pt_cluster.dir/normalize.cpp.o" "gcc" "src/cluster/CMakeFiles/pt_cluster.dir/normalize.cpp.o.d"
+  "/root/repo/src/cluster/projection.cpp" "src/cluster/CMakeFiles/pt_cluster.dir/projection.cpp.o" "gcc" "src/cluster/CMakeFiles/pt_cluster.dir/projection.cpp.o.d"
+  "/root/repo/src/cluster/scatter.cpp" "src/cluster/CMakeFiles/pt_cluster.dir/scatter.cpp.o" "gcc" "src/cluster/CMakeFiles/pt_cluster.dir/scatter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/pt_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/pt_align.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_cluster.dir/autotune.cpp.o"
+  "CMakeFiles/pt_cluster.dir/autotune.cpp.o.d"
+  "CMakeFiles/pt_cluster.dir/dbscan.cpp.o"
+  "CMakeFiles/pt_cluster.dir/dbscan.cpp.o.d"
+  "CMakeFiles/pt_cluster.dir/frame.cpp.o"
+  "CMakeFiles/pt_cluster.dir/frame.cpp.o.d"
+  "CMakeFiles/pt_cluster.dir/normalize.cpp.o"
+  "CMakeFiles/pt_cluster.dir/normalize.cpp.o.d"
+  "CMakeFiles/pt_cluster.dir/projection.cpp.o"
+  "CMakeFiles/pt_cluster.dir/projection.cpp.o.d"
+  "CMakeFiles/pt_cluster.dir/scatter.cpp.o"
+  "CMakeFiles/pt_cluster.dir/scatter.cpp.o.d"
+  "libpt_cluster.a"
+  "libpt_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

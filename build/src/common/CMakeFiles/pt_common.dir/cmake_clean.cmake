@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_common.dir/log.cpp.o"
+  "CMakeFiles/pt_common.dir/log.cpp.o.d"
+  "CMakeFiles/pt_common.dir/stats.cpp.o"
+  "CMakeFiles/pt_common.dir/stats.cpp.o.d"
+  "CMakeFiles/pt_common.dir/strings.cpp.o"
+  "CMakeFiles/pt_common.dir/strings.cpp.o.d"
+  "CMakeFiles/pt_common.dir/table.cpp.o"
+  "CMakeFiles/pt_common.dir/table.cpp.o.d"
+  "libpt_common.a"
+  "libpt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

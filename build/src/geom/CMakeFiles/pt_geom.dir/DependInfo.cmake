@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/kdtree.cpp" "src/geom/CMakeFiles/pt_geom.dir/kdtree.cpp.o" "gcc" "src/geom/CMakeFiles/pt_geom.dir/kdtree.cpp.o.d"
+  "/root/repo/src/geom/pointset.cpp" "src/geom/CMakeFiles/pt_geom.dir/pointset.cpp.o" "gcc" "src/geom/CMakeFiles/pt_geom.dir/pointset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

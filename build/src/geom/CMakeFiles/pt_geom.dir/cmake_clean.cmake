@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_geom.dir/kdtree.cpp.o"
+  "CMakeFiles/pt_geom.dir/kdtree.cpp.o.d"
+  "CMakeFiles/pt_geom.dir/pointset.cpp.o"
+  "CMakeFiles/pt_geom.dir/pointset.cpp.o.d"
+  "libpt_geom.a"
+  "libpt_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/paraver/pcf.cpp" "src/paraver/CMakeFiles/pt_paraver.dir/pcf.cpp.o" "gcc" "src/paraver/CMakeFiles/pt_paraver.dir/pcf.cpp.o.d"
+  "/root/repo/src/paraver/prv.cpp" "src/paraver/CMakeFiles/pt_paraver.dir/prv.cpp.o" "gcc" "src/paraver/CMakeFiles/pt_paraver.dir/prv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pt_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

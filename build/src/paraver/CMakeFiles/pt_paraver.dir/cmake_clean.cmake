@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_paraver.dir/pcf.cpp.o"
+  "CMakeFiles/pt_paraver.dir/pcf.cpp.o.d"
+  "CMakeFiles/pt_paraver.dir/prv.cpp.o"
+  "CMakeFiles/pt_paraver.dir/prv.cpp.o.d"
+  "libpt_paraver.a"
+  "libpt_paraver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_paraver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pt_paraver.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/app.cpp" "src/sim/CMakeFiles/pt_sim.dir/app.cpp.o" "gcc" "src/sim/CMakeFiles/pt_sim.dir/app.cpp.o.d"
+  "/root/repo/src/sim/apps/cgpop.cpp" "src/sim/CMakeFiles/pt_sim.dir/apps/cgpop.cpp.o" "gcc" "src/sim/CMakeFiles/pt_sim.dir/apps/cgpop.cpp.o.d"
+  "/root/repo/src/sim/apps/espresso.cpp" "src/sim/CMakeFiles/pt_sim.dir/apps/espresso.cpp.o" "gcc" "src/sim/CMakeFiles/pt_sim.dir/apps/espresso.cpp.o.d"
+  "/root/repo/src/sim/apps/gadget.cpp" "src/sim/CMakeFiles/pt_sim.dir/apps/gadget.cpp.o" "gcc" "src/sim/CMakeFiles/pt_sim.dir/apps/gadget.cpp.o.d"
+  "/root/repo/src/sim/apps/gromacs.cpp" "src/sim/CMakeFiles/pt_sim.dir/apps/gromacs.cpp.o" "gcc" "src/sim/CMakeFiles/pt_sim.dir/apps/gromacs.cpp.o.d"
+  "/root/repo/src/sim/apps/hydroc.cpp" "src/sim/CMakeFiles/pt_sim.dir/apps/hydroc.cpp.o" "gcc" "src/sim/CMakeFiles/pt_sim.dir/apps/hydroc.cpp.o.d"
+  "/root/repo/src/sim/apps/mrgenesis.cpp" "src/sim/CMakeFiles/pt_sim.dir/apps/mrgenesis.cpp.o" "gcc" "src/sim/CMakeFiles/pt_sim.dir/apps/mrgenesis.cpp.o.d"
+  "/root/repo/src/sim/apps/nas.cpp" "src/sim/CMakeFiles/pt_sim.dir/apps/nas.cpp.o" "gcc" "src/sim/CMakeFiles/pt_sim.dir/apps/nas.cpp.o.d"
+  "/root/repo/src/sim/apps/wrf.cpp" "src/sim/CMakeFiles/pt_sim.dir/apps/wrf.cpp.o" "gcc" "src/sim/CMakeFiles/pt_sim.dir/apps/wrf.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/pt_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/pt_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/compiler.cpp" "src/sim/CMakeFiles/pt_sim.dir/compiler.cpp.o" "gcc" "src/sim/CMakeFiles/pt_sim.dir/compiler.cpp.o.d"
+  "/root/repo/src/sim/phase.cpp" "src/sim/CMakeFiles/pt_sim.dir/phase.cpp.o" "gcc" "src/sim/CMakeFiles/pt_sim.dir/phase.cpp.o.d"
+  "/root/repo/src/sim/platform.cpp" "src/sim/CMakeFiles/pt_sim.dir/platform.cpp.o" "gcc" "src/sim/CMakeFiles/pt_sim.dir/platform.cpp.o.d"
+  "/root/repo/src/sim/studies.cpp" "src/sim/CMakeFiles/pt_sim.dir/studies.cpp.o" "gcc" "src/sim/CMakeFiles/pt_sim.dir/studies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/pt_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/pt_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/pt_align.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_sim.dir/app.cpp.o"
+  "CMakeFiles/pt_sim.dir/app.cpp.o.d"
+  "CMakeFiles/pt_sim.dir/apps/cgpop.cpp.o"
+  "CMakeFiles/pt_sim.dir/apps/cgpop.cpp.o.d"
+  "CMakeFiles/pt_sim.dir/apps/espresso.cpp.o"
+  "CMakeFiles/pt_sim.dir/apps/espresso.cpp.o.d"
+  "CMakeFiles/pt_sim.dir/apps/gadget.cpp.o"
+  "CMakeFiles/pt_sim.dir/apps/gadget.cpp.o.d"
+  "CMakeFiles/pt_sim.dir/apps/gromacs.cpp.o"
+  "CMakeFiles/pt_sim.dir/apps/gromacs.cpp.o.d"
+  "CMakeFiles/pt_sim.dir/apps/hydroc.cpp.o"
+  "CMakeFiles/pt_sim.dir/apps/hydroc.cpp.o.d"
+  "CMakeFiles/pt_sim.dir/apps/mrgenesis.cpp.o"
+  "CMakeFiles/pt_sim.dir/apps/mrgenesis.cpp.o.d"
+  "CMakeFiles/pt_sim.dir/apps/nas.cpp.o"
+  "CMakeFiles/pt_sim.dir/apps/nas.cpp.o.d"
+  "CMakeFiles/pt_sim.dir/apps/wrf.cpp.o"
+  "CMakeFiles/pt_sim.dir/apps/wrf.cpp.o.d"
+  "CMakeFiles/pt_sim.dir/cache.cpp.o"
+  "CMakeFiles/pt_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/pt_sim.dir/compiler.cpp.o"
+  "CMakeFiles/pt_sim.dir/compiler.cpp.o.d"
+  "CMakeFiles/pt_sim.dir/phase.cpp.o"
+  "CMakeFiles/pt_sim.dir/phase.cpp.o.d"
+  "CMakeFiles/pt_sim.dir/platform.cpp.o"
+  "CMakeFiles/pt_sim.dir/platform.cpp.o.d"
+  "CMakeFiles/pt_sim.dir/studies.cpp.o"
+  "CMakeFiles/pt_sim.dir/studies.cpp.o.d"
+  "libpt_sim.a"
+  "libpt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpt_sim.a"
+)

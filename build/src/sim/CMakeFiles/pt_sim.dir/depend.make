@@ -1,0 +1,2 @@
+# Empty dependencies file for pt_sim.
+# This may be replaced when dependencies are built.

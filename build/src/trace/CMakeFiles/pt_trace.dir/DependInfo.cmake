@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/callstack.cpp" "src/trace/CMakeFiles/pt_trace.dir/callstack.cpp.o" "gcc" "src/trace/CMakeFiles/pt_trace.dir/callstack.cpp.o.d"
+  "/root/repo/src/trace/counters.cpp" "src/trace/CMakeFiles/pt_trace.dir/counters.cpp.o" "gcc" "src/trace/CMakeFiles/pt_trace.dir/counters.cpp.o.d"
+  "/root/repo/src/trace/metrics.cpp" "src/trace/CMakeFiles/pt_trace.dir/metrics.cpp.o" "gcc" "src/trace/CMakeFiles/pt_trace.dir/metrics.cpp.o.d"
+  "/root/repo/src/trace/slice.cpp" "src/trace/CMakeFiles/pt_trace.dir/slice.cpp.o" "gcc" "src/trace/CMakeFiles/pt_trace.dir/slice.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/pt_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/pt_trace.dir/trace.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/pt_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/pt_trace.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

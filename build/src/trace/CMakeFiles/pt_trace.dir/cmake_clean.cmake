@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_trace.dir/callstack.cpp.o"
+  "CMakeFiles/pt_trace.dir/callstack.cpp.o.d"
+  "CMakeFiles/pt_trace.dir/counters.cpp.o"
+  "CMakeFiles/pt_trace.dir/counters.cpp.o.d"
+  "CMakeFiles/pt_trace.dir/metrics.cpp.o"
+  "CMakeFiles/pt_trace.dir/metrics.cpp.o.d"
+  "CMakeFiles/pt_trace.dir/slice.cpp.o"
+  "CMakeFiles/pt_trace.dir/slice.cpp.o.d"
+  "CMakeFiles/pt_trace.dir/trace.cpp.o"
+  "CMakeFiles/pt_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/pt_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/pt_trace.dir/trace_io.cpp.o.d"
+  "libpt_trace.a"
+  "libpt_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

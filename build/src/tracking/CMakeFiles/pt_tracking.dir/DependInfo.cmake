@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tracking/combiner.cpp" "src/tracking/CMakeFiles/pt_tracking.dir/combiner.cpp.o" "gcc" "src/tracking/CMakeFiles/pt_tracking.dir/combiner.cpp.o.d"
+  "/root/repo/src/tracking/correlation.cpp" "src/tracking/CMakeFiles/pt_tracking.dir/correlation.cpp.o" "gcc" "src/tracking/CMakeFiles/pt_tracking.dir/correlation.cpp.o.d"
+  "/root/repo/src/tracking/evaluator_callstack.cpp" "src/tracking/CMakeFiles/pt_tracking.dir/evaluator_callstack.cpp.o" "gcc" "src/tracking/CMakeFiles/pt_tracking.dir/evaluator_callstack.cpp.o.d"
+  "/root/repo/src/tracking/evaluator_displacement.cpp" "src/tracking/CMakeFiles/pt_tracking.dir/evaluator_displacement.cpp.o" "gcc" "src/tracking/CMakeFiles/pt_tracking.dir/evaluator_displacement.cpp.o.d"
+  "/root/repo/src/tracking/evaluator_sequence.cpp" "src/tracking/CMakeFiles/pt_tracking.dir/evaluator_sequence.cpp.o" "gcc" "src/tracking/CMakeFiles/pt_tracking.dir/evaluator_sequence.cpp.o.d"
+  "/root/repo/src/tracking/evaluator_spmd.cpp" "src/tracking/CMakeFiles/pt_tracking.dir/evaluator_spmd.cpp.o" "gcc" "src/tracking/CMakeFiles/pt_tracking.dir/evaluator_spmd.cpp.o.d"
+  "/root/repo/src/tracking/frame_alignment.cpp" "src/tracking/CMakeFiles/pt_tracking.dir/frame_alignment.cpp.o" "gcc" "src/tracking/CMakeFiles/pt_tracking.dir/frame_alignment.cpp.o.d"
+  "/root/repo/src/tracking/gnuplot.cpp" "src/tracking/CMakeFiles/pt_tracking.dir/gnuplot.cpp.o" "gcc" "src/tracking/CMakeFiles/pt_tracking.dir/gnuplot.cpp.o.d"
+  "/root/repo/src/tracking/html_report.cpp" "src/tracking/CMakeFiles/pt_tracking.dir/html_report.cpp.o" "gcc" "src/tracking/CMakeFiles/pt_tracking.dir/html_report.cpp.o.d"
+  "/root/repo/src/tracking/pipeline.cpp" "src/tracking/CMakeFiles/pt_tracking.dir/pipeline.cpp.o" "gcc" "src/tracking/CMakeFiles/pt_tracking.dir/pipeline.cpp.o.d"
+  "/root/repo/src/tracking/prediction.cpp" "src/tracking/CMakeFiles/pt_tracking.dir/prediction.cpp.o" "gcc" "src/tracking/CMakeFiles/pt_tracking.dir/prediction.cpp.o.d"
+  "/root/repo/src/tracking/relation.cpp" "src/tracking/CMakeFiles/pt_tracking.dir/relation.cpp.o" "gcc" "src/tracking/CMakeFiles/pt_tracking.dir/relation.cpp.o.d"
+  "/root/repo/src/tracking/report.cpp" "src/tracking/CMakeFiles/pt_tracking.dir/report.cpp.o" "gcc" "src/tracking/CMakeFiles/pt_tracking.dir/report.cpp.o.d"
+  "/root/repo/src/tracking/scale.cpp" "src/tracking/CMakeFiles/pt_tracking.dir/scale.cpp.o" "gcc" "src/tracking/CMakeFiles/pt_tracking.dir/scale.cpp.o.d"
+  "/root/repo/src/tracking/tracker.cpp" "src/tracking/CMakeFiles/pt_tracking.dir/tracker.cpp.o" "gcc" "src/tracking/CMakeFiles/pt_tracking.dir/tracker.cpp.o.d"
+  "/root/repo/src/tracking/trends.cpp" "src/tracking/CMakeFiles/pt_tracking.dir/trends.cpp.o" "gcc" "src/tracking/CMakeFiles/pt_tracking.dir/trends.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/pt_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/pt_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/pt_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

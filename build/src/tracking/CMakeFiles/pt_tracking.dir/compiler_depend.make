@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pt_tracking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_align.dir/align/test_msa.cpp.o"
+  "CMakeFiles/test_align.dir/align/test_msa.cpp.o.d"
+  "CMakeFiles/test_align.dir/align/test_nw.cpp.o"
+  "CMakeFiles/test_align.dir/align/test_nw.cpp.o.d"
+  "test_align"
+  "test_align.pdb"
+  "test_align[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

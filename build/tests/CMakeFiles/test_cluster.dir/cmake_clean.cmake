@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster.dir/cluster/test_autotune.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_autotune.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_dbscan.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_dbscan.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_frame.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_frame.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_normalize.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_normalize.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_projection.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_projection.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_scatter.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_scatter.cpp.o.d"
+  "test_cluster"
+  "test_cluster.pdb"
+  "test_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom.dir/geom/test_kdtree.cpp.o"
+  "CMakeFiles/test_geom.dir/geom/test_kdtree.cpp.o.d"
+  "CMakeFiles/test_geom.dir/geom/test_pointset.cpp.o"
+  "CMakeFiles/test_geom.dir/geom/test_pointset.cpp.o.d"
+  "test_geom"
+  "test_geom.pdb"
+  "test_geom[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paraver.dir/paraver/test_pcf.cpp.o"
+  "CMakeFiles/test_paraver.dir/paraver/test_pcf.cpp.o.d"
+  "CMakeFiles/test_paraver.dir/paraver/test_prv.cpp.o"
+  "CMakeFiles/test_paraver.dir/paraver/test_prv.cpp.o.d"
+  "test_paraver"
+  "test_paraver.pdb"
+  "test_paraver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paraver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tracking/test_combiner.cpp" "tests/CMakeFiles/test_tracking.dir/tracking/test_combiner.cpp.o" "gcc" "tests/CMakeFiles/test_tracking.dir/tracking/test_combiner.cpp.o.d"
+  "/root/repo/tests/tracking/test_correlation.cpp" "tests/CMakeFiles/test_tracking.dir/tracking/test_correlation.cpp.o" "gcc" "tests/CMakeFiles/test_tracking.dir/tracking/test_correlation.cpp.o.d"
+  "/root/repo/tests/tracking/test_edge_cases.cpp" "tests/CMakeFiles/test_tracking.dir/tracking/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/test_tracking.dir/tracking/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/tracking/test_evaluators.cpp" "tests/CMakeFiles/test_tracking.dir/tracking/test_evaluators.cpp.o" "gcc" "tests/CMakeFiles/test_tracking.dir/tracking/test_evaluators.cpp.o.d"
+  "/root/repo/tests/tracking/test_gnuplot.cpp" "tests/CMakeFiles/test_tracking.dir/tracking/test_gnuplot.cpp.o" "gcc" "tests/CMakeFiles/test_tracking.dir/tracking/test_gnuplot.cpp.o.d"
+  "/root/repo/tests/tracking/test_html_report.cpp" "tests/CMakeFiles/test_tracking.dir/tracking/test_html_report.cpp.o" "gcc" "tests/CMakeFiles/test_tracking.dir/tracking/test_html_report.cpp.o.d"
+  "/root/repo/tests/tracking/test_multidim.cpp" "tests/CMakeFiles/test_tracking.dir/tracking/test_multidim.cpp.o" "gcc" "tests/CMakeFiles/test_tracking.dir/tracking/test_multidim.cpp.o.d"
+  "/root/repo/tests/tracking/test_pipeline.cpp" "tests/CMakeFiles/test_tracking.dir/tracking/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/test_tracking.dir/tracking/test_pipeline.cpp.o.d"
+  "/root/repo/tests/tracking/test_prediction.cpp" "tests/CMakeFiles/test_tracking.dir/tracking/test_prediction.cpp.o" "gcc" "tests/CMakeFiles/test_tracking.dir/tracking/test_prediction.cpp.o.d"
+  "/root/repo/tests/tracking/test_relation.cpp" "tests/CMakeFiles/test_tracking.dir/tracking/test_relation.cpp.o" "gcc" "tests/CMakeFiles/test_tracking.dir/tracking/test_relation.cpp.o.d"
+  "/root/repo/tests/tracking/test_scale.cpp" "tests/CMakeFiles/test_tracking.dir/tracking/test_scale.cpp.o" "gcc" "tests/CMakeFiles/test_tracking.dir/tracking/test_scale.cpp.o.d"
+  "/root/repo/tests/tracking/test_tracker.cpp" "tests/CMakeFiles/test_tracking.dir/tracking/test_tracker.cpp.o" "gcc" "tests/CMakeFiles/test_tracking.dir/tracking/test_tracker.cpp.o.d"
+  "/root/repo/tests/tracking/test_trends.cpp" "tests/CMakeFiles/test_tracking.dir/tracking/test_trends.cpp.o" "gcc" "tests/CMakeFiles/test_tracking.dir/tracking/test_trends.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/pt_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracking/CMakeFiles/pt_tracking.dir/DependInfo.cmake"
+  "/root/repo/build/src/paraver/CMakeFiles/pt_paraver.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/pt_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/pt_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

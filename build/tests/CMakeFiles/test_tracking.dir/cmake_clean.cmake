@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tracking.dir/tracking/test_combiner.cpp.o"
+  "CMakeFiles/test_tracking.dir/tracking/test_combiner.cpp.o.d"
+  "CMakeFiles/test_tracking.dir/tracking/test_correlation.cpp.o"
+  "CMakeFiles/test_tracking.dir/tracking/test_correlation.cpp.o.d"
+  "CMakeFiles/test_tracking.dir/tracking/test_edge_cases.cpp.o"
+  "CMakeFiles/test_tracking.dir/tracking/test_edge_cases.cpp.o.d"
+  "CMakeFiles/test_tracking.dir/tracking/test_evaluators.cpp.o"
+  "CMakeFiles/test_tracking.dir/tracking/test_evaluators.cpp.o.d"
+  "CMakeFiles/test_tracking.dir/tracking/test_gnuplot.cpp.o"
+  "CMakeFiles/test_tracking.dir/tracking/test_gnuplot.cpp.o.d"
+  "CMakeFiles/test_tracking.dir/tracking/test_html_report.cpp.o"
+  "CMakeFiles/test_tracking.dir/tracking/test_html_report.cpp.o.d"
+  "CMakeFiles/test_tracking.dir/tracking/test_multidim.cpp.o"
+  "CMakeFiles/test_tracking.dir/tracking/test_multidim.cpp.o.d"
+  "CMakeFiles/test_tracking.dir/tracking/test_pipeline.cpp.o"
+  "CMakeFiles/test_tracking.dir/tracking/test_pipeline.cpp.o.d"
+  "CMakeFiles/test_tracking.dir/tracking/test_prediction.cpp.o"
+  "CMakeFiles/test_tracking.dir/tracking/test_prediction.cpp.o.d"
+  "CMakeFiles/test_tracking.dir/tracking/test_relation.cpp.o"
+  "CMakeFiles/test_tracking.dir/tracking/test_relation.cpp.o.d"
+  "CMakeFiles/test_tracking.dir/tracking/test_scale.cpp.o"
+  "CMakeFiles/test_tracking.dir/tracking/test_scale.cpp.o.d"
+  "CMakeFiles/test_tracking.dir/tracking/test_tracker.cpp.o"
+  "CMakeFiles/test_tracking.dir/tracking/test_tracker.cpp.o.d"
+  "CMakeFiles/test_tracking.dir/tracking/test_trends.cpp.o"
+  "CMakeFiles/test_tracking.dir/tracking/test_trends.cpp.o.d"
+  "test_tracking"
+  "test_tracking.pdb"
+  "test_tracking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perftrack.dir/perftrack.cpp.o"
+  "CMakeFiles/perftrack.dir/perftrack.cpp.o.d"
+  "perftrack"
+  "perftrack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perftrack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptconvert.dir/ptconvert.cpp.o"
+  "CMakeFiles/ptconvert.dir/ptconvert.cpp.o.d"
+  "ptconvert"
+  "ptconvert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptconvert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

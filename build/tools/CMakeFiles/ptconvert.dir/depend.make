@@ -1,0 +1,2 @@
+# Empty dependencies file for ptconvert.
+# This may be replaced when dependencies are built.
