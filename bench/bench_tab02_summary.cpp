@@ -18,6 +18,7 @@
 using namespace perftrack;
 
 int main(int argc, char** argv) {
+  bench::enable_telemetry();
   bench::print_title("Table 2", "summary of the ten tracking case studies");
   bench::print_paper(
       "images/regions/coverage: Gadget 2/8/88, QuantumE 2/6/66, "
@@ -74,5 +75,9 @@ int main(int argc, char** argv) {
                   result.coverage * 100.0);
     }
   }
+
+  // Telemetry trajectory point for this table's workload (per-stage timing
+  // + pipeline counters across all ten studies).
+  bench::write_telemetry("BENCH_tab02.json", "tab02_summary");
   return 0;
 }

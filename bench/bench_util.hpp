@@ -10,6 +10,9 @@
 #include <cstdio>
 #include <string>
 
+#include "obs/report.hpp"
+#include "obs/telemetry.hpp"
+
 namespace perftrack::bench {
 
 inline void print_title(const std::string& id, const std::string& what) {
@@ -24,6 +27,19 @@ inline void print_paper(const std::string& expectation) {
 
 inline void print_section(const std::string& name) {
   std::printf("--- %s ---\n", name.c_str());
+}
+
+/// Turn pipeline telemetry on for this bench (call before the workload).
+inline void enable_telemetry() { obs::set_enabled(true); }
+
+/// Write everything recorded so far as a "perftrack-run-report" JSON file,
+/// labelled with the bench id — the same schema perftrack --profile emits,
+/// so per-bench trajectories (BENCH_*.json) stay machine-comparable.
+inline void write_telemetry(const std::string& path, const std::string& id) {
+  obs::RunReport report = obs::collect();
+  report.label = id;
+  obs::save_report_json(path, report);
+  std::printf("telemetry written to %s\n", path.c_str());
 }
 
 }  // namespace perftrack::bench

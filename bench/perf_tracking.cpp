@@ -1,7 +1,13 @@
 // Microbenchmark — end-to-end tracking cost per study size.
+//
+// BM_TrackPairWrf runs with telemetry disabled (the default) and
+// BM_TrackPairWrfTelemetry with recording on; comparing the two pins the
+// span overhead in both modes. Disabled instrumentation must be
+// unmeasurable (<1%).
 
 #include <benchmark/benchmark.h>
 
+#include "obs/telemetry.hpp"
 #include "sim/studies.hpp"
 #include "tracking/tracker.hpp"
 
@@ -21,6 +27,20 @@ void BM_TrackPairWrf(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * bursts);
 }
 BENCHMARK(BM_TrackPairWrf)->Unit(benchmark::kMillisecond);
+
+void BM_TrackPairWrfTelemetry(benchmark::State& state) {
+  static auto frames = sim::study_wrf().frames();
+  obs::set_enabled(true);
+  for (auto _ : state) {
+    // Reset per iteration so event buffers don't grow without bound.
+    obs::reset();
+    auto result = tracking::track_frames(frames, {});
+    benchmark::DoNotOptimize(result.complete_count);
+  }
+  obs::set_enabled(false);
+  obs::reset();
+}
+BENCHMARK(BM_TrackPairWrfTelemetry)->Unit(benchmark::kMillisecond);
 
 void BM_TrackSequenceHydroc(benchmark::State& state) {
   static auto frames = sim::study_hydroc(9).frames();

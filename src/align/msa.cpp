@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/error.hpp"
+#include "obs/telemetry.hpp"
 
 namespace perftrack::align {
 
@@ -32,6 +33,7 @@ std::vector<Symbol> MultipleAlignment::consensus() const {
 
 MultipleAlignment star_align(const std::vector<std::vector<Symbol>>& sequences,
                              const AlignmentScores& scores) {
+  PT_SPAN("star_align");
   MultipleAlignment out;
   if (sequences.empty()) return out;
 

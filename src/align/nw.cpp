@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/telemetry.hpp"
 
 namespace perftrack::align {
 
@@ -39,8 +40,10 @@ PairAlignment needleman_wunsch(
     std::span<const Symbol> a, std::span<const Symbol> b,
     const std::function<double(Symbol, Symbol)>& pair_score,
     double gap_penalty) {
+  PT_SPAN("needleman_wunsch");
   const std::size_t n = a.size();
   const std::size_t m = b.size();
+  PT_COUNTER("alignment_cells", static_cast<double>(n * m));
 
   // dp is (n+1) x (m+1), row-major. move stores the traceback direction:
   // 0 = diagonal (align a[i-1] with b[j-1]), 1 = up (gap in b), 2 = left

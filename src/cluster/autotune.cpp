@@ -5,11 +5,13 @@
 
 #include "common/error.hpp"
 #include "geom/kdtree.hpp"
+#include "obs/telemetry.hpp"
 
 namespace perftrack::cluster {
 
 AutotuneResult suggest_dbscan_params(const geom::PointSet& points,
                                      std::size_t min_pts) {
+  PT_SPAN("autotune");
   PT_REQUIRE(min_pts >= 1, "min_pts must be >= 1");
   PT_REQUIRE(points.size() > min_pts,
              "auto-tuning needs more points than min_pts");
@@ -55,6 +57,7 @@ AutotuneResult suggest_dbscan_params(const geom::PointSet& points,
     // Degenerate data (duplicates): fall back to a small positive radius.
     result.eps = 1e-6;
   }
+  PT_GAUGE("autotune_eps", result.eps);
   return result;
 }
 

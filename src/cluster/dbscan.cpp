@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "geom/kdtree.hpp"
+#include "obs/telemetry.hpp"
 
 namespace perftrack::cluster {
 
@@ -13,6 +14,7 @@ std::size_t DbscanResult::noise_count() const {
 }
 
 DbscanResult dbscan(const geom::PointSet& points, const DbscanParams& params) {
+  PT_SPAN("dbscan");
   PT_REQUIRE(params.eps > 0.0, "eps must be positive");
   PT_REQUIRE(params.min_pts >= 1, "min_pts must be >= 1");
 
@@ -62,6 +64,11 @@ DbscanResult dbscan(const geom::PointSet& points, const DbscanParams& params) {
   for (auto& l : labels)
     PT_ASSERT(l != kUnvisited, "dbscan left a point unvisited");
   result.cluster_count = next_cluster;
+  if (obs::enabled()) {
+    PT_COUNTER("dbscan_points", static_cast<double>(n));
+    PT_COUNTER("dbscan_clusters", static_cast<double>(next_cluster));
+    PT_COUNTER("noise_points", static_cast<double>(result.noise_count()));
+  }
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "obs/telemetry.hpp"
 
 namespace perftrack::cluster {
 
@@ -16,6 +17,7 @@ const ClusterObject& Frame::object(ObjectId id) const {
 Frame assemble_frame(std::shared_ptr<const trace::Trace> trace,
                      Projection projection, std::vector<std::int32_t> labels,
                      const ClusteringParams& params) {
+  PT_SPAN("assemble_frame");
   PT_REQUIRE(trace != nullptr, "trace must not be null");
   PT_REQUIRE(labels.size() == projection.size(),
              "labels/projection size mismatch");
@@ -116,11 +118,17 @@ Frame assemble_frame(std::shared_ptr<const trace::Trace> trace,
   frame.task_sequences_ = std::move(seqs);
 
   frame.projection_ = std::move(projection);
+  if (obs::enabled()) {
+    PT_COUNTER("clusters_per_frame", static_cast<double>(order.size()));
+    PT_COUNTER("clusters_demoted",
+               static_cast<double>(raw_count - order.size()));
+  }
   return frame;
 }
 
 Frame build_frame(std::shared_ptr<const trace::Trace> trace,
                   const ClusteringParams& params) {
+  PT_SPAN("build_frame");
   PT_REQUIRE(trace != nullptr, "trace must not be null");
   Projection proj = project(*trace, params.projection);
   Transform transform = Transform::fit(proj.points, params.log_scale);

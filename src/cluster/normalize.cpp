@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "obs/telemetry.hpp"
 
 namespace perftrack::cluster {
 
@@ -17,6 +18,7 @@ double maybe_log(double x, bool log_scale) {
 
 Transform Transform::fit(const geom::PointSet& points,
                          const std::vector<bool>& log_scale) {
+  PT_SPAN("normalize_fit");
   PT_REQUIRE(log_scale.empty() || log_scale.size() == points.dims(),
              "log_scale length must match dimensionality");
   Transform t;
@@ -41,6 +43,7 @@ Transform Transform::fit(const geom::PointSet& points,
 }
 
 geom::PointSet Transform::apply(const geom::PointSet& points) const {
+  PT_SPAN("normalize_apply");
   PT_REQUIRE(points.dims() == dims(), "dimensionality mismatch");
   geom::PointSet out(points.dims());
   out.reserve(points.size());

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/telemetry.hpp"
 
 namespace perftrack::cluster {
 
@@ -26,6 +27,7 @@ double duration_threshold_for_coverage(const trace::Trace& trace,
 }
 
 Projection project(const trace::Trace& trace, const ProjectionParams& params) {
+  PT_SPAN("project");
   PT_REQUIRE(!params.metrics.empty(), "projection needs at least one metric");
 
   double threshold = params.min_duration;
@@ -48,6 +50,10 @@ Projection project(const trace::Trace& trace, const ProjectionParams& params) {
     out.points.add(coords);
     out.burst_index.push_back(i);
     out.durations.push_back(b.duration);
+  }
+  if (obs::enabled()) {
+    PT_COUNTER("bursts_ingested", static_cast<double>(bursts.size()));
+    PT_COUNTER("bursts_projected", static_cast<double>(out.points.size()));
   }
   return out;
 }

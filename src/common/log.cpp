@@ -1,12 +1,29 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <mutex>
 
 namespace perftrack {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+// Serialises writes so concurrent (e.g. instrumented multi-threaded) stages
+// never interleave partial lines on stderr.
+std::mutex& write_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+/// Seconds since the logger was first used (anchored lazily, so it tracks
+/// process lifetime closely without static-init-order hazards).
+double elapsed_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point anchor = clock::now();
+  return std::chrono::duration<double>(clock::now() - anchor).count();
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -25,8 +42,11 @@ LogLevel log_level() { return g_level.load(); }
 
 namespace detail {
 void log_write(LogLevel level, const std::string& message) {
-  std::string line = std::string("[perftrack ") + level_name(level) + "] " +
-                     message + "\n";
+  char prefix[64];
+  std::snprintf(prefix, sizeof prefix, "[perftrack %9.3fs %-5s] ",
+                elapsed_seconds(), level_name(level));
+  std::string line = prefix + message + "\n";
+  std::lock_guard<std::mutex> lock(write_mutex());
   std::fwrite(line.data(), 1, line.size(), stderr);
 }
 }  // namespace detail

@@ -1,0 +1,33 @@
+#include "obs/memory.hpp"
+
+#if defined(__linux__)
+#include <cstdio>
+#include <cstring>
+#endif
+
+namespace perftrack::obs {
+
+#if defined(__linux__)
+
+std::uint64_t peak_rss_bytes() {
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (!status) return 0;
+  unsigned long long kib = 0;
+  char line[256];
+  while (std::fgets(line, sizeof line, status)) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      std::sscanf(line + 6, "%llu", &kib);
+      break;
+    }
+  }
+  std::fclose(status);
+  return static_cast<std::uint64_t>(kib) * 1024;
+}
+
+#else
+
+std::uint64_t peak_rss_bytes() { return 0; }
+
+#endif
+
+}  // namespace perftrack::obs

@@ -1,0 +1,12 @@
+#pragma once
+// Process memory introspection for run reports.
+
+#include <cstdint>
+
+namespace perftrack::obs {
+
+/// Peak resident set size of the current process in bytes (VmHWM on Linux).
+/// Returns 0 where the platform offers no cheap way to read it.
+std::uint64_t peak_rss_bytes();
+
+}  // namespace perftrack::obs

@@ -1,0 +1,166 @@
+#include "obs/report.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "obs/json.hpp"
+
+namespace perftrack::obs {
+
+namespace {
+
+double to_ms(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+void add_span_rows(Table& table, const SpanNode& node, std::uint64_t run_ns,
+                   int depth) {
+  table.begin_row();
+  table.cell(std::string(static_cast<std::size_t>(depth) * 2, ' ') +
+             node.name);
+  table.cell(node.count);
+  table.cell(to_ms(node.total_ns), 3);
+  table.cell(to_ms(node.self_ns), 3);
+  double share = run_ns == 0 ? 0.0
+                             : static_cast<double>(node.total_ns) /
+                                   static_cast<double>(run_ns) * 100.0;
+  table.cell(format_double(share, 1) + "%");
+  for (const SpanNode& child : node.children)
+    add_span_rows(table, child, run_ns, depth + 1);
+}
+
+void write_span_json(JsonWriter& json, const SpanNode& node) {
+  json.begin_object();
+  json.key("name").value(node.name);
+  json.key("count").value(node.count);
+  json.key("total_ns").value(node.total_ns);
+  json.key("self_ns").value(node.self_ns);
+  json.key("counters").begin_object();
+  for (const auto& [name, value] : node.counters)
+    json.key(name).value(value);
+  json.end_object();
+  json.key("children").begin_array();
+  for (const SpanNode& child : node.children) write_span_json(json, child);
+  json.end_array();
+  json.end_object();
+}
+
+void save_text(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot write " + path);
+  out << content;
+  if (!out) throw IoError("write failed: " + path);
+}
+
+}  // namespace
+
+std::string summary_table(const RunReport& report) {
+  std::string out;
+  if (!report.label.empty()) out += "run: " + report.label + "\n";
+
+  Table spans({"Span", "Count", "Total ms", "Self ms", "% run"});
+  add_span_rows(spans, report.root, report.root.total_ns, 0);
+  out += spans.to_text();
+
+  if (!report.counters.empty()) {
+    Table counters({"Counter", "Total"});
+    for (const auto& [name, value] : report.counters) {
+      counters.begin_row();
+      counters.cell(name);
+      counters.cell(value, value == static_cast<double>(
+                                        static_cast<long long>(value))
+                               ? 0
+                               : 3);
+    }
+    out += "\n" + counters.to_text();
+  }
+
+  if (!report.gauges.empty()) {
+    Table gauges({"Gauge", "Value"});
+    for (const auto& [name, value] : report.gauges) {
+      gauges.begin_row();
+      gauges.cell(name);
+      gauges.cell(value, 6);
+    }
+    out += "\n" + gauges.to_text();
+  }
+
+  out += "\npeak RSS: " + format_si(static_cast<double>(report.peak_rss_bytes)) +
+         "B, wall " + format_double(to_ms(report.wall_ns), 1) + " ms\n";
+  return out;
+}
+
+std::string report_json(const RunReport& report) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("perftrack-run-report");
+  json.key("version").value(std::uint64_t{1});
+  if (!report.label.empty()) json.key("label").value(report.label);
+  json.key("wall_time_ns").value(report.wall_ns);
+  json.key("peak_rss_bytes").value(report.peak_rss_bytes);
+  json.key("counters").begin_object();
+  for (const auto& [name, value] : report.counters)
+    json.key(name).value(value);
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const auto& [name, value] : report.gauges) json.key(name).value(value);
+  json.end_object();
+  json.key("spans");
+  write_span_json(json, report.root);
+  json.end_object();
+  return json.str();
+}
+
+std::string trace_events_json() {
+  const std::vector<ThreadTimeline> threads = timelines();
+  JsonWriter json;
+  json.begin_object();
+  json.key("displayTimeUnit").value("ms");
+  json.key("traceEvents").begin_array();
+
+  json.begin_object();
+  json.key("name").value("process_name");
+  json.key("ph").value("M");
+  json.key("pid").value(std::uint64_t{1});
+  json.key("args").begin_object().key("name").value("perftrack").end_object();
+  json.end_object();
+
+  for (const ThreadTimeline& thread : threads) {
+    for (const TimelineEvent& event : thread.events) {
+      json.begin_object();
+      json.key("name").value(event.name);
+      json.key("cat").value("perftrack");
+      switch (event.kind) {
+        case TimelineEvent::Kind::Begin: json.key("ph").value("B"); break;
+        case TimelineEvent::Kind::End: json.key("ph").value("E"); break;
+        case TimelineEvent::Kind::Counter:
+        case TimelineEvent::Kind::Gauge: json.key("ph").value("C"); break;
+      }
+      json.key("pid").value(std::uint64_t{1});
+      json.key("tid").value(std::uint64_t{thread.tid});
+      json.key("ts").value(static_cast<double>(event.ts_ns) / 1e3);
+      if (event.kind == TimelineEvent::Kind::Counter ||
+          event.kind == TimelineEvent::Kind::Gauge) {
+        json.key("args")
+            .begin_object()
+            .key("value")
+            .value(event.value)
+            .end_object();
+      }
+      json.end_object();
+    }
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+void save_report_json(const std::string& path, const RunReport& report) {
+  save_text(path, report_json(report) + "\n");
+}
+
+void save_trace_events(const std::string& path) {
+  save_text(path, trace_events_json() + "\n");
+}
+
+}  // namespace perftrack::obs

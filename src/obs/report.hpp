@@ -1,0 +1,33 @@
+#pragma once
+// Telemetry sinks: summary table, JSON run report, Chrome trace events.
+//
+// Three renderings of the same recorded run:
+//  * summary_table — human-readable per-stage table for the terminal,
+//  * report_json   — structured run report ("perftrack-run-report" schema,
+//                    see docs/OBSERVABILITY.md), the format every bench and
+//                    the perftrack --profile flag emit,
+//  * trace_events_json — Chrome trace_event JSON; load it in Perfetto
+//                    (https://ui.perfetto.dev) or chrome://tracing.
+
+#include <string>
+
+#include "obs/telemetry.hpp"
+
+namespace perftrack::obs {
+
+/// Render the aggregated span tree and counters as aligned text tables.
+std::string summary_table(const RunReport& report);
+
+/// Serialize the run report as JSON (schema "perftrack-run-report", v1).
+std::string report_json(const RunReport& report);
+
+/// Serialize the raw recorded timelines in Chrome trace_event format.
+std::string trace_events_json();
+
+/// Write report_json(report) to `path`; throws IoError on failure.
+void save_report_json(const std::string& path, const RunReport& report);
+
+/// Write trace_events_json() to `path`; throws IoError on failure.
+void save_trace_events(const std::string& path);
+
+}  // namespace perftrack::obs

@@ -1,0 +1,187 @@
+#include "obs/telemetry.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "obs/memory.hpp"
+
+namespace perftrack::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{
+#ifdef PERFTRACK_PROFILING_DEFAULT_ON
+    true
+#else
+    false
+#endif
+};
+
+/// Per-thread event buffer. Owned (shared) by the registry so the data
+/// outlives the thread; the mutex is effectively uncontended (the owning
+/// thread appends, collect() reads).
+struct ThreadLog {
+  std::uint32_t tid = 0;
+  std::mutex mutex;
+  std::vector<TimelineEvent> events;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadLog>> threads;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+ThreadLog& local_log() {
+  thread_local std::shared_ptr<ThreadLog> log = [] {
+    auto created = std::make_shared<ThreadLog>();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    created->tid = static_cast<std::uint32_t>(r.threads.size() + 1);
+    r.threads.push_back(created);
+    return created;
+  }();
+  return *log;
+}
+
+void record(TimelineEvent::Kind kind, const char* name, double value) {
+  ThreadLog& log = local_log();
+  const std::uint64_t ts = now_ns();
+  std::lock_guard<std::mutex> lock(log.mutex);
+  log.events.push_back(TimelineEvent{kind, name, value, ts});
+}
+
+/// Find or create the child of `node` named `name`.
+SpanNode& child_of(SpanNode& node, const char* name) {
+  for (SpanNode& c : node.children)
+    if (c.name == name) return c;
+  node.children.emplace_back();
+  node.children.back().name = name;
+  return node.children.back();
+}
+
+void finalize_self_times(SpanNode& node) {
+  std::uint64_t children_total = 0;
+  for (SpanNode& c : node.children) {
+    finalize_self_times(c);
+    children_total += c.total_ns;
+  }
+  node.self_ns = node.total_ns > children_total
+                     ? node.total_ns - children_total
+                     : 0;
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (auto& log : r.threads) {
+    std::lock_guard<std::mutex> log_lock(log->mutex);
+    log->events.clear();
+  }
+}
+
+std::uint64_t now_ns() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point anchor = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                           anchor)
+          .count());
+}
+
+ScopedSpan::ScopedSpan(const char* name) : name_(name), active_(enabled()) {
+  if (active_) record(TimelineEvent::Kind::Begin, name_, 0.0);
+}
+
+ScopedSpan::~ScopedSpan() {
+  // Recorded even if telemetry was disabled mid-span, so Begin/End stay
+  // paired in the stream.
+  if (active_) record(TimelineEvent::Kind::End, name_, 0.0);
+}
+
+void add_counter(const char* name, double value) {
+  if (enabled()) record(TimelineEvent::Kind::Counter, name, value);
+}
+
+void set_gauge(const char* name, double value) {
+  if (enabled()) record(TimelineEvent::Kind::Gauge, name, value);
+}
+
+std::vector<ThreadTimeline> timelines() {
+  std::vector<ThreadTimeline> out;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  out.reserve(r.threads.size());
+  for (auto& log : r.threads) {
+    std::lock_guard<std::mutex> log_lock(log->mutex);
+    out.push_back(ThreadTimeline{log->tid, log->events});
+  }
+  return out;
+}
+
+RunReport collect() {
+  RunReport report;
+  report.root.name = "run";
+  report.root.count = 1;
+
+  const std::vector<ThreadTimeline> threads = timelines();
+  const std::uint64_t now = now_ns();
+  report.wall_ns = now;
+  report.root.total_ns = now;
+
+  for (const ThreadTimeline& thread : threads) {
+    // Replay the thread's stream against the shared tree; stack entries
+    // remember which node each open span landed in and when it began.
+    struct Open {
+      SpanNode* node;
+      std::uint64_t begin_ns;
+    };
+    std::vector<Open> stack;
+    auto top = [&]() -> SpanNode& {
+      return stack.empty() ? report.root : *stack.back().node;
+    };
+    for (const TimelineEvent& event : thread.events) {
+      switch (event.kind) {
+        case TimelineEvent::Kind::Begin: {
+          SpanNode& node = child_of(top(), event.name);
+          ++node.count;
+          stack.push_back(Open{&node, event.ts_ns});
+          break;
+        }
+        case TimelineEvent::Kind::End: {
+          if (stack.empty()) break;  // stray End: ignore
+          stack.back().node->total_ns += event.ts_ns - stack.back().begin_ns;
+          stack.pop_back();
+          break;
+        }
+        case TimelineEvent::Kind::Counter:
+          top().counters[event.name] += event.value;
+          report.counters[event.name] += event.value;
+          break;
+        case TimelineEvent::Kind::Gauge:
+          report.gauges[event.name] = event.value;
+          break;
+      }
+    }
+    // Spans still open at snapshot time count up to "now".
+    for (const Open& open : stack)
+      open.node->total_ns += now - open.begin_ns;
+  }
+
+  finalize_self_times(report.root);
+  report.peak_rss_bytes = peak_rss_bytes();
+  return report;
+}
+
+}  // namespace perftrack::obs

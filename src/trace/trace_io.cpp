@@ -9,6 +9,7 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "obs/telemetry.hpp"
 
 namespace perftrack::trace {
 
@@ -85,6 +86,7 @@ void write_trace(std::ostream& out, const Trace& trace) {
 }
 
 void save_trace(const std::string& path, const Trace& trace) {
+  PT_SPAN("save_trace");
   std::ofstream out(path);
   if (!out) throw IoError("cannot open for writing: " + path);
   write_trace(out, trace);
@@ -193,9 +195,13 @@ Trace read_trace(std::istream& in) {
 }
 
 Trace load_trace(const std::string& path) {
+  PT_SPAN("load_trace");
   std::ifstream in(path);
   if (!in) throw IoError("cannot open for reading: " + path);
-  return read_trace(in);
+  Trace trace = read_trace(in);
+  PT_COUNTER("traces_loaded", 1.0);
+  PT_COUNTER("bursts_loaded", static_cast<double>(trace.burst_count()));
+  return trace;
 }
 
 }  // namespace perftrack::trace

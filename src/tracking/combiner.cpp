@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/telemetry.hpp"
 #include "tracking/evaluator_callstack.hpp"
 #include "tracking/evaluator_sequence.hpp"
 #include "tracking/evaluator_spmd.hpp"
@@ -54,9 +55,21 @@ PairTracking track_pair(const cluster::Frame& frame_a,
                         const FrameAlignment& alignment_b,
                         const ScaleNormalization& scale,
                         const TrackingParams& params) {
+  PT_SPAN("track_pair");
   const std::size_t n = frame_a.object_count();
   const std::size_t m = frame_b.object_count();
   PairTracking out;
+
+  // Zero-seed the decision counters so every run report carries the keys,
+  // even when an evaluator never fires.
+  if (obs::enabled()) {
+    PT_COUNTER("links_proposed", 0.0);
+    PT_COUNTER("links_pruned_callstack", 0.0);
+    PT_COUNTER("spmd_merges", 0.0);
+    PT_COUNTER("spmd_merges_pruned_callstack", 0.0);
+    PT_COUNTER("relations_split_by_sequence", 0.0);
+    PT_COUNTER("sequence_attached", 0.0);
+  }
 
   // --- Run the independent evaluators. ---
   if (params.use_displacement)
@@ -92,8 +105,12 @@ PairTracking track_pair(const cluster::Frame& frame_a,
     for (std::size_t j = 0; j < m; ++j) {
       bool found_ab = out.displacement.a_to_b.at(i, j) > 0.0;
       bool found_ba = out.displacement.b_to_a.at(j, i) > 0.0;
-      if ((found_ab || found_ba) && cross_ok(i, j))
+      if (!found_ab && !found_ba) continue;
+      PT_COUNTER("links_proposed", 1.0);
+      if (cross_ok(i, j))
         graph.link(static_cast<ObjectId>(i), static_cast<ObjectId>(j));
+      else
+        PT_COUNTER("links_pruned_callstack", 1.0);
     }
 
   // --- 2+3. SPMD simultaneity merges within each frame. ---
@@ -102,23 +119,29 @@ PairTracking track_pair(const cluster::Frame& frame_a,
   std::vector<std::pair<ObjectId, ObjectId>> spmd_pairs_a, spmd_pairs_b;
   if (params.use_spmd) {
     for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t j = i + 1; j < n; ++j)
-        if (out.spmd_a.at(i, j) >= params.spmd_threshold &&
-            (!params.use_callstack || callstack_aa.at(i, j) > 0.0)) {
-          graph.merge_left(static_cast<ObjectId>(i),
-                           static_cast<ObjectId>(j));
-          spmd_pairs_a.emplace_back(static_cast<ObjectId>(i),
-                                    static_cast<ObjectId>(j));
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (out.spmd_a.at(i, j) < params.spmd_threshold) continue;
+        if (params.use_callstack && callstack_aa.at(i, j) <= 0.0) {
+          PT_COUNTER("spmd_merges_pruned_callstack", 1.0);
+          continue;
         }
+        PT_COUNTER("spmd_merges", 1.0);
+        graph.merge_left(static_cast<ObjectId>(i), static_cast<ObjectId>(j));
+        spmd_pairs_a.emplace_back(static_cast<ObjectId>(i),
+                                  static_cast<ObjectId>(j));
+      }
     for (std::size_t i = 0; i < m; ++i)
-      for (std::size_t j = i + 1; j < m; ++j)
-        if (out.spmd_b.at(i, j) >= params.spmd_threshold &&
-            (!params.use_callstack || callstack_bb.at(i, j) > 0.0)) {
-          graph.merge_right(static_cast<ObjectId>(i),
-                            static_cast<ObjectId>(j));
-          spmd_pairs_b.emplace_back(static_cast<ObjectId>(i),
-                                    static_cast<ObjectId>(j));
+      for (std::size_t j = i + 1; j < m; ++j) {
+        if (out.spmd_b.at(i, j) < params.spmd_threshold) continue;
+        if (params.use_callstack && callstack_bb.at(i, j) <= 0.0) {
+          PT_COUNTER("spmd_merges_pruned_callstack", 1.0);
+          continue;
         }
+        PT_COUNTER("spmd_merges", 1.0);
+        graph.merge_right(static_cast<ObjectId>(i), static_cast<ObjectId>(j));
+        spmd_pairs_b.emplace_back(static_cast<ObjectId>(i),
+                                  static_cast<ObjectId>(j));
+      }
   }
 
   // --- 4. Extract the preliminary relations. ---
@@ -127,6 +150,7 @@ PairTracking track_pair(const cluster::Frame& frame_a,
   if (!params.use_sequence) {
     out.relations = std::move(prelim);
     out.sequence = CorrelationMatrix(n, m);
+    PT_COUNTER("relations", static_cast<double>(out.relations.size()));
     return out;
   }
 
@@ -176,6 +200,7 @@ PairTracking track_pair(const cluster::Frame& frame_a,
     if (splittable) {
       PT_LOG(Debug) << "split wide relation " << rel.describe() << " into "
                     << parts.size() << " parts";
+      PT_COUNTER("relations_split_by_sequence", 1.0);
       for (auto& [root, part] : parts)
         refined.relations.push_back(std::move(part));
     } else {
@@ -221,6 +246,7 @@ PairTracking track_pair(const cluster::Frame& frame_a,
       }
     }
     right_used[static_cast<std::size_t>(b)] = true;
+    PT_COUNTER("sequence_attached", 1.0);
   }
   for (ObjectId a : prelim.unmatched_left)
     if (refined.find_by_left(a) < 0) still_left.push_back(a);
@@ -232,6 +258,7 @@ PairTracking track_pair(const cluster::Frame& frame_a,
               return *x.left.begin() < *y.left.begin();
             });
   out.relations = std::move(refined);
+  PT_COUNTER("relations", static_cast<double>(out.relations.size()));
   return out;
 }
 

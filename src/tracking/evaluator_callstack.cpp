@@ -3,6 +3,8 @@
 #include <map>
 #include <string>
 
+#include "obs/telemetry.hpp"
+
 namespace perftrack::tracking {
 
 namespace {
@@ -32,6 +34,7 @@ std::map<std::string, double> object_locations(
 CorrelationMatrix evaluate_callstack(const cluster::Frame& frame_a,
                                      const cluster::Frame& frame_b,
                                      double outlier_threshold) {
+  PT_SPAN("evaluator_callstack");
   const std::size_t n = frame_a.object_count();
   const std::size_t m = frame_b.object_count();
   CorrelationMatrix out(n, m);
@@ -52,6 +55,13 @@ CorrelationMatrix evaluate_callstack(const cluster::Frame& frame_a,
     }
   }
   out.threshold(outlier_threshold);
+  if (obs::enabled()) {
+    double links = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < m; ++j)
+        if (out.at(i, j) > 0.0) ++links;
+    PT_COUNTER("callstack_links", links);
+  }
   return out;
 }
 

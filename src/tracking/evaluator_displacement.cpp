@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "geom/kdtree.hpp"
+#include "obs/telemetry.hpp"
 
 namespace perftrack::tracking {
 
@@ -57,6 +58,7 @@ DisplacementResult evaluate_displacement(const cluster::Frame& frame_a,
                                          const cluster::Frame& frame_b,
                                          const ScaleNormalization& scale,
                                          double outlier_threshold) {
+  PT_SPAN("evaluator_displacement");
   PT_REQUIRE(outlier_threshold >= 0.0 && outlier_threshold < 1.0,
              "outlier threshold must be in [0,1)");
   ClusteredCloud cloud_a = clustered_cloud(frame_a, scale);
@@ -69,6 +71,16 @@ DisplacementResult evaluate_displacement(const cluster::Frame& frame_a,
                         frame_a.object_count());
   out.a_to_b.threshold(outlier_threshold);
   out.b_to_a.threshold(outlier_threshold);
+  if (obs::enabled()) {
+    double links = 0.0;
+    for (std::size_t i = 0; i < out.a_to_b.rows(); ++i)
+      for (std::size_t j = 0; j < out.a_to_b.cols(); ++j)
+        if (out.a_to_b.at(i, j) > 0.0) ++links;
+    PT_COUNTER("displacement_links", links);
+    PT_COUNTER("displacement_points_classified",
+               static_cast<double>(cloud_a.points.size() +
+                                   cloud_b.points.size()));
+  }
   return out;
 }
 

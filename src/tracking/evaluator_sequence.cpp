@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "align/nw.hpp"
+#include "obs/telemetry.hpp"
 
 namespace perftrack::tracking {
 
@@ -12,6 +13,7 @@ CorrelationMatrix evaluate_sequence(const cluster::Frame& frame_a,
                                     const FrameAlignment& alignment_b,
                                     const RelationSet& pivots,
                                     double outlier_threshold) {
+  PT_SPAN("evaluator_sequence");
   const std::size_t n = frame_a.object_count();
   const std::size_t m = frame_b.object_count();
   CorrelationMatrix out(n, m);
@@ -60,6 +62,13 @@ CorrelationMatrix evaluate_sequence(const cluster::Frame& frame_a,
       out.set(i, j, out.at(i, j) / static_cast<double>(occurrences[i]));
   }
   out.threshold(outlier_threshold);
+  if (obs::enabled()) {
+    double links = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < m; ++j)
+        if (out.at(i, j) > 0.0) ++links;
+    PT_COUNTER("sequence_links", links);
+  }
   return out;
 }
 

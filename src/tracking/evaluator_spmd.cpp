@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/telemetry.hpp"
+
 namespace perftrack::tracking {
 
 CorrelationMatrix evaluate_spmd(const cluster::Frame& frame,
                                 const FrameAlignment& alignment,
                                 double outlier_threshold) {
+  PT_SPAN("evaluator_spmd");
   const std::size_t n = frame.object_count();
   CorrelationMatrix m(n, n);
   const align::MultipleAlignment& msa = alignment.alignment();
@@ -50,6 +53,13 @@ CorrelationMatrix evaluate_spmd(const cluster::Frame& frame,
     }
   }
   m.threshold(outlier_threshold);
+  if (obs::enabled()) {
+    double pairs = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j)
+        if (m.at(i, j) > 0.0) ++pairs;
+    PT_COUNTER("spmd_simultaneous_pairs", pairs);
+  }
   return m;
 }
 

@@ -1,10 +1,14 @@
 #include "tracking/frame_alignment.hpp"
 
+#include "obs/telemetry.hpp"
+
 namespace perftrack::tracking {
 
 FrameAlignment::FrameAlignment(const cluster::Frame& frame,
-                               const align::AlignmentScores& scores)
-    : msa_(align::star_align(frame.task_sequences(), scores)),
-      consensus_(msa_.consensus()) {}
+                               const align::AlignmentScores& scores) {
+  PT_SPAN("frame_alignment");
+  msa_ = align::star_align(frame.task_sequences(), scores);
+  consensus_ = msa_.consensus();
+}
 
 }  // namespace perftrack::tracking

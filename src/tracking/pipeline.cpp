@@ -1,6 +1,7 @@
 #include "tracking/pipeline.hpp"
 
 #include "common/error.hpp"
+#include "obs/telemetry.hpp"
 
 namespace perftrack::tracking {
 
@@ -27,12 +28,17 @@ void TrackingPipeline::set_tracking(TrackingParams params) {
 }
 
 TrackingResult TrackingPipeline::run() const {
+  PT_SPAN("pipeline_run");
   PT_REQUIRE(traces_.size() >= 2,
              "tracking needs at least two experiments");
+  PT_COUNTER("experiments", static_cast<double>(traces_.size()));
   std::vector<cluster::Frame> frames;
   frames.reserve(traces_.size());
-  for (const auto& trace : traces_)
-    frames.push_back(cluster::build_frame(trace, clustering_));
+  {
+    PT_SPAN("cluster_experiments");
+    for (const auto& trace : traces_)
+      frames.push_back(cluster::build_frame(trace, clustering_));
+  }
   return track_frames(std::move(frames), tracking_);
 }
 

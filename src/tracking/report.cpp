@@ -6,6 +6,7 @@
 
 #include "cluster/scatter.hpp"
 #include "common/strings.hpp"
+#include "obs/telemetry.hpp"
 #include "trace/metrics.hpp"
 
 namespace perftrack::tracking {
@@ -94,6 +95,7 @@ std::string trend_chart(const std::vector<TrendSeries>& series,
 }
 
 Table trend_table(const TrackingResult& result, trace::Metric metric) {
+  PT_SPAN("report_trend_table");
   std::vector<std::string> headers{"Region"};
   for (const auto& frame : result.frames) headers.push_back(frame.label());
   headers.push_back("Change");
@@ -134,6 +136,7 @@ std::string tracked_scatters(const TrackingResult& result, int width,
 }
 
 std::string describe_tracking(const TrackingResult& result) {
+  PT_SPAN("report_describe");
   std::string out;
   for (std::size_t p = 0; p < result.pairs.size(); ++p) {
     out += "pair " + result.frames[p].label() + " -> " +
@@ -168,6 +171,7 @@ std::string describe_tracking(const TrackingResult& result) {
 }
 
 std::string trends_csv(const TrackingResult& result) {
+  PT_SPAN("report_trends_csv");
   std::string out =
       "region,frame,label,ipc,instructions_mean,instructions_total,"
       "duration_total,l1_miss_per_ki,l2_miss_per_ki,tlb_miss_per_ki,bursts\n";

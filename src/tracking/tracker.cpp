@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/telemetry.hpp"
 #include "trace/metrics.hpp"
 
 namespace perftrack::tracking {
@@ -70,22 +71,29 @@ std::vector<bool> default_log_scale(const cluster::Frame& frame) {
 
 TrackingResult track_frames(std::vector<cluster::Frame> frames,
                             const TrackingParams& params) {
+  PT_SPAN("track_frames");
   PT_REQUIRE(frames.size() >= 2, "tracking needs at least two frames");
 
   TrackingResult result;
   result.frames = std::move(frames);
   const std::size_t frame_count = result.frames.size();
 
-  std::vector<bool> log_scale = params.log_scale.empty()
-                                    ? default_log_scale(result.frames[0])
-                                    : params.log_scale;
-  result.scale = ScaleNormalization::fit(result.frames, log_scale);
+  {
+    PT_SPAN("scale_fit");
+    std::vector<bool> log_scale = params.log_scale.empty()
+                                      ? default_log_scale(result.frames[0])
+                                      : params.log_scale;
+    result.scale = ScaleNormalization::fit(result.frames, log_scale);
+  }
 
   // Per-frame alignments, computed once.
   std::vector<FrameAlignment> alignments;
-  alignments.reserve(frame_count);
-  for (const auto& f : result.frames)
-    alignments.emplace_back(f, params.alignment_scores);
+  {
+    PT_SPAN("frame_alignments");
+    alignments.reserve(frame_count);
+    for (const auto& f : result.frames)
+      alignments.emplace_back(f, params.alignment_scores);
+  }
 
   // Pairwise tracking.
   result.pairs.reserve(frame_count - 1);
@@ -98,6 +106,7 @@ TrackingResult track_frames(std::vector<cluster::Frame> frames,
   }
 
   // Chain relations into whole-sequence regions.
+  PT_SPAN("chain_regions");
   SequenceComponents components(result.frames);
   for (std::size_t p = 0; p + 1 < frame_count; ++p) {
     for (const Relation& rel : result.pairs[p].relations) {
@@ -155,6 +164,12 @@ TrackingResult track_frames(std::vector<cluster::Frame> frames,
       for (ObjectId o : region.members[f])
         result.renaming[f][static_cast<std::size_t>(o)] = region.id;
 
+  if (obs::enabled()) {
+    PT_COUNTER("regions_total", static_cast<double>(result.regions.size()));
+    PT_COUNTER("regions_complete",
+               static_cast<double>(result.complete_count));
+    PT_GAUGE("coverage", result.coverage);
+  }
   return result;
 }
 

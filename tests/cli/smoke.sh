@@ -28,6 +28,33 @@ echo "== perftrack track over two interval slices =="
 "$TOOLS_DIR/perftrack" track hydroc_sample.ptt hydroc_sample.ptt \
     --matrices | grep -q "tracked regions: 2"
 
+echo "== perftrack track with telemetry sinks =="
+"$TOOLS_DIR/perftrack" track hydroc_sample.ptt hydroc_sample.ptt \
+    --profile profile.json --trace-events trace_events.json \
+    2> telemetry.log | grep -q "tracked regions: 2"
+test -s profile.json
+test -s trace_events.json
+# The run report covers every pipeline stage...
+grep -q '"schema":"perftrack-run-report"' profile.json
+for span in dbscan pipeline_run track_frames frame_alignment \
+            evaluator_displacement evaluator_spmd evaluator_callstack \
+            evaluator_sequence needleman_wunsch; do
+  grep -q "\"$span\"" profile.json
+done
+# ...and the per-evaluator relation/prune counters.
+for counter in links_proposed links_pruned_callstack \
+               spmd_merges_pruned_callstack alignment_cells; do
+  grep -q "\"$counter\"" profile.json
+done
+grep -q '"traceEvents"' trace_events.json
+grep -q '"ph":"B"' trace_events.json
+# The stage summary lands on stderr, keeping stdout scriptable.
+grep -q "% run" telemetry.log
+if command -v python3 > /dev/null; then
+  python3 -c "import json; json.load(open('profile.json')); \
+json.load(open('trace_events.json'))"
+fi
+
 echo "== ptconvert round trip through Paraver =="
 "$TOOLS_DIR/ptconvert" to-prv hydroc_sample.ptt pv_base | grep -q "wrote"
 test -s pv_base.prv

@@ -1,0 +1,122 @@
+#include "obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
+
+namespace perftrack::obs {
+namespace {
+
+class ReportTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    set_enabled(true);
+    reset();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset();
+  }
+
+  // A tiny recorded run every test can serialize: two stages, a counter
+  // and a gauge.
+  void record_sample_run() {
+    PT_SPAN("sample_outer");
+    PT_COUNTER("items", 7.0);
+    PT_GAUGE("ratio", 0.5);
+    {
+      PT_SPAN("sample_inner");
+    }
+  }
+
+  static const JsonValue* find_span(const JsonValue& spans,
+                                    const std::string& name) {
+    for (const JsonValue& span : spans.array)
+      if (span.at("name").string == name) return &span;
+    return nullptr;
+  }
+};
+
+TEST_F(ReportTest, ReportJsonRoundTrips) {
+  record_sample_run();
+  RunReport report = collect();
+  report.label = "unit-test run";
+
+  JsonValue v = parse_json(report_json(report));
+  EXPECT_EQ(v.at("schema").string, "perftrack-run-report");
+  EXPECT_DOUBLE_EQ(v.at("version").number, 1.0);
+  EXPECT_EQ(v.at("label").string, "unit-test run");
+  EXPECT_GE(v.at("wall_time_ns").number, 0.0);
+  EXPECT_DOUBLE_EQ(v.at("counters").at("items").number, 7.0);
+  EXPECT_DOUBLE_EQ(v.at("gauges").at("ratio").number, 0.5);
+
+  // "spans" is the synthetic root node; recorded stages are its children.
+  const JsonValue& root = v.at("spans");
+  EXPECT_DOUBLE_EQ(root.at("total_ns").number,
+                   v.at("wall_time_ns").number);
+  const JsonValue* outer = find_span(root.at("children"), "sample_outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_DOUBLE_EQ(outer->at("count").number, 1.0);
+  EXPECT_DOUBLE_EQ(outer->at("counters").at("items").number, 7.0);
+  const JsonValue* inner = find_span(outer->at("children"), "sample_inner");
+  ASSERT_NE(inner, nullptr);
+  // total = self + children's total, at every level.
+  EXPECT_DOUBLE_EQ(outer->at("total_ns").number,
+                   outer->at("self_ns").number + inner->at("total_ns").number);
+}
+
+TEST_F(ReportTest, TraceEventsAreBalancedChromeJson) {
+  record_sample_run();
+  record_sample_run();
+
+  JsonValue v = parse_json(trace_events_json());
+  ASSERT_TRUE(v.at("traceEvents").is_array());
+  EXPECT_EQ(v.at("displayTimeUnit").string, "ms");
+
+  int begins = 0, ends = 0, counters = 0, metadata = 0;
+  for (const JsonValue& event : v.at("traceEvents").array) {
+    const std::string& ph = event.at("ph").string;
+    if (ph == "B") ++begins;
+    else if (ph == "E") ++ends;
+    else if (ph == "C") ++counters;
+    else if (ph == "M") ++metadata;
+    if (ph == "B" || ph == "E") {
+      EXPECT_DOUBLE_EQ(event.at("pid").number, 1.0);
+      EXPECT_TRUE(event.at("ts").is_number());
+      EXPECT_TRUE(event.at("name").is_string());
+    }
+  }
+  // Two outer + two inner spans, each with a B/E pair.
+  EXPECT_EQ(begins, 4);
+  EXPECT_EQ(ends, 4);
+  EXPECT_GE(counters, 2);  // the counter and the gauge, twice
+  EXPECT_GE(metadata, 1);  // process_name
+}
+
+TEST_F(ReportTest, SummaryTableListsStagesAndCounters) {
+  record_sample_run();
+  RunReport report = collect();
+
+  std::string table = summary_table(report);
+  EXPECT_NE(table.find("sample_outer"), std::string::npos);
+  EXPECT_NE(table.find("sample_inner"), std::string::npos);
+  EXPECT_NE(table.find("items"), std::string::npos);
+  EXPECT_NE(table.find("ratio"), std::string::npos);
+  EXPECT_NE(table.find("peak RSS"), std::string::npos);
+}
+
+TEST_F(ReportTest, EmptyRunStillSerializes) {
+  RunReport report = collect();
+  JsonValue v = parse_json(report_json(report));
+  EXPECT_EQ(v.at("schema").string, "perftrack-run-report");
+  EXPECT_TRUE(v.at("spans").at("children").array.empty());
+
+  JsonValue t = parse_json(trace_events_json());
+  // Only metadata events when nothing was recorded.
+  for (const JsonValue& event : t.at("traceEvents").array)
+    EXPECT_EQ(event.at("ph").string, "M");
+}
+
+}  // namespace
+}  // namespace perftrack::obs

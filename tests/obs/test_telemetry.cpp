@@ -1,0 +1,159 @@
+#include "obs/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace perftrack::obs {
+namespace {
+
+// Every test starts from a clean, enabled recorder and leaves telemetry
+// off so neighbouring suites (which exercise the instrumented pipeline)
+// are unaffected.
+class TelemetryTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    set_enabled(true);
+    reset();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset();
+  }
+};
+
+const SpanNode* find_child(const SpanNode& parent, const std::string& name) {
+  for (const SpanNode& child : parent.children)
+    if (child.name == name) return &child;
+  return nullptr;
+}
+
+TEST_F(TelemetryTest, SpansNestAndFold) {
+  for (int i = 0; i < 3; ++i) {
+    PT_SPAN("outer");
+    {
+      PT_SPAN("inner");
+    }
+    {
+      PT_SPAN("inner");
+    }
+  }
+  RunReport report = collect();
+  const SpanNode* outer = find_child(report.root, "outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 3u);
+  const SpanNode* inner = find_child(*outer, "inner");
+  ASSERT_NE(inner, nullptr);
+  // Two executions per outer iteration fold into one node.
+  EXPECT_EQ(inner->count, 6u);
+  EXPECT_TRUE(inner->children.empty());
+  // A parent's wall time includes its children's.
+  EXPECT_GE(outer->total_ns, inner->total_ns);
+  EXPECT_EQ(outer->self_ns, outer->total_ns - inner->total_ns);
+}
+
+TEST_F(TelemetryTest, CountersAttachToActiveSpanAndSum) {
+  {
+    PT_SPAN("stage");
+    PT_COUNTER("widgets", 2.0);
+    PT_COUNTER("widgets", 3.0);
+  }
+  {
+    PT_SPAN("stage");
+    PT_COUNTER("widgets", 5.0);
+  }
+  RunReport report = collect();
+  const SpanNode* stage = find_child(report.root, "stage");
+  ASSERT_NE(stage, nullptr);
+  ASSERT_EQ(stage->counters.count("widgets"), 1u);
+  EXPECT_DOUBLE_EQ(stage->counters.at("widgets"), 10.0);
+  // Counters also roll up into the run-wide totals.
+  ASSERT_EQ(report.counters.count("widgets"), 1u);
+  EXPECT_DOUBLE_EQ(report.counters.at("widgets"), 10.0);
+}
+
+TEST_F(TelemetryTest, CounterOutsideAnySpanGoesToRoot) {
+  PT_COUNTER("stray", 4.0);
+  RunReport report = collect();
+  ASSERT_EQ(report.root.counters.count("stray"), 1u);
+  EXPECT_DOUBLE_EQ(report.root.counters.at("stray"), 4.0);
+}
+
+TEST_F(TelemetryTest, GaugeLastWriteWins) {
+  PT_GAUGE("eps", 0.01);
+  PT_GAUGE("eps", 0.05);
+  RunReport report = collect();
+  ASSERT_EQ(report.gauges.count("eps"), 1u);
+  EXPECT_DOUBLE_EQ(report.gauges.at("eps"), 0.05);
+}
+
+TEST_F(TelemetryTest, DisabledRecordingIsANoOp) {
+  set_enabled(false);
+  EXPECT_FALSE(enabled());
+  {
+    PT_SPAN("ghost");
+    PT_COUNTER("ghost_counter", 1.0);
+    PT_GAUGE("ghost_gauge", 1.0);
+  }
+  RunReport report = collect();
+  EXPECT_TRUE(report.root.children.empty());
+  EXPECT_TRUE(report.counters.empty());
+  EXPECT_TRUE(report.gauges.empty());
+  for (const ThreadTimeline& timeline : timelines())
+    EXPECT_TRUE(timeline.events.empty());
+}
+
+TEST_F(TelemetryTest, ResetDiscardsRecordedEvents) {
+  {
+    PT_SPAN("before_reset");
+  }
+  reset();
+  RunReport report = collect();
+  EXPECT_EQ(find_child(report.root, "before_reset"), nullptr);
+  EXPECT_TRUE(report.counters.empty());
+}
+
+TEST_F(TelemetryTest, ThreadsMergeByName) {
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([] {
+      PT_SPAN("worker");
+      PT_COUNTER("work_items", 2.0);
+    });
+  for (auto& w : workers) w.join();
+
+  RunReport report = collect();
+  const SpanNode* worker = find_child(report.root, "worker");
+  ASSERT_NE(worker, nullptr);
+  EXPECT_EQ(worker->count, static_cast<std::uint64_t>(kThreads));
+  EXPECT_DOUBLE_EQ(worker->counters.at("work_items"), 2.0 * kThreads);
+
+  // Each recording thread keeps its own timeline.
+  std::size_t threads_with_events = 0;
+  for (const ThreadTimeline& timeline : timelines())
+    if (!timeline.events.empty()) ++threads_with_events;
+  EXPECT_GE(threads_with_events, static_cast<std::size_t>(kThreads));
+}
+
+TEST_F(TelemetryTest, CollectIsNonDestructive) {
+  {
+    PT_SPAN("stable");
+  }
+  RunReport first = collect();
+  RunReport second = collect();
+  ASSERT_NE(find_child(first.root, "stable"), nullptr);
+  ASSERT_NE(find_child(second.root, "stable"), nullptr);
+  EXPECT_EQ(find_child(first.root, "stable")->count,
+            find_child(second.root, "stable")->count);
+}
+
+TEST_F(TelemetryTest, NowNsIsMonotonic) {
+  std::uint64_t a = now_ns();
+  std::uint64_t b = now_ns();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace perftrack::obs

@@ -17,6 +17,9 @@
 //   --matrices            print the evaluator correlation matrices
 //   --scatter             print the tracked frames as ASCII scatter plots
 //   --no-spmd / --no-callstack / --no-sequence   disable a heuristic
+//   --profile FILE        record pipeline telemetry, write a JSON run report
+//   --trace-events FILE   record telemetry as Chrome trace_event JSON
+//                         (open in Perfetto / chrome://tracing)
 
 #include <cstdio>
 #include <cstring>
@@ -27,6 +30,8 @@
 
 #include "cluster/scatter.hpp"
 #include "common/error.hpp"
+#include "obs/report.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/studies.hpp"
 #include "trace/slice.hpp"
 #include "trace/trace_io.hpp"
@@ -49,6 +54,8 @@ struct Options {
   std::string csv_path;
   std::string html_path;
   std::string gnuplot_base;
+  std::string profile_path;
+  std::string trace_events_path;
   bool matrices = false;
   bool scatter = false;
   tracking::TrackingParams tracking;
@@ -62,7 +69,8 @@ int usage() {
                "options: --eps X --min-pts N --min-cluster-frac F\n"
                "         --csv FILE --html FILE --gnuplot BASE\n"
                "         --matrices --scatter --intervals N\n"
-               "         --no-spmd --no-callstack --no-sequence\n");
+               "         --no-spmd --no-callstack --no-sequence\n"
+               "         --profile FILE --trace-events FILE\n");
   return 2;
 }
 
@@ -85,6 +93,8 @@ bool parse(int argc, char** argv, Options& options) {
     else if (arg == "--csv") options.csv_path = next_value();
     else if (arg == "--html") options.html_path = next_value();
     else if (arg == "--gnuplot") options.gnuplot_base = next_value();
+    else if (arg == "--profile") options.profile_path = next_value();
+    else if (arg == "--trace-events") options.trace_events_path = next_value();
     else if (arg == "--matrices") options.matrices = true;
     else if (arg == "--scatter") options.scatter = true;
     else if (arg == "--no-spmd") options.tracking.use_spmd = false;
@@ -195,14 +205,41 @@ int cmd_inspect(const Options& options) {
 
 }  // namespace
 
+// Write the requested telemetry sinks; the per-stage summary goes to
+// stderr so the tracking output on stdout stays scriptable.
+void emit_telemetry(const Options& options, int argc, char** argv) {
+  obs::RunReport report = obs::collect();
+  for (int i = 0; i < argc; ++i)
+    report.label += (i ? " " : "") + std::string(argv[i]);
+  if (!options.profile_path.empty()) {
+    obs::save_report_json(options.profile_path, report);
+    std::fprintf(stderr, "profile written to %s\n",
+                 options.profile_path.c_str());
+  }
+  if (!options.trace_events_path.empty()) {
+    obs::save_trace_events(options.trace_events_path);
+    std::fprintf(stderr, "trace events written to %s\n",
+                 options.trace_events_path.c_str());
+  }
+  std::fputs(obs::summary_table(report).c_str(), stderr);
+}
+
 int main(int argc, char** argv) {
   Options options;
   try {
     if (!parse(argc, argv, options)) return usage();
-    if (options.command == "track") return cmd_track(options);
-    if (options.command == "evolve") return cmd_evolve(options);
-    if (options.command == "inspect") return cmd_inspect(options);
-    return usage();
+    const bool profiling =
+        !options.profile_path.empty() || !options.trace_events_path.empty();
+    if (profiling) obs::set_enabled(true);
+
+    int rc = 2;
+    if (options.command == "track") rc = cmd_track(options);
+    else if (options.command == "evolve") rc = cmd_evolve(options);
+    else if (options.command == "inspect") rc = cmd_inspect(options);
+    else return usage();
+
+    if (profiling && rc == 0) emit_telemetry(options, argc, argv);
+    return rc;
   } catch (const Error& error) {
     std::fprintf(stderr, "perftrack: %s\n", error.what());
     return 1;
