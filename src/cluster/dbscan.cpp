@@ -1,6 +1,7 @@
 #include "cluster/dbscan.hpp"
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "geom/kdtree.hpp"
 #include "obs/telemetry.hpp"
 
@@ -15,6 +16,7 @@ std::size_t DbscanResult::noise_count() const {
 
 DbscanResult dbscan(const geom::PointSet& points, const DbscanParams& params) {
   PT_SPAN("dbscan");
+  PT_FAILPOINT("dbscan");
   PT_REQUIRE(params.eps > 0.0, "eps must be positive");
   PT_REQUIRE(params.min_pts >= 1, "min_pts must be >= 1");
 

@@ -1,0 +1,90 @@
+#include "common/diagnostics.hpp"
+
+namespace perftrack {
+
+std::string_view severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::to_string() const {
+  std::string out(severity_name(severity));
+  out += ": ";
+  if (!file.empty()) out += file + ":";
+  if (line > 0) out += std::to_string(line) + ":";
+  if (!file.empty() || line > 0) out += " ";
+  out += "[" + code + "] " + message;
+  return out;
+}
+
+void Diagnostics::report(Severity severity, int line, std::string code,
+                         std::string message) {
+  Diagnostic diag;
+  diag.severity = severity;
+  diag.file = file_;
+  diag.line = line;
+  diag.code = std::move(code);
+  diag.message = std::move(message);
+
+  if (severity == Severity::Error) {
+    if (!lenient_) {
+      // Historical behaviour: the message readers passed here matches what
+      // they used to throw directly ("line N: ..." style), so strict-mode
+      // callers see the same exceptions as before the collector existed.
+      std::string what = diag.line > 0
+                             ? "line " + std::to_string(diag.line) + ": " +
+                                   diag.message
+                             : diag.message;
+      if (!diag.file.empty()) what = diag.file + ": " + what;
+      throw ParseError(what);
+    }
+    ++errors_;
+  } else if (severity == Severity::Warning) {
+    ++warnings_;
+  }
+  entries_.push_back(std::move(diag));
+
+  if (lenient_ && errors_ > budget_.max_errors)
+    throw ParseError(
+        (file_.empty() ? std::string() : file_ + ": ") +
+        "error budget exhausted: " + std::to_string(errors_) +
+        " errors exceed the limit of " + std::to_string(budget_.max_errors));
+}
+
+void Diagnostics::finish() const {
+  if (!lenient_ || errors_ == 0) return;
+  if (records_ < budget_.min_records_for_fraction) return;
+  double fraction =
+      static_cast<double>(errors_) / static_cast<double>(records_);
+  if (fraction > budget_.max_error_fraction) {
+    int percent = static_cast<int>(fraction * 100.0);
+    int limit = static_cast<int>(budget_.max_error_fraction * 100.0);
+    throw ParseError((file_.empty() ? std::string() : file_ + ": ") +
+                     "error budget exhausted: " + std::to_string(percent) +
+                     "% of records are bad (limit " + std::to_string(limit) +
+                     "%)");
+  }
+}
+
+std::string Diagnostics::summary() const {
+  std::string out = std::to_string(errors_) +
+                    (errors_ == 1 ? " error, " : " errors, ") +
+                    std::to_string(warnings_) +
+                    (warnings_ == 1 ? " warning" : " warnings");
+  out += " in " + std::to_string(records_) +
+         (records_ == 1 ? " record" : " records");
+  if (!file_.empty()) out += " (" + file_ + ")";
+  return out;
+}
+
+std::string Diagnostics::to_string() const {
+  std::string out;
+  for (const Diagnostic& diag : entries_) out += diag.to_string() + "\n";
+  return out;
+}
+
+}  // namespace perftrack

@@ -1,0 +1,131 @@
+#pragma once
+// Structured diagnostics for fault-tolerant ingestion.
+//
+// The trace readers (.ptt, .prv, .pcf) historically threw ParseError at the
+// first malformed record, so one bad line killed a whole multi-experiment
+// run. A Diagnostics collector decouples *detecting* a problem from
+// *deciding* whether it is fatal:
+//
+//   * strict mode (the default) preserves the historical behaviour — the
+//     first error-severity diagnostic throws ParseError immediately;
+//   * lenient mode records the diagnostic and lets the reader skip or
+//     repair the offending record, aborting only once a configurable error
+//     budget is exhausted (too many errors in absolute count, or too large
+//     a fraction of bad records at end of file).
+//
+// Every diagnostic is structured (severity, file, line, stable code,
+// message) so tests can assert on golden diagnostics and the CLI can render
+// a per-file summary after a degraded run.
+//
+//   Diagnostics diags = Diagnostics::lenient();
+//   diags.set_file(path);
+//   Trace t = read_trace(in, diags);     // skips bad records
+//   if (!diags.ok()) std::cerr << diags.to_string();
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace perftrack {
+
+enum class Severity { Note, Warning, Error };
+
+/// Short lower-case name ("note", "warning", "error").
+std::string_view severity_name(Severity severity);
+
+/// One structured problem found while reading an input file.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  std::string file;     ///< path, or "" for an anonymous stream
+  int line = 0;         ///< 1-based line number; 0 = whole file
+  std::string code;     ///< stable kebab-case id, e.g. "bad-number"
+  std::string message;  ///< human-readable detail
+
+  /// "error: trace.ptt:12: [bad-number] bad number: xyz"
+  std::string to_string() const;
+};
+
+/// Lenient-mode abort thresholds. A reader calls count_record() once per
+/// record processed so the fraction check has a denominator.
+struct ErrorBudget {
+  /// Abort once more than this many error diagnostics are recorded.
+  std::size_t max_errors = 100;
+
+  /// Abort (at finish()) when errors / records exceeds this fraction.
+  /// Only checked when at least `min_records_for_fraction` records were
+  /// seen, so a 2-line file with 1 bad line is not instantly fatal.
+  double max_error_fraction = 0.5;
+  std::size_t min_records_for_fraction = 8;
+};
+
+class Diagnostics {
+public:
+  /// Default-constructed collectors are strict.
+  Diagnostics() = default;
+
+  static Diagnostics strict() { return Diagnostics(); }
+  static Diagnostics lenient(ErrorBudget budget = {}) {
+    Diagnostics d;
+    d.lenient_ = true;
+    d.budget_ = budget;
+    return d;
+  }
+
+  bool is_lenient() const { return lenient_; }
+  const ErrorBudget& budget() const { return budget_; }
+
+  /// File name stamped onto subsequently reported diagnostics.
+  void set_file(std::string file) { file_ = std::move(file); }
+  const std::string& file() const { return file_; }
+
+  /// Record a diagnostic. In strict mode an Error throws ParseError with
+  /// the formatted message; in lenient mode errors accumulate and throw
+  /// ParseError only once budget().max_errors is exceeded. Notes and
+  /// warnings never throw and never count against the budget.
+  void report(Severity severity, int line, std::string code,
+              std::string message);
+
+  void error(int line, std::string code, std::string message) {
+    report(Severity::Error, line, std::move(code), std::move(message));
+  }
+  void warning(int line, std::string code, std::string message) {
+    report(Severity::Warning, line, std::move(code), std::move(message));
+  }
+  void note(int line, std::string code, std::string message) {
+    report(Severity::Note, line, std::move(code), std::move(message));
+  }
+
+  /// Called by readers once per record processed (good or bad).
+  void count_record() { ++records_; }
+  std::size_t record_count() const { return records_; }
+
+  /// End-of-file check: in lenient mode throws ParseError when the bad
+  /// record fraction exceeds the budget. Strict mode: no-op (an error
+  /// would already have thrown).
+  void finish() const;
+
+  const std::vector<Diagnostic>& entries() const { return entries_; }
+  std::size_t error_count() const { return errors_; }
+  std::size_t warning_count() const { return warnings_; }
+  bool ok() const { return errors_ == 0; }
+  bool empty() const { return entries_.empty(); }
+
+  /// "3 errors, 1 warning in 120 records (trace.ptt)"
+  std::string summary() const;
+
+  /// Every entry, one rendered line each.
+  std::string to_string() const;
+
+private:
+  bool lenient_ = false;
+  ErrorBudget budget_;
+  std::string file_;
+  std::vector<Diagnostic> entries_;
+  std::size_t errors_ = 0;
+  std::size_t warnings_ = 0;
+  std::size_t records_ = 0;
+};
+
+}  // namespace perftrack

@@ -6,6 +6,8 @@
 // API boundaries; internal invariants use PT_ASSERT (disabled in release-like
 // builds only if PT_NO_ASSERT is defined).
 
+#include <cerrno>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
@@ -34,6 +36,18 @@ class ParseError : public Error {
 public:
   explicit ParseError(const std::string& what) : Error(what) {}
 };
+
+/// Build an IoError that names the failed action, the path, and — when the
+/// C library recorded one — errno and its strerror text. Call immediately
+/// after the failing I/O operation so errno is still meaningful.
+inline IoError io_error(const std::string& action, const std::string& path) {
+  int err = errno;
+  std::string what = action + ": " + path;
+  if (err != 0)
+    what += ": " + std::string(std::strerror(err)) + " (errno " +
+            std::to_string(err) + ")";
+  return IoError(what);
+}
 
 namespace detail {
 [[noreturn]] inline void raise_precondition(const char* expr, const char* file,

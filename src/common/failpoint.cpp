@@ -1,0 +1,156 @@
+#include "common/failpoint.hpp"
+
+#include <atomic>
+#include <charconv>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "common/strings.hpp"
+
+namespace perftrack::failpoint {
+
+namespace {
+
+struct Action {
+  enum class Kind { Always, Percent, Hits };
+  Kind kind = Kind::Always;
+  int percent = 100;
+  std::set<std::uint64_t> fail_hits;  ///< 1-based hit numbers
+  std::uint64_t hits = 0;
+};
+
+std::mutex g_mutex;
+std::map<std::string, Action>& registry() {
+  static std::map<std::string, Action> map;
+  return map;
+}
+std::atomic<int> g_active{0};
+
+void load_env_once() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    const char* spec = std::getenv("PERFTRACK_FAILPOINTS");
+    if (spec != nullptr && *spec != '\0') configure(spec);
+  });
+}
+
+std::uint64_t parse_number(std::string_view text, const std::string& what) {
+  std::uint64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size())
+    throw Error("failpoint: bad " + what + ": " + std::string(text));
+  return value;
+}
+
+Action parse_action(std::string_view text) {
+  Action action;
+  if (text == "error") {
+    action.kind = Action::Kind::Always;
+    return action;
+  }
+  if (!text.empty() && text.front() == '@') {
+    action.kind = Action::Kind::Hits;
+    for (const std::string& field : split(text.substr(1), ',')) {
+      std::string_view hit = trim(field);
+      if (hit.empty()) continue;
+      action.fail_hits.insert(parse_number(hit, "hit number"));
+    }
+    if (action.fail_hits.empty())
+      throw Error("failpoint: empty hit list: " + std::string(text));
+    return action;
+  }
+  if (!text.empty() && text.back() == '%') {
+    action.kind = Action::Kind::Percent;
+    auto value = parse_number(text.substr(0, text.size() - 1), "percentage");
+    if (value > 100)
+      throw Error("failpoint: percentage over 100: " + std::string(text));
+    action.percent = static_cast<int>(value);
+    return action;
+  }
+  throw Error("failpoint: unknown action '" + std::string(text) +
+              "' (expected error, <N>%, or @i,j,...)");
+}
+
+}  // namespace
+
+void activate(const std::string& name, const std::string& action_text) {
+  if (name.empty()) throw Error("failpoint: empty name");
+  Action action = parse_action(trim(action_text));
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto [it, inserted] = registry().insert_or_assign(name, std::move(action));
+  (void)it;
+  if (inserted) g_active.fetch_add(1, std::memory_order_relaxed);
+}
+
+void configure(const std::string& spec) {
+  // Split on ','; a segment without '=' continues the previous entry's
+  // action so "@3,7" hit lists survive the comma separator.
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (const std::string& segment : split(spec, ',')) {
+    std::string_view text = trim(segment);
+    if (text.empty()) continue;
+    std::size_t eq = text.find('=');
+    if (eq == std::string_view::npos) {
+      if (entries.empty())
+        throw Error("failpoint: malformed spec segment '" +
+                    std::string(text) + "' (expected name=action)");
+      entries.back().second += "," + std::string(text);
+    } else {
+      entries.emplace_back(std::string(trim(text.substr(0, eq))),
+                           std::string(trim(text.substr(eq + 1))));
+    }
+  }
+  for (const auto& [name, action] : entries) activate(name, action);
+}
+
+void clear() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  registry().clear();
+  g_active.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t hits(const std::string& name) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = registry().find(name);
+  return it == registry().end() ? 0 : it->second.hits;
+}
+
+bool any_active() {
+  load_env_once();
+  return g_active.load(std::memory_order_relaxed) != 0;
+}
+
+void evaluate(const char* name) {
+  bool fail = false;
+  std::uint64_t hit = 0;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    auto it = registry().find(name);
+    if (it == registry().end()) return;
+    Action& action = it->second;
+    hit = ++action.hits;
+    switch (action.kind) {
+      case Action::Kind::Always:
+        fail = true;
+        break;
+      case Action::Kind::Percent:
+        // Deterministic thinning: hit i fails when the target count of
+        // failures after i hits exceeds the count after i-1 hits.
+        fail = (hit * static_cast<std::uint64_t>(action.percent)) / 100 >
+               ((hit - 1) * static_cast<std::uint64_t>(action.percent)) / 100;
+        break;
+      case Action::Kind::Hits:
+        fail = action.fail_hits.count(hit) != 0;
+        break;
+    }
+  }
+  if (fail)
+    throw InjectedFault("injected fault at '" + std::string(name) +
+                        "' (hit " + std::to_string(hit) + ")");
+}
+
+}  // namespace perftrack::failpoint

@@ -1,0 +1,73 @@
+#pragma once
+// Deterministic fault injection for robustness tests.
+//
+// Library code marks crash-worthy boundaries with PT_FAILPOINT("name");
+// when the named failpoint is armed, the macro throws InjectedFault there.
+// Nothing is armed by default and a disarmed process costs one relaxed
+// atomic load per site, so the markers stay in release builds.
+//
+// Arming, via the PERFTRACK_FAILPOINTS environment variable or
+// failpoint::configure()/activate():
+//
+//   PERFTRACK_FAILPOINTS="load_trace=error"        every hit fails
+//   PERFTRACK_FAILPOINTS="dbscan=30%"              a deterministic 30% of
+//                                                  hits fail (no RNG: hit i
+//                                                  fails when the running
+//                                                  ratio falls behind)
+//   PERFTRACK_FAILPOINTS="cluster_experiment=@3,7" hits 3 and 7 (1-based)
+//                                                  fail — how tests poison
+//                                                  specific experiments
+//
+// Multiple entries are comma-separated; a comma-separated "@" hit list is
+// recognised because its continuation segments carry no "=" (configure()
+// re-joins them). Hit counters and the armed set are process-global and
+// mutex-protected; tests call clear() between cases.
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace perftrack {
+
+/// Thrown by an armed failpoint. Derives from Error so the degraded-mode
+/// machinery treats an injected fault exactly like a real one.
+class InjectedFault : public Error {
+public:
+  explicit InjectedFault(const std::string& what) : Error(what) {}
+};
+
+namespace failpoint {
+
+/// Arm one failpoint. `action` is "error", "<N>%", or "@i,j,..." (1-based
+/// hit numbers). Throws Error on a malformed action.
+void activate(const std::string& name, const std::string& action);
+
+/// Parse a comma-separated "name=action,name=action" spec (the
+/// PERFTRACK_FAILPOINTS syntax). "@" hit lists consume the rest of their
+/// entry up to the next "name=" segment. Throws Error on bad syntax.
+void configure(const std::string& spec);
+
+/// Disarm everything and reset all hit counters.
+void clear();
+
+/// Number of times PT_FAILPOINT(name) was evaluated while armed.
+std::uint64_t hits(const std::string& name);
+
+/// True when at least one failpoint is armed (fast path for the macro).
+bool any_active();
+
+/// Slow path: count a hit on `name` and throw InjectedFault if the armed
+/// action selects this hit. No-op when `name` is not armed.
+void evaluate(const char* name);
+
+}  // namespace failpoint
+}  // namespace perftrack
+
+/// Mark a fault-injection site. Throws perftrack::InjectedFault when the
+/// named failpoint is armed and its action selects this hit.
+#define PT_FAILPOINT(name)                               \
+  do {                                                   \
+    if (::perftrack::failpoint::any_active())            \
+      ::perftrack::failpoint::evaluate(name);            \
+  } while (0)

@@ -46,10 +46,11 @@ void write_span_json(JsonWriter& json, const SpanNode& node) {
 }
 
 void save_text(const std::string& path, const std::string& content) {
+  errno = 0;
   std::ofstream out(path);
-  if (!out) throw IoError("cannot write " + path);
+  if (!out) throw io_error("cannot open for writing", path);
   out << content;
-  if (!out) throw IoError("write failed: " + path);
+  if (!out) throw io_error("write failed", path);
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "paraver/pcf.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -36,10 +37,14 @@ trace::SourceLocation parse_caller_label(std::string_view label) {
       for (char c : line_text)
         if (c < '0' || c > '9') numeric = false;
       if (numeric) {
+        // from_chars instead of stoul: overflowing line numbers in crafted
+        // files must not throw std::out_of_range past the parser.
+        std::uint32_t line_value = 0;
+        std::from_chars(line_text.data(), line_text.data() + line_text.size(),
+                        line_value);
         loc.function = std::string(trim(label.substr(0, open)));
         loc.file = std::string(inside.substr(0, colon));
-        loc.line = static_cast<std::uint32_t>(std::stoul(
-            std::string(line_text)));
+        loc.line = line_value;
         return loc;
       }
     }
@@ -94,17 +99,20 @@ void write_pcf(std::ostream& out, const PcfConfig& config) {
 }
 
 void save_pcf(const std::string& path, const PcfConfig& config) {
+  errno = 0;
   std::ofstream out(path);
-  if (!out) throw IoError("cannot open for writing: " + path);
+  if (!out) throw io_error("cannot open for writing", path);
   write_pcf(out, config);
 }
 
-PcfConfig read_pcf(std::istream& in) {
+PcfConfig read_pcf(std::istream& in, Diagnostics& diags) {
   PcfConfig config;
   std::string line;
+  int line_no = 0;
   bool in_caller_type = false;
   bool in_values = false;
   while (std::getline(in, line)) {
+    ++line_no;
     std::string_view text = trim(line);
     if (starts_with(text, "# APPLICATION ")) {
       config.application = std::string(trim(text.substr(14)));
@@ -133,30 +141,48 @@ PcfConfig read_pcf(std::istream& in) {
       continue;
     }
     if (in_values && in_caller_type) {
+      diags.count_record();
       // "value  label..."
       std::size_t space = text.find_first_of(" \t");
-      if (space == std::string_view::npos)
-        throw ParseError("malformed PCF value line: " + std::string(text));
+      if (space == std::string_view::npos) {
+        diags.error(line_no, "bad-pcf-value",
+                    "malformed PCF value line: " + std::string(text));
+        continue;
+      }
       std::string value_text(text.substr(0, space));
       std::uint64_t value = 0;
-      try {
-        value = std::stoull(value_text);
-      } catch (const std::exception&) {
-        throw ParseError("bad PCF caller value: " + value_text);
+      auto [ptr, ec] = std::from_chars(
+          value_text.data(), value_text.data() + value_text.size(), value);
+      if (ec != std::errc{} || ptr != value_text.data() + value_text.size()) {
+        diags.error(line_no, "bad-pcf-value",
+                    "bad PCF caller value: " + value_text);
+        continue;
       }
       if (value == 0) continue;  // the "End" sentinel
       config.set_caller(value,
                         parse_caller_label(trim(text.substr(space))));
     }
   }
-  if (in.bad()) throw IoError("pcf read failed");
+  if (in.bad()) throw io_error("pcf read failed", diags.file());
   return config;
 }
 
-PcfConfig load_pcf(const std::string& path) {
+PcfConfig read_pcf(std::istream& in) {
+  Diagnostics diags;
+  return read_pcf(in, diags);
+}
+
+PcfConfig load_pcf(const std::string& path, Diagnostics& diags) {
+  diags.set_file(path);
+  errno = 0;
   std::ifstream in(path);
-  if (!in) throw IoError("cannot open for reading: " + path);
-  return read_pcf(in);
+  if (!in) throw io_error("cannot open for reading", path);
+  return read_pcf(in, diags);
+}
+
+PcfConfig load_pcf(const std::string& path) {
+  Diagnostics diags;
+  return load_pcf(path, diags);
 }
 
 }  // namespace perftrack::paraver

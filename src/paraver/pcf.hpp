@@ -21,6 +21,7 @@
 #include <map>
 #include <string>
 
+#include "common/diagnostics.hpp"
 #include "trace/callstack.hpp"
 
 namespace perftrack::paraver {
@@ -60,9 +61,12 @@ private:
 void write_pcf(std::ostream& out, const PcfConfig& config);
 void save_pcf(const std::string& path, const PcfConfig& config);
 
-/// Parse the PCF subset (caller table + application comment); throws
-/// ParseError on malformed caller values.
+/// Parse the PCF subset (caller table + application comment), reporting
+/// malformed caller values to `diags` (strict collectors throw ParseError,
+/// lenient ones skip the bad value).
+PcfConfig read_pcf(std::istream& in, Diagnostics& diags);
 PcfConfig read_pcf(std::istream& in);
+PcfConfig load_pcf(const std::string& path, Diagnostics& diags);
 PcfConfig load_pcf(const std::string& path);
 
 }  // namespace perftrack::paraver

@@ -5,10 +5,12 @@
 #include <cmath>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/strings.hpp"
 
 namespace perftrack::paraver {
@@ -25,12 +27,12 @@ double to_seconds(std::uint64_t ns) {
   return static_cast<double>(ns) / kNsPerSecond;
 }
 
-std::uint64_t parse_u64(std::string_view text, const char* what) {
+std::optional<std::uint64_t> try_parse_u64(std::string_view text) {
   std::uint64_t value = 0;
   auto [ptr, ec] =
       std::from_chars(text.data(), text.data() + text.size(), value);
   if (ec != std::errc{} || ptr != text.data() + text.size())
-    throw ParseError(std::string("bad ") + what + ": " + std::string(text));
+    return std::nullopt;
   return value;
 }
 
@@ -114,12 +116,17 @@ void write_prv_streams(std::ostream& prv, std::ostream& pcf,
   write_pcf(pcf, config);
 }
 
-trace::Trace read_prv_streams(std::istream& prv, std::istream& pcf) {
-  PcfConfig config = read_pcf(pcf);
+trace::Trace read_prv_streams(std::istream& prv, std::istream& pcf,
+                              Diagnostics& diags) {
+  PcfConfig config = read_pcf(pcf, diags);
 
   std::string line;
-  if (!std::getline(prv, line) || !starts_with(trim(line), "#Paraver"))
+  if (!std::getline(prv, line) || !starts_with(trim(line), "#Paraver")) {
+    // Without a header there is no task count: fatal in both modes.
+    if (diags.is_lenient())
+      diags.error(1, "bad-magic", "missing #Paraver header");
     throw ParseError("missing #Paraver header");
+  }
 
   // Header: "#Paraver (...):<duration>:<nodes>(...):<napps>:<ntasks>(...)".
   // We need the task count: the 5th top-level colon field (date contains
@@ -140,14 +147,23 @@ trace::Trace read_prv_streams(std::istream& prv, std::istream& pcf) {
     }
     fields.push_back(current);
   }
-  if (fields.size() < 5) throw ParseError("truncated #Paraver header");
+  // Header problems are fatal in both modes (without a task count the rest
+  // of the file cannot be interpreted); lenient mode still records a
+  // structured diagnostic before aborting.
+  auto fatal_header = [&](const std::string& message) -> ParseError {
+    if (diags.is_lenient()) diags.error(1, "bad-header", message);
+    return ParseError(message);
+  };
+  if (fields.size() < 5) throw fatal_header("truncated #Paraver header");
   std::string task_field = fields[4];
   std::size_t paren = task_field.find('(');
   if (paren == std::string::npos)
-    throw ParseError("malformed task list in #Paraver header");
-  auto num_tasks = static_cast<std::uint32_t>(
-      parse_u64(trim(task_field.substr(0, paren)), "task count"));
-  if (num_tasks == 0) throw ParseError("header declares zero tasks");
+    throw fatal_header("malformed task list in #Paraver header");
+  auto task_count = try_parse_u64(trim(task_field.substr(0, paren)));
+  if (!task_count)
+    throw fatal_header("bad task count in #Paraver header");
+  auto num_tasks = static_cast<std::uint32_t>(*task_count);
+  if (num_tasks == 0) throw fatal_header("header declares zero tasks");
 
   trace::Trace out("paraver-import", num_tasks);
   if (!config.application.empty()) {
@@ -183,13 +199,20 @@ trace::Trace read_prv_streams(std::istream& prv, std::istream& pcf) {
     auto caller_it = events.find(kEventCaller);
     if (caller_it != events.end()) {
       const trace::SourceLocation* loc = config.caller(caller_it->second);
-      if (loc == nullptr)
-        throw ParseError("caller value " +
-                         std::to_string(caller_it->second) +
-                         " missing from the .pcf dictionary");
-      burst.callstack = out.callstacks().intern(*loc);
+      if (loc == nullptr) {
+        // Lenient repair: keep the burst, drop the unresolvable call site.
+        diags.error(line_no, "dangling-caller",
+                    "caller value " + std::to_string(caller_it->second) +
+                        " missing from the .pcf dictionary");
+      } else {
+        burst.callstack = out.callstacks().intern(*loc);
+      }
     }
-    out.add_burst(burst);
+    try {
+      out.add_burst(burst);
+    } catch (const PreconditionError& error) {
+      diags.error(line_no, "bad-burst", error.what());
+    }
   };
 
   while (std::getline(prv, line)) {
@@ -199,72 +222,125 @@ trace::Trace read_prv_streams(std::istream& prv, std::istream& pcf) {
     auto fields2 = split(text, ':');
     if (fields2.empty()) continue;
     if (fields2[0] == "3" || fields2[0] == "c") continue;  // comms et al.
+    diags.count_record();
 
     if (fields2[0] == "1") {
-      if (fields2.size() != 8)
-        throw ParseError("line " + std::to_string(line_no) +
-                         ": state record needs 8 fields");
-      auto task = static_cast<std::uint32_t>(
-          parse_u64(fields2[3], "task") - 1);
-      if (task >= num_tasks)
-        throw ParseError("line " + std::to_string(line_no) +
-                         ": task out of range");
-      if (parse_u64(fields2[7], "state") !=
-          static_cast<std::uint64_t>(kStateRunning))
+      if (fields2.size() != 8) {
+        diags.error(line_no, "bad-state-record",
+                    "state record needs 8 fields");
+        continue;
+      }
+      auto task_value = try_parse_u64(fields2[3]);
+      if (!task_value || *task_value == 0 || *task_value > num_tasks) {
+        diags.error(line_no, "bad-state-record",
+                    "task out of range: " + fields2[3]);
+        continue;
+      }
+      auto task = static_cast<std::uint32_t>(*task_value - 1);
+      auto state = try_parse_u64(fields2[7]);
+      auto begin = try_parse_u64(fields2[5]);
+      auto end = try_parse_u64(fields2[6]);
+      if (!state || !begin || !end) {
+        diags.error(line_no, "bad-state-record",
+                    "bad number in state record");
+        continue;
+      }
+      if (*state != static_cast<std::uint64_t>(kStateRunning))
         continue;  // only running intervals are bursts
-      open[task].begin = parse_u64(fields2[5], "begin time");
-      open[task].end = parse_u64(fields2[6], "end time");
-      if (open[task].end < open[task].begin)
-        throw ParseError("line " + std::to_string(line_no) +
-                         ": state interval ends before it begins");
+      if (*end < *begin) {
+        diags.error(line_no, "bad-state-record",
+                    "state interval ends before it begins");
+        continue;
+      }
+      open[task].begin = *begin;
+      open[task].end = *end;
       open[task].active = true;
     } else if (fields2[0] == "2") {
-      if (fields2.size() < 8 || (fields2.size() - 6) % 2 != 0)
-        throw ParseError("line " + std::to_string(line_no) +
-                         ": event record needs time + (type,value) pairs");
-      auto task = static_cast<std::uint32_t>(
-          parse_u64(fields2[3], "task") - 1);
-      if (task >= num_tasks)
-        throw ParseError("line " + std::to_string(line_no) +
-                         ": task out of range");
-      std::uint64_t time = parse_u64(fields2[5], "event time");
+      if (fields2.size() < 8 || (fields2.size() - 6) % 2 != 0) {
+        diags.error(line_no, "bad-event-record",
+                    "event record needs time + (type,value) pairs");
+        continue;
+      }
+      auto task_value = try_parse_u64(fields2[3]);
+      if (!task_value || *task_value == 0 || *task_value > num_tasks) {
+        diags.error(line_no, "bad-event-record",
+                    "task out of range: " + fields2[3]);
+        continue;
+      }
+      auto task = static_cast<std::uint32_t>(*task_value - 1);
+      auto time = try_parse_u64(fields2[5]);
+      if (!time) {
+        diags.error(line_no, "bad-event-record",
+                    "bad event time: " + fields2[5]);
+        continue;
+      }
       std::map<std::uint64_t, std::uint64_t> events;
-      for (std::size_t i = 6; i + 1 < fields2.size(); i += 2)
-        events[parse_u64(fields2[i], "event type")] =
-            parse_u64(fields2[i + 1], "event value");
+      bool fields_ok = true;
+      for (std::size_t i = 6; i + 1 < fields2.size(); i += 2) {
+        auto type = try_parse_u64(fields2[i]);
+        auto value = try_parse_u64(fields2[i + 1]);
+        if (!type || !value) {
+          fields_ok = false;
+          break;
+        }
+        events[*type] = *value;
+      }
+      if (!fields_ok) {
+        diags.error(line_no, "bad-event-record",
+                    "bad number in event (type,value) pairs");
+        continue;
+      }
       // Counter events at the end of an open running interval close the
       // burst (the Extrae convention).
-      if (open[task].active && time == open[task].end &&
+      if (open[task].active && *time == open[task].end &&
           events.count(kEventInstructions)) {
         flush_burst(task, open[task], events);
         open[task].active = false;
       }
     } else {
-      throw ParseError("line " + std::to_string(line_no) +
-                       ": unknown record kind '" + fields2[0] + "'");
+      diags.error(line_no, "unknown-record",
+                  "unknown record kind '" + fields2[0] + "'");
     }
   }
-  if (prv.bad()) throw IoError("prv read failed");
+  if (prv.bad()) throw io_error("prv read failed", diags.file());
+  diags.finish();
   out.validate();
   return out;
+}
+
+trace::Trace read_prv_streams(std::istream& prv, std::istream& pcf) {
+  Diagnostics diags;
+  return read_prv_streams(prv, pcf, diags);
 }
 
 }  // namespace detail
 
 void save_prv(const std::string& base_path, const trace::Trace& trace) {
+  PT_FAILPOINT("save_prv");
+  errno = 0;
   std::ofstream prv(base_path + ".prv");
-  if (!prv) throw IoError("cannot open for writing: " + base_path + ".prv");
+  if (!prv) throw io_error("cannot open for writing", base_path + ".prv");
+  errno = 0;
   std::ofstream pcf(base_path + ".pcf");
-  if (!pcf) throw IoError("cannot open for writing: " + base_path + ".pcf");
+  if (!pcf) throw io_error("cannot open for writing", base_path + ".pcf");
   detail::write_prv_streams(prv, pcf, trace);
 }
 
-trace::Trace load_prv(const std::string& base_path) {
+trace::Trace load_prv(const std::string& base_path, Diagnostics& diags) {
+  PT_FAILPOINT("load_prv");
+  diags.set_file(base_path + ".prv");
+  errno = 0;
   std::ifstream prv(base_path + ".prv");
-  if (!prv) throw IoError("cannot open for reading: " + base_path + ".prv");
+  if (!prv) throw io_error("cannot open for reading", base_path + ".prv");
+  errno = 0;
   std::ifstream pcf(base_path + ".pcf");
-  if (!pcf) throw IoError("cannot open for reading: " + base_path + ".pcf");
-  return detail::read_prv_streams(prv, pcf);
+  if (!pcf) throw io_error("cannot open for reading", base_path + ".pcf");
+  return detail::read_prv_streams(prv, pcf, diags);
+}
+
+trace::Trace load_prv(const std::string& base_path) {
+  Diagnostics diags;
+  return load_prv(base_path, diags);
 }
 
 }  // namespace perftrack::paraver

@@ -21,6 +21,7 @@
 
 #include <string>
 
+#include "common/diagnostics.hpp"
 #include "paraver/pcf.hpp"
 #include "trace/trace.hpp"
 
@@ -34,13 +35,20 @@ inline constexpr int kStateRunning = 1;
 void save_prv(const std::string& base_path, const trace::Trace& trace);
 
 /// Load a (prv, pcf) pair back into a burst trace. `base_path` as above.
-/// Throws ParseError on malformed input, IoError on unreadable files.
+/// Malformed records go to `diags`: a strict collector throws ParseError at
+/// the first one, a lenient collector skips/repairs under its error budget.
+/// Throws IoError on unreadable files in either mode.
+trace::Trace load_prv(const std::string& base_path, Diagnostics& diags);
+
+/// Strict-mode convenience overload.
 trace::Trace load_prv(const std::string& base_path);
 
 namespace detail {
 // Exposed for tests: stream-level implementations.
 void write_prv_streams(std::ostream& prv, std::ostream& pcf,
                        const trace::Trace& trace);
+trace::Trace read_prv_streams(std::istream& prv, std::istream& pcf,
+                              Diagnostics& diags);
 trace::Trace read_prv_streams(std::istream& prv, std::istream& pcf);
 }  // namespace detail
 

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/strings.hpp"
 #include "obs/telemetry.hpp"
 
@@ -17,24 +18,22 @@ namespace {
 
 constexpr std::string_view kMagic = "#PTT 1";
 
-double parse_double(std::string_view text, int line_no) {
+std::optional<double> parse_double(std::string_view text) {
   // std::from_chars for double is available in GCC 11+.
   double value = 0.0;
   auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
                                    value);
   if (ec != std::errc{} || ptr != text.data() + text.size())
-    throw ParseError("line " + std::to_string(line_no) +
-                     ": bad number: " + std::string(text));
+    return std::nullopt;
   return value;
 }
 
-std::uint64_t parse_uint(std::string_view text, int line_no) {
+std::optional<std::uint64_t> parse_uint(std::string_view text) {
   std::uint64_t value = 0;
   auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
                                    value);
   if (ec != std::errc{} || ptr != text.data() + text.size())
-    throw ParseError("line " + std::to_string(line_no) +
-                     ": bad unsigned integer: " + std::string(text));
+    return std::nullopt;
   return value;
 }
 
@@ -82,23 +81,28 @@ void write_trace(std::ostream& out, const Trace& trace) {
       out << ' ' << b.counters.get(static_cast<Counter>(i));
     out << '\n';
   }
-  if (!out) throw IoError("trace write failed");
+  if (!out) throw io_error("trace write failed", "<stream>");
 }
 
 void save_trace(const std::string& path, const Trace& trace) {
   PT_SPAN("save_trace");
+  PT_FAILPOINT("save_trace");
+  errno = 0;
   std::ofstream out(path);
-  if (!out) throw IoError("cannot open for writing: " + path);
-  write_trace(out, trace);
+  if (!out) throw io_error("cannot open for writing", path);
+  try {
+    write_trace(out, trace);
+  } catch (const IoError&) {
+    // Rethrow with the path (the stream writer cannot know it).
+    throw io_error("trace write failed", path);
+  }
+  out.close();
+  if (!out) throw io_error("trace write failed", path);
 }
 
-Trace read_trace(std::istream& in) {
+Trace read_trace(std::istream& in, Diagnostics& diags) {
   std::string line;
   int line_no = 0;
-
-  if (!std::getline(in, line) || trim(line) != kMagic)
-    throw ParseError("missing #PTT 1 magic header");
-  ++line_no;
 
   std::optional<std::string> app;
   std::optional<std::string> label;
@@ -112,60 +116,161 @@ Trace read_trace(std::istream& in) {
     double begin, duration;
     std::uint64_t callstack;
     std::array<double, kCounterCount> counters;
+    int line_no;
   };
   std::vector<RawBurst> raw_bursts;
+
+  // In lenient mode a record that fails to parse is reported and skipped;
+  // in strict mode diags.error() throws at the first report.
+  auto handle_record = [&](std::string_view text) {
+    diags.count_record();
+    if (starts_with(text, "app ")) {
+      if (app) {
+        diags.report(diags.is_lenient() ? Severity::Warning : Severity::Error,
+                     line_no, "duplicate-record",
+                     "duplicate 'app' record (keeping the first)");
+        return;
+      }
+      app = std::string(trim(text.substr(4)));
+    } else if (starts_with(text, "label ")) {
+      if (label) {
+        diags.report(diags.is_lenient() ? Severity::Warning : Severity::Error,
+                     line_no, "duplicate-record",
+                     "duplicate 'label' record (keeping the first)");
+        return;
+      }
+      label = std::string(trim(text.substr(6)));
+    } else if (starts_with(text, "tasks ")) {
+      if (tasks) {
+        diags.report(diags.is_lenient() ? Severity::Warning : Severity::Error,
+                     line_no, "duplicate-record",
+                     "duplicate 'tasks' record (keeping the first)");
+        return;
+      }
+      auto value = parse_uint(trim(text.substr(6)));
+      if (!value) {
+        diags.error(line_no, "bad-number",
+                    "bad task count: " + std::string(trim(text.substr(6))));
+        return;
+      }
+      tasks = static_cast<std::uint32_t>(*value);
+    } else if (starts_with(text, "attr ")) {
+      auto f = fields_of(text.substr(5), 2);
+      if (f.size() != 2) {
+        diags.error(line_no, "bad-attr", "bad attr");
+        return;
+      }
+      std::string key(f[0]);
+      if (attrs.count(key) != 0) {
+        diags.report(diags.is_lenient() ? Severity::Warning : Severity::Error,
+                     line_no, "duplicate-attr",
+                     "duplicate attr '" + key + "' (keeping the first)");
+        return;
+      }
+      attrs[key] = std::string(f[1]);
+    } else if (starts_with(text, "callstack ")) {
+      auto f = fields_of(text.substr(10), 4);
+      if (f.size() != 4) {
+        diags.error(line_no, "bad-callstack", "bad callstack record");
+        return;
+      }
+      auto id = parse_uint(f[0]);
+      auto loc_line = parse_uint(f[1]);
+      if (!id || !loc_line) {
+        diags.error(line_no, "bad-callstack",
+                    "bad number in callstack record");
+        return;
+      }
+      if (file_callstacks.count(*id) != 0) {
+        diags.report(diags.is_lenient() ? Severity::Warning : Severity::Error,
+                     line_no, "duplicate-callstack",
+                     "duplicate callstack id " + std::to_string(*id) +
+                         " (keeping the first)");
+        return;
+      }
+      SourceLocation loc;
+      loc.line = static_cast<std::uint32_t>(*loc_line);
+      loc.file = std::string(f[2]);
+      loc.function = std::string(f[3]);
+      file_callstacks[*id] = std::move(loc);
+    } else if (starts_with(text, "burst ")) {
+      auto f = fields_of(text.substr(6), 4 + kCounterCount);
+      if (f.size() != 4 + kCounterCount) {
+        diags.error(line_no, "bad-burst",
+                    "bad burst record (expected " +
+                        std::to_string(4 + kCounterCount) + " fields)");
+        return;
+      }
+      RawBurst rb;
+      rb.line_no = line_no;
+      auto task = parse_uint(f[0]);
+      auto begin = parse_double(f[1]);
+      auto duration = parse_double(f[2]);
+      auto callstack = parse_uint(f[3]);
+      bool ok = task && begin && duration && callstack;
+      for (std::size_t i = 0; i < kCounterCount; ++i) {
+        auto value = parse_double(f[4 + i]);
+        if (!value) ok = false;
+        else rb.counters[i] = *value;
+      }
+      if (!ok) {
+        diags.error(line_no, "bad-burst", "bad number in burst record");
+        return;
+      }
+      rb.task = static_cast<std::uint32_t>(*task);
+      rb.begin = *begin;
+      rb.duration = *duration;
+      rb.callstack = *callstack;
+      raw_bursts.push_back(rb);
+    } else {
+      diags.error(line_no, "unknown-record",
+                  "unknown record: " + std::string(text));
+    }
+  };
+
+  if (!std::getline(in, line)) {
+    diags.error(0, "bad-magic", "missing #PTT 1 magic header");
+    throw ParseError("empty trace stream");
+  }
+  ++line_no;
+  if (trim(line) != kMagic) {
+    diags.error(line_no, "bad-magic", "missing #PTT 1 magic header");
+    // Lenient: the first line may still be a payload record; feed it to the
+    // dispatcher unless it reads as a comment.
+    std::string_view text = trim(line);
+    if (!text.empty() && text.front() != '#') handle_record(text);
+  }
 
   while (std::getline(in, line)) {
     ++line_no;
     std::string_view text = trim(line);
     if (text.empty() || text.front() == '#') continue;
-
-    if (starts_with(text, "app ")) {
-      app = std::string(trim(text.substr(4)));
-    } else if (starts_with(text, "label ")) {
-      label = std::string(trim(text.substr(6)));
-    } else if (starts_with(text, "tasks ")) {
-      tasks = static_cast<std::uint32_t>(parse_uint(trim(text.substr(6)),
-                                                    line_no));
-    } else if (starts_with(text, "attr ")) {
-      auto f = fields_of(text.substr(5), 2);
-      if (f.size() != 2)
-        throw ParseError("line " + std::to_string(line_no) + ": bad attr");
-      attrs[std::string(f[0])] = std::string(f[1]);
-    } else if (starts_with(text, "callstack ")) {
-      auto f = fields_of(text.substr(10), 4);
-      if (f.size() != 4)
-        throw ParseError("line " + std::to_string(line_no) +
-                         ": bad callstack record");
-      SourceLocation loc;
-      std::uint64_t id = parse_uint(f[0], line_no);
-      loc.line = static_cast<std::uint32_t>(parse_uint(f[1], line_no));
-      loc.file = std::string(f[2]);
-      loc.function = std::string(f[3]);
-      file_callstacks[id] = std::move(loc);
-    } else if (starts_with(text, "burst ")) {
-      auto f = fields_of(text.substr(6), 4 + kCounterCount);
-      if (f.size() != 4 + kCounterCount)
-        throw ParseError("line " + std::to_string(line_no) +
-                         ": bad burst record (expected " +
-                         std::to_string(4 + kCounterCount) + " fields)");
-      RawBurst rb;
-      rb.task = static_cast<std::uint32_t>(parse_uint(f[0], line_no));
-      rb.begin = parse_double(f[1], line_no);
-      rb.duration = parse_double(f[2], line_no);
-      rb.callstack = parse_uint(f[3], line_no);
-      for (std::size_t i = 0; i < kCounterCount; ++i)
-        rb.counters[i] = parse_double(f[4 + i], line_no);
-      raw_bursts.push_back(rb);
-    } else {
-      throw ParseError("line " + std::to_string(line_no) +
-                       ": unknown record: " + std::string(text));
-    }
+    handle_record(text);
   }
-  if (in.bad()) throw IoError("trace read failed");
+  if (in.bad()) throw io_error("trace read failed", diags.file());
 
-  if (!app) throw ParseError("trace missing 'app' record");
-  if (!tasks) throw ParseError("trace missing 'tasks' record");
+  if (!app) {
+    diags.report(diags.is_lenient() ? Severity::Warning : Severity::Error, 0,
+                 "missing-app", "trace missing 'app' record");
+    app = "unknown";
+  }
+  if (!tasks) {
+    // Repairable when bursts tell us how many tasks there are.
+    std::uint32_t max_task = 0;
+    for (const RawBurst& rb : raw_bursts)
+      max_task = std::max(max_task, rb.task);
+    if (raw_bursts.empty()) {
+      diags.report(diags.is_lenient() ? Severity::Warning : Severity::Error,
+                   0, "missing-tasks", "trace missing 'tasks' record");
+      throw ParseError("trace unusable: no 'tasks' record and no bursts to "
+                       "infer the task count from");
+    }
+    diags.report(diags.is_lenient() ? Severity::Warning : Severity::Error, 0,
+                 "missing-tasks",
+                 "trace missing 'tasks' record (inferred " +
+                     std::to_string(max_task + 1) + " from bursts)");
+    tasks = max_task + 1;
+  }
 
   Trace trace(*app, *tasks);
   if (label) trace.set_label(*label);
@@ -178,9 +283,12 @@ Trace read_trace(std::istream& in) {
 
   for (const RawBurst& rb : raw_bursts) {
     auto it = id_map.find(rb.callstack);
-    if (it == id_map.end())
-      throw ParseError("burst references undeclared callstack id " +
-                       std::to_string(rb.callstack));
+    if (it == id_map.end()) {
+      diags.error(rb.line_no, "dangling-callstack",
+                  "burst references undeclared callstack id " +
+                      std::to_string(rb.callstack));
+      continue;
+    }
     Burst b;
     b.task = rb.task;
     b.begin_time = rb.begin;
@@ -188,20 +296,39 @@ Trace read_trace(std::istream& in) {
     b.callstack = it->second;
     for (std::size_t i = 0; i < kCounterCount; ++i)
       b.counters.set(static_cast<Counter>(i), rb.counters[i]);
-    trace.add_burst(b);
+    try {
+      trace.add_burst(b);
+    } catch (const PreconditionError& error) {
+      // Out-of-range task, negative duration or per-task time disorder.
+      diags.error(rb.line_no, "bad-burst", error.what());
+    }
   }
+  diags.finish();
   trace.validate();
   return trace;
 }
 
-Trace load_trace(const std::string& path) {
+Trace read_trace(std::istream& in) {
+  Diagnostics diags;
+  return read_trace(in, diags);
+}
+
+Trace load_trace(const std::string& path, Diagnostics& diags) {
   PT_SPAN("load_trace");
+  PT_FAILPOINT("load_trace");
+  diags.set_file(path);
+  errno = 0;
   std::ifstream in(path);
-  if (!in) throw IoError("cannot open for reading: " + path);
-  Trace trace = read_trace(in);
+  if (!in) throw io_error("cannot open for reading", path);
+  Trace trace = read_trace(in, diags);
   PT_COUNTER("traces_loaded", 1.0);
   PT_COUNTER("bursts_loaded", static_cast<double>(trace.burst_count()));
   return trace;
+}
+
+Trace load_trace(const std::string& path) {
+  Diagnostics diags;
+  return load_trace(path, diags);
 }
 
 }  // namespace perftrack::trace

@@ -21,6 +21,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/diagnostics.hpp"
 #include "trace/trace.hpp"
 
 namespace perftrack::trace {
@@ -31,11 +32,20 @@ void write_trace(std::ostream& out, const Trace& trace);
 /// Serialise to a file; throws IoError on failure.
 void save_trace(const std::string& path, const Trace& trace);
 
-/// Parse a trace from the stream; throws ParseError on malformed input and
-/// IoError on stream failure.
+/// Parse a trace from the stream, reporting malformed records to `diags`.
+/// With a strict collector the first error throws ParseError (the
+/// historical behaviour); with a lenient one bad records are skipped or
+/// repaired and parsing aborts only once the error budget is exhausted.
+/// Throws IoError on stream failure in either mode.
+Trace read_trace(std::istream& in, Diagnostics& diags);
+
+/// Strict-mode convenience overload.
 Trace read_trace(std::istream& in);
 
-/// Parse from a file.
+/// Parse from a file; stamps the path onto `diags` for its diagnostics.
+Trace load_trace(const std::string& path, Diagnostics& diags);
+
+/// Strict-mode convenience overload.
 Trace load_trace(const std::string& path);
 
 }  // namespace perftrack::trace

@@ -3,6 +3,7 @@
 #include <map>
 #include <string>
 
+#include "common/failpoint.hpp"
 #include "obs/telemetry.hpp"
 
 namespace perftrack::tracking {
@@ -35,6 +36,7 @@ CorrelationMatrix evaluate_callstack(const cluster::Frame& frame_a,
                                      const cluster::Frame& frame_b,
                                      double outlier_threshold) {
   PT_SPAN("evaluator_callstack");
+  PT_FAILPOINT("evaluator_callstack");
   const std::size_t n = frame_a.object_count();
   const std::size_t m = frame_b.object_count();
   CorrelationMatrix out(n, m);

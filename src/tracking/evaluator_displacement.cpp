@@ -1,6 +1,7 @@
 #include "tracking/evaluator_displacement.hpp"
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "geom/kdtree.hpp"
 #include "obs/telemetry.hpp"
 
@@ -59,6 +60,7 @@ DisplacementResult evaluate_displacement(const cluster::Frame& frame_a,
                                          const ScaleNormalization& scale,
                                          double outlier_threshold) {
   PT_SPAN("evaluator_displacement");
+  PT_FAILPOINT("evaluator_displacement");
   PT_REQUIRE(outlier_threshold >= 0.0 && outlier_threshold < 1.0,
              "outlier threshold must be in [0,1)");
   ClusteredCloud cloud_a = clustered_cloud(frame_a, scale);

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "align/nw.hpp"
+#include "common/failpoint.hpp"
 #include "obs/telemetry.hpp"
 
 namespace perftrack::tracking {
@@ -14,6 +15,7 @@ CorrelationMatrix evaluate_sequence(const cluster::Frame& frame_a,
                                     const RelationSet& pivots,
                                     double outlier_threshold) {
   PT_SPAN("evaluator_sequence");
+  PT_FAILPOINT("evaluator_sequence");
   const std::size_t n = frame_a.object_count();
   const std::size_t m = frame_b.object_count();
   CorrelationMatrix out(n, m);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "common/failpoint.hpp"
 #include "obs/telemetry.hpp"
 
 namespace perftrack::tracking {
@@ -11,6 +12,7 @@ CorrelationMatrix evaluate_spmd(const cluster::Frame& frame,
                                 const FrameAlignment& alignment,
                                 double outlier_threshold) {
   PT_SPAN("evaluator_spmd");
+  PT_FAILPOINT("evaluator_spmd");
   const std::size_t n = frame.object_count();
   CorrelationMatrix m(n, n);
   const align::MultipleAlignment& msa = alignment.alignment();

@@ -1,5 +1,6 @@
 #include "tracking/frame_alignment.hpp"
 
+#include "common/failpoint.hpp"
 #include "obs/telemetry.hpp"
 
 namespace perftrack::tracking {
@@ -7,6 +8,7 @@ namespace perftrack::tracking {
 FrameAlignment::FrameAlignment(const cluster::Frame& frame,
                                const align::AlignmentScores& scores) {
   PT_SPAN("frame_alignment");
+  PT_FAILPOINT("frame_alignment");
   msa_ = align::star_align(frame.task_sequences(), scores);
   consensus_ = msa_.consensus();
 }

@@ -79,9 +79,52 @@ std::string build_payload(const TrackingResult& result,
     }
     json << "]}";
   }
+  json << "],\"gaps\":[";
+  for (std::size_t g = 0; g < result.gaps.size(); ++g) {
+    const ExperimentGap& gap = result.gaps[g];
+    if (g) json << ",";
+    json << "{\"slot\":" << gap.slot + 1 << ",\"label\":\""
+         << json_escape(gap.label) << "\",\"reason\":\""
+         << json_escape(gap.reason) << "\"}";
+  }
   json << "],\"coverage\":" << format_double(result.coverage, 4)
+       << ",\"effectiveCoverage\":"
+       << format_double(result.effective_coverage(), 4)
        << ",\"complete\":" << result.complete_count << "}";
   return json.str();
+}
+
+std::string html_escape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// "3 gaps (a, b, c)" banner content for a degraded run, "" otherwise.
+std::string gap_banner(const TrackingResult& result) {
+  if (!result.degraded()) return "";
+  std::string out = "<p class=\"gaps\"><b>degraded run:</b> " +
+                    std::to_string(result.gaps.size()) +
+                    (result.gaps.size() == 1 ? " gap" : " gaps") + " in " +
+                    std::to_string(result.sequence_length()) +
+                    " experiments, effective coverage <b>" +
+                    format_double(result.effective_coverage() * 100.0, 0) +
+                    "%</b>.</p><ul class=\"gaps\">";
+  for (const ExperimentGap& gap : result.gaps) {
+    out += "<li>slot " + std::to_string(gap.slot + 1) + ": " +
+           html_escape(gap.label);
+    if (!gap.reason.empty()) out += " &mdash; " + html_escape(gap.reason);
+    out += "</li>";
+  }
+  out += "</ul>";
+  return out;
 }
 
 constexpr const char* kPage = R"HTML(<!DOCTYPE html>
@@ -92,6 +135,7 @@ constexpr const char* kPage = R"HTML(<!DOCTYPE html>
  canvas{background:#fff;border:1px solid #ccc;border-radius:4px}
  .row{display:flex;gap:1.5rem;flex-wrap:wrap}
  button{margin-right:.5rem} #framelabel{font-weight:600;margin-left:.8rem}
+ p.gaps,ul.gaps{color:#a33}
  table{border-collapse:collapse;font-size:.85rem}
  td,th{border:1px solid #ddd;padding:.25rem .6rem;text-align:right}
  th:first-child,td:first-child{text-align:left}
@@ -100,6 +144,7 @@ constexpr const char* kPage = R"HTML(<!DOCTYPE html>
 <p><b>%COMPLETE%</b> tracked regions, coverage <b>%COVERAGE%</b>.
 Every region keeps its colour along the whole sequence; press play to
 animate the experiments (paper Fig. 6).</p>
+%GAPS%
 <div>
  <button id="play">&#9654; play</button>
  <input type="range" id="slider" min="0" value="0" style="width:340px">
@@ -203,6 +248,7 @@ std::string html_report(const TrackingResult& result,
   replace_all("%COMPLETE%", std::to_string(result.complete_count));
   replace_all("%COVERAGE%",
               format_double(result.coverage * 100.0, 0) + "%");
+  replace_all("%GAPS%", gap_banner(result));
   replace_all("%DATA%", build_payload(result, options));
   return page;
 }
@@ -210,10 +256,11 @@ std::string html_report(const TrackingResult& result,
 void save_html_report(const std::string& path,
                       const TrackingResult& result,
                       const HtmlReportOptions& options) {
+  errno = 0;
   std::ofstream out(path);
-  if (!out) throw IoError("cannot open for writing: " + path);
+  if (!out) throw io_error("cannot open for writing", path);
   out << html_report(result, options);
-  if (!out) throw IoError("write failed: " + path);
+  if (!out) throw io_error("write failed", path);
 }
 
 }  // namespace perftrack::tracking

@@ -1,6 +1,8 @@
 #include "tracking/pipeline.hpp"
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/log.hpp"
 #include "obs/telemetry.hpp"
 
 namespace perftrack::tracking {
@@ -16,7 +18,17 @@ TrackingPipeline::TrackingPipeline() {
 void TrackingPipeline::add_experiment(
     std::shared_ptr<const trace::Trace> trace) {
   PT_REQUIRE(trace != nullptr, "experiment trace must not be null");
-  traces_.push_back(std::move(trace));
+  Entry entry;
+  entry.label = trace->label();
+  entry.trace = std::move(trace);
+  entries_.push_back(std::move(entry));
+}
+
+void TrackingPipeline::add_gap(std::string label, std::string reason) {
+  Entry entry;
+  entry.label = std::move(label);
+  entry.reason = std::move(reason);
+  entries_.push_back(std::move(entry));
 }
 
 void TrackingPipeline::set_clustering(cluster::ClusteringParams params) {
@@ -27,19 +39,71 @@ void TrackingPipeline::set_tracking(TrackingParams params) {
   tracking_ = std::move(params);
 }
 
+void TrackingPipeline::set_resilience(ResilienceParams params) {
+  resilience_ = params;
+}
+
+std::size_t TrackingPipeline::gap_count() const {
+  std::size_t n = 0;
+  for (const Entry& entry : entries_)
+    if (entry.trace == nullptr) ++n;
+  return n;
+}
+
 TrackingResult TrackingPipeline::run() const {
   PT_SPAN("pipeline_run");
-  PT_REQUIRE(traces_.size() >= 2,
+  PT_REQUIRE(entries_.size() >= 2,
              "tracking needs at least two experiments");
-  PT_COUNTER("experiments", static_cast<double>(traces_.size()));
+  PT_COUNTER("experiments", static_cast<double>(entries_.size()));
+
   std::vector<cluster::Frame> frames;
-  frames.reserve(traces_.size());
+  std::vector<ExperimentGap> gaps;
+  frames.reserve(entries_.size());
   {
     PT_SPAN("cluster_experiments");
-    for (const auto& trace : traces_)
-      frames.push_back(cluster::build_frame(trace, clustering_));
+    for (std::size_t slot = 0; slot < entries_.size(); ++slot) {
+      const Entry& entry = entries_[slot];
+      if (entry.trace == nullptr) {
+        if (!resilience_.lenient)
+          throw Error("experiment '" + entry.label +
+                      "' is a gap (" + entry.reason +
+                      "); enable lenient resilience to track across it");
+        gaps.push_back({slot, entry.label, entry.reason});
+        continue;
+      }
+      try {
+        PT_FAILPOINT("cluster_experiment");
+        frames.push_back(cluster::build_frame(entry.trace, clustering_));
+      } catch (const Error& error) {
+        if (!resilience_.lenient) throw;
+        PT_LOG(Warn) << "experiment '" << entry.label
+                     << "' failed to cluster, tracking across the gap: "
+                     << error.what();
+        gaps.push_back({slot, entry.label, error.what()});
+      }
+    }
   }
-  return track_frames(std::move(frames), tracking_);
+
+  if (!gaps.empty()) {
+    double gap_fraction = static_cast<double>(gaps.size()) /
+                          static_cast<double>(entries_.size());
+    if (gap_fraction > resilience_.max_gap_fraction)
+      throw Error("gap budget exhausted: " + std::to_string(gaps.size()) +
+                  " of " + std::to_string(entries_.size()) +
+                  " experiments failed (limit " +
+                  std::to_string(static_cast<int>(
+                      resilience_.max_gap_fraction * 100.0)) +
+                  "%)");
+    if (frames.size() < 2)
+      throw Error("tracking needs at least two surviving experiments (" +
+                  std::to_string(gaps.size()) + " of " +
+                  std::to_string(entries_.size()) + " are gaps)");
+    PT_COUNTER("experiment_gaps", static_cast<double>(gaps.size()));
+  }
+
+  TrackingResult result = track_frames(std::move(frames), tracking_);
+  result.gaps = std::move(gaps);
+  return result;
 }
 
 }  // namespace perftrack::tracking

@@ -11,8 +11,15 @@
 //   pipeline.add_experiment(trace_256);
 //   TrackingResult result = pipeline.run();
 //   std::cout << describe_tracking(result);
+//
+// Degraded mode: with lenient resilience enabled, an experiment that fails
+// to cluster (or that the caller already failed to load — add_gap) becomes
+// an explicit gap in the frame sequence instead of aborting the run. The
+// tracker bridges the gap by pairing its surviving neighbours directly, and
+// the gap list travels on the TrackingResult so every report can render it.
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cluster/frame.hpp"
@@ -20,12 +27,29 @@
 
 namespace perftrack::tracking {
 
+/// Degraded-mode policy for TrackingPipeline::run().
+struct ResilienceParams {
+  /// Convert per-experiment clustering failures into gaps instead of
+  /// rethrowing. Off = today's fail-fast behaviour.
+  bool lenient = false;
+
+  /// Error budget: abort when more than this fraction of the experiment
+  /// sequence is gaps (counting add_gap slots). The run also always needs
+  /// at least two surviving frames.
+  double max_gap_fraction = 0.5;
+};
+
 class TrackingPipeline {
 public:
   TrackingPipeline();
 
   /// Append one experiment; sequence order is insertion order.
   void add_experiment(std::shared_ptr<const trace::Trace> trace);
+
+  /// Append a slot for an experiment that already failed upstream (e.g. an
+  /// unreadable trace file). The slot participates in gap accounting and
+  /// reporting but contributes no frame.
+  void add_gap(std::string label, std::string reason);
 
   /// Clustering configuration used to build every frame.
   void set_clustering(cluster::ClusteringParams params);
@@ -35,16 +59,30 @@ public:
   void set_tracking(TrackingParams params);
   const TrackingParams& tracking() const { return tracking_; }
 
-  std::size_t experiment_count() const { return traces_.size(); }
+  /// Degraded-mode policy (strict by default).
+  void set_resilience(ResilienceParams params);
+  const ResilienceParams& resilience() const { return resilience_; }
+
+  /// Sequence slots added so far (experiments plus pre-declared gaps).
+  std::size_t experiment_count() const { return entries_.size(); }
+  std::size_t gap_count() const;
 
   /// Cluster every experiment and track the sequence. Requires >= 2
-  /// experiments.
+  /// surviving experiments after gap handling; throws Error when the gap
+  /// budget is exhausted.
   TrackingResult run() const;
 
 private:
-  std::vector<std::shared_ptr<const trace::Trace>> traces_;
+  struct Entry {
+    std::shared_ptr<const trace::Trace> trace;  ///< null for add_gap slots
+    std::string label;
+    std::string reason;
+  };
+
+  std::vector<Entry> entries_;
   cluster::ClusteringParams clustering_;
   TrackingParams tracking_;
+  ResilienceParams resilience_;
 };
 
 }  // namespace perftrack::tracking

@@ -152,6 +152,16 @@ std::string describe_tracking(const TrackingResult& result) {
          " complete of " + std::to_string(result.regions.size()) +
          " total, coverage " +
          format_double(result.coverage * 100.0, 0) + "%\n";
+  if (result.degraded()) {
+    out += "degraded sequence: " + std::to_string(result.frames.size()) +
+           " of " + std::to_string(result.sequence_length()) +
+           " experiments survived, effective coverage " +
+           format_double(result.effective_coverage() * 100.0, 0) + "%\n";
+    for (const ExperimentGap& gap : result.gaps)
+      out += "  gap at slot " + std::to_string(gap.slot + 1) + ": " +
+             gap.label + (gap.reason.empty() ? "" : " (" + gap.reason + ")") +
+             "\n";
+  }
   for (const TrackedRegion& region : result.regions) {
     if (!region.complete) continue;
     out += "  Region " + std::to_string(region.id + 1) + ":";

@@ -18,6 +18,12 @@ std::size_t TrackedRegion::frames_present() const {
   return n;
 }
 
+double TrackingResult::effective_coverage() const {
+  if (frames.empty()) return 0.0;
+  return coverage * static_cast<double>(frames.size()) /
+         static_cast<double>(sequence_length());
+}
+
 const TrackedRegion& TrackingResult::region(int id) const {
   PT_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < regions.size(),
              "region id out of range");

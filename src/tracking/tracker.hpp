@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "cluster/frame.hpp"
@@ -18,6 +19,16 @@
 #include "tracking/scale.hpp"
 
 namespace perftrack::tracking {
+
+/// A sequence slot whose experiment failed to load or cluster. The frames
+/// around a gap are paired directly (the gap is bridged, not interpolated),
+/// and every report renders the gap so a degraded run is never mistaken
+/// for a shorter healthy one.
+struct ExperimentGap {
+  std::size_t slot = 0;  ///< position in the full experiment sequence
+  std::string label;     ///< experiment label or file path
+  std::string reason;    ///< what failed (exception message)
+};
 
 struct TrackedRegion {
   /// Dense region index; display numbering is id + 1.
@@ -48,11 +59,27 @@ struct TrackingResult {
 
   std::size_t complete_count = 0;
 
-  /// complete_count / min over frames of the object count.
+  /// complete_count / min over frames of the object count. Computed over
+  /// the *surviving* frames only; see effective_coverage() for the score
+  /// that charges gaps.
   double coverage = 0.0;
 
   /// renaming[f][object] = region id, or -1 for objects in no region.
   std::vector<std::vector<std::int32_t>> renaming;
+
+  /// Sequence slots lost to load/cluster failures (degraded runs only).
+  /// Filled by TrackingPipeline; track_frames itself never creates gaps.
+  std::vector<ExperimentGap> gaps;
+
+  /// Experiments originally in the sequence: surviving frames plus gaps.
+  std::size_t sequence_length() const { return frames.size() + gaps.size(); }
+
+  bool degraded() const { return !gaps.empty(); }
+
+  /// Coverage discounted by the surviving fraction of the sequence, so a
+  /// degraded run cannot silently report the score of a shorter healthy
+  /// one (Table 2 accounting).
+  double effective_coverage() const;
 
   const TrackedRegion& region(int id) const;
 };

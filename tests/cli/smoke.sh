@@ -68,4 +68,46 @@ if "$TOOLS_DIR/perftrack" track only_one.ptt 2> /dev/null; then
   exit 1
 fi
 
+echo "== lenient ingestion of a corrupted trace (exit 5, diagnostics) =="
+cp hydroc_sample.ptt corrupt.ptt
+printf 'burst 0 bad bad bad\n%%%%%% garbage line\nburst 9999\n' >> corrupt.ptt
+rc=0
+"$TOOLS_DIR/perftrack" track corrupt.ptt hydroc_sample.ptt --lenient \
+    > lenient.out 2> lenient.err || rc=$?
+test "$rc" -eq 5
+grep -q "tracked regions" lenient.out
+grep -q "bad-burst" lenient.err
+grep -q "unknown-record" lenient.err
+grep -q "errors" lenient.err
+grep -q "degraded run" lenient.err
+
+echo "== strict mode fails fast with the parse exit code =="
+rc=0
+"$TOOLS_DIR/perftrack" track corrupt.ptt hydroc_sample.ptt \
+    2> strict.err || rc=$?
+test "$rc" -eq 3
+grep -q "parse error" strict.err
+
+echo "== missing input uses the io exit code =="
+rc=0
+"$TOOLS_DIR/perftrack" track nonexistent.ptt hydroc_sample.ptt \
+    2> /dev/null || rc=$?
+test "$rc" -eq 4
+
+echo "== unreadable file becomes a gap under --lenient =="
+rc=0
+"$TOOLS_DIR/perftrack" track hydroc_sample.ptt hydroc_sample.ptt \
+    nonexistent.ptt --lenient > gap.out 2> gap.err || rc=$?
+test "$rc" -eq 5
+grep -q "gap at slot 3: nonexistent.ptt" gap.out
+grep -q "skipping nonexistent.ptt" gap.err
+
+echo "== injected fault becomes a gap under --lenient =="
+rc=0
+PERFTRACK_FAILPOINTS="cluster_experiment=@2" \
+    "$TOOLS_DIR/perftrack" track hydroc_sample.ptt hydroc_sample.ptt \
+    hydroc_sample.ptt --lenient > fault.out 2> /dev/null || rc=$?
+test "$rc" -eq 5
+grep -q "injected fault" fault.out
+
 echo "cli smoke: OK"

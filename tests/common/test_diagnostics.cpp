@@ -1,0 +1,120 @@
+#include "common/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace perftrack {
+namespace {
+
+TEST(DiagnosticsTest, DefaultConstructedIsStrict) {
+  Diagnostics diags;
+  EXPECT_FALSE(diags.is_lenient());
+  EXPECT_TRUE(diags.ok());
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(DiagnosticsTest, StrictErrorThrowsParseErrorWithLocation) {
+  Diagnostics diags = Diagnostics::strict();
+  diags.set_file("trace.ptt");
+  try {
+    diags.error(12, "bad-number", "bad number: xyz");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    std::string what = error.what();
+    EXPECT_NE(what.find("line 12"), std::string::npos) << what;
+    EXPECT_NE(what.find("bad number: xyz"), std::string::npos) << what;
+  }
+}
+
+TEST(DiagnosticsTest, StrictWarningDoesNotThrow) {
+  Diagnostics diags = Diagnostics::strict();
+  diags.warning(3, "duplicate-record", "duplicate app record");
+  EXPECT_EQ(diags.warning_count(), 1u);
+  EXPECT_TRUE(diags.ok());
+}
+
+TEST(DiagnosticsTest, LenientAccumulatesErrors) {
+  Diagnostics diags = Diagnostics::lenient();
+  diags.set_file("x.ptt");
+  diags.error(1, "bad-number", "bad number: a");
+  diags.error(2, "bad-number", "bad number: b");
+  diags.warning(3, "unknown-record", "skipping");
+  EXPECT_EQ(diags.error_count(), 2u);
+  EXPECT_EQ(diags.warning_count(), 1u);
+  EXPECT_FALSE(diags.ok());
+  ASSERT_EQ(diags.entries().size(), 3u);
+  EXPECT_EQ(diags.entries()[0].code, "bad-number");
+  EXPECT_EQ(diags.entries()[0].line, 1);
+  EXPECT_EQ(diags.entries()[0].file, "x.ptt");
+  EXPECT_EQ(diags.entries()[2].severity, Severity::Warning);
+}
+
+TEST(DiagnosticsTest, DiagnosticToStringFormat) {
+  Diagnostic d;
+  d.severity = Severity::Error;
+  d.file = "trace.ptt";
+  d.line = 12;
+  d.code = "bad-number";
+  d.message = "bad number: xyz";
+  EXPECT_EQ(d.to_string(), "error: trace.ptt:12: [bad-number] bad number: xyz");
+}
+
+TEST(DiagnosticsTest, AbsoluteErrorBudgetExhaustionThrows) {
+  ErrorBudget budget;
+  budget.max_errors = 2;
+  Diagnostics diags = Diagnostics::lenient(budget);
+  diags.error(1, "bad-number", "a");
+  diags.error(2, "bad-number", "b");
+  EXPECT_THROW(diags.error(3, "bad-number", "c"), ParseError);
+}
+
+TEST(DiagnosticsTest, FractionBudgetCheckedAtFinish) {
+  ErrorBudget budget;
+  budget.max_error_fraction = 0.25;
+  budget.min_records_for_fraction = 8;
+  Diagnostics diags = Diagnostics::lenient(budget);
+  for (int i = 0; i < 10; ++i) diags.count_record();
+  diags.error(1, "bad-burst", "a");
+  diags.error(2, "bad-burst", "b");
+  diags.error(3, "bad-burst", "c");
+  EXPECT_THROW(diags.finish(), ParseError);
+}
+
+TEST(DiagnosticsTest, FractionBudgetSkippedBelowMinRecords) {
+  ErrorBudget budget;
+  budget.max_error_fraction = 0.25;
+  budget.min_records_for_fraction = 8;
+  Diagnostics diags = Diagnostics::lenient(budget);
+  diags.count_record();
+  diags.count_record();
+  diags.error(1, "bad-burst", "half the file is bad");
+  EXPECT_NO_THROW(diags.finish());
+}
+
+TEST(DiagnosticsTest, SummaryMentionsCounts) {
+  Diagnostics diags = Diagnostics::lenient();
+  diags.set_file("trace.ptt");
+  diags.count_record();
+  diags.error(1, "bad-number", "a");
+  diags.warning(2, "unknown-record", "b");
+  std::string summary = diags.summary();
+  EXPECT_NE(summary.find("1 error"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("1 warning"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("trace.ptt"), std::string::npos) << summary;
+}
+
+TEST(DiagnosticsTest, ToStringRendersOneLinePerEntry) {
+  Diagnostics diags = Diagnostics::lenient();
+  diags.error(1, "a", "x");
+  diags.warning(2, "b", "y");
+  std::string text = diags.to_string();
+  EXPECT_NE(text.find("[a]"), std::string::npos);
+  EXPECT_NE(text.find("[b]"), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace perftrack

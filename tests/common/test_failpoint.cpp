@@ -1,0 +1,129 @@
+#include "common/failpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace perftrack {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+protected:
+  void SetUp() override { failpoint::clear(); }
+  void TearDown() override { failpoint::clear(); }
+};
+
+TEST_F(FailpointTest, DisarmedSiteIsFree) {
+  EXPECT_FALSE(failpoint::any_active());
+  EXPECT_NO_THROW(PT_FAILPOINT("nothing_armed"));
+  EXPECT_EQ(failpoint::hits("nothing_armed"), 0u);
+}
+
+TEST_F(FailpointTest, ErrorActionAlwaysThrows) {
+  failpoint::activate("load_trace", "error");
+  EXPECT_TRUE(failpoint::any_active());
+  EXPECT_THROW(PT_FAILPOINT("load_trace"), InjectedFault);
+  EXPECT_THROW(PT_FAILPOINT("load_trace"), InjectedFault);
+  EXPECT_EQ(failpoint::hits("load_trace"), 2u);
+}
+
+TEST_F(FailpointTest, UnarmedNameUnaffectedWhileOthersArmed) {
+  failpoint::activate("load_trace", "error");
+  EXPECT_NO_THROW(PT_FAILPOINT("save_trace"));
+}
+
+TEST_F(FailpointTest, InjectedFaultIsAnError) {
+  failpoint::activate("x", "error");
+  try {
+    PT_FAILPOINT("x");
+    FAIL() << "expected InjectedFault";
+  } catch (const Error& error) {
+    EXPECT_NE(std::string(error.what()).find("injected fault"),
+              std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("'x'"), std::string::npos);
+  }
+}
+
+TEST_F(FailpointTest, PercentActionIsDeterministicallyThinned) {
+  failpoint::activate("dbscan", "30%");
+  int failures = 0;
+  for (int i = 0; i < 100; ++i) {
+    try {
+      PT_FAILPOINT("dbscan");
+    } catch (const InjectedFault&) {
+      ++failures;
+    }
+  }
+  EXPECT_EQ(failures, 30);
+
+  // Determinism: the same schedule replays after a reset.
+  failpoint::clear();
+  failpoint::activate("dbscan", "30%");
+  int replay = 0;
+  for (int i = 0; i < 100; ++i) {
+    try {
+      PT_FAILPOINT("dbscan");
+    } catch (const InjectedFault&) {
+      ++replay;
+    }
+  }
+  EXPECT_EQ(replay, failures);
+}
+
+TEST_F(FailpointTest, ZeroPercentNeverFires) {
+  failpoint::activate("dbscan", "0%");
+  for (int i = 0; i < 50; ++i) EXPECT_NO_THROW(PT_FAILPOINT("dbscan"));
+}
+
+TEST_F(FailpointTest, HundredPercentAlwaysFires) {
+  failpoint::activate("dbscan", "100%");
+  for (int i = 0; i < 5; ++i)
+    EXPECT_THROW(PT_FAILPOINT("dbscan"), InjectedFault);
+}
+
+TEST_F(FailpointTest, HitListFiresOnExactHits) {
+  failpoint::activate("cluster_experiment", "@3,7");
+  for (int hit = 1; hit <= 10; ++hit) {
+    if (hit == 3 || hit == 7)
+      EXPECT_THROW(PT_FAILPOINT("cluster_experiment"), InjectedFault)
+          << "hit " << hit;
+    else
+      EXPECT_NO_THROW(PT_FAILPOINT("cluster_experiment")) << "hit " << hit;
+  }
+  EXPECT_EQ(failpoint::hits("cluster_experiment"), 10u);
+}
+
+TEST_F(FailpointTest, ConfigureParsesMultipleEntriesAndHitLists) {
+  failpoint::configure("load_trace=error,cluster_experiment=@2,4,dbscan=50%");
+  EXPECT_THROW(PT_FAILPOINT("load_trace"), InjectedFault);
+  EXPECT_NO_THROW(PT_FAILPOINT("cluster_experiment"));  // hit 1
+  EXPECT_THROW(PT_FAILPOINT("cluster_experiment"), InjectedFault);  // hit 2
+  EXPECT_NO_THROW(PT_FAILPOINT("cluster_experiment"));  // hit 3
+  EXPECT_THROW(PT_FAILPOINT("cluster_experiment"), InjectedFault);  // hit 4
+  // 50% thinning: the running failure quota first increments at hit 2.
+  EXPECT_NO_THROW(PT_FAILPOINT("dbscan"));
+  EXPECT_THROW(PT_FAILPOINT("dbscan"), InjectedFault);
+}
+
+TEST_F(FailpointTest, MalformedActionThrows) {
+  EXPECT_THROW(failpoint::activate("x", "banana"), Error);
+  EXPECT_THROW(failpoint::activate("x", "150%"), Error);
+  EXPECT_THROW(failpoint::activate("x", "@"), Error);
+  EXPECT_THROW(failpoint::activate("x", "@1,frog"), Error);
+  EXPECT_THROW(failpoint::configure("no_equals_sign"), Error);
+}
+
+TEST_F(FailpointTest, ClearDisarmsAndResetsCounters) {
+  failpoint::activate("x", "error");
+  try {
+    PT_FAILPOINT("x");
+  } catch (const InjectedFault&) {
+  }
+  failpoint::clear();
+  EXPECT_FALSE(failpoint::any_active());
+  EXPECT_NO_THROW(PT_FAILPOINT("x"));
+  EXPECT_EQ(failpoint::hits("x"), 0u);
+}
+
+}  // namespace
+}  // namespace perftrack

@@ -1,0 +1,19 @@
+#pragma once
+// Shared contract between the fuzz targets and the standalone driver.
+//
+// Each target defines LLVMFuzzerTestOneInput (the libFuzzer entry point)
+// plus fuzz_seed_corpus(), the inputs the standalone mutation driver starts
+// from. Under clang the targets link against real libFuzzer and the seeds
+// are simply unused; under GCC standalone_driver.cpp provides a main() with
+// a deterministic mutator, so the harness runs under ASan/UBSan anywhere.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+/// Seed inputs for the standalone driver (valid and near-valid documents).
+std::vector<std::string> fuzz_seed_corpus();

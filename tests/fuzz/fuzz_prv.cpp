@@ -1,0 +1,78 @@
+// Fuzz target for the Paraver importer: the input is split at the first
+// NUL byte into a .pcf part and a .prv part, and both the standalone PCF
+// reader and the combined PRV+PCF reconstruction run over them, strict and
+// lenient. perftrack::Error is a correct rejection; anything else is a
+// finding.
+
+#include <sstream>
+#include <string>
+
+#include "common/diagnostics.hpp"
+#include "common/error.hpp"
+#include "fuzz_driver.hpp"
+#include "paraver/pcf.hpp"
+#include "paraver/prv.hpp"
+
+namespace {
+
+void run_one(const std::string& pcf_text, const std::string& prv_text,
+             bool lenient) {
+  perftrack::Diagnostics diags = lenient
+                                     ? perftrack::Diagnostics::lenient()
+                                     : perftrack::Diagnostics::strict();
+  {
+    std::istringstream pcf(pcf_text);
+    try {
+      perftrack::paraver::read_pcf(pcf, diags);
+    } catch (const perftrack::Error&) {
+    }
+  }
+  {
+    std::istringstream prv(prv_text);
+    std::istringstream pcf(pcf_text);
+    perftrack::Diagnostics prv_diags =
+        lenient ? perftrack::Diagnostics::lenient()
+                : perftrack::Diagnostics::strict();
+    try {
+      perftrack::paraver::detail::read_prv_streams(prv, pcf, prv_diags);
+    } catch (const perftrack::Error&) {
+    }
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::string text(reinterpret_cast<const char*>(data), size);
+  std::size_t cut = text.find('\0');
+  std::string pcf_text =
+      cut == std::string::npos ? std::string() : text.substr(0, cut);
+  std::string prv_text =
+      cut == std::string::npos ? text : text.substr(cut + 1);
+  run_one(pcf_text, prv_text, /*lenient=*/false);
+  run_one(pcf_text, prv_text, /*lenient=*/true);
+  return 0;
+}
+
+std::vector<std::string> fuzz_seed_corpus() {
+  // A NUL separates the .pcf part from the .prv part, mirroring the split
+  // in LLVMFuzzerTestOneInput.
+  std::string nul(1, '\0');
+  return {
+      "DEFAULT_OPTIONS\n"
+      "APPLICATION fuzz-app\n"
+      "EVENT_TYPE\n"
+      "0 70000001 Caller at level 1\n"
+      "VALUES\n"
+      "1 compute (solver.c, 10)\n" +
+          nul +
+          "#Paraver (01/01/2024 at 00:00):1000_ns:1:1:1(2:1)\n"
+          "1:1:1:1:1:0:100:1\n"
+          "2:1:1:1:1:100:70000001:1\n"
+          "1:2:1:1:2:0:100:1\n",
+      nul + "#Paraver bad header\n",
+      "VALUES\n1 f (g.c, 1)\n" + nul + "1:1:1:1:1:0:100:1\n",
+      "",
+  };
+}

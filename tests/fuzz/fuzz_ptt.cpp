@@ -1,0 +1,51 @@
+// Fuzz target for the .ptt trace reader: arbitrary bytes through both the
+// strict and the lenient parse paths. Any perftrack::Error is a correct
+// rejection; anything else (sanitizer abort, std:: exception escaping the
+// parser, crash) is a finding.
+
+#include <sstream>
+#include <string>
+
+#include "common/diagnostics.hpp"
+#include "common/error.hpp"
+#include "fuzz_driver.hpp"
+#include "trace/trace_io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::string text(reinterpret_cast<const char*>(data), size);
+  {
+    std::istringstream in(text);
+    try {
+      perftrack::trace::read_trace(in);
+    } catch (const perftrack::Error&) {
+    }
+  }
+  {
+    std::istringstream in(text);
+    perftrack::Diagnostics diags = perftrack::Diagnostics::lenient();
+    try {
+      perftrack::trace::read_trace(in, diags);
+    } catch (const perftrack::Error&) {
+    }
+  }
+  return 0;
+}
+
+std::vector<std::string> fuzz_seed_corpus() {
+  return {
+      "#PTT 1\n"
+      "app fuzz-app\n"
+      "label fuzz\n"
+      "tasks 2\n"
+      "attr platform Reference\n"
+      "callstack 1 10 solver.c compute kernel\n"
+      "burst 0 0.0 0.1 1 1000 500 10 5 1\n"
+      "burst 1 0.0 0.1 1 1000 500 10 5 1\n"
+      "burst 0 0.2 0.1 1 1200 600 12 6 1\n",
+      "#PTT 1\napp a\ntasks 1\nburst 0 zero 0.1 0 1 1 0 0 0\n",
+      "#PTT 1\n# comment\n\ntasks 1\nburst 0 0 0.1 9 1 1 0 0 0\n",
+      "not a trace at all\n",
+      "",
+  };
+}

@@ -1,0 +1,138 @@
+// Standalone fuzz driver: a deterministic corpus mutator for toolchains
+// without libFuzzer (-fsanitize=fuzzer is clang-only; this repo's CI image
+// ships GCC). The goal is not coverage-guided search, just a large volume
+// of structurally damaged inputs run under ASan/UBSan.
+//
+//   fuzz_ptt [-n ITERATIONS] [-s SEED] [extra seed files...]
+//
+// Exits non-zero only if the sanitizer aborts or the target throws a
+// non-perftrack exception (targets catch perftrack::Error themselves).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz_driver.hpp"
+
+namespace {
+
+// xorshift64*: tiny, deterministic, seedable.
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) : state(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+  std::uint64_t next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dULL;
+  }
+  std::size_t below(std::size_t bound) {
+    return bound == 0 ? 0 : static_cast<std::size_t>(next() % bound);
+  }
+};
+
+using Input = std::vector<std::uint8_t>;
+
+void mutate(Input& data, Rng& rng, const std::vector<Input>& corpus) {
+  int rounds = 1 + static_cast<int>(rng.below(4));
+  for (int r = 0; r < rounds; ++r) {
+    switch (rng.below(7)) {
+      case 0:  // flip a byte
+        if (!data.empty()) data[rng.below(data.size())] ^=
+            static_cast<std::uint8_t>(1 + rng.below(255));
+        break;
+      case 1:  // insert a random byte
+        data.insert(data.begin() + static_cast<std::ptrdiff_t>(
+                        rng.below(data.size() + 1)),
+                    static_cast<std::uint8_t>(rng.below(256)));
+        break;
+      case 2:  // delete a byte
+        if (!data.empty())
+          data.erase(data.begin() +
+                     static_cast<std::ptrdiff_t>(rng.below(data.size())));
+        break;
+      case 3:  // truncate
+        if (!data.empty()) data.resize(rng.below(data.size()));
+        break;
+      case 4: {  // duplicate a block
+        if (data.empty()) break;
+        std::size_t begin = rng.below(data.size());
+        std::size_t len = 1 + rng.below(data.size() - begin);
+        Input block(data.begin() + static_cast<std::ptrdiff_t>(begin),
+                    data.begin() + static_cast<std::ptrdiff_t>(begin + len));
+        std::size_t at = rng.below(data.size() + 1);
+        data.insert(data.begin() + static_cast<std::ptrdiff_t>(at),
+                    block.begin(), block.end());
+        break;
+      }
+      case 5: {  // splice with another corpus entry
+        const Input& other = corpus[rng.below(corpus.size())];
+        if (other.empty()) break;
+        std::size_t cut = rng.below(data.size() + 1);
+        std::size_t from = rng.below(other.size());
+        data.resize(cut);
+        data.insert(data.end(),
+                    other.begin() + static_cast<std::ptrdiff_t>(from),
+                    other.end());
+        break;
+      }
+      case 6:  // overwrite with a digit/space/newline (keeps inputs texty)
+        if (!data.empty())
+          data[rng.below(data.size())] =
+              static_cast<std::uint8_t>("0123456789 \n.-%"[rng.below(15)]);
+        break;
+    }
+  }
+  if (data.size() > 1 << 16) data.resize(1 << 16);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t iterations = 10000;
+  std::uint64_t seed = 1;
+  std::vector<Input> corpus;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-n") == 0 && i + 1 < argc) {
+      iterations = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "-s") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::ifstream in(argv[i], std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "cannot read seed file %s\n", argv[i]);
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      std::string text = buffer.str();
+      corpus.emplace_back(text.begin(), text.end());
+    }
+  }
+  for (const std::string& text : fuzz_seed_corpus())
+    corpus.emplace_back(text.begin(), text.end());
+  if (corpus.empty()) corpus.emplace_back();
+
+  // Every seed runs unmutated first: crashes on the corpus itself must fail.
+  for (const Input& input : corpus)
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+
+  Rng rng(seed);
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    Input data = corpus[rng.below(corpus.size())];
+    mutate(data, rng, corpus);
+    LLVMFuzzerTestOneInput(data.data(), data.size());
+    // Keep a rolling pool of mutants so damage compounds across iterations.
+    if (rng.below(8) == 0) {
+      if (corpus.size() < 64) corpus.push_back(std::move(data));
+      else corpus[rng.below(corpus.size())] = std::move(data);
+    }
+  }
+  std::printf("ran %llu iterations over %zu corpus entries\n",
+              static_cast<unsigned long long>(iterations), corpus.size());
+  return 0;
+}

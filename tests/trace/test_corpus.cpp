@@ -1,0 +1,94 @@
+// Golden-diagnostics tests over the corrupt-trace corpus: every corpus file
+// must fail fast in strict mode and load with the expected structured
+// diagnostics in lenient mode.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/diagnostics.hpp"
+#include "common/error.hpp"
+#include "trace/trace_io.hpp"
+
+namespace perftrack::trace {
+namespace {
+
+std::string corpus_path(const std::string& name) {
+  return std::string(PT_TEST_DATA_DIR) + "/trace/corpus/" + name;
+}
+
+Trace load_lenient(const std::string& name, Diagnostics& diags) {
+  diags = Diagnostics::lenient();
+  return load_trace(corpus_path(name), diags);
+}
+
+void expect_strict_rejects(const std::string& name) {
+  EXPECT_THROW(load_trace(corpus_path(name)), ParseError) << name;
+}
+
+TEST(TraceCorpusTest, StrictModeRejectsEveryCorpusFile) {
+  expect_strict_rejects("truncated.ptt");
+  expect_strict_rejects("bad_magic.ptt");
+  expect_strict_rejects("garbage_line.ptt");
+  expect_strict_rejects("dangling_callstack.ptt");
+  expect_strict_rejects("duplicate_ids.ptt");
+}
+
+TEST(TraceCorpusTest, TruncatedBurstIsSkipped) {
+  Diagnostics diags;
+  Trace t = load_lenient("truncated.ptt", diags);
+  EXPECT_EQ(t.burst_count(), 4u);
+  ASSERT_EQ(diags.error_count(), 1u);
+  const Diagnostic& d = diags.entries().front();
+  EXPECT_EQ(d.code, "bad-burst");
+  EXPECT_EQ(d.line, 10);
+  EXPECT_NE(d.file.find("truncated.ptt"), std::string::npos);
+}
+
+TEST(TraceCorpusTest, BadMagicIsReportedButBodyStillLoads) {
+  Diagnostics diags;
+  Trace t = load_lenient("bad_magic.ptt", diags);
+  EXPECT_EQ(t.application(), "corpus-app");
+  EXPECT_EQ(t.burst_count(), 4u);
+  ASSERT_EQ(diags.error_count(), 1u);
+  EXPECT_EQ(diags.entries().front().code, "bad-magic");
+  EXPECT_EQ(diags.entries().front().line, 1);
+}
+
+TEST(TraceCorpusTest, GarbageLineIsSkipped) {
+  Diagnostics diags;
+  Trace t = load_lenient("garbage_line.ptt", diags);
+  EXPECT_EQ(t.burst_count(), 4u);
+  ASSERT_EQ(diags.error_count(), 1u);
+  EXPECT_EQ(diags.entries().front().code, "unknown-record");
+  EXPECT_EQ(diags.entries().front().line, 7);
+}
+
+TEST(TraceCorpusTest, DanglingCallstackDropsOnlyThatBurst) {
+  Diagnostics diags;
+  Trace t = load_lenient("dangling_callstack.ptt", diags);
+  EXPECT_EQ(t.burst_count(), 3u);
+  ASSERT_EQ(diags.error_count(), 1u);
+  EXPECT_EQ(diags.entries().front().code, "dangling-callstack");
+  EXPECT_EQ(diags.entries().front().line, 8);
+}
+
+TEST(TraceCorpusTest, DuplicateIdsKeepFirstAndWarn) {
+  Diagnostics diags;
+  Trace t = load_lenient("duplicate_ids.ptt", diags);
+  EXPECT_TRUE(diags.ok());
+  EXPECT_EQ(diags.warning_count(), 3u);
+  EXPECT_EQ(t.application(), "corpus-app");
+  EXPECT_EQ(t.attributes().at("platform"), "Reference");
+  EXPECT_EQ(t.burst_count(), 4u);
+  EXPECT_EQ(t.callstacks().resolve(t.bursts()[0].callstack).file, "solver.c");
+
+  std::vector<std::string> codes;
+  for (const Diagnostic& d : diags.entries()) codes.push_back(d.code);
+  EXPECT_EQ(codes, (std::vector<std::string>{
+                       "duplicate-record", "duplicate-attr",
+                       "duplicate-callstack"}));
+}
+
+}  // namespace
+}  // namespace perftrack::trace

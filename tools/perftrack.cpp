@@ -17,9 +17,17 @@
 //   --matrices            print the evaluator correlation matrices
 //   --scatter             print the tracked frames as ASCII scatter plots
 //   --no-spmd / --no-callstack / --no-sequence   disable a heuristic
+//   --strict              abort on the first malformed record (default)
+//   --lenient             skip/repair malformed records under an error
+//                         budget; failed experiments become sequence gaps
+//   --max-errors N        lenient-mode error budget per input file (100)
 //   --profile FILE        record pipeline telemetry, write a JSON run report
 //   --trace-events FILE   record telemetry as Chrome trace_event JSON
 //                         (open in Perfetto / chrome://tracing)
+//
+// Exit codes: 0 success, 1 internal error, 2 usage, 3 parse failure,
+// 4 I/O failure, 5 degraded success (lenient run completed, but with
+// diagnostics or gaps — see docs/ROBUSTNESS.md).
 
 #include <cstdio>
 #include <cstring>
@@ -29,6 +37,7 @@
 #include <vector>
 
 #include "cluster/scatter.hpp"
+#include "common/diagnostics.hpp"
 #include "common/error.hpp"
 #include "obs/report.hpp"
 #include "obs/telemetry.hpp"
@@ -44,6 +53,14 @@ using namespace perftrack;
 
 namespace {
 
+// Exit codes (documented above and in docs/ROBUSTNESS.md).
+constexpr int kExitOk = 0;
+constexpr int kExitInternal = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitParse = 3;
+constexpr int kExitIo = 4;
+constexpr int kExitDegraded = 5;
+
 struct Options {
   std::string command;
   std::vector<std::string> inputs;
@@ -58,6 +75,8 @@ struct Options {
   std::string trace_events_path;
   bool matrices = false;
   bool scatter = false;
+  bool lenient = false;
+  std::size_t max_errors = 100;
   tracking::TrackingParams tracking;
 };
 
@@ -70,8 +89,11 @@ int usage() {
                "         --csv FILE --html FILE --gnuplot BASE\n"
                "         --matrices --scatter --intervals N\n"
                "         --no-spmd --no-callstack --no-sequence\n"
-               "         --profile FILE --trace-events FILE\n");
-  return 2;
+               "         --strict --lenient --max-errors N\n"
+               "         --profile FILE --trace-events FILE\n"
+               "exit codes: 0 ok, 1 error, 2 usage, 3 parse, 4 io,\n"
+               "            5 degraded success (lenient, gaps/diagnostics)\n");
+  return kExitUsage;
 }
 
 bool parse(int argc, char** argv, Options& options) {
@@ -97,6 +119,10 @@ bool parse(int argc, char** argv, Options& options) {
     else if (arg == "--trace-events") options.trace_events_path = next_value();
     else if (arg == "--matrices") options.matrices = true;
     else if (arg == "--scatter") options.scatter = true;
+    else if (arg == "--strict") options.lenient = false;
+    else if (arg == "--lenient") options.lenient = true;
+    else if (arg == "--max-errors")
+      options.max_errors = static_cast<std::size_t>(std::stoul(next_value()));
     else if (arg == "--no-spmd") options.tracking.use_spmd = false;
     else if (arg == "--no-callstack") options.tracking.use_callstack = false;
     else if (arg == "--no-sequence") options.tracking.use_sequence = false;
@@ -106,17 +132,71 @@ bool parse(int argc, char** argv, Options& options) {
   return true;
 }
 
-int run_tracking(const Options& options,
-                 std::vector<std::shared_ptr<const trace::Trace>> traces) {
-  tracking::TrackingPipeline pipeline;
-  for (auto& t : traces) pipeline.add_experiment(std::move(t));
+/// Per-run ingestion state: every file's diagnostics plus gap bookkeeping,
+/// so the end of the run can print one summary and pick the exit code.
+struct IngestReport {
+  std::size_t files = 0;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t failed_files = 0;
 
+  void absorb(const Diagnostics& diags) {
+    ++files;
+    errors += diags.error_count();
+    warnings += diags.warning_count();
+    if (!diags.empty()) std::fputs(diags.to_string().c_str(), stderr);
+    if (!diags.ok())
+      std::fprintf(stderr, "perftrack: %s\n", diags.summary().c_str());
+  }
+
+  bool degraded() const { return errors > 0 || failed_files > 0; }
+};
+
+ErrorBudget budget_of(const Options& options) {
+  ErrorBudget budget;
+  budget.max_errors = options.max_errors;
+  return budget;
+}
+
+/// Load one trace honouring the strict/lenient mode. Lenient failures are
+/// reported and recorded as a pipeline gap; strict failures propagate.
+bool load_experiment(const Options& options, const std::string& path,
+                     tracking::TrackingPipeline& pipeline,
+                     IngestReport& ingest) {
+  if (!options.lenient) {
+    pipeline.add_experiment(
+        std::make_shared<const trace::Trace>(trace::load_trace(path)));
+    return true;
+  }
+  Diagnostics diags = Diagnostics::lenient(budget_of(options));
+  try {
+    auto loaded =
+        std::make_shared<const trace::Trace>(trace::load_trace(path, diags));
+    ingest.absorb(diags);
+    pipeline.add_experiment(std::move(loaded));
+    return true;
+  } catch (const Error& error) {
+    ingest.absorb(diags);
+    ++ingest.failed_files;
+    std::fprintf(stderr, "perftrack: skipping %s: %s\n", path.c_str(),
+                 error.what());
+    pipeline.add_gap(path, error.what());
+    return false;
+  }
+}
+
+int run_tracking(const Options& options,
+                 tracking::TrackingPipeline& pipeline,
+                 const IngestReport& ingest) {
   cluster::ClusteringParams clustering = sim::default_clustering();
   clustering.dbscan.eps = options.eps;
   clustering.dbscan.min_pts = options.min_pts;
   clustering.min_cluster_time_fraction = options.min_cluster_frac;
   pipeline.set_clustering(clustering);
   pipeline.set_tracking(options.tracking);
+  tracking::ResilienceParams resilience;
+  resilience.lenient = options.lenient;
+  pipeline.set_resilience(resilience);
 
   tracking::TrackingResult result = pipeline.run();
 
@@ -137,8 +217,9 @@ int run_tracking(const Options& options,
   if (options.scatter)
     std::cout << tracking::tracked_scatters(result) << "\n";
   if (!options.csv_path.empty()) {
+    errno = 0;
     std::ofstream out(options.csv_path);
-    if (!out) throw IoError("cannot write " + options.csv_path);
+    if (!out) throw io_error("cannot open for writing", options.csv_path);
     out << tracking::trends_csv(result);
     std::printf("trends written to %s\n", options.csv_path.c_str());
   }
@@ -151,39 +232,64 @@ int run_tracking(const Options& options,
     std::printf("gnuplot artefacts written to %s.{frames.dat,trends.dat,gp}\n",
                 options.gnuplot_base.c_str());
   }
-  return 0;
+
+  // Degraded-success accounting: the run completed, but inputs were lost or
+  // repaired along the way. Surface it in telemetry and the exit code.
+  PT_COUNTER("parse_errors", static_cast<double>(ingest.errors));
+  PT_COUNTER("parse_warnings", static_cast<double>(ingest.warnings));
+  if (result.degraded() || ingest.degraded()) {
+    std::fprintf(stderr,
+                 "perftrack: degraded run: %zu of %zu experiments tracked, "
+                 "%zu parse errors, %zu warnings\n",
+                 result.frames.size(), result.sequence_length(),
+                 ingest.errors, ingest.warnings);
+    return kExitDegraded;
+  }
+  return kExitOk;
 }
 
 int cmd_track(const Options& options) {
   if (options.inputs.size() < 2) {
     std::fprintf(stderr, "track needs at least two trace files\n");
-    return 2;
+    return kExitUsage;
   }
-  std::vector<std::shared_ptr<const trace::Trace>> traces;
+  tracking::TrackingPipeline pipeline;
+  IngestReport ingest;
   for (const std::string& path : options.inputs)
-    traces.push_back(std::make_shared<const trace::Trace>(
-        trace::load_trace(path)));
-  return run_tracking(options, std::move(traces));
+    load_experiment(options, path, pipeline, ingest);
+  return run_tracking(options, pipeline, ingest);
 }
 
 int cmd_evolve(const Options& options) {
   if (options.inputs.size() != 1) {
     std::fprintf(stderr, "evolve needs exactly one trace file\n");
-    return 2;
+    return kExitUsage;
   }
-  trace::Trace run = trace::load_trace(options.inputs[0]);
+  IngestReport ingest;
+  Diagnostics diags = options.lenient
+                          ? Diagnostics::lenient(budget_of(options))
+                          : Diagnostics::strict();
+  trace::Trace run = trace::load_trace(options.inputs[0], diags);
+  if (options.lenient) ingest.absorb(diags);
   auto slices = trace::split_into_intervals(run, options.intervals);
   std::printf("split %s into %zu intervals\n", run.label().c_str(),
               slices.size());
-  return run_tracking(options, std::move(slices));
+  tracking::TrackingPipeline pipeline;
+  for (auto& slice : slices) pipeline.add_experiment(std::move(slice));
+  return run_tracking(options, pipeline, ingest);
 }
 
 int cmd_inspect(const Options& options) {
   if (options.inputs.size() != 1) {
     std::fprintf(stderr, "inspect needs exactly one trace file\n");
-    return 2;
+    return kExitUsage;
   }
-  trace::Trace t = trace::load_trace(options.inputs[0]);
+  IngestReport ingest;
+  Diagnostics diags = options.lenient
+                          ? Diagnostics::lenient(budget_of(options))
+                          : Diagnostics::strict();
+  trace::Trace t = trace::load_trace(options.inputs[0], diags);
+  if (options.lenient) ingest.absorb(diags);
   t.validate();
   std::printf("application %s, label %s, %u tasks, %zu bursts, %.3fs "
               "compute time\n",
@@ -200,7 +306,7 @@ int cmd_inspect(const Options& options) {
   scatter.y_axis = 0;
   scatter.log_y = true;
   std::cout << cluster::ascii_scatter(frame, scatter);
-  return 0;
+  return ingest.degraded() ? kExitDegraded : kExitOk;
 }
 
 }  // namespace
@@ -232,16 +338,25 @@ int main(int argc, char** argv) {
         !options.profile_path.empty() || !options.trace_events_path.empty();
     if (profiling) obs::set_enabled(true);
 
-    int rc = 2;
+    int rc = kExitUsage;
     if (options.command == "track") rc = cmd_track(options);
     else if (options.command == "evolve") rc = cmd_evolve(options);
     else if (options.command == "inspect") rc = cmd_inspect(options);
     else return usage();
 
-    if (profiling && rc == 0) emit_telemetry(options, argc, argv);
+    // A degraded success still produced a full result: emit its telemetry
+    // so the run report records the gaps and diagnostics.
+    if (profiling && (rc == kExitOk || rc == kExitDegraded))
+      emit_telemetry(options, argc, argv);
     return rc;
+  } catch (const ParseError& error) {
+    std::fprintf(stderr, "perftrack: parse error: %s\n", error.what());
+    return kExitParse;
+  } catch (const IoError& error) {
+    std::fprintf(stderr, "perftrack: io error: %s\n", error.what());
+    return kExitIo;
   } catch (const Error& error) {
     std::fprintf(stderr, "perftrack: %s\n", error.what());
-    return 1;
+    return kExitInternal;
   }
 }
