@@ -1,8 +1,18 @@
-// Microbenchmark — DBSCAN and frame building at study-sized point counts.
+// Microbenchmark — DBSCAN and frame building at study-sized point counts,
+// plus the kd-tree-vs-grid engine comparison behind docs/PERFORMANCE.md.
+//
+// Run with no arguments to get the engine comparison over the ten case
+// studies (written to BENCH_perf_opt.json) followed by the google-benchmark
+// microbenchmarks; benchmark flags (--benchmark_filter=...) pass through.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
 #include "cluster/frame.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/apps/apps.hpp"
 #include "sim/studies.hpp"
 
@@ -24,13 +34,20 @@ std::shared_ptr<const trace::Trace> wrf_trace(std::uint32_t tasks) {
   return trace;
 }
 
-void BM_Dbscan(benchmark::State& state) {
-  auto trace = wrf_trace(static_cast<std::uint32_t>(state.range(0)));
-  cluster::ClusteringParams params = sim::default_clustering();
+geom::PointSet wrf_points(std::uint32_t tasks,
+                          const cluster::ClusteringParams& params) {
+  auto trace = wrf_trace(tasks);
   cluster::Projection proj = cluster::project(*trace, params.projection);
   cluster::Transform transform =
       cluster::Transform::fit(proj.points, params.log_scale);
-  geom::PointSet normalized = transform.apply(proj.points);
+  return transform.apply(proj.points);
+}
+
+void BM_DbscanKdTree(benchmark::State& state) {
+  cluster::ClusteringParams params = sim::default_clustering();
+  params.dbscan.index = cluster::DbscanIndex::kKdTree;
+  geom::PointSet normalized =
+      wrf_points(static_cast<std::uint32_t>(state.range(0)), params);
   for (auto _ : state) {
     auto result = cluster::dbscan(normalized, params.dbscan);
     benchmark::DoNotOptimize(result.cluster_count);
@@ -38,7 +55,29 @@ void BM_Dbscan(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(normalized.size()));
 }
-BENCHMARK(BM_Dbscan)->Arg(32)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DbscanKdTree)
+    ->Arg(32)
+    ->Arg(128)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DbscanGrid(benchmark::State& state) {
+  cluster::ClusteringParams params = sim::default_clustering();
+  params.dbscan.index = cluster::DbscanIndex::kGrid;
+  geom::PointSet normalized =
+      wrf_points(static_cast<std::uint32_t>(state.range(0)), params);
+  for (auto _ : state) {
+    auto result = cluster::dbscan(normalized, params.dbscan);
+    benchmark::DoNotOptimize(result.cluster_count);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(normalized.size()));
+}
+BENCHMARK(BM_DbscanGrid)
+    ->Arg(32)
+    ->Arg(128)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_BuildFrame(benchmark::State& state) {
   auto trace = wrf_trace(static_cast<std::uint32_t>(state.range(0)));
@@ -64,6 +103,72 @@ void BM_SimulateWrf(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateWrf)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
 
+/// One dbscan pass over every frame of every study with the given engine;
+/// returns the wall time in milliseconds. The labels of both engines are
+/// compared as a safety net — a mismatch poisons the comparison.
+double cluster_all_studies(cluster::DbscanIndex index,
+                           std::vector<cluster::DbscanResult>* results) {
+  cluster::ClusteringParams params = sim::default_clustering();
+  params.dbscan.index = index;
+  const auto start = std::chrono::steady_clock::now();
+  for (const sim::Study& study : sim::all_studies()) {
+    for (const auto& trace : study.traces) {
+      cluster::Projection proj =
+          cluster::project(*trace, params.projection);
+      cluster::Transform transform =
+          cluster::Transform::fit(proj.points, params.log_scale);
+      geom::PointSet normalized = transform.apply(proj.points);
+      results->push_back(cluster::dbscan(normalized, params.dbscan));
+    }
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+/// Engine comparison over the full study corpus, recorded as the
+/// BENCH_perf_opt.json trajectory point (spans + the speedup gauges).
+void run_engine_comparison() {
+  bench::enable_telemetry();
+  bench::print_title("perf_opt",
+                     "DBSCAN spatial index: kd-tree vs uniform grid");
+  bench::print_paper(
+      "not in the paper — engineering comparison of the two dbscan "
+      "engines over the ten case studies (identical labels required)");
+
+  std::vector<cluster::DbscanResult> kd, grid;
+  double kd_ms, grid_ms;
+  {
+    PT_SPAN("dbscan_kdtree_total");
+    kd_ms = cluster_all_studies(cluster::DbscanIndex::kKdTree, &kd);
+  }
+  {
+    PT_SPAN("dbscan_grid_total");
+    grid_ms = cluster_all_studies(cluster::DbscanIndex::kGrid, &grid);
+  }
+
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < kd.size(); ++i)
+    if (kd[i].labels != grid[i].labels) ++mismatches;
+
+  std::printf("frames clustered : %zu\n", kd.size());
+  std::printf("kd-tree engine   : %10.1f ms\n", kd_ms);
+  std::printf("grid engine      : %10.1f ms\n", grid_ms);
+  std::printf("speedup          : %10.1fx\n", kd_ms / grid_ms);
+  std::printf("label mismatches : %zu (must be 0)\n\n", mismatches);
+
+  PT_GAUGE("dbscan_kdtree_ms", kd_ms);
+  PT_GAUGE("dbscan_grid_ms", grid_ms);
+  PT_GAUGE("dbscan_grid_speedup", kd_ms / grid_ms);
+  PT_COUNTER("dbscan_label_mismatches", static_cast<double>(mismatches));
+  bench::write_telemetry("BENCH_perf_opt.json", "perf_opt");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  run_engine_comparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

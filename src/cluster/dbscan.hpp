@@ -4,8 +4,16 @@
 // The object-recognition step of the pipeline (paper §2, following González
 // et al. [7, 9]): CPU bursts that are close in the normalised metric space
 // form dense clouds — one behavioural trend each — while sparse points are
-// noise. Classic DBSCAN with kd-tree neighbourhood queries; deterministic:
-// seeds are visited in index order, so labels are reproducible.
+// noise. Deterministic: seeds are visited in index order, so labels are
+// reproducible.
+//
+// Neighbourhood engine: a uniform grid (cell edge = eps) computes every
+// point's eps-neighbourhood exactly once by enumerating each point pair a
+// single time with squared-distance pruning, then expands clusters over the
+// cached core flags — the standard acceleration for dense low-dimensional
+// DBSCAN. High-dimensional or degenerate inputs fall back to the original
+// per-point kd-tree radius queries; both engines produce identical labels
+// for any input (covered by tests/cluster/test_dbscan.cpp).
 
 #include <cstdint>
 #include <vector>
@@ -16,12 +24,20 @@ namespace perftrack::cluster {
 
 inline constexpr std::int32_t kNoise = -1;
 
+/// Which spatial index answers the eps-neighbourhood queries. kAuto picks
+/// the grid for low-dimensional data whose grid stays small and the
+/// kd-tree otherwise; the explicit values pin one engine (benchmarks and
+/// equivalence tests).
+enum class DbscanIndex { kAuto, kKdTree, kGrid };
+
 struct DbscanParams {
   /// Neighbourhood radius in the normalised [0,1]^d space.
   double eps = 0.04;
   /// Minimum neighbourhood size (including the point itself) for a core
   /// point.
   std::size_t min_pts = 5;
+  /// Neighbourhood index engine (labels are engine-independent).
+  DbscanIndex index = DbscanIndex::kAuto;
 };
 
 struct DbscanResult {

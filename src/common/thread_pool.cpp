@@ -1,0 +1,73 @@
+#include "common/thread_pool.hpp"
+
+#include <exception>
+
+namespace perftrack {
+
+namespace {
+
+/// Pool the current thread works for, if any (the reentrancy guard).
+thread_local const ThreadPool* t_worker_of = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads <= 1) return;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::run_inline() const {
+  return workers_.empty() || t_worker_of == this;
+}
+
+void ThreadPool::worker_loop() {
+  t_worker_of = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain before stopping so the destructor never abandons a task
+      // (submitted work always completes).
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task: exceptions land in the future
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  if (run_inline()) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  std::vector<std::future<void>> pending;
+  pending.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i)
+    pending.push_back(submit([&body, i] { body(i); }));
+  // Wait for everything first, then rethrow the lowest-index failure, so
+  // no task can still be touching caller state when we unwind.
+  for (std::future<void>& f : pending) f.wait();
+  for (std::future<void>& f : pending) f.get();
+}
+
+std::size_t ThreadPool::default_thread_count() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+}  // namespace perftrack

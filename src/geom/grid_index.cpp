@@ -1,0 +1,254 @@
+#include "geom/grid_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace perftrack::geom {
+
+namespace {
+
+/// Per-dim resolution of a grid spanning [lo, hi] with the given cell edge.
+std::size_t resolution(double lo, double hi, double cell) {
+  double extent = hi - lo;
+  if (!(extent > 0.0)) return 1;
+  return static_cast<std::size_t>(std::floor(extent / cell)) + 1;
+}
+
+}  // namespace
+
+std::size_t GridIndex::plan_cells(const PointSet& points, double cell_size,
+                                  std::size_t limit) {
+  if (!(cell_size > 0.0) || points.dims() == 0) return 0;
+  if (points.empty()) return 1;
+  const std::vector<double> lo = points.min_corner();
+  const std::vector<double> hi = points.max_corner();
+  std::size_t cells = 1;
+  for (std::size_t d = 0; d < points.dims(); ++d) {
+    const std::size_t res = resolution(lo[d], hi[d], cell_size);
+    if (res != 0 && cells > limit / res) return 0;  // would overflow limit
+    cells *= res;
+  }
+  return cells <= limit ? cells : 0;
+}
+
+GridIndex::GridIndex(const PointSet& points, double cell_size)
+    : points_(points), cell_size_(cell_size) {
+  PT_REQUIRE(cell_size > 0.0, "grid cell size must be positive");
+  PT_REQUIRE(points.size() <= 0xffffffffull,
+             "grid index limited to 2^32 points");
+  const std::size_t dims = points.dims();
+  const std::size_t n = points.size();
+
+  lo_ = n == 0 ? std::vector<double>(dims, 0.0) : points.min_corner();
+  const std::vector<double> hi =
+      n == 0 ? std::vector<double>(dims, 0.0) : points.max_corner();
+  res_.resize(dims);
+  stride_.resize(dims);
+  cells_ = 1;
+  for (std::size_t d = 0; d < dims; ++d) {
+    res_[d] = resolution(lo_[d], hi[d], cell_size);
+    stride_[d] = cells_;
+    cells_ *= res_[d];
+  }
+  if (dims == 0) cells_ = 1;
+
+  // CSR buckets in two counting passes.
+  cell_of_point_.resize(n);
+  cell_start_.assign(cells_ + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto cell = static_cast<std::uint32_t>(cell_of(points[i]));
+    cell_of_point_[i] = cell;
+    ++cell_start_[cell + 1];
+  }
+  for (std::size_t c = 0; c < cells_; ++c) cell_start_[c + 1] += cell_start_[c];
+  point_of_.resize(n);
+  std::vector<std::uint32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  // Filling in point order keeps every bucket ascending, which is what
+  // makes radius results and pair enumeration deterministic.
+  for (std::size_t i = 0; i < n; ++i)
+    point_of_[cursor[cell_of_point_[i]]++] = static_cast<std::uint32_t>(i);
+}
+
+std::size_t GridIndex::cell_of(std::span<const double> p) const {
+  std::size_t cell = 0;
+  for (std::size_t d = 0; d < p.size(); ++d) {
+    double offset = std::floor((p[d] - lo_[d]) / cell_size_);
+    std::size_t c = offset <= 0.0 ? 0 : static_cast<std::size_t>(offset);
+    if (c >= res_[d]) c = res_[d] - 1;
+    cell += c * stride_[d];
+  }
+  return cell;
+}
+
+std::vector<std::size_t> GridIndex::radius_query(std::span<const double> query,
+                                                 double radius) const {
+  std::vector<std::size_t> out;
+  radius_query(query, radius, out);
+  return out;
+}
+
+void GridIndex::radius_query(std::span<const double> query, double radius,
+                             std::vector<std::size_t>& out) const {
+  PT_REQUIRE(query.size() == points_.dims(), "query dimension mismatch");
+  PT_REQUIRE(radius >= 0.0, "radius must be non-negative");
+  out.clear();
+  if (cell_of_point_.empty()) return;
+  const std::size_t dims = points_.dims();
+  const double radius_sq = radius * radius;
+
+  // Cell box covering the query ball, clamped to the grid.
+  std::vector<std::size_t> c_lo(dims), c_hi(dims), cursor(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    double lo_off = std::floor((query[d] - radius - lo_[d]) / cell_size_);
+    double hi_off = std::floor((query[d] + radius - lo_[d]) / cell_size_);
+    if (hi_off < 0.0) hi_off = 0.0;
+    c_lo[d] = lo_off <= 0.0 ? 0 : static_cast<std::size_t>(lo_off);
+    c_hi[d] = static_cast<std::size_t>(hi_off);
+    if (c_lo[d] >= res_[d]) c_lo[d] = res_[d] - 1;
+    if (c_hi[d] >= res_[d]) c_hi[d] = res_[d] - 1;
+    cursor[d] = c_lo[d];
+  }
+
+  // Odometer walk over the cell box.
+  for (;;) {
+    std::size_t cell = 0;
+    for (std::size_t d = 0; d < dims; ++d) cell += cursor[d] * stride_[d];
+    for (std::uint32_t s = cell_start_[cell]; s < cell_start_[cell + 1]; ++s) {
+      const std::uint32_t idx = point_of_[s];
+      if (squared_distance(query, points_[idx]) <= radius_sq)
+        out.push_back(idx);
+    }
+    std::size_t d = 0;
+    while (d < dims && cursor[d] == c_hi[d]) {
+      cursor[d] = c_lo[d];
+      ++d;
+    }
+    if (d == dims) break;
+    ++cursor[d];
+  }
+  std::sort(out.begin(), out.end());
+}
+
+void GridIndex::for_each_cell_in_reach(
+    std::size_t cell, double radius,
+    const std::function<void(std::size_t)>& visit) const {
+  PT_REQUIRE(radius >= 0.0, "radius must be non-negative");
+  const std::size_t dims = points_.dims();
+  const auto reach =
+      static_cast<std::ptrdiff_t>(std::ceil(radius / cell_size_));
+  if (dims == 0 || reach == 0) return;
+
+  // Decode the cell's coordinates, then walk the clamped box around it.
+  // Dim 0 has stride 1 and advances fastest, so ids come out ascending.
+  std::vector<std::size_t> coords(dims), c_lo(dims), c_hi(dims),
+      cursor(dims);
+  std::size_t rest = cell;
+  for (std::size_t d = dims; d-- > 0;) {
+    coords[d] = rest / stride_[d];
+    rest %= stride_[d];
+  }
+  for (std::size_t d = 0; d < dims; ++d) {
+    const auto c = static_cast<std::ptrdiff_t>(coords[d]);
+    c_lo[d] = static_cast<std::size_t>(std::max<std::ptrdiff_t>(0, c - reach));
+    c_hi[d] = std::min(res_[d] - 1, coords[d] + static_cast<std::size_t>(reach));
+    cursor[d] = c_lo[d];
+  }
+  for (;;) {
+    std::size_t other = 0;
+    for (std::size_t d = 0; d < dims; ++d) other += cursor[d] * stride_[d];
+    if (other != cell && cell_start_[other] != cell_start_[other + 1])
+      visit(other);
+    std::size_t d = 0;
+    while (d < dims && cursor[d] == c_hi[d]) {
+      cursor[d] = c_lo[d];
+      ++d;
+    }
+    if (d == dims) break;
+    ++cursor[d];
+  }
+}
+
+void GridIndex::for_each_pair_within(
+    double radius,
+    const std::function<void(std::size_t, std::size_t)>& visit) const {
+  PT_REQUIRE(radius >= 0.0, "radius must be non-negative");
+  if (cell_of_point_.empty()) return;
+  const std::size_t dims = points_.dims();
+  const double radius_sq = radius * radius;
+  const auto reach = static_cast<std::ptrdiff_t>(
+      std::ceil(radius / cell_size_));
+
+  // Lexicographically-forward neighbour offsets: the first non-zero
+  // component is positive, so every unordered cell pair is enumerated from
+  // exactly one side. (0, ..., 0) is excluded — intra-cell pairs are
+  // handled separately below.
+  std::vector<std::vector<std::ptrdiff_t>> forward;
+  std::vector<std::ptrdiff_t> offset(dims, -reach);
+  if (reach > 0) {
+    for (;;) {
+      std::size_t first_non_zero = dims;
+      for (std::size_t d = 0; d < dims; ++d)
+        if (offset[d] != 0) {
+          first_non_zero = d;
+          break;
+        }
+      if (first_non_zero < dims && offset[first_non_zero] > 0)
+        forward.push_back(offset);
+      std::size_t d = 0;
+      while (d < dims && offset[d] == reach) {
+        offset[d] = -reach;
+        ++d;
+      }
+      if (d == dims) break;
+      ++offset[d];
+    }
+  }
+
+  std::vector<std::size_t> coords(dims);
+  for (std::size_t cell = 0; cell < cells_; ++cell) {
+    const std::uint32_t begin = cell_start_[cell];
+    const std::uint32_t end = cell_start_[cell + 1];
+    if (begin == end) continue;
+
+    // Intra-cell pairs (buckets are ascending, so i < j holds).
+    for (std::uint32_t s = begin; s < end; ++s)
+      for (std::uint32_t t = s + 1; t < end; ++t) {
+        const std::uint32_t i = point_of_[s];
+        const std::uint32_t j = point_of_[t];
+        if (squared_distance(points_[i], points_[j]) <= radius_sq)
+          visit(i, j);
+      }
+
+    if (forward.empty()) continue;
+    std::size_t rest = cell;
+    for (std::size_t d = dims; d-- > 0;) {
+      coords[d] = rest / stride_[d];
+      rest %= stride_[d];
+    }
+    for (const auto& off : forward) {
+      std::size_t other = 0;
+      bool in_range = true;
+      for (std::size_t d = 0; d < dims; ++d) {
+        const auto c = static_cast<std::ptrdiff_t>(coords[d]) + off[d];
+        if (c < 0 || c >= static_cast<std::ptrdiff_t>(res_[d])) {
+          in_range = false;
+          break;
+        }
+        other += static_cast<std::size_t>(c) * stride_[d];
+      }
+      if (!in_range) continue;
+      for (std::uint32_t s = begin; s < end; ++s)
+        for (std::uint32_t t = cell_start_[other]; t < cell_start_[other + 1];
+             ++t) {
+          const std::uint32_t i = point_of_[s];
+          const std::uint32_t j = point_of_[t];
+          if (squared_distance(points_[i], points_[j]) <= radius_sq)
+            visit(std::min(i, j), std::max(i, j));
+        }
+    }
+  }
+}
+
+}  // namespace perftrack::geom

@@ -132,8 +132,12 @@ std::string trace_events_json() {
       json.key("name").value(event.name);
       json.key("cat").value("perftrack");
       switch (event.kind) {
-        case TimelineEvent::Kind::Begin: json.key("ph").value("B"); break;
-        case TimelineEvent::Kind::End: json.key("ph").value("E"); break;
+        // Context markers render as ordinary nesting so a worker's track
+        // shows the adopted pipeline stage around its tasks.
+        case TimelineEvent::Kind::Begin:
+        case TimelineEvent::Kind::CtxBegin: json.key("ph").value("B"); break;
+        case TimelineEvent::Kind::End:
+        case TimelineEvent::Kind::CtxEnd: json.key("ph").value("E"); break;
         case TimelineEvent::Kind::Counter:
         case TimelineEvent::Kind::Gauge: json.key("ph").value("C"); break;
       }

@@ -57,6 +57,10 @@ void record(TimelineEvent::Kind kind, const char* name, double value) {
   log.events.push_back(TimelineEvent{kind, name, value, ts});
 }
 
+/// Span names currently open on this thread (only tracked while recording
+/// is enabled, mirroring the events actually in the stream).
+thread_local std::vector<const char*> t_open_spans;
+
 /// Find or create the child of `node` named `name`.
 SpanNode& child_of(SpanNode& node, const char* name) {
   for (SpanNode& c : node.children)
@@ -101,13 +105,43 @@ std::uint64_t now_ns() {
 }
 
 ScopedSpan::ScopedSpan(const char* name) : name_(name), active_(enabled()) {
-  if (active_) record(TimelineEvent::Kind::Begin, name_, 0.0);
+  if (active_) {
+    record(TimelineEvent::Kind::Begin, name_, 0.0);
+    t_open_spans.push_back(name_);
+  }
 }
 
 ScopedSpan::~ScopedSpan() {
   // Recorded even if telemetry was disabled mid-span, so Begin/End stay
   // paired in the stream.
-  if (active_) record(TimelineEvent::Kind::End, name_, 0.0);
+  if (active_) {
+    record(TimelineEvent::Kind::End, name_, 0.0);
+    t_open_spans.pop_back();
+  }
+}
+
+std::vector<const char*> current_span_path() { return t_open_spans; }
+
+SpanContext::SpanContext(const std::vector<const char*>& path) {
+  if (!enabled()) return;
+  // Skip whatever prefix this thread already has open: adopting a path on
+  // the thread that captured it (inline execution) re-records nothing.
+  std::size_t start = 0;
+  while (start < path.size() && start < t_open_spans.size() &&
+         t_open_spans[start] == path[start])
+    ++start;
+  for (std::size_t i = start; i < path.size(); ++i) {
+    record(TimelineEvent::Kind::CtxBegin, path[i], 0.0);
+    t_open_spans.push_back(path[i]);
+    adopted_.push_back(path[i]);
+  }
+}
+
+SpanContext::~SpanContext() {
+  for (std::size_t i = adopted_.size(); i-- > 0;) {
+    record(TimelineEvent::Kind::CtxEnd, adopted_[i], 0.0);
+    t_open_spans.pop_back();
+  }
 }
 
 void add_counter(const char* name, double value) {
@@ -146,6 +180,7 @@ RunReport collect() {
     struct Open {
       SpanNode* node;
       std::uint64_t begin_ns;
+      bool context;  ///< SpanContext marker: placement only, no time
     };
     std::vector<Open> stack;
     auto top = [&]() -> SpanNode& {
@@ -156,12 +191,21 @@ RunReport collect() {
         case TimelineEvent::Kind::Begin: {
           SpanNode& node = child_of(top(), event.name);
           ++node.count;
-          stack.push_back(Open{&node, event.ts_ns});
+          stack.push_back(Open{&node, event.ts_ns, false});
           break;
         }
-        case TimelineEvent::Kind::End: {
+        case TimelineEvent::Kind::CtxBegin: {
+          // An adopted parent frame: navigate into the node without
+          // counting an execution — the submitting thread measures it.
+          SpanNode& node = child_of(top(), event.name);
+          stack.push_back(Open{&node, event.ts_ns, true});
+          break;
+        }
+        case TimelineEvent::Kind::End:
+        case TimelineEvent::Kind::CtxEnd: {
           if (stack.empty()) break;  // stray End: ignore
-          stack.back().node->total_ns += event.ts_ns - stack.back().begin_ns;
+          if (!stack.back().context)
+            stack.back().node->total_ns += event.ts_ns - stack.back().begin_ns;
           stack.pop_back();
           break;
         }
@@ -176,7 +220,7 @@ RunReport collect() {
     }
     // Spans still open at snapshot time count up to "now".
     for (const Open& open : stack)
-      open.node->total_ns += now - open.begin_ns;
+      if (!open.context) open.node->total_ns += now - open.begin_ns;
   }
 
   finalize_self_times(report.root);

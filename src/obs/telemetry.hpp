@@ -57,6 +57,29 @@ private:
   bool active_;
 };
 
+/// Names of the spans currently open on this thread, outermost first.
+/// Capture this on a submitting thread and adopt it on a worker with
+/// SpanContext, so spans recorded inside pool tasks keep their place in
+/// the collected tree instead of dangling off the root.
+std::vector<const char*> current_span_path();
+
+/// RAII adoption of a span path on another thread. Records context markers
+/// that position subsequent spans and counters under `path` when the
+/// per-thread streams are folded, without adding to the path spans' counts
+/// or wall time (the submitting thread already measures those). The prefix
+/// of `path` already open on the current thread is skipped, so adopting on
+/// the submitting thread itself (a pool in inline mode) is a no-op.
+class SpanContext {
+public:
+  explicit SpanContext(const std::vector<const char*>& path);
+  ~SpanContext();
+  SpanContext(const SpanContext&) = delete;
+  SpanContext& operator=(const SpanContext&) = delete;
+
+private:
+  std::vector<const char*> adopted_;
+};
+
 /// Add `value` to counter `name` on the active span of this thread (sums
 /// across calls and threads). `name` must be a string literal.
 void add_counter(const char* name, double value = 1.0);
@@ -95,7 +118,9 @@ RunReport collect();
 
 /// Raw per-thread event streams, for the Chrome trace_event sink.
 struct TimelineEvent {
-  enum class Kind { Begin, End, Counter, Gauge };
+  /// CtxBegin/CtxEnd are SpanContext markers: they re-open a span name for
+  /// tree placement only (no execution count, no wall time).
+  enum class Kind { Begin, End, Counter, Gauge, CtxBegin, CtxEnd };
   Kind kind;
   const char* name;
   double value;

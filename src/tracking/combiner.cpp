@@ -54,7 +54,9 @@ PairTracking track_pair(const cluster::Frame& frame_a,
                         const cluster::Frame& frame_b,
                         const FrameAlignment& alignment_b,
                         const ScaleNormalization& scale,
-                        const TrackingParams& params) {
+                        const TrackingParams& params,
+                        const FrameCloud* cloud_a,
+                        const FrameCloud* cloud_b) {
   PT_SPAN("track_pair");
   const std::size_t n = frame_a.object_count();
   const std::size_t m = frame_b.object_count();
@@ -72,7 +74,11 @@ PairTracking track_pair(const cluster::Frame& frame_a,
   }
 
   // --- Run the independent evaluators. ---
-  if (params.use_displacement)
+  if (params.use_displacement && cloud_a && cloud_b)
+    out.displacement = evaluate_displacement(frame_a, *cloud_a, frame_b,
+                                             *cloud_b,
+                                             params.outlier_threshold);
+  else if (params.use_displacement)
     out.displacement = evaluate_displacement(frame_a, frame_b, scale,
                                              params.outlier_threshold);
   else

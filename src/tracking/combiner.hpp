@@ -45,6 +45,12 @@ struct TrackingParams {
   bool use_spmd = true;
   bool use_callstack = true;
   bool use_sequence = true;
+
+  /// Worker threads for the parallel stages (per-frame clustering and
+  /// alignment, per-pair tracking). 0 = hardware concurrency; 1 = serial.
+  /// The tracked result is identical for every value — only scheduling
+  /// changes (see docs/PERFORMANCE.md).
+  std::size_t threads = 0;
 };
 
 /// Everything learnt about one consecutive frame pair.
@@ -61,11 +67,16 @@ struct PairTracking {
 
 /// Track one consecutive frame pair. The FrameAlignments must have been
 /// built from these frames; the ScaleNormalization from the whole sequence.
+/// `cloud_a`/`cloud_b` optionally pass the tracker's per-frame displacement
+/// cache (FrameClouds built from these frames with `scale`); when null the
+/// displacement evaluator builds its clouds on the fly.
 PairTracking track_pair(const cluster::Frame& frame_a,
                         const FrameAlignment& alignment_a,
                         const cluster::Frame& frame_b,
                         const FrameAlignment& alignment_b,
                         const ScaleNormalization& scale,
-                        const TrackingParams& params);
+                        const TrackingParams& params,
+                        const FrameCloud* cloud_a = nullptr,
+                        const FrameCloud* cloud_b = nullptr);
 
 }  // namespace perftrack::tracking

@@ -2,46 +2,38 @@
 
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
-#include "geom/kdtree.hpp"
 #include "obs/telemetry.hpp"
 
 namespace perftrack::tracking {
 
-namespace {
-
-/// Clustered points of a frame in the common normalised space, plus the
-/// cluster id of each.
-struct ClusteredCloud {
-  geom::PointSet points;
-  std::vector<cluster::ObjectId> cluster_of;
-};
-
-ClusteredCloud clustered_cloud(const cluster::Frame& frame,
-                               const ScaleNormalization& scale) {
-  ClusteredCloud cloud;
+FrameCloud::FrameCloud(const cluster::Frame& frame,
+                       const ScaleNormalization& scale) {
+  PT_SPAN("frame_cloud");
   geom::PointSet normalized = scale.apply(frame);
-  cloud.points = geom::PointSet(normalized.dims());
+  points_ = geom::PointSet(normalized.dims());
   for (std::size_t row = 0; row < normalized.size(); ++row) {
     cluster::ObjectId id = frame.labels()[row];
     if (id == cluster::kNoise) continue;
-    cloud.points.add(normalized[row]);
-    cloud.cluster_of.push_back(id);
+    points_.add(normalized[row]);
+    cluster_of_.push_back(id);
   }
-  return cloud;
+  tree_ = std::make_unique<geom::KdTree>(points_);
 }
 
-/// Classify every point of `from` into the nearest cluster of `to`.
-CorrelationMatrix classify(const ClusteredCloud& from, std::size_t from_count,
-                           const ClusteredCloud& to, std::size_t to_count) {
-  CorrelationMatrix m(from_count, to_count);
-  if (from.points.empty() || to.points.empty()) return m;
+namespace {
 
-  geom::KdTree tree(to.points);
+/// Classify every point of `from` into the nearest cluster of `to`.
+CorrelationMatrix classify(const FrameCloud& from, std::size_t from_count,
+                           const FrameCloud& to, std::size_t to_count) {
+  CorrelationMatrix m(from_count, to_count);
+  if (from.empty() || to.empty()) return m;
+
+  const geom::KdTree& tree = to.tree();
   std::vector<std::size_t> per_cluster(from_count, 0);
-  for (std::size_t i = 0; i < from.points.size(); ++i) {
-    std::size_t nearest = tree.nearest(from.points[i]);
-    auto from_id = static_cast<std::size_t>(from.cluster_of[i]);
-    auto to_id = static_cast<std::size_t>(to.cluster_of[nearest]);
+  for (std::size_t i = 0; i < from.points().size(); ++i) {
+    std::size_t nearest = tree.nearest(from.points()[i]);
+    auto from_id = static_cast<std::size_t>(from.cluster_of(i));
+    auto to_id = static_cast<std::size_t>(to.cluster_of(nearest));
     m.add(from_id, to_id, 1.0);
     ++per_cluster[from_id];
   }
@@ -56,15 +48,14 @@ CorrelationMatrix classify(const ClusteredCloud& from, std::size_t from_count,
 }  // namespace
 
 DisplacementResult evaluate_displacement(const cluster::Frame& frame_a,
+                                         const FrameCloud& cloud_a,
                                          const cluster::Frame& frame_b,
-                                         const ScaleNormalization& scale,
+                                         const FrameCloud& cloud_b,
                                          double outlier_threshold) {
   PT_SPAN("evaluator_displacement");
   PT_FAILPOINT("evaluator_displacement");
   PT_REQUIRE(outlier_threshold >= 0.0 && outlier_threshold < 1.0,
              "outlier threshold must be in [0,1)");
-  ClusteredCloud cloud_a = clustered_cloud(frame_a, scale);
-  ClusteredCloud cloud_b = clustered_cloud(frame_b, scale);
 
   DisplacementResult out;
   out.a_to_b = classify(cloud_a, frame_a.object_count(), cloud_b,
@@ -74,16 +65,28 @@ DisplacementResult evaluate_displacement(const cluster::Frame& frame_a,
   out.a_to_b.threshold(outlier_threshold);
   out.b_to_a.threshold(outlier_threshold);
   if (obs::enabled()) {
+    // A link is an object pair connected by either direction, matching the
+    // combiner's reciprocal link-proposal rule.
     double links = 0.0;
     for (std::size_t i = 0; i < out.a_to_b.rows(); ++i)
       for (std::size_t j = 0; j < out.a_to_b.cols(); ++j)
-        if (out.a_to_b.at(i, j) > 0.0) ++links;
+        if (out.a_to_b.at(i, j) > 0.0 || out.b_to_a.at(j, i) > 0.0) ++links;
     PT_COUNTER("displacement_links", links);
     PT_COUNTER("displacement_points_classified",
-               static_cast<double>(cloud_a.points.size() +
-                                   cloud_b.points.size()));
+               static_cast<double>(cloud_a.points().size() +
+                                   cloud_b.points().size()));
   }
   return out;
+}
+
+DisplacementResult evaluate_displacement(const cluster::Frame& frame_a,
+                                         const cluster::Frame& frame_b,
+                                         const ScaleNormalization& scale,
+                                         double outlier_threshold) {
+  FrameCloud cloud_a(frame_a, scale);
+  FrameCloud cloud_b(frame_b, scale);
+  return evaluate_displacement(frame_a, cloud_a, frame_b, cloud_b,
+                               outlier_threshold);
 }
 
 }  // namespace perftrack::tracking

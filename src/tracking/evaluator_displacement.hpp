@@ -8,11 +8,37 @@
 // dominate when behaviour is stable; splits appear as one row distributing
 // over several columns.
 
+#include <memory>
+#include <vector>
+
 #include "cluster/frame.hpp"
+#include "geom/kdtree.hpp"
 #include "tracking/correlation.hpp"
 #include "tracking/scale.hpp"
 
 namespace perftrack::tracking {
+
+/// One frame's clustered points in the common scale-normalised space plus
+/// the kd-tree over them. An interior frame of a sequence is classified
+/// against by both of its adjacent pairs; caching the cloud and tree here
+/// (the tracker owns one per frame) builds them once instead of twice.
+/// Pinned in memory: the kd-tree references the point storage.
+class FrameCloud {
+public:
+  FrameCloud(const cluster::Frame& frame, const ScaleNormalization& scale);
+  FrameCloud(const FrameCloud&) = delete;
+  FrameCloud& operator=(const FrameCloud&) = delete;
+
+  const geom::PointSet& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  cluster::ObjectId cluster_of(std::size_t i) const { return cluster_of_[i]; }
+  const geom::KdTree& tree() const { return *tree_; }
+
+private:
+  geom::PointSet points_;  ///< clustered (non-noise) rows only
+  std::vector<cluster::ObjectId> cluster_of_;
+  std::unique_ptr<geom::KdTree> tree_;
+};
 
 struct DisplacementResult {
   CorrelationMatrix a_to_b;  ///< rows: A objects, cols: B objects
@@ -23,6 +49,14 @@ struct DisplacementResult {
 DisplacementResult evaluate_displacement(const cluster::Frame& frame_a,
                                          const cluster::Frame& frame_b,
                                          const ScaleNormalization& scale,
+                                         double outlier_threshold = 0.05);
+
+/// As above but over pre-built per-frame clouds (the tracker's cache); the
+/// clouds must have been built from these frames with the sequence scale.
+DisplacementResult evaluate_displacement(const cluster::Frame& frame_a,
+                                         const FrameCloud& cloud_a,
+                                         const cluster::Frame& frame_b,
+                                         const FrameCloud& cloud_b,
                                          double outlier_threshold = 0.05);
 
 }  // namespace perftrack::tracking

@@ -1,8 +1,11 @@
 #include "tracking/pipeline.hpp"
 
+#include <future>
+
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
 #include "common/log.hpp"
+#include "common/thread_pool.hpp"
 #include "obs/telemetry.hpp"
 
 namespace perftrack::tracking {
@@ -61,6 +64,22 @@ TrackingResult TrackingPipeline::run() const {
   frames.reserve(entries_.size());
   {
     PT_SPAN("cluster_experiments");
+
+    // One clustering task per experiment; outcomes land in their slot so
+    // the frame sequence (and hence every downstream artefact) is
+    // identical for any thread count. Declared before the pool: the pool's
+    // destructor drains every submitted task, so no task can outlive them
+    // even when an error unwinds this scope mid-submission.
+    struct Outcome {
+      cluster::Frame frame;
+      std::string error;            ///< non-empty = clustering failed
+      std::exception_ptr rethrow;   ///< original exception, for strict mode
+    };
+    std::vector<Outcome> outcomes(entries_.size());
+    ThreadPool pool(ThreadPool::resolve(tracking_.threads));
+    const std::vector<const char*> here = obs::current_span_path();
+    std::vector<std::future<void>> tasks;
+
     for (std::size_t slot = 0; slot < entries_.size(); ++slot) {
       const Entry& entry = entries_[slot];
       if (entry.trace == nullptr) {
@@ -68,19 +87,54 @@ TrackingResult TrackingPipeline::run() const {
           throw Error("experiment '" + entry.label +
                       "' is a gap (" + entry.reason +
                       "); enable lenient resilience to track across it");
+        continue;  // recorded as a gap in the slot-order pass below
+      }
+      // Evaluated here, serially in slot order, so an "@i" hit list keeps
+      // poisoning the i-th clustered experiment under any thread count.
+      try {
+        PT_FAILPOINT("cluster_experiment");
+      } catch (const Error& error) {
+        if (!resilience_.lenient) throw;
+        outcomes[slot].error = error.what();
+        continue;
+      }
+      Outcome& outcome = outcomes[slot];
+      tasks.push_back(pool.submit([this, &outcome, &here, &entry] {
+        obs::SpanContext ctx(here);
+        try {
+          outcome.frame = cluster::build_frame(entry.trace, clustering_);
+        } catch (const Error& error) {
+          outcome.error = error.what();
+          outcome.rethrow = std::current_exception();
+        }
+      }));
+    }
+    // Non-Error exceptions (if any) propagate from the earliest slot, as
+    // they would have in a serial loop.
+    for (std::future<void>& task : tasks) task.wait();
+    for (std::future<void>& task : tasks) task.get();
+
+    // Fold the outcomes back in slot order: frames, gaps and error
+    // precedence all match the original serial loop.
+    for (std::size_t slot = 0; slot < entries_.size(); ++slot) {
+      const Entry& entry = entries_[slot];
+      if (entry.trace == nullptr) {
         gaps.push_back({slot, entry.label, entry.reason});
         continue;
       }
-      try {
-        PT_FAILPOINT("cluster_experiment");
-        frames.push_back(cluster::build_frame(entry.trace, clustering_));
-      } catch (const Error& error) {
-        if (!resilience_.lenient) throw;
-        PT_LOG(Warn) << "experiment '" << entry.label
-                     << "' failed to cluster, tracking across the gap: "
-                     << error.what();
-        gaps.push_back({slot, entry.label, error.what()});
+      Outcome& outcome = outcomes[slot];
+      if (outcome.error.empty()) {
+        frames.push_back(std::move(outcome.frame));
+        continue;
       }
+      if (!resilience_.lenient) {
+        if (outcome.rethrow) std::rethrow_exception(outcome.rethrow);
+        throw Error(outcome.error);
+      }
+      PT_LOG(Warn) << "experiment '" << entry.label
+                   << "' failed to cluster, tracking across the gap: "
+                   << outcome.error;
+      gaps.push_back({slot, entry.label, outcome.error});
     }
   }
 

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <numeric>
+#include <optional>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "common/thread_pool.hpp"
 #include "obs/telemetry.hpp"
 #include "trace/metrics.hpp"
 
@@ -84,6 +87,9 @@ TrackingResult track_frames(std::vector<cluster::Frame> frames,
   result.frames = std::move(frames);
   const std::size_t frame_count = result.frames.size();
 
+  ThreadPool pool(ThreadPool::resolve(params.threads));
+  PT_GAUGE("threads", static_cast<double>(pool.thread_count()));
+
   {
     PT_SPAN("scale_fit");
     std::vector<bool> log_scale = params.log_scale.empty()
@@ -92,23 +98,39 @@ TrackingResult track_frames(std::vector<cluster::Frame> frames,
     result.scale = ScaleNormalization::fit(result.frames, log_scale);
   }
 
-  // Per-frame alignments, computed once.
-  std::vector<FrameAlignment> alignments;
+  // Per-frame artefacts, computed once per frame and shared by both of the
+  // frame's adjacent pairs: the sequence alignment, and (for the
+  // displacement evaluator) the normalised clustered cloud + kd-tree.
+  // Frames are independent, so this stage is one task per frame.
+  std::vector<std::optional<FrameAlignment>> alignments(frame_count);
+  std::vector<std::unique_ptr<FrameCloud>> clouds(frame_count);
   {
     PT_SPAN("frame_alignments");
-    alignments.reserve(frame_count);
-    for (const auto& f : result.frames)
-      alignments.emplace_back(f, params.alignment_scores);
+    const std::vector<const char*> here = obs::current_span_path();
+    pool.parallel_for(0, frame_count, [&](std::size_t f) {
+      obs::SpanContext ctx(here);
+      alignments[f].emplace(result.frames[f], params.alignment_scores);
+      if (params.use_displacement)
+        clouds[f] = std::make_unique<FrameCloud>(result.frames[f],
+                                                 result.scale);
+    });
   }
 
-  // Pairwise tracking.
-  result.pairs.reserve(frame_count - 1);
-  for (std::size_t p = 0; p + 1 < frame_count; ++p) {
-    result.pairs.push_back(track_pair(result.frames[p], alignments[p],
-                                      result.frames[p + 1], alignments[p + 1],
-                                      result.scale, params));
-    PT_LOG(Debug) << "pair " << p << ": "
-                  << result.pairs.back().relations.size() << " relations";
+  // Pairwise tracking: adjacent pairs are independent given the per-frame
+  // cache, one task per pair. Results land in their slot, so the sequence
+  // is identical for any thread count.
+  result.pairs.resize(frame_count - 1);
+  {
+    const std::vector<const char*> here = obs::current_span_path();
+    pool.parallel_for(0, frame_count - 1, [&](std::size_t p) {
+      obs::SpanContext ctx(here);
+      result.pairs[p] = track_pair(result.frames[p], *alignments[p],
+                                   result.frames[p + 1], *alignments[p + 1],
+                                   result.scale, params, clouds[p].get(),
+                                   clouds[p + 1].get());
+      PT_LOG(Debug) << "pair " << p << ": "
+                    << result.pairs[p].relations.size() << " relations";
+    });
   }
 
   // Chain relations into whole-sequence regions.

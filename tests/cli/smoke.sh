@@ -55,6 +55,20 @@ if command -v python3 > /dev/null; then
 json.load(open('trace_events.json'))"
 fi
 
+echo "== parallel tracking is bit-identical to serial =="
+"$TOOLS_DIR/perftrack" evolve --intervals 4 hydroc_sample.ptt \
+    --threads 1 --csv run_trends.csv > serial.out
+mv run_trends.csv serial_trends.csv
+"$TOOLS_DIR/perftrack" evolve --intervals 4 hydroc_sample.ptt \
+    --threads 4 --csv run_trends.csv > parallel.out
+mv run_trends.csv parallel_trends.csv
+diff serial.out parallel.out
+diff serial_trends.csv parallel_trends.csv
+# The run report records how many workers the tracker used.
+"$TOOLS_DIR/perftrack" evolve --intervals 4 hydroc_sample.ptt --threads 2 \
+    --profile threads_profile.json > /dev/null 2>&1
+grep -q '"threads":2' threads_profile.json
+
 echo "== ptconvert round trip through Paraver =="
 "$TOOLS_DIR/ptconvert" to-prv hydroc_sample.ptt pv_base | grep -q "wrote"
 test -s pv_base.prv

@@ -147,5 +147,80 @@ TEST_P(DbscanInvariants, CoreAndBorderConditionsHold) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DbscanInvariants,
                          ::testing::Values(1, 9, 17, 33, 65));
 
+// The grid engine must reproduce the kd-tree engine's labels bit-for-bit:
+// same cluster ids, same border assignment, same noise.
+class DbscanEngineEquivalence : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(DbscanEngineEquivalence, GridMatchesKdTreeLabels) {
+  Rng rng(GetParam());
+  geom::PointSet points(2);
+  int blobs = static_cast<int>(rng.uniform_int(1, 5));
+  for (int c = 0; c < blobs; ++c) {
+    double cx = rng.uniform(0.1, 0.9), cy = rng.uniform(0.1, 0.9);
+    int n = static_cast<int>(rng.uniform_int(5, 120));
+    double sigma = rng.uniform(0.003, 0.04);
+    for (int i = 0; i < n; ++i)
+      points.add(std::vector<double>{cx + rng.normal(0.0, sigma),
+                                     cy + rng.normal(0.0, sigma)});
+  }
+  for (int i = 0; i < 15; ++i)  // scattered noise / border candidates
+    points.add(std::vector<double>{rng.uniform(0.0, 1.0),
+                                   rng.uniform(0.0, 1.0)});
+
+  for (double eps : {0.01, 0.03, 0.08}) {
+    for (std::size_t min_pts : {std::size_t{1}, std::size_t{4},
+                                std::size_t{10}}) {
+      DbscanParams kd{.eps = eps, .min_pts = min_pts,
+                      .index = DbscanIndex::kKdTree};
+      DbscanParams grid{.eps = eps, .min_pts = min_pts,
+                        .index = DbscanIndex::kGrid};
+      DbscanResult expected = dbscan(points, kd);
+      DbscanResult actual = dbscan(points, grid);
+      EXPECT_EQ(actual.cluster_count, expected.cluster_count)
+          << "eps=" << eps << " min_pts=" << min_pts;
+      EXPECT_EQ(actual.labels, expected.labels)
+          << "eps=" << eps << " min_pts=" << min_pts;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbscanEngineEquivalence,
+                         ::testing::Values(2, 10, 18, 34, 66, 130));
+
+TEST(DbscanTest, AutoIndexFallsBackOnHighDimensions) {
+  // 5-D data takes the kd-tree path in auto mode; pinning the grid still
+  // works and agrees, it is just not the default there.
+  Rng rng(99);
+  geom::PointSet points(5);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> p(5);
+    for (auto& c : p) c = rng.uniform(0.0, 1.0);
+    points.add(p);
+  }
+  DbscanParams params{.eps = 0.4, .min_pts = 4};
+  DbscanResult auto_result = dbscan(points, params);
+  params.index = DbscanIndex::kKdTree;
+  DbscanResult kd_result = dbscan(points, params);
+  params.index = DbscanIndex::kGrid;
+  DbscanResult grid_result = dbscan(points, params);
+  EXPECT_EQ(auto_result.labels, kd_result.labels);
+  EXPECT_EQ(grid_result.labels, kd_result.labels);
+}
+
+TEST(DbscanTest, AutoIndexFallsBackOnHugeExtents) {
+  // A spread that would blow the cell budget is vetoed up front; the result
+  // still matches the pinned kd-tree engine.
+  geom::PointSet points(2);
+  points.add(std::vector<double>{0.0, 0.0});
+  points.add(std::vector<double>{1e9, 1e9});
+  for (int i = 0; i < 10; ++i)
+    points.add(std::vector<double>{0.001 * i, 0.0});
+  DbscanParams params{.eps = 0.01, .min_pts = 3};
+  DbscanResult auto_result = dbscan(points, params);
+  params.index = DbscanIndex::kKdTree;
+  EXPECT_EQ(auto_result.labels, dbscan(points, params).labels);
+}
+
 }  // namespace
 }  // namespace perftrack::cluster

@@ -1,0 +1,205 @@
+#include "geom/grid_index.hpp"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "geom/kdtree.hpp"
+
+namespace perftrack::geom {
+namespace {
+
+PointSet random_points(std::size_t n, std::size_t dims, Rng& rng) {
+  PointSet points(dims);
+  std::vector<double> coords(dims);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& c : coords) c = rng.uniform(0.0, 1.0);
+    points.add(coords);
+  }
+  return points;
+}
+
+std::vector<std::size_t> brute_radius(const PointSet& points,
+                                      std::span<const double> query,
+                                      double radius) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < points.size(); ++i)
+    if (squared_distance(query, points[i]) <= radius * radius)
+      out.push_back(i);
+  return out;
+}
+
+using Pair = std::pair<std::size_t, std::size_t>;
+
+std::set<Pair> brute_pairs(const PointSet& points, double radius) {
+  std::set<Pair> out;
+  for (std::size_t i = 0; i < points.size(); ++i)
+    for (std::size_t j = i + 1; j < points.size(); ++j)
+      if (squared_distance(points[i], points[j]) <= radius * radius)
+        out.insert({i, j});
+  return out;
+}
+
+/// Collected pairs plus the invariant checks shared by every pair test:
+/// i < j, and no pair visited twice.
+std::set<Pair> collect_pairs(const GridIndex& grid, double radius) {
+  std::set<Pair> seen;
+  grid.for_each_pair_within(radius, [&](std::size_t i, std::size_t j) {
+    EXPECT_LT(i, j);
+    EXPECT_TRUE(seen.insert({i, j}).second)
+        << "pair (" << i << ", " << j << ") visited twice";
+  });
+  return seen;
+}
+
+TEST(GridIndexTest, EmptySet) {
+  PointSet points(2);
+  GridIndex grid(points, 0.1);
+  EXPECT_EQ(grid.size(), 0u);
+  EXPECT_TRUE(grid.radius_query(std::vector<double>{0.5, 0.5}, 1.0).empty());
+  int calls = 0;
+  grid.for_each_pair_within(1.0, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(GridIndexTest, RejectsBadArguments) {
+  PointSet points(2, {0.0, 0.0});
+  EXPECT_THROW(GridIndex(points, 0.0), PreconditionError);
+  GridIndex grid(points, 0.1);
+  EXPECT_THROW(grid.radius_query(std::vector<double>{0.0}, 1.0),
+               PreconditionError);
+  EXPECT_THROW(grid.radius_query(std::vector<double>{0.0, 0.0}, -0.1),
+               PreconditionError);
+}
+
+TEST(GridIndexTest, AllDuplicatePoints) {
+  PointSet points(2);
+  for (int i = 0; i < 40; ++i) points.add(std::vector<double>{1.0, 1.0});
+  GridIndex grid(points, 0.05);
+  // Radius zero still hits every duplicate, ascending.
+  auto hits = grid.radius_query(std::vector<double>{1.0, 1.0}, 0.0);
+  ASSERT_EQ(hits.size(), 40u);
+  EXPECT_TRUE(std::is_sorted(hits.begin(), hits.end()));
+  // Every unordered pair coincides, so all C(40, 2) come out exactly once.
+  EXPECT_EQ(collect_pairs(grid, 0.0).size(), 40u * 39u / 2u);
+}
+
+TEST(GridIndexTest, CollinearPoints) {
+  PointSet points(2);
+  for (int i = 0; i < 50; ++i)
+    points.add(std::vector<double>{0.02 * i, 0.5});
+  GridIndex grid(points, 0.025);
+  KdTree tree(points);
+  for (double radius : {0.0, 0.02, 0.05, 0.3}) {
+    for (int q = 0; q < 50; q += 7) {
+      EXPECT_EQ(grid.radius_query(points[q], radius),
+                tree.radius_query(points[q], radius));
+    }
+    EXPECT_EQ(collect_pairs(grid, radius), brute_pairs(points, radius));
+  }
+}
+
+TEST(GridIndexTest, BoundaryExactlyAtRadiusIsInclusive) {
+  // Matching KdTree's contract: distance == radius is a hit, even when the
+  // candidate sits in a neighbouring cell.
+  PointSet points(2, {0.0, 0.0, 0.025, 0.0, 0.05, 0.0});
+  GridIndex grid(points, 0.025);
+  auto hits = grid.radius_query(std::vector<double>{0.0, 0.0}, 0.025);
+  EXPECT_EQ(hits, (std::vector<std::size_t>{0, 1}));
+  auto pairs = collect_pairs(grid, 0.025);
+  EXPECT_EQ(pairs, (std::set<Pair>{{0, 1}, {1, 2}}));
+}
+
+TEST(GridIndexTest, QueryOutsideTheDataBox) {
+  PointSet points(2, {0.4, 0.4, 0.6, 0.6});
+  GridIndex grid(points, 0.05);
+  EXPECT_TRUE(
+      grid.radius_query(std::vector<double>{-5.0, -5.0}, 0.5).empty());
+  EXPECT_EQ(grid.radius_query(std::vector<double>{-5.0, -5.0}, 20.0).size(),
+            2u);
+}
+
+TEST(GridIndexTest, PlanCellsVetoesDegenerateConfigurations) {
+  PointSet spread(2, {0.0, 0.0, 1e9, 1e9});
+  EXPECT_EQ(GridIndex::plan_cells(spread, 0.01, 1u << 20), 0u);
+  PointSet unit(2, {0.0, 0.0, 1.0, 1.0});
+  std::size_t cells = GridIndex::plan_cells(unit, 0.1, 1u << 20);
+  EXPECT_GT(cells, 0u);
+  EXPECT_LE(cells, std::size_t{1} << 20);
+  EXPECT_EQ(GridIndex::plan_cells(unit, 0.0, 1u << 20), 0u);
+  EXPECT_EQ(GridIndex::plan_cells(PointSet(2), 0.1, 1u << 20), 1u);
+}
+
+TEST(GridIndexTest, ReachableCellsSeeEveryNonEmptyNeighbour) {
+  // Two occupied cells far apart: within reach they see each other, beyond
+  // reach they do not, and empty cells are never visited.
+  PointSet points(1, {0.05, 0.95});
+  GridIndex grid(points, 0.1);
+  std::size_t cell_a = 0, cell_b = 0;
+  for (std::size_t c = 0; c < grid.cell_count(); ++c) {
+    for (std::uint32_t p : grid.bucket(c)) (p == 0 ? cell_a : cell_b) = c;
+  }
+  ASSERT_NE(cell_a, cell_b);
+  std::vector<std::size_t> seen;
+  grid.for_each_cell_in_reach(cell_a, 1.0,
+                              [&](std::size_t c) { seen.push_back(c); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{cell_b}));
+  seen.clear();
+  grid.for_each_cell_in_reach(cell_a, 0.1,
+                              [&](std::size_t c) { seen.push_back(c); });
+  EXPECT_TRUE(seen.empty());
+}
+
+// Property tests: grid results must exactly match brute force and the
+// kd-tree (same inclusive-boundary, ascending-order contract).
+struct GridCase {
+  std::size_t n;
+  std::size_t dims;
+  double cell;
+  std::uint64_t seed;
+};
+
+class GridIndexProperty : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(GridIndexProperty, RadiusMatchesBruteForceAndKdTree) {
+  auto [n, dims, cell, seed] = GetParam();
+  Rng rng(seed);
+  PointSet points = random_points(n, dims, rng);
+  GridIndex grid(points, cell);
+  KdTree tree(points, /*leaf_size=*/4);
+  for (double radius : {0.0, 0.01, 0.1, 0.3, 2.0}) {
+    for (int q = 0; q < 10; ++q) {
+      std::vector<double> query(dims);
+      for (auto& c : query) c = rng.uniform(-0.2, 1.2);
+      auto expected = brute_radius(points, query, radius);
+      EXPECT_EQ(grid.radius_query(query, radius), expected);
+      EXPECT_EQ(tree.radius_query(query, radius), expected);
+    }
+  }
+}
+
+TEST_P(GridIndexProperty, PairEnumerationMatchesBruteForce) {
+  auto [n, dims, cell, seed] = GetParam();
+  Rng rng(seed + 1000);
+  PointSet points = random_points(n, dims, rng);
+  GridIndex grid(points, cell);
+  for (double radius : {0.01, 0.1, 0.5}) {
+    EXPECT_EQ(collect_pairs(grid, radius), brute_pairs(points, radius));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, GridIndexProperty,
+    ::testing::Values(GridCase{1, 2, 0.1, 1}, GridCase{2, 2, 0.1, 2},
+                      GridCase{17, 2, 0.05, 3}, GridCase{100, 2, 0.025, 4},
+                      GridCase{300, 2, 0.1, 5}, GridCase{100, 3, 0.2, 6},
+                      GridCase{200, 1, 0.01, 7},
+                      // Cells far larger / smaller than the radii.
+                      GridCase{100, 2, 1.0, 8}, GridCase{60, 2, 0.004, 9}));
+
+}  // namespace
+}  // namespace perftrack::geom

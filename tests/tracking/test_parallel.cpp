@@ -1,0 +1,97 @@
+// Determinism of the parallel pipeline: any thread count must produce
+// results identical to the serial run, because outputs land in pre-sized
+// slots and every stage's work is independent per frame / per pair.
+
+#include <gtest/gtest.h>
+
+#include "sim/studies.hpp"
+#include "testing/test_traces.hpp"
+#include "tracking/pipeline.hpp"
+#include "tracking/report.hpp"
+#include "tracking/tracker.hpp"
+
+namespace perftrack::tracking {
+namespace {
+
+using perftrack::testing::MiniPhase;
+using perftrack::testing::MiniTraceSpec;
+using perftrack::testing::make_mini_trace;
+
+void expect_identical(const TrackingResult& serial,
+                      const TrackingResult& parallel,
+                      const std::string& what) {
+  EXPECT_EQ(describe_tracking(serial), describe_tracking(parallel)) << what;
+  EXPECT_EQ(serial.regions.size(), parallel.regions.size()) << what;
+  EXPECT_EQ(serial.complete_count, parallel.complete_count) << what;
+  EXPECT_DOUBLE_EQ(serial.coverage, parallel.coverage) << what;
+  EXPECT_EQ(serial.renaming, parallel.renaming) << what;
+  ASSERT_EQ(serial.pairs.size(), parallel.pairs.size()) << what;
+  for (std::size_t p = 0; p < serial.pairs.size(); ++p) {
+    EXPECT_EQ(serial.pairs[p].relations.size(),
+              parallel.pairs[p].relations.size())
+        << what << " pair " << p;
+  }
+}
+
+TEST(ParallelTrackingTest, StudiesMatchSerialForAnyThreadCount) {
+  for (const sim::Study& study :
+       {sim::study_nas_bt(), sim::study_gromacs_scaling(),
+        sim::study_hydroc(4)}) {
+    TrackingParams serial_params;
+    serial_params.threads = 1;
+    TrackingResult serial = track_frames(study.frames(), serial_params);
+    for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+      TrackingParams params;
+      params.threads = threads;
+      TrackingResult parallel = track_frames(study.frames(), params);
+      expect_identical(serial, parallel,
+                       study.name + " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+std::shared_ptr<const trace::Trace> experiment(const std::string& label,
+                                               std::uint64_t seed) {
+  MiniTraceSpec spec;
+  spec.label = label;
+  spec.seed = seed;
+  spec.phases = {MiniPhase{8e6, 1.0, {"p1", "x.c", 1}},
+                 MiniPhase{1e6, 2.0, {"p2", "x.c", 2}}};
+  return make_mini_trace(spec);
+}
+
+TrackingResult run_pipeline(std::size_t threads) {
+  TrackingPipeline pipeline;
+  for (int i = 0; i < 6; ++i)
+    pipeline.add_experiment(
+        experiment(std::string(1, static_cast<char>('A' + i)),
+                   static_cast<std::uint64_t>(i + 1)));
+  cluster::ClusteringParams clustering = pipeline.clustering();
+  clustering.dbscan.eps = 0.05;
+  clustering.dbscan.min_pts = 3;
+  pipeline.set_clustering(clustering);
+  TrackingParams params;
+  params.threads = threads;
+  pipeline.set_tracking(params);
+  return pipeline.run();
+}
+
+TEST(ParallelTrackingTest, PipelineClusteringMatchesSerial) {
+  TrackingResult serial = run_pipeline(1);
+  TrackingResult parallel = run_pipeline(4);
+  ASSERT_EQ(serial.frames.size(), parallel.frames.size());
+  for (std::size_t f = 0; f < serial.frames.size(); ++f) {
+    EXPECT_EQ(serial.frames[f].label(), parallel.frames[f].label());
+    EXPECT_EQ(serial.frames[f].labels(), parallel.frames[f].labels());
+  }
+  expect_identical(serial, parallel, "pipeline threads=4");
+}
+
+TEST(ParallelTrackingTest, ThreadCountZeroMeansAuto) {
+  TrackingResult serial = run_pipeline(1);
+  TrackingResult any = run_pipeline(0);  // hardware concurrency
+  expect_identical(serial, any, "pipeline threads=0");
+}
+
+}  // namespace
+}  // namespace perftrack::tracking

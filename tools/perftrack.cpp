@@ -21,6 +21,8 @@
 //   --lenient             skip/repair malformed records under an error
 //                         budget; failed experiments become sequence gaps
 //   --max-errors N        lenient-mode error budget per input file (100)
+//   --threads N           worker threads for clustering/tracking (default:
+//                         hardware concurrency; 1 = serial, same output)
 //   --profile FILE        record pipeline telemetry, write a JSON run report
 //   --trace-events FILE   record telemetry as Chrome trace_event JSON
 //                         (open in Perfetto / chrome://tracing)
@@ -90,7 +92,7 @@ int usage() {
                "         --matrices --scatter --intervals N\n"
                "         --no-spmd --no-callstack --no-sequence\n"
                "         --strict --lenient --max-errors N\n"
-               "         --profile FILE --trace-events FILE\n"
+               "         --threads N --profile FILE --trace-events FILE\n"
                "exit codes: 0 ok, 1 error, 2 usage, 3 parse, 4 io,\n"
                "            5 degraded success (lenient, gaps/diagnostics)\n");
   return kExitUsage;
@@ -123,6 +125,9 @@ bool parse(int argc, char** argv, Options& options) {
     else if (arg == "--lenient") options.lenient = true;
     else if (arg == "--max-errors")
       options.max_errors = static_cast<std::size_t>(std::stoul(next_value()));
+    else if (arg == "--threads")
+      options.tracking.threads =
+          static_cast<std::size_t>(std::stoul(next_value()));
     else if (arg == "--no-spmd") options.tracking.use_spmd = false;
     else if (arg == "--no-callstack") options.tracking.use_callstack = false;
     else if (arg == "--no-sequence") options.tracking.use_sequence = false;
