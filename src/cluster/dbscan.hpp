@@ -7,11 +7,14 @@
 // noise. Deterministic: seeds are visited in index order, so labels are
 // reproducible.
 //
-// Neighbourhood engine: a uniform grid (cell edge = eps) computes every
-// point's eps-neighbourhood exactly once by enumerating each point pair a
-// single time with squared-distance pruning, then expands clusters over the
-// cached core flags — the standard acceleration for dense low-dimensional
-// DBSCAN. High-dimensional or degenerate inputs fall back to the original
+// Neighbourhood engine: a uniform grid with cell edge eps / sqrt(d), so
+// any two points sharing a cell are eps-neighbours. Core points are found
+// by per-cell neighbour counting — a cell with >= min_pts occupants is
+// all-core with no distance tests, sparse cells count candidates from the
+// cells in reach with an early exit at min_pts — then clusters form by
+// merging core components across neighbouring cells and attaching border
+// points, the standard acceleration for dense low-dimensional DBSCAN.
+// High-dimensional or degenerate inputs fall back to the original
 // per-point kd-tree radius queries; both engines produce identical labels
 // for any input (covered by tests/cluster/test_dbscan.cpp).
 

@@ -57,11 +57,22 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   }
   std::vector<std::future<void>> pending;
   pending.reserve(end - begin);
-  for (std::size_t i = begin; i < end; ++i)
-    pending.push_back(submit([&body, i] { body(i); }));
+  // If submission itself fails mid-loop (allocation), hold the exception
+  // until every already-queued task has settled: the pool outlives this
+  // call, so a task left in the queue would run against `body` and the
+  // caller's locals after their frames unwound. `pending` is pre-reserved,
+  // so a task is queued iff its future landed in `pending`.
+  std::exception_ptr submit_error;
+  try {
+    for (std::size_t i = begin; i < end; ++i)
+      pending.push_back(submit([&body, i] { body(i); }));
+  } catch (...) {
+    submit_error = std::current_exception();
+  }
   // Wait for everything first, then rethrow the lowest-index failure, so
   // no task can still be touching caller state when we unwind.
   for (std::future<void>& f : pending) f.wait();
+  if (submit_error) std::rethrow_exception(submit_error);
   for (std::future<void>& f : pending) f.get();
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -10,10 +11,16 @@ namespace perftrack::geom {
 namespace {
 
 /// Per-dim resolution of a grid spanning [lo, hi] with the given cell edge.
+/// Saturates to SIZE_MAX when extent / cell is not safely convertible
+/// (NaN/inf or beyond the integer range, UB to cast); any such resolution
+/// is over every cell-count limit, so callers reject it via their
+/// overflow checks rather than index with a garbage value.
 std::size_t resolution(double lo, double hi, double cell) {
   double extent = hi - lo;
   if (!(extent > 0.0)) return 1;
-  return static_cast<std::size_t>(std::floor(extent / cell)) + 1;
+  double cells = std::floor(extent / cell);
+  if (!(cells < 9.0e18)) return std::numeric_limits<std::size_t>::max();
+  return static_cast<std::size_t>(cells) + 1;
 }
 
 }  // namespace
@@ -50,6 +57,12 @@ GridIndex::GridIndex(const PointSet& points, double cell_size)
   for (std::size_t d = 0; d < dims; ++d) {
     res_[d] = resolution(lo_[d], hi[d], cell_size);
     stride_[d] = cells_;
+    // Overflow-checked: widely spread data or a tiny cell size must fail
+    // loudly here, not corrupt the strides and index out of bounds later.
+    PT_REQUIRE(cells_ <= kMaxCellCount / res_[d],
+               "grid cell table overflow: " + std::to_string(res_[d]) +
+                   " cells along dim " + std::to_string(d) +
+                   " exceed the limit; use a larger cell size or a kd-tree");
     cells_ *= res_[d];
   }
   if (dims == 0) cells_ = 1;
@@ -69,6 +82,15 @@ GridIndex::GridIndex(const PointSet& points, double cell_size)
   // makes radius results and pair enumeration deterministic.
   for (std::size_t i = 0; i < n; ++i)
     point_of_[cursor[cell_of_point_[i]]++] = static_cast<std::uint32_t>(i);
+}
+
+std::ptrdiff_t GridIndex::reach_cells(double radius) const {
+  std::size_t longest = 1;
+  for (std::size_t r : res_) longest = std::max(longest, r);
+  const double cells = std::ceil(radius / cell_size_);
+  if (!(cells < static_cast<double>(longest)))
+    return static_cast<std::ptrdiff_t>(longest);
+  return static_cast<std::ptrdiff_t>(cells);
 }
 
 std::size_t GridIndex::cell_of(std::span<const double> p) const {
@@ -98,16 +120,20 @@ void GridIndex::radius_query(std::span<const double> query, double radius,
   const std::size_t dims = points_.dims();
   const double radius_sq = radius * radius;
 
-  // Cell box covering the query ball, clamped to the grid.
+  // Cell box covering the query ball, clamped to the grid. Clamping
+  // happens in double space: a query far outside the data (or NaN) makes
+  // the raw offsets unsafe to cast first.
   std::vector<std::size_t> c_lo(dims), c_hi(dims), cursor(dims);
   for (std::size_t d = 0; d < dims; ++d) {
+    const double max_off = static_cast<double>(res_[d] - 1);
     double lo_off = std::floor((query[d] - radius - lo_[d]) / cell_size_);
     double hi_off = std::floor((query[d] + radius - lo_[d]) / cell_size_);
-    if (hi_off < 0.0) hi_off = 0.0;
-    c_lo[d] = lo_off <= 0.0 ? 0 : static_cast<std::size_t>(lo_off);
-    c_hi[d] = static_cast<std::size_t>(hi_off);
-    if (c_lo[d] >= res_[d]) c_lo[d] = res_[d] - 1;
-    if (c_hi[d] >= res_[d]) c_hi[d] = res_[d] - 1;
+    c_lo[d] = !(lo_off > 0.0)      ? 0
+              : lo_off >= max_off ? res_[d] - 1
+                                  : static_cast<std::size_t>(lo_off);
+    c_hi[d] = !(hi_off > 0.0)      ? 0
+              : hi_off >= max_off ? res_[d] - 1
+                                  : static_cast<std::size_t>(hi_off);
     cursor[d] = c_lo[d];
   }
 
@@ -136,8 +162,7 @@ void GridIndex::for_each_cell_in_reach(
     const std::function<void(std::size_t)>& visit) const {
   PT_REQUIRE(radius >= 0.0, "radius must be non-negative");
   const std::size_t dims = points_.dims();
-  const auto reach =
-      static_cast<std::ptrdiff_t>(std::ceil(radius / cell_size_));
+  const std::ptrdiff_t reach = reach_cells(radius);
   if (dims == 0 || reach == 0) return;
 
   // Decode the cell's coordinates, then walk the clamped box around it.
@@ -177,8 +202,7 @@ void GridIndex::for_each_pair_within(
   if (cell_of_point_.empty()) return;
   const std::size_t dims = points_.dims();
   const double radius_sq = radius * radius;
-  const auto reach = static_cast<std::ptrdiff_t>(
-      std::ceil(radius / cell_size_));
+  const std::ptrdiff_t reach = reach_cells(radius);
 
   // Lexicographically-forward neighbour offsets: the first non-zero
   // component is positive, so every unordered cell pair is enumerated from

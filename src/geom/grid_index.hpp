@@ -3,11 +3,13 @@
 //
 // DBSCAN's hot query is "everything within eps of this point". A kd-tree
 // answers it in O(log n + k) with scattered memory traffic; a uniform grid
-// with cell edge == eps answers it by scanning the 3^d cells around the
-// query's cell — a bounded, contiguous candidate set, which is the standard
-// acceleration for dense low-dimensional DBSCAN. Cells are stored
-// CSR-style (one offset table plus one point-index array grouped by cell),
-// built in two counting passes with no per-cell allocations.
+// with cell edge on the order of eps answers it by scanning the few cells
+// around the query's cell — a bounded, contiguous candidate set, which is
+// the standard acceleration for dense low-dimensional DBSCAN (dbscan uses
+// edge eps / sqrt(d), so points sharing a cell are always neighbours).
+// Cells are stored CSR-style (one offset table plus one point-index array
+// grouped by cell), built in two counting passes with no per-cell
+// allocations.
 //
 // The cell table grows with prod over dims of (extent_d / cell + 1), so the
 // structure only makes sense in low dimensions over bounded data (the
@@ -27,8 +29,14 @@ namespace perftrack::geom {
 
 class GridIndex {
 public:
+  /// Hard ceiling on the cell table, enforced by the constructor (cell ids
+  /// are stored as uint32). Callers wanting a graceful fallback instead of
+  /// an error should veto with plan_cells() first.
+  static constexpr std::size_t kMaxCellCount = std::size_t{1} << 32;
+
   /// Build over `points` with cubic cells of edge `cell_size` (> 0); the
-  /// PointSet must outlive the index.
+  /// PointSet must outlive the index. Throws when the data spread and cell
+  /// size would need more than kMaxCellCount cells.
   GridIndex(const PointSet& points, double cell_size);
 
   std::size_t size() const { return cell_of_point_.size(); }
@@ -74,6 +82,11 @@ public:
 
 private:
   std::size_t cell_of(std::span<const double> p) const;
+
+  /// Cells of box reach covering `radius`, clamped to the grid span per
+  /// dim (a safe cast: unclamped, a huge radius / cell ratio would be UB
+  /// to convert, and any reach that long already covers every cell).
+  std::ptrdiff_t reach_cells(double radius) const;
 
   const PointSet& points_;
   double cell_size_ = 0.0;

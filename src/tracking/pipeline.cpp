@@ -67,18 +67,22 @@ TrackingResult TrackingPipeline::run() const {
 
     // One clustering task per experiment; outcomes land in their slot so
     // the frame sequence (and hence every downstream artefact) is
-    // identical for any thread count. Declared before the pool: the pool's
-    // destructor drains every submitted task, so no task can outlive them
-    // even when an error unwinds this scope mid-submission.
+    // identical for any thread count. Everything a task captures —
+    // outcomes, the span path, the futures — is declared before the pool:
+    // the pool's destructor drains every submitted task, so no task can
+    // outlive what it references even when an error unwinds this scope
+    // mid-submission (strict-mode gaps and failpoints throw from the
+    // submission loop below with tasks still queued).
     struct Outcome {
       cluster::Frame frame;
       std::string error;            ///< non-empty = clustering failed
       std::exception_ptr rethrow;   ///< original exception, for strict mode
     };
     std::vector<Outcome> outcomes(entries_.size());
-    ThreadPool pool(ThreadPool::resolve(tracking_.threads));
     const std::vector<const char*> here = obs::current_span_path();
     std::vector<std::future<void>> tasks;
+    tasks.reserve(entries_.size());
+    ThreadPool pool(ThreadPool::resolve(tracking_.threads));
 
     for (std::size_t slot = 0; slot < entries_.size(); ++slot) {
       const Entry& entry = entries_[slot];

@@ -220,6 +220,10 @@ TEST(DbscanTest, AutoIndexFallsBackOnHugeExtents) {
   DbscanResult auto_result = dbscan(points, params);
   params.index = DbscanIndex::kKdTree;
   EXPECT_EQ(auto_result.labels, dbscan(points, params).labels);
+  // Pinning the grid engine skips the auto veto, so the same spread must
+  // fail loudly in the index build rather than overflow its cell table.
+  params.index = DbscanIndex::kGrid;
+  EXPECT_THROW(dbscan(points, params), PreconditionError);
 }
 
 }  // namespace

@@ -123,6 +123,19 @@ TEST(GridIndexTest, QueryOutsideTheDataBox) {
             2u);
 }
 
+TEST(GridIndexTest, ConstructorRejectsOverflowingCellTables) {
+  // Widely spread data with a tiny cell would need ~1e21 cells per dim;
+  // unchecked, the strides overflow and cell lookups go out of bounds.
+  // The constructor must fail loudly instead.
+  PointSet spread(2, {0.0, 0.0, 1e12, 1e12});
+  EXPECT_THROW(GridIndex(spread, 1e-9), PreconditionError);
+  // A ratio beyond the integer range (UB to cast unchecked) saturates and
+  // is rejected the same way, by the constructor and the planner alike.
+  PointSet extreme(1, {0.0, 1e300});
+  EXPECT_THROW(GridIndex(extreme, 1e-300), PreconditionError);
+  EXPECT_EQ(GridIndex::plan_cells(extreme, 1e-300, 1u << 20), 0u);
+}
+
 TEST(GridIndexTest, PlanCellsVetoesDegenerateConfigurations) {
   PointSet spread(2, {0.0, 0.0, 1e9, 1e9});
   EXPECT_EQ(GridIndex::plan_cells(spread, 0.01, 1u << 20), 0u);
