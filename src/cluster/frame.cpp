@@ -8,6 +8,19 @@
 
 namespace perftrack::cluster {
 
+Frame Frame::Builder::finish() && {
+  Frame frame;
+  frame.label_ = std::move(label);
+  frame.num_tasks_ = num_tasks;
+  frame.source_ = std::move(source);
+  frame.projection_ = std::move(projection);
+  frame.labels_ = std::move(labels);
+  frame.objects_ = std::move(objects);
+  frame.task_sequences_ = std::move(task_sequences);
+  frame.clustered_duration_ = clustered_duration;
+  return frame;
+}
+
 const ClusterObject& Frame::object(ObjectId id) const {
   PT_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < objects_.size(),
              "object id out of range");

@@ -113,6 +113,24 @@ private:
                               const ClusteringParams&);
 };
 
+/// Assembles a Frame from explicitly provided parts, bypassing the
+/// clustering pipeline. Used by the frame store's deserialiser and by tests
+/// that craft frames directly; callers are responsible for the invariants
+/// build_frame guarantees (dense object ids ordered by decreasing duration,
+/// labels within range, row/projection agreement).
+struct Frame::Builder {
+  std::string label;
+  std::uint32_t num_tasks = 0;
+  std::shared_ptr<const trace::Trace> source;
+  Projection projection;
+  std::vector<std::int32_t> labels;
+  std::vector<ClusterObject> objects;
+  std::vector<std::vector<align::Symbol>> task_sequences;
+  double clustered_duration = 0.0;
+
+  Frame finish() &&;
+};
+
 /// Cluster a trace into a Frame. The trace is kept alive via shared_ptr.
 Frame build_frame(std::shared_ptr<const trace::Trace> trace,
                   const ClusteringParams& params);

@@ -1,0 +1,185 @@
+#include "store/frame_codec.hpp"
+
+#include <utility>
+
+#include "store/serialize.hpp"
+
+namespace perftrack::store {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'T', 'F', '1'};
+
+void encode_projection(BinWriter& w, const cluster::Projection& proj) {
+  w.u32(static_cast<std::uint32_t>(proj.metrics.size()));
+  for (trace::Metric m : proj.metrics) w.u8(static_cast<std::uint8_t>(m));
+  w.u32(static_cast<std::uint32_t>(proj.points.dims()));
+  std::span<const double> raw = proj.points.raw();
+  w.u32(static_cast<std::uint32_t>(proj.points.size()));
+  for (double v : raw) w.f64(v);
+  w.u32_vec(proj.burst_index);
+  w.f64_vec(proj.durations);
+}
+
+cluster::Projection decode_projection(BinReader& r) {
+  cluster::Projection proj;
+  std::size_t metric_count = r.length(1);
+  proj.metrics.reserve(metric_count);
+  for (std::size_t m = 0; m < metric_count; ++m) {
+    std::uint8_t raw = r.u8();
+    if (raw >= trace::kMetricCount)
+      throw ParseError("frame store entry corrupt: unknown metric id " +
+                       std::to_string(raw));
+    proj.metrics.push_back(static_cast<trace::Metric>(raw));
+  }
+  std::size_t dims = r.length(0);
+  if (dims != metric_count)
+    throw ParseError("frame store entry corrupt: dims != metric count");
+  std::size_t rows = r.length(dims * 8);
+  geom::PointSet points(dims);
+  points.reserve(rows);
+  std::vector<double> coords(dims);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t d = 0; d < dims; ++d) coords[d] = r.f64();
+    points.add(coords);
+  }
+  proj.points = std::move(points);
+  proj.burst_index = r.u32_vec();
+  proj.durations = r.f64_vec();
+  if (proj.burst_index.size() != rows || proj.durations.size() != rows)
+    throw ParseError(
+        "frame store entry corrupt: projection row counts disagree");
+  return proj;
+}
+
+void encode_object(BinWriter& w, const cluster::ClusterObject& obj) {
+  w.i32(obj.id);
+  w.u32_vec(obj.rows);
+  w.f64_vec(obj.centroid);
+  w.f64_vec(obj.metric_mean);
+  w.u32(static_cast<std::uint32_t>(obj.callstack_weight.size()));
+  for (const auto& [callstack, weight] : obj.callstack_weight) {
+    w.u32(callstack);
+    w.f64(weight);
+  }
+  w.f64(obj.total_duration);
+}
+
+cluster::ClusterObject decode_object(BinReader& r) {
+  cluster::ClusterObject obj;
+  obj.id = r.i32();
+  obj.rows = r.u32_vec();
+  obj.centroid = r.f64_vec();
+  obj.metric_mean = r.f64_vec();
+  std::size_t weights = r.length(12);
+  for (std::size_t i = 0; i < weights; ++i) {
+    trace::CallstackId callstack = r.u32();
+    obj.callstack_weight[callstack] = r.f64();
+  }
+  obj.total_duration = r.f64();
+  return obj;
+}
+
+}  // namespace
+
+std::string encode_frame(const cluster::Frame& frame) {
+  BinWriter payload;
+  payload.str(frame.label());
+  payload.u32(frame.num_tasks());
+  encode_projection(payload, frame.projection());
+  payload.i32_vec(frame.labels());
+  payload.u32(static_cast<std::uint32_t>(frame.objects().size()));
+  for (const cluster::ClusterObject& obj : frame.objects())
+    encode_object(payload, obj);
+  payload.u32(static_cast<std::uint32_t>(frame.task_sequences().size()));
+  for (const auto& seq : frame.task_sequences()) payload.i32_vec(seq);
+  payload.f64(frame.clustered_duration());
+
+  BinWriter file;
+  for (char c : kMagic) file.u8(static_cast<std::uint8_t>(c));
+  file.u32(kFrameFormatVersion);
+  const std::string& body = payload.bytes();
+  file.u64(fnv1a64(body));
+  file.u32(static_cast<std::uint32_t>(body.size()));
+  std::string bytes = file.take();
+  bytes += body;
+  return bytes;
+}
+
+cluster::Frame decode_frame(std::string_view bytes,
+                            std::shared_ptr<const trace::Trace> source) {
+  PT_REQUIRE(source != nullptr, "decode_frame needs the source trace");
+  BinReader header(bytes);
+  for (char expected : kMagic)
+    if (static_cast<char>(header.u8()) != expected)
+      throw ParseError("not a perftrack frame: bad magic");
+  std::uint32_t version = header.u32();
+  if (version != kFrameFormatVersion)
+    throw ParseError("unsupported frame format version " +
+                     std::to_string(version));
+  std::uint64_t checksum = header.u64();
+  std::size_t body_size = header.length(1);
+  if (body_size != header.remaining())
+    throw ParseError("frame store entry corrupt: payload size mismatch");
+  std::string_view body = bytes.substr(bytes.size() - body_size);
+  if (fnv1a64(body) != checksum)
+    throw ParseError("frame store entry corrupt: checksum mismatch");
+
+  BinReader r(body);
+  cluster::Frame::Builder b;
+  b.label = r.str();
+  b.num_tasks = r.u32();
+  b.projection = decode_projection(r);
+  b.labels = r.i32_vec();
+  if (b.labels.size() != b.projection.size())
+    throw ParseError("frame store entry corrupt: label/projection mismatch");
+  std::size_t object_count = r.length(4);
+  b.objects.reserve(object_count);
+  for (std::size_t i = 0; i < object_count; ++i) {
+    cluster::ClusterObject obj = decode_object(r);
+    if (static_cast<std::size_t>(obj.id) != i)
+      throw ParseError("frame store entry corrupt: object ids not dense");
+    if (obj.centroid.size() != b.projection.metrics.size() ||
+        obj.metric_mean.size() != b.projection.metrics.size())
+      throw ParseError("frame store entry corrupt: object dimensionality");
+    for (std::uint32_t row : obj.rows)
+      if (row >= b.labels.size())
+        throw ParseError("frame store entry corrupt: object row out of range");
+    b.objects.push_back(std::move(obj));
+  }
+  for (std::int32_t label : b.labels)
+    if (label != cluster::kNoise &&
+        (label < 0 || static_cast<std::size_t>(label) >= object_count))
+      throw ParseError("frame store entry corrupt: label out of range");
+  std::size_t task_count = r.length(4);
+  if (task_count != b.num_tasks)
+    throw ParseError("frame store entry corrupt: task sequence count");
+  b.task_sequences.reserve(task_count);
+  for (std::size_t t = 0; t < task_count; ++t)
+    b.task_sequences.push_back(r.i32_vec());
+  b.clustered_duration = r.f64();
+  if (!r.done())
+    throw ParseError("frame store entry corrupt: trailing bytes");
+  b.source = std::move(source);
+  return std::move(b).finish();
+}
+
+std::string encode_clustering_params(const cluster::ClusteringParams& params) {
+  BinWriter w;
+  w.u32(static_cast<std::uint32_t>(params.projection.metrics.size()));
+  for (trace::Metric m : params.projection.metrics)
+    w.u8(static_cast<std::uint8_t>(m));
+  w.f64(params.projection.min_duration);
+  w.f64(params.projection.time_coverage);
+  w.f64(params.dbscan.eps);
+  w.u64(params.dbscan.min_pts);
+  // The index engine is deliberately excluded: labels are engine-
+  // independent (tests/cluster DbscanEngineEquivalence), so kd-tree and
+  // grid runs share cache entries.
+  w.bool_vec(params.log_scale);
+  w.u8(params.collapse_sequence_runs ? 1 : 0);
+  w.f64(params.min_cluster_time_fraction);
+  return w.take();
+}
+
+}  // namespace perftrack::store

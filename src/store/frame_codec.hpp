@@ -1,0 +1,47 @@
+#pragma once
+// Compact binary serialisation of clustering results (.ptf — "perftrack
+// frame").
+//
+// A cache entry captures everything build_frame derives from a trace —
+// projection, labels, cluster objects, per-task sequences — but not the
+// trace itself: the loader re-attaches the live Trace the caller already
+// holds (the cache key guarantees it is byte-identical to the one that
+// produced the entry). Doubles are stored as raw IEEE-754 bits, so a
+// decode(encode(frame)) round trip reproduces the frame bit-exactly and a
+// cached tracking run yields byte-identical reports (the acceptance bar of
+// the session engine; see docs/SESSIONS.md).
+//
+// Layout (little-endian): "PTF1" magic, u32 format version, u64 FNV-1a
+// checksum of the payload, u32 payload size, payload. decode_frame
+// validates magic,
+// version and checksum, then every structural invariant (lengths agree,
+// labels within range, object ids dense) — any mismatch throws ParseError,
+// which the store above turns into a cache miss plus a diagnostic.
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "cluster/frame.hpp"
+
+namespace perftrack::store {
+
+/// Bumped whenever the encoding or anything influencing frame content
+/// changes shape; part of both the entry header and the cache key, so
+/// stale-format entries can never be mistaken for valid ones.
+inline constexpr std::uint32_t kFrameFormatVersion = 1;
+
+/// Serialise a frame (without its source trace) to bytes.
+std::string encode_frame(const cluster::Frame& frame);
+
+/// Parse bytes produced by encode_frame, re-attaching `source` as the
+/// frame's trace. Throws ParseError on any corruption or version mismatch;
+/// never reads out of bounds (fuzzed entry point).
+cluster::Frame decode_frame(std::string_view bytes,
+                            std::shared_ptr<const trace::Trace> source);
+
+/// Canonical byte encoding of the clustering configuration, used by the
+/// cache key derivation (docs/FORMATS.md documents the layout).
+std::string encode_clustering_params(const cluster::ClusteringParams& params);
+
+}  // namespace perftrack::store

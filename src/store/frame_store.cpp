@@ -1,0 +1,206 @@
+#include "store/frame_store.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "obs/telemetry.hpp"
+#include "store/frame_codec.hpp"
+#include "store/serialize.hpp"
+#include "trace/counters.hpp"
+
+namespace perftrack::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string to_hex(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+FrameStore::FrameStore(StoreConfig config) : config_(std::move(config)) {}
+
+std::string FrameStore::environment_directory() {
+  const char* env = std::getenv("PERFTRACK_CACHE");
+  return env ? std::string(env) : std::string();
+}
+
+std::string FrameStore::key_for(const trace::Trace& trace,
+                                const cluster::ClusteringParams& params) {
+  // Hashes a compact binary fingerprint of everything build_frame consumes:
+  // trace identity, attributes, the callstack table and every burst, plus
+  // the clustering parameters and the entry format version. A full text
+  // serialisation of the trace would be canonical too, but formatting
+  // hundreds of thousands of doubles costs more than the clustering the
+  // cache is meant to avoid; the fingerprint is a straight memcpy walk.
+  BinWriter canonical;
+  canonical.str(trace.application());
+  canonical.u32(trace.num_tasks());
+  canonical.str(trace.label());
+  canonical.u32(static_cast<std::uint32_t>(trace.attributes().size()));
+  for (const auto& [name, value] : trace.attributes()) {
+    canonical.str(name);
+    canonical.str(value);
+  }
+  const trace::CallstackTable& callstacks = trace.callstacks();
+  canonical.u32(static_cast<std::uint32_t>(callstacks.size()));
+  for (std::uint32_t id = 0; id < callstacks.size(); ++id) {
+    const trace::SourceLocation& loc = callstacks.resolve(id);
+    canonical.str(loc.function);
+    canonical.str(loc.file);
+    canonical.u32(loc.line);
+  }
+  canonical.u64(trace.burst_count());
+  for (const trace::Burst& burst : trace.bursts()) {
+    canonical.u32(burst.task);
+    canonical.f64(burst.begin_time);
+    canonical.f64(burst.duration);
+    canonical.u32(burst.callstack);
+    for (std::size_t c = 0; c < trace::kCounterCount; ++c)
+      canonical.f64(burst.counters.get(static_cast<trace::Counter>(c)));
+  }
+  canonical.str(encode_clustering_params(params));
+  canonical.str("ptf");
+  canonical.u32(kFrameFormatVersion);
+  std::string bytes = std::move(canonical).take();
+  // Two independently seeded FNV-1a streams give a 128-bit key; with
+  // realistic cache populations (thousands of entries) accidental
+  // collisions are out of reach, and a collision can only be forced by
+  // someone who controls the trace bytes — who could as well write the
+  // cache entry directly.
+  return to_hex(fnv1a64(bytes)) +
+         to_hex(fnv1a64(bytes, 0x6c62272e07bb0142ull));
+}
+
+std::string FrameStore::path_for(const std::string& key) const {
+  return (fs::path(config_.directory) / (key + ".ptf")).string();
+}
+
+std::optional<cluster::Frame> FrameStore::load(
+    const std::string& key, std::shared_ptr<const trace::Trace> source) {
+  if (!enabled()) return std::nullopt;
+  const std::string path = path_for(key);
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      ++stats_.misses;
+      PT_COUNTER("frame_cache_misses", 1.0);
+      return std::nullopt;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (!in.good() && !in.eof()) {
+      ++stats_.misses;
+      ++stats_.errors;
+      PT_COUNTER("frame_cache_misses", 1.0);
+      PT_COUNTER("frame_cache_errors", 1.0);
+      PT_LOG(Warn) << "frame cache: unreadable entry " << path
+                   << ", treating as miss";
+      return std::nullopt;
+    }
+    bytes = buffer.str();
+  }
+  try {
+    cluster::Frame frame = decode_frame(bytes, std::move(source));
+    ++stats_.hits;
+    PT_COUNTER("frame_cache_hits", 1.0);
+    // Refresh the LRU position; failure to touch is harmless.
+    std::error_code ec;
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+    return frame;
+  } catch (const Error& error) {
+    ++stats_.misses;
+    ++stats_.errors;
+    PT_COUNTER("frame_cache_misses", 1.0);
+    PT_COUNTER("frame_cache_errors", 1.0);
+    PT_LOG(Warn) << "frame cache: dropping corrupt entry " << path << ": "
+                 << error.what();
+    std::error_code ec;
+    fs::remove(path, ec);
+    return std::nullopt;
+  }
+}
+
+void FrameStore::store(const std::string& key, const cluster::Frame& frame) {
+  if (!enabled()) return;
+  try {
+    fs::create_directories(config_.directory);
+    const std::string bytes = encode_frame(frame);
+    // Unique temporary per process+object so concurrent writers of the
+    // same key never interleave; rename() then publishes atomically.
+    std::ostringstream tmp_name;
+    tmp_name << ".tmp-" << key << "-" << ::getpid() << "-" << this;
+    const fs::path tmp = fs::path(config_.directory) / tmp_name.str();
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) throw io_error("cannot open cache entry for writing",
+                               tmp.string());
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+      if (!out.good()) throw io_error("cannot write cache entry",
+                                      tmp.string());
+    }
+    fs::rename(tmp, path_for(key));
+    ++stats_.stores;
+    PT_COUNTER("frame_cache_stores", 1.0);
+    evict_to_cap();
+  } catch (const std::exception& error) {
+    // A failed store never fails the pipeline: the caller holds the frame.
+    ++stats_.errors;
+    PT_COUNTER("frame_cache_errors", 1.0);
+    PT_LOG(Warn) << "frame cache: store failed for " << key << ": "
+                 << error.what();
+  }
+}
+
+void FrameStore::evict_to_cap() {
+  if (config_.max_bytes == 0) return;
+  struct Entry {
+    fs::path path;
+    fs::file_time_type mtime;
+    std::uint64_t size;
+  };
+  std::vector<Entry> entries;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& item : fs::directory_iterator(config_.directory, ec)) {
+    if (ec) return;
+    if (!item.is_regular_file(ec) || item.path().extension() != ".ptf")
+      continue;
+    Entry entry{item.path(), item.last_write_time(ec),
+                static_cast<std::uint64_t>(item.file_size(ec))};
+    total += entry.size;
+    entries.push_back(std::move(entry));
+  }
+  if (total <= config_.max_bytes) return;
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+  for (const Entry& entry : entries) {
+    if (total <= config_.max_bytes) break;
+    std::error_code remove_ec;
+    if (fs::remove(entry.path, remove_ec)) {
+      total -= entry.size;
+      ++stats_.evictions;
+      PT_COUNTER("frame_cache_evictions", 1.0);
+      PT_LOG(Debug) << "frame cache: evicted " << entry.path.string();
+    }
+  }
+}
+
+}  // namespace perftrack::store

@@ -1,0 +1,86 @@
+#pragma once
+// Content-addressed on-disk cache of clustering results.
+//
+// Clustering a trace into a Frame is the pipeline's per-experiment unit of
+// work; in the append-only analyst workflow (add one experiment, re-examine
+// the sequence) every invocation used to redo all of it. The store keys
+// each result by what actually determines it:
+//
+//   key = fnv1a128(trace bytes ‖ clustering params ‖ format version)
+//
+// where "trace bytes" is the canonical .ptt serialisation of the trace and
+// "clustering params" the canonical encoding from frame_codec. Entries are
+// immutable files named <key>.ptf in the cache directory, written to a
+// temporary name and atomically renamed, so concurrent writers can race
+// without ever exposing a torn entry. Loads are corruption-tolerant by
+// design: a bad entry (truncated file, flipped bit, stale format) is a
+// cache miss plus a diagnostic — never a failure — matching the lenient
+// philosophy of docs/ROBUSTNESS.md. A byte-size LRU cap (least recently
+// used by mtime, refreshed on hit) keeps the directory bounded.
+//
+// Telemetry: hits/misses/stores/evictions/errors are recorded both on the
+// obs counters (frame_cache_*) and on the per-instance StoreStats.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cluster/frame.hpp"
+
+namespace perftrack::store {
+
+struct StoreConfig {
+  /// Cache directory; empty disables the store entirely. Created on first
+  /// write if missing.
+  std::string directory;
+
+  /// LRU size cap over the summed entry sizes; 0 = unbounded.
+  std::uint64_t max_bytes = 256ull << 20;
+
+  bool enabled() const { return !directory.empty(); }
+};
+
+struct StoreStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t errors = 0;  ///< corrupt/unreadable entries (each also a miss)
+};
+
+class FrameStore {
+public:
+  explicit FrameStore(StoreConfig config);
+
+  const StoreConfig& config() const { return config_; }
+  const StoreStats& stats() const { return stats_; }
+  bool enabled() const { return config_.enabled(); }
+
+  /// Cache directory from the environment (PERFTRACK_CACHE), or empty.
+  static std::string environment_directory();
+
+  /// Content key for clustering `trace` under `params`: 32 hex digits.
+  static std::string key_for(const trace::Trace& trace,
+                             const cluster::ClusteringParams& params);
+
+  /// Look up `key`, re-attaching `source` to the decoded frame. Returns
+  /// nullopt on miss or on a corrupt entry (which is deleted and counted
+  /// as an error). Refreshes the entry's LRU position on hit.
+  std::optional<cluster::Frame> load(
+      const std::string& key, std::shared_ptr<const trace::Trace> source);
+
+  /// Insert the clustering result for `key`, then enforce the size cap.
+  /// Store failures (unwritable directory, disk full) are diagnostics, not
+  /// errors: the caller already has the frame.
+  void store(const std::string& key, const cluster::Frame& frame);
+
+private:
+  std::string path_for(const std::string& key) const;
+  void evict_to_cap();
+
+  StoreConfig config_;
+  StoreStats stats_;
+};
+
+}  // namespace perftrack::store

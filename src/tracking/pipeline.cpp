@@ -1,22 +1,9 @@
 #include "tracking/pipeline.hpp"
 
-#include <future>
-
 #include "common/error.hpp"
-#include "common/failpoint.hpp"
-#include "common/log.hpp"
-#include "common/thread_pool.hpp"
 #include "obs/telemetry.hpp"
 
 namespace perftrack::tracking {
-
-TrackingPipeline::TrackingPipeline() {
-  // The paper's default metric space: Instructions x IPC, instruction axis
-  // log-scaled (Fig. 1).
-  clustering_.projection.metrics = {trace::Metric::Instructions,
-                                    trace::Metric::Ipc};
-  clustering_.log_scale = {true, false};
-}
 
 void TrackingPipeline::add_experiment(
     std::shared_ptr<const trace::Trace> trace) {
@@ -34,18 +21,6 @@ void TrackingPipeline::add_gap(std::string label, std::string reason) {
   entries_.push_back(std::move(entry));
 }
 
-void TrackingPipeline::set_clustering(cluster::ClusteringParams params) {
-  clustering_ = std::move(params);
-}
-
-void TrackingPipeline::set_tracking(TrackingParams params) {
-  tracking_ = std::move(params);
-}
-
-void TrackingPipeline::set_resilience(ResilienceParams params) {
-  resilience_ = params;
-}
-
 std::size_t TrackingPipeline::gap_count() const {
   std::size_t n = 0;
   for (const Entry& entry : entries_)
@@ -57,111 +32,18 @@ TrackingResult TrackingPipeline::run() const {
   PT_SPAN("pipeline_run");
   PT_REQUIRE(entries_.size() >= 2,
              "tracking needs at least two experiments");
-  PT_COUNTER("experiments", static_cast<double>(entries_.size()));
 
-  std::vector<cluster::Frame> frames;
-  std::vector<ExperimentGap> gaps;
-  frames.reserve(entries_.size());
-  {
-    PT_SPAN("cluster_experiments");
-
-    // One clustering task per experiment; outcomes land in their slot so
-    // the frame sequence (and hence every downstream artefact) is
-    // identical for any thread count. Everything a task captures —
-    // outcomes, the span path, the futures — is declared before the pool:
-    // the pool's destructor drains every submitted task, so no task can
-    // outlive what it references even when an error unwinds this scope
-    // mid-submission (strict-mode gaps and failpoints throw from the
-    // submission loop below with tasks still queued).
-    struct Outcome {
-      cluster::Frame frame;
-      std::string error;            ///< non-empty = clustering failed
-      std::exception_ptr rethrow;   ///< original exception, for strict mode
-    };
-    std::vector<Outcome> outcomes(entries_.size());
-    const std::vector<const char*> here = obs::current_span_path();
-    std::vector<std::future<void>> tasks;
-    tasks.reserve(entries_.size());
-    ThreadPool pool(ThreadPool::resolve(tracking_.threads));
-
-    for (std::size_t slot = 0; slot < entries_.size(); ++slot) {
-      const Entry& entry = entries_[slot];
-      if (entry.trace == nullptr) {
-        if (!resilience_.lenient)
-          throw Error("experiment '" + entry.label +
-                      "' is a gap (" + entry.reason +
-                      "); enable lenient resilience to track across it");
-        continue;  // recorded as a gap in the slot-order pass below
-      }
-      // Evaluated here, serially in slot order, so an "@i" hit list keeps
-      // poisoning the i-th clustered experiment under any thread count.
-      try {
-        PT_FAILPOINT("cluster_experiment");
-      } catch (const Error& error) {
-        if (!resilience_.lenient) throw;
-        outcomes[slot].error = error.what();
-        continue;
-      }
-      Outcome& outcome = outcomes[slot];
-      tasks.push_back(pool.submit([this, &outcome, &here, &entry] {
-        obs::SpanContext ctx(here);
-        try {
-          outcome.frame = cluster::build_frame(entry.trace, clustering_);
-        } catch (const Error& error) {
-          outcome.error = error.what();
-          outcome.rethrow = std::current_exception();
-        }
-      }));
-    }
-    // Non-Error exceptions (if any) propagate from the earliest slot, as
-    // they would have in a serial loop.
-    for (std::future<void>& task : tasks) task.wait();
-    for (std::future<void>& task : tasks) task.get();
-
-    // Fold the outcomes back in slot order: frames, gaps and error
-    // precedence all match the original serial loop.
-    for (std::size_t slot = 0; slot < entries_.size(); ++slot) {
-      const Entry& entry = entries_[slot];
-      if (entry.trace == nullptr) {
-        gaps.push_back({slot, entry.label, entry.reason});
-        continue;
-      }
-      Outcome& outcome = outcomes[slot];
-      if (outcome.error.empty()) {
-        frames.push_back(std::move(outcome.frame));
-        continue;
-      }
-      if (!resilience_.lenient) {
-        if (outcome.rethrow) std::rethrow_exception(outcome.rethrow);
-        throw Error(outcome.error);
-      }
-      PT_LOG(Warn) << "experiment '" << entry.label
-                   << "' failed to cluster, tracking across the gap: "
-                   << outcome.error;
-      gaps.push_back({slot, entry.label, outcome.error});
-    }
+  // A batch run is one incremental session replayed in one go: all slots
+  // are fresh, so the session does exactly the work the old inline
+  // implementation did (same spans, same failpoint order, same errors).
+  TrackingSession session(config_);
+  for (const Entry& entry : entries_) {
+    if (entry.trace != nullptr)
+      session.append_experiment(entry.trace);
+    else
+      session.append_gap(entry.label, entry.reason);
   }
-
-  if (!gaps.empty()) {
-    double gap_fraction = static_cast<double>(gaps.size()) /
-                          static_cast<double>(entries_.size());
-    if (gap_fraction > resilience_.max_gap_fraction)
-      throw Error("gap budget exhausted: " + std::to_string(gaps.size()) +
-                  " of " + std::to_string(entries_.size()) +
-                  " experiments failed (limit " +
-                  std::to_string(static_cast<int>(
-                      resilience_.max_gap_fraction * 100.0)) +
-                  "%)");
-    if (frames.size() < 2)
-      throw Error("tracking needs at least two surviving experiments (" +
-                  std::to_string(gaps.size()) + " of " +
-                  std::to_string(entries_.size()) + " are gaps)");
-    PT_COUNTER("experiment_gaps", static_cast<double>(gaps.size()));
-  }
-
-  TrackingResult result = track_frames(std::move(frames), tracking_);
-  result.gaps = std::move(gaps);
-  return result;
+  return session.retrack();
 }
 
 }  // namespace perftrack::tracking

@@ -1,7 +1,7 @@
 #pragma once
 // High-level facade: from traces to a tracked sequence in one call.
 //
-// This is the library's main entry point, mirroring the tool described in
+// This is the library's batch entry point, mirroring the tool described in
 // the paper: feed it the experiments (traces), choose the metric pair and
 // clustering/tracking parameters, run, and read back the tracked regions,
 // their trends and the rendered reports.
@@ -11,6 +11,12 @@
 //   pipeline.add_experiment(trace_256);
 //   TrackingResult result = pipeline.run();
 //   std::cout << describe_tracking(result);
+//
+// run() is a thin wrapper over TrackingSession (tracking/session.hpp): it
+// replays the recorded experiments into a fresh session and retracks once,
+// so batch and incremental runs share one engine and cannot drift. The
+// individual setters survive as forwarders into the SessionConfig
+// aggregate; new code should prefer set_config().
 //
 // Degraded mode: with lenient resilience enabled, an experiment that fails
 // to cluster (or that the caller already failed to load — add_gap) becomes
@@ -23,25 +29,14 @@
 #include <vector>
 
 #include "cluster/frame.hpp"
+#include "tracking/session.hpp"
 #include "tracking/tracker.hpp"
 
 namespace perftrack::tracking {
 
-/// Degraded-mode policy for TrackingPipeline::run().
-struct ResilienceParams {
-  /// Convert per-experiment clustering failures into gaps instead of
-  /// rethrowing. Off = today's fail-fast behaviour.
-  bool lenient = false;
-
-  /// Error budget: abort when more than this fraction of the experiment
-  /// sequence is gaps (counting add_gap slots). The run also always needs
-  /// at least two surviving frames.
-  double max_gap_fraction = 0.5;
-};
-
 class TrackingPipeline {
 public:
-  TrackingPipeline();
+  TrackingPipeline() = default;
 
   /// Append one experiment; sequence order is insertion order.
   void add_experiment(std::shared_ptr<const trace::Trace> trace);
@@ -51,17 +46,37 @@ public:
   /// reporting but contributes no frame.
   void add_gap(std::string label, std::string reason);
 
+  /// The full run configuration. Validated by run() (via the session), not
+  /// here, so callers can stage partial edits.
+  void set_config(SessionConfig config) { config_ = std::move(config); }
+  const SessionConfig& config() const { return config_; }
+
   /// Clustering configuration used to build every frame.
-  void set_clustering(cluster::ClusteringParams params);
-  const cluster::ClusteringParams& clustering() const { return clustering_; }
+  /// (Forwarder; prefer set_config.)
+  void set_clustering(cluster::ClusteringParams params) {
+    config_.clustering = std::move(params);
+  }
+  const cluster::ClusteringParams& clustering() const {
+    return config_.clustering;
+  }
 
-  /// Tracking (evaluator/combiner) configuration.
-  void set_tracking(TrackingParams params);
-  const TrackingParams& tracking() const { return tracking_; }
+  /// Tracking (evaluator/combiner) configuration. (Forwarder.)
+  void set_tracking(TrackingParams params) {
+    config_.tracking = std::move(params);
+  }
+  const TrackingParams& tracking() const { return config_.tracking; }
 
-  /// Degraded-mode policy (strict by default).
-  void set_resilience(ResilienceParams params);
-  const ResilienceParams& resilience() const { return resilience_; }
+  /// Degraded-mode policy (strict by default). (Forwarder.)
+  void set_resilience(ResilienceParams params) {
+    config_.resilience = params;
+  }
+  const ResilienceParams& resilience() const { return config_.resilience; }
+
+  /// On-disk frame cache (disabled by default). (Forwarder.)
+  void set_cache(store::StoreConfig config) {
+    config_.cache = std::move(config);
+  }
+  const store::StoreConfig& cache() const { return config_.cache; }
 
   /// Sequence slots added so far (experiments plus pre-declared gaps).
   std::size_t experiment_count() const { return entries_.size(); }
@@ -69,7 +84,7 @@ public:
 
   /// Cluster every experiment and track the sequence. Requires >= 2
   /// surviving experiments after gap handling; throws Error when the gap
-  /// budget is exhausted.
+  /// budget is exhausted or the configuration is invalid.
   TrackingResult run() const;
 
 private:
@@ -80,9 +95,7 @@ private:
   };
 
   std::vector<Entry> entries_;
-  cluster::ClusteringParams clustering_;
-  TrackingParams tracking_;
-  ResilienceParams resilience_;
+  SessionConfig config_;
 };
 
 }  // namespace perftrack::tracking

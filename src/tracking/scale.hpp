@@ -42,6 +42,15 @@ public:
   /// True if dimension d is weighted by the task count.
   bool task_weighted(std::size_t d) const { return weighted_[d]; }
 
+  /// Two normalisations are equal iff they map every coordinate
+  /// identically. The session engine compares the freshly fitted scale
+  /// against the one its memoised pair relations were computed under: any
+  /// difference (an appended frame extended a min/max range) invalidates
+  /// them, which is what keeps incremental retracks bit-identical to a
+  /// cold batch run.
+  friend bool operator==(const ScaleNormalization&,
+                         const ScaleNormalization&) = default;
+
 private:
   std::vector<trace::Metric> metrics_;
   std::vector<bool> weighted_;

@@ -1,0 +1,329 @@
+#include "tracking/session.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/log.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/telemetry.hpp"
+#include "tracking/evaluator_displacement.hpp"
+
+namespace perftrack::tracking {
+
+SessionConfig::SessionConfig() {
+  // The paper's default metric space: Instructions x IPC, instruction axis
+  // log-scaled (Fig. 1).
+  clustering.projection.metrics = {trace::Metric::Instructions,
+                                   trace::Metric::Ipc};
+  clustering.log_scale = {true, false};
+}
+
+std::vector<std::string> SessionConfig::validate() const {
+  std::vector<std::string> problems;
+  auto in_unit = [](double v) { return std::isfinite(v) && v >= 0.0 && v <= 1.0; };
+
+  const std::size_t dims = clustering.projection.metrics.size();
+  if (dims == 0)
+    problems.push_back("clustering.projection.metrics must name at least one axis");
+  if (!(std::isfinite(clustering.dbscan.eps) && clustering.dbscan.eps > 0.0))
+    problems.push_back("clustering.dbscan.eps must be a positive number");
+  if (clustering.dbscan.min_pts == 0)
+    problems.push_back("clustering.dbscan.min_pts must be at least 1");
+  if (!(std::isfinite(clustering.projection.min_duration) &&
+        clustering.projection.min_duration >= 0.0))
+    problems.push_back("clustering.projection.min_duration must be >= 0");
+  if (!in_unit(clustering.projection.time_coverage))
+    problems.push_back("clustering.projection.time_coverage must be in [0, 1]");
+  if (!clustering.log_scale.empty() && clustering.log_scale.size() != dims)
+    problems.push_back("clustering.log_scale must be empty or match the axis count");
+  if (!(std::isfinite(clustering.min_cluster_time_fraction) &&
+        clustering.min_cluster_time_fraction >= 0.0 &&
+        clustering.min_cluster_time_fraction < 1.0))
+    problems.push_back("clustering.min_cluster_time_fraction must be in [0, 1)");
+  if (!in_unit(tracking.outlier_threshold))
+    problems.push_back("tracking.outlier_threshold must be in [0, 1]");
+  if (!in_unit(tracking.spmd_threshold))
+    problems.push_back("tracking.spmd_threshold must be in [0, 1]");
+  if (!in_unit(tracking.sequence_threshold))
+    problems.push_back("tracking.sequence_threshold must be in [0, 1]");
+  if (!tracking.log_scale.empty() && tracking.log_scale.size() != dims)
+    problems.push_back("tracking.log_scale must be empty or match the axis count");
+  if (!in_unit(resilience.max_gap_fraction))
+    problems.push_back("resilience.max_gap_fraction must be in [0, 1]");
+  return problems;
+}
+
+void SessionConfig::validate_or_throw() const {
+  std::vector<std::string> problems = validate();
+  if (problems.empty()) return;
+  std::string what = "invalid session configuration (" +
+                     std::to_string(problems.size()) + " problem" +
+                     (problems.size() == 1 ? "" : "s") + "):";
+  for (const std::string& p : problems) what += "\n  - " + p;
+  throw Error(what);
+}
+
+TrackingSession::TrackingSession(SessionConfig config)
+    : config_(std::move(config)), cache_(config_.cache) {
+  config_.validate_or_throw();
+}
+
+std::size_t TrackingSession::append_experiment(
+    std::shared_ptr<const trace::Trace> trace) {
+  PT_REQUIRE(trace != nullptr, "experiment trace must not be null");
+  Slot slot;
+  slot.label = trace->label();
+  slot.trace = std::move(trace);
+  slots_.push_back(std::move(slot));
+  return slots_.size() - 1;
+}
+
+std::size_t TrackingSession::append_gap(std::string label,
+                                        std::string reason) {
+  Slot slot;
+  slot.label = std::move(label);
+  slot.reason = std::move(reason);
+  slots_.push_back(std::move(slot));
+  return slots_.size() - 1;
+}
+
+std::size_t TrackingSession::gap_count() const {
+  std::size_t n = 0;
+  for (const Slot& slot : slots_)
+    if (slot.trace == nullptr) ++n;
+  return n;
+}
+
+void TrackingSession::cluster_new_slots() {
+  PT_SPAN("cluster_experiments");
+
+  // Serial pass in slot order: strict-mode gap errors and failpoint
+  // evaluation keep their position-dependent semantics ("@i" poisons the
+  // i-th clustered experiment) under any thread count, and cache probes
+  // stay single-threaded. Already-attempted slots are memoised and consume
+  // no failpoint evaluations.
+  std::vector<std::size_t> to_build;
+  std::map<std::size_t, std::string> pending_key;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
+    if (slot.trace == nullptr) {
+      if (!config_.resilience.lenient)
+        throw Error("experiment '" + slot.label + "' is a gap (" +
+                    slot.reason +
+                    "); enable lenient resilience to track across it");
+      continue;
+    }
+    if (slot.attempted) {
+      if (slot.frame.has_value()) ++stats_.frames_memoized;
+      continue;
+    }
+    try {
+      PT_FAILPOINT("cluster_experiment");
+    } catch (const Error& error) {
+      if (!config_.resilience.lenient) throw;
+      slot.attempted = true;
+      slot.reason = error.what();
+      continue;
+    }
+    if (cache_.enabled()) {
+      std::string key = store::FrameStore::key_for(*slot.trace,
+                                                   config_.clustering);
+      if (std::optional<cluster::Frame> cached = cache_.load(key, slot.trace)) {
+        slot.frame = std::move(cached);
+        slot.attempted = true;
+        ++stats_.frames_from_cache;
+        continue;
+      }
+      pending_key.emplace(i, std::move(key));
+    }
+    to_build.push_back(i);
+  }
+
+  if (!to_build.empty()) {
+    // One clustering task per fresh experiment; outcomes land in their
+    // slot, so the frame sequence is identical for any thread count.
+    // Everything a task captures is declared before the pool: its
+    // destructor drains every submitted task (see pipeline history).
+    struct Outcome {
+      std::optional<cluster::Frame> frame;
+      std::string error;
+      std::exception_ptr rethrow;
+    };
+    std::vector<Outcome> outcomes(to_build.size());
+    const std::vector<const char*> here = obs::current_span_path();
+    ThreadPool pool(ThreadPool::resolve(config_.tracking.threads));
+    pool.parallel_for(0, to_build.size(), [&](std::size_t t) {
+      obs::SpanContext ctx(here);
+      const Slot& slot = slots_[to_build[t]];
+      try {
+        outcomes[t].frame =
+            cluster::build_frame(slot.trace, config_.clustering);
+      } catch (const Error& error) {
+        outcomes[t].error = error.what();
+        outcomes[t].rethrow = std::current_exception();
+      }
+    });
+
+    for (std::size_t t = 0; t < to_build.size(); ++t) {
+      Slot& slot = slots_[to_build[t]];
+      Outcome& outcome = outcomes[t];
+      slot.attempted = true;
+      if (outcome.frame.has_value()) {
+        slot.frame = std::move(outcome.frame);
+        ++stats_.frames_clustered;
+        auto key = pending_key.find(to_build[t]);
+        if (key != pending_key.end()) cache_.store(key->second, *slot.frame);
+        continue;
+      }
+      slot.reason = std::move(outcome.error);
+      slot.rethrow = outcome.rethrow;
+      if (!config_.resilience.lenient) {
+        if (slot.rethrow) std::rethrow_exception(slot.rethrow);
+        throw Error(slot.reason);
+      }
+    }
+  }
+  stats_.cache = cache_.stats();
+}
+
+TrackingResult TrackingSession::retrack() {
+  PT_SPAN("session_retrack");
+  PT_REQUIRE(slots_.size() >= 2, "tracking needs at least two experiments");
+  PT_COUNTER("experiments", static_cast<double>(slots_.size()));
+
+  cluster_new_slots();
+
+  // Fold the memoised outcomes in slot order: surviving frames, gaps and
+  // error precedence all match a cold batch run.
+  std::vector<std::size_t> live;
+  std::vector<ExperimentGap> gaps;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
+    if (slot.frame.has_value()) {
+      live.push_back(i);
+      continue;
+    }
+    if (slot.trace != nullptr) {
+      // A memoised clustering failure; strict mode was rethrown above.
+      PT_LOG(Warn) << "experiment '" << slot.label
+                   << "' failed to cluster, tracking across the gap: "
+                   << slot.reason;
+    }
+    gaps.push_back({i, slot.label, slot.reason});
+  }
+
+  if (!gaps.empty()) {
+    double gap_fraction = static_cast<double>(gaps.size()) /
+                          static_cast<double>(slots_.size());
+    if (gap_fraction > config_.resilience.max_gap_fraction)
+      throw Error("gap budget exhausted: " + std::to_string(gaps.size()) +
+                  " of " + std::to_string(slots_.size()) +
+                  " experiments failed (limit " +
+                  std::to_string(static_cast<int>(
+                      config_.resilience.max_gap_fraction * 100.0)) +
+                  "%)");
+    if (live.size() < 2)
+      throw Error("tracking needs at least two surviving experiments (" +
+                  std::to_string(gaps.size()) + " of " +
+                  std::to_string(slots_.size()) + " are gaps)");
+    PT_COUNTER("experiment_gaps", static_cast<double>(gaps.size()));
+  }
+  PT_REQUIRE(live.size() >= 2, "tracking needs at least two experiments");
+
+  TrackingResult result;
+  {
+    PT_SPAN("track_frames");
+    const TrackingParams& params = config_.tracking;
+    ThreadPool pool(ThreadPool::resolve(params.threads));
+    PT_GAUGE("threads", static_cast<double>(pool.thread_count()));
+
+    std::vector<cluster::Frame> frames;
+    frames.reserve(live.size());
+    for (std::size_t i : live) frames.push_back(*slots_[i].frame);
+
+    ScaleNormalization scale;
+    {
+      PT_SPAN("scale_fit");
+      scale = ScaleNormalization::fit(frames,
+                                      tracking_log_scale(params, frames[0]));
+    }
+
+    // The memoised pair relations were computed under pair_scale_; a scale
+    // moved by the appended frames invalidates every one of them (the
+    // price of bit-identity with the batch path). Frames and alignments
+    // stay valid — only the cross-experiment normalisation changed.
+    if (!pair_scale_.has_value() || !(*pair_scale_ == scale)) {
+      if (!pair_memo_.empty()) {
+        ++stats_.scale_invalidations;
+        PT_LOG(Debug) << "session: scale moved, re-tracking all "
+                      << pair_memo_.size() << " memoised pairs";
+      }
+      pair_memo_.clear();
+      pair_scale_ = scale;
+    }
+
+    const std::size_t pair_count = live.size() - 1;
+    std::vector<std::size_t> missing;
+    for (std::size_t p = 0; p < pair_count; ++p)
+      if (!pair_memo_.count({live[p], live[p + 1]})) missing.push_back(p);
+
+    // Per-frame artefacts: alignments are memoised per slot (they depend
+    // only on the frame and the fixed alignment scores); displacement
+    // clouds depend on the scale, so they are rebuilt, but only for the
+    // frames the missing pairs actually touch.
+    std::vector<char> needs_cloud(live.size(), 0);
+    for (std::size_t p : missing) needs_cloud[p] = needs_cloud[p + 1] = 1;
+    std::vector<std::unique_ptr<FrameCloud>> clouds(live.size());
+    {
+      PT_SPAN("frame_alignments");
+      const std::vector<const char*> here = obs::current_span_path();
+      pool.parallel_for(0, live.size(), [&](std::size_t f) {
+        obs::SpanContext ctx(here);
+        Slot& slot = slots_[live[f]];
+        if (!slot.alignment.has_value())
+          slot.alignment.emplace(*slot.frame, params.alignment_scores);
+        if (params.use_displacement && needs_cloud[f])
+          clouds[f] = std::make_unique<FrameCloud>(frames[f], scale);
+      });
+    }
+
+    // Track only the missing pairs; results land in their slot, so the
+    // sequence is identical for any thread count.
+    std::vector<PairTracking> fresh(missing.size());
+    {
+      const std::vector<const char*> here = obs::current_span_path();
+      pool.parallel_for(0, missing.size(), [&](std::size_t m) {
+        obs::SpanContext ctx(here);
+        const std::size_t p = missing[m];
+        fresh[m] = track_pair(frames[p], *slots_[live[p]].alignment,
+                              frames[p + 1], *slots_[live[p + 1]].alignment,
+                              scale, params, clouds[p].get(),
+                              clouds[p + 1].get());
+        PT_LOG(Debug) << "pair " << p << ": " << fresh[m].relations.size()
+                      << " relations";
+      });
+    }
+    for (std::size_t m = 0; m < missing.size(); ++m)
+      pair_memo_[{live[missing[m]], live[missing[m] + 1]}] =
+          std::move(fresh[m]);
+    stats_.pairs_tracked += missing.size();
+    stats_.pairs_memoized += pair_count - missing.size();
+    PT_COUNTER("session_pairs_tracked", static_cast<double>(missing.size()));
+    PT_COUNTER("session_pairs_memoized",
+               static_cast<double>(pair_count - missing.size()));
+
+    std::vector<PairTracking> pairs;
+    pairs.reserve(pair_count);
+    for (std::size_t p = 0; p < pair_count; ++p)
+      pairs.push_back(pair_memo_.at({live[p], live[p + 1]}));
+
+    result = chain_tracking(std::move(frames), std::move(scale),
+                            std::move(pairs));
+  }
+  result.gaps = std::move(gaps);
+  return result;
+}
+
+}  // namespace perftrack::tracking

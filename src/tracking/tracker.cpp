@@ -68,15 +68,17 @@ private:
   std::vector<std::size_t> parent_;
 };
 
-std::vector<bool> default_log_scale(const cluster::Frame& frame) {
-  const auto& metrics = frame.projection().metrics;
+}  // namespace
+
+std::vector<bool> tracking_log_scale(const TrackingParams& params,
+                                     const cluster::Frame& first) {
+  if (!params.log_scale.empty()) return params.log_scale;
+  const auto& metrics = first.projection().metrics;
   std::vector<bool> log_scale(metrics.size());
   for (std::size_t d = 0; d < metrics.size(); ++d)
     log_scale[d] = trace::metric_scales_with_tasks(metrics[d]);
   return log_scale;
 }
-
-}  // namespace
 
 TrackingResult track_frames(std::vector<cluster::Frame> frames,
                             const TrackingParams& params) {
@@ -92,10 +94,8 @@ TrackingResult track_frames(std::vector<cluster::Frame> frames,
 
   {
     PT_SPAN("scale_fit");
-    std::vector<bool> log_scale = params.log_scale.empty()
-                                      ? default_log_scale(result.frames[0])
-                                      : params.log_scale;
-    result.scale = ScaleNormalization::fit(result.frames, log_scale);
+    result.scale = ScaleNormalization::fit(
+        result.frames, tracking_log_scale(params, result.frames[0]));
   }
 
   // Per-frame artefacts, computed once per frame and shared by both of the
@@ -132,6 +132,23 @@ TrackingResult track_frames(std::vector<cluster::Frame> frames,
                     << result.pairs[p].relations.size() << " relations";
     });
   }
+
+  return chain_tracking(std::move(result.frames), std::move(result.scale),
+                        std::move(result.pairs));
+}
+
+TrackingResult chain_tracking(std::vector<cluster::Frame> frames,
+                              ScaleNormalization scale,
+                              std::vector<PairTracking> pairs) {
+  PT_REQUIRE(frames.size() >= 2, "tracking needs at least two frames");
+  PT_REQUIRE(pairs.size() + 1 == frames.size(),
+             "need exactly one pair tracking per adjacent frame pair");
+
+  TrackingResult result;
+  result.frames = std::move(frames);
+  result.scale = std::move(scale);
+  result.pairs = std::move(pairs);
+  const std::size_t frame_count = result.frames.size();
 
   // Chain relations into whole-sequence regions.
   PT_SPAN("chain_regions");

@@ -88,4 +88,19 @@ struct TrackingResult {
 TrackingResult track_frames(std::vector<cluster::Frame> frames,
                             const TrackingParams& params = {});
 
+/// Per-axis log flags the scale fit uses: params.log_scale when set,
+/// otherwise log on every task-weighted axis of `first`'s metric space.
+/// Shared by track_frames and the incremental TrackingSession so the two
+/// paths cannot drift.
+std::vector<bool> tracking_log_scale(const TrackingParams& params,
+                                     const cluster::Frame& first);
+
+/// Chain already-computed pair relations into whole-sequence regions:
+/// the final stage of track_frames, split out so TrackingSession can feed
+/// it memoised pairs. `pairs[p]` must track `frames[p] -> frames[p+1]`
+/// and the scale must be the one the pairs were computed under.
+TrackingResult chain_tracking(std::vector<cluster::Frame> frames,
+                              ScaleNormalization scale,
+                              std::vector<PairTracking> pairs);
+
 }  // namespace perftrack::tracking

@@ -76,6 +76,54 @@ test -s pv_base.pcf
 "$TOOLS_DIR/ptconvert" to-ptt pv_base back.ptt | grep -q "wrote"
 "$TOOLS_DIR/perftrack" inspect back.ptt | grep -q "behavioural clusters"
 
+echo "== bad flag values are usage errors (exit 2), not crashes =="
+for bad in "--eps banana" "--eps -1" "--min-pts -3" "--min-pts 0" \
+           "--threads many" "--min-cluster-frac 2"; do
+  rc=0
+  # shellcheck disable=SC2086
+  "$TOOLS_DIR/perftrack" track hydroc_sample.ptt hydroc_sample.ptt $bad \
+      > /dev/null 2> bad_flag.err || rc=$?
+  test "$rc" -eq 2 || { echo "expected exit 2 for '$bad', got $rc" >&2; exit 1; }
+  grep -q "invalid value" bad_flag.err
+  grep -q "usage: perftrack" bad_flag.err
+done
+rc=0
+"$TOOLS_DIR/perftrack" track hydroc_sample.ptt hydroc_sample.ptt --eps \
+    2> /dev/null || rc=$?
+test "$rc" -eq 2
+rc=0
+"$TOOLS_DIR/perftrack" track hydroc_sample.ptt hydroc_sample.ptt --bogus \
+    2> /dev/null || rc=$?
+test "$rc" -eq 2
+
+echo "== frame cache: cold stores, warm hits, identical output =="
+"$TOOLS_DIR/perftrack" track hydroc_sample.ptt hydroc_sample.ptt \
+    --cache-dir fcache --profile cache_cold.json > cache_cold.out 2> /dev/null
+ls fcache/*.ptf > /dev/null
+grep -q '"frame_cache_misses"' cache_cold.json
+grep -q '"frame_cache_stores"' cache_cold.json
+"$TOOLS_DIR/perftrack" track hydroc_sample.ptt hydroc_sample.ptt \
+    --cache-dir fcache --profile cache_warm.json > cache_warm.out 2> /dev/null
+grep -q '"frame_cache_hits":2' cache_warm.json
+diff cache_cold.out cache_warm.out
+# PERFTRACK_CACHE is the ambient default; --no-cache wins over it.
+PERFTRACK_CACHE=fcache "$TOOLS_DIR/perftrack" track hydroc_sample.ptt \
+    hydroc_sample.ptt --profile cache_env.json > cache_env.out 2> /dev/null
+grep -q '"frame_cache_hits":2' cache_env.json
+diff cache_cold.out cache_env.out
+PERFTRACK_CACHE=fcache "$TOOLS_DIR/perftrack" track hydroc_sample.ptt \
+    hydroc_sample.ptt --no-cache --profile cache_off.json > /dev/null 2>&1
+if grep -q '"frame_cache_hits"' cache_off.json; then
+  echo "--no-cache must disable the frame cache" >&2
+  exit 1
+fi
+# A corrupted entry is a miss plus a diagnostic, never a failure.
+for f in fcache/*.ptf; do truncate -s 25 "$f"; done
+"$TOOLS_DIR/perftrack" track hydroc_sample.ptt hydroc_sample.ptt \
+    --cache-dir fcache > cache_corrupt.out 2> cache_corrupt.err
+diff cache_cold.out cache_corrupt.out
+grep -q "dropping corrupt entry" cache_corrupt.err
+
 echo "== bad input is rejected cleanly =="
 if "$TOOLS_DIR/perftrack" track only_one.ptt 2> /dev/null; then
   echo "expected failure on a single input" >&2

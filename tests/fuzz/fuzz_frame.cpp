@@ -1,0 +1,59 @@
+// Fuzz target for the frame store deserialiser: arbitrary bytes through
+// decode_frame. A perftrack::Error (ParseError for corrupt entries) is a
+// correct rejection; anything else — out-of-bounds read, giant allocation,
+// std:: exception escaping, crash — is a finding. This is the adversarial
+// counterpart of the cache's corruption-tolerant load path: a poisoned
+// cache directory must never take the pipeline down.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/frame.hpp"
+#include "common/error.hpp"
+#include "fuzz_driver.hpp"
+#include "store/frame_codec.hpp"
+#include "testing/test_traces.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+std::shared_ptr<const perftrack::trace::Trace> fuzz_source() {
+  static const auto source =
+      std::make_shared<const perftrack::trace::Trace>("fuzz-app", 2);
+  return source;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  try {
+    perftrack::store::decode_frame(bytes, fuzz_source());
+  } catch (const perftrack::Error&) {
+  }
+  return 0;
+}
+
+std::vector<std::string> fuzz_seed_corpus() {
+  using namespace perftrack;
+  testing::MiniTraceSpec spec;
+  spec.tasks = 2;
+  spec.noise = 0.02;
+  spec.phases = {testing::MiniPhase{8e6, 1.0, {"p1", "x.c", 1}},
+                 testing::MiniPhase{1e6, 2.0, {"p2", "x.c", 2}}};
+  cluster::ClusteringParams params;
+  params.dbscan.eps = 0.08;
+  params.dbscan.min_pts = 3;
+  params.log_scale = {true, false};
+  std::string valid = store::encode_frame(
+      cluster::build_frame(testing::make_mini_trace(spec), params));
+
+  std::string truncated = valid.substr(0, valid.size() / 2);
+  std::string flipped = valid;
+  flipped[flipped.size() / 3] ^= 0x40;
+  return {valid, truncated, flipped, "PTF1", std::string(16, '\0'), ""};
+}

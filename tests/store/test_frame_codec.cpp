@@ -1,0 +1,198 @@
+#include "store/frame_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "cluster/frame.hpp"
+#include "common/error.hpp"
+#include "testing/test_traces.hpp"
+
+namespace perftrack::store {
+namespace {
+
+using perftrack::testing::MiniPhase;
+using perftrack::testing::MiniTraceSpec;
+using perftrack::testing::make_mini_trace;
+
+std::shared_ptr<const trace::Trace> sample_trace(const std::string& label,
+                                                 std::uint64_t seed) {
+  MiniTraceSpec spec;
+  spec.label = label;
+  spec.seed = seed;
+  spec.noise = 0.02;
+  spec.phases = {MiniPhase{8e6, 1.0, {"p1", "x.c", 1}},
+                 MiniPhase{1e6, 2.0, {"p2", "x.c", 2}},
+                 MiniPhase{3e6, 0.7, {"p3", "y.c", 9}}};
+  return make_mini_trace(spec);
+}
+
+cluster::ClusteringParams sample_params() {
+  cluster::ClusteringParams params;
+  params.dbscan.eps = 0.08;
+  params.dbscan.min_pts = 3;
+  params.log_scale = {true, false};
+  params.min_cluster_time_fraction = 0.001;
+  return params;
+}
+
+cluster::Frame sample_frame(const std::string& label = "codec",
+                            std::uint64_t seed = 7) {
+  return cluster::build_frame(sample_trace(label, seed), sample_params());
+}
+
+/// Bit-level equality over every field a Frame exposes.
+void expect_frames_equal(const cluster::Frame& a, const cluster::Frame& b) {
+  EXPECT_EQ(a.label(), b.label());
+  EXPECT_EQ(a.num_tasks(), b.num_tasks());
+  EXPECT_EQ(a.projection().metrics, b.projection().metrics);
+  ASSERT_EQ(a.projection().points.size(), b.projection().points.size());
+  ASSERT_EQ(a.projection().points.dims(), b.projection().points.dims());
+  {
+    auto ra = a.projection().points.raw();
+    auto rb = b.projection().points.raw();
+    ASSERT_EQ(ra.size(), rb.size());
+    EXPECT_EQ(std::memcmp(ra.data(), rb.data(), ra.size() * sizeof(double)),
+              0)
+        << "projection coordinates not bit-identical";
+  }
+  EXPECT_EQ(a.projection().burst_index, b.projection().burst_index);
+  EXPECT_EQ(a.projection().durations, b.projection().durations);
+  EXPECT_EQ(a.labels(), b.labels());
+  ASSERT_EQ(a.object_count(), b.object_count());
+  for (std::size_t o = 0; o < a.object_count(); ++o) {
+    const cluster::ClusterObject& oa = a.objects()[o];
+    const cluster::ClusterObject& ob = b.objects()[o];
+    EXPECT_EQ(oa.id, ob.id);
+    EXPECT_EQ(oa.rows, ob.rows);
+    EXPECT_EQ(oa.centroid, ob.centroid);
+    EXPECT_EQ(oa.metric_mean, ob.metric_mean);
+    EXPECT_EQ(oa.callstack_weight, ob.callstack_weight);
+    EXPECT_EQ(oa.total_duration, ob.total_duration);
+  }
+  EXPECT_EQ(a.task_sequences(), b.task_sequences());
+  EXPECT_EQ(a.clustered_duration(), b.clustered_duration());
+}
+
+TEST(FrameCodecTest, RoundTripPreservesEveryField) {
+  cluster::Frame frame = sample_frame();
+  ASSERT_GT(frame.object_count(), 0u);
+  std::string bytes = encode_frame(frame);
+  cluster::Frame back = decode_frame(bytes, frame.source_ptr());
+  expect_frames_equal(frame, back);
+  // The reattached source is the caller's pointer, not a copy.
+  EXPECT_EQ(&back.source(), &frame.source());
+  // Round-tripping the decoded frame is byte-stable.
+  EXPECT_EQ(encode_frame(back), bytes);
+}
+
+TEST(FrameCodecTest, RoundTripPreservesEmptyClustering) {
+  // A frame where nothing clusters (eps so small everything is noise).
+  cluster::ClusteringParams params = sample_params();
+  params.dbscan.eps = 1e-12;
+  params.dbscan.min_pts = 50;
+  cluster::Frame frame =
+      cluster::build_frame(sample_trace("empty", 3), params);
+  EXPECT_EQ(frame.object_count(), 0u);
+  cluster::Frame back =
+      decode_frame(encode_frame(frame), frame.source_ptr());
+  expect_frames_equal(frame, back);
+}
+
+TEST(FrameCodecTest, EveryTruncationIsParseError) {
+  cluster::Frame frame = sample_frame();
+  std::string bytes = encode_frame(frame);
+  // Step through prefixes (every length near the header, sampled beyond) —
+  // each must be a clean ParseError, never a crash or an allocation blowup.
+  for (std::size_t cut = 0; cut < bytes.size();
+       cut += (cut < 64 ? 1 : 37)) {
+    EXPECT_THROW(decode_frame(std::string_view(bytes).substr(0, cut),
+                              frame.source_ptr()),
+                 ParseError)
+        << "prefix length " << cut;
+  }
+}
+
+TEST(FrameCodecTest, CorruptionCorpusAllRejected) {
+  cluster::Frame frame = sample_frame();
+  const std::string good = encode_frame(frame);
+  auto expect_rejected = [&](std::string bytes, const std::string& what) {
+    EXPECT_THROW(decode_frame(bytes, frame.source_ptr()), ParseError)
+        << what;
+  };
+
+  {  // bad magic
+    std::string bad = good;
+    bad[0] = 'X';
+    expect_rejected(bad, "bad magic");
+  }
+  {  // future format version
+    std::string bad = good;
+    bad[4] = 0x7f;
+    expect_rejected(bad, "bad version");
+  }
+  {  // flipped payload bit -> checksum mismatch
+    std::string bad = good;
+    bad[bad.size() - 3] ^= 0x20;
+    expect_rejected(bad, "payload bit flip");
+  }
+  {  // flipped checksum bit
+    std::string bad = good;
+    bad[9] ^= 0x01;
+    expect_rejected(bad, "checksum bit flip");
+  }
+  {  // trailing garbage changes the payload size invariant
+    std::string bad = good + "extra";
+    expect_rejected(bad, "trailing bytes");
+  }
+  {  // payload-size field lies
+    std::string bad = good;
+    bad[16] = static_cast<char>(bad[16] + 1);
+    expect_rejected(bad, "size field mismatch");
+  }
+  expect_rejected("", "empty input");
+  expect_rejected("PTF1", "header only");
+}
+
+TEST(FrameCodecTest, DecodeRequiresSource) {
+  cluster::Frame frame = sample_frame();
+  std::string bytes = encode_frame(frame);
+  EXPECT_THROW(decode_frame(bytes, nullptr), PreconditionError);
+}
+
+TEST(FrameCodecTest, ClusteringParamsEncodingIsCanonical) {
+  cluster::ClusteringParams a = sample_params();
+  cluster::ClusteringParams b = sample_params();
+  EXPECT_EQ(encode_clustering_params(a), encode_clustering_params(b));
+
+  // Every semantically meaningful knob moves the encoding...
+  b.dbscan.eps = 0.09;
+  EXPECT_NE(encode_clustering_params(a), encode_clustering_params(b));
+  b = sample_params();
+  b.dbscan.min_pts = 4;
+  EXPECT_NE(encode_clustering_params(a), encode_clustering_params(b));
+  b = sample_params();
+  b.log_scale = {false, false};
+  EXPECT_NE(encode_clustering_params(a), encode_clustering_params(b));
+  b = sample_params();
+  b.min_cluster_time_fraction = 0.0;
+  EXPECT_NE(encode_clustering_params(a), encode_clustering_params(b));
+  b = sample_params();
+  b.collapse_sequence_runs = false;
+  EXPECT_NE(encode_clustering_params(a), encode_clustering_params(b));
+  b = sample_params();
+  b.projection.time_coverage = 0.9;
+  EXPECT_NE(encode_clustering_params(a), encode_clustering_params(b));
+
+  // ...but the DBSCAN index engine does not: labels are engine-independent,
+  // so kd-tree and grid runs share cache entries.
+  b = sample_params();
+  a.dbscan.index = cluster::DbscanIndex::kKdTree;
+  b.dbscan.index = cluster::DbscanIndex::kGrid;
+  EXPECT_EQ(encode_clustering_params(a), encode_clustering_params(b));
+}
+
+}  // namespace
+}  // namespace perftrack::store

@@ -1,0 +1,199 @@
+#include "store/frame_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "cluster/frame.hpp"
+#include "common/error.hpp"
+#include "store/frame_codec.hpp"
+#include "testing/test_traces.hpp"
+
+namespace perftrack::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+using perftrack::testing::MiniPhase;
+using perftrack::testing::MiniTraceSpec;
+using perftrack::testing::make_mini_trace;
+
+std::shared_ptr<const trace::Trace> sample_trace(const std::string& label,
+                                                 std::uint64_t seed) {
+  MiniTraceSpec spec;
+  spec.label = label;
+  spec.seed = seed;
+  spec.phases = {MiniPhase{8e6, 1.0, {"p1", "x.c", 1}},
+                 MiniPhase{1e6, 2.0, {"p2", "x.c", 2}}};
+  return make_mini_trace(spec);
+}
+
+cluster::ClusteringParams sample_params() {
+  cluster::ClusteringParams params;
+  params.dbscan.eps = 0.05;
+  params.dbscan.min_pts = 3;
+  return params;
+}
+
+/// Fresh per-test cache directory under gtest's temp root.
+fs::path fresh_dir(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / ("pt_store_" + name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+StoreConfig config_for(const fs::path& dir) {
+  StoreConfig config;
+  config.directory = dir.string();
+  return config;
+}
+
+TEST(FrameStoreTest, DisabledStoreNeverTouchesDisk) {
+  FrameStore store(StoreConfig{});
+  EXPECT_FALSE(store.enabled());
+  auto source = sample_trace("A", 1);
+  cluster::Frame frame = cluster::build_frame(source, sample_params());
+  std::string key = FrameStore::key_for(*source, sample_params());
+  store.store(key, frame);
+  EXPECT_FALSE(store.load(key, source).has_value());
+  EXPECT_EQ(store.stats().stores, 0u);
+  EXPECT_EQ(store.stats().misses, 0u);
+}
+
+TEST(FrameStoreTest, StoreThenLoadIsHitWithIdenticalFrame) {
+  fs::path dir = fresh_dir("hit");
+  FrameStore store(config_for(dir));
+  auto source = sample_trace("A", 1);
+  cluster::ClusteringParams params = sample_params();
+  cluster::Frame frame = cluster::build_frame(source, params);
+  std::string key = FrameStore::key_for(*source, params);
+
+  EXPECT_FALSE(store.load(key, source).has_value());
+  EXPECT_EQ(store.stats().misses, 1u);
+
+  store.store(key, frame);
+  EXPECT_EQ(store.stats().stores, 1u);
+  EXPECT_TRUE(fs::exists(dir / (key + ".ptf")));
+
+  std::optional<cluster::Frame> back = store.load(key, source);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(store.stats().hits, 1u);
+  // Same bytes as a direct encode: the cache returns the exact frame.
+  EXPECT_EQ(encode_frame(*back), encode_frame(frame));
+  EXPECT_EQ(&back->source(), source.get());
+}
+
+TEST(FrameStoreTest, KeyDependsOnTraceParamsAndNothingElse) {
+  auto a1 = sample_trace("A", 1);
+  auto a1_again = sample_trace("A", 1);
+  auto b = sample_trace("B", 2);
+  cluster::ClusteringParams params = sample_params();
+
+  // Deterministic: the same trace + params always derive the same key.
+  EXPECT_EQ(FrameStore::key_for(*a1, params),
+            FrameStore::key_for(*a1_again, params));
+  EXPECT_EQ(FrameStore::key_for(*a1, params).size(), 32u);
+
+  // Different content, different key.
+  EXPECT_NE(FrameStore::key_for(*a1, params), FrameStore::key_for(*b, params));
+
+  // Different clustering configuration, different key.
+  cluster::ClusteringParams other = params;
+  other.dbscan.eps = 0.1;
+  EXPECT_NE(FrameStore::key_for(*a1, params), FrameStore::key_for(*a1, other));
+}
+
+TEST(FrameStoreTest, CorruptEntryIsMissPlusErrorAndIsDeleted) {
+  fs::path dir = fresh_dir("corrupt");
+  FrameStore store(config_for(dir));
+  auto source = sample_trace("A", 1);
+  cluster::ClusteringParams params = sample_params();
+  cluster::Frame frame = cluster::build_frame(source, params);
+  std::string key = FrameStore::key_for(*source, params);
+  store.store(key, frame);
+
+  // Truncate the entry on disk behind the store's back.
+  fs::path entry = dir / (key + ".ptf");
+  fs::resize_file(entry, 10);
+
+  std::optional<cluster::Frame> back = store.load(key, source);
+  EXPECT_FALSE(back.has_value());  // miss, not a failure
+  EXPECT_EQ(store.stats().errors, 1u);
+  EXPECT_EQ(store.stats().misses, 1u);
+  EXPECT_FALSE(fs::exists(entry)) << "corrupt entry must be dropped";
+
+  // Flipped-bit corruption behaves the same way.
+  store.store(key, frame);
+  {
+    std::fstream f(entry, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(30);
+    f.put('\x7f');
+  }
+  EXPECT_FALSE(store.load(key, source).has_value());
+  EXPECT_EQ(store.stats().errors, 2u);
+  EXPECT_FALSE(fs::exists(entry));
+
+  // A healthy re-store recovers.
+  store.store(key, frame);
+  EXPECT_TRUE(store.load(key, source).has_value());
+}
+
+TEST(FrameStoreTest, LruCapEvictsOldestEntries) {
+  fs::path dir = fresh_dir("lru");
+  StoreConfig config = config_for(dir);
+  auto source = sample_trace("A", 1);
+  cluster::ClusteringParams params = sample_params();
+  cluster::Frame frame = cluster::build_frame(source, params);
+  const std::uint64_t entry_size = encode_frame(frame).size();
+
+  // Room for roughly two entries.
+  config.max_bytes = entry_size * 2 + entry_size / 2;
+  FrameStore store(config);
+  store.store("k1", frame);
+  store.store("k2", frame);
+  // Pin distinct ages so the LRU order is deterministic even on coarse
+  // mtime filesystems.
+  using namespace std::chrono_literals;
+  auto now = fs::file_time_type::clock::now();
+  fs::last_write_time(dir / "k1.ptf", now - 2h);
+  fs::last_write_time(dir / "k2.ptf", now - 1h);
+  store.store("k3", frame);
+  EXPECT_GT(store.stats().evictions, 0u);
+
+  std::uintmax_t total = 0;
+  std::size_t entries = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    total += fs::file_size(e.path());
+    ++entries;
+  }
+  EXPECT_LE(total, config.max_bytes);
+  EXPECT_LT(entries, 3u);
+  // The newest entry always survives.
+  EXPECT_TRUE(fs::exists(dir / "k3.ptf"));
+}
+
+TEST(FrameStoreTest, UnwritableDirectoryIsDiagnosticNotFailure) {
+  StoreConfig config;
+  config.directory = "/proc/definitely/not/writable/pt_cache";
+  FrameStore store(config);
+  auto source = sample_trace("A", 1);
+  cluster::Frame frame = cluster::build_frame(source, sample_params());
+  // Must not throw: the caller already has the frame.
+  EXPECT_NO_THROW(store.store("k", frame));
+  EXPECT_EQ(store.stats().stores, 0u);
+}
+
+TEST(FrameStoreTest, EnvironmentDirectoryReadsPerftrackCache) {
+  ::setenv("PERFTRACK_CACHE", "/tmp/pt-env-cache", 1);
+  EXPECT_EQ(FrameStore::environment_directory(), "/tmp/pt-env-cache");
+  ::unsetenv("PERFTRACK_CACHE");
+  EXPECT_EQ(FrameStore::environment_directory(), "");
+}
+
+}  // namespace
+}  // namespace perftrack::store

@@ -1,0 +1,301 @@
+#include "tracking/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "common/error.hpp"
+#include "testing/test_traces.hpp"
+#include "tracking/pipeline.hpp"
+#include "tracking/report.hpp"
+
+namespace perftrack::tracking {
+namespace {
+
+namespace fs = std::filesystem;
+
+using perftrack::testing::MiniPhase;
+using perftrack::testing::MiniTraceSpec;
+using perftrack::testing::make_mini_trace;
+
+std::shared_ptr<const trace::Trace> experiment(const std::string& label,
+                                               std::uint64_t seed,
+                                               double noise = 0.0) {
+  MiniTraceSpec spec;
+  spec.label = label;
+  spec.seed = seed;
+  spec.noise = noise;
+  spec.phases = {MiniPhase{8e6, 1.0, {"p1", "x.c", 1}},
+                 MiniPhase{1e6, 2.0, {"p2", "x.c", 2}}};
+  return make_mini_trace(spec);
+}
+
+SessionConfig test_config() {
+  SessionConfig config;
+  config.clustering.dbscan.eps = 0.05;
+  config.clustering.dbscan.min_pts = 3;
+  return config;
+}
+
+/// Bit-level equivalence of two tracking results: everything a report or a
+/// downstream consumer can observe must be identical, including the exact
+/// double values (no tolerance).
+void expect_same_tracking(const TrackingResult& a, const TrackingResult& b) {
+  ASSERT_EQ(a.frames.size(), b.frames.size());
+  for (std::size_t f = 0; f < a.frames.size(); ++f) {
+    EXPECT_EQ(a.frames[f].label(), b.frames[f].label());
+    EXPECT_EQ(a.frames[f].object_count(), b.frames[f].object_count());
+  }
+  EXPECT_TRUE(a.scale == b.scale);
+  ASSERT_EQ(a.pairs.size(), b.pairs.size());
+  for (std::size_t p = 0; p < a.pairs.size(); ++p)
+    EXPECT_EQ(a.pairs[p].relations.size(), b.pairs[p].relations.size());
+  ASSERT_EQ(a.regions.size(), b.regions.size());
+  for (std::size_t r = 0; r < a.regions.size(); ++r) {
+    EXPECT_EQ(a.regions[r].members, b.regions[r].members);
+    EXPECT_EQ(a.regions[r].complete, b.regions[r].complete);
+    EXPECT_EQ(a.regions[r].total_duration, b.regions[r].total_duration);
+  }
+  EXPECT_EQ(a.renaming, b.renaming);
+  EXPECT_EQ(a.complete_count, b.complete_count);
+  EXPECT_EQ(a.coverage, b.coverage);
+  EXPECT_EQ(a.gaps.size(), b.gaps.size());
+  // The rendered artefacts are the end-to-end bit-identity check.
+  EXPECT_EQ(describe_tracking(a), describe_tracking(b));
+  EXPECT_EQ(trends_csv(a), trends_csv(b));
+}
+
+TEST(SessionConfigTest, ValidConfigHasNoProblems) {
+  EXPECT_TRUE(test_config().validate().empty());
+  EXPECT_NO_THROW(test_config().validate_or_throw());
+}
+
+TEST(SessionConfigTest, ReportsAllProblemsAtOnce) {
+  SessionConfig config = test_config();
+  config.clustering.dbscan.eps = -1.0;
+  config.clustering.dbscan.min_pts = 0;
+  config.clustering.min_cluster_time_fraction = 2.0;
+  config.tracking.outlier_threshold = 3.0;
+  config.resilience.max_gap_fraction = -0.25;
+
+  std::vector<std::string> problems = config.validate();
+  EXPECT_EQ(problems.size(), 5u);
+
+  try {
+    config.validate_or_throw();
+    FAIL() << "expected Error";
+  } catch (const Error& error) {
+    std::string what = error.what();
+    // One message listing every problem, not just the first.
+    EXPECT_NE(what.find("5 problems"), std::string::npos) << what;
+    EXPECT_NE(what.find("eps"), std::string::npos);
+    EXPECT_NE(what.find("min_pts"), std::string::npos);
+    EXPECT_NE(what.find("max_gap_fraction"), std::string::npos);
+  }
+}
+
+TEST(SessionConfigTest, SessionConstructorValidates) {
+  SessionConfig config = test_config();
+  config.clustering.dbscan.eps = 0.0;
+  EXPECT_THROW(TrackingSession{config}, Error);
+}
+
+TEST(SessionConfigTest, PipelineForwardersLandInConfig) {
+  TrackingPipeline pipeline;
+  cluster::ClusteringParams clustering = pipeline.clustering();
+  clustering.dbscan.eps = 0.123;
+  pipeline.set_clustering(clustering);
+  TrackingParams tracking;
+  tracking.use_spmd = false;
+  pipeline.set_tracking(tracking);
+  ResilienceParams resilience;
+  resilience.lenient = true;
+  pipeline.set_resilience(resilience);
+  store::StoreConfig cache;
+  cache.directory = "/tmp/somewhere";
+  pipeline.set_cache(cache);
+
+  EXPECT_EQ(pipeline.config().clustering.dbscan.eps, 0.123);
+  EXPECT_FALSE(pipeline.config().tracking.use_spmd);
+  EXPECT_TRUE(pipeline.config().resilience.lenient);
+  EXPECT_EQ(pipeline.config().cache.directory, "/tmp/somewhere");
+  EXPECT_EQ(pipeline.clustering().dbscan.eps, 0.123);
+}
+
+TEST(SessionTest, NeedsTwoSlots) {
+  TrackingSession session(test_config());
+  EXPECT_THROW(session.append_experiment(nullptr), PreconditionError);
+  session.append_experiment(experiment("A", 1));
+  EXPECT_THROW(session.retrack(), PreconditionError);
+}
+
+TEST(SessionTest, IncrementalAppendsMatchColdBatch) {
+  auto a = experiment("A", 1, 0.02);
+  auto b = experiment("B", 2, 0.02);
+  auto c = experiment("C", 3, 0.02);
+  auto d = experiment("D", 4, 0.02);
+
+  TrackingPipeline batch;
+  batch.set_config(test_config());
+  for (const auto& t : {a, b, c, d}) batch.add_experiment(t);
+  TrackingResult cold = batch.run();
+
+  TrackingSession session(test_config());
+  session.append_experiment(a);
+  session.append_experiment(b);
+  TrackingResult r2 = session.retrack();
+  EXPECT_EQ(r2.frames.size(), 2u);
+  session.append_experiment(c);
+  session.append_experiment(d);
+  TrackingResult r4 = session.retrack();
+
+  expect_same_tracking(r4, cold);
+  // Each experiment was clustered exactly once across both retracks.
+  EXPECT_EQ(session.stats().frames_clustered, 4u);
+  EXPECT_EQ(session.stats().frames_memoized, 2u);
+}
+
+TEST(SessionTest, RetrackTwiceReusesFramesAndPairs) {
+  TrackingSession session(test_config());
+  session.append_experiment(experiment("A", 1));
+  session.append_experiment(experiment("B", 2));
+  session.append_experiment(experiment("C", 3));
+  TrackingResult first = session.retrack();
+  const SessionStats after_first = session.stats();
+  EXPECT_EQ(after_first.frames_clustered, 3u);
+  EXPECT_EQ(after_first.pairs_tracked, 2u);
+
+  TrackingResult second = session.retrack();
+  expect_same_tracking(first, second);
+  const SessionStats after_second = session.stats();
+  EXPECT_EQ(after_second.frames_clustered, 3u) << "no re-clustering";
+  EXPECT_EQ(after_second.frames_memoized, 3u);
+  EXPECT_EQ(after_second.pairs_tracked, 2u) << "no re-tracking";
+  EXPECT_EQ(after_second.pairs_memoized, 2u);
+  EXPECT_EQ(after_second.scale_invalidations, 0u);
+}
+
+TEST(SessionTest, ScaleStableAppendTracksExactlyOneNewPair) {
+  // Identical generator seeds produce identical point clouds, so the
+  // appended experiment cannot move the min-max scale: the memoised pairs
+  // stay valid and only the one new pair is tracked.
+  TrackingSession session(test_config());
+  session.append_experiment(experiment("A", 1));
+  session.append_experiment(experiment("B", 1));
+  session.append_experiment(experiment("C", 1));
+  session.retrack();
+  EXPECT_EQ(session.stats().pairs_tracked, 2u);
+
+  session.append_experiment(experiment("D", 1));
+  TrackingResult result = session.retrack();
+  EXPECT_EQ(result.frames.size(), 4u);
+  EXPECT_EQ(session.stats().scale_invalidations, 0u);
+  EXPECT_EQ(session.stats().pairs_tracked, 3u) << "exactly one new pair";
+  EXPECT_EQ(session.stats().pairs_memoized, 2u);
+  EXPECT_EQ(session.stats().frames_clustered, 4u);
+}
+
+TEST(SessionTest, ScaleShiftInvalidatesPairsButNotFrames) {
+  TrackingSession session(test_config());
+  session.append_experiment(experiment("A", 1));
+  session.append_experiment(experiment("B", 2));
+  session.retrack();
+
+  // A much larger phase extends the instruction range: the fitted scale
+  // moves, so memoised pair relations are re-tracked — but from memoised
+  // frames, with no re-clustering.
+  MiniTraceSpec spec;
+  spec.label = "C";
+  spec.seed = 9;
+  spec.phases = {MiniPhase{64e6, 1.0, {"p1", "x.c", 1}},
+                 MiniPhase{1e6, 2.0, {"p2", "x.c", 2}}};
+  auto c = make_mini_trace(spec);
+  session.append_experiment(c);
+  TrackingResult incremental = session.retrack();
+  EXPECT_EQ(session.stats().scale_invalidations, 1u);
+  EXPECT_EQ(session.stats().frames_clustered, 3u) << "frames stay memoised";
+  EXPECT_EQ(session.stats().pairs_tracked, 1u + 2u)
+      << "the old pair re-tracked under the new scale plus the new pair";
+
+  // And the result is still bit-identical to a cold batch run.
+  TrackingPipeline batch;
+  batch.set_config(test_config());
+  batch.add_experiment(experiment("A", 1));
+  batch.add_experiment(experiment("B", 2));
+  batch.add_experiment(c);
+  expect_same_tracking(incremental, batch.run());
+}
+
+TEST(SessionTest, DiskCacheMakesWarmSessionClusterNothing) {
+  fs::path dir =
+      fs::path(::testing::TempDir()) / "pt_session_cache";
+  fs::remove_all(dir);
+  SessionConfig config = test_config();
+  config.cache.directory = dir.string();
+
+  auto a = experiment("A", 1);
+  auto b = experiment("B", 2);
+  auto c = experiment("C", 3);
+
+  // Cold reference without any cache.
+  TrackingPipeline reference;
+  reference.set_config(test_config());
+  for (const auto& t : {a, b, c}) reference.add_experiment(t);
+  TrackingResult cold = reference.run();
+
+  // Cold cached run populates the store.
+  TrackingSession first(config);
+  for (const auto& t : {a, b, c}) first.append_experiment(t);
+  TrackingResult cached_cold = first.retrack();
+  EXPECT_EQ(first.stats().frames_clustered, 3u);
+  EXPECT_EQ(first.stats().cache.stores, 3u);
+
+  // A brand-new session (fresh process in real life) loads every frame.
+  TrackingSession second(config);
+  for (const auto& t : {a, b, c}) second.append_experiment(t);
+  TrackingResult warm = second.retrack();
+  EXPECT_EQ(second.stats().frames_clustered, 0u) << "all from cache";
+  EXPECT_EQ(second.stats().frames_from_cache, 3u);
+  EXPECT_EQ(second.stats().cache.hits, 3u);
+
+  // Cold, cached-cold and warm are all bit-identical.
+  expect_same_tracking(cold, cached_cold);
+  expect_same_tracking(cold, warm);
+  fs::remove_all(dir);
+}
+
+TEST(SessionTest, GapsAreTrackedAcrossAndReported) {
+  SessionConfig config = test_config();
+  config.resilience.lenient = true;
+  TrackingSession session(config);
+  session.append_experiment(experiment("A", 1));
+  session.append_gap("missing.ptt", "file not found");
+  session.append_experiment(experiment("C", 3));
+  EXPECT_EQ(session.experiment_count(), 3u);
+  EXPECT_EQ(session.gap_count(), 1u);
+
+  TrackingResult result = session.retrack();
+  EXPECT_EQ(result.frames.size(), 2u);
+  ASSERT_EQ(result.gaps.size(), 1u);
+  EXPECT_EQ(result.gaps[0].slot, 1u);
+  EXPECT_EQ(result.gaps[0].label, "missing.ptt");
+  EXPECT_TRUE(result.degraded());
+}
+
+TEST(SessionTest, StrictModeRefusesGaps) {
+  TrackingSession session(test_config());
+  session.append_experiment(experiment("A", 1));
+  session.append_gap("missing.ptt", "file not found");
+  try {
+    session.retrack();
+    FAIL() << "expected Error";
+  } catch (const Error& error) {
+    EXPECT_NE(std::string(error.what()).find("enable lenient resilience"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace perftrack::tracking

@@ -1,14 +1,51 @@
+// calibrate — run the synthetic paper studies and print per-study tracking
+// scores, for eyeballing parameter changes against Table 2.
+//
+//   calibrate [STUDY] [-v|--verbose]
+
 #include <cstdio>
-#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cli.hpp"
 #include "sim/studies.hpp"
 #include "tracking/tracker.hpp"
 #include "tracking/report.hpp"
+
 using namespace perftrack;
+
+namespace {
+
+cli::OptionTable option_table(bool& verbose) {
+  cli::OptionTable table;
+  table.tool = "calibrate";
+  table.commands = {
+      "[STUDY] [options]   (STUDY: wrf cgpop bt gadget qe hydroc mrg ft "
+      "gromacs3 gromacs20; default: all)",
+  };
+  table.add_switch("--verbose", "print the full tracking report per study",
+                   [&verbose] { verbose = true; });
+  // Original short spelling, kept working.
+  table.add_switch("-v", "same as --verbose", [&verbose] { verbose = true; });
+  return table;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  std::vector<sim::Study> studies;
   bool verbose = false;
-  std::string which = argc > 1 ? argv[1] : "";
-  if (argc > 2 && std::string(argv[2]) == "-v") verbose = true;
+  cli::OptionTable table = option_table(verbose);
+  std::vector<std::string> positionals;
+  try {
+    table.parse(argc, argv, 1, positionals);
+  } catch (const cli::UsageError& error) {
+    std::fprintf(stderr, "calibrate: %s\n", error.what());
+    std::fputs(table.usage().c_str(), stderr);
+    return 2;
+  }
+
+  std::vector<sim::Study> studies;
+  std::string which = positionals.empty() ? "" : positionals[0];
   if (which == "wrf") studies.push_back(sim::study_wrf());
   else if (which == "cgpop") studies.push_back(sim::study_cgpop());
   else if (which == "bt") studies.push_back(sim::study_nas_bt());
@@ -18,16 +55,20 @@ int main(int argc, char** argv) {
   else if (which == "mrg") studies.push_back(sim::study_mrgenesis());
   else if (which == "ft") studies.push_back(sim::study_nas_ft());
   else if (which == "gromacs3") studies.push_back(sim::study_gromacs_scaling());
-  else if (which == "gromacs20") studies.push_back(sim::study_gromacs_evolution());
+  else if (which == "gromacs20")
+    studies.push_back(sim::study_gromacs_evolution());
   else studies = sim::all_studies();
+
   for (const auto& st : studies) {
     auto frames = st.frames();
-    std::printf("== %-22s frames=%zu objects:", st.name.c_str(), frames.size());
+    std::printf("== %-22s frames=%zu objects:", st.name.c_str(),
+                frames.size());
     for (auto& f : frames) std::printf(" %zu", f.object_count());
     auto result = tracking::track_frames(std::move(frames), {});
     std::printf(" -> tracked=%zu coverage=%.0f%%\n", result.complete_count,
                 result.coverage * 100);
-    if (verbose) std::fputs(tracking::describe_tracking(result).c_str(), stdout);
+    if (verbose)
+      std::fputs(tracking::describe_tracking(result).c_str(), stdout);
   }
   return 0;
 }

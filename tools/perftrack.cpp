@@ -7,25 +7,8 @@
 //   perftrack evolve  [options] --intervals N RUN.ptt
 //   perftrack inspect TRACE.ptt
 //
-// Options:
-//   --eps X               DBSCAN radius in the normalised space (0.025)
-//   --min-pts N           DBSCAN core threshold (5)
-//   --min-cluster-frac F  drop clusters below this time share (0.005)
-//   --csv FILE            write per-region trends as CSV
-//   --html FILE           write an animated HTML report (frames + trends)
-//   --gnuplot BASE        write BASE.{frames.dat,trends.dat,gp} for gnuplot
-//   --matrices            print the evaluator correlation matrices
-//   --scatter             print the tracked frames as ASCII scatter plots
-//   --no-spmd / --no-callstack / --no-sequence   disable a heuristic
-//   --strict              abort on the first malformed record (default)
-//   --lenient             skip/repair malformed records under an error
-//                         budget; failed experiments become sequence gaps
-//   --max-errors N        lenient-mode error budget per input file (100)
-//   --threads N           worker threads for clustering/tracking (default:
-//                         hardware concurrency; 1 = serial, same output)
-//   --profile FILE        record pipeline telemetry, write a JSON run report
-//   --trace-events FILE   record telemetry as Chrome trace_event JSON
-//                         (open in Perfetto / chrome://tracing)
+// Flags live in the cli::OptionTable below — the table generates the usage
+// text, so run `perftrack` with no arguments for the current list.
 //
 // Exit codes: 0 success, 1 internal error, 2 usage, 3 parse failure,
 // 4 I/O failure, 5 degraded success (lenient run completed, but with
@@ -38,12 +21,14 @@
 #include <string>
 #include <vector>
 
+#include "cli.hpp"
 #include "cluster/scatter.hpp"
 #include "common/diagnostics.hpp"
 #include "common/error.hpp"
 #include "obs/report.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/studies.hpp"
+#include "store/frame_store.hpp"
 #include "trace/slice.hpp"
 #include "trace/trace_io.hpp"
 #include "tracking/gnuplot.hpp"
@@ -78,63 +63,108 @@ struct Options {
   bool matrices = false;
   bool scatter = false;
   bool lenient = false;
+  bool no_cache = false;
   std::size_t max_errors = 100;
+  store::StoreConfig cache;
   tracking::TrackingParams tracking;
 };
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: perftrack track   [options] A.ptt B.ptt [...]\n"
-               "       perftrack evolve  [options] --intervals N RUN.ptt\n"
-               "       perftrack inspect TRACE.ptt\n"
-               "options: --eps X --min-pts N --min-cluster-frac F\n"
-               "         --csv FILE --html FILE --gnuplot BASE\n"
-               "         --matrices --scatter --intervals N\n"
-               "         --no-spmd --no-callstack --no-sequence\n"
-               "         --strict --lenient --max-errors N\n"
-               "         --threads N --profile FILE --trace-events FILE\n"
-               "exit codes: 0 ok, 1 error, 2 usage, 3 parse, 4 io,\n"
-               "            5 degraded success (lenient, gaps/diagnostics)\n");
-  return kExitUsage;
+/// The single source of truth for perftrack's flags: drives both parsing
+/// and the usage text. Each numeric flag validates its operand here, so a
+/// bad value is a usage error before any work starts.
+cli::OptionTable option_table(Options& options) {
+  cli::OptionTable table;
+  table.tool = "perftrack";
+  table.commands = {
+      "track   [options] A.ptt B.ptt [...]",
+      "evolve  [options] --intervals N RUN.ptt",
+      "inspect [options] TRACE.ptt",
+  };
+  table.footer =
+      "exit codes: 0 ok, 1 error, 2 usage, 3 parse, 4 io,\n"
+      "            5 degraded success (lenient, gaps/diagnostics)\n";
+  auto* o = &options;
+  table.add("--eps", "X", "DBSCAN radius in the normalised space (0.025)",
+            [o](const std::string& v) {
+              o->eps = cli::parse_double("--eps", v);
+              if (o->eps <= 0.0)
+                throw cli::UsageError("invalid value for --eps: '" + v +
+                                      "' (must be positive)");
+            });
+  table.add("--min-pts", "N", "DBSCAN core threshold (5)",
+            [o](const std::string& v) {
+              o->min_pts = cli::parse_count("--min-pts", v, 1);
+            });
+  table.add("--min-cluster-frac", "F",
+            "drop clusters below this time share (0.005)",
+            [o](const std::string& v) {
+              o->min_cluster_frac = cli::parse_double("--min-cluster-frac", v);
+              if (o->min_cluster_frac < 0.0 || o->min_cluster_frac >= 1.0)
+                throw cli::UsageError(
+                    "invalid value for --min-cluster-frac: '" + v +
+                    "' (must be in [0, 1))");
+            });
+  table.add("--intervals", "N", "time slices for evolve (8)",
+            [o](const std::string& v) {
+              o->intervals = cli::parse_count("--intervals", v, 2);
+            });
+  table.add("--csv", "FILE", "write per-region trends as CSV",
+            [o](const std::string& v) { o->csv_path = v; });
+  table.add("--html", "FILE",
+            "write an animated HTML report (frames + trends)",
+            [o](const std::string& v) { o->html_path = v; });
+  table.add("--gnuplot", "BASE",
+            "write BASE.{frames.dat,trends.dat,gp} for gnuplot",
+            [o](const std::string& v) { o->gnuplot_base = v; });
+  table.add_switch("--matrices",
+                   "print the evaluator correlation matrices",
+                   [o] { o->matrices = true; });
+  table.add_switch("--scatter",
+                   "print the tracked frames as ASCII scatter plots",
+                   [o] { o->scatter = true; });
+  table.add_switch("--no-spmd", "disable the SPMD structure heuristic",
+                   [o] { o->tracking.use_spmd = false; });
+  table.add_switch("--no-callstack", "disable the callstack heuristic",
+                   [o] { o->tracking.use_callstack = false; });
+  table.add_switch("--no-sequence", "disable the sequence heuristic",
+                   [o] { o->tracking.use_sequence = false; });
+  table.add_switch("--strict",
+                   "abort on the first malformed record (default)",
+                   [o] { o->lenient = false; });
+  table.add_switch("--lenient",
+                   "repair/skip malformed records under an error budget; "
+                   "failed experiments become sequence gaps",
+                   [o] { o->lenient = true; });
+  table.add("--max-errors", "N",
+            "lenient-mode error budget per input file (100)",
+            [o](const std::string& v) {
+              o->max_errors = cli::parse_count("--max-errors", v);
+            });
+  table.add("--threads", "N",
+            "worker threads for clustering/tracking (default: hardware "
+            "concurrency; 1 = serial, same output)",
+            [o](const std::string& v) {
+              o->tracking.threads = cli::parse_count("--threads", v);
+            });
+  table.add("--cache-dir", "DIR",
+            "cache clustered frames in DIR (default: $PERFTRACK_CACHE)",
+            [o](const std::string& v) { o->cache.directory = v; });
+  table.add_switch("--no-cache",
+                   "disable the frame cache even if PERFTRACK_CACHE is set",
+                   [o] { o->no_cache = true; });
+  table.add("--profile", "FILE",
+            "record pipeline telemetry, write a JSON run report",
+            [o](const std::string& v) { o->profile_path = v; });
+  table.add("--trace-events", "FILE",
+            "record telemetry as Chrome trace_event JSON (open in Perfetto "
+            "/ chrome://tracing)",
+            [o](const std::string& v) { o->trace_events_path = v; });
+  return table;
 }
 
-bool parse(int argc, char** argv, Options& options) {
-  if (argc < 2) return false;
-  options.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    std::string arg = argv[i];
-    auto next_value = [&]() -> const char* {
-      if (i + 1 >= argc) throw Error("missing value for " + arg);
-      return argv[++i];
-    };
-    if (arg == "--eps") options.eps = std::stod(next_value());
-    else if (arg == "--min-pts")
-      options.min_pts = static_cast<std::size_t>(std::stoul(next_value()));
-    else if (arg == "--min-cluster-frac")
-      options.min_cluster_frac = std::stod(next_value());
-    else if (arg == "--intervals")
-      options.intervals = static_cast<std::size_t>(std::stoul(next_value()));
-    else if (arg == "--csv") options.csv_path = next_value();
-    else if (arg == "--html") options.html_path = next_value();
-    else if (arg == "--gnuplot") options.gnuplot_base = next_value();
-    else if (arg == "--profile") options.profile_path = next_value();
-    else if (arg == "--trace-events") options.trace_events_path = next_value();
-    else if (arg == "--matrices") options.matrices = true;
-    else if (arg == "--scatter") options.scatter = true;
-    else if (arg == "--strict") options.lenient = false;
-    else if (arg == "--lenient") options.lenient = true;
-    else if (arg == "--max-errors")
-      options.max_errors = static_cast<std::size_t>(std::stoul(next_value()));
-    else if (arg == "--threads")
-      options.tracking.threads =
-          static_cast<std::size_t>(std::stoul(next_value()));
-    else if (arg == "--no-spmd") options.tracking.use_spmd = false;
-    else if (arg == "--no-callstack") options.tracking.use_callstack = false;
-    else if (arg == "--no-sequence") options.tracking.use_sequence = false;
-    else if (arg.rfind("--", 0) == 0) throw Error("unknown option " + arg);
-    else options.inputs.push_back(arg);
-  }
-  return true;
+int usage(const cli::OptionTable& table) {
+  std::fputs(table.usage().c_str(), stderr);
+  return kExitUsage;
 }
 
 /// Per-run ingestion state: every file's diagnostics plus gap bookkeeping,
@@ -190,18 +220,23 @@ bool load_experiment(const Options& options, const std::string& path,
   }
 }
 
+/// The run configuration the flags describe, as one validated aggregate.
+tracking::SessionConfig session_config(const Options& options) {
+  tracking::SessionConfig config;
+  config.clustering = sim::default_clustering();
+  config.clustering.dbscan.eps = options.eps;
+  config.clustering.dbscan.min_pts = options.min_pts;
+  config.clustering.min_cluster_time_fraction = options.min_cluster_frac;
+  config.tracking = options.tracking;
+  config.resilience.lenient = options.lenient;
+  if (!options.no_cache) config.cache = options.cache;
+  return config;
+}
+
 int run_tracking(const Options& options,
                  tracking::TrackingPipeline& pipeline,
                  const IngestReport& ingest) {
-  cluster::ClusteringParams clustering = sim::default_clustering();
-  clustering.dbscan.eps = options.eps;
-  clustering.dbscan.min_pts = options.min_pts;
-  clustering.min_cluster_time_fraction = options.min_cluster_frac;
-  pipeline.set_clustering(clustering);
-  pipeline.set_tracking(options.tracking);
-  tracking::ResilienceParams resilience;
-  resilience.lenient = options.lenient;
-  pipeline.set_resilience(resilience);
+  pipeline.set_config(session_config(options));
 
   tracking::TrackingResult result = pipeline.run();
 
@@ -337,8 +372,13 @@ void emit_telemetry(const Options& options, int argc, char** argv) {
 
 int main(int argc, char** argv) {
   Options options;
+  options.cache.directory = store::FrameStore::environment_directory();
+  cli::OptionTable table = option_table(options);
   try {
-    if (!parse(argc, argv, options)) return usage();
+    if (argc < 2) return usage(table);
+    options.command = argv[1];
+    table.parse(argc, argv, 2, options.inputs);
+
     const bool profiling =
         !options.profile_path.empty() || !options.trace_events_path.empty();
     if (profiling) obs::set_enabled(true);
@@ -347,13 +387,16 @@ int main(int argc, char** argv) {
     if (options.command == "track") rc = cmd_track(options);
     else if (options.command == "evolve") rc = cmd_evolve(options);
     else if (options.command == "inspect") rc = cmd_inspect(options);
-    else return usage();
+    else return usage(table);
 
     // A degraded success still produced a full result: emit its telemetry
-    // so the run report records the gaps and diagnostics.
+    // so the run report records the gaps, diagnostics and cache counters.
     if (profiling && (rc == kExitOk || rc == kExitDegraded))
       emit_telemetry(options, argc, argv);
     return rc;
+  } catch (const cli::UsageError& error) {
+    std::fprintf(stderr, "perftrack: %s\n", error.what());
+    return usage(table);
   } catch (const ParseError& error) {
     std::fprintf(stderr, "perftrack: parse error: %s\n", error.what());
     return kExitParse;

@@ -6,7 +6,9 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "cli.hpp"
 #include "common/error.hpp"
 #include "paraver/prv.hpp"
 #include "trace/trace_io.hpp"
@@ -14,34 +16,52 @@
 using namespace perftrack;
 
 namespace {
-int usage() {
-  std::fprintf(stderr,
-               "usage: ptconvert to-prv INPUT.ptt OUTPUT_BASE\n"
-               "       ptconvert to-ptt INPUT_BASE OUTPUT.ptt\n");
+
+cli::OptionTable option_table() {
+  cli::OptionTable table;
+  table.tool = "ptconvert";
+  table.commands = {
+      "to-prv INPUT.ptt OUTPUT_BASE   (writes OUTPUT_BASE.{prv,pcf})",
+      "to-ptt INPUT_BASE OUTPUT.ptt   (reads INPUT_BASE.{prv,pcf})",
+  };
+  return table;
+}
+
+int usage(const cli::OptionTable& table) {
+  std::fputs(table.usage().c_str(), stderr);
   return 2;
 }
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 4) return usage();
-  std::string command = argv[1];
+  cli::OptionTable table = option_table();
   try {
+    if (argc < 2) return usage(table);
+    std::string command = argv[1];
+    std::vector<std::string> inputs;
+    table.parse(argc, argv, 2, inputs);
+    if (inputs.size() != 2) return usage(table);
     if (command == "to-prv") {
-      trace::Trace input = trace::load_trace(argv[2]);
-      paraver::save_prv(argv[3], input);
-      std::printf("wrote %s.prv and %s.pcf (%zu bursts)\n", argv[3],
-                  argv[3], input.burst_count());
+      trace::Trace input = trace::load_trace(inputs[0]);
+      paraver::save_prv(inputs[1], input);
+      std::printf("wrote %s.prv and %s.pcf (%zu bursts)\n", inputs[1].c_str(),
+                  inputs[1].c_str(), input.burst_count());
       return 0;
     }
     if (command == "to-ptt") {
-      trace::Trace input = paraver::load_prv(argv[2]);
-      trace::save_trace(argv[3], input);
-      std::printf("wrote %s (%zu bursts)\n", argv[3], input.burst_count());
+      trace::Trace input = paraver::load_prv(inputs[0]);
+      trace::save_trace(inputs[1], input);
+      std::printf("wrote %s (%zu bursts)\n", inputs[1].c_str(),
+                  input.burst_count());
       return 0;
     }
+  } catch (const cli::UsageError& error) {
+    std::fprintf(stderr, "ptconvert: %s\n", error.what());
+    return usage(table);
   } catch (const Error& error) {
     std::fprintf(stderr, "ptconvert: %s\n", error.what());
     return 1;
   }
-  return usage();
+  return usage(table);
 }
