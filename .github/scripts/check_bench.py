@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Gate CI on perftrack bench run reports.
+
+The perf_* benches check two different kinds of property, and CI must
+treat them differently:
+
+  * correctness verdicts — bit-identity of incremental vs batch results,
+    cache-warmed runs reproducing cold runs, every request answered.
+    These hold on any machine, so a violation fails the build.
+  * timing bars — e.g. the >= 5x evolution-study speedup perf_session
+    asserts locally. Shared CI runners make wall-clock ratios flaky, so
+    a miss is only a workflow warning; the numbers still land in the
+    uploaded BENCH_*.json artifacts for trend-watching.
+
+Benches export both as gauges in their run report (the
+"perftrack-run-report" schema `perftrack --profile` writes), using a
+naming convention this script enforces:
+
+  verdict_*    correctness verdict; anything but 1.0 fails CI
+  advisory_*   environment-sensitive bar; anything but 1.0 warns
+  (others)     informational numbers, printed for the log
+
+Usage: check_bench.py BENCH_session.json [BENCH_serve.json ...]
+Exit codes: 0 all verdicts hold, 1 verdict violation, 2 unusable report
+(missing file, wrong schema, or no verdict gauges at all).
+"""
+
+import json
+import sys
+
+
+def fail(message: str) -> None:
+    print(f"::error::{message}")
+
+
+def warn(message: str) -> None:
+    print(f"::warning::{message}")
+
+
+def check_report(path: str) -> int:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot read bench report {path}: {error}")
+        return 2
+
+    if report.get("schema") != "perftrack-run-report":
+        fail(f"{path} is not a perftrack-run-report "
+             f"(schema={report.get('schema')!r})")
+        return 2
+
+    gauges = report.get("gauges", {})
+    verdicts = {k: v for k, v in gauges.items() if k.startswith("verdict_")}
+    if not verdicts:
+        fail(f"{path} exports no verdict_* gauges; "
+             "was the bench rebuilt without them?")
+        return 2
+
+    label = report.get("label", path)
+    status = 0
+    for name, value in sorted(gauges.items()):
+        if name.startswith("verdict_"):
+            if value == 1.0:
+                print(f"{label}: {name} holds")
+            else:
+                fail(f"{label}: correctness verdict {name} FAILED "
+                     f"(value {value:g}) — see the bench log")
+                status = 1
+        elif name.startswith("advisory_"):
+            if value == 1.0:
+                print(f"{label}: {name} met")
+            else:
+                warn(f"{label}: advisory bar {name} not met "
+                     f"(value {value:g}; advisory on shared runners)")
+        else:
+            print(f"{label}: {name} = {value:g}")
+    return status
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        fail("usage: check_bench.py BENCH_report.json ...")
+        return 2
+    return max(check_report(path) for path in sys.argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,212 @@
+// perf_serve — the tracking service vs the batch pipeline it wraps.
+//
+// perftrackd's pitch is that putting TrackingSession behind a daemon costs
+// protocol overhead, not correctness: a client that appends a study's
+// traces and reads regions/trends over the wire must get the very bytes a
+// batch `perftrack track` run prints, and concurrent readers must not
+// serialise behind each other (reads take the study lock shared and serve
+// from the cached result).
+//
+// Leg A (the correctness verdict): drive the hydroc study through
+// TrackingService — open, append every trace inline, read regions and
+// trends — and compare byte-for-byte against a TrackingPipeline batch run
+// with the same configuration. Append wall time is reported next to the
+// batch run for context.
+//
+// Leg B: read throughput on a warm study, one reader vs a small pool.
+// Shared-lock reads should scale; the scaling factor is exported as an
+// advisory gauge because wall-clock ratios are flaky on shared runners.
+//
+// Leg C: the stream server end to end — a ping flood through serve_stream
+// with a bounded queue. Every request must be answered exactly once, in
+// order (the verdict); the sustained request rate bounds the protocol +
+// queue overhead per call.
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "obs/json.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "sim/studies.hpp"
+#include "trace/trace_io.hpp"
+#include "tracking/pipeline.hpp"
+#include "tracking/report.hpp"
+#include "tracking/trends.hpp"
+
+using namespace perftrack;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+serve::Request request(const std::string& method,
+                       const std::string& study = "") {
+  serve::Request r;
+  r.method = method;
+  r.study = study;
+  return r;
+}
+
+serve::Request append_request(const std::string& study,
+                              const trace::Trace& trace) {
+  serve::Request r = request("append_experiment", study);
+  std::ostringstream text;
+  trace::write_trace(text, trace);
+  r.params.type = obs::JsonValue::Type::Object;
+  obs::JsonValue inline_trace;
+  inline_trace.type = obs::JsonValue::Type::String;
+  inline_trace.string = text.str();
+  r.params.object["trace"] = std::move(inline_trace);
+  return r;
+}
+
+std::string result_field(const serve::Response& response, const char* key) {
+  if (!response.ok) {
+    std::fprintf(stderr, "request failed: %s\n", response.message.c_str());
+    return {};
+  }
+  return obs::parse_json(response.result_json).at(key).string;
+}
+
+}  // namespace
+
+int main() {
+  bench::enable_telemetry();
+  bench::print_title("perf_serve",
+                     "perftrackd service vs the batch pipeline it wraps");
+  bench::print_paper(
+      "a daemon front-end may add protocol overhead but must serve the "
+      "identical bytes, and shared-lock reads must not serialise");
+
+  sim::Study study = sim::study_hydroc();
+
+  // ---- Leg A: daemon reads vs batch pipeline, byte for byte. -----------
+  bench::print_section("daemon vs batch (hydroc study, inline appends)");
+
+  tracking::SessionConfig session_config;
+  session_config.clustering = study.clustering;
+
+  Clock::time_point start = Clock::now();
+  tracking::TrackingPipeline pipeline;
+  pipeline.set_config(session_config);
+  for (const auto& t : study.traces) pipeline.add_experiment(t);
+  tracking::TrackingResult batch = pipeline.run();
+  double batch_ms = ms_since(start);
+  const std::string batch_regions = tracking::describe_tracking(batch);
+  const std::string batch_trends = tracking::trends_csv(batch);
+
+  serve::ServiceConfig service_config;
+  service_config.session = session_config;
+  serve::TrackingService service(service_config);
+
+  start = Clock::now();
+  bool ok = service.handle(request("open_study", "hydroc")).ok;
+  for (const auto& t : study.traces)
+    ok = ok && service.handle(append_request("hydroc", *t)).ok;
+  serve::Request trends_request = request("trends", "hydroc");
+  trends_request.params.type = obs::JsonValue::Type::Object;
+  obs::JsonValue metric;
+  metric.type = obs::JsonValue::Type::String;
+  metric.string = "IPC";
+  trends_request.params.object["metric"] = std::move(metric);
+  const std::string served_regions =
+      result_field(service.handle(request("regions", "hydroc")), "text");
+  const std::string served_trends =
+      result_field(service.handle(trends_request), "csv");
+  double served_ms = ms_since(start);
+
+  bool identical = ok && served_regions == batch_regions &&
+                   served_trends == batch_trends;
+  std::printf("batch pipeline:        %.1f ms\n", batch_ms);
+  std::printf("daemon open+append+read: %.1f ms (%zu inline appends)\n",
+              served_ms, study.traces.size());
+  std::printf("served bytes identical to batch: %s\n\n",
+              identical ? "yes" : "NO — EQUIVALENCE BROKEN");
+
+  // ---- Leg B: warm-study read throughput, 1 reader vs a pool. ----------
+  bench::print_section("warm read throughput (shared-lock regions reads)");
+  const int kReads = 200;
+  start = Clock::now();
+  for (int i = 0; i < kReads; ++i)
+    service.handle(request("regions", "hydroc"));
+  double single_ms = ms_since(start);
+  double single_rps = 1000.0 * kReads / single_ms;
+
+  const unsigned pool =
+      std::min(4u, std::max(1u, std::thread::hardware_concurrency()));
+  start = Clock::now();
+  std::vector<std::thread> readers;
+  for (unsigned t = 0; t < pool; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < kReads; ++i)
+        service.handle(request("regions", "hydroc"));
+    });
+  }
+  for (std::thread& reader : readers) reader.join();
+  double pooled_ms = ms_since(start);
+  double pooled_rps = 1000.0 * kReads * pool / pooled_ms;
+  double scaling = pooled_rps / single_rps;
+  // The bar only means something with real parallelism underneath.
+  bool scaling_ok = pool < 2 || scaling >= 1.2;
+
+  std::printf("1 reader:  %7.0f reads/s\n", single_rps);
+  std::printf("%u readers: %7.0f reads/s (%.2fx, advisory bar >= 1.2x%s)\n\n",
+              pool, pooled_rps, scaling,
+              pool < 2 ? ", waived on a single core" : "");
+
+  // ---- Leg C: stream server ping flood through the bounded queue. ------
+  bench::print_section("stream server (ping flood, bounded queue)");
+  const int kPings = 2000;
+  std::string input;
+  for (int i = 0; i < kPings; ++i)
+    input += "{\"id\":" + std::to_string(i) + ",\"method\":\"ping\"}\n";
+  std::istringstream in(input);
+  std::ostringstream out;
+  serve::TrackingService ping_service;
+  serve::ServerOptions options;
+  options.threads = pool;
+  options.queue_capacity = 64;
+  start = Clock::now();
+  int exit_code = serve::serve_stream(ping_service, in, out, options);
+  double flood_ms = ms_since(start);
+
+  bool all_answered = exit_code == 0;
+  std::istringstream lines(out.str());
+  std::string line;
+  int next_id = 0;
+  while (std::getline(lines, line)) {
+    obs::JsonValue v = obs::parse_json(line);
+    all_answered = all_answered && v.at("ok").boolean &&
+                   v.at("id").number == static_cast<double>(next_id);
+    ++next_id;
+  }
+  all_answered = all_answered && next_id == kPings;
+  std::printf("%d pings over %u threads: %.1f ms (%.0f req/s)\n",
+              kPings, pool, flood_ms, 1000.0 * kPings / flood_ms);
+  std::printf("every request answered once, in order: %s\n\n",
+              all_answered ? "yes" : "NO");
+
+  PT_GAUGE("verdict_identical", identical ? 1.0 : 0.0);
+  PT_GAUGE("verdict_all_answered", all_answered ? 1.0 : 0.0);
+  PT_GAUGE("advisory_read_scaling_ge1_2", scaling_ok ? 1.0 : 0.0);
+  PT_GAUGE("read_scaling", scaling);
+  PT_GAUGE("read_rps_single", single_rps);
+  PT_GAUGE("read_rps_pooled", pooled_rps);
+  PT_GAUGE("ping_rps", 1000.0 * kPings / flood_ms);
+  bench::write_telemetry("BENCH_serve.json", "perf_serve");
+
+  bool pass = identical && all_answered;
+  std::printf("\nperf_serve: %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

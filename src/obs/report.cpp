@@ -35,6 +35,8 @@ void write_span_json(JsonWriter& json, const SpanNode& node) {
   json.key("count").value(node.count);
   json.key("total_ns").value(node.total_ns);
   json.key("self_ns").value(node.self_ns);
+  json.key("min_ns").value(node.min_ns);
+  json.key("max_ns").value(node.max_ns);
   json.key("counters").begin_object();
   for (const auto& [name, value] : node.counters)
     json.key(name).value(value);

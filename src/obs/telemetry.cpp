@@ -61,12 +61,15 @@ void record(TimelineEvent::Kind kind, const char* name, double value) {
 /// is enabled, mirroring the events actually in the stream).
 thread_local std::vector<const char*> t_open_spans;
 
-/// Find or create the child of `node` named `name`.
+/// Find or create the child of `node` named `name`. min_ns starts at the
+/// sentinel "no completed execution yet"; finalize_self_times() normalises
+/// untouched nodes back to 0.
 SpanNode& child_of(SpanNode& node, const char* name) {
   for (SpanNode& c : node.children)
     if (c.name == name) return c;
   node.children.emplace_back();
   node.children.back().name = name;
+  node.children.back().min_ns = ~0ull;
   return node.children.back();
 }
 
@@ -79,6 +82,7 @@ void finalize_self_times(SpanNode& node) {
   node.self_ns = node.total_ns > children_total
                      ? node.total_ns - children_total
                      : 0;
+  if (node.min_ns == ~0ull) node.min_ns = 0;
 }
 
 }  // namespace
@@ -204,8 +208,15 @@ RunReport collect() {
         case TimelineEvent::Kind::End:
         case TimelineEvent::Kind::CtxEnd: {
           if (stack.empty()) break;  // stray End: ignore
-          if (!stack.back().context)
-            stack.back().node->total_ns += event.ts_ns - stack.back().begin_ns;
+          if (!stack.back().context) {
+            SpanNode& node = *stack.back().node;
+            const std::uint64_t d = event.ts_ns - stack.back().begin_ns;
+            node.total_ns += d;
+            // min_ns/max_ns cover completed executions only; a span still
+            // open at snapshot time contributes to total_ns but not here.
+            if (d < node.min_ns) node.min_ns = d;
+            if (d > node.max_ns) node.max_ns = d;
+          }
           stack.pop_back();
           break;
         }

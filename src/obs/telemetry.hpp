@@ -98,6 +98,8 @@ struct SpanNode {
   std::uint64_t count = 0;     ///< number of executions
   std::uint64_t total_ns = 0;  ///< wall time, children included
   std::uint64_t self_ns = 0;   ///< total_ns minus children's total_ns
+  std::uint64_t min_ns = 0;    ///< fastest completed execution (0 if none)
+  std::uint64_t max_ns = 0;    ///< slowest completed execution (0 if none)
   std::map<std::string, double> counters;  ///< counters recorded inside
   std::vector<SpanNode> children;
 };

@@ -1,0 +1,117 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace perftrack::serve {
+
+std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::BadRequest: return "bad-request";
+    case ErrorCode::UnknownMethod: return "unknown-method";
+    case ErrorCode::UnknownStudy: return "unknown-study";
+    case ErrorCode::StudyExists: return "study-exists";
+    case ErrorCode::InvalidConfig: return "invalid-config";
+    case ErrorCode::ParseFailure: return "parse-failure";
+    case ErrorCode::IoFailure: return "io-failure";
+    case ErrorCode::TrackingFailed: return "tracking-failed";
+    case ErrorCode::Overloaded: return "overloaded";
+    case ErrorCode::ShuttingDown: return "shutting-down";
+    case ErrorCode::Internal: return "internal";
+  }
+  return "internal";
+}
+
+namespace {
+
+/// Re-render a scalar id value exactly as the response should echo it.
+/// Only scalars are legal ids; containers are a bad request.
+std::string render_id(const obs::JsonValue& id) {
+  switch (id.type) {
+    case obs::JsonValue::Type::String: {
+      return "\"" + obs::escape_json(id.string) + "\"";
+    }
+    case obs::JsonValue::Type::Number: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.12g", id.number);
+      return buf;
+    }
+    case obs::JsonValue::Type::Bool:
+      return id.boolean ? "true" : "false";
+    case obs::JsonValue::Type::Null:
+      return "null";
+    default:
+      throw ServeError(ErrorCode::BadRequest,
+                       "request id must be a scalar (string or number)");
+  }
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  obs::JsonValue doc;
+  try {
+    doc = obs::parse_json(line);
+  } catch (const Error& error) {
+    throw ServeError(ErrorCode::BadRequest,
+                     std::string("malformed request JSON: ") + error.what());
+  }
+  if (!doc.is_object())
+    throw ServeError(ErrorCode::BadRequest,
+                     "request must be a JSON object with a \"method\" field");
+
+  Request request;
+  if (doc.has("id")) request.id = render_id(doc.at("id"));
+  if (!doc.has("method") || !doc.at("method").is_string())
+    throw ServeError(ErrorCode::BadRequest,
+                     "request needs a string \"method\" field");
+  request.method = doc.at("method").string;
+  if (doc.has("study")) {
+    if (!doc.at("study").is_string())
+      throw ServeError(ErrorCode::BadRequest,
+                       "\"study\" must be a string");
+    request.study = doc.at("study").string;
+  }
+  if (doc.has("params")) {
+    if (!doc.at("params").is_object())
+      throw ServeError(ErrorCode::BadRequest,
+                       "\"params\" must be an object");
+    request.params = doc.at("params");
+  }
+  return request;
+}
+
+std::string render_response(const Response& response) {
+  std::string out = "{";
+  if (!response.id.empty()) out += "\"id\":" + response.id + ",";
+  if (response.ok) {
+    out += "\"ok\":true,\"result\":";
+    out += response.result_json.empty() ? "{}" : response.result_json;
+  } else {
+    out += "\"ok\":false,\"error\":{\"code\":\"";
+    out += error_code_name(response.code);
+    out += "\",\"message\":\"" + obs::escape_json(response.message) + "\"}";
+  }
+  out += "}";
+  return out;
+}
+
+Response make_result(const Request& request, std::string result_json) {
+  Response response;
+  response.id = request.id;
+  response.ok = true;
+  response.result_json = std::move(result_json);
+  return response;
+}
+
+Response make_error(const Request& request, ErrorCode code,
+                    const std::string& message) {
+  Response response;
+  response.id = request.id;
+  response.ok = false;
+  response.code = code;
+  response.message = message;
+  return response;
+}
+
+}  // namespace perftrack::serve

@@ -1,0 +1,118 @@
+#pragma once
+// Study registry: named, independently locked tracking sessions.
+//
+// perftrackd serves many studies at once; each study is one analyst's
+// append-only experiment sequence (a TrackingSession) plus the last
+// retracked result. The registry gives every study its own shard — an
+// RW-locked StudyState — so the service can run concurrent reads of a
+// tracked study while appends to it are serialized, and studies never
+// contend with each other:
+//
+//   * regions/trends/coverage take the study's lock shared,
+//   * open/append/retrack/evict take it exclusive,
+//   * the registry map itself has a second shared_mutex, held only long
+//     enough to resolve a name to its shard.
+//
+// Eviction: a study idle past its TTL (or beyond the resident-session cap)
+// drops its heavy state — the TrackingSession with its memoised frames and
+// the cached TrackingResult — but keeps the append log: the ordered list
+// of trace paths / inline texts / gaps that *define* the study. The next
+// request that needs a session replays the log into a fresh one, and the
+// per-experiment clustering comes back out of the PR 4 on-disk frame cache
+// instead of being recomputed, so a re-opened study warms from cache (the
+// "Rebuilds" and frame_cache_hits counters make this visible).
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "tracking/session.hpp"
+
+namespace perftrack::serve {
+
+/// One entry of a study's append log — the durable definition of the
+/// sequence, retained across session eviction.
+struct AppendEntry {
+  enum class Kind { Path, Inline, Gap };
+  Kind kind = Kind::Path;
+  std::string label;   ///< file path, inline label, or gap label
+  std::string detail;  ///< inline trace text, or gap reason
+};
+
+/// One study shard. The mutex guards every member; the registry hands out
+/// shared_ptrs so a shard stays valid while a handler works on it even if
+/// the study is concurrently closed.
+struct StudyState {
+  explicit StudyState(tracking::SessionConfig config)
+      : config(std::move(config)) {}
+
+  mutable std::shared_mutex mutex;
+
+  const tracking::SessionConfig config;
+  std::vector<AppendEntry> log;
+
+  /// Live session, or null while evicted. Rebuilt on demand from `log`.
+  std::unique_ptr<tracking::TrackingSession> session;
+
+  /// Result of the last retrack and how many log slots it covers; reads
+  /// are served from here. Shared_ptr so a response can outlive an evict.
+  std::shared_ptr<const tracking::TrackingResult> result;
+  std::size_t tracked_slots = 0;
+
+  /// Telemetry clock timestamp of the last request touching this study.
+  /// Atomic: readers refresh it while holding the lock only shared.
+  std::atomic<std::uint64_t> last_used_ns{0};
+
+  std::uint64_t appends = 0;    ///< experiments + gaps ever appended
+  std::uint64_t retracks = 0;   ///< explicit + implicit retrack executions
+  std::uint64_t rebuilds = 0;   ///< sessions rebuilt after an eviction
+  std::uint64_t evictions = 0;  ///< times the heavy state was dropped
+
+  /// Reads need a result covering every appended slot.
+  bool tracked() const { return result != nullptr && tracked_slots == log.size(); }
+};
+
+class StudyRegistry {
+public:
+  /// Create a study; throws ServeError{StudyExists} when the name is taken.
+  std::shared_ptr<StudyState> create(const std::string& name,
+                                     tracking::SessionConfig config);
+
+  /// Resolve a name; throws ServeError{UnknownStudy} when absent.
+  std::shared_ptr<StudyState> get(const std::string& name) const;
+
+  /// Remove a study entirely (log included). Throws UnknownStudy.
+  void remove(const std::string& name);
+
+  /// Open study names, sorted.
+  std::vector<std::string> names() const;
+
+  std::size_t size() const;
+
+  /// Drop the heavy state of every study idle for more than `idle_ttl_ns`
+  /// at time `now_ns`, and — when `max_resident` > 0 — of the least
+  /// recently used studies beyond that resident-session cap. Returns the
+  /// number of sessions evicted. TTL 0 disables the age rule.
+  std::size_t evict_idle(std::uint64_t now_ns, std::uint64_t idle_ttl_ns,
+                         std::size_t max_resident);
+
+private:
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, std::shared_ptr<StudyState>> studies_;
+};
+
+/// Drop `study`'s session and cached result, keeping the append log.
+/// Caller must hold the study's mutex exclusively. No-op when already
+/// evicted (returns false).
+bool evict_study(StudyState& study);
+
+/// Ensure `study` has a live session, replaying the append log if it was
+/// evicted (frame clustering warms from the on-disk cache). Caller must
+/// hold the study's mutex exclusively.
+void ensure_session(StudyState& study);
+
+}  // namespace perftrack::serve

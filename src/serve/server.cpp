@@ -1,0 +1,401 @@
+#include "serve/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include "common/log.hpp"
+#include "obs/telemetry.hpp"
+
+namespace perftrack::serve {
+
+// ---------------------------------------------------------------------------
+// BoundedExecutor
+
+BoundedExecutor::BoundedExecutor(std::size_t threads, std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      pool_(ThreadPool::resolve(threads)) {}
+
+BoundedExecutor::~BoundedExecutor() { drain(); }
+
+bool BoundedExecutor::try_submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (in_flight_ >= capacity_) {
+      ++rejected_;
+      return false;
+    }
+    ++in_flight_;
+    ++admitted_;
+  }
+  pool_.submit([this, task = std::move(task)] {
+    try {
+      task();
+    } catch (...) {
+      // Handlers answer errors through the protocol; anything escaping
+      // here is a bug, but it must not take the accounting down with it.
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--in_flight_ == 0) idle_.notify_all();
+  });
+  return true;
+}
+
+void BoundedExecutor::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+QueueStats BoundedExecutor::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return QueueStats{capacity_, in_flight_, admitted_, rejected_};
+}
+
+// ---------------------------------------------------------------------------
+// OrderedWriter
+
+OrderedWriter::OrderedWriter(std::function<void(const std::string&)> sink)
+    : sink_(std::move(sink)) {}
+
+std::uint64_t OrderedWriter::allocate() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return allocated_++;
+}
+
+void OrderedWriter::write(std::uint64_t seq, std::string line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_.emplace(seq, std::move(line));
+  for (auto it = pending_.find(emitted_); it != pending_.end();
+       it = pending_.find(emitted_)) {
+    sink_(it->second);
+    pending_.erase(it);
+    ++emitted_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared request loop
+
+namespace {
+
+/// Background idle-study eviction; joined (and woken) on destruction.
+class Sweeper {
+public:
+  Sweeper(TrackingService& service, std::uint64_t interval_ms) {
+    if (interval_ms == 0) return;
+    thread_ = std::thread([this, &service, interval_ms] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (!stop_) {
+        if (wake_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                           [this] { return stop_; }))
+          break;
+        lock.unlock();
+        service.sweep();
+        lock.lock();
+      }
+    });
+  }
+
+  ~Sweeper() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    thread_.join();
+  }
+
+private:
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+/// Read requests off one connection until EOF or a shutdown request.
+/// Parsing and admission happen on the reader thread so rejected requests
+/// (bad JSON, full queue, draining) are answered without touching the
+/// pool; admitted handlers run concurrently and answer through `writer`.
+void serve_requests(TrackingService& service, BoundedExecutor& executor,
+                    const std::function<bool(std::string&)>& next_line,
+                    OrderedWriter& writer) {
+  std::string line;
+  while (next_line(line)) {
+    if (line.empty()) continue;
+    const std::uint64_t seq = writer.allocate();
+
+    Request request;
+    try {
+      request = parse_request(line);
+    } catch (const ServeError& error) {
+      PT_COUNTER("serve_requests", 1.0);
+      PT_COUNTER("serve_errors", 1.0);
+      writer.write(seq, render_response(make_error(Request{}, error.code(),
+                                                   error.what())) +
+                            "\n");
+      continue;
+    }
+
+    if (service.shutdown_requested()) {
+      PT_COUNTER("serve_requests", 1.0);
+      PT_COUNTER("serve_errors", 1.0);
+      writer.write(
+          seq, render_response(make_error(request, ErrorCode::ShuttingDown,
+                                          "server is draining")) +
+                   "\n");
+      continue;
+    }
+
+    const bool is_shutdown = request.method == "shutdown";
+    bool admitted = executor.try_submit([&service, &writer, seq, request] {
+      writer.write(seq, render_response(service.handle(request)) + "\n");
+    });
+    if (!admitted) {
+      PT_COUNTER("serve_requests", 1.0);
+      PT_COUNTER("serve_errors", 1.0);
+      PT_COUNTER("serve_overloaded", 1.0);
+      writer.write(
+          seq,
+          render_response(make_error(
+              request, ErrorCode::Overloaded,
+              "request queue is full (capacity " +
+                  std::to_string(executor.stats().capacity) + "); retry")) +
+              "\n");
+      continue;
+    }
+    // The shutdown response is already queued; stop reading so the caller
+    // can drain. Other connections notice via shutdown_requested().
+    if (is_shutdown) break;
+  }
+}
+
+}  // namespace
+
+int serve_stream(TrackingService& service, std::istream& in,
+                 std::ostream& out, const ServerOptions& options) {
+  BoundedExecutor executor(options.threads, options.queue_capacity);
+  service.set_queue_stats([&executor] { return executor.stats(); });
+  OrderedWriter writer([&out](const std::string& line) {
+    out << line;
+    out.flush();
+  });
+  {
+    Sweeper sweeper(service, options.sweep_interval_ms);
+    serve_requests(
+        service, executor,
+        [&in](std::string& line) {
+          return static_cast<bool>(std::getline(in, line));
+        },
+        writer);
+    executor.drain();
+  }
+  service.set_queue_stats(nullptr);
+  return out.good() ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// AF_UNIX transport
+
+namespace {
+
+/// Self-pipe for async-signal-safe SIGTERM/SIGINT delivery to poll().
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void pt_serve_signal_handler(int) {
+  char byte = 0;
+  // The only async-signal-safe thing to do: poke the pipe.
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+bool write_all(int fd, const std::string& bytes) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // peer went away; the reader will see EOF and stop
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Incremental line reader over a raw fd (no stdio buffering to fight
+/// with shutdown()).
+class FdLineReader {
+public:
+  explicit FdLineReader(int fd) : fd_(fd) {}
+
+  bool next(std::string& line) {
+    while (true) {
+      std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        line.assign(buffer_, 0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (n == 0) {
+        if (buffer_.empty()) return false;
+        line.swap(buffer_);  // unterminated final line still counts
+        buffer_.clear();
+        return true;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+private:
+  int fd_;
+  std::string buffer_;
+};
+
+}  // namespace
+
+int serve_unix_socket(TrackingService& service, const std::string& path,
+                      const ServerOptions& options) {
+  sockaddr_un address{};
+  if (path.size() >= sizeof(address.sun_path)) {
+    PT_LOG(Error) << "serve: socket path too long (" << path.size()
+                  << " bytes, limit " << sizeof(address.sun_path) - 1
+                  << "): " << path;
+    return 1;
+  }
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+
+  int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    PT_LOG(Error) << "serve: socket(): " << std::strerror(errno);
+    return 1;
+  }
+  ::unlink(path.c_str());  // replace a stale socket file
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(listen_fd, 64) != 0) {
+    PT_LOG(Error) << "serve: cannot listen on " << path << ": "
+                  << std::strerror(errno);
+    ::close(listen_fd);
+    return 1;
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    PT_LOG(Error) << "serve: pipe(): " << std::strerror(errno);
+    ::close(listen_fd);
+    return 1;
+  }
+  struct sigaction action{}, old_term{}, old_int{}, old_pipe{};
+  action.sa_handler = pt_serve_signal_handler;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGTERM, &action, &old_term);
+  ::sigaction(SIGINT, &action, &old_int);
+  struct sigaction ignore{};
+  ignore.sa_handler = SIG_IGN;
+  sigemptyset(&ignore.sa_mask);
+  ::sigaction(SIGPIPE, &ignore, &old_pipe);
+
+  PT_LOG(Info) << "perftrackd listening on " << path;
+
+  BoundedExecutor executor(options.threads, options.queue_capacity);
+  service.set_queue_stats([&executor] { return executor.stats(); });
+
+  std::mutex connections_mutex;
+  std::vector<int> open_fds;
+  std::vector<std::thread> readers;
+
+  {
+    Sweeper sweeper(service, options.sweep_interval_ms);
+    bool draining = false;
+    while (!draining) {
+      pollfd fds[2] = {{listen_fd, POLLIN, 0}, {g_signal_pipe[0], POLLIN, 0}};
+      int ready = ::poll(fds, 2, 200);
+      if (service.shutdown_requested()) break;
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        PT_LOG(Error) << "serve: poll(): " << std::strerror(errno);
+        break;
+      }
+      if (fds[1].revents & POLLIN) {
+        PT_LOG(Info) << "serve: signal received, draining";
+        draining = true;
+        break;
+      }
+      if (!(fds[0].revents & POLLIN)) continue;
+      int client = ::accept(listen_fd, nullptr, nullptr);
+      if (client < 0) {
+        if (errno == EINTR) continue;
+        PT_LOG(Warn) << "serve: accept(): " << std::strerror(errno);
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lock(connections_mutex);
+        open_fds.push_back(client);
+      }
+      readers.emplace_back([&service, &executor, client, &connections_mutex,
+                            &open_fds] {
+        OrderedWriter writer([client](const std::string& line) {
+          write_all(client, line);
+        });
+        FdLineReader reader(client);
+        serve_requests(
+            service, executor,
+            [&reader](std::string& line) { return reader.next(line); },
+            writer);
+        // This connection's responses may still be in flight; the global
+        // drain is the simple (if coarse) way to flush them before close.
+        executor.drain();
+        {
+          // De-register before close: once closed, the fd number can be
+          // reused by a new connection, and the drain loop must not
+          // shutdown() someone else's socket.
+          std::lock_guard<std::mutex> lock(connections_mutex);
+          open_fds.erase(
+              std::find(open_fds.begin(), open_fds.end(), client));
+        }
+        ::close(client);
+      });
+    }
+
+    // Stop readers blocked in read(): shut the read side down, keep the
+    // write side so drained responses still reach the client.
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex);
+      for (int fd : open_fds) ::shutdown(fd, SHUT_RD);
+    }
+    for (std::thread& reader : readers) reader.join();
+    executor.drain();
+  }
+
+  service.set_queue_stats(nullptr);
+  ::sigaction(SIGTERM, &old_term, nullptr);
+  ::sigaction(SIGINT, &old_int, nullptr);
+  ::sigaction(SIGPIPE, &old_pipe, nullptr);
+  ::close(g_signal_pipe[0]);
+  ::close(g_signal_pipe[1]);
+  g_signal_pipe[0] = g_signal_pipe[1] = -1;
+  ::close(listen_fd);
+  ::unlink(path.c_str());
+  PT_LOG(Info) << "perftrackd drained, exiting";
+  return 0;
+}
+
+}  // namespace perftrack::serve

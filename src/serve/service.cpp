@@ -1,0 +1,525 @@
+#include "serve/service.hpp"
+
+#include <mutex>
+#include <shared_mutex>
+#include <sstream>
+
+#include "common/log.hpp"
+#include "obs/telemetry.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace_io.hpp"
+#include "tracking/report.hpp"
+#include "tracking/trends.hpp"
+
+namespace perftrack::serve {
+
+namespace {
+
+/// Typed access to optional request parameters.
+const obs::JsonValue* find_param(const Request& request, const char* name) {
+  if (!request.params.is_object()) return nullptr;
+  auto it = request.params.object.find(name);
+  return it == request.params.object.end() ? nullptr : &it->second;
+}
+
+std::string param_string(const Request& request, const char* name,
+                         bool required = false) {
+  const obs::JsonValue* value = find_param(request, name);
+  if (value == nullptr) {
+    if (required)
+      throw ServeError(ErrorCode::BadRequest,
+                       std::string("missing required parameter \"") + name +
+                           "\"");
+    return {};
+  }
+  if (!value->is_string())
+    throw ServeError(ErrorCode::BadRequest,
+                     std::string("parameter \"") + name +
+                         "\" must be a string");
+  return value->string;
+}
+
+double param_number(const Request& request, const char* name,
+                    double fallback) {
+  const obs::JsonValue* value = find_param(request, name);
+  if (value == nullptr) return fallback;
+  if (!value->is_number())
+    throw ServeError(ErrorCode::BadRequest,
+                     std::string("parameter \"") + name +
+                         "\" must be a number");
+  return value->number;
+}
+
+bool param_bool(const Request& request, const char* name, bool fallback) {
+  const obs::JsonValue* value = find_param(request, name);
+  if (value == nullptr) return fallback;
+  if (value->type != obs::JsonValue::Type::Bool)
+    throw ServeError(ErrorCode::BadRequest,
+                     std::string("parameter \"") + name +
+                         "\" must be a boolean");
+  return value->boolean;
+}
+
+void touch(StudyState& study) {
+  study.last_used_ns.store(obs::now_ns(), std::memory_order_relaxed);
+}
+
+/// Summary numbers every read endpoint shares.
+void write_result_summary(obs::JsonWriter& json,
+                          const tracking::TrackingResult& result) {
+  json.key("frames").value(static_cast<std::uint64_t>(result.frames.size()));
+  json.key("experiments")
+      .value(static_cast<std::uint64_t>(result.sequence_length()));
+  json.key("gaps").value(static_cast<std::uint64_t>(result.gaps.size()));
+  json.key("regions")
+      .value(static_cast<std::uint64_t>(result.regions.size()));
+  json.key("complete")
+      .value(static_cast<std::uint64_t>(result.complete_count));
+  json.key("coverage").value(result.coverage);
+  json.key("effective_coverage").value(result.effective_coverage());
+}
+
+}  // namespace
+
+TrackingService::TrackingService(ServiceConfig config)
+    : config_(std::move(config)) {
+  config_.session.validate_or_throw();
+}
+
+Response TrackingService::handle_line(const std::string& line) {
+  try {
+    return handle(parse_request(line));
+  } catch (const ServeError& error) {
+    PT_COUNTER("serve_errors", 1.0);
+    return make_error(Request{}, error.code(), error.what());
+  }
+}
+
+Response TrackingService::handle(const Request& request) {
+  PT_SPAN("serve_request");
+  PT_COUNTER("serve_requests", 1.0);
+
+  // Dispatch table: method name -> handler + the static span literal that
+  // gives the endpoint its latency/throughput slot in the run report.
+  struct Endpoint {
+    const char* span;
+    std::string (TrackingService::*fn)(const Request&);
+  };
+  static const std::map<std::string, Endpoint, std::less<>> kEndpoints = {
+      {"ping", {"serve_ping", &TrackingService::do_ping}},
+      {"open_study", {"serve_open_study", &TrackingService::do_open_study}},
+      {"close_study",
+       {"serve_close_study", &TrackingService::do_close_study}},
+      {"list_studies",
+       {"serve_list_studies", &TrackingService::do_list_studies}},
+      {"append_experiment",
+       {"serve_append_experiment", &TrackingService::do_append_experiment}},
+      {"append_gap", {"serve_append_gap", &TrackingService::do_append_gap}},
+      {"retrack", {"serve_retrack", &TrackingService::do_retrack}},
+      {"regions", {"serve_regions", &TrackingService::do_regions}},
+      {"trends", {"serve_trends", &TrackingService::do_trends}},
+      {"coverage", {"serve_coverage", &TrackingService::do_coverage}},
+      {"stats", {"serve_stats", &TrackingService::do_stats}},
+      {"evict", {"serve_evict", &TrackingService::do_evict}},
+      {"sweep", {"serve_sweep", &TrackingService::do_sweep}},
+      {"shutdown", {"serve_shutdown", &TrackingService::do_shutdown}},
+  };
+
+  try {
+    auto it = kEndpoints.find(request.method);
+    if (it == kEndpoints.end())
+      throw ServeError(ErrorCode::UnknownMethod,
+                       "unknown method '" + request.method + "'");
+    PT_SPAN(it->second.span);
+    return make_result(request, (this->*(it->second.fn))(request));
+  } catch (const ServeError& error) {
+    PT_COUNTER("serve_errors", 1.0);
+    return make_error(request, error.code(), error.what());
+  } catch (const ParseError& error) {
+    PT_COUNTER("serve_errors", 1.0);
+    return make_error(request, ErrorCode::ParseFailure, error.what());
+  } catch (const IoError& error) {
+    PT_COUNTER("serve_errors", 1.0);
+    return make_error(request, ErrorCode::IoFailure, error.what());
+  } catch (const std::exception& error) {
+    PT_COUNTER("serve_errors", 1.0);
+    return make_error(request, ErrorCode::Internal, error.what());
+  }
+}
+
+std::shared_ptr<StudyState> TrackingService::study_of(
+    const Request& request) const {
+  if (request.study.empty())
+    throw ServeError(ErrorCode::BadRequest,
+                     "method '" + request.method +
+                         "' needs a \"study\" field");
+  return registry_.get(request.study);
+}
+
+std::shared_ptr<const tracking::TrackingResult> TrackingService::tracked_result(
+    StudyState& study) {
+  {
+    std::shared_lock lock(study.mutex);
+    touch(study);
+    if (study.tracked()) return study.result;
+  }
+  // Stale (or never tracked): upgrade and retrack. Another writer may get
+  // there first — re-check under the exclusive lock; a double retrack
+  // would be wasted work, not a correctness problem.
+  std::unique_lock lock(study.mutex);
+  if (!study.tracked()) retrack_locked(study);
+  return study.result;
+}
+
+void TrackingService::retrack_locked(StudyState& study) {
+  if (study.log.size() < 2)
+    throw ServeError(ErrorCode::BadRequest,
+                     "study has " + std::to_string(study.log.size()) +
+                         " experiment(s); tracking needs at least two "
+                         "appends before retrack/reads");
+  ensure_session(study);
+  try {
+    study.result = std::make_shared<const tracking::TrackingResult>(
+        study.session->retrack());
+  } catch (const Error& error) {
+    throw ServeError(ErrorCode::TrackingFailed, error.what());
+  }
+  study.tracked_slots = study.log.size();
+  ++study.retracks;
+}
+
+std::string TrackingService::do_ping(const Request&) {
+  obs::JsonWriter json;
+  json.begin_object().key("pong").value(true).end_object();
+  return json.str();
+}
+
+std::string TrackingService::do_open_study(const Request& request) {
+  if (request.study.empty())
+    throw ServeError(ErrorCode::BadRequest,
+                     "open_study needs a \"study\" field");
+
+  tracking::SessionConfig config = config_.session;
+  config.clustering.dbscan.eps =
+      param_number(request, "eps", config.clustering.dbscan.eps);
+  double min_pts = param_number(
+      request, "min_pts",
+      static_cast<double>(config.clustering.dbscan.min_pts));
+  if (min_pts < 0)
+    throw ServeError(ErrorCode::BadRequest,
+                     "parameter \"min_pts\" must be non-negative");
+  config.clustering.dbscan.min_pts = static_cast<std::size_t>(min_pts);
+  config.clustering.min_cluster_time_fraction =
+      param_number(request, "min_cluster_frac",
+                   config.clustering.min_cluster_time_fraction);
+  config.resilience.lenient =
+      param_bool(request, "lenient", config.resilience.lenient);
+  config.resilience.max_gap_fraction = param_number(
+      request, "max_gap_fraction", config.resilience.max_gap_fraction);
+  std::string cache_dir = param_string(request, "cache_dir");
+  if (!cache_dir.empty()) config.cache.directory = cache_dir;
+  if (param_bool(request, "no_cache", false)) config.cache.directory.clear();
+
+  std::vector<std::string> problems = config.validate();
+  if (!problems.empty()) {
+    std::string what = "invalid study configuration:";
+    for (const std::string& p : problems) what += " " + p + ";";
+    what.pop_back();
+    throw ServeError(ErrorCode::InvalidConfig, what);
+  }
+
+  auto study = registry_.create(request.study, std::move(config));
+  touch(*study);
+  PT_LOG(Info) << "serve: opened study '" << request.study << "'";
+
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("study").value(request.study);
+  json.key("lenient").value(study->config.resilience.lenient);
+  json.key("cache").value(study->config.cache.enabled());
+  json.end_object();
+  return json.str();
+}
+
+std::string TrackingService::do_close_study(const Request& request) {
+  if (request.study.empty())
+    throw ServeError(ErrorCode::BadRequest,
+                     "close_study needs a \"study\" field");
+  registry_.remove(request.study);
+  PT_LOG(Info) << "serve: closed study '" << request.study << "'";
+  obs::JsonWriter json;
+  json.begin_object().key("closed").value(request.study).end_object();
+  return json.str();
+}
+
+std::string TrackingService::do_list_studies(const Request&) {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("studies").begin_array();
+  for (const std::string& name : registry_.names()) json.value(name);
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+std::string TrackingService::do_append_experiment(const Request& request) {
+  auto study = study_of(request);
+  const std::string path = param_string(request, "path");
+  const std::string inline_text = param_string(request, "trace");
+  std::string label = param_string(request, "label");
+  if (path.empty() == inline_text.empty())
+    throw ServeError(ErrorCode::BadRequest,
+                     "append_experiment needs exactly one of \"path\" or "
+                     "\"trace\"");
+
+  std::unique_lock lock(study->mutex);
+  touch(*study);
+  ensure_session(*study);
+
+  const bool lenient = study->config.resilience.lenient;
+  Diagnostics diags =
+      lenient ? Diagnostics::lenient(ErrorBudget{config_.max_errors})
+              : Diagnostics::strict();
+
+  std::shared_ptr<const trace::Trace> trace;
+  std::string failure;
+  try {
+    if (!path.empty()) {
+      trace = std::make_shared<const trace::Trace>(
+          trace::load_trace(path, diags));
+      if (label.empty()) label = path;
+    } else {
+      if (label.empty()) label = "<inline>";
+      diags.set_file(label);
+      std::istringstream in(inline_text);
+      trace = std::make_shared<const trace::Trace>(
+          trace::read_trace(in, diags));
+    }
+  } catch (const Error& error) {
+    // Strict mode propagates (typed parse-failure / io-failure response,
+    // study untouched); lenient mode records the slot as a gap, exactly
+    // like `perftrack track --lenient` does for an unreadable file.
+    if (!lenient) throw;
+    failure = error.what();
+  }
+
+  std::size_t slot;
+  if (trace != nullptr) {
+    slot = study->session->append_experiment(trace);
+    AppendEntry entry;
+    entry.kind = path.empty() ? AppendEntry::Kind::Inline
+                              : AppendEntry::Kind::Path;
+    entry.label = path.empty() ? label : path;
+    entry.detail = inline_text;
+    study->log.push_back(std::move(entry));
+  } else {
+    slot = study->session->append_gap(label.empty() ? path : label, failure);
+    study->log.push_back(
+        AppendEntry{AppendEntry::Kind::Gap,
+                    label.empty() ? path : label, failure});
+  }
+  ++study->appends;
+
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("slot").value(static_cast<std::uint64_t>(slot));
+  json.key("experiments")
+      .value(static_cast<std::uint64_t>(study->session->experiment_count()));
+  json.key("gaps")
+      .value(static_cast<std::uint64_t>(study->session->gap_count()));
+  json.key("degraded").value(trace == nullptr);
+  if (!failure.empty()) json.key("gap_reason").value(failure);
+  json.key("diagnostics").begin_object();
+  json.key("errors")
+      .value(static_cast<std::uint64_t>(diags.error_count()));
+  json.key("warnings")
+      .value(static_cast<std::uint64_t>(diags.warning_count()));
+  json.end_object();
+  json.end_object();
+  return json.str();
+}
+
+std::string TrackingService::do_append_gap(const Request& request) {
+  auto study = study_of(request);
+  const std::string label = param_string(request, "label", true);
+  const std::string reason = param_string(request, "reason");
+
+  std::unique_lock lock(study->mutex);
+  touch(*study);
+  ensure_session(*study);
+  std::size_t slot = study->session->append_gap(label, reason);
+  study->log.push_back(AppendEntry{AppendEntry::Kind::Gap, label, reason});
+  ++study->appends;
+
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("slot").value(static_cast<std::uint64_t>(slot));
+  json.key("experiments")
+      .value(static_cast<std::uint64_t>(study->session->experiment_count()));
+  json.end_object();
+  return json.str();
+}
+
+std::string TrackingService::do_retrack(const Request& request) {
+  auto study = study_of(request);
+  std::unique_lock lock(study->mutex);
+  touch(*study);
+  retrack_locked(*study);
+
+  obs::JsonWriter json;
+  json.begin_object();
+  write_result_summary(json, *study->result);
+  json.end_object();
+  return json.str();
+}
+
+std::string TrackingService::do_regions(const Request& request) {
+  auto study = study_of(request);
+  auto result = tracked_result(*study);
+
+  obs::JsonWriter json;
+  json.begin_object();
+  write_result_summary(json, *result);
+  json.key("text").value(tracking::describe_tracking(*result));
+  json.end_object();
+  return json.str();
+}
+
+std::string TrackingService::do_trends(const Request& request) {
+  auto study = study_of(request);
+  std::string metric_name = param_string(request, "metric");
+  trace::Metric metric = trace::Metric::Ipc;
+  if (!metric_name.empty()) {
+    try {
+      metric = trace::metric_from_name(metric_name);
+    } catch (const Error& error) {
+      throw ServeError(ErrorCode::BadRequest, error.what());
+    }
+  }
+  auto result = tracked_result(*study);
+
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("metric").value(trace::metric_name(metric));
+  json.key("table").value(
+      tracking::trend_table(*result, metric).to_text(2));
+  json.key("csv").value(tracking::trends_csv(*result));
+  json.end_object();
+  return json.str();
+}
+
+std::string TrackingService::do_coverage(const Request& request) {
+  auto study = study_of(request);
+  auto result = tracked_result(*study);
+
+  obs::JsonWriter json;
+  json.begin_object();
+  write_result_summary(json, *result);
+  json.end_object();
+  return json.str();
+}
+
+std::string TrackingService::do_stats(const Request& request) {
+  obs::JsonWriter json;
+  json.begin_object();
+
+  if (!request.study.empty()) {
+    auto study = registry_.get(request.study);
+    std::shared_lock lock(study->mutex);
+    touch(*study);
+    json.key("study").value(request.study);
+    json.key("resident").value(study->session != nullptr);
+    json.key("tracked").value(study->tracked());
+    json.key("appends").value(study->appends);
+    json.key("retracks").value(study->retracks);
+    json.key("rebuilds").value(study->rebuilds);
+    json.key("evictions").value(study->evictions);
+    if (study->session != nullptr) {
+      const tracking::SessionStats& s = study->session->stats();
+      json.key("session").begin_object();
+      json.key("frames_clustered").value(s.frames_clustered);
+      json.key("frames_from_cache").value(s.frames_from_cache);
+      json.key("frames_memoized").value(s.frames_memoized);
+      json.key("pairs_tracked").value(s.pairs_tracked);
+      json.key("pairs_memoized").value(s.pairs_memoized);
+      json.key("scale_invalidations").value(s.scale_invalidations);
+      json.key("cache_hits").value(s.cache.hits);
+      json.key("cache_misses").value(s.cache.misses);
+      json.key("cache_stores").value(s.cache.stores);
+      json.end_object();
+    }
+    json.end_object();
+    return json.str();
+  }
+
+  std::uint64_t appends = 0, retracks = 0, rebuilds = 0, evictions = 0;
+  std::size_t resident = 0;
+  const std::vector<std::string> names = registry_.names();
+  for (const std::string& name : names) {
+    std::shared_ptr<StudyState> study;
+    try {
+      study = registry_.get(name);
+    } catch (const ServeError&) {
+      continue;  // closed between names() and get(); skip
+    }
+    std::shared_lock lock(study->mutex);
+    appends += study->appends;
+    retracks += study->retracks;
+    rebuilds += study->rebuilds;
+    evictions += study->evictions;
+    if (study->session != nullptr) ++resident;
+  }
+  json.key("studies").value(static_cast<std::uint64_t>(names.size()));
+  json.key("resident_sessions").value(static_cast<std::uint64_t>(resident));
+  json.key("appends").value(appends);
+  json.key("retracks").value(retracks);
+  json.key("rebuilds").value(rebuilds);
+  json.key("evictions").value(evictions);
+  json.key("draining").value(shutdown_requested());
+  if (queue_stats_) {
+    QueueStats queue = queue_stats_();
+    json.key("queue").begin_object();
+    json.key("capacity").value(static_cast<std::uint64_t>(queue.capacity));
+    json.key("in_flight").value(static_cast<std::uint64_t>(queue.in_flight));
+    json.key("admitted").value(queue.admitted);
+    json.key("rejected").value(queue.rejected);
+    json.end_object();
+  }
+  json.end_object();
+  return json.str();
+}
+
+std::string TrackingService::do_evict(const Request& request) {
+  auto study = study_of(request);
+  std::unique_lock lock(study->mutex);
+  const bool evicted = evict_study(*study);
+
+  obs::JsonWriter json;
+  json.begin_object().key("evicted").value(evicted).end_object();
+  return json.str();
+}
+
+std::size_t TrackingService::sweep() {
+  return registry_.evict_idle(obs::now_ns(), config_.idle_ttl_ns,
+                              config_.max_resident);
+}
+
+std::string TrackingService::do_sweep(const Request&) {
+  std::size_t evicted = sweep();
+  obs::JsonWriter json;
+  json.begin_object()
+      .key("evicted")
+      .value(static_cast<std::uint64_t>(evicted))
+      .end_object();
+  return json.str();
+}
+
+std::string TrackingService::do_shutdown(const Request&) {
+  shutdown_.store(true, std::memory_order_release);
+  PT_LOG(Info) << "serve: shutdown requested, draining";
+  obs::JsonWriter json;
+  json.begin_object().key("draining").value(true).end_object();
+  return json.str();
+}
+
+}  // namespace perftrack::serve

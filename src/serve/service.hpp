@@ -1,0 +1,124 @@
+#pragma once
+// The tracking service: protocol requests against the study registry.
+//
+// TrackingService is the transport-free core of perftrackd: one handle()
+// call maps one parsed Request to one Response, and is safe to call from
+// any number of threads concurrently. The server layer (serve/server.hpp)
+// puts a bounded queue and a socket in front of it; tests and benches call
+// it directly.
+//
+// Locking discipline (see registry.hpp): read methods — regions, trends,
+// coverage, stats — take the study lock shared and serve from the cached
+// TrackingResult, so a tracked study answers reads concurrently. A read
+// that finds the study stale (appends since the last retrack) upgrades to
+// the exclusive lock and retracks first; append/retrack/evict/open/close
+// are exclusive. Results are bit-identical to a batch perftrack run over
+// the same traces — the service reuses TrackingSession, whose equivalence
+// guarantee carries over unchanged.
+//
+// Observability: every request runs under a "serve_request" span with a
+// per-endpoint child span ("serve_regions", ...), so the JSON run report
+// carries per-endpoint request counts and wall-time (plus min/max latency)
+// for free, next to serve_requests/serve_errors/serve_evictions counters.
+// Trace ingestion flows through the diagnostics layer: strict mode maps
+// parse failures to typed parse-failure errors, lenient mode degrades a
+// failing experiment into a tracked gap under the configured error budget,
+// exactly like the perftrack CLI.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+
+namespace perftrack::serve {
+
+/// Bounded-queue counters, injected by the server layer so the `stats`
+/// endpoint can report backpressure without the service owning the queue.
+struct QueueStats {
+  std::size_t capacity = 0;
+  std::size_t in_flight = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+};
+
+struct ServiceConfig {
+  /// Base session configuration; open_study parameters override per study.
+  tracking::SessionConfig session;
+
+  /// Lenient-mode error budget per ingested trace file.
+  std::size_t max_errors = 100;
+
+  /// Evict the heavy state of studies idle longer than this (0 = never).
+  std::uint64_t idle_ttl_ns = 0;
+
+  /// Keep at most this many studies' sessions resident (0 = unbounded);
+  /// the least recently used are evicted first.
+  std::size_t max_resident = 0;
+};
+
+class TrackingService {
+public:
+  explicit TrackingService(ServiceConfig config = {});
+
+  /// Handle one request; never throws — every failure becomes a typed
+  /// error response. Thread-safe.
+  Response handle(const Request& request);
+
+  /// Convenience: parse one NDJSON line and handle it.
+  Response handle_line(const std::string& line);
+
+  /// Set by a "shutdown" request; the server drains and exits when it
+  /// sees this.
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// Run the idle-eviction policy now (also exposed as the "sweep"
+  /// method). Returns the number of sessions evicted.
+  std::size_t sweep();
+
+  /// Installed by the server so `stats` can report queue backpressure.
+  void set_queue_stats(std::function<QueueStats()> fn) {
+    queue_stats_ = std::move(fn);
+  }
+
+  const ServiceConfig& config() const { return config_; }
+  StudyRegistry& registry() { return registry_; }
+
+private:
+  std::string do_ping(const Request& request);
+  std::string do_open_study(const Request& request);
+  std::string do_close_study(const Request& request);
+  std::string do_list_studies(const Request& request);
+  std::string do_append_experiment(const Request& request);
+  std::string do_append_gap(const Request& request);
+  std::string do_retrack(const Request& request);
+  std::string do_regions(const Request& request);
+  std::string do_trends(const Request& request);
+  std::string do_coverage(const Request& request);
+  std::string do_stats(const Request& request);
+  std::string do_evict(const Request& request);
+  std::string do_sweep(const Request& request);
+  std::string do_shutdown(const Request& request);
+
+  std::shared_ptr<StudyState> study_of(const Request& request) const;
+
+  /// Serve-side read path: shared lock when the study is tracked,
+  /// exclusive retrack first when it is stale.
+  std::shared_ptr<const tracking::TrackingResult> tracked_result(
+      StudyState& study);
+
+  /// Retrack under an already-held exclusive lock.
+  void retrack_locked(StudyState& study);
+
+  ServiceConfig config_;
+  StudyRegistry registry_;
+  std::atomic<bool> shutdown_{false};
+  std::function<QueueStats()> queue_stats_;
+};
+
+}  // namespace perftrack::serve

@@ -34,7 +34,24 @@ std::string to_hex(std::uint64_t v) {
 
 }  // namespace
 
-FrameStore::FrameStore(StoreConfig config) : config_(std::move(config)) {}
+FrameStore::FrameStore(StoreConfig config) : config_(std::move(config)) {
+  // A cache path that exists as a regular file can never work: every load
+  // would silently miss and every store would fail with an unhelpful
+  // create_directories error. Diagnose it once, clearly, and disable the
+  // cache instead of warning on every entry.
+  if (config_.directory.empty()) return;
+  std::error_code ec;
+  auto status = fs::status(config_.directory, ec);
+  if (!ec && fs::exists(status) && !fs::is_directory(status)) {
+    ++stats_.errors;
+    PT_COUNTER("frame_cache_errors", 1.0);
+    PT_LOG(Warn) << "frame cache: '" << config_.directory
+                 << "' exists but is not a directory; caching disabled "
+                 << "(remove the file or point --cache-dir/PERFTRACK_CACHE "
+                 << "at a directory)";
+    config_.directory.clear();
+  }
+}
 
 std::string FrameStore::environment_directory() {
   const char* env = std::getenv("PERFTRACK_CACHE");

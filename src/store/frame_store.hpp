@@ -51,6 +51,9 @@ struct StoreStats {
 
 class FrameStore {
 public:
+  /// A configured directory that exists but is a regular file is diagnosed
+  /// once (a clear warning plus an error count) and the store is disabled,
+  /// rather than warning generically on every load/store.
   explicit FrameStore(StoreConfig config);
 
   const StoreConfig& config() const { return config_; }

@@ -1,6 +1,7 @@
 #include "tracking/session.hpp"
 
 #include <cmath>
+#include <filesystem>
 #include <utility>
 
 #include "common/error.hpp"
@@ -52,6 +53,14 @@ std::vector<std::string> SessionConfig::validate() const {
     problems.push_back("tracking.log_scale must be empty or match the axis count");
   if (!in_unit(resilience.max_gap_fraction))
     problems.push_back("resilience.max_gap_fraction must be in [0, 1]");
+  if (!cache.directory.empty()) {
+    std::error_code ec;
+    auto status = std::filesystem::status(cache.directory, ec);
+    if (!ec && std::filesystem::exists(status) &&
+        !std::filesystem::is_directory(status))
+      problems.push_back("cache.directory '" + cache.directory +
+                         "' exists but is not a directory");
+  }
   return problems;
 }
 

@@ -172,4 +172,73 @@ PERFTRACK_FAILPOINTS="cluster_experiment=@2" \
 test "$rc" -eq 5
 grep -q "injected fault" fault.out
 
+echo "== a regular file as --cache-dir is a configuration error, not silence =="
+touch notadir
+rc=0
+"$TOOLS_DIR/perftrack" track hydroc_sample.ptt hydroc_sample.ptt \
+    --cache-dir notadir > /dev/null 2> cache_file.err || rc=$?
+test "$rc" -eq 1 || { echo "expected exit 1, got $rc" >&2; exit 1; }
+grep -q "exists but is not a directory" cache_file.err
+# The file itself must be left alone.
+test -f notadir
+
+echo "== perftrackd --stdio: append, retrack, read, drained shutdown =="
+cat > daemon_in.ndjson <<EOF
+{"id":1,"method":"ping"}
+{"id":2,"method":"open_study","study":"smoke"}
+{"id":3,"method":"append_experiment","study":"smoke","params":{"path":"hydroc_sample.ptt","label":"run-1"}}
+{"id":4,"method":"append_experiment","study":"smoke","params":{"path":"hydroc_sample.ptt","label":"run-2"}}
+{"id":5,"method":"retrack","study":"smoke"}
+{"id":6,"method":"regions","study":"smoke"}
+{"id":7,"method":"coverage","study":"smoke"}
+{"id":8,"method":"trends","study":"smoke","params":{"metric":"IPC"}}
+{"id":9,"method":"stats"}
+{"id":10,"method":"shutdown"}
+EOF
+"$TOOLS_DIR/perftrackd" --stdio < daemon_in.ndjson > daemon_out.ndjson
+# Every request answered exactly once, none failed.
+test "$(wc -l < daemon_out.ndjson)" -eq 10
+if grep -q '"ok":false' daemon_out.ndjson; then
+  echo "daemon rejected a request:" >&2
+  grep '"ok":false' daemon_out.ndjson >&2
+  exit 1
+fi
+grep -q '"coverage"' daemon_out.ndjson
+
+if command -v python3 > /dev/null; then
+  # The daemon's trends CSV must be the very bytes the batch CLI prints.
+  python3 - <<'PY'
+import json
+ids = []
+for line in open("daemon_out.ndjson"):
+    response = json.loads(line)
+    assert response["ok"], response
+    ids.append(response["id"])
+    if response["id"] == 8:
+        open("daemon_trends.csv", "w").write(response["result"]["csv"])
+assert ids == sorted(ids), f"responses out of order: {ids}"
+PY
+  "$TOOLS_DIR/perftrack" track hydroc_sample.ptt hydroc_sample.ptt \
+      --csv batch_trends.csv > /dev/null
+  diff daemon_trends.csv batch_trends.csv
+fi
+
+echo "== perftrackd error paths: typed errors, usage exit code =="
+printf '{"id":1,"method":"nope"}\n{"id":2,"method":"regions","study":"ghost"}\nnot json\n' \
+    | "$TOOLS_DIR/perftrackd" --stdio > daemon_err.ndjson
+test "$(wc -l < daemon_err.ndjson)" -eq 3
+grep -q '"unknown-method"' daemon_err.ndjson
+grep -q '"unknown-study"' daemon_err.ndjson
+grep -q '"bad-request"' daemon_err.ndjson
+# EOF with no shutdown request still drains and exits cleanly.
+printf '{"id":1,"method":"ping"}\n' | "$TOOLS_DIR/perftrackd" --stdio \
+    | grep -q '"ok":true'
+# Transport is mandatory: neither or both of --stdio/--socket is usage.
+rc=0
+"$TOOLS_DIR/perftrackd" 2> /dev/null || rc=$?
+test "$rc" -eq 2
+rc=0
+"$TOOLS_DIR/perftrackd" --stdio --socket s.sock 2> /dev/null || rc=$?
+test "$rc" -eq 2
+
 echo "cli smoke: OK"

@@ -64,6 +64,10 @@ TEST_F(ReportTest, ReportJsonRoundTrips) {
   // total = self + children's total, at every level.
   EXPECT_DOUBLE_EQ(outer->at("total_ns").number,
                    outer->at("self_ns").number + inner->at("total_ns").number);
+  // Latency extrema ride along with every span node.
+  EXPECT_GE(outer->at("min_ns").number, 0.0);
+  EXPECT_LE(outer->at("min_ns").number, outer->at("max_ns").number);
+  EXPECT_LE(outer->at("max_ns").number, outer->at("total_ns").number);
 }
 
 TEST_F(ReportTest, TraceEventsAreBalancedChromeJson) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -51,6 +52,38 @@ TEST_F(TelemetryTest, SpansNestAndFold) {
   // A parent's wall time includes its children's.
   EXPECT_GE(outer->total_ns, inner->total_ns);
   EXPECT_EQ(outer->self_ns, outer->total_ns - inner->total_ns);
+}
+
+TEST_F(TelemetryTest, MinMaxCoverCompletedExecutions) {
+  {
+    PT_SPAN("fast");
+  }
+  {
+    PT_SPAN("fast");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  RunReport report = collect();
+  const SpanNode* fast = find_child(report.root, "fast");
+  ASSERT_NE(fast, nullptr);
+  EXPECT_EQ(fast->count, 2u);
+  EXPECT_LE(fast->min_ns, fast->max_ns);
+  EXPECT_GE(fast->max_ns, 2000000u) << "slow execution sets the max";
+  EXPECT_LT(fast->min_ns, 2000000u) << "fast execution sets the min";
+  // min + max are bounded by the fold's own accounting.
+  EXPECT_LE(fast->min_ns + fast->max_ns, fast->total_ns);
+}
+
+TEST_F(TelemetryTest, OpenSpanCountsTowardTotalButNotMinMax) {
+  ScopedSpan* open = new ScopedSpan("pending");
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  RunReport report = collect();
+  const SpanNode* pending = find_child(report.root, "pending");
+  ASSERT_NE(pending, nullptr);
+  EXPECT_EQ(pending->count, 1u);
+  EXPECT_GT(pending->total_ns, 0u);
+  EXPECT_EQ(pending->min_ns, 0u) << "no completed execution yet";
+  EXPECT_EQ(pending->max_ns, 0u);
+  delete open;
 }
 
 TEST_F(TelemetryTest, CountersAttachToActiveSpanAndSum) {

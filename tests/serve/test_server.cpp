@@ -1,0 +1,337 @@
+// Server engine: bounded admission, ordered responses, the stream
+// transport's drain semantics, and the unix-socket transport end to end.
+
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "serve/service.hpp"
+#include "testing/test_traces.hpp"
+#include "trace/trace_io.hpp"
+
+namespace perftrack::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+using perftrack::testing::MiniPhase;
+using perftrack::testing::MiniTraceSpec;
+using perftrack::testing::make_mini_trace;
+
+std::string trace_text(const std::string& label, std::uint64_t seed) {
+  MiniTraceSpec spec;
+  spec.label = label;
+  spec.seed = seed;
+  spec.noise = 0.02;
+  spec.phases = {MiniPhase{8e6, 1.0, {"p1", "x.c", 1}},
+                 MiniPhase{1e6, 2.0, {"p2", "x.c", 2}}};
+  std::ostringstream out;
+  trace::write_trace(out, *make_mini_trace(spec));
+  return out.str();
+}
+
+std::string append_line(int id, const std::string& study,
+                        const std::string& label, std::uint64_t seed) {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("id").value(static_cast<std::uint64_t>(id));
+  json.key("method").value("append_experiment");
+  json.key("study").value(study);
+  json.key("params").begin_object();
+  json.key("trace").value(trace_text(label, seed));
+  json.key("label").value(label);
+  json.end_object();
+  json.end_object();
+  return json.str();
+}
+
+std::vector<obs::JsonValue> parse_lines(const std::string& text) {
+  std::vector<obs::JsonValue> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) out.push_back(obs::parse_json(line));
+  return out;
+}
+
+TEST(OrderedWriterTest, FlushesInAllocationOrder) {
+  std::vector<std::string> sunk;
+  OrderedWriter writer([&sunk](const std::string& line) {
+    sunk.push_back(line);
+  });
+  std::uint64_t a = writer.allocate();
+  std::uint64_t b = writer.allocate();
+  std::uint64_t c = writer.allocate();
+  writer.write(c, "C");
+  EXPECT_TRUE(sunk.empty()) << "C must wait for A and B";
+  writer.write(a, "A");
+  ASSERT_EQ(sunk.size(), 1u);
+  EXPECT_EQ(sunk[0], "A");
+  writer.write(b, "B");
+  ASSERT_EQ(sunk.size(), 3u);
+  EXPECT_EQ(sunk[1], "B");
+  EXPECT_EQ(sunk[2], "C");
+}
+
+TEST(BoundedExecutorTest, RejectsBeyondCapacityAndCounts) {
+  BoundedExecutor executor(2, 2);
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  auto blocker = [&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return release; });
+  };
+  ASSERT_TRUE(executor.try_submit(blocker));
+  ASSERT_TRUE(executor.try_submit(blocker));
+  // Queue full: rejection happens without blocking.
+  EXPECT_FALSE(executor.try_submit([] {}));
+  QueueStats stats = executor.stats();
+  EXPECT_EQ(stats.capacity, 2u);
+  EXPECT_EQ(stats.in_flight, 2u);
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  executor.drain();
+  EXPECT_EQ(executor.stats().in_flight, 0u);
+  // Capacity is free again.
+  EXPECT_TRUE(executor.try_submit([] {}));
+  executor.drain();
+}
+
+TEST(BoundedExecutorTest, TaskExceptionsDoNotPoisonAccounting) {
+  BoundedExecutor executor(1, 4);
+  for (int i = 0; i < 4; ++i)
+    ASSERT_TRUE(executor.try_submit([] { throw std::runtime_error("boom"); }));
+  executor.drain();
+  EXPECT_EQ(executor.stats().in_flight, 0u);
+  EXPECT_EQ(executor.stats().admitted, 4u);
+}
+
+TEST(ServeStreamTest, AnswersEveryLineInOrderAndExitsZeroOnEof) {
+  TrackingService service;
+  std::string input;
+  input += R"({"id":1,"method":"ping"})" "\n";
+  input += "\n";  // blank lines are skipped, not answered
+  input += R"({"id":2,"method":"list_studies"})" "\n";
+  input += "not json\n";
+  input += R"({"id":4,"method":"ping"})" "\n";
+  std::istringstream in(input);
+  std::ostringstream out;
+  ServerOptions options;
+  options.threads = 4;
+  EXPECT_EQ(serve_stream(service, in, out, options), 0);
+
+  std::vector<obs::JsonValue> responses = parse_lines(out.str());
+  ASSERT_EQ(responses.size(), 4u);
+  // Responses come back in request order even with 4 worker threads.
+  EXPECT_DOUBLE_EQ(responses[0].at("id").number, 1.0);
+  EXPECT_TRUE(responses[0].at("ok").boolean);
+  EXPECT_DOUBLE_EQ(responses[1].at("id").number, 2.0);
+  EXPECT_FALSE(responses[2].at("ok").boolean);
+  EXPECT_EQ(responses[2].at("error").at("code").string, "bad-request");
+  EXPECT_DOUBLE_EQ(responses[3].at("id").number, 4.0);
+}
+
+TEST(ServeStreamTest, FullSessionAppendTrackRead) {
+  TrackingService service;
+  std::string input;
+  input += R"({"id":1,"method":"open_study","study":"s"})" "\n";
+  input += append_line(2, "s", "A", 1) + "\n";
+  input += append_line(3, "s", "B", 2) + "\n";
+  input += R"({"id":4,"method":"retrack","study":"s"})" "\n";
+  input += R"({"id":5,"method":"regions","study":"s"})" "\n";
+  std::istringstream in(input);
+  std::ostringstream out;
+  EXPECT_EQ(serve_stream(service, in, out, ServerOptions{}), 0);
+
+  std::vector<obs::JsonValue> responses = parse_lines(out.str());
+  ASSERT_EQ(responses.size(), 5u);
+  for (const obs::JsonValue& r : responses)
+    EXPECT_TRUE(r.at("ok").boolean);
+  EXPECT_EQ(static_cast<int>(
+                responses[3].at("result").at("experiments").number), 2);
+  EXPECT_FALSE(responses[4].at("result").at("text").string.empty());
+}
+
+TEST(ServeStreamTest, ShutdownStopsReadingAndDrains) {
+  TrackingService service;
+  std::string input;
+  input += R"({"id":1,"method":"ping"})" "\n";
+  input += R"({"id":2,"method":"shutdown"})" "\n";
+  input += R"({"id":3,"method":"ping"})" "\n";  // never read
+  std::istringstream in(input);
+  std::ostringstream out;
+  EXPECT_EQ(serve_stream(service, in, out, ServerOptions{}), 0);
+
+  std::vector<obs::JsonValue> responses = parse_lines(out.str());
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_TRUE(responses[1].at("result").at("draining").boolean);
+  EXPECT_TRUE(service.shutdown_requested());
+  // The line after shutdown was left unread in the stream.
+  std::string leftover;
+  std::getline(in, leftover);
+  EXPECT_NE(leftover.find("\"id\":3"), std::string::npos);
+}
+
+TEST(ServeStreamTest, OverloadRejectionIsTypedAndOrdered) {
+  // One inline worker (threads=1 -> inline execution happens on submit, so
+  // force real concurrency pressure with a capacity-1 queue and a slow
+  // handler is racy; instead drive capacity 1 with threads=2 and many
+  // requests — at least none may be lost and every response is one of
+  // ok/overloaded).
+  TrackingService service;
+  std::string input;
+  const int kRequests = 64;
+  for (int i = 0; i < kRequests; ++i)
+    input += R"({"id":)" + std::to_string(i) + R"(,"method":"ping"})" "\n";
+  std::istringstream in(input);
+  std::ostringstream out;
+  ServerOptions options;
+  options.threads = 2;
+  options.queue_capacity = 1;
+  EXPECT_EQ(serve_stream(service, in, out, options), 0);
+
+  std::vector<obs::JsonValue> responses = parse_lines(out.str());
+  ASSERT_EQ(responses.size(), static_cast<std::size_t>(kRequests));
+  for (int i = 0; i < kRequests; ++i) {
+    const obs::JsonValue& r = responses[static_cast<std::size_t>(i)];
+    EXPECT_DOUBLE_EQ(r.at("id").number, static_cast<double>(i))
+        << "responses must stay in request order";
+    if (!r.at("ok").boolean) {
+      EXPECT_EQ(r.at("error").at("code").string, "overloaded");
+    }
+  }
+}
+
+TEST(ServeStreamTest, RequestsAfterShutdownOnOtherConnectionsAreRefused) {
+  TrackingService service;
+  {
+    std::istringstream in(R"({"id":1,"method":"shutdown"})" "\n");
+    std::ostringstream out;
+    serve_stream(service, in, out, ServerOptions{});
+  }
+  // A second stream against the same (draining) service refuses work.
+  std::istringstream in(R"({"id":1,"method":"ping"})" "\n");
+  std::ostringstream out;
+  serve_stream(service, in, out, ServerOptions{});
+  std::vector<obs::JsonValue> responses = parse_lines(out.str());
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_FALSE(responses[0].at("ok").boolean);
+  EXPECT_EQ(responses[0].at("error").at("code").string, "shutting-down");
+}
+
+// ---------------------------------------------------------------------------
+// AF_UNIX transport
+
+/// Minimal blocking NDJSON client for the socket tests.
+class UnixClient {
+public:
+  explicit UnixClient(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+    // The server may not have bound yet; retry briefly.
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                    sizeof(address)) == 0)
+        return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ADD_FAILURE() << "cannot connect to " << path;
+    ::close(fd_);
+    fd_ = -1;
+  }
+
+  ~UnixClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send(const std::string& line) {
+    std::string framed = line + "\n";
+    ASSERT_EQ(::write(fd_, framed.data(), framed.size()),
+              static_cast<ssize_t>(framed.size()));
+  }
+
+  obs::JsonValue recv() {
+    std::string line;
+    char c;
+    while (true) {
+      ssize_t n = ::read(fd_, &c, 1);
+      if (n <= 0) break;
+      if (c == '\n') break;
+      line.push_back(c);
+    }
+    return obs::parse_json(line);
+  }
+
+private:
+  int fd_ = -1;
+};
+
+TEST(ServeUnixSocketTest, ServesConcurrentConnectionsAndDrainsOnShutdown) {
+  const std::string path =
+      (fs::path(::testing::TempDir()) / "pt_serve_test.sock").string();
+  TrackingService service;
+  ServerOptions options;
+  options.threads = 4;
+  std::thread server([&] {
+    EXPECT_EQ(serve_unix_socket(service, path, options), 0);
+  });
+
+  {
+    UnixClient alice(path);
+    UnixClient bob(path);
+    alice.send(R"({"id":1,"method":"open_study","study":"a"})");
+    EXPECT_TRUE(alice.recv().at("ok").boolean);
+    bob.send(R"({"id":1,"method":"open_study","study":"b"})");
+    EXPECT_TRUE(bob.recv().at("ok").boolean);
+    alice.send(append_line(2, "a", "A", 1));
+    alice.send(append_line(3, "a", "B", 2));
+    EXPECT_TRUE(alice.recv().at("ok").boolean);
+    EXPECT_TRUE(alice.recv().at("ok").boolean);
+    alice.send(R"({"id":4,"method":"regions","study":"a"})");
+    obs::JsonValue regions = alice.recv();
+    EXPECT_TRUE(regions.at("ok").boolean);
+    EXPECT_FALSE(regions.at("result").at("text").string.empty());
+
+    bob.send(R"({"id":2,"method":"list_studies"})");
+    EXPECT_EQ(bob.recv().at("result").at("studies").array.size(), 2u);
+
+    bob.send(R"({"id":3,"method":"shutdown"})");
+    EXPECT_TRUE(bob.recv().at("result").at("draining").boolean);
+  }
+  server.join();
+  EXPECT_FALSE(fs::exists(path)) << "socket file removed on clean exit";
+}
+
+TEST(ServeUnixSocketTest, SocketPathTooLongFails) {
+  TrackingService service;
+  std::string path(200, 'x');
+  EXPECT_EQ(serve_unix_socket(service, path, ServerOptions{}), 1);
+}
+
+}  // namespace
+}  // namespace perftrack::serve

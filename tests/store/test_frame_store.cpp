@@ -188,6 +188,28 @@ TEST(FrameStoreTest, UnwritableDirectoryIsDiagnosticNotFailure) {
   EXPECT_EQ(store.stats().stores, 0u);
 }
 
+TEST(FrameStoreTest, RegularFileAsCacheDirDisablesStoreWithDiagnostic) {
+  fs::path file = fs::path(::testing::TempDir()) / "pt_store_not_a_dir";
+  fs::remove_all(file);
+  { std::ofstream(file) << "occupied"; }
+  StoreConfig config;
+  config.directory = file.string();
+  FrameStore store(config);
+  // Diagnosed once at construction, then inert: no stores, no misses that
+  // pretend the cache is live, and the file is left untouched.
+  EXPECT_FALSE(store.enabled());
+  EXPECT_EQ(store.stats().errors, 1u);
+  auto source = sample_trace("A", 1);
+  cluster::Frame frame = cluster::build_frame(source, sample_params());
+  const std::string key = FrameStore::key_for(*source, sample_params());
+  EXPECT_NO_THROW(store.store(key, frame));
+  EXPECT_EQ(store.stats().stores, 0u);
+  EXPECT_FALSE(store.load(key, source).has_value());
+  EXPECT_EQ(store.stats().misses, 0u);
+  EXPECT_TRUE(fs::is_regular_file(file));
+  fs::remove_all(file);
+}
+
 TEST(FrameStoreTest, EnvironmentDirectoryReadsPerftrackCache) {
   ::setenv("PERFTRACK_CACHE", "/tmp/pt-env-cache", 1);
   EXPECT_EQ(FrameStore::environment_directory(), "/tmp/pt-env-cache");

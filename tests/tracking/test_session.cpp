@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -94,6 +95,28 @@ TEST(SessionConfigTest, ReportsAllProblemsAtOnce) {
     EXPECT_NE(what.find("min_pts"), std::string::npos);
     EXPECT_NE(what.find("max_gap_fraction"), std::string::npos);
   }
+}
+
+TEST(SessionConfigTest, CacheDirThatIsARegularFileIsAProblem) {
+  fs::path file = fs::path(::testing::TempDir()) / "pt_session_not_a_dir";
+  fs::remove_all(file);
+  { std::ofstream(file) << "occupied"; }
+
+  SessionConfig config = test_config();
+  config.cache.directory = file.string();
+  std::vector<std::string> problems = config.validate();
+  ASSERT_EQ(problems.size(), 1u);
+  // The message must name the path and say what is wrong with it.
+  EXPECT_NE(problems[0].find(file.string()), std::string::npos) << problems[0];
+  EXPECT_NE(problems[0].find("not a directory"), std::string::npos)
+      << problems[0];
+  EXPECT_THROW(TrackingSession{config}, Error);
+
+  // A missing directory is fine (created on first write), as is an
+  // existing one.
+  config.cache.directory = (file.string() + "-missing");
+  EXPECT_TRUE(config.validate().empty());
+  fs::remove_all(file);
 }
 
 TEST(SessionConfigTest, SessionConstructorValidates) {

@@ -1,0 +1,230 @@
+// perftrackd — long-running tracking service over the NDJSON protocol.
+//
+// The paper's workflow is interactive: an analyst appends experiments one
+// at a time and re-examines the tracked regions. perftrackd keeps the
+// sessions warm between questions — one TrackingSession per named study,
+// served concurrently:
+//
+//   perftrackd --socket /tmp/perftrack.sock     # daemon on a unix socket
+//   perftrackd --stdio                          # one connection on stdio
+//
+// Requests are newline-delimited JSON (docs/SERVING.md):
+//
+//   {"id":1,"method":"open_study","study":"wrf"}
+//   {"id":2,"method":"append_experiment","study":"wrf",
+//    "params":{"path":"wrf_128.ptt"}}
+//   {"id":3,"method":"retrack","study":"wrf"}
+//   {"id":4,"method":"regions","study":"wrf"}
+//
+// Responses for regions/trends/coverage are byte-identical to what a
+// batch `perftrack track` run over the same traces would report. SIGTERM,
+// SIGINT, EOF (--stdio) and the `shutdown` method all drain gracefully:
+// admitted requests complete and flush before the process exits.
+//
+// Exit codes: 0 clean shutdown, 1 internal error, 2 usage.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli.hpp"
+#include "common/error.hpp"
+#include "obs/report.hpp"
+#include "obs/telemetry.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "sim/studies.hpp"
+#include "store/frame_store.hpp"
+
+using namespace perftrack;
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitInternal = 1;
+constexpr int kExitUsage = 2;
+
+struct Options {
+  bool stdio = false;
+  std::string socket_path;
+  double eps = 0.025;
+  std::size_t min_pts = 5;
+  double min_cluster_frac = 0.005;
+  bool lenient = false;
+  bool no_cache = false;
+  std::size_t max_errors = 100;
+  std::size_t idle_ttl_sec = 0;
+  std::size_t max_sessions = 0;
+  std::size_t sweep_interval_ms = 0;
+  std::string cache_dir;
+  std::string profile_path;
+  std::string trace_events_path;
+  serve::ServerOptions server;
+};
+
+cli::OptionTable option_table(Options& options) {
+  cli::OptionTable table;
+  table.tool = "perftrackd";
+  table.commands = {
+      "--socket PATH [options]",
+      "--stdio [options]",
+  };
+  table.footer =
+      "exit codes: 0 clean shutdown, 1 error, 2 usage\n"
+      "protocol:   newline-delimited JSON, see docs/SERVING.md\n";
+  auto* o = &options;
+  table.add("--socket", "PATH", "listen on an AF_UNIX stream socket",
+            [o](const std::string& v) { o->socket_path = v; });
+  table.add_switch("--stdio",
+                   "serve one connection on stdin/stdout (tests, scripts)",
+                   [o] { o->stdio = true; });
+  table.add("--threads", "N",
+            "request worker threads (0 = hardware concurrency)",
+            [o](const std::string& v) {
+              o->server.threads = cli::parse_count("--threads", v);
+            });
+  table.add("--queue", "N",
+            "max requests in flight before overload rejection (64)",
+            [o](const std::string& v) {
+              o->server.queue_capacity = cli::parse_count("--queue", v, 1);
+            });
+  table.add("--idle-ttl", "SEC",
+            "evict session state of studies idle this long (0 = never)",
+            [o](const std::string& v) {
+              o->idle_ttl_sec = cli::parse_count("--idle-ttl", v);
+            });
+  table.add("--max-sessions", "N",
+            "keep at most N resident sessions, LRU-evict beyond (0 = all)",
+            [o](const std::string& v) {
+              o->max_sessions = cli::parse_count("--max-sessions", v);
+            });
+  table.add("--sweep-interval", "MS",
+            "period of the idle-eviction sweeper (0 = only on demand)",
+            [o](const std::string& v) {
+              o->sweep_interval_ms = cli::parse_count("--sweep-interval", v);
+            });
+  table.add("--eps", "X", "default DBSCAN radius for new studies (0.025)",
+            [o](const std::string& v) {
+              o->eps = cli::parse_double("--eps", v);
+              if (o->eps <= 0.0)
+                throw cli::UsageError("invalid value for --eps: '" + v +
+                                      "' (must be positive)");
+            });
+  table.add("--min-pts", "N", "default DBSCAN core threshold (5)",
+            [o](const std::string& v) {
+              o->min_pts = cli::parse_count("--min-pts", v, 1);
+            });
+  table.add("--min-cluster-frac", "F",
+            "default minimum cluster time share (0.005)",
+            [o](const std::string& v) {
+              o->min_cluster_frac =
+                  cli::parse_double("--min-cluster-frac", v);
+              if (o->min_cluster_frac < 0.0 || o->min_cluster_frac >= 1.0)
+                throw cli::UsageError(
+                    "invalid value for --min-cluster-frac: '" + v +
+                    "' (must be in [0, 1))");
+            });
+  table.add_switch("--strict",
+                   "abort ingestion on the first malformed record (default)",
+                   [o] { o->lenient = false; });
+  table.add_switch("--lenient",
+                   "default new studies to lenient ingestion (failed "
+                   "experiments become gaps)",
+                   [o] { o->lenient = true; });
+  table.add("--max-errors", "N",
+            "lenient-mode error budget per ingested file (100)",
+            [o](const std::string& v) {
+              o->max_errors = cli::parse_count("--max-errors", v);
+            });
+  table.add("--cache-dir", "DIR",
+            "frame cache for every study (default: $PERFTRACK_CACHE)",
+            [o](const std::string& v) { o->cache_dir = v; });
+  table.add_switch("--no-cache",
+                   "disable the frame cache even if PERFTRACK_CACHE is set",
+                   [o] { o->no_cache = true; });
+  table.add("--profile", "FILE",
+            "write a JSON run report (per-endpoint spans) at shutdown",
+            [o](const std::string& v) { o->profile_path = v; });
+  table.add("--trace-events", "FILE",
+            "write Chrome trace_event JSON at shutdown",
+            [o](const std::string& v) { o->trace_events_path = v; });
+  return table;
+}
+
+int usage(const cli::OptionTable& table) {
+  std::fputs(table.usage().c_str(), stderr);
+  return kExitUsage;
+}
+
+serve::ServiceConfig service_config(const Options& options) {
+  serve::ServiceConfig config;
+  config.session.clustering = sim::default_clustering();
+  config.session.clustering.dbscan.eps = options.eps;
+  config.session.clustering.dbscan.min_pts = options.min_pts;
+  config.session.clustering.min_cluster_time_fraction =
+      options.min_cluster_frac;
+  config.session.resilience.lenient = options.lenient;
+  if (!options.no_cache)
+    config.session.cache.directory =
+        options.cache_dir.empty() ? store::FrameStore::environment_directory()
+                                  : options.cache_dir;
+  config.max_errors = options.max_errors;
+  config.idle_ttl_ns =
+      static_cast<std::uint64_t>(options.idle_ttl_sec) * 1000000000ull;
+  config.max_resident = options.max_sessions;
+  return config;
+}
+
+void emit_telemetry(const Options& options) {
+  if (options.profile_path.empty() && options.trace_events_path.empty())
+    return;
+  obs::RunReport report = obs::collect();
+  report.label = "perftrackd";
+  if (!options.profile_path.empty()) {
+    obs::save_report_json(options.profile_path, report);
+    std::fprintf(stderr, "profile written to %s\n",
+                 options.profile_path.c_str());
+  }
+  if (!options.trace_events_path.empty()) {
+    obs::save_trace_events(options.trace_events_path);
+    std::fprintf(stderr, "trace events written to %s\n",
+                 options.trace_events_path.c_str());
+  }
+  std::fputs(obs::summary_table(report).c_str(), stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  cli::OptionTable table = option_table(options);
+  try {
+    std::vector<std::string> positionals;
+    table.parse(argc, argv, 1, positionals);
+    if (!positionals.empty())
+      throw cli::UsageError("unexpected argument '" + positionals.front() +
+                            "'");
+    if (options.stdio == !options.socket_path.empty())
+      throw cli::UsageError("pick exactly one of --stdio or --socket PATH");
+
+    if (!options.profile_path.empty() || !options.trace_events_path.empty())
+      obs::set_enabled(true);
+    options.server.sweep_interval_ms = options.sweep_interval_ms;
+
+    serve::TrackingService service(service_config(options));
+    int rc = options.stdio
+                 ? serve::serve_stream(service, std::cin, std::cout,
+                                       options.server)
+                 : serve::serve_unix_socket(service, options.socket_path,
+                                            options.server);
+    emit_telemetry(options);
+    return rc == 0 ? kExitOk : kExitInternal;
+  } catch (const cli::UsageError& error) {
+    std::fprintf(stderr, "perftrackd: %s\n", error.what());
+    return usage(table);
+  } catch (const Error& error) {
+    std::fprintf(stderr, "perftrackd: %s\n", error.what());
+    return kExitInternal;
+  }
+}
