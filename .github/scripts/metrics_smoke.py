@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""CI smoke test for perftrackd's /metrics scrape endpoint.
+
+Starts a real daemon (AF_UNIX protocol socket + loopback-TCP metrics
+endpoint on an ephemeral port), drives a few requests over the protocol
+so the histograms have samples, scrapes /metrics, and validates the
+payload the way `promtool check metrics` would: every line must match
+the exposition-format 0.0.4 grammar, every sampled family needs a
+# TYPE, histogram `le` buckets must be cumulative and end at +Inf with
+_count, and the families the serving layer promises must be present.
+
+The scraped text is written to a snapshot file (default
+metrics_snapshot.txt) which CI uploads as an artifact, so a regression
+in the exposition output is diffable across runs.
+
+Usage: metrics_smoke.py PERFTRACKD_BINARY [SNAPSHOT_PATH]
+Exit codes: 0 ok, 1 validation failure, 2 daemon/transport failure.
+"""
+
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+REQUIRED_FAMILIES = [
+    "perftrackd_requests_total",
+    "perftrackd_errors_total",
+    "perftrackd_request_ns",
+    "perftrackd_handler_ns",
+    "perftrackd_phase_ns",
+    "perftrackd_queue_depth",
+    "perftrackd_queue_capacity",
+    "perftrackd_studies",
+    "perftrackd_resident_sessions",
+    "perftrackd_uptime_seconds",
+]
+
+# Exposition format 0.0.4 line grammar (promtool-style check).
+COMMENT_RE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$")
+SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"                     # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""          # first label
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"     # more labels
+    r" (-?[0-9.e+]+|\+Inf|-Inf|NaN)$"                # value
+)
+
+
+def fail(message):
+    print(f"::error::metrics smoke: {message}")
+    sys.exit(1)
+
+
+def ndjson_call(sock_path, request):
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+        s.connect(sock_path)
+        s.sendall((json.dumps(request) + "\n").encode())
+        data = b""
+        while not data.endswith(b"\n"):
+            chunk = s.recv(4096)
+            if not chunk:
+                break
+            data += chunk
+    response = json.loads(data)
+    if not response.get("ok"):
+        fail(f"protocol request {request['method']} failed: {response}")
+    return response
+
+
+def validate_exposition(text):
+    typed = {}     # family -> declared type
+    sampled = {}   # family -> sample lines
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            fail(f"line {lineno}: blank line in exposition output")
+        if line.startswith("#"):
+            if not COMMENT_RE.match(line):
+                fail(f"line {lineno}: malformed comment: {line!r}")
+            parts = line.split(None, 3)
+            if parts[1] == "TYPE":
+                if parts[2] in typed:
+                    fail(f"line {lineno}: duplicate TYPE for {parts[2]}")
+                typed[parts[2]] = parts[3]
+            continue
+        if not SAMPLE_RE.match(line):
+            fail(f"line {lineno}: malformed sample: {line!r}")
+        name = re.split(r"[{ ]", line, 1)[0]
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        family = family if family in typed else name
+        sampled.setdefault(family, []).append(line)
+
+    for family, samples in sampled.items():
+        if family not in typed:
+            fail(f"family {family} has samples but no # TYPE")
+        if typed[family] == "histogram":
+            buckets = [s for s in samples if s.startswith(family + "_bucket")]
+            series = {}
+            for b in buckets:
+                labels = re.search(r"\{(.*)\}", b).group(1)
+                le = re.search(r'le="([^"]*)"', labels).group(1)
+                key = re.sub(r'(^|,)le="[^"]*"', "", labels)
+                series.setdefault(key, []).append(
+                    (le, float(b.rsplit(" ", 1)[1])))
+            for key, pairs in series.items():
+                if pairs[-1][0] != "+Inf":
+                    fail(f"{family}{{{key}}}: buckets do not end at +Inf")
+                counts = [n for _, n in pairs]
+                if counts != sorted(counts):
+                    fail(f"{family}{{{key}}}: bucket counts not cumulative")
+
+    for family in REQUIRED_FAMILIES:
+        if family not in sampled:
+            fail(f"required family {family} missing from /metrics")
+
+    ping = [s for s in sampled["perftrackd_requests_total"]
+            if 'method="ping"' in s]
+    if not ping or float(ping[0].rsplit(" ", 1)[1]) < 1:
+        fail("ping requests were served but not counted")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    binary = sys.argv[1]
+    snapshot_path = sys.argv[2] if len(sys.argv) > 2 else "metrics_snapshot.txt"
+
+    workdir = tempfile.mkdtemp(prefix="ptmetrics-")
+    sock_path = os.path.join(workdir, "pt.sock")
+    daemon = subprocess.Popen(
+        [binary, "--socket", sock_path, "--metrics-port", "0"],
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True)
+    try:
+        # The daemon prints the resolved ephemeral port to stderr.
+        port = None
+        deadline = time.time() + 10
+        while time.time() < deadline and port is None:
+            line = daemon.stderr.readline()
+            if not line and daemon.poll() is not None:
+                print(f"::error::daemon exited early: {daemon.returncode}")
+                return 2
+            match = re.search(r"metrics port (\d+)", line or "")
+            if match:
+                port = int(match.group(1))
+        if port is None:
+            print("::error::daemon never reported its metrics port")
+            return 2
+        while time.time() < deadline and not os.path.exists(sock_path):
+            time.sleep(0.05)
+
+        # Traffic first, so counters and histograms have real samples.
+        ndjson_call(sock_path, {"id": 1, "method": "ping"})
+        ndjson_call(sock_path, {"id": 2, "method": "open_study",
+                                "study": "smoke"})
+        ndjson_call(sock_path, {"id": 3, "method": "stats"})
+        ndjson_call(sock_path, {"id": 4, "method": "health"})
+
+        base = f"http://127.0.0.1:{port}"
+        text = urllib.request.urlopen(base + "/metrics", timeout=10).read()
+        text = text.decode()
+        with open(snapshot_path, "w", encoding="utf-8") as out:
+            out.write(text)
+        validate_exposition(text)
+
+        js = json.loads(
+            urllib.request.urlopen(base + "/metrics.json", timeout=10).read())
+        for section in ("counters", "gauges", "histograms"):
+            if section not in js:
+                fail(f"/metrics.json missing {section!r}")
+        health = json.loads(
+            urllib.request.urlopen(base + "/health", timeout=10).read())
+        if health.get("ok") is not True or health.get("draining") is not False:
+            fail(f"/health unexpected: {health}")
+
+        daemon.send_signal(signal.SIGTERM)
+        rc = daemon.wait(timeout=10)
+        if rc != 0:
+            print(f"::error::daemon exited {rc} after SIGTERM")
+            return 2
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+    lines = len(text.splitlines())
+    print(f"metrics smoke: OK ({lines} exposition lines, "
+          f"snapshot at {snapshot_path})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

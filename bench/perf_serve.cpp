@@ -20,9 +20,18 @@
 // Leg C: the stream server end to end — a ping flood through serve_stream
 // with a bounded queue. Every request must be answered exactly once, in
 // order (the verdict); the sustained request rate bounds the protocol +
-// queue overhead per call.
+// queue overhead per call. The metrics plane must have recorded exactly
+// one end-to-end latency sample per ping (a deterministic verdict), and
+// the observed p50/p99 are exported as advisory gauges.
+//
+// Leg D: the same flood with ServiceConfig::metrics=false — the recording
+// overhead of the live metrics plane, best-of-N both ways. The bar is
+// advisory (< 1% is below shared-runner noise) but the gauge pins the
+// number the header comment in serve/metrics.hpp promises.
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <sstream>
 #include <string>
@@ -171,42 +180,100 @@ int main() {
   std::string input;
   for (int i = 0; i < kPings; ++i)
     input += "{\"id\":" + std::to_string(i) + ",\"method\":\"ping\"}\n";
-  std::istringstream in(input);
-  std::ostringstream out;
-  serve::TrackingService ping_service;
   serve::ServerOptions options;
   options.threads = pool;
   options.queue_capacity = 64;
-  start = Clock::now();
-  int exit_code = serve::serve_stream(ping_service, in, out, options);
-  double flood_ms = ms_since(start);
 
-  bool all_answered = exit_code == 0;
-  std::istringstream lines(out.str());
-  std::string line;
-  int next_id = 0;
-  while (std::getline(lines, line)) {
-    obs::JsonValue v = obs::parse_json(line);
-    all_answered = all_answered && v.at("ok").boolean &&
-                   v.at("id").number == static_cast<double>(next_id);
-    ++next_id;
-  }
-  all_answered = all_answered && next_id == kPings;
+  // One flood through a fresh service; answers must come back exactly
+  // once, in order. Returns wall time.
+  auto flood = [&](serve::TrackingService& target, bool& answered) {
+    std::istringstream in(input);
+    std::ostringstream out;
+    Clock::time_point begin = Clock::now();
+    int exit_code = serve::serve_stream(target, in, out, options);
+    double ms = ms_since(begin);
+    answered = exit_code == 0;
+    std::istringstream lines(out.str());
+    std::string line;
+    int next_id = 0;
+    while (std::getline(lines, line)) {
+      obs::JsonValue v = obs::parse_json(line);
+      answered = answered && v.at("ok").boolean &&
+                 v.at("id").number == static_cast<double>(next_id);
+      ++next_id;
+    }
+    answered = answered && next_id == kPings;
+    return ms;
+  };
+
+  serve::TrackingService ping_service;  // metrics on by default
+  bool all_answered = false;
+  double flood_ms = flood(ping_service, all_answered);
+
+  // The metrics plane saw every ping end to end: the request_ns histogram
+  // holds exactly kPings samples, and its quantiles are the request
+  // latency this flood actually delivered.
+  obs::HistogramSnapshot ping_latency =
+      ping_service.metrics()
+          .registry()
+          .histogram("perftrackd_request_ns", "method=\"ping\"")
+          .snapshot();
+  bool metrics_complete =
+      ping_latency.count == static_cast<std::uint64_t>(kPings);
   std::printf("%d pings over %u threads: %.1f ms (%.0f req/s)\n",
               kPings, pool, flood_ms, 1000.0 * kPings / flood_ms);
-  std::printf("every request answered once, in order: %s\n\n",
+  std::printf("request_ns p50/p99/max: %llu / %llu / %llu ns\n",
+              static_cast<unsigned long long>(ping_latency.quantile(0.50)),
+              static_cast<unsigned long long>(ping_latency.quantile(0.99)),
+              static_cast<unsigned long long>(ping_latency.max));
+  std::printf("every request answered once, in order: %s\n",
               all_answered ? "yes" : "NO");
+  std::printf("metrics recorded every ping: %s (%llu of %d)\n\n",
+              metrics_complete ? "yes" : "NO",
+              static_cast<unsigned long long>(ping_latency.count), kPings);
+
+  // ---- Leg D: recording overhead — metrics on vs metrics off. ----------
+  bench::print_section("metrics recording overhead (ping flood, best of 5)");
+  const int kReps = 5;
+  double best_on_ms = flood_ms;
+  double best_off_ms = 1e300;
+  bool overhead_floods_ok = true;
+  for (int rep = 0; rep < kReps; ++rep) {
+    bool rep_ok = false;
+    serve::TrackingService on_service;
+    best_on_ms = std::min(best_on_ms, flood(on_service, rep_ok));
+    overhead_floods_ok = overhead_floods_ok && rep_ok;
+
+    serve::ServiceConfig off_config;
+    off_config.metrics = false;
+    serve::TrackingService off_service(off_config);
+    best_off_ms = std::min(best_off_ms, flood(off_service, rep_ok));
+    overhead_floods_ok = overhead_floods_ok && rep_ok;
+  }
+  double overhead_pct = 100.0 * (best_on_ms - best_off_ms) / best_off_ms;
+  bool overhead_ok = overhead_floods_ok && overhead_pct < 1.0;
+  std::printf("metrics on:  %.1f ms best\n", best_on_ms);
+  std::printf("metrics off: %.1f ms best\n", best_off_ms);
+  std::printf("recording overhead: %+.2f%% (advisory bar < 1%%)\n\n",
+              overhead_pct);
 
   PT_GAUGE("verdict_identical", identical ? 1.0 : 0.0);
   PT_GAUGE("verdict_all_answered", all_answered ? 1.0 : 0.0);
+  PT_GAUGE("verdict_metrics_complete", metrics_complete ? 1.0 : 0.0);
   PT_GAUGE("advisory_read_scaling_ge1_2", scaling_ok ? 1.0 : 0.0);
+  PT_GAUGE("advisory_metrics_overhead_lt_1pct", overhead_ok ? 1.0 : 0.0);
+  PT_GAUGE("advisory_ping_p50_ns",
+           static_cast<double>(ping_latency.quantile(0.50)));
+  PT_GAUGE("advisory_ping_p99_ns",
+           static_cast<double>(ping_latency.quantile(0.99)));
+  PT_GAUGE("metrics_overhead_pct", overhead_pct);
   PT_GAUGE("read_scaling", scaling);
   PT_GAUGE("read_rps_single", single_rps);
   PT_GAUGE("read_rps_pooled", pooled_rps);
   PT_GAUGE("ping_rps", 1000.0 * kPings / flood_ms);
   bench::write_telemetry("BENCH_serve.json", "perf_serve");
 
-  bool pass = identical && all_answered;
+  bool pass = identical && all_answered && metrics_complete;
   std::printf("\nperf_serve: %s\n", pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

@@ -1,0 +1,282 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace perftrack::obs {
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+std::size_t Histogram::bucket_index(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  // Octave of the highest set bit; the kSubBits bits below it pick the
+  // linear sub-bucket, so every bucket spans value/kSubBuckets at most.
+  const unsigned exponent = std::bit_width(value) - 1;  // >= kSubBits
+  const std::uint64_t sub =
+      (value >> (exponent - kSubBits)) - kSubBuckets;  // [0, kSubBuckets)
+  return static_cast<std::size_t>(
+      (exponent - kSubBits + 1) * kSubBuckets + sub);
+}
+
+std::uint64_t Histogram::bucket_bound(std::size_t index) {
+  if (index < kSubBuckets) return index;
+  const unsigned octave = static_cast<unsigned>(index / kSubBuckets);
+  const std::uint64_t sub = index % kSubBuckets;
+  const unsigned shift = octave - 1;  // exponent - kSubBits
+  // Inclusive upper bound: one below the next bucket's lower bound. The
+  // top bucket's (kSubBuckets + sub + 1) << shift wraps to 0 modulo 2^64,
+  // making its bound 2^64-1 — the histogram covers all of uint64.
+  return ((kSubBuckets + sub + 1) << shift) - 1;
+}
+
+void Histogram::record(std::uint64_t value) {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed))
+    ;
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed))
+    ;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  // Read count/sum before the buckets: a record() racing the snapshot may
+  // then be visible in the buckets but not the header, never the other
+  // way round, so quantile() — which trusts the bucket totals — stays
+  // consistent. Recompute count from buckets for the same reason.
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  const std::uint64_t min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    snap.buckets.emplace_back(bucket_bound(i), n);
+    total += n;
+  }
+  snap.count = total;
+  snap.min = (total == 0 || min == ~0ull) ? 0 : min;
+  return snap;
+}
+
+std::uint64_t HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the order statistic, 1-based: q=0 -> first, q=1 -> last.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (const auto& [bound, n] : buckets) {
+    cumulative += n;
+    if (cumulative >= rank) return std::min(bound, max);
+  }
+  return max;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  // Merge the two sorted sparse bucket lists.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  std::size_t a = 0, b = 0;
+  while (a < buckets.size() || b < other.buckets.size()) {
+    if (b >= other.buckets.size() ||
+        (a < buckets.size() && buckets[a].first < other.buckets[b].first)) {
+      merged.push_back(buckets[a++]);
+    } else if (a >= buckets.size() ||
+               other.buckets[b].first < buckets[a].first) {
+      merged.push_back(other.buckets[b++]);
+    } else {
+      merged.emplace_back(buckets[a].first,
+                          buckets[a].second + other.buckets[b].second);
+      ++a;
+      ++b;
+    }
+  }
+  buckets = std::move(merged);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& labels,
+                                  const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!help.empty()) help_.emplace(name, help);
+  auto& slot = counters_[Key{name, labels}];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& labels,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!help.empty()) help_.emplace(name, help);
+  auto& slot = gauges_[Key{name, labels}];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& labels,
+                                      const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!help.empty()) help_.emplace(name, help);
+  auto& slot = histograms_[Key{name, labels}];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::help(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = help_.find(name);
+  return it == help_.end() ? std::string() : it->second;
+}
+
+std::map<std::string, std::string> MetricsRegistry::help_texts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return help_;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, counter] : counters_)
+    snap.counters.push_back(MetricSample{
+        key.first, key.second, static_cast<double>(counter->value())});
+  for (const auto& [key, gauge] : gauges_)
+    snap.gauges.push_back(MetricSample{key.first, key.second, gauge->value()});
+  for (const auto& [key, histogram] : histograms_)
+    snap.histograms.push_back(
+        HistogramSample{key.first, key.second, histogram->snapshot()});
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+
+namespace {
+
+/// Render a double the way Prometheus expects: integers without a
+/// fractional part, everything else with enough digits to round-trip.
+std::string prom_number(double value) {
+  if (value == static_cast<double>(static_cast<std::int64_t>(value)) &&
+      std::abs(value) < 9.2e18)
+    return std::to_string(static_cast<std::int64_t>(value));
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+std::string with_labels(const std::string& name, const std::string& labels,
+                        const std::string& extra = "") {
+  std::string out = name;
+  if (labels.empty() && extra.empty()) return out;
+  out += '{';
+  out += labels;
+  if (!labels.empty() && !extra.empty()) out += ',';
+  out += extra;
+  out += '}';
+  return out;
+}
+
+void family_header(std::string& out, const std::string& name,
+                   const char* type,
+                   const std::map<std::string, std::string>& help,
+                   std::string& last_family) {
+  if (name == last_family) return;
+  last_family = name;
+  auto it = help.find(name);
+  if (it != help.end() && !it->second.empty())
+    out += "# HELP " + name + " " + it->second + "\n";
+  out += "# TYPE " + name + " " + std::string(type) + "\n";
+}
+
+}  // namespace
+
+std::string prometheus_text(const MetricsSnapshot& snapshot,
+                            const std::map<std::string, std::string>& help) {
+  std::string out;
+  std::string last_family;
+  for (const MetricSample& sample : snapshot.counters) {
+    family_header(out, sample.name, "counter", help, last_family);
+    out += with_labels(sample.name, sample.labels) + " " +
+           prom_number(sample.value) + "\n";
+  }
+  last_family.clear();
+  for (const MetricSample& sample : snapshot.gauges) {
+    family_header(out, sample.name, "gauge", help, last_family);
+    out += with_labels(sample.name, sample.labels) + " " +
+           prom_number(sample.value) + "\n";
+  }
+  last_family.clear();
+  for (const HistogramSample& sample : snapshot.histograms) {
+    family_header(out, sample.name, "histogram", help, last_family);
+    std::uint64_t cumulative = 0;
+    for (const auto& [bound, n] : sample.hist.buckets) {
+      cumulative += n;
+      out += with_labels(sample.name + "_bucket", sample.labels,
+                         "le=\"" + std::to_string(bound) + "\"") +
+             " " + std::to_string(cumulative) + "\n";
+    }
+    out += with_labels(sample.name + "_bucket", sample.labels,
+                       "le=\"+Inf\"") +
+           " " + std::to_string(sample.hist.count) + "\n";
+    out += with_labels(sample.name + "_sum", sample.labels) + " " +
+           std::to_string(sample.hist.sum) + "\n";
+    out += with_labels(sample.name + "_count", sample.labels) + " " +
+           std::to_string(sample.hist.count) + "\n";
+  }
+  return out;
+}
+
+std::string metrics_json(const MetricsSnapshot& snapshot) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("counters").begin_object();
+  for (const MetricSample& sample : snapshot.counters)
+    json.key(with_labels(sample.name, sample.labels)).value(sample.value);
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const MetricSample& sample : snapshot.gauges)
+    json.key(with_labels(sample.name, sample.labels)).value(sample.value);
+  json.end_object();
+  json.key("histograms").begin_object();
+  for (const HistogramSample& sample : snapshot.histograms) {
+    json.key(with_labels(sample.name, sample.labels)).begin_object();
+    json.key("count").value(sample.hist.count);
+    json.key("sum").value(sample.hist.sum);
+    json.key("min").value(sample.hist.min);
+    json.key("max").value(sample.hist.max);
+    json.key("p50").value(sample.hist.quantile(0.50));
+    json.key("p90").value(sample.hist.quantile(0.90));
+    json.key("p99").value(sample.hist.quantile(0.99));
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace perftrack::obs

@@ -1,0 +1,204 @@
+#pragma once
+// Live metrics: lock-light histograms and a sampleable registry.
+//
+// The telemetry layer (telemetry.hpp) records a *run* — an event stream
+// folded into one report at the end. A long-running daemon needs the
+// opposite: named counters, gauges and latency histograms that are always
+// recording and can be *sampled at any moment* without stopping the world.
+// This module is that plane:
+//
+//   * Histogram — log-bucketed value distribution. record() is one relaxed
+//     atomic fetch_add on the owning bucket (no locks, no allocation), so
+//     any number of threads record concurrently; snapshot() reads the
+//     buckets at any time and derives count/sum/min/max and quantiles.
+//     Buckets are log-linear (kSubBuckets linear sub-buckets per power of
+//     two), bounding the relative quantile error by 1/kSubBuckets.
+//   * MetricsRegistry — named metrics with optional Prometheus-style
+//     labels. counter()/gauge()/histogram() get-or-create under a mutex
+//     and hand back a stable reference; recording on the handle is
+//     lock-free thereafter. snapshot() walks the registry without
+//     blocking writers.
+//   * Exporters — prometheus_text() renders a snapshot in the Prometheus
+//     text exposition format (version 0.0.4: HELP/TYPE comments,
+//     cumulative le-buckets, _sum/_count); metrics_json() renders a
+//     compact JSON object with derived p50/p90/p99 per histogram.
+//
+// perftrackd instruments its request path into a registry and exposes it
+// via the `metrics` protocol method and the `GET /metrics` HTTP endpoint
+// (serve/metrics_http.hpp). docs/OBSERVABILITY.md catalogues the metric
+// names.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace perftrack::obs {
+
+/// Immutable point-in-time view of one Histogram. Mergeable: merging the
+/// snapshots of two histograms equals the snapshot of one histogram that
+/// recorded both value streams (bucket-wise addition).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< smallest recorded value (0 when count == 0)
+  std::uint64_t max = 0;
+  /// Non-empty buckets only: (upper bound inclusive, count in bucket),
+  /// sorted by bound. Values above the last finite bound are impossible —
+  /// the top bucket's bound is the uint64 range's ceiling.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+
+  /// Upper bound of the bucket holding quantile `q` in [0, 1], clamped to
+  /// max. Exact for values < kSubBuckets; within a factor of
+  /// 1 + 1/kSubBuckets above the true order statistic otherwise.
+  std::uint64_t quantile(double q) const;
+
+  /// Bucket-wise addition (the cross-thread merge identity).
+  void merge(const HistogramSnapshot& other);
+};
+
+/// Fixed-size log-linear histogram of non-negative integer values
+/// (typically nanoseconds). Thread-safe, lock-free recording.
+class Histogram {
+public:
+  /// Linear sub-buckets per power of two; relative bucket width (and the
+  /// quantile error bound) is 1/kSubBuckets.
+  static constexpr unsigned kSubBits = 5;
+  static constexpr unsigned kSubBuckets = 1u << kSubBits;
+  /// Values 0..kSubBuckets-1 are exact; each further octave adds
+  /// kSubBuckets buckets, up to 2^64-1.
+  static constexpr std::size_t kBucketCount =
+      (64 - kSubBits + 1) * kSubBuckets;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Record one value. Wait-free: one bucket fetch_add plus the
+  /// count/sum/extrema atomics, all relaxed.
+  void record(std::uint64_t value);
+
+  /// Sample the histogram without stopping recording. A concurrent
+  /// record() lands entirely in this snapshot or entirely in the next —
+  /// bucket counts are read after count/sum, so derived stats never claim
+  /// more events than the buckets hold.
+  HistogramSnapshot snapshot() const;
+
+  /// Index of the bucket holding `value` / inclusive upper bound of
+  /// bucket `index` (exposed for tests and the exporters).
+  static std::size_t bucket_index(std::uint64_t value);
+  static std::uint64_t bucket_bound(std::size_t index);
+
+private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ull};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Monotonically increasing event count. Lock-free.
+class Counter {
+public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value. Lock-free.
+class Gauge {
+public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> value_{0.0};
+};
+
+/// One sampled metric: family name, rendered label set ("" or
+/// `key="value",key2="v2"` — no braces), and its value.
+struct MetricSample {
+  std::string name;
+  std::string labels;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::string labels;
+  HistogramSnapshot hist;
+};
+
+/// Point-in-time view of a whole registry, ordered by (name, labels).
+struct MetricsSnapshot {
+  std::vector<MetricSample> counters;
+  std::vector<MetricSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+/// Named metrics with get-or-create registration. Handles returned by
+/// counter()/gauge()/histogram() stay valid for the registry's lifetime;
+/// recording through them never takes the registry mutex.
+class MetricsRegistry {
+public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// `labels` is the rendered label set without braces, e.g.
+  /// `method="regions"`; it must be stable wire-format text (the
+  /// exporters emit it verbatim). `help` is kept from the first
+  /// registration of a family.
+  Counter& counter(const std::string& name, const std::string& labels = "",
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& labels = "",
+               const std::string& help = "");
+  Histogram& histogram(const std::string& name,
+                       const std::string& labels = "",
+                       const std::string& help = "");
+
+  /// Help text of family `name` ("" when never registered with one).
+  std::string help(const std::string& name) const;
+
+  /// Every family's help text, for prometheus_text().
+  std::map<std::string, std::string> help_texts() const;
+
+  /// Sample every metric. Writers are never blocked: the registry mutex
+  /// only guards the name->metric maps, not the metric values.
+  MetricsSnapshot snapshot() const;
+
+private:
+  using Key = std::pair<std::string, std::string>;  // (name, labels)
+
+  mutable std::mutex mutex_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::string> help_;
+};
+
+/// Render `snapshot` in the Prometheus text exposition format (0.0.4).
+/// Histograms emit cumulative `le` buckets (non-empty bounds plus +Inf),
+/// `_sum` and `_count`; families carry their HELP/TYPE comments. `help`
+/// resolves a family name to its help string (may return "").
+std::string prometheus_text(
+    const MetricsSnapshot& snapshot,
+    const std::map<std::string, std::string>& help = {});
+
+/// Render `snapshot` as one compact JSON object:
+/// {"counters":{...},"gauges":{...},"histograms":{"name{labels}":
+///  {"count":..,"sum":..,"min":..,"max":..,"p50":..,"p90":..,"p99":..}}}
+std::string metrics_json(const MetricsSnapshot& snapshot);
+
+}  // namespace perftrack::obs

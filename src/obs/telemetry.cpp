@@ -168,10 +168,23 @@ std::vector<ThreadTimeline> timelines() {
   return out;
 }
 
+ThreadTimeline current_thread_timeline() {
+  ThreadLog& log = local_log();
+  std::lock_guard<std::mutex> lock(log.mutex);
+  return ThreadTimeline{log.tid, log.events};
+}
+
 RunReport collect() {
   RunReport report;
   report.root.name = "run";
   report.root.count = 1;
+
+  // Gauge resolution: last write wins *by recording timestamp*, not by
+  // thread registration order (threads are folded one after another, so a
+  // naive overwrite would let an early writer on a late-registered thread
+  // shadow a later write). Ties at the same nanosecond resolve to the
+  // larger value so the merge stays deterministic either way.
+  std::map<std::string, std::pair<std::uint64_t, double>> latest_gauges;
 
   const std::vector<ThreadTimeline> threads = timelines();
   const std::uint64_t now = now_ns();
@@ -224,15 +237,24 @@ RunReport collect() {
           top().counters[event.name] += event.value;
           report.counters[event.name] += event.value;
           break;
-        case TimelineEvent::Kind::Gauge:
-          report.gauges[event.name] = event.value;
+        case TimelineEvent::Kind::Gauge: {
+          auto [it, inserted] = latest_gauges.emplace(
+              event.name, std::make_pair(event.ts_ns, event.value));
+          if (!inserted && (event.ts_ns > it->second.first ||
+                            (event.ts_ns == it->second.first &&
+                             event.value > it->second.second)))
+            it->second = {event.ts_ns, event.value};
           break;
+        }
       }
     }
     // Spans still open at snapshot time count up to "now".
     for (const Open& open : stack)
       if (!open.context) open.node->total_ns += now - open.begin_ns;
   }
+
+  for (const auto& [name, stamped] : latest_gauges)
+    report.gauges[name] = stamped.second;
 
   finalize_self_times(report.root);
   report.peak_rss_bytes = peak_rss_bytes();

@@ -84,8 +84,11 @@ private:
 /// across calls and threads). `name` must be a string literal.
 void add_counter(const char* name, double value = 1.0);
 
-/// Set gauge `name` to `value` (last write wins). `name` must be a string
-/// literal.
+/// Set gauge `name` to `value`. Last write wins *by recording timestamp*:
+/// collect() resolves writes from different threads deterministically by
+/// the telemetry clock (now_ns) at the moment of the set, independent of
+/// thread registration order; writes in the same nanosecond resolve to
+/// the larger value. `name` must be a string literal.
 void set_gauge(const char* name, double value);
 
 // ---------------------------------------------------------------------------
@@ -136,6 +139,11 @@ struct ThreadTimeline {
 
 /// Snapshot the raw timelines (does not clear them).
 std::vector<ThreadTimeline> timelines();
+
+/// Snapshot the calling thread's own raw events (does not clear them).
+/// The serve layer's slow-request capture uses this to extract the span
+/// tree of one request window without copying every thread's stream.
+ThreadTimeline current_thread_timeline();
 
 }  // namespace perftrack::obs
 

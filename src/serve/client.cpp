@@ -1,0 +1,101 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace perftrack::serve {
+
+ClientResponse parse_client_response(const std::string& line) {
+  obs::JsonValue doc;
+  try {
+    doc = obs::parse_json(line);
+  } catch (const ParseError& error) {
+    throw Error(std::string("malformed response from daemon: ") +
+                error.what());
+  }
+  if (!doc.is_object()) throw Error("daemon response is not a JSON object");
+
+  ClientResponse response;
+  response.ok = doc.has("ok") && doc.at("ok").boolean;
+  if (response.ok) {
+    if (doc.has("result")) response.result = doc.at("result");
+  } else if (doc.has("error")) {
+    const obs::JsonValue& error = doc.at("error");
+    if (error.has("code")) response.error_code = error.at("code").string;
+    if (error.has("message"))
+      response.error_message = error.at("message").string;
+  }
+  return response;
+}
+
+NdjsonClient::NdjsonClient(const std::string& path) {
+  sockaddr_un address{};
+  if (path.size() >= sizeof(address.sun_path))
+    throw Error("socket path too long: " + path);
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0)
+    throw Error(std::string("socket(): ") + std::strerror(errno));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("cannot connect to " + path + ": " +
+                std::strerror(saved) + " (is perftrackd running?)");
+  }
+}
+
+NdjsonClient::~NdjsonClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string NdjsonClient::roundtrip(const std::string& request_line) {
+  std::string out = request_line;
+  out += '\n';
+  std::size_t done = 0;
+  while (done < out.size()) {
+    ssize_t n = ::send(fd_, out.data() + done, out.size() - done,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("send(): ") + std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+
+  while (true) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("recv(): ") + std::strerror(errno));
+    }
+    if (n == 0) throw Error("daemon closed the connection mid-response");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+ClientResponse NdjsonClient::call(const std::string& method,
+                                  const std::string& study) {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("method").value(method);
+  if (!study.empty()) json.key("study").value(study);
+  json.end_object();
+  return parse_client_response(roundtrip(json.str()));
+}
+
+}  // namespace perftrack::serve

@@ -1,0 +1,53 @@
+#pragma once
+// Blocking NDJSON client for the perftrackd protocol.
+//
+// The thin counterpart of serve_unix_socket(): connect to the daemon's
+// socket, write one request line, read one response line. `perftrack
+// stat` is built on it; tests use it to talk to a daemon end to end.
+// One request in flight at a time — callers needing pipelining should
+// hold several clients.
+
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace perftrack::serve {
+
+/// One parsed response line, from the client's side of the wire.
+struct ClientResponse {
+  bool ok = false;
+  std::string error_code;     ///< wire code when !ok
+  std::string error_message;  ///< human message when !ok
+  obs::JsonValue result;      ///< result object when ok (Null otherwise)
+};
+
+/// Parse one NDJSON response line. Throws Error on malformed JSON (a
+/// daemon bug or a non-daemon peer).
+ClientResponse parse_client_response(const std::string& line);
+
+class NdjsonClient {
+public:
+  /// Connect to the AF_UNIX socket at `path`; throws Error when the
+  /// daemon is not there.
+  explicit NdjsonClient(const std::string& path);
+  ~NdjsonClient();
+
+  NdjsonClient(const NdjsonClient&) = delete;
+  NdjsonClient& operator=(const NdjsonClient&) = delete;
+
+  /// Send one request line (newline appended) and block for the response
+  /// line. Throws Error on a broken connection.
+  std::string roundtrip(const std::string& request_line);
+
+  /// Convenience: call `method` (optionally against `study`) with no
+  /// params and return the parsed response. Throws Error on transport
+  /// failure; protocol errors come back as ok=false, not exceptions.
+  ClientResponse call(const std::string& method,
+                      const std::string& study = "");
+
+private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes past the last response line
+};
+
+}  // namespace perftrack::serve

@@ -1,0 +1,149 @@
+#include "serve/metrics.hpp"
+
+#include "serve/protocol.hpp"
+
+namespace perftrack::serve {
+
+namespace {
+
+/// Every protocol method gets its own label slot, resolved once here so
+/// the per-request path never builds label strings. "other" absorbs
+/// unknown method names (bounding the registry against a client spraying
+/// garbage methods); "invalid" is the slot for unparseable lines.
+const char* const kMethods[] = {
+    "ping",    "open_study", "close_study", "list_studies",
+    "append_experiment", "append_gap", "retrack", "regions",
+    "trends",  "coverage",   "stats",       "metrics",
+    "health",  "evict",      "sweep",       "shutdown",
+    "other",   "invalid",
+};
+
+thread_local std::uint64_t t_lock_wait_ns = 0;
+
+}  // namespace
+
+ServeMetrics::ServeMetrics(bool enabled) : enabled_(enabled) {
+  for (const char* method : kMethods) {
+    const std::string labels = std::string("method=\"") + method + "\"";
+    methods_.emplace(
+        method,
+        PerMethod{
+            &registry_.counter("perftrackd_requests_total", labels,
+                               "Requests dispatched, by method"),
+            &registry_.histogram(
+                "perftrackd_request_ns", labels,
+                "End-to-end request latency in nanoseconds (read off the "
+                "wire to response written)"),
+            &registry_.histogram(
+                "perftrackd_handler_ns", labels,
+                "Handler execution time in nanoseconds"),
+        });
+  }
+  const char* const phases[] = {"parse", "queue_wait", "lock_wait", "write"};
+  obs::Histogram* slots[4];
+  for (int i = 0; i < 4; ++i)
+    slots[i] = &registry_.histogram(
+        "perftrackd_phase_ns",
+        std::string("phase=\"") + phases[i] + "\"",
+        "Request phase breakdown in nanoseconds");
+  phase_parse_ = slots[0];
+  phase_queue_wait_ = slots[1];
+  phase_lock_wait_ = slots[2];
+  phase_write_ = slots[3];
+  // Pre-register the occupancy gauges so a scrape before the first
+  // request still shows the full catalogue.
+  registry_.gauge("perftrackd_queue_depth", "",
+                  "Requests admitted but not yet answered");
+  registry_.gauge("perftrackd_queue_capacity", "",
+                  "Admission cap of the bounded queue");
+  registry_.gauge("perftrackd_studies", "", "Open studies");
+  registry_.gauge("perftrackd_resident_sessions", "",
+                  "Studies with a live (non-evicted) session");
+  registry_.gauge("perftrackd_uptime_seconds", "",
+                  "Seconds since the service started");
+  registry_.counter("perftrackd_overloaded_total", "",
+                    "Requests rejected by backpressure");
+  registry_.gauge("perftrackd_frame_cache_hits", "",
+                  "Frame-cache hits over resident sessions");
+  registry_.gauge("perftrackd_frame_cache_misses", "",
+                  "Frame-cache misses over resident sessions");
+  registry_.gauge("perftrackd_frame_cache_stores", "",
+                  "Frame-cache stores over resident sessions");
+  // Zero-seed one error counter per code (the enum is closed), so the
+  // family is always scrapeable and rate() starts from 0, not absence.
+  for (int code = 0; code <= static_cast<int>(ErrorCode::Internal); ++code)
+    registry_.counter(
+        "perftrackd_errors_total",
+        "code=\"" +
+            std::string(error_code_name(static_cast<ErrorCode>(code))) + "\"",
+        "Error responses, by protocol error code");
+}
+
+const ServeMetrics::PerMethod& ServeMetrics::method_slot(
+    const std::string& method) const {
+  auto it = methods_.find(method);
+  if (it == methods_.end()) it = methods_.find("other");
+  return it->second;
+}
+
+void ServeMetrics::count_request(const std::string& method) {
+  if (!enabled_) return;
+  method_slot(method).requests->add();
+}
+
+void ServeMetrics::count_error(std::string_view code) {
+  if (!enabled_) return;
+  // Error codes are a closed enum, so get-or-create stays bounded; the
+  // registry lookup only runs on (rare) error responses.
+  registry_.counter("perftrackd_errors_total",
+                    "code=\"" + std::string(code) + "\"",
+                    "Error responses, by protocol error code")
+      .add();
+}
+
+void ServeMetrics::record_request_ns(const std::string& method,
+                                     std::uint64_t ns) {
+  if (!enabled_) return;
+  method_slot(method).request_ns->record(ns);
+}
+
+void ServeMetrics::record_handler_ns(const std::string& method,
+                                     std::uint64_t ns) {
+  if (!enabled_) return;
+  method_slot(method).handler_ns->record(ns);
+}
+
+void ServeMetrics::record_phase_ns(Phase phase, std::uint64_t ns) {
+  if (!enabled_) return;
+  switch (phase) {
+    case Phase::Parse: phase_parse_->record(ns); break;
+    case Phase::QueueWait: phase_queue_wait_->record(ns); break;
+    case Phase::LockWait: phase_lock_wait_->record(ns); break;
+    case Phase::Write: phase_write_->record(ns); break;
+  }
+}
+
+void ServeMetrics::record_lock_wait_ns(std::uint64_t ns) {
+  t_lock_wait_ns += ns;
+  if (!enabled_) return;
+  phase_lock_wait_->record(ns);
+}
+
+std::vector<std::pair<std::string, obs::HistogramSnapshot>>
+ServeMetrics::per_method_latency() const {
+  std::vector<std::pair<std::string, obs::HistogramSnapshot>> out;
+  for (const char* method : kMethods) {
+    const PerMethod& slot = methods_.at(method);
+    obs::HistogramSnapshot snap = slot.request_ns->snapshot();
+    if (snap.count == 0) snap = slot.handler_ns->snapshot();
+    if (snap.count == 0) continue;
+    out.emplace_back(method, std::move(snap));
+  }
+  return out;
+}
+
+void ServeMetrics::reset_request_context() { t_lock_wait_ns = 0; }
+
+std::uint64_t ServeMetrics::context_lock_wait_ns() { return t_lock_wait_ns; }
+
+}  // namespace perftrack::serve

@@ -1,0 +1,116 @@
+#pragma once
+// perftrackd's live metrics: the serve-layer instrumentation over
+// obs::MetricsRegistry.
+//
+// Every request is measured end to end and decomposed into phases:
+//
+//   parse -> queue_wait -> lock_wait -> handler -> write
+//
+// and recorded into per-method histograms plus request/error counters.
+// Recording is lock-free (see obs/metrics.hpp); per-method handles are
+// resolved once at construction so the hot path is one hash lookup and a
+// few relaxed atomics — cheap enough to leave on in production
+// (bench/perf_serve pins the ping-flood overhead at < 1%).
+//
+// Metric catalogue (docs/OBSERVABILITY.md is the reference):
+//
+//   perftrackd_requests_total{method=}   counter  requests dispatched
+//   perftrackd_errors_total{code=}       counter  error responses by code
+//   perftrackd_request_ns{method=}       histogram  end-to-end latency
+//                                        (read off the wire -> response
+//                                        written), recorded by the server
+//   perftrackd_handler_ns{method=}       histogram  handler execution
+//                                        alone, recorded by the service
+//                                        (fills even without a transport)
+//   perftrackd_phase_ns{phase=}          histogram  parse / queue_wait /
+//                                        lock_wait / write breakdown
+//   perftrackd_queue_depth / _capacity   gauge  backpressure state
+//   perftrackd_studies / _resident_sessions  gauge  registry occupancy
+//   perftrackd_uptime_seconds            gauge  since service start
+//   perftrackd_frame_cache_{hits,misses,stores}  gauge  cache totals
+//                                        aggregated over resident sessions
+//
+// Lock-wait is accumulated into a thread-local request context that
+// TrackingService::handle() resets on entry, so the server (and the
+// access log) can report how much of a request went to study-lock
+// acquisition without threading a context object through every handler.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace perftrack::serve {
+
+class ServeMetrics {
+public:
+  /// `enabled` false turns every record_* into a no-op (the registry
+  /// still exists and samples as all-zero) — the metrics-off baseline
+  /// bench/perf_serve compares against.
+  explicit ServeMetrics(bool enabled = true);
+  ServeMetrics(const ServeMetrics&) = delete;
+  ServeMetrics& operator=(const ServeMetrics&) = delete;
+
+  bool enabled() const { return enabled_; }
+  obs::MetricsRegistry& registry() { return registry_; }
+  const obs::MetricsRegistry& registry() const { return registry_; }
+
+  /// Request dispatched (any outcome). `method` is mapped to its
+  /// pre-registered label slot; unknown methods share the "other" slot
+  /// and unparseable lines the "invalid" slot.
+  void count_request(const std::string& method);
+
+  /// Error response produced, by wire error code ("bad-request", ...).
+  void count_error(std::string_view code);
+
+  /// End-to-end latency (server transport loop: line read -> response
+  /// bytes handed to the sink).
+  void record_request_ns(const std::string& method, std::uint64_t ns);
+
+  /// Handler execution alone (TrackingService::handle).
+  void record_handler_ns(const std::string& method, std::uint64_t ns);
+
+  enum class Phase { Parse, QueueWait, LockWait, Write };
+  void record_phase_ns(Phase phase, std::uint64_t ns);
+
+  /// Study-lock acquisition wait: recorded into the phase histogram and
+  /// accumulated into this thread's request context.
+  void record_lock_wait_ns(std::uint64_t ns);
+
+  /// Reset this thread's per-request context (handle() calls this on
+  /// entry) / read the lock-wait it accumulated since.
+  static void reset_request_context();
+  static std::uint64_t context_lock_wait_ns();
+
+  /// Snapshot plus the family help texts, for the exporters.
+  obs::MetricsSnapshot snapshot() const { return registry_.snapshot(); }
+
+  /// Per-method latency distributions for the `stats` surface, skipping
+  /// methods that never ran. End-to-end when the transport recorded it,
+  /// otherwise handler-only (direct service callers have no wire time).
+  std::vector<std::pair<std::string, obs::HistogramSnapshot>>
+  per_method_latency() const;
+
+private:
+  struct PerMethod {
+    obs::Counter* requests;
+    obs::Histogram* request_ns;
+    obs::Histogram* handler_ns;
+  };
+
+  const PerMethod& method_slot(const std::string& method) const;
+
+  bool enabled_;
+  obs::MetricsRegistry registry_;
+  std::unordered_map<std::string, PerMethod> methods_;
+  obs::Histogram* phase_parse_;
+  obs::Histogram* phase_queue_wait_;
+  obs::Histogram* phase_lock_wait_;
+  obs::Histogram* phase_write_;
+};
+
+}  // namespace perftrack::serve

@@ -1,0 +1,213 @@
+#include "serve/metrics_http.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.hpp"
+#include "serve/service.hpp"
+
+namespace perftrack::serve {
+
+namespace {
+
+bool send_all(int fd, const std::string& bytes) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    ssize_t n = ::send(fd, bytes.data() + done, bytes.size() - done,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string http_response(const char* status, const char* content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+/// First line of the request: "GET /metrics HTTP/1.1" -> "/metrics".
+/// Empty on anything that is not a GET.
+std::string request_path(const std::string& head) {
+  if (head.rfind("GET ", 0) != 0) return {};
+  const std::size_t end = head.find(' ', 4);
+  if (end == std::string::npos) return {};
+  return head.substr(4, end - 4);
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(TrackingService& service)
+    : service_(service) {}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+bool MetricsHttpServer::start_unix(const std::string& path) {
+  sockaddr_un address{};
+  if (path.size() >= sizeof(address.sun_path)) {
+    PT_LOG(Error) << "metrics: socket path too long: " << path;
+    return false;
+  }
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    PT_LOG(Error) << "metrics: socket(): " << std::strerror(errno);
+    return false;
+  }
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) !=
+          0 ||
+      ::listen(fd, 16) != 0) {
+    PT_LOG(Error) << "metrics: cannot listen on " << path << ": "
+                  << std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  listen_fd_ = fd;
+  socket_path_ = path;
+  if (::pipe(stop_pipe_) != 0) {
+    PT_LOG(Error) << "metrics: pipe(): " << std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  PT_LOG(Info) << "metrics endpoint on " << path;
+  thread_ = std::thread([this] { run(); });
+  return true;
+}
+
+bool MetricsHttpServer::start_tcp(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    PT_LOG(Error) << "metrics: socket(): " << std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) !=
+          0 ||
+      ::listen(fd, 16) != 0) {
+    PT_LOG(Error) << "metrics: cannot listen on 127.0.0.1:" << port << ": "
+                  << std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(address);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&address), &len) == 0)
+    port_ = ntohs(address.sin_port);
+  listen_fd_ = fd;
+  if (::pipe(stop_pipe_) != 0) {
+    PT_LOG(Error) << "metrics: pipe(): " << std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  PT_LOG(Info) << "metrics endpoint on 127.0.0.1:" << port_;
+  thread_ = std::thread([this] { run(); });
+  return true;
+}
+
+void MetricsHttpServer::stop() {
+  if (!thread_.joinable()) return;
+  stopping_.store(true, std::memory_order_release);
+  char byte = 0;
+  [[maybe_unused]] ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+  thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(stop_pipe_[0]);
+  ::close(stop_pipe_[1]);
+  stop_pipe_[0] = stop_pipe_[1] = -1;
+  if (!socket_path_.empty()) ::unlink(socket_path_.c_str());
+  port_ = 0;
+}
+
+void MetricsHttpServer::run() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      PT_LOG(Warn) << "metrics: poll(): " << std::strerror(errno);
+      break;
+    }
+    if (fds[1].revents & POLLIN) break;
+    if (!(fds[0].revents & POLLIN)) continue;
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      PT_LOG(Warn) << "metrics: accept(): " << std::strerror(errno);
+      continue;
+    }
+    // Scrapes are rare and the handlers cheap; serving inline keeps the
+    // server single-threaded (one scrape at a time is plenty).
+    handle_connection(client);
+    ::close(client);
+  }
+}
+
+void MetricsHttpServer::handle_connection(int fd) {
+  // Read until the end of the request head (or 8 KiB, whichever first) —
+  // GET requests have no body worth waiting for.
+  std::string head;
+  char chunk[1024];
+  while (head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos && head.size() < 8192) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 2000) <= 0) break;  // slow client: give up
+    ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    head.append(chunk, static_cast<std::size_t>(n));
+    if (head.find('\n') != std::string::npos &&
+        head.rfind("GET ", 0) == 0)
+      break;  // GET: the first line is all we dispatch on
+  }
+
+  const std::string path = request_path(head);
+  std::string response;
+  if (path.empty()) {
+    response = http_response("405 Method Not Allowed", "text/plain",
+                             "only GET is supported\n");
+  } else if (path == "/metrics") {
+    response = http_response("200 OK", "text/plain; version=0.0.4",
+                             service_.render_prometheus_metrics());
+  } else if (path == "/metrics.json") {
+    response = http_response("200 OK", "application/json",
+                             service_.render_json_metrics() + "\n");
+  } else if (path == "/health") {
+    Request request;
+    request.method = "health";
+    response = http_response("200 OK", "application/json",
+                             service_.handle(request).result_json + "\n");
+  } else {
+    response = http_response(
+        "404 Not Found", "text/plain",
+        "try /metrics, /metrics.json or /health\n");
+  }
+  send_all(fd, response);
+}
+
+}  // namespace perftrack::serve

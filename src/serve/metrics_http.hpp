@@ -1,0 +1,71 @@
+#pragma once
+// Minimal HTTP scrape endpoint for the perftrackd metrics plane.
+//
+// Prometheus (and curl) speak HTTP, not the NDJSON protocol, so the
+// daemon can open a second, read-only listener dedicated to scraping:
+//
+//   GET /metrics        -> text/plain; version=0.0.4  Prometheus text
+//   GET /metrics.json   -> application/json           compact snapshot
+//   GET /health         -> application/json           liveness probe
+//
+// perftrackd --metrics-socket PATH binds it to an AF_UNIX socket
+// (curl --unix-socket PATH http://localhost/metrics);
+// --metrics-port N binds 127.0.0.1:N (0 picks an ephemeral port, printed
+// on startup). Loopback only — this is an operator surface, not a
+// public one.
+//
+// The server is deliberately tiny: one background thread, one request
+// per connection, HTTP/1.0 close-after-response semantics, request
+// bodies ignored. Sampling the registry never blocks the request path
+// (see obs/metrics.hpp), so a scrape is safe at any load.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace perftrack::serve {
+
+class TrackingService;
+
+class MetricsHttpServer {
+public:
+  explicit MetricsHttpServer(TrackingService& service);
+
+  /// Stops and joins the serving thread; the socket file (unix mode) is
+  /// removed.
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Listen on an AF_UNIX stream socket at `path` (a stale socket file
+  /// is replaced). Returns false (with a log line) on failure.
+  bool start_unix(const std::string& path);
+
+  /// Listen on 127.0.0.1:`port`; 0 binds an ephemeral port. Returns
+  /// false on failure.
+  bool start_tcp(std::uint16_t port);
+
+  /// Actual bound TCP port (after start_tcp(0) resolves the ephemeral
+  /// port); 0 when not serving TCP.
+  std::uint16_t port() const { return port_; }
+
+  /// Stop accepting and join the thread. Idempotent; the destructor
+  /// calls it.
+  void stop();
+
+private:
+  void run();
+  void handle_connection(int fd);
+
+  TrackingService& service_;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::uint16_t port_ = 0;
+  std::string socket_path_;  ///< unlinked on stop (unix mode)
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace perftrack::serve

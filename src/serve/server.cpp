@@ -12,6 +12,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <iostream>
 #include <istream>
 #include <ostream>
 #include <thread>
@@ -126,55 +127,125 @@ private:
   std::thread thread_;
 };
 
+/// Emit the access-log line for a finished request, plus the slow-request
+/// span dump when the request crossed the threshold. `begin_ns`/`end_ns`
+/// bound the handler-thread window the span replay looks at; rejected
+/// requests pass an empty window. Called on whichever thread ran the
+/// request, so current_thread_timeline() sees its spans.
+void log_request(const ServerOptions& options, const RequestRecord& record,
+                 std::uint64_t begin_ns, std::uint64_t end_ns) {
+  const bool slow = record.total_ns >= options.slow_ns;
+  if (options.access_log == nullptr && !slow) return;
+  if (slow) {
+    const std::string dump = slow_record_json(record, begin_ns, end_ns);
+    if (options.access_log != nullptr) {
+      options.access_log->write(dump);
+    } else {
+      std::cerr << dump << std::endl;
+    }
+    return;
+  }
+  options.access_log->write(access_record_json(record));
+}
+
 /// Read requests off one connection until EOF or a shutdown request.
 /// Parsing and admission happen on the reader thread so rejected requests
 /// (bad JSON, full queue, draining) are answered without touching the
 /// pool; admitted handlers run concurrently and answer through `writer`.
+///
+/// Every path feeds the live metrics plane: the reader times parse, the
+/// handler task times queue-wait / handler / write and records the
+/// end-to-end latency under the request's method ("invalid" for lines
+/// that never parsed). Rejections count the error without a latency
+/// sample for the phases that never ran.
 void serve_requests(TrackingService& service, BoundedExecutor& executor,
                     const std::function<bool(std::string&)>& next_line,
-                    OrderedWriter& writer) {
+                    OrderedWriter& writer, const ServerOptions& options) {
+  ServeMetrics& metrics = service.metrics();
   std::string line;
   while (next_line(line)) {
     if (line.empty()) continue;
     const std::uint64_t seq = writer.allocate();
+    const std::uint64_t t_read = obs::now_ns();
+
+    // Rejection path shared by bad-JSON / draining / overloaded: answer,
+    // count, and access-log from the reader thread.
+    auto reject = [&](const Request& request, const char* method,
+                      ErrorCode code, const std::string& message) {
+      PT_COUNTER("serve_requests", 1.0);
+      PT_COUNTER("serve_errors", 1.0);
+      metrics.count_request(method);
+      metrics.count_error(error_code_name(code));
+      writer.write(seq,
+                   render_response(make_error(request, code, message)) + "\n");
+      const std::uint64_t t_written = obs::now_ns();
+      metrics.record_request_ns(method, t_written - t_read);
+      RequestRecord record;
+      record.id = request.id;
+      record.method = method;
+      record.study = request.study;
+      record.outcome = std::string(error_code_name(code));
+      record.total_ns = t_written - t_read;
+      log_request(options, record, t_written, t_written);
+    };
 
     Request request;
     try {
       request = parse_request(line);
     } catch (const ServeError& error) {
-      PT_COUNTER("serve_requests", 1.0);
-      PT_COUNTER("serve_errors", 1.0);
-      writer.write(seq, render_response(make_error(Request{}, error.code(),
-                                                   error.what())) +
-                            "\n");
+      reject(Request{}, "invalid", error.code(), error.what());
       continue;
     }
+    const std::uint64_t t_parsed = obs::now_ns();
+    metrics.record_phase_ns(ServeMetrics::Phase::Parse, t_parsed - t_read);
 
     if (service.shutdown_requested()) {
-      PT_COUNTER("serve_requests", 1.0);
-      PT_COUNTER("serve_errors", 1.0);
-      writer.write(
-          seq, render_response(make_error(request, ErrorCode::ShuttingDown,
-                                          "server is draining")) +
-                   "\n");
+      reject(request, request.method.c_str(), ErrorCode::ShuttingDown,
+             "server is draining");
       continue;
     }
 
     const bool is_shutdown = request.method == "shutdown";
-    bool admitted = executor.try_submit([&service, &writer, seq, request] {
-      writer.write(seq, render_response(service.handle(request)) + "\n");
+    bool admitted = executor.try_submit([&service, &metrics, &writer,
+                                         &options, seq, request, t_read,
+                                         t_parsed] {
+      const std::uint64_t t_run = obs::now_ns();
+      metrics.record_phase_ns(ServeMetrics::Phase::QueueWait,
+                              t_run - t_parsed);
+      const Response response = service.handle(request);
+      const std::uint64_t t_handled = obs::now_ns();
+      const std::uint64_t lock_ns = ServeMetrics::context_lock_wait_ns();
+      writer.write(seq, render_response(response) + "\n");
+      const std::uint64_t t_written = obs::now_ns();
+      metrics.record_phase_ns(ServeMetrics::Phase::Write,
+                              t_written - t_handled);
+      metrics.record_request_ns(request.method, t_written - t_read);
+
+      if (options.access_log != nullptr ||
+          t_written - t_read >= options.slow_ns) {
+        RequestRecord record;
+        record.id = request.id;
+        record.method = request.method;
+        record.study = request.study;
+        record.outcome = response.ok
+                             ? "ok"
+                             : std::string(error_code_name(response.code));
+        record.parse_ns = t_parsed - t_read;
+        record.queue_ns = t_run - t_parsed;
+        record.lock_ns = lock_ns;
+        record.handler_ns = t_handled - t_run;
+        record.write_ns = t_written - t_handled;
+        record.total_ns = t_written - t_read;
+        log_request(options, record, t_run, t_written);
+      }
     });
     if (!admitted) {
-      PT_COUNTER("serve_requests", 1.0);
-      PT_COUNTER("serve_errors", 1.0);
+      if (metrics.enabled())
+        metrics.registry().counter("perftrackd_overloaded_total").add();
       PT_COUNTER("serve_overloaded", 1.0);
-      writer.write(
-          seq,
-          render_response(make_error(
-              request, ErrorCode::Overloaded,
-              "request queue is full (capacity " +
-                  std::to_string(executor.stats().capacity) + "); retry")) +
-              "\n");
+      reject(request, request.method.c_str(), ErrorCode::Overloaded,
+             "request queue is full (capacity " +
+                 std::to_string(executor.stats().capacity) + "); retry");
       continue;
     }
     // The shutdown response is already queued; stop reading so the caller
@@ -200,7 +271,7 @@ int serve_stream(TrackingService& service, std::istream& in,
         [&in](std::string& line) {
           return static_cast<bool>(std::getline(in, line));
         },
-        writer);
+        writer, options);
     executor.drain();
   }
   service.set_queue_stats(nullptr);
@@ -350,8 +421,8 @@ int serve_unix_socket(TrackingService& service, const std::string& path,
         std::lock_guard<std::mutex> lock(connections_mutex);
         open_fds.push_back(client);
       }
-      readers.emplace_back([&service, &executor, client, &connections_mutex,
-                            &open_fds] {
+      readers.emplace_back([&service, &executor, &options, client,
+                            &connections_mutex, &open_fds] {
         OrderedWriter writer([client](const std::string& line) {
           write_all(client, line);
         });
@@ -359,7 +430,7 @@ int serve_unix_socket(TrackingService& service, const std::string& path,
         serve_requests(
             service, executor,
             [&reader](std::string& line) { return reader.next(line); },
-            writer);
+            writer, options);
         // This connection's responses may still be in flight; the global
         // drain is the simple (if coarse) way to flush them before close.
         executor.drain();

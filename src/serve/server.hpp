@@ -37,6 +37,7 @@
 #include <string>
 
 #include "common/thread_pool.hpp"
+#include "serve/access_log.hpp"
 #include "serve/service.hpp"
 
 namespace perftrack::serve {
@@ -52,6 +53,16 @@ struct ServerOptions {
   /// Period of the idle-study sweeper thread (0 = no sweeper; eviction
   /// then only happens via the `sweep` method).
   std::uint64_t sweep_interval_ms = 0;
+
+  /// Structured NDJSON access log: one line per request with the phase
+  /// breakdown (see access_log.hpp). Not owned; null = no access log.
+  AccessLog* access_log = nullptr;
+
+  /// Slow-request threshold in nanoseconds: a request slower than this
+  /// end-to-end also logs its span tree (to the access log, or stderr
+  /// when there is none). 0 dumps every request; the ~0 default disables
+  /// the capture.
+  std::uint64_t slow_ns = ~0ull;
 };
 
 /// Fixed-capacity admission gate in front of the shared thread pool.

@@ -64,6 +64,15 @@ void touch(StudyState& study) {
   study.last_used_ns.store(obs::now_ns(), std::memory_order_relaxed);
 }
 
+/// Acquire a deferred lock, recording the wait into the lock_wait phase
+/// histogram and the current request's context (for the access log).
+template <typename Lock>
+void acquire_timed(Lock& lock, ServeMetrics& metrics) {
+  const std::uint64_t begin_ns = obs::now_ns();
+  lock.lock();
+  metrics.record_lock_wait_ns(obs::now_ns() - begin_ns);
+}
+
 /// Summary numbers every read endpoint shares.
 void write_result_summary(obs::JsonWriter& json,
                           const tracking::TrackingResult& result) {
@@ -82,7 +91,9 @@ void write_result_summary(obs::JsonWriter& json,
 }  // namespace
 
 TrackingService::TrackingService(ServiceConfig config)
-    : config_(std::move(config)) {
+    : config_(std::move(config)),
+      metrics_(config_.metrics),
+      start_ns_(obs::now_ns()) {
   config_.session.validate_or_throw();
 }
 
@@ -120,31 +131,51 @@ Response TrackingService::handle(const Request& request) {
       {"trends", {"serve_trends", &TrackingService::do_trends}},
       {"coverage", {"serve_coverage", &TrackingService::do_coverage}},
       {"stats", {"serve_stats", &TrackingService::do_stats}},
+      {"metrics", {"serve_metrics", &TrackingService::do_metrics}},
+      {"health", {"serve_health", &TrackingService::do_health}},
       {"evict", {"serve_evict", &TrackingService::do_evict}},
       {"sweep", {"serve_sweep", &TrackingService::do_sweep}},
       {"shutdown", {"serve_shutdown", &TrackingService::do_shutdown}},
   };
 
-  try {
-    auto it = kEndpoints.find(request.method);
-    if (it == kEndpoints.end())
-      throw ServeError(ErrorCode::UnknownMethod,
-                       "unknown method '" + request.method + "'");
-    PT_SPAN(it->second.span);
-    return make_result(request, (this->*(it->second.fn))(request));
-  } catch (const ServeError& error) {
-    PT_COUNTER("serve_errors", 1.0);
-    return make_error(request, error.code(), error.what());
-  } catch (const ParseError& error) {
-    PT_COUNTER("serve_errors", 1.0);
-    return make_error(request, ErrorCode::ParseFailure, error.what());
-  } catch (const IoError& error) {
-    PT_COUNTER("serve_errors", 1.0);
-    return make_error(request, ErrorCode::IoFailure, error.what());
-  } catch (const std::exception& error) {
-    PT_COUNTER("serve_errors", 1.0);
-    return make_error(request, ErrorCode::Internal, error.what());
-  }
+  // Live-metrics side: the lock-wait context is per handle() call, and
+  // the handler histogram times everything below (dispatch included), so
+  // direct callers — tests, benches — fill the same histograms the
+  // daemon does.
+  ServeMetrics::reset_request_context();
+  metrics_.count_request(request.method);
+  const std::uint64_t handler_begin_ns = obs::now_ns();
+
+  Response response = [&] {
+    try {
+      auto it = kEndpoints.find(request.method);
+      if (it == kEndpoints.end())
+        throw ServeError(ErrorCode::UnknownMethod,
+                         "unknown method '" + request.method + "'");
+      PT_SPAN(it->second.span);
+      return make_result(request, (this->*(it->second.fn))(request));
+    } catch (const ServeError& error) {
+      PT_COUNTER("serve_errors", 1.0);
+      metrics_.count_error(error_code_name(error.code()));
+      return make_error(request, error.code(), error.what());
+    } catch (const ParseError& error) {
+      PT_COUNTER("serve_errors", 1.0);
+      metrics_.count_error(error_code_name(ErrorCode::ParseFailure));
+      return make_error(request, ErrorCode::ParseFailure, error.what());
+    } catch (const IoError& error) {
+      PT_COUNTER("serve_errors", 1.0);
+      metrics_.count_error(error_code_name(ErrorCode::IoFailure));
+      return make_error(request, ErrorCode::IoFailure, error.what());
+    } catch (const std::exception& error) {
+      PT_COUNTER("serve_errors", 1.0);
+      metrics_.count_error(error_code_name(ErrorCode::Internal));
+      return make_error(request, ErrorCode::Internal, error.what());
+    }
+  }();
+
+  metrics_.record_handler_ns(request.method,
+                             obs::now_ns() - handler_begin_ns);
+  return response;
 }
 
 std::shared_ptr<StudyState> TrackingService::study_of(
@@ -159,14 +190,16 @@ std::shared_ptr<StudyState> TrackingService::study_of(
 std::shared_ptr<const tracking::TrackingResult> TrackingService::tracked_result(
     StudyState& study) {
   {
-    std::shared_lock lock(study.mutex);
+    std::shared_lock lock(study.mutex, std::defer_lock);
+    acquire_timed(lock, metrics_);
     touch(study);
     if (study.tracked()) return study.result;
   }
   // Stale (or never tracked): upgrade and retrack. Another writer may get
   // there first — re-check under the exclusive lock; a double retrack
   // would be wasted work, not a correctness problem.
-  std::unique_lock lock(study.mutex);
+  std::unique_lock lock(study.mutex, std::defer_lock);
+  acquire_timed(lock, metrics_);
   if (!study.tracked()) retrack_locked(study);
   return study.result;
 }
@@ -272,7 +305,8 @@ std::string TrackingService::do_append_experiment(const Request& request) {
                      "append_experiment needs exactly one of \"path\" or "
                      "\"trace\"");
 
-  std::unique_lock lock(study->mutex);
+  std::unique_lock lock(study->mutex, std::defer_lock);
+  acquire_timed(lock, metrics_);
   touch(*study);
   ensure_session(*study);
 
@@ -344,7 +378,8 @@ std::string TrackingService::do_append_gap(const Request& request) {
   const std::string label = param_string(request, "label", true);
   const std::string reason = param_string(request, "reason");
 
-  std::unique_lock lock(study->mutex);
+  std::unique_lock lock(study->mutex, std::defer_lock);
+  acquire_timed(lock, metrics_);
   touch(*study);
   ensure_session(*study);
   std::size_t slot = study->session->append_gap(label, reason);
@@ -362,7 +397,8 @@ std::string TrackingService::do_append_gap(const Request& request) {
 
 std::string TrackingService::do_retrack(const Request& request) {
   auto study = study_of(request);
-  std::unique_lock lock(study->mutex);
+  std::unique_lock lock(study->mutex, std::defer_lock);
+  acquire_timed(lock, metrics_);
   touch(*study);
   retrack_locked(*study);
 
@@ -453,6 +489,7 @@ std::string TrackingService::do_stats(const Request& request) {
   }
 
   std::uint64_t appends = 0, retracks = 0, rebuilds = 0, evictions = 0;
+  std::uint64_t cache_hits = 0, cache_misses = 0, cache_stores = 0;
   std::size_t resident = 0;
   const std::vector<std::string> names = registry_.names();
   for (const std::string& name : names) {
@@ -467,7 +504,13 @@ std::string TrackingService::do_stats(const Request& request) {
     retracks += study->retracks;
     rebuilds += study->rebuilds;
     evictions += study->evictions;
-    if (study->session != nullptr) ++resident;
+    if (study->session != nullptr) {
+      ++resident;
+      const tracking::SessionStats& s = study->session->stats();
+      cache_hits += s.cache.hits;
+      cache_misses += s.cache.misses;
+      cache_stores += s.cache.stores;
+    }
   }
   json.key("studies").value(static_cast<std::uint64_t>(names.size()));
   json.key("resident_sessions").value(static_cast<std::uint64_t>(resident));
@@ -475,7 +518,13 @@ std::string TrackingService::do_stats(const Request& request) {
   json.key("retracks").value(retracks);
   json.key("rebuilds").value(rebuilds);
   json.key("evictions").value(evictions);
+  json.key("uptime_ns").value(obs::now_ns() - start_ns_);
   json.key("draining").value(shutdown_requested());
+  json.key("cache").begin_object();
+  json.key("hits").value(cache_hits);
+  json.key("misses").value(cache_misses);
+  json.key("stores").value(cache_stores);
+  json.end_object();
   if (queue_stats_) {
     QueueStats queue = queue_stats_();
     json.key("queue").begin_object();
@@ -485,13 +534,104 @@ std::string TrackingService::do_stats(const Request& request) {
     json.key("rejected").value(queue.rejected);
     json.end_object();
   }
+  // Per-method latency distributions from the live metrics plane (empty
+  // when ServiceConfig::metrics is off or nothing ran yet).
+  json.key("latency").begin_object();
+  for (const auto& [method, hist] : metrics_.per_method_latency()) {
+    json.key(method).begin_object();
+    json.key("count").value(hist.count);
+    json.key("p50_ns").value(hist.quantile(0.50));
+    json.key("p99_ns").value(hist.quantile(0.99));
+    json.key("max_ns").value(hist.max);
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+  return json.str();
+}
+
+void TrackingService::refresh_gauges() {
+  obs::MetricsRegistry& reg = metrics_.registry();
+  std::uint64_t cache_hits = 0, cache_misses = 0, cache_stores = 0;
+  std::size_t resident = 0;
+  const std::vector<std::string> names = registry_.names();
+  for (const std::string& name : names) {
+    std::shared_ptr<StudyState> study;
+    try {
+      study = registry_.get(name);
+    } catch (const ServeError&) {
+      continue;
+    }
+    std::shared_lock lock(study->mutex);
+    if (study->session == nullptr) continue;
+    ++resident;
+    const tracking::SessionStats& s = study->session->stats();
+    cache_hits += s.cache.hits;
+    cache_misses += s.cache.misses;
+    cache_stores += s.cache.stores;
+  }
+  reg.gauge("perftrackd_studies").set(static_cast<double>(names.size()));
+  reg.gauge("perftrackd_resident_sessions")
+      .set(static_cast<double>(resident));
+  reg.gauge("perftrackd_uptime_seconds")
+      .set(static_cast<double>(obs::now_ns() - start_ns_) / 1e9);
+  reg.gauge("perftrackd_frame_cache_hits")
+      .set(static_cast<double>(cache_hits));
+  reg.gauge("perftrackd_frame_cache_misses")
+      .set(static_cast<double>(cache_misses));
+  reg.gauge("perftrackd_frame_cache_stores")
+      .set(static_cast<double>(cache_stores));
+  if (queue_stats_) {
+    QueueStats queue = queue_stats_();
+    reg.gauge("perftrackd_queue_depth")
+        .set(static_cast<double>(queue.in_flight));
+    reg.gauge("perftrackd_queue_capacity")
+        .set(static_cast<double>(queue.capacity));
+  }
+}
+
+std::string TrackingService::render_prometheus_metrics() {
+  refresh_gauges();
+  obs::MetricsRegistry& reg = metrics_.registry();
+  return obs::prometheus_text(reg.snapshot(), reg.help_texts());
+}
+
+std::string TrackingService::render_json_metrics() {
+  refresh_gauges();
+  return obs::metrics_json(metrics_.registry().snapshot());
+}
+
+std::string TrackingService::do_metrics(const Request& request) {
+  const std::string format = param_string(request, "format");
+  if (format.empty() || format == "json") return render_json_metrics();
+  if (format != "prometheus")
+    throw ServeError(ErrorCode::BadRequest,
+                     "parameter \"format\" must be \"json\" or "
+                     "\"prometheus\"");
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("content_type").value("text/plain; version=0.0.4");
+  json.key("text").value(render_prometheus_metrics());
+  json.end_object();
+  return json.str();
+}
+
+std::string TrackingService::do_health(const Request&) {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("ok").value(true);
+  json.key("draining").value(shutdown_requested());
+  json.key("uptime_ns").value(obs::now_ns() - start_ns_);
+  json.key("studies")
+      .value(static_cast<std::uint64_t>(registry_.names().size()));
   json.end_object();
   return json.str();
 }
 
 std::string TrackingService::do_evict(const Request& request) {
   auto study = study_of(request);
-  std::unique_lock lock(study->mutex);
+  std::unique_lock lock(study->mutex, std::defer_lock);
+  acquire_timed(lock, metrics_);
   const bool evicted = evict_study(*study);
 
   obs::JsonWriter json;

@@ -20,6 +20,12 @@
 // per-endpoint child span ("serve_regions", ...), so the JSON run report
 // carries per-endpoint request counts and wall-time (plus min/max latency)
 // for free, next to serve_requests/serve_errors/serve_evictions counters.
+// Independently of the run-report telemetry, the service owns a live
+// metrics plane (serve/metrics.hpp): per-method latency histograms,
+// request/error counters and occupancy gauges, sampled at any time via
+// the `metrics`/`stats`/`health` protocol methods or the HTTP /metrics
+// endpoint (serve/metrics_http.hpp), and always recording unless
+// ServiceConfig::metrics turns it off.
 // Trace ingestion flows through the diagnostics layer: strict mode maps
 // parse failures to typed parse-failure errors, lenient mode degrades a
 // failing experiment into a tracked gap under the configured error budget,
@@ -31,6 +37,7 @@
 #include <memory>
 #include <string>
 
+#include "serve/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "serve/registry.hpp"
 
@@ -58,6 +65,10 @@ struct ServiceConfig {
   /// Keep at most this many studies' sessions resident (0 = unbounded);
   /// the least recently used are evicted first.
   std::size_t max_resident = 0;
+
+  /// Record live metrics (histograms/counters/gauges). Off turns every
+  /// recording call into a no-op; `metrics` then samples all-zero.
+  bool metrics = true;
 };
 
 class TrackingService {
@@ -86,6 +97,19 @@ public:
     queue_stats_ = std::move(fn);
   }
 
+  /// The live metrics plane. The server records transport-side phases
+  /// through it; the HTTP endpoint samples it.
+  ServeMetrics& metrics() { return metrics_; }
+
+  /// Refresh the occupancy gauges (studies, resident sessions, queue,
+  /// uptime, cache totals) and render the registry in Prometheus text
+  /// exposition format — the body of `GET /metrics`.
+  std::string render_prometheus_metrics();
+
+  /// Same refresh, rendered as the compact JSON snapshot — the result of
+  /// the `metrics` protocol method (and `GET /metrics.json`).
+  std::string render_json_metrics();
+
   const ServiceConfig& config() const { return config_; }
   StudyRegistry& registry() { return registry_; }
 
@@ -101,6 +125,8 @@ private:
   std::string do_trends(const Request& request);
   std::string do_coverage(const Request& request);
   std::string do_stats(const Request& request);
+  std::string do_metrics(const Request& request);
+  std::string do_health(const Request& request);
   std::string do_evict(const Request& request);
   std::string do_sweep(const Request& request);
   std::string do_shutdown(const Request& request);
@@ -115,10 +141,15 @@ private:
   /// Retrack under an already-held exclusive lock.
   void retrack_locked(StudyState& study);
 
+  /// Set the occupancy/queue/cache gauges from current registry state.
+  void refresh_gauges();
+
   ServiceConfig config_;
   StudyRegistry registry_;
   std::atomic<bool> shutdown_{false};
   std::function<QueueStats()> queue_stats_;
+  ServeMetrics metrics_;
+  std::uint64_t start_ns_;  ///< telemetry-clock birth time (uptime base)
 };
 
 }  // namespace perftrack::serve

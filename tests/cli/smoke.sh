@@ -241,4 +241,75 @@ rc=0
 "$TOOLS_DIR/perftrackd" --stdio --socket s.sock 2> /dev/null || rc=$?
 test "$rc" -eq 2
 
+echo "== perftrackd live metrics: health + metrics over stdio =="
+cat > metrics_in.ndjson <<EOF
+{"id":1,"method":"ping"}
+{"id":2,"method":"health"}
+{"id":3,"method":"metrics"}
+{"id":4,"method":"metrics","params":{"format":"prometheus"}}
+EOF
+"$TOOLS_DIR/perftrackd" --stdio < metrics_in.ndjson > metrics_out.ndjson
+test "$(wc -l < metrics_out.ndjson)" -eq 4
+if grep -q '"ok":false' metrics_out.ndjson; then
+  echo "metrics request failed:" >&2
+  grep '"ok":false' metrics_out.ndjson >&2
+  exit 1
+fi
+grep -q '"draining":false' metrics_out.ndjson
+# The JSON snapshot carries the request counters and latency histograms...
+grep -q 'perftrackd_requests_total' metrics_out.ndjson
+grep -q 'perftrackd_handler_ns' metrics_out.ndjson
+# ...and the prometheus rendering is exposition format 0.0.4.
+grep -q '# HELP perftrackd_requests_total' metrics_out.ndjson
+grep -q '# TYPE perftrackd_handler_ns histogram' metrics_out.ndjson
+# --no-metrics keeps the surface but records nothing.
+printf '{"id":1,"method":"ping"}\n{"id":2,"method":"metrics"}\n' \
+    | "$TOOLS_DIR/perftrackd" --stdio --no-metrics > metrics_off.ndjson
+grep -q '"perftrackd_requests_total{method=\\"ping\\"}":0' metrics_off.ndjson
+
+echo "== perftrackd --access-log: one line per request, phase breakdown =="
+cat > access_in.ndjson <<EOF
+{"id":1,"method":"ping"}
+{"id":2,"method":"open_study","study":"logged"}
+{"id":3,"method":"nope"}
+EOF
+"$TOOLS_DIR/perftrackd" --stdio --access-log access.ndjson \
+    < access_in.ndjson > /dev/null
+test "$(wc -l < access.ndjson)" -eq 3
+grep -q '"method":"ping"' access.ndjson
+grep -q '"study":"logged"' access.ndjson
+grep -q '"outcome":"ok"' access.ndjson
+grep -q '"outcome":"unknown-method"' access.ndjson
+for field in ts_ms parse_us queue_us lock_us handler_us write_us total_us; do
+  grep -q "\"$field\"" access.ndjson
+done
+if command -v python3 > /dev/null; then
+  python3 -c "import json,sys; [json.loads(l) for l in open('access.ndjson')]"
+fi
+
+echo "== --slow-ms 0 dumps a span tree per request =="
+printf '{"id":1,"method":"ping"}\n' | "$TOOLS_DIR/perftrackd" --stdio \
+    --slow-ms 0 --access-log slow.ndjson > /dev/null
+grep -q '"slow":true' slow.ndjson
+grep -q '"spans"' slow.ndjson
+grep -q 'serve_request' slow.ndjson
+
+echo "== perftrack stat against a live socket daemon =="
+"$TOOLS_DIR/perftrackd" --socket stat.sock > /dev/null 2>&1 &
+DAEMON_PID=$!
+trap 'kill "$DAEMON_PID" 2> /dev/null || true; rm -rf "$WORK_DIR"' EXIT
+for _ in $(seq 1 100); do test -S stat.sock && break; sleep 0.1; done
+test -S stat.sock
+"$TOOLS_DIR/perftrack" stat stat.sock > stat.out
+grep -q "perftrackd up" stat.out
+grep -q "queue:" stat.out
+# Two watch refreshes; by the second the latency table has a stats row.
+"$TOOLS_DIR/perftrack" stat stat.sock --watch --interval 1 --count 2 \
+    > stat_watch.out
+test "$(grep -c 'perftrackd up' stat_watch.out)" -eq 2
+grep -q '^method' stat_watch.out
+grep -q '^stats ' stat_watch.out
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || true
+
 echo "cli smoke: OK"

@@ -1,0 +1,293 @@
+// The live metrics plane: histogram bucket math and quantile error
+// bounds against a sorted reference, the cross-thread merge identity,
+// and the exporters' wire formats.
+
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace perftrack::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bucket math
+
+TEST(MetricsHistogramTest, SmallValuesAreExact) {
+  for (std::uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    EXPECT_EQ(Histogram::bucket_index(v), v);
+    EXPECT_EQ(Histogram::bucket_bound(v), v);
+  }
+}
+
+TEST(MetricsHistogramTest, BoundIsInclusiveUpperBoundOfItsBucket) {
+  // The bound of value v's bucket is >= v, and the next value after the
+  // bound lands in a later bucket.
+  std::vector<std::uint64_t> probes;
+  for (unsigned shift = 0; shift < 63; ++shift) {
+    probes.push_back(1ull << shift);
+    probes.push_back((1ull << shift) + 1);
+    probes.push_back((1ull << shift) - 1);
+  }
+  probes.push_back(~0ull);
+  for (std::uint64_t v : probes) {
+    const std::size_t index = Histogram::bucket_index(v);
+    const std::uint64_t bound = Histogram::bucket_bound(index);
+    ASSERT_GE(bound, v) << "value " << v;
+    if (bound != ~0ull)
+      ASSERT_GT(Histogram::bucket_index(bound + 1), index) << "value " << v;
+  }
+}
+
+TEST(MetricsHistogramTest, BucketIndexIsMonotonicAcrossOctaves) {
+  std::size_t last = 0;
+  for (unsigned shift = 0; shift < 64; ++shift) {
+    const std::size_t index = Histogram::bucket_index(1ull << shift);
+    EXPECT_GE(index, last);
+    last = index;
+  }
+  EXPECT_LT(Histogram::bucket_index(~0ull), Histogram::kBucketCount);
+}
+
+TEST(MetricsHistogramTest, RelativeBucketWidthIsBounded) {
+  // Width of any non-exact bucket over its lower bound is <= 1/32: the
+  // quantile error contract.
+  for (std::size_t i = Histogram::kSubBuckets;
+       i + 1 < Histogram::kBucketCount; ++i) {
+    const std::uint64_t lo = Histogram::bucket_bound(i - 1) + 1;
+    const std::uint64_t hi = Histogram::bucket_bound(i);
+    if (hi == ~0ull) break;  // top bucket
+    ASSERT_LE(hi - lo + 1, std::max<std::uint64_t>(1, lo / 32))
+        << "bucket " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quantiles vs a sorted reference
+
+/// True order statistic at quantile q (matching the histogram's rank
+/// convention: rank = max(1, ceil(q * n)), 1-based).
+std::uint64_t reference_quantile(std::vector<std::uint64_t> sorted,
+                                 double q) {
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(sorted.size()))));
+  return sorted[static_cast<std::size_t>(rank - 1)];
+}
+
+void expect_quantiles_within_bound(const std::vector<std::uint64_t>& values) {
+  Histogram hist;
+  for (std::uint64_t v : values) hist.record(v);
+  const HistogramSnapshot snap = hist.snapshot();
+  ASSERT_EQ(snap.count, values.size());
+
+  std::vector<std::uint64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.0, 0.01, 0.10, 0.50, 0.90, 0.99, 0.999, 1.0}) {
+    const std::uint64_t truth = reference_quantile(sorted, q);
+    const std::uint64_t est = snap.quantile(q);
+    // The estimate is the bucket's inclusive upper bound (clamped to the
+    // recorded max), so it never under-reports and over-reports by at
+    // most the relative bucket width 1/32.
+    EXPECT_GE(est, truth) << "q=" << q;
+    EXPECT_LE(est, truth + truth / 32 + 1) << "q=" << q;
+  }
+}
+
+TEST(MetricsHistogramTest, QuantilesUniformDistribution) {
+  std::mt19937_64 rng(7);
+  std::vector<std::uint64_t> values(10000);
+  for (auto& v : values) v = rng() % 1000000;
+  expect_quantiles_within_bound(values);
+}
+
+TEST(MetricsHistogramTest, QuantilesHeavyTail) {
+  // Adversarial for linear-bucket schemes: seven orders of magnitude,
+  // most mass at the bottom, rare huge outliers.
+  std::mt19937_64 rng(11);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 9000; ++i) values.push_back(100 + rng() % 900);
+  for (int i = 0; i < 900; ++i) values.push_back(100000 + rng() % 900000);
+  for (int i = 0; i < 100; ++i)
+    values.push_back(100000000 + rng() % 900000000);
+  expect_quantiles_within_bound(values);
+}
+
+TEST(MetricsHistogramTest, QuantilesPowersOfTwoOnBucketEdges) {
+  // Values sitting exactly on bucket boundaries — the rounding edges.
+  std::vector<std::uint64_t> values;
+  for (unsigned shift = 0; shift < 40; ++shift) {
+    values.push_back(1ull << shift);
+    values.push_back((1ull << shift) - 1);
+    values.push_back((1ull << shift) + 1);
+  }
+  expect_quantiles_within_bound(values);
+}
+
+TEST(MetricsHistogramTest, QuantilesConstantAndTwoPoint) {
+  expect_quantiles_within_bound(std::vector<std::uint64_t>(1000, 42));
+  std::vector<std::uint64_t> two_point(500, 10);
+  two_point.insert(two_point.end(), 500, 1000000);
+  expect_quantiles_within_bound(two_point);
+}
+
+TEST(MetricsHistogramTest, EmptyAndSingleValue) {
+  Histogram hist;
+  EXPECT_EQ(hist.snapshot().count, 0u);
+  EXPECT_EQ(hist.snapshot().quantile(0.5), 0u);
+  hist.record(12345);
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.min, 12345u);
+  EXPECT_EQ(snap.max, 12345u);
+  // A single value: every quantile is clamped to the exact max.
+  EXPECT_EQ(snap.quantile(0.0), 12345u);
+  EXPECT_EQ(snap.quantile(1.0), 12345u);
+}
+
+// ---------------------------------------------------------------------------
+// Merge identity
+
+TEST(MetricsHistogramTest, MergeEqualsRecordingBothStreams) {
+  std::mt19937_64 rng(23);
+  Histogram a, b, both;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t low = rng() % 10000;
+    const std::uint64_t high = 1000000 + rng() % 100000000;
+    a.record(low);
+    both.record(low);
+    b.record(high);
+    both.record(high);
+  }
+  HistogramSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  const HistogramSnapshot expected = both.snapshot();
+  EXPECT_EQ(merged.count, expected.count);
+  EXPECT_EQ(merged.sum, expected.sum);
+  EXPECT_EQ(merged.min, expected.min);
+  EXPECT_EQ(merged.max, expected.max);
+  EXPECT_EQ(merged.buckets, expected.buckets);
+}
+
+TEST(MetricsHistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram a;
+  a.record(7);
+  a.record(99);
+  HistogramSnapshot snap = a.snapshot();
+  snap.merge(HistogramSnapshot{});
+  EXPECT_EQ(snap.buckets, a.snapshot().buckets);
+  HistogramSnapshot empty;
+  empty.merge(a.snapshot());
+  EXPECT_EQ(empty.buckets, a.snapshot().buckets);
+  EXPECT_EQ(empty.count, a.snapshot().count);
+}
+
+TEST(MetricsHistogramTest, ConcurrentRecordingLosesNothing) {
+  Histogram hist;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        hist.record(static_cast<std::uint64_t>(t) * 1000 + i % 997);
+    });
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(hist.snapshot().count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsStableHandles) {
+  MetricsRegistry registry;
+  Counter& c1 = registry.counter("requests", "method=\"ping\"");
+  Counter& c2 = registry.counter("requests", "method=\"ping\"");
+  EXPECT_EQ(&c1, &c2);
+  Counter& other = registry.counter("requests", "method=\"stats\"");
+  EXPECT_NE(&c1, &other);
+  c1.add(3);
+  EXPECT_EQ(c2.value(), 3u);
+}
+
+TEST(MetricsRegistryTest, HelpKeptFromFirstRegistration) {
+  MetricsRegistry registry;
+  registry.counter("x", "", "first");
+  registry.counter("x", "a=\"b\"", "second");
+  EXPECT_EQ(registry.help("x"), "first");
+  EXPECT_EQ(registry.help("missing"), "");
+}
+
+TEST(MetricsRegistryTest, SnapshotSeesAllThreeKinds) {
+  MetricsRegistry registry;
+  registry.counter("c").add(2);
+  registry.gauge("g").set(1.5);
+  registry.histogram("h").record(10);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].value, 2.0);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 1.5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].hist.count, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+
+TEST(MetricsExportTest, PrometheusTextFormat) {
+  MetricsRegistry registry;
+  registry.counter("app_requests_total", "method=\"ping\"", "Requests")
+      .add(4);
+  registry.gauge("app_depth", "", "Depth").set(2);
+  Histogram& hist = registry.histogram("app_latency_ns", "", "Latency");
+  hist.record(5);
+  hist.record(100);
+  const std::string text =
+      prometheus_text(registry.snapshot(), registry.help_texts());
+
+  EXPECT_NE(text.find("# HELP app_requests_total Requests\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE app_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_requests_total{method=\"ping\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE app_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("app_depth 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE app_latency_ns histogram\n"),
+            std::string::npos);
+  // Cumulative buckets ending in +Inf == count, plus _sum/_count.
+  EXPECT_NE(text.find("app_latency_ns_bucket{le=\"5\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_latency_ns_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_latency_ns_sum 105\n"), std::string::npos);
+  EXPECT_NE(text.find("app_latency_ns_count 2\n"), std::string::npos);
+}
+
+TEST(MetricsExportTest, JsonSnapshotParsesAndCarriesQuantiles) {
+  MetricsRegistry registry;
+  registry.counter("c", "k=\"v\"").add(1);
+  Histogram& hist = registry.histogram("h");
+  for (std::uint64_t v = 1; v <= 100; ++v) hist.record(v);
+  const obs::JsonValue doc = parse_json(metrics_json(registry.snapshot()));
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("counters").at("c{k=\"v\"}").number, 1.0);
+  const obs::JsonValue& h = doc.at("histograms").at("h");
+  EXPECT_EQ(h.at("count").number, 100.0);
+  EXPECT_GE(h.at("p50").number, 50.0);
+  EXPECT_LE(h.at("p99").number, 100.0 * (1.0 + 1.0 / 32) + 1);
+  EXPECT_EQ(h.at("max").number, 100.0);
+}
+
+}  // namespace
+}  // namespace perftrack::obs

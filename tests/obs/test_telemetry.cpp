@@ -121,6 +121,23 @@ TEST_F(TelemetryTest, GaugeLastWriteWins) {
   EXPECT_DOUBLE_EQ(report.gauges.at("eps"), 0.05);
 }
 
+TEST_F(TelemetryTest, GaugeLastWriteWinsAcrossThreadsByTimestamp) {
+  // The main thread registers its event buffer first, a worker second.
+  // The *chronologically last* write must win even though the folding
+  // order visits the main thread's stream first — i.e. a later write on
+  // an earlier-registered thread beats an earlier write on a
+  // later-registered one, and vice versa.
+  PT_GAUGE("load", 1.0);
+  std::thread([] { PT_GAUGE("load", 2.0); }).join();
+  PT_GAUGE("load", 3.0);
+  RunReport after_main = collect();
+  EXPECT_DOUBLE_EQ(after_main.gauges.at("load"), 3.0);
+
+  std::thread([] { PT_GAUGE("load", 4.0); }).join();
+  RunReport after_worker = collect();
+  EXPECT_DOUBLE_EQ(after_worker.gauges.at("load"), 4.0);
+}
+
 TEST_F(TelemetryTest, DisabledRecordingIsANoOp) {
   set_enabled(false);
   EXPECT_FALSE(enabled());

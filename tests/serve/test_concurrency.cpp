@@ -226,6 +226,62 @@ TEST(ServeConcurrencyTest, EvictionRacesWithReadsSafely) {
   EXPECT_GE(v.at("rebuilds").number, 1.0) << "eviction actually happened";
 }
 
+TEST(ServeConcurrencyTest, MetricsSampledDuringConcurrentAppends) {
+  // Samplers hammer stats/metrics/health while writers append — the
+  // snapshot path must never block or tear while the histograms are
+  // being recorded into.
+  ServiceConfig config;
+  config.session = fast_config();
+  TrackingService service(config);
+  ASSERT_TRUE(service.handle(req("open_study", "live")).ok);
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed)
+      EXPECT_TRUE(service.handle(append_request("live", seed)).ok);
+    done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> samplers;
+  for (int t = 0; t < 3; ++t) {
+    samplers.emplace_back([&] {
+      const char* methods[] = {"metrics", "stats", "health"};
+      int i = 0;
+      double last_appends = 0.0;
+      while (!done.load(std::memory_order_acquire)) {
+        const char* method = methods[i++ % 3];
+        Response r = service.handle(req(method));
+        ASSERT_TRUE(r.ok) << r.message;
+        obs::JsonValue v = obs::parse_json(r.result_json);
+        if (std::string(method) == "metrics") {
+          // The append counter is monotone under this sampler.
+          const double appends =
+              v.at("counters")
+                  .at("perftrackd_requests_total"
+                      "{method=\"append_experiment\"}")
+                  .number;
+          EXPECT_GE(appends, last_appends);
+          last_appends = appends;
+        } else if (std::string(method) == "health") {
+          EXPECT_TRUE(v.at("ok").boolean);
+        }
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& sampler : samplers) sampler.join();
+
+  // Quiesced: the histograms agree with the work that actually ran.
+  Response metrics = service.handle(req("metrics"));
+  ASSERT_TRUE(metrics.ok);
+  obs::JsonValue v = obs::parse_json(metrics.result_json);
+  EXPECT_EQ(v.at("histograms")
+                .at("perftrackd_handler_ns{method=\"append_experiment\"}")
+                .at("count")
+                .number,
+            6.0);
+}
+
 TEST(ServeConcurrencyTest, StreamServerUnderParallelLoadAnswersEverything) {
   TrackingService service;
   std::string input;

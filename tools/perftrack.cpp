@@ -6,6 +6,12 @@
 //   perftrack track   [options] A.ptt B.ptt [C.ptt ...]
 //   perftrack evolve  [options] --intervals N RUN.ptt
 //   perftrack inspect TRACE.ptt
+//   perftrack stat    SOCKET [--watch [--interval SEC] [--count N]]
+//
+// `stat` talks to a running perftrackd over its unix socket and prints a
+// live operational summary (qps, per-method p50/p99, cache hit ratio,
+// queue depth) from the daemon's `stats` method; --watch refreshes it
+// periodically.
 //
 // Flags live in the cli::OptionTable below — the table generates the usage
 // text, so run `perftrack` with no arguments for the current list.
@@ -14,11 +20,13 @@
 // 4 I/O failure, 5 degraded success (lenient run completed, but with
 // diagnostics or gaps — see docs/ROBUSTNESS.md).
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cli.hpp"
@@ -27,6 +35,7 @@
 #include "common/error.hpp"
 #include "obs/report.hpp"
 #include "obs/telemetry.hpp"
+#include "serve/client.hpp"
 #include "sim/studies.hpp"
 #include "store/frame_store.hpp"
 #include "trace/slice.hpp"
@@ -65,6 +74,9 @@ struct Options {
   bool lenient = false;
   bool no_cache = false;
   std::size_t max_errors = 100;
+  bool watch = false;
+  std::size_t watch_interval_sec = 2;
+  std::size_t watch_count = 0;
   store::StoreConfig cache;
   tracking::TrackingParams tracking;
 };
@@ -79,6 +91,7 @@ cli::OptionTable option_table(Options& options) {
       "track   [options] A.ptt B.ptt [...]",
       "evolve  [options] --intervals N RUN.ptt",
       "inspect [options] TRACE.ptt",
+      "stat    SOCKET [--watch [--interval SEC] [--count N]]",
   };
   table.footer =
       "exit codes: 0 ok, 1 error, 2 usage, 3 parse, 4 io,\n"
@@ -159,6 +172,17 @@ cli::OptionTable option_table(Options& options) {
             "record telemetry as Chrome trace_event JSON (open in Perfetto "
             "/ chrome://tracing)",
             [o](const std::string& v) { o->trace_events_path = v; });
+  table.add_switch("--watch", "stat: refresh the summary periodically",
+                   [o] { o->watch = true; });
+  table.add("--interval", "SEC", "stat --watch refresh period (2)",
+            [o](const std::string& v) {
+              o->watch_interval_sec = cli::parse_count("--interval", v, 1);
+            });
+  table.add("--count", "N",
+            "stat --watch: stop after N refreshes (0 = forever)",
+            [o](const std::string& v) {
+              o->watch_count = cli::parse_count("--count", v);
+            });
   return table;
 }
 
@@ -349,6 +373,119 @@ int cmd_inspect(const Options& options) {
   return ingest.degraded() ? kExitDegraded : kExitOk;
 }
 
+// ---------------------------------------------------------------------------
+// stat: live daemon summary over the NDJSON protocol
+
+double json_number(const obs::JsonValue& object, const char* name) {
+  return object.has(name) ? object.at(name).number : 0.0;
+}
+
+std::string fmt_ns(double ns) {
+  char buffer[32];
+  if (ns >= 1e9)
+    std::snprintf(buffer, sizeof buffer, "%.2fs", ns / 1e9);
+  else if (ns >= 1e6)
+    std::snprintf(buffer, sizeof buffer, "%.1fms", ns / 1e6);
+  else
+    std::snprintf(buffer, sizeof buffer, "%.0fus", ns / 1e3);
+  return buffer;
+}
+
+/// Total requests across the per-method latency section (the qps base).
+double latency_total(const obs::JsonValue& stats) {
+  if (!stats.has("latency")) return 0.0;
+  double total = 0.0;
+  for (const auto& [method, hist] : stats.at("latency").object)
+    total += json_number(hist, "count");
+  return total;
+}
+
+/// One rendered summary. `qps` < 0 means "no rate yet" (first sample).
+void print_stat(const obs::JsonValue& stats, double qps) {
+  const double uptime_s = json_number(stats, "uptime_ns") / 1e9;
+  std::printf("perftrackd up %.1fs  studies %.0f (%.0f resident)%s\n",
+              uptime_s, json_number(stats, "studies"),
+              json_number(stats, "resident_sessions"),
+              stats.has("draining") && stats.at("draining").boolean
+                  ? "  DRAINING"
+                  : "");
+  std::printf("requests: appends %.0f  retracks %.0f  evictions %.0f",
+              json_number(stats, "appends"),
+              json_number(stats, "retracks"),
+              json_number(stats, "evictions"));
+  if (qps >= 0.0)
+    std::printf("  qps %.1f", qps);
+  std::printf("\n");
+  if (stats.has("queue")) {
+    const obs::JsonValue& queue = stats.at("queue");
+    std::printf("queue: %.0f/%.0f in flight  %.0f admitted  %.0f rejected\n",
+                json_number(queue, "in_flight"),
+                json_number(queue, "capacity"),
+                json_number(queue, "admitted"),
+                json_number(queue, "rejected"));
+  }
+  if (stats.has("cache")) {
+    const obs::JsonValue& cache = stats.at("cache");
+    const double hits = json_number(cache, "hits");
+    const double misses = json_number(cache, "misses");
+    const double lookups = hits + misses;
+    std::printf("cache: %.1f%% hit (%.0f hits, %.0f misses, %.0f stores)\n",
+                lookups > 0 ? 100.0 * hits / lookups : 0.0, hits, misses,
+                json_number(cache, "stores"));
+  }
+  if (stats.has("latency") && !stats.at("latency").object.empty()) {
+    std::printf("%-20s %10s %10s %10s %10s\n", "method", "count", "p50",
+                "p99", "max");
+    for (const auto& [method, hist] : stats.at("latency").object)
+      std::printf("%-20s %10.0f %10s %10s %10s\n", method.c_str(),
+                  json_number(hist, "count"),
+                  fmt_ns(json_number(hist, "p50_ns")).c_str(),
+                  fmt_ns(json_number(hist, "p99_ns")).c_str(),
+                  fmt_ns(json_number(hist, "max_ns")).c_str());
+  }
+  std::fflush(stdout);
+}
+
+int cmd_stat(const Options& options) {
+  if (options.inputs.size() != 1) {
+    std::fprintf(stderr, "stat needs the daemon's socket path\n");
+    return kExitUsage;
+  }
+  serve::NdjsonClient client(options.inputs[0]);
+
+  double prev_total = -1.0;
+  std::size_t shown = 0;
+  while (true) {
+    serve::ClientResponse response = client.call("stats");
+    if (!response.ok)
+      throw Error("stats failed: " + response.error_code + ": " +
+                  response.error_message);
+    const double total = latency_total(response.result);
+    // One-shot: rate since the daemon started; watch: rate over the
+    // refresh interval.
+    double qps = -1.0;
+    if (prev_total >= 0.0) {
+      qps = (total - prev_total) /
+            static_cast<double>(options.watch_interval_sec);
+    } else if (!options.watch) {
+      const double uptime_s =
+          json_number(response.result, "uptime_ns") / 1e9;
+      if (uptime_s > 0.0) qps = total / uptime_s;
+    }
+    prev_total = total;
+
+    if (options.watch && shown > 0) std::printf("\n");
+    print_stat(response.result, qps);
+
+    if (!options.watch) return kExitOk;
+    ++shown;
+    if (options.watch_count != 0 && shown >= options.watch_count)
+      return kExitOk;
+    std::this_thread::sleep_for(
+        std::chrono::seconds(options.watch_interval_sec));
+  }
+}
+
 }  // namespace
 
 // Write the requested telemetry sinks; the per-stage summary goes to
@@ -387,6 +524,7 @@ int main(int argc, char** argv) {
     if (options.command == "track") rc = cmd_track(options);
     else if (options.command == "evolve") rc = cmd_evolve(options);
     else if (options.command == "inspect") rc = cmd_inspect(options);
+    else if (options.command == "stat") rc = cmd_stat(options);
     else return usage(table);
 
     // A degraded success still produced a full result: emit its telemetry

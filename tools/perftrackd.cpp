@@ -8,6 +8,15 @@
 //   perftrackd --socket /tmp/perftrack.sock     # daemon on a unix socket
 //   perftrackd --stdio                          # one connection on stdio
 //
+// Observability (docs/OBSERVABILITY.md): the daemon always records live
+// per-method latency histograms and counters (--no-metrics turns them
+// off), sampled via the `stats`/`metrics`/`health` protocol methods,
+// `perftrack stat`, or a dedicated HTTP scrape listener
+// (--metrics-socket PATH / --metrics-port N serving GET /metrics).
+// --access-log FILE writes one NDJSON line per request with the
+// parse/queue/lock/handler/write breakdown; --slow-ms N additionally
+// dumps the span tree of any request slower than N ms.
+//
 // Requests are newline-delimited JSON (docs/SERVING.md):
 //
 //   {"id":1,"method":"open_study","study":"wrf"}
@@ -24,7 +33,9 @@
 // Exit codes: 0 clean shutdown, 1 internal error, 2 usage.
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,6 +43,7 @@
 #include "common/error.hpp"
 #include "obs/report.hpp"
 #include "obs/telemetry.hpp"
+#include "serve/metrics_http.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
 #include "sim/studies.hpp"
@@ -60,6 +72,10 @@ struct Options {
   std::string cache_dir;
   std::string profile_path;
   std::string trace_events_path;
+  std::string metrics_socket;
+  long metrics_port = -1;  ///< -1 = off; 0 = ephemeral
+  std::string access_log_path;
+  bool no_metrics = false;
   serve::ServerOptions server;
 };
 
@@ -149,6 +165,31 @@ cli::OptionTable option_table(Options& options) {
   table.add("--trace-events", "FILE",
             "write Chrome trace_event JSON at shutdown",
             [o](const std::string& v) { o->trace_events_path = v; });
+  table.add("--metrics-socket", "PATH",
+            "serve GET /metrics on an AF_UNIX HTTP listener",
+            [o](const std::string& v) { o->metrics_socket = v; });
+  table.add("--metrics-port", "N",
+            "serve GET /metrics on 127.0.0.1:N (0 = ephemeral port)",
+            [o](const std::string& v) {
+              o->metrics_port = static_cast<long>(
+                  cli::parse_count("--metrics-port", v));
+              if (o->metrics_port > 65535)
+                throw cli::UsageError("invalid value for --metrics-port: '" +
+                                      v + "' (max 65535)");
+            });
+  table.add("--access-log", "FILE",
+            "append one NDJSON line per request (phase breakdown)",
+            [o](const std::string& v) { o->access_log_path = v; });
+  table.add("--slow-ms", "N",
+            "dump the span tree of requests slower than N ms (0 = all)",
+            [o](const std::string& v) {
+              o->server.slow_ns = static_cast<std::uint64_t>(
+                                      cli::parse_count("--slow-ms", v)) *
+                                  1000000ull;
+            });
+  table.add_switch("--no-metrics",
+                   "disable live metrics recording (histograms/counters)",
+                   [o] { o->no_metrics = true; });
   return table;
 }
 
@@ -173,6 +214,7 @@ serve::ServiceConfig service_config(const Options& options) {
   config.idle_ttl_ns =
       static_cast<std::uint64_t>(options.idle_ttl_sec) * 1000000000ull;
   config.max_resident = options.max_sessions;
+  config.metrics = !options.no_metrics;
   return config;
 }
 
@@ -210,14 +252,42 @@ int main(int argc, char** argv) {
 
     if (!options.profile_path.empty() || !options.trace_events_path.empty())
       obs::set_enabled(true);
+    // The slow-request dump replays telemetry spans; recording must be on
+    // for them to exist.
+    if (options.server.slow_ns != ~0ull) obs::set_enabled(true);
     options.server.sweep_interval_ms = options.sweep_interval_ms;
 
+    std::ofstream access_log_file;
+    std::unique_ptr<serve::AccessLog> access_log;
+    if (!options.access_log_path.empty()) {
+      access_log_file.open(options.access_log_path, std::ios::app);
+      if (!access_log_file)
+        throw Error("cannot open access log " + options.access_log_path);
+      access_log = std::make_unique<serve::AccessLog>(access_log_file);
+      options.server.access_log = access_log.get();
+    }
+
     serve::TrackingService service(service_config(options));
+
+    serve::MetricsHttpServer metrics_http(service);
+    if (!options.metrics_socket.empty() &&
+        !metrics_http.start_unix(options.metrics_socket))
+      return kExitInternal;
+    if (options.metrics_port >= 0) {
+      if (!metrics_http.start_tcp(
+              static_cast<std::uint16_t>(options.metrics_port)))
+        return kExitInternal;
+      // Print the resolved port so scripts using --metrics-port 0 can
+      // find the endpoint.
+      std::fprintf(stderr, "metrics port %u\n", metrics_http.port());
+    }
+
     int rc = options.stdio
                  ? serve::serve_stream(service, std::cin, std::cout,
                                        options.server)
                  : serve::serve_unix_socket(service, options.socket_path,
                                             options.server);
+    metrics_http.stop();
     emit_telemetry(options);
     return rc == 0 ? kExitOk : kExitInternal;
   } catch (const cli::UsageError& error) {
