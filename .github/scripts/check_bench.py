@@ -23,9 +23,13 @@ naming convention this script enforces:
                printed for trend-watching, never a warning
   (others)     informational numbers, printed for the log
 
-Usage: check_bench.py BENCH_session.json [BENCH_serve.json ...]
+Usage: check_bench.py [--require NAME ...] BENCH_session.json [...]
+Each --require NAME asserts that the named verdict_* gauge is present (in
+at least one report) and holds — so a bench silently dropping a verdict
+cannot turn the gate green.
 Exit codes: 0 all verdicts hold, 1 verdict violation, 2 unusable report
-(missing file, wrong schema, or no verdict gauges at all).
+(missing file, wrong schema, no verdict gauges, or a required verdict
+missing from every report).
 """
 
 import json
@@ -40,7 +44,7 @@ def warn(message: str) -> None:
     print(f"::warning::{message}")
 
 
-def check_report(path: str) -> int:
+def check_report(path: str, seen_verdicts: set) -> int:
     try:
         with open(path, encoding="utf-8") as handle:
             report = json.load(handle)
@@ -55,6 +59,7 @@ def check_report(path: str) -> int:
 
     gauges = report.get("gauges", {})
     verdicts = {k: v for k, v in gauges.items() if k.startswith("verdict_")}
+    seen_verdicts.update(verdicts)
     if not verdicts:
         fail(f"{path} exports no verdict_* gauges; "
              "was the bench rebuilt without them?")
@@ -84,10 +89,30 @@ def check_report(path: str) -> int:
 
 
 def main() -> int:
-    if len(sys.argv) < 2:
-        fail("usage: check_bench.py BENCH_report.json ...")
+    required = []
+    paths = []
+    args = sys.argv[1:]
+    while args:
+        arg = args.pop(0)
+        if arg == "--require":
+            if not args:
+                fail("--require needs a verdict name")
+                return 2
+            required.append(args.pop(0))
+        else:
+            paths.append(arg)
+    if not paths:
+        fail("usage: check_bench.py [--require NAME ...] BENCH_report.json ...")
         return 2
-    return max(check_report(path) for path in sys.argv[1:])
+
+    seen_verdicts: set = set()
+    status = max(check_report(path, seen_verdicts) for path in paths)
+    for name in required:
+        if name not in seen_verdicts:
+            fail(f"required verdict {name} missing from every report — "
+                 "was the bench rebuilt without it?")
+            status = max(status, 2)
+    return status
 
 
 if __name__ == "__main__":

@@ -28,11 +28,19 @@
 // overhead of the live metrics plane, best-of-N both ways. The bar is
 // advisory (< 1% is below shared-runner noise) but the gauge pins the
 // number the header comment in serve/metrics.hpp promises.
+//
+// Leg E (the durability verdict): run the study against a journaled
+// service (--state-dir semantics, fsync=always), destroy the service
+// mid-life, restart a second one on the same state dir, and compare its
+// regions/trends byte-for-byte against the uninterrupted Leg A bytes —
+// verdict_recovery_identity. The per-append latency of every fsync mode
+// is exported as advisory gauges, the journal's cost sheet.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -257,7 +265,82 @@ int main() {
   std::printf("recording overhead: %+.2f%% (advisory bar < 1%%)\n\n",
               overhead_pct);
 
+  // ---- Leg E: crash-restart identity + fsync-mode append latency. ------
+  bench::print_section("journal durability (restart identity, fsync cost)");
+  namespace fs = std::filesystem;
+  const fs::path state_root =
+      fs::temp_directory_path() / "pt_bench_serve_state";
+  fs::remove_all(state_root);
+
+  auto durable_config = [&](serve::FsyncMode mode, const char* leg) {
+    serve::ServiceConfig config;
+    config.session = session_config;
+    config.journal.directory = (state_root / leg).string();
+    config.journal.fsync = mode;
+    return config;
+  };
+
+  // Appends split across two service lifetimes; the first one is dropped
+  // without any explicit flush (fsync=always keeps every record durable).
+  const std::size_t half = study.traces.size() / 2;
+  std::string recovered_regions, recovered_trends;
+  {
+    serve::TrackingService first(
+        durable_config(serve::FsyncMode::Always, "identity"));
+    bool durable_ok = first.handle(request("open_study", "hydroc")).ok;
+    for (std::size_t i = 0; i < half; ++i)
+      durable_ok =
+          durable_ok &&
+          first.handle(append_request("hydroc", *study.traces[i])).ok;
+    if (!durable_ok) std::fprintf(stderr, "journaled appends failed\n");
+  }  // "crash": the first service dies here with studies in flight
+  {
+    serve::TrackingService second(
+        durable_config(serve::FsyncMode::Always, "identity"));
+    bool durable_ok = true;
+    for (std::size_t i = half; i < study.traces.size(); ++i)
+      durable_ok =
+          durable_ok &&
+          second.handle(append_request("hydroc", *study.traces[i])).ok;
+    if (!durable_ok) std::fprintf(stderr, "post-restart appends failed\n");
+    recovered_regions =
+        result_field(second.handle(request("regions", "hydroc")), "text");
+    serve::Request recovered_trends_request = request("trends", "hydroc");
+    recovered_trends_request.params = trends_request.params;
+    recovered_trends =
+        result_field(second.handle(recovered_trends_request), "csv");
+  }
+  const bool recovery_identity = recovered_regions == batch_regions &&
+                                 recovered_trends == batch_trends;
+  std::printf("restarted daemon identical to uninterrupted batch: %s\n",
+              recovery_identity ? "yes" : "NO — DURABILITY BROKEN");
+
+  // Advisory append latency per fsync mode (including journal writes).
+  double append_us[3] = {0.0, 0.0, 0.0};
+  const serve::FsyncMode kModes[3] = {
+      serve::FsyncMode::Always, serve::FsyncMode::Batch,
+      serve::FsyncMode::Off};
+  for (int m = 0; m < 3; ++m) {
+    serve::TrackingService timed(
+        durable_config(kModes[m], serve::fsync_mode_name(kModes[m]).data()));
+    timed.handle(request("open_study", "hydroc"));
+    start = Clock::now();
+    for (const auto& t : study.traces)
+      timed.handle(append_request("hydroc", *t));
+    append_us[m] =
+        1000.0 * ms_since(start) / static_cast<double>(study.traces.size());
+    std::printf("append latency, fsync=%-6s %8.1f us/append\n",
+                std::string(serve::fsync_mode_name(kModes[m])).c_str(),
+                append_us[m]);
+  }
+  std::printf("\n");
+  fs::remove_all(state_root);
+
   PT_GAUGE("verdict_identical", identical ? 1.0 : 0.0);
+  PT_GAUGE("verdict_recovery_identity", recovery_identity ? 1.0 : 0.0);
+  PT_GAUGE("advisory_append_fsync_always_us", append_us[0]);
+  PT_GAUGE("advisory_append_fsync_batch_us", append_us[1]);
+  PT_GAUGE("advisory_append_fsync_off_us", append_us[2]);
   PT_GAUGE("verdict_all_answered", all_answered ? 1.0 : 0.0);
   PT_GAUGE("verdict_metrics_complete", metrics_complete ? 1.0 : 0.0);
   PT_GAUGE("advisory_read_scaling_ge1_2", scaling_ok ? 1.0 : 0.0);
@@ -273,7 +356,8 @@ int main() {
   PT_GAUGE("ping_rps", 1000.0 * kPings / flood_ms);
   bench::write_telemetry("BENCH_serve.json", "perf_serve");
 
-  bool pass = identical && all_answered && metrics_complete;
+  bool pass =
+      identical && all_answered && metrics_complete && recovery_identity;
   std::printf("\nperf_serve: %s\n", pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

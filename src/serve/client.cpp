@@ -1,13 +1,52 @@
 #include "serve/client.hpp"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace perftrack::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds left until `deadline` (>= 0); throws on expiry. A
+/// default-constructed (epoch) deadline means "no deadline" -> -1, which
+/// poll() reads as block-forever.
+int remaining_ms(Clock::time_point deadline, const char* what) {
+  if (deadline == Clock::time_point{}) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  if (left.count() <= 0)
+    throw Error(std::string(what) + " timed out (client deadline)");
+  return left.count() > 60'000 ? 60'000 : static_cast<int>(left.count());
+}
+
+/// Block until `fd` is ready for `events` or the deadline passes.
+void wait_ready(int fd, short events, Clock::time_point deadline,
+                const char* what) {
+  while (true) {
+    pollfd pfd{fd, events, 0};
+    const int n = ::poll(&pfd, 1, remaining_ms(deadline, what));
+    if (n > 0) return;
+    if (n < 0 && errno != EINTR)
+      throw Error(std::string("poll(): ") + std::strerror(errno));
+    // n == 0: poll timed out — loop so remaining_ms() throws the typed
+    // deadline error (or keeps waiting when there is no deadline).
+  }
+}
+
+Clock::time_point attempt_deadline(const RetryPolicy& retry) {
+  if (retry.deadline_ms == 0) return Clock::time_point{};
+  return Clock::now() + std::chrono::milliseconds(retry.deadline_ms);
+}
+
+}  // namespace
 
 ClientResponse parse_client_response(const std::string& line) {
   obs::JsonValue doc;
@@ -32,39 +71,83 @@ ClientResponse parse_client_response(const std::string& line) {
   return response;
 }
 
-NdjsonClient::NdjsonClient(const std::string& path) {
-  sockaddr_un address{};
-  if (path.size() >= sizeof(address.sun_path))
-    throw Error("socket path too long: " + path);
-  address.sun_family = AF_UNIX;
-  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
-
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0)
-    throw Error(std::string("socket(): ") + std::strerror(errno));
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
-                sizeof(address)) != 0) {
-    const int saved = errno;
-    ::close(fd_);
-    fd_ = -1;
-    throw Error("cannot connect to " + path + ": " +
-                std::strerror(saved) + " (is perftrackd running?)");
+NdjsonClient::NdjsonClient(const std::string& path, RetryPolicy retry)
+    : path_(path), retry_(retry), rng_(std::random_device{}()) {
+  if (retry_.attempts < 1) retry_.attempts = 1;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      connect_now();
+      return;
+    } catch (const Error&) {
+      if (attempt >= retry_.attempts) throw;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(backoff_delay_ms(attempt)));
   }
 }
 
-NdjsonClient::~NdjsonClient() {
-  if (fd_ >= 0) ::close(fd_);
+NdjsonClient::~NdjsonClient() { disconnect(); }
+
+void NdjsonClient::connect_now() {
+  disconnect();
+  sockaddr_un address{};
+  if (path_.size() >= sizeof(address.sun_path))
+    throw Error("socket path too long: " + path_);
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, path_.c_str(), path_.size() + 1);
+
+  const auto deadline = attempt_deadline(retry_);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd_ < 0)
+    throw Error(std::string("socket(): ") + std::strerror(errno));
+  try {
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                  sizeof(address)) != 0) {
+      if (errno != EINPROGRESS && errno != EAGAIN)
+        throw Error("cannot connect to " + path_ + ": " +
+                    std::strerror(errno) + " (is perftrackd running?)");
+      wait_ready(fd_, POLLOUT, deadline, "connect");
+      int soerr = 0;
+      socklen_t len = sizeof soerr;
+      if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0)
+        soerr = errno;
+      if (soerr != 0)
+        throw Error("cannot connect to " + path_ + ": " +
+                    std::strerror(soerr) + " (is perftrackd running?)");
+    }
+  } catch (const Error&) {
+    disconnect();
+    throw;
+  }
 }
 
-std::string NdjsonClient::roundtrip(const std::string& request_line) {
-  std::string out = request_line;
-  out += '\n';
+void NdjsonClient::disconnect() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();  // a partial response from a dead connection is garbage
+}
+
+std::uint64_t NdjsonClient::backoff_delay_ms(int attempt) {
+  std::uint64_t delay = retry_.backoff_ms;
+  for (int i = 1; i < attempt && delay < retry_.backoff_max_ms; ++i)
+    delay *= 2;
+  if (delay > retry_.backoff_max_ms) delay = retry_.backoff_max_ms;
+  if (delay == 0) return 0;
+  std::uniform_int_distribution<std::uint64_t> jitter(0, delay / 2);
+  return delay + jitter(rng_);
+}
+
+std::string NdjsonClient::attempt_roundtrip(const std::string& line) {
+  const auto deadline = attempt_deadline(retry_);
+
   std::size_t done = 0;
-  while (done < out.size()) {
-    ssize_t n = ::send(fd_, out.data() + done, out.size() - done,
+  while (done < line.size()) {
+    wait_ready(fd_, POLLOUT, deadline, "send");
+    ssize_t n = ::send(fd_, line.data() + done, line.size() - done,
                        MSG_NOSIGNAL);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
       throw Error(std::string("send(): ") + std::strerror(errno));
     }
     done += static_cast<std::size_t>(n);
@@ -73,14 +156,16 @@ std::string NdjsonClient::roundtrip(const std::string& request_line) {
   while (true) {
     const std::size_t nl = buffer_.find('\n');
     if (nl != std::string::npos) {
-      std::string line = buffer_.substr(0, nl);
+      std::string response = buffer_.substr(0, nl);
       buffer_.erase(0, nl + 1);
-      return line;
+      return response;
     }
+    wait_ready(fd_, POLLIN, deadline, "recv");
     char chunk[4096];
     ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
       throw Error(std::string("recv(): ") + std::strerror(errno));
     }
     if (n == 0) throw Error("daemon closed the connection mid-response");
@@ -88,14 +173,40 @@ std::string NdjsonClient::roundtrip(const std::string& request_line) {
   }
 }
 
+std::string NdjsonClient::roundtrip(const std::string& request_line) {
+  std::string line = request_line;
+  line += '\n';
+  for (int attempt = 1;; ++attempt) {
+    try {
+      if (fd_ < 0) connect_now();
+      return attempt_roundtrip(line);
+    } catch (const Error&) {
+      // The daemon may have applied the request before the failure; the
+      // policy doc makes retrying the caller's contract (idempotent
+      // requests only). Reconnect so the next attempt starts clean.
+      disconnect();
+      if (attempt >= retry_.attempts) throw;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(backoff_delay_ms(attempt)));
+  }
+}
+
 ClientResponse NdjsonClient::call(const std::string& method,
-                                  const std::string& study) {
+                                  const std::string& study,
+                                  const std::string& params_json) {
   obs::JsonWriter json;
   json.begin_object();
   json.key("method").value(method);
   if (!study.empty()) json.key("study").value(study);
   json.end_object();
-  return parse_client_response(roundtrip(json.str()));
+  std::string line = json.str();
+  if (!params_json.empty()) {
+    // Splice the caller-built params object in before the closing brace;
+    // JsonWriter has no raw-value hook and the object is already valid.
+    line.insert(line.size() - 1, ",\"params\":" + params_json);
+  }
+  return parse_client_response(roundtrip(line));
 }
 
 }  // namespace perftrack::serve

@@ -15,6 +15,7 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::ParseFailure: return "parse-failure";
     case ErrorCode::IoFailure: return "io-failure";
     case ErrorCode::TrackingFailed: return "tracking-failed";
+    case ErrorCode::ReplayFailed: return "replay-failed";
     case ErrorCode::Overloaded: return "overloaded";
     case ErrorCode::ShuttingDown: return "shutting-down";
     case ErrorCode::Internal: return "internal";

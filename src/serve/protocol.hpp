@@ -41,6 +41,7 @@ enum class ErrorCode {
   ParseFailure,  ///< trace ingestion failed (strict mode)
   IoFailure,     ///< trace file unreadable / report unwritable
   TrackingFailed,///< clustering/retrack failed (gap budget, bad sequence)
+  ReplayFailed,  ///< evicted study cannot be rebuilt (a logged trace is gone)
   Overloaded,    ///< bounded queue full — rejected before any work; retry
   ShuttingDown,  ///< drain in progress, no new work accepted
   Internal,      ///< anything else (a bug or an unhandled Error)

@@ -147,8 +147,17 @@ void ensure_session(StudyState& study) {
         } catch (const Error& error) {
           // The original append succeeded, but the file is gone or broken
           // now. In lenient mode the slot degrades to a gap (same as a
-          // fresh failing append would); strict mode propagates.
-          if (!study.config.resilience.lenient) throw;
+          // fresh failing append would); strict mode surfaces a typed
+          // replay failure — the study stays evicted (the half-built
+          // session is discarded with this frame), other studies are
+          // untouched, and the client learns which entry to restore.
+          if (!study.config.resilience.lenient)
+            throw ServeError(
+                ErrorCode::ReplayFailed,
+                "cannot replay study log entry '" + entry.label +
+                    "': " + error.what() +
+                    " (study stays evicted; restore the trace file, or "
+                    "reopen the study leniently)");
           PT_LOG(Warn) << "serve: rebuild lost experiment '" << entry.label
                        << "': " << error.what();
           session->append_gap(entry.label, error.what());

@@ -30,22 +30,15 @@
 #include <string>
 #include <vector>
 
+#include "serve/journal.hpp"
 #include "tracking/session.hpp"
 
 namespace perftrack::serve {
 
-/// One entry of a study's append log — the durable definition of the
-/// sequence, retained across session eviction.
-struct AppendEntry {
-  enum class Kind { Path, Inline, Gap };
-  Kind kind = Kind::Path;
-  std::string label;   ///< file path, inline label, or gap label
-  std::string detail;  ///< inline trace text, or gap reason
-};
-
 /// One study shard. The mutex guards every member; the registry hands out
 /// shared_ptrs so a shard stays valid while a handler works on it even if
-/// the study is concurrently closed.
+/// the study is concurrently closed. AppendEntry (the log element type)
+/// lives in journal.hpp — it is also the journal's durable record.
 struct StudyState {
   explicit StudyState(tracking::SessionConfig config)
       : config(std::move(config)) {}
@@ -54,6 +47,14 @@ struct StudyState {
 
   const tracking::SessionConfig config;
   std::vector<AppendEntry> log;
+
+  /// Write-ahead journal making `log` durable, or null when the daemon
+  /// runs without --state-dir. Appends hit the journal before the session.
+  std::unique_ptr<Journal> journal;
+
+  /// Highest client-supplied idempotency seq ever applied (0 = none yet);
+  /// appends with seq <= last_seq are acknowledged replays, not re-applied.
+  std::uint64_t last_seq = 0;
 
   /// Live session, or null while evicted. Rebuilt on demand from `log`.
   std::unique_ptr<tracking::TrackingSession> session;

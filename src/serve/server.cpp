@@ -4,6 +4,7 @@
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -92,6 +93,12 @@ void OrderedWriter::write(std::uint64_t seq, std::string line) {
 
 namespace {
 
+/// What one pull from a transport's line source produced. Overlong lines
+/// are detected by the source (which discards the line's remainder) and
+/// answered with a typed error without the request ever being buffered
+/// whole.
+enum class LineRead { Eof, Line, Overlong };
+
 /// Background idle-study eviction; joined (and woken) on destruction.
 class Sweeper {
 public:
@@ -159,12 +166,13 @@ void log_request(const ServerOptions& options, const RequestRecord& record,
 /// that never parsed). Rejections count the error without a latency
 /// sample for the phases that never ran.
 void serve_requests(TrackingService& service, BoundedExecutor& executor,
-                    const std::function<bool(std::string&)>& next_line,
+                    const std::function<LineRead(std::string&)>& next_line,
                     OrderedWriter& writer, const ServerOptions& options) {
   ServeMetrics& metrics = service.metrics();
   std::string line;
-  while (next_line(line)) {
-    if (line.empty()) continue;
+  LineRead status;
+  while ((status = next_line(line)) != LineRead::Eof) {
+    if (status == LineRead::Line && line.empty()) continue;
     const std::uint64_t seq = writer.allocate();
     const std::uint64_t t_read = obs::now_ns();
 
@@ -188,6 +196,14 @@ void serve_requests(TrackingService& service, BoundedExecutor& executor,
       record.total_ns = t_written - t_read;
       log_request(options, record, t_written, t_written);
     };
+
+    if (status == LineRead::Overlong) {
+      reject(Request{}, "invalid", ErrorCode::BadRequest,
+             "request line exceeds " +
+                 std::to_string(options.max_line_bytes) +
+                 " bytes (--max-line-bytes); oversized input discarded");
+      continue;
+    }
 
     Request request;
     try {
@@ -266,10 +282,19 @@ int serve_stream(TrackingService& service, std::istream& in,
   });
   {
     Sweeper sweeper(service, options.sweep_interval_ms);
+    // The istream transport necessarily buffers the line before the cap
+    // check (getline owns the read loop); the fd transport below enforces
+    // the cap incrementally. Protocol behaviour is identical.
+    const std::size_t cap = options.max_line_bytes;
     serve_requests(
         service, executor,
-        [&in](std::string& line) {
-          return static_cast<bool>(std::getline(in, line));
+        [&in, cap](std::string& line) {
+          if (!std::getline(in, line)) return LineRead::Eof;
+          if (cap != 0 && line.size() > cap) {
+            line.clear();
+            return LineRead::Overlong;
+          }
+          return LineRead::Line;
         },
         writer, options);
     executor.drain();
@@ -306,30 +331,54 @@ bool write_all(int fd, const std::string& bytes) {
 }
 
 /// Incremental line reader over a raw fd (no stdio buffering to fight
-/// with shutdown()).
+/// with shutdown()). Enforces the line-length cap as bytes arrive: once a
+/// line outgrows the cap its bytes are dropped, not buffered, so a peer
+/// streaming an endless "line" cannot grow the buffer without limit.
 class FdLineReader {
 public:
-  explicit FdLineReader(int fd) : fd_(fd) {}
+  FdLineReader(int fd, std::size_t max_line_bytes)
+      : fd_(fd), cap_(max_line_bytes) {}
 
-  bool next(std::string& line) {
+  LineRead next(std::string& line) {
     while (true) {
       std::size_t nl = buffer_.find('\n');
       if (nl != std::string::npos) {
+        if (discarding_) {
+          buffer_.erase(0, nl + 1);
+          discarding_ = false;
+          return LineRead::Overlong;
+        }
+        if (cap_ != 0 && nl > cap_) {
+          buffer_.erase(0, nl + 1);
+          return LineRead::Overlong;
+        }
         line.assign(buffer_, 0, nl);
         buffer_.erase(0, nl + 1);
-        return true;
+        return LineRead::Line;
+      }
+      if (cap_ != 0 && buffer_.size() > cap_) {
+        buffer_.clear();
+        discarding_ = true;
       }
       char chunk[4096];
       ssize_t n = ::read(fd_, chunk, sizeof chunk);
       if (n < 0) {
         if (errno == EINTR) continue;
-        return false;
+        return LineRead::Eof;
       }
       if (n == 0) {
-        if (buffer_.empty()) return false;
+        if (discarding_) {
+          discarding_ = false;
+          return LineRead::Overlong;
+        }
+        if (buffer_.empty()) return LineRead::Eof;
         line.swap(buffer_);  // unterminated final line still counts
         buffer_.clear();
-        return true;
+        if (cap_ != 0 && line.size() > cap_) {
+          line.clear();
+          return LineRead::Overlong;
+        }
+        return LineRead::Line;
       }
       buffer_.append(chunk, static_cast<std::size_t>(n));
     }
@@ -337,8 +386,47 @@ public:
 
 private:
   int fd_;
+  std::size_t cap_;
+  bool discarding_ = false;  ///< inside an overlong line, dropping bytes
   std::string buffer_;
 };
+
+/// A socket file can be left behind by a crashed daemon (the clean exit
+/// path unlinks it). Distinguish the three cases before bind: a live
+/// daemon (refuse to steal its name), a stale socket (unlink it with a
+/// diagnostic), and a non-socket file (refuse — never delete data).
+/// Returns false when `path` must not be replaced.
+bool remove_stale_socket(const std::string& path, const sockaddr_un& address) {
+  struct stat st{};
+  if (::lstat(path.c_str(), &st) != 0) return true;  // nothing there
+  if (!S_ISSOCK(st.st_mode)) {
+    PT_LOG(Error) << "serve: " << path
+                  << " exists and is not a socket; refusing to replace it";
+    return false;
+  }
+  int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (probe >= 0) {
+    const bool alive =
+        ::connect(probe, reinterpret_cast<const sockaddr*>(&address),
+                  sizeof(address)) == 0;
+    const int connect_errno = errno;
+    ::close(probe);
+    if (alive) {
+      PT_LOG(Error) << "serve: " << path
+                    << " is in use by a live daemon; refusing to unlink it";
+      return false;
+    }
+    PT_LOG(Warn) << "serve: removing stale socket " << path
+                 << " (connect probe: " << std::strerror(connect_errno)
+                 << " — a previous daemon likely crashed)";
+  }
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    PT_LOG(Error) << "serve: cannot unlink stale socket " << path << ": "
+                  << std::strerror(errno);
+    return false;
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -359,7 +447,10 @@ int serve_unix_socket(TrackingService& service, const std::string& path,
     PT_LOG(Error) << "serve: socket(): " << std::strerror(errno);
     return 1;
   }
-  ::unlink(path.c_str());  // replace a stale socket file
+  if (!remove_stale_socket(path, address)) {
+    ::close(listen_fd);
+    return 1;
+  }
   if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&address),
              sizeof(address)) != 0 ||
       ::listen(listen_fd, 64) != 0) {
@@ -426,7 +517,7 @@ int serve_unix_socket(TrackingService& service, const std::string& path,
         OrderedWriter writer([client](const std::string& line) {
           write_all(client, line);
         });
-        FdLineReader reader(client);
+        FdLineReader reader(client, options.max_line_bytes);
         serve_requests(
             service, executor,
             [&reader](std::string& line) { return reader.next(line); },

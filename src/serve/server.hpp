@@ -63,6 +63,13 @@ struct ServerOptions {
   /// when there is none). 0 dumps every request; the ~0 default disables
   /// the capture.
   std::uint64_t slow_ns = ~0ull;
+
+  /// Reject NDJSON request lines longer than this with a typed
+  /// `bad-request` error instead of buffering them without bound (the
+  /// remainder of the oversized line is discarded, and the connection
+  /// keeps serving). 0 = unlimited. Inline traces ride inside request
+  /// lines, so the default leaves real workloads ample headroom.
+  std::size_t max_line_bytes = 8u << 20;
 };
 
 /// Fixed-capacity admission gate in front of the shared thread pool.
@@ -124,9 +131,11 @@ private:
 int serve_stream(TrackingService& service, std::istream& in,
                  std::ostream& out, const ServerOptions& options);
 
-/// Listen on an AF_UNIX stream socket at `path` (an existing socket file
-/// is replaced) until SIGTERM/SIGINT or a `shutdown` request, then drain
-/// every connection. Returns the process exit code.
+/// Listen on an AF_UNIX stream socket at `path` until SIGTERM/SIGINT or a
+/// `shutdown` request, then drain every connection. A socket file left by
+/// a crashed daemon is probed (connect) and unlinked when dead; a live
+/// daemon's socket, or a non-socket file, is never removed (returns 1).
+/// Returns the process exit code.
 int serve_unix_socket(TrackingService& service, const std::string& path,
                       const ServerOptions& options);
 

@@ -1,6 +1,8 @@
 #include "serve/service.hpp"
 
+#include <cmath>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <sstream>
 
@@ -60,6 +62,41 @@ bool param_bool(const Request& request, const char* name, bool fallback) {
   return value->boolean;
 }
 
+/// Idempotency sequence number for appends: absent = 0 = none; otherwise
+/// a positive integer (IEEE doubles carry integers exactly to 2^53).
+std::uint64_t param_seq(const Request& request) {
+  const obs::JsonValue* value = find_param(request, "seq");
+  if (value == nullptr) return 0;
+  if (!value->is_number() || value->number < 1.0 ||
+      value->number != std::floor(value->number) ||
+      value->number > 9007199254740992.0)
+    throw ServeError(ErrorCode::BadRequest,
+                     "parameter \"seq\" must be a positive integer");
+  return static_cast<std::uint64_t>(value->number);
+}
+
+/// Acknowledge an append whose seq was already applied — exactly-once
+/// under client retries. Served from the log alone: a replay must not
+/// force a session rebuild of an evicted study.
+std::string deduped_response(const StudyState& study, std::uint64_t seq) {
+  std::uint64_t gaps = 0;
+  std::optional<std::size_t> slot;
+  for (std::size_t i = 0; i < study.log.size(); ++i) {
+    if (study.log[i].kind == AppendEntry::Kind::Gap) ++gaps;
+    if (study.log[i].seq == seq) slot = i;
+  }
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("deduped").value(true);
+  if (slot.has_value())
+    json.key("slot").value(static_cast<std::uint64_t>(*slot));
+  json.key("experiments")
+      .value(static_cast<std::uint64_t>(study.log.size()));
+  json.key("gaps").value(gaps);
+  json.end_object();
+  return json.str();
+}
+
 void touch(StudyState& study) {
   study.last_used_ns.store(obs::now_ns(), std::memory_order_relaxed);
 }
@@ -95,6 +132,103 @@ TrackingService::TrackingService(ServiceConfig config)
       metrics_(config_.metrics),
       start_ns_(obs::now_ns()) {
   config_.session.validate_or_throw();
+  if (durable()) recover_state();
+}
+
+void TrackingService::recover_state() {
+  RecoveryReport report = recover_state_dir(config_.journal, config_.session);
+  journal_truncated_ += report.truncated;
+  journal_quarantined_ += report.quarantined;
+  journal_deduped_ += report.deduped;
+  for (RecoveredStudy& rec : report.studies) {
+    const std::vector<std::string> problems = rec.config.validate();
+    if (!problems.empty()) {
+      ++journal_errors_;
+      std::string what;
+      for (const std::string& p : problems) what += " " + p + ";";
+      PT_LOG(Warn) << "journal: recovered study '" << rec.name
+                   << "' has an invalid configuration, skipping:" << what;
+      continue;
+    }
+    std::shared_ptr<StudyState> study;
+    try {
+      study = registry_.create(rec.name, rec.config);
+    } catch (const ServeError&) {
+      continue;  // recover_state_dir quarantines duplicates; belt+braces
+    }
+    std::unique_lock lock(study->mutex);
+    study->log = std::move(rec.entries);
+    study->last_seq = rec.last_seq;
+    study->appends = study->log.size();
+    try {
+      study->journal = Journal::attach(config_.journal, rec.name,
+                                       rec.records, rec.bytes);
+    } catch (const Error& error) {
+      ++journal_errors_;
+      PT_LOG(Warn) << "journal: cannot reopen journal of study '" << rec.name
+                   << "': " << error.what()
+                   << " — study recovered but further appends are not "
+                   << "journaled";
+    }
+    touch(*study);
+    ++journal_recovered_;
+  }
+  if (journal_recovered_ > 0 || report.truncated > 0 ||
+      report.quarantined > 0 || report.tombstones > 0)
+    PT_LOG(Info) << "journal: recovery of " << config_.journal.directory
+                 << ": " << journal_recovered_.load() << " studies restored, "
+                 << report.truncated << " truncated, " << report.quarantined
+                 << " quarantined, " << report.tombstones
+                 << " closes completed";
+}
+
+void TrackingService::journal_append(StudyState& study,
+                                     const AppendEntry& entry) {
+  if (study.journal == nullptr) return;
+  try {
+    study.journal->append(entry);
+  } catch (const Error& error) {
+    ++journal_errors_;
+    throw ServeError(ErrorCode::IoFailure,
+                     std::string("journal append failed: ") + error.what() +
+                         " (the append was not applied; retrying with the "
+                         "same seq is safe)");
+  }
+}
+
+void TrackingService::maybe_compact(const std::string& name,
+                                    StudyState& study) {
+  if (study.journal == nullptr || !study.journal->should_compact()) return;
+  try {
+    study.journal->compact(name, study.config, study.log);
+  } catch (const Error& error) {
+    // The uncompacted journal is still complete and correct; compaction
+    // retries after the next threshold's worth of appends.
+    ++journal_errors_;
+    PT_LOG(Warn) << "journal: compaction failed for study '" << name
+                 << "': " << error.what();
+  }
+}
+
+void TrackingService::flush_journals() {
+  if (!durable()) return;
+  for (const std::string& name : registry_.names()) {
+    std::shared_ptr<StudyState> study;
+    try {
+      study = registry_.get(name);
+    } catch (const ServeError&) {
+      continue;
+    }
+    std::unique_lock lock(study->mutex);
+    if (study->journal == nullptr) continue;
+    try {
+      study->journal->sync();
+    } catch (const Error& error) {
+      ++journal_errors_;
+      PT_LOG(Warn) << "journal: drain flush failed for study '" << name
+                   << "': " << error.what();
+    }
+  }
 }
 
 Response TrackingService::handle_line(const std::string& line) {
@@ -263,6 +397,25 @@ std::string TrackingService::do_open_study(const Request& request) {
 
   auto study = registry_.create(request.study, std::move(config));
   touch(*study);
+  if (durable()) {
+    std::unique_lock lock(study->mutex);
+    try {
+      study->journal =
+          Journal::create(config_.journal, request.study, study->config);
+    } catch (const Error& error) {
+      // No journal, no study: an open that cannot be made durable must
+      // not silently produce a study that vanishes on restart.
+      lock.unlock();
+      try {
+        registry_.remove(request.study);
+      } catch (const ServeError&) {
+      }
+      ++journal_errors_;
+      throw ServeError(ErrorCode::IoFailure,
+                       "cannot create journal for study '" + request.study +
+                           "': " + error.what());
+    }
+  }
   PT_LOG(Info) << "serve: opened study '" << request.study << "'";
 
   obs::JsonWriter json;
@@ -278,6 +431,26 @@ std::string TrackingService::do_close_study(const Request& request) {
   if (request.study.empty())
     throw ServeError(ErrorCode::BadRequest,
                      "close_study needs a \"study\" field");
+  auto study = registry_.get(request.study);
+  {
+    // Tombstone before the in-memory remove: if the tombstone cannot be
+    // made durable the study stays open (and journaled) rather than
+    // resurrecting on the next boot.
+    std::unique_lock lock(study->mutex, std::defer_lock);
+    acquire_timed(lock, metrics_);
+    if (study->journal != nullptr) {
+      try {
+        study->journal->remove_and_unlink();
+      } catch (const Error& error) {
+        ++journal_errors_;
+        throw ServeError(ErrorCode::IoFailure,
+                         "cannot tombstone journal of study '" +
+                             request.study + "': " + error.what() +
+                             " (study stays open)");
+      }
+      study->journal.reset();
+    }
+  }
   registry_.remove(request.study);
   PT_LOG(Info) << "serve: closed study '" << request.study << "'";
   obs::JsonWriter json;
@@ -304,10 +477,16 @@ std::string TrackingService::do_append_experiment(const Request& request) {
     throw ServeError(ErrorCode::BadRequest,
                      "append_experiment needs exactly one of \"path\" or "
                      "\"trace\"");
+  const std::uint64_t seq = param_seq(request);
 
   std::unique_lock lock(study->mutex, std::defer_lock);
   acquire_timed(lock, metrics_);
   touch(*study);
+  if (seq != 0 && seq <= study->last_seq) {
+    ++journal_deduped_;
+    PT_COUNTER("serve_deduped", 1.0);
+    return deduped_response(*study, seq);
+  }
   ensure_session(*study);
 
   const bool lenient = study->config.resilience.lenient;
@@ -337,22 +516,32 @@ std::string TrackingService::do_append_experiment(const Request& request) {
     failure = error.what();
   }
 
-  std::size_t slot;
+  // Build the log entry (a parse failure in lenient mode becomes a gap
+  // entry, like a fresh failing append), journal it, and only then apply
+  // it in memory: any state a reader can observe is recoverable.
+  AppendEntry entry;
   if (trace != nullptr) {
-    slot = study->session->append_experiment(trace);
-    AppendEntry entry;
     entry.kind = path.empty() ? AppendEntry::Kind::Inline
                               : AppendEntry::Kind::Path;
     entry.label = path.empty() ? label : path;
     entry.detail = inline_text;
-    study->log.push_back(std::move(entry));
   } else {
-    slot = study->session->append_gap(label.empty() ? path : label, failure);
-    study->log.push_back(
-        AppendEntry{AppendEntry::Kind::Gap,
-                    label.empty() ? path : label, failure});
+    entry.kind = AppendEntry::Kind::Gap;
+    entry.label = label.empty() ? path : label;
+    entry.detail = failure;
   }
+  entry.seq = seq;
+  journal_append(*study, entry);
+
+  std::size_t slot;
+  if (trace != nullptr)
+    slot = study->session->append_experiment(trace);
+  else
+    slot = study->session->append_gap(entry.label, failure);
+  study->log.push_back(std::move(entry));
+  if (seq != 0) study->last_seq = seq;
   ++study->appends;
+  maybe_compact(request.study, *study);
 
   obs::JsonWriter json;
   json.begin_object();
@@ -377,14 +566,24 @@ std::string TrackingService::do_append_gap(const Request& request) {
   auto study = study_of(request);
   const std::string label = param_string(request, "label", true);
   const std::string reason = param_string(request, "reason");
+  const std::uint64_t seq = param_seq(request);
 
   std::unique_lock lock(study->mutex, std::defer_lock);
   acquire_timed(lock, metrics_);
   touch(*study);
+  if (seq != 0 && seq <= study->last_seq) {
+    ++journal_deduped_;
+    PT_COUNTER("serve_deduped", 1.0);
+    return deduped_response(*study, seq);
+  }
   ensure_session(*study);
+  AppendEntry entry{AppendEntry::Kind::Gap, label, reason, seq};
+  journal_append(*study, entry);
   std::size_t slot = study->session->append_gap(label, reason);
-  study->log.push_back(AppendEntry{AppendEntry::Kind::Gap, label, reason});
+  study->log.push_back(std::move(entry));
+  if (seq != 0) study->last_seq = seq;
   ++study->appends;
+  maybe_compact(request.study, *study);
 
   obs::JsonWriter json;
   json.begin_object();
@@ -470,6 +669,14 @@ std::string TrackingService::do_stats(const Request& request) {
     json.key("retracks").value(study->retracks);
     json.key("rebuilds").value(study->rebuilds);
     json.key("evictions").value(study->evictions);
+    if (study->journal != nullptr) {
+      json.key("journal").begin_object();
+      json.key("records").value(study->journal->records());
+      json.key("bytes").value(study->journal->bytes());
+      json.key("compactions").value(study->journal->compactions());
+      json.key("last_seq").value(study->last_seq);
+      json.end_object();
+    }
     if (study->session != nullptr) {
       const tracking::SessionStats& s = study->session->stats();
       json.key("session").begin_object();
@@ -524,6 +731,14 @@ std::string TrackingService::do_stats(const Request& request) {
   json.key("hits").value(cache_hits);
   json.key("misses").value(cache_misses);
   json.key("stores").value(cache_stores);
+  json.end_object();
+  json.key("journal").begin_object();
+  json.key("enabled").value(durable());
+  json.key("recovered").value(journal_recovered_.load());
+  json.key("truncated").value(journal_truncated_.load());
+  json.key("quarantined").value(journal_quarantined_.load());
+  json.key("deduped").value(journal_deduped_.load());
+  json.key("errors").value(journal_errors_.load());
   json.end_object();
   if (queue_stats_) {
     QueueStats queue = queue_stats_();
@@ -581,6 +796,16 @@ void TrackingService::refresh_gauges() {
       .set(static_cast<double>(cache_misses));
   reg.gauge("perftrackd_frame_cache_stores")
       .set(static_cast<double>(cache_stores));
+  if (durable()) {
+    reg.gauge("perftrackd_journal_recovered")
+        .set(static_cast<double>(journal_recovered_.load()));
+    reg.gauge("perftrackd_journal_truncated")
+        .set(static_cast<double>(journal_truncated_.load()));
+    reg.gauge("perftrackd_journal_quarantined")
+        .set(static_cast<double>(journal_quarantined_.load()));
+    reg.gauge("perftrackd_journal_errors")
+        .set(static_cast<double>(journal_errors_.load()));
+  }
   if (queue_stats_) {
     QueueStats queue = queue_stats_();
     reg.gauge("perftrackd_queue_depth")

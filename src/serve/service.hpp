@@ -69,6 +69,11 @@ struct ServiceConfig {
   /// Record live metrics (histograms/counters/gauges). Off turns every
   /// recording call into a no-op; `metrics` then samples all-zero.
   bool metrics = true;
+
+  /// Durability plane (journal.hpp): per-study write-ahead journals under
+  /// journal.directory, recovered on construction. An empty directory
+  /// keeps the registry purely in-memory (the pre-state-dir behaviour).
+  JournalConfig journal;
 };
 
 class TrackingService {
@@ -91,6 +96,11 @@ public:
   /// Run the idle-eviction policy now (also exposed as the "sweep"
   /// method). Returns the number of sessions evicted.
   std::size_t sweep();
+
+  /// Fsync every study's unsynced journal records (the graceful-drain /
+  /// SIGTERM path; perftrackd calls it after the serve loop returns).
+  /// Failures are logged, not thrown. No-op without a state dir.
+  void flush_journals();
 
   /// Installed by the server so `stats` can report queue backpressure.
   void set_queue_stats(std::function<QueueStats()> fn) {
@@ -144,12 +154,34 @@ private:
   /// Set the occupancy/queue/cache gauges from current registry state.
   void refresh_gauges();
 
+  /// Boot-time recovery: scan the state dir and repopulate the registry
+  /// from every surviving journal. Called from the constructor.
+  void recover_state();
+
+  /// Journal `entry` for `study` before it is applied in memory; maps a
+  /// journal failure to a typed io-failure response. No-op when the study
+  /// has no journal.
+  void journal_append(StudyState& study, const AppendEntry& entry);
+
+  /// Opportunistic compaction after a successful append (failures are
+  /// diagnostics — the uncompacted journal is still correct).
+  void maybe_compact(const std::string& name, StudyState& study);
+
+  bool durable() const { return config_.journal.enabled(); }
+
   ServiceConfig config_;
   StudyRegistry registry_;
   std::atomic<bool> shutdown_{false};
   std::function<QueueStats()> queue_stats_;
   ServeMetrics metrics_;
   std::uint64_t start_ns_;  ///< telemetry-clock birth time (uptime base)
+
+  // Recovery + journal-health counters (stats/metrics surface them).
+  std::atomic<std::uint64_t> journal_recovered_{0};
+  std::atomic<std::uint64_t> journal_truncated_{0};
+  std::atomic<std::uint64_t> journal_quarantined_{0};
+  std::atomic<std::uint64_t> journal_errors_{0};
+  std::atomic<std::uint64_t> journal_deduped_{0};
 };
 
 }  // namespace perftrack::serve

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/log.hpp"
 #include "obs/telemetry.hpp"
 #include "store/frame_codec.hpp"
@@ -157,6 +158,9 @@ std::optional<cluster::Frame> FrameStore::load(
 
 void FrameStore::store(const std::string& key, const cluster::Frame& frame) {
   if (!enabled()) return;
+  // Hoisted out of the try so the error path can clean up the temporary:
+  // a failed store must not leave a partial entry (or tmp litter) behind.
+  fs::path tmp;
   try {
     fs::create_directories(config_.directory);
     const std::string bytes = encode_frame(frame);
@@ -164,21 +168,39 @@ void FrameStore::store(const std::string& key, const cluster::Frame& frame) {
     // same key never interleave; rename() then publishes atomically.
     std::ostringstream tmp_name;
     tmp_name << ".tmp-" << key << "-" << ::getpid() << "-" << this;
-    const fs::path tmp = fs::path(config_.directory) / tmp_name.str();
+    tmp = fs::path(config_.directory) / tmp_name.str();
     {
       std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
       if (!out) throw io_error("cannot open cache entry for writing",
                                tmp.string());
+      try {
+        PT_FAILPOINT("frame_store_write");
+      } catch (const InjectedFault&) {
+        // Simulate a device that dies mid-write (ENOSPC, pulled disk):
+        // leave a truncated temporary behind, then fail like write() would.
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() / 2));
+        out.flush();
+        throw io_error("cannot write cache entry (injected short write)",
+                       tmp.string());
+      }
       out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
       if (!out.good()) throw io_error("cannot write cache entry",
                                       tmp.string());
     }
+    PT_FAILPOINT("frame_store_rename");
     fs::rename(tmp, path_for(key));
     ++stats_.stores;
     PT_COUNTER("frame_cache_stores", 1.0);
     evict_to_cap();
   } catch (const std::exception& error) {
     // A failed store never fails the pipeline: the caller holds the frame.
+    // Remove the temporary so a torn write cannot linger (it would never
+    // be loaded — loads go through path_for(key) — but it wastes cap).
+    if (!tmp.empty()) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+    }
     ++stats_.errors;
     PT_COUNTER("frame_cache_errors", 1.0);
     PT_LOG(Warn) << "frame cache: store failed for " << key << ": "

@@ -1,0 +1,391 @@
+// Journal framing + recovery semantics, exercised directly (no service).
+//
+// The crash-injection cases drive the journal's own failpoints
+// (journal_torn_write / journal_short_write / journal_fsync_error) and the
+// raw file bytes: a torn tail or a flipped byte must truncate at the last
+// good record, an unreadable file must be quarantined, and a tombstone must
+// delete — never crash the scan or eat a neighbouring study.
+
+#include "serve/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+
+namespace perftrack::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+class JournalTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    failpoint::clear();
+    dir_ = fs::path(::testing::TempDir()) /
+           ("pt_journal_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override {
+    failpoint::clear();
+    fs::remove_all(dir_);
+  }
+
+  JournalConfig config(FsyncMode fsync = FsyncMode::Always) const {
+    JournalConfig config;
+    config.directory = dir_.string();
+    config.fsync = fsync;
+    return config;
+  }
+
+  tracking::SessionConfig session() const {
+    tracking::SessionConfig session;
+    session.clustering.dbscan.eps = 0.07;
+    session.clustering.dbscan.min_pts = 4;
+    session.resilience.lenient = true;
+    return session;
+  }
+
+  static AppendEntry entry(AppendEntry::Kind kind, const std::string& label,
+                           const std::string& detail, std::uint64_t seq) {
+    AppendEntry e;
+    e.kind = kind;
+    e.label = label;
+    e.detail = detail;
+    e.seq = seq;
+    return e;
+  }
+
+  std::string file_bytes(const fs::path& path) const {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+
+  void write_bytes(const fs::path& path, const std::string& bytes) const {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  fs::path journal_path(const std::string& study) const {
+    return dir_ / journal_file_name(study);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(JournalTest, FileNameEscapingIsInjective) {
+  EXPECT_EQ(journal_file_name("wrf"), "wrf.journal");
+  EXPECT_NE(journal_file_name("a/b"), journal_file_name("a_b"));
+  EXPECT_NE(journal_file_name("a b"), journal_file_name("a%20b"));
+  // No path separators survive escaping.
+  EXPECT_EQ(journal_file_name("../evil").find('/'), std::string::npos);
+}
+
+TEST_F(JournalTest, FsyncModeNamesRoundTrip) {
+  EXPECT_EQ(fsync_mode_from_name("always"), FsyncMode::Always);
+  EXPECT_EQ(fsync_mode_from_name("batch"), FsyncMode::Batch);
+  EXPECT_EQ(fsync_mode_from_name("off"), FsyncMode::Off);
+  EXPECT_EQ(fsync_mode_name(FsyncMode::Batch), "batch");
+  EXPECT_THROW(fsync_mode_from_name("sometimes"), Error);
+}
+
+TEST_F(JournalTest, RoundTripRecoversEntriesAndConfig) {
+  auto journal = Journal::create(config(), "wrf", session());
+  journal->append(entry(AppendEntry::Kind::Path, "/tmp/a.ptt", "", 1));
+  journal->append(entry(AppendEntry::Kind::Inline, "run2", "trace text", 2));
+  journal->append(entry(AppendEntry::Kind::Gap, "crash", "node died", 3));
+  journal.reset();
+
+  tracking::SessionConfig base;  // defaults differ from session()
+  RecoveryReport report = recover_state_dir(config(), base);
+  ASSERT_EQ(report.studies.size(), 1u);
+  EXPECT_EQ(report.truncated, 0u);
+  EXPECT_EQ(report.quarantined, 0u);
+
+  const RecoveredStudy& study = report.studies.front();
+  EXPECT_EQ(study.name, "wrf");
+  EXPECT_DOUBLE_EQ(study.config.clustering.dbscan.eps, 0.07);
+  EXPECT_EQ(study.config.clustering.dbscan.min_pts, 4u);
+  EXPECT_TRUE(study.config.resilience.lenient);
+  EXPECT_EQ(study.last_seq, 3u);
+  EXPECT_FALSE(study.truncated);
+  ASSERT_EQ(study.entries.size(), 3u);
+  EXPECT_EQ(study.entries[0].kind, AppendEntry::Kind::Path);
+  EXPECT_EQ(study.entries[0].label, "/tmp/a.ptt");
+  EXPECT_EQ(study.entries[1].kind, AppendEntry::Kind::Inline);
+  EXPECT_EQ(study.entries[1].detail, "trace text");
+  EXPECT_EQ(study.entries[2].kind, AppendEntry::Kind::Gap);
+  EXPECT_EQ(study.entries[2].seq, 3u);
+}
+
+TEST_F(JournalTest, MissingDirectoryRecoversNothing) {
+  RecoveryReport report = recover_state_dir(config(), session());
+  EXPECT_TRUE(report.studies.empty());
+  EXPECT_EQ(report.quarantined, 0u);
+}
+
+TEST_F(JournalTest, TornTailIsTruncatedAtLastGoodRecord) {
+  auto journal = Journal::create(config(), "wrf", session());
+  journal->append(entry(AppendEntry::Kind::Path, "a.ptt", "", 1));
+  journal->append(entry(AppendEntry::Kind::Path, "b.ptt", "", 2));
+  journal.reset();
+
+  // Chop bytes off the tail: a crash mid-write leaves a partial frame.
+  const fs::path path = journal_path("wrf");
+  std::string bytes = file_bytes(path);
+  write_bytes(path, bytes.substr(0, bytes.size() - 5));
+
+  RecoveryReport report = recover_state_dir(config(), session());
+  ASSERT_EQ(report.studies.size(), 1u);
+  EXPECT_EQ(report.truncated, 1u);
+  EXPECT_TRUE(report.studies.front().truncated);
+  ASSERT_EQ(report.studies.front().entries.size(), 1u);
+  EXPECT_EQ(report.studies.front().entries[0].label, "a.ptt");
+  // The file was healed in place: a second scan is clean.
+  RecoveryReport again = recover_state_dir(config(), session());
+  EXPECT_EQ(again.truncated, 0u);
+  ASSERT_EQ(again.studies.size(), 1u);
+  EXPECT_EQ(again.studies.front().entries.size(), 1u);
+}
+
+TEST_F(JournalTest, CorruptChecksumTruncatesFromBadRecordOn) {
+  auto journal = Journal::create(config(), "wrf", session());
+  journal->append(entry(AppendEntry::Kind::Path, "a.ptt", "", 1));
+  journal->append(entry(AppendEntry::Kind::Path, "b.ptt", "", 2));
+  journal.reset();
+
+  // Flip one payload byte of the final record: its checksum no longer
+  // matches, so recovery must cut the file there.
+  const fs::path path = journal_path("wrf");
+  std::string bytes = file_bytes(path);
+  bytes[bytes.size() - 2] ^= 0x5a;
+  write_bytes(path, bytes);
+
+  RecoveryReport report = recover_state_dir(config(), session());
+  ASSERT_EQ(report.studies.size(), 1u);
+  EXPECT_EQ(report.truncated, 1u);
+  ASSERT_EQ(report.studies.front().entries.size(), 1u);
+  EXPECT_EQ(report.studies.front().entries[0].label, "a.ptt");
+  EXPECT_LT(fs::file_size(path), bytes.size());
+}
+
+TEST_F(JournalTest, GarbageFileIsQuarantinedOthersSurvive) {
+  auto journal = Journal::create(config(), "good", session());
+  journal->append(entry(AppendEntry::Kind::Path, "a.ptt", "", 1));
+  journal.reset();
+  write_bytes(dir_ / "bad.journal", "this is not a journal at all");
+
+  RecoveryReport report = recover_state_dir(config(), session());
+  EXPECT_EQ(report.quarantined, 1u);
+  ASSERT_EQ(report.studies.size(), 1u);
+  EXPECT_EQ(report.studies.front().name, "good");
+  EXPECT_FALSE(fs::exists(dir_ / "bad.journal"));
+  EXPECT_TRUE(fs::exists(dir_ / "bad.journal.quarantined"));
+  // Quarantined files are not rescanned.
+  RecoveryReport again = recover_state_dir(config(), session());
+  EXPECT_EQ(again.quarantined, 0u);
+  EXPECT_EQ(again.studies.size(), 1u);
+}
+
+TEST_F(JournalTest, HeaderOnlyFileWithoutCreateIsQuarantined) {
+  fs::create_directories(dir_);
+  write_bytes(dir_ / "empty.journal", std::string("PTJL\x01\x00\x00\x00", 8));
+  RecoveryReport report = recover_state_dir(config(), session());
+  EXPECT_EQ(report.quarantined, 1u);
+  EXPECT_TRUE(report.studies.empty());
+  EXPECT_TRUE(fs::exists(dir_ / "empty.journal.quarantined"));
+}
+
+TEST_F(JournalTest, FilenameMismatchIsQuarantined) {
+  auto journal = Journal::create(config(), "wrf", session());
+  journal.reset();
+  // A journal claiming study "wrf" parked under another study's file name
+  // (copied by hand, tampered with) must not hijack that study.
+  fs::copy_file(journal_path("wrf"), journal_path("gromacs"));
+  RecoveryReport report = recover_state_dir(config(), session());
+  EXPECT_EQ(report.quarantined, 1u);
+  ASSERT_EQ(report.studies.size(), 1u);
+  EXPECT_EQ(report.studies.front().name, "wrf");
+}
+
+TEST_F(JournalTest, TombstoneDeletesTheStudyOnNextBoot) {
+  auto journal = Journal::create(config(), "wrf", session());
+  journal->append(entry(AppendEntry::Kind::Path, "a.ptt", "", 1));
+  const fs::path path = journal_path("wrf");
+  // Simulate a crash between the tombstone write and the unlink: hard-link
+  // the file so the bytes (ending in the Remove record) survive the unlink.
+  const fs::path keep = dir_ / "keep";
+  fs::create_hard_link(path, keep);
+  journal->remove_and_unlink();
+  journal.reset();
+  EXPECT_FALSE(fs::exists(path));
+  fs::rename(keep, path);
+
+  RecoveryReport report = recover_state_dir(config(), session());
+  EXPECT_EQ(report.tombstones, 1u);
+  EXPECT_TRUE(report.studies.empty());
+  EXPECT_FALSE(fs::exists(path)) << "tombstoned journal must be deleted";
+}
+
+TEST_F(JournalTest, DuplicateSeqIsSkippedDuringReplay) {
+  auto journal = Journal::create(config(), "wrf", session());
+  // The journal itself does not dedupe (the service does, before writing);
+  // a duplicate on disk is what a crash racing a batched fsync plus a
+  // client retry leaves behind.
+  journal->append(entry(AppendEntry::Kind::Path, "a.ptt", "", 7));
+  journal->append(entry(AppendEntry::Kind::Path, "a.ptt", "", 7));
+  journal->append(entry(AppendEntry::Kind::Path, "b.ptt", "", 8));
+  journal.reset();
+
+  RecoveryReport report = recover_state_dir(config(), session());
+  EXPECT_EQ(report.deduped, 1u);
+  ASSERT_EQ(report.studies.size(), 1u);
+  ASSERT_EQ(report.studies.front().entries.size(), 2u);
+  EXPECT_EQ(report.studies.front().entries[0].label, "a.ptt");
+  EXPECT_EQ(report.studies.front().entries[1].label, "b.ptt");
+  EXPECT_EQ(report.studies.front().last_seq, 8u);
+}
+
+TEST_F(JournalTest, TornWriteFailpointBreaksJournalAndRecoveryHeals) {
+  auto journal = Journal::create(config(), "wrf", session());
+  journal->append(entry(AppendEntry::Kind::Path, "a.ptt", "", 1));
+
+  failpoint::activate("journal_torn_write", "error");
+  EXPECT_THROW(
+      journal->append(entry(AppendEntry::Kind::Path, "b.ptt", "", 2)),
+      IoError);
+  failpoint::clear();
+  // The simulated crash leaves the tail torn and the handle refuses
+  // further appends — exactly a dead daemon.
+  EXPECT_THROW(
+      journal->append(entry(AppendEntry::Kind::Path, "c.ptt", "", 3)),
+      IoError);
+  EXPECT_EQ(journal->records(), 2u);  // create + first append
+  journal.reset();
+
+  RecoveryReport report = recover_state_dir(config(), session());
+  EXPECT_EQ(report.truncated, 1u);
+  ASSERT_EQ(report.studies.size(), 1u);
+  ASSERT_EQ(report.studies.front().entries.size(), 1u);
+  EXPECT_EQ(report.studies.front().entries[0].label, "a.ptt");
+}
+
+TEST_F(JournalTest, ShortWriteFailpointHealsTailInPlace) {
+  auto journal = Journal::create(config(), "wrf", session());
+  journal->append(entry(AppendEntry::Kind::Path, "a.ptt", "", 1));
+  const std::uint64_t bytes_before = journal->bytes();
+
+  failpoint::activate("journal_short_write", "@1");
+  EXPECT_THROW(
+      journal->append(entry(AppendEntry::Kind::Path, "b.ptt", "", 2)),
+      IoError);
+  failpoint::clear();
+
+  // An ENOSPC-style failure healed its own tail: the journal is still
+  // usable and the failed record left no bytes behind.
+  EXPECT_EQ(journal->bytes(), bytes_before);
+  journal->append(entry(AppendEntry::Kind::Path, "c.ptt", "", 3));
+  journal.reset();
+
+  RecoveryReport report = recover_state_dir(config(), session());
+  EXPECT_EQ(report.truncated, 0u);
+  ASSERT_EQ(report.studies.size(), 1u);
+  ASSERT_EQ(report.studies.front().entries.size(), 2u);
+  EXPECT_EQ(report.studies.front().entries[1].label, "c.ptt");
+}
+
+TEST_F(JournalTest, FsyncErrorRollsTheAppendBack) {
+  auto journal = Journal::create(config(FsyncMode::Always), "wrf", session());
+  journal->append(entry(AppendEntry::Kind::Path, "a.ptt", "", 1));
+  const std::uint64_t records_before = journal->records();
+  const std::uint64_t bytes_before = journal->bytes();
+
+  failpoint::activate("journal_fsync_error", "@1");
+  EXPECT_THROW(
+      journal->append(entry(AppendEntry::Kind::Path, "b.ptt", "", 2)),
+      IoError);
+  failpoint::clear();
+
+  // Write-ahead contract: a failed fsync means the append never happened —
+  // on disk (tail healed) or in the counters.
+  EXPECT_EQ(journal->records(), records_before);
+  EXPECT_EQ(journal->bytes(), bytes_before);
+
+  RecoveryReport report = recover_state_dir(config(), session());
+  ASSERT_EQ(report.studies.size(), 1u);
+  EXPECT_EQ(report.studies.front().entries.size(), 1u);
+}
+
+TEST_F(JournalTest, CompactionPreservesTheLogAndShrinksTheFile) {
+  JournalConfig cfg = config();
+  cfg.compact_threshold = 4;
+  auto journal = Journal::create(cfg, "wrf", session());
+  std::vector<AppendEntry> live;
+  for (int i = 0; i < 4; ++i) {
+    AppendEntry e = entry(AppendEntry::Kind::Inline, "run" + std::to_string(i),
+                          std::string(200, 'x'), static_cast<unsigned>(i + 1));
+    journal->append(e);
+    live.push_back(e);
+  }
+  ASSERT_TRUE(journal->should_compact());
+  const std::uint64_t bytes_before = journal->bytes();
+
+  // Compact to a live set that dropped the bulky details (what the service
+  // holds after the entries were applied): the snapshot must shrink.
+  std::vector<AppendEntry> compacted = live;
+  for (auto& e : compacted) {
+    e.kind = AppendEntry::Kind::Path;
+    e.detail.clear();
+  }
+  journal->compact("wrf", session(), compacted);
+  EXPECT_EQ(journal->compactions(), 1u);
+  EXPECT_FALSE(journal->should_compact());
+  EXPECT_LT(journal->bytes(), bytes_before);
+
+  // The rewritten journal still appends and still replays byte-for-byte.
+  journal->append(entry(AppendEntry::Kind::Path, "post", "", 9));
+  journal.reset();
+  RecoveryReport report = recover_state_dir(cfg, session());
+  ASSERT_EQ(report.studies.size(), 1u);
+  ASSERT_EQ(report.studies.front().entries.size(), 5u);
+  EXPECT_EQ(report.studies.front().entries[0].label, "run0");
+  EXPECT_EQ(report.studies.front().entries[4].label, "post");
+  EXPECT_EQ(report.studies.front().last_seq, 9u);
+}
+
+TEST_F(JournalTest, EveryFsyncModeRoundTrips) {
+  for (FsyncMode mode :
+       {FsyncMode::Always, FsyncMode::Batch, FsyncMode::Off}) {
+    const std::string study =
+        "study_" + std::string(fsync_mode_name(mode));
+    auto journal = Journal::create(config(mode), study, session());
+    journal->append(entry(AppendEntry::Kind::Path, "a.ptt", "", 1));
+    journal->sync();
+    journal.reset();
+  }
+  RecoveryReport report = recover_state_dir(config(), session());
+  EXPECT_EQ(report.studies.size(), 3u);
+  for (const RecoveredStudy& study : report.studies)
+    EXPECT_EQ(study.entries.size(), 1u);
+}
+
+TEST_F(JournalTest, EscapedStudyNameRoundTrips) {
+  const std::string study = "weird name/with:chars?";
+  auto journal = Journal::create(config(), study, session());
+  journal->append(entry(AppendEntry::Kind::Path, "a.ptt", "", 1));
+  journal.reset();
+  RecoveryReport report = recover_state_dir(config(), session());
+  ASSERT_EQ(report.studies.size(), 1u);
+  EXPECT_EQ(report.studies.front().name, study);
+}
+
+}  // namespace
+}  // namespace perftrack::serve

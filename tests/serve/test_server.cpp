@@ -14,6 +14,7 @@
 #include <condition_variable>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
@@ -242,6 +243,30 @@ TEST(ServeStreamTest, RequestsAfterShutdownOnOtherConnectionsAreRefused) {
   EXPECT_EQ(responses[0].at("error").at("code").string, "shutting-down");
 }
 
+TEST(ServeStreamTest, OverlongLineIsRejectedAndServingContinues) {
+  TrackingService service;
+  std::string input;
+  input += R"({"id":1,"method":"ping"})" "\n";
+  input += R"({"id":2,"method":"ping","pad":")" + std::string(600, 'x') +
+           "\"}\n";
+  input += R"({"id":3,"method":"ping"})" "\n";
+  std::istringstream in(input);
+  std::ostringstream out;
+  ServerOptions options;
+  options.max_line_bytes = 256;
+  EXPECT_EQ(serve_stream(service, in, out, options), 0);
+
+  std::vector<obs::JsonValue> responses = parse_lines(out.str());
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_TRUE(responses[0].at("ok").boolean);
+  EXPECT_FALSE(responses[1].at("ok").boolean);
+  EXPECT_EQ(responses[1].at("error").at("code").string, "bad-request");
+  EXPECT_NE(responses[1].at("error").at("message").string.find("256"),
+            std::string::npos);
+  EXPECT_TRUE(responses[2].at("ok").boolean)
+      << "the connection keeps serving after an oversized line";
+}
+
 // ---------------------------------------------------------------------------
 // AF_UNIX transport
 
@@ -331,6 +356,107 @@ TEST(ServeUnixSocketTest, SocketPathTooLongFails) {
   TrackingService service;
   std::string path(200, 'x');
   EXPECT_EQ(serve_unix_socket(service, path, ServerOptions{}), 1);
+}
+
+TEST(ServeUnixSocketTest, OverlongLineIsRejectedWithoutUnboundedBuffering) {
+  const std::string path =
+      (fs::path(::testing::TempDir()) / "pt_serve_cap.sock").string();
+  TrackingService service;
+  ServerOptions options;
+  options.max_line_bytes = 512;
+  std::thread server([&] {
+    EXPECT_EQ(serve_unix_socket(service, path, options), 0);
+  });
+
+  {
+    UnixClient client(path);
+    // An unterminated flood larger than the cap, then the newline: the
+    // server answers with a typed error instead of buffering it all.
+    client.send(std::string(4096, 'x'));
+    obs::JsonValue rejected = client.recv();
+    EXPECT_FALSE(rejected.at("ok").boolean);
+    EXPECT_EQ(rejected.at("error").at("code").string, "bad-request");
+    // The same connection still serves well-formed requests.
+    client.send(R"({"id":1,"method":"ping"})");
+    EXPECT_TRUE(client.recv().at("ok").boolean);
+    client.send(R"({"id":2,"method":"shutdown"})");
+    EXPECT_TRUE(client.recv().at("ok").boolean);
+  }
+  server.join();
+}
+
+TEST(ServeUnixSocketTest, StaleSocketFromACrashedDaemonIsReplaced) {
+  const std::string path =
+      (fs::path(::testing::TempDir()) / "pt_serve_stale.sock").string();
+  ::unlink(path.c_str());
+  // Fake a crashed daemon: a bound socket file with nobody listening.
+  {
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&address),
+                     sizeof(address)),
+              0)
+        << std::strerror(errno);
+    ::close(fd);
+  }
+  ASSERT_TRUE(fs::exists(path));
+
+  TrackingService service;
+  std::thread server([&] {
+    EXPECT_EQ(serve_unix_socket(service, path, ServerOptions{}), 0);
+  });
+  {
+    UnixClient client(path);
+    client.send(R"({"id":1,"method":"ping"})");
+    EXPECT_TRUE(client.recv().at("ok").boolean);
+    client.send(R"({"id":2,"method":"shutdown"})");
+    EXPECT_TRUE(client.recv().at("ok").boolean);
+  }
+  server.join();
+}
+
+TEST(ServeUnixSocketTest, LiveDaemonsSocketIsNeverStolen) {
+  const std::string path =
+      (fs::path(::testing::TempDir()) / "pt_serve_live.sock").string();
+  ::unlink(path.c_str());
+  TrackingService first;
+  std::thread server([&] {
+    EXPECT_EQ(serve_unix_socket(first, path, ServerOptions{}), 0);
+  });
+  {
+    // Wait until the first daemon actually listens.
+    UnixClient probe(path);
+    probe.send(R"({"id":1,"method":"ping"})");
+    EXPECT_TRUE(probe.recv().at("ok").boolean);
+
+    // A second daemon on the same path must refuse, not unlink.
+    TrackingService second;
+    EXPECT_EQ(serve_unix_socket(second, path, ServerOptions{}), 1);
+
+    // The first daemon is untouched.
+    probe.send(R"({"id":2,"method":"ping"})");
+    EXPECT_TRUE(probe.recv().at("ok").boolean);
+    probe.send(R"({"id":3,"method":"shutdown"})");
+    EXPECT_TRUE(probe.recv().at("ok").boolean);
+  }
+  server.join();
+}
+
+TEST(ServeUnixSocketTest, NonSocketFileIsRefusedNotRemoved) {
+  const std::string path =
+      (fs::path(::testing::TempDir()) / "pt_serve_notasock").string();
+  {
+    std::ofstream out(path);
+    out << "precious data\n";
+  }
+  TrackingService service;
+  EXPECT_EQ(serve_unix_socket(service, path, ServerOptions{}), 1);
+  ASSERT_TRUE(fs::exists(path)) << "a non-socket file must never be unlinked";
+  EXPECT_TRUE(fs::is_regular_file(path));
+  fs::remove(path);
 }
 
 }  // namespace

@@ -11,8 +11,11 @@
 
 #include "cluster/frame.hpp"
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "store/frame_codec.hpp"
 #include "testing/test_traces.hpp"
+#include "tracking/report.hpp"
+#include "tracking/session.hpp"
 
 namespace perftrack::store {
 namespace {
@@ -215,6 +218,90 @@ TEST(FrameStoreTest, EnvironmentDirectoryReadsPerftrackCache) {
   EXPECT_EQ(FrameStore::environment_directory(), "/tmp/pt-env-cache");
   ::unsetenv("PERFTRACK_CACHE");
   EXPECT_EQ(FrameStore::environment_directory(), "");
+}
+
+// ---------------------------------------------------------------------------
+// Crash injection on the write path (tmp + rename).
+
+/// No visible cache entry and no .tmp-* litter may survive a failed store.
+void expect_clean_cache_dir(const fs::path& dir, const std::string& key) {
+  EXPECT_FALSE(fs::exists(dir / (key + ".ptf")))
+      << "a failed store must not publish an entry";
+  if (!fs::exists(dir)) return;
+  for (const auto& item : fs::directory_iterator(dir))
+    EXPECT_EQ(item.path().filename().string().rfind(".tmp-", 0),
+              std::string::npos)
+        << "tmp litter left behind: " << item.path();
+}
+
+class FrameStoreFailpointTest : public ::testing::Test {
+protected:
+  void SetUp() override { failpoint::clear(); }
+  void TearDown() override { failpoint::clear(); }
+};
+
+TEST_F(FrameStoreFailpointTest, InjectedShortWriteCountsErrorAndLeavesNothing) {
+  fs::path dir = fresh_dir("short_write");
+  FrameStore store(config_for(dir));
+  auto source = sample_trace("A", 1);
+  cluster::Frame frame = cluster::build_frame(source, sample_params());
+  const std::string key = FrameStore::key_for(*source, sample_params());
+
+  failpoint::activate("frame_store_write", "@1");
+  EXPECT_NO_THROW(store.store(key, frame));  // degraded, never fatal
+  EXPECT_EQ(store.stats().errors, 1u);
+  EXPECT_EQ(store.stats().stores, 0u);
+  expect_clean_cache_dir(dir, key);
+  // A later load is an honest miss, never a torn entry.
+  EXPECT_FALSE(store.load(key, source).has_value());
+
+  // The device recovered: the same store now succeeds and round-trips.
+  store.store(key, frame);
+  EXPECT_EQ(store.stats().stores, 1u);
+  std::optional<cluster::Frame> back = store.load(key, source);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(encode_frame(*back), encode_frame(frame));
+}
+
+TEST_F(FrameStoreFailpointTest, InjectedRenameFailureCleansUpTheTemporary) {
+  fs::path dir = fresh_dir("rename_fail");
+  FrameStore store(config_for(dir));
+  auto source = sample_trace("B", 2);
+  cluster::Frame frame = cluster::build_frame(source, sample_params());
+  const std::string key = FrameStore::key_for(*source, sample_params());
+
+  failpoint::activate("frame_store_rename", "@1");
+  EXPECT_NO_THROW(store.store(key, frame));
+  EXPECT_EQ(store.stats().errors, 1u);
+  expect_clean_cache_dir(dir, key);
+
+  store.store(key, frame);
+  EXPECT_TRUE(store.load(key, source).has_value());
+}
+
+TEST_F(FrameStoreFailpointTest, TrackingStaysCorrectWhenEveryStoreFails) {
+  fs::path dir = fresh_dir("tracking_degraded");
+  tracking::SessionConfig cached;
+  cached.clustering = sample_params();
+  cached.cache.directory = dir.string();
+  tracking::SessionConfig uncached;
+  uncached.clustering = sample_params();
+
+  failpoint::activate("frame_store_write", "error");
+  tracking::TrackingSession with_cache(cached);
+  tracking::TrackingSession without_cache(uncached);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    auto t = sample_trace("run" + std::to_string(seed), seed);
+    with_cache.append_experiment(t);
+    without_cache.append_experiment(t);
+  }
+  const std::string degraded =
+      tracking::describe_tracking(with_cache.retrack());
+  failpoint::clear();
+
+  EXPECT_GT(with_cache.stats().cache.errors, 0u);
+  EXPECT_EQ(degraded, tracking::describe_tracking(without_cache.retrack()))
+      << "a dying cache device must not change tracking results";
 }
 
 }  // namespace

@@ -8,6 +8,14 @@
 //   perftrackd --socket /tmp/perftrack.sock     # daemon on a unix socket
 //   perftrackd --stdio                          # one connection on stdio
 //
+// Durability (docs/SERVING.md): --state-dir DIR journals every study
+// mutation to a per-study write-ahead log before applying it, and
+// recovers all studies from the journals at boot — a crashed daemon
+// restarted on the same state dir answers regions/trends byte-identically
+// to one that never crashed. --fsync picks the durability/latency
+// trade-off; torn tails are truncated and unreadable journals quarantined
+// with diagnostics rather than refusing to boot.
+//
 // Observability (docs/OBSERVABILITY.md): the daemon always records live
 // per-method latency histograms and counters (--no-metrics turns them
 // off), sampled via the `stats`/`metrics`/`health` protocol methods,
@@ -69,6 +77,9 @@ struct Options {
   std::size_t idle_ttl_sec = 0;
   std::size_t max_sessions = 0;
   std::size_t sweep_interval_ms = 0;
+  std::string state_dir;
+  serve::FsyncMode fsync = serve::FsyncMode::Batch;
+  std::size_t journal_compact = 4096;
   std::string cache_dir;
   std::string profile_path;
   std::string trace_events_path;
@@ -153,6 +164,30 @@ cli::OptionTable option_table(Options& options) {
             [o](const std::string& v) {
               o->max_errors = cli::parse_count("--max-errors", v);
             });
+  table.add("--state-dir", "DIR",
+            "durable study state: per-study write-ahead journals, "
+            "recovered at boot (default: in-memory only)",
+            [o](const std::string& v) { o->state_dir = v; });
+  table.add("--fsync", "MODE",
+            "journal durability: always | batch | off (batch)",
+            [o](const std::string& v) {
+              try {
+                o->fsync = serve::fsync_mode_from_name(v);
+              } catch (const Error& error) {
+                throw cli::UsageError(error.what());
+              }
+            });
+  table.add("--journal-compact", "N",
+            "compact a study's journal every N appends (4096; 0 = never)",
+            [o](const std::string& v) {
+              o->journal_compact = cli::parse_count("--journal-compact", v);
+            });
+  table.add("--max-line-bytes", "N",
+            "reject request lines longer than N bytes (8388608; 0 = no cap)",
+            [o](const std::string& v) {
+              o->server.max_line_bytes =
+                  cli::parse_count("--max-line-bytes", v);
+            });
   table.add("--cache-dir", "DIR",
             "frame cache for every study (default: $PERFTRACK_CACHE)",
             [o](const std::string& v) { o->cache_dir = v; });
@@ -215,6 +250,9 @@ serve::ServiceConfig service_config(const Options& options) {
       static_cast<std::uint64_t>(options.idle_ttl_sec) * 1000000000ull;
   config.max_resident = options.max_sessions;
   config.metrics = !options.no_metrics;
+  config.journal.directory = options.state_dir;
+  config.journal.fsync = options.fsync;
+  config.journal.compact_threshold = options.journal_compact;
   return config;
 }
 
@@ -288,6 +326,9 @@ int main(int argc, char** argv) {
                  : serve::serve_unix_socket(service, options.socket_path,
                                             options.server);
     metrics_http.stop();
+    // Part of the graceful drain: batch-mode journals may hold unsynced
+    // records; flush them before reporting a clean exit.
+    service.flush_journals();
     emit_telemetry(options);
     return rc == 0 ? kExitOk : kExitInternal;
   } catch (const cli::UsageError& error) {
