@@ -1,0 +1,213 @@
+// perf_displacement — the displacement evaluator's nearest-neighbour
+// engines: kd-tree vs CSR grid vs grid + threads.
+//
+// After grid DBSCAN removed clustering from the critical path, the
+// cross-frame NN classification dominated end-to-end tracking. This
+// harness times the evaluator over every adjacent pair of the ten Table 2
+// case studies (the perf_session workload) with each engine and thread
+// count, and — the part CI gates on — proves the engines interchangeable:
+// every correlation matrix must match cell for cell, bitwise, and the
+// full track_frames output (links, relations, regions, renaming) must be
+// byte-identical for kd vs grid at 1 and N threads.
+//
+// Gauges exported to BENCH_perf_opt.json:
+//   verdict_displacement_identity      1 iff every equivalence check held
+//   advisory_displacement_speedup      kd ms / grid ms (serial, tracked)
+//   advisory_displacement_speedup_ge10 the >= 10x bar (warn-only in CI)
+//   displacement_{kdtree,grid,grid_mt}_ms raw sweep times
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/studies.hpp"
+#include "tracking/evaluator_displacement.hpp"
+#include "tracking/report.hpp"
+#include "tracking/tracker.hpp"
+
+using namespace perftrack;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct StudyFrames {
+  std::string name;
+  std::vector<cluster::Frame> frames;
+  tracking::ScaleNormalization scale;
+};
+
+struct SweepOutcome {
+  double ms = 0.0;
+  std::vector<tracking::DisplacementResult> results;
+};
+
+/// Classify every adjacent pair of every study with the given engine;
+/// clouds are prebuilt (the tracker caches them too), so the timing
+/// isolates the query sweep itself.
+SweepOutcome sweep(const std::vector<StudyFrames>& studies,
+                   tracking::DisplacementIndex index, ThreadPool* pool) {
+  SweepOutcome out;
+  for (const StudyFrames& study : studies) {
+    std::vector<std::unique_ptr<tracking::FrameCloud>> clouds;
+    clouds.reserve(study.frames.size());
+    for (const cluster::Frame& f : study.frames)
+      clouds.push_back(
+          std::make_unique<tracking::FrameCloud>(f, study.scale, index));
+    const Clock::time_point start = Clock::now();
+    for (std::size_t p = 0; p + 1 < study.frames.size(); ++p)
+      out.results.push_back(tracking::evaluate_displacement(
+          study.frames[p], *clouds[p], study.frames[p + 1], *clouds[p + 1],
+          0.05, pool));
+    out.ms += ms_since(start);
+  }
+  return out;
+}
+
+bool same_results(const std::vector<tracking::DisplacementResult>& a,
+                  const std::vector<tracking::DisplacementResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!(a[i].a_to_b == b[i].a_to_b) || !(a[i].b_to_a == b[i].b_to_a))
+      return false;
+  return true;
+}
+
+/// Everything the tracked output exposes, for bitwise comparison.
+struct ResultDigest {
+  std::string description;
+  std::string trends;
+  std::vector<std::vector<std::int32_t>> renaming;
+
+  explicit ResultDigest(const tracking::TrackingResult& result)
+      : description(tracking::describe_tracking(result)),
+        trends(tracking::trends_csv(result)),
+        renaming(result.renaming) {}
+
+  bool operator==(const ResultDigest&) const = default;
+};
+
+}  // namespace
+
+int main() {
+  bench::enable_telemetry();
+  bench::print_title("perf_opt",
+                     "displacement NN engine: kd-tree vs grid vs "
+                     "grid + threads");
+  bench::print_paper(
+      "not in the paper — engineering comparison of the displacement "
+      "evaluator's nearest-neighbour engines over the ten case studies "
+      "(byte-identical classifications required)");
+
+  std::vector<StudyFrames> studies;
+  for (const sim::Study& study : sim::all_studies()) {
+    StudyFrames s;
+    s.name = study.name;
+    s.frames = study.frames();
+    s.scale = tracking::ScaleNormalization::fit(
+        s.frames,
+        tracking::tracking_log_scale(tracking::TrackingParams{}, s.frames[0]));
+    studies.push_back(std::move(s));
+  }
+
+  // ---- Leg A: the classification sweep, per engine. --------------------
+  bench::print_section("evaluator sweep over all adjacent pairs");
+  ThreadPool pool(4);
+  SweepOutcome kd, grid, grid_mt;
+  {
+    PT_SPAN("displacement_kdtree_total");
+    kd = sweep(studies, tracking::DisplacementIndex::kKdTree, nullptr);
+  }
+  {
+    PT_SPAN("displacement_grid_total");
+    grid = sweep(studies, tracking::DisplacementIndex::kGrid, nullptr);
+  }
+  {
+    PT_SPAN("displacement_grid_mt_total");
+    grid_mt = sweep(studies, tracking::DisplacementIndex::kGrid, &pool);
+  }
+
+  const bool sweeps_identical = same_results(kd.results, grid.results) &&
+                                same_results(kd.results, grid_mt.results);
+  const double speedup = kd.ms / grid.ms;
+
+  std::printf("pairs classified  : %zu\n", kd.results.size());
+  std::printf("kd-tree engine    : %10.1f ms\n", kd.ms);
+  std::printf("grid engine       : %10.1f ms\n", grid.ms);
+  std::printf("grid + 4 threads  : %10.1f ms\n", grid_mt.ms);
+  std::printf("serial speedup    : %10.1fx (bar: >= 10x)\n", speedup);
+  std::printf("matrices identical: %s\n\n",
+              sweeps_identical ? "yes" : "NO — EQUIVALENCE BROKEN");
+
+  // ---- Leg B: full tracking identity, kd vs grid, 1 vs N threads. ------
+  bench::print_section(
+      "track_frames identity (links, relations, regions, renaming)");
+  Table table({"Study", "Frames", "kd ms", "grid ms", "grid 4t ms",
+               "Identical"});
+  bool tracking_identical = true;
+  double kd_track_ms = 0.0, grid_track_ms = 0.0, grid_mt_track_ms = 0.0;
+  for (const StudyFrames& study : studies) {
+    tracking::TrackingParams params;
+    params.threads = 1;
+    params.displacement_index = tracking::DisplacementIndex::kKdTree;
+    Clock::time_point start = Clock::now();
+    ResultDigest kd_digest(tracking::track_frames(study.frames, params));
+    const double kd_ms = ms_since(start);
+
+    params.displacement_index = tracking::DisplacementIndex::kGrid;
+    start = Clock::now();
+    ResultDigest grid_digest(tracking::track_frames(study.frames, params));
+    const double grid_ms = ms_since(start);
+
+    params.threads = 4;
+    start = Clock::now();
+    ResultDigest grid_mt_digest(tracking::track_frames(study.frames, params));
+    const double grid_mt_ms = ms_since(start);
+
+    const bool same =
+        kd_digest == grid_digest && kd_digest == grid_mt_digest;
+    tracking_identical = tracking_identical && same;
+    kd_track_ms += kd_ms;
+    grid_track_ms += grid_ms;
+    grid_mt_track_ms += grid_mt_ms;
+    table.begin_row();
+    table.cell(study.name);
+    table.cell(study.frames.size());
+    table.cell(kd_ms, 1);
+    table.cell(grid_ms, 1);
+    table.cell(grid_mt_ms, 1);
+    table.cell(std::string(same ? "yes" : "NO"));
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf("tracking aggregate: kd %.0f ms, grid %.0f ms (%.1fx), "
+              "grid 4t %.0f ms\n",
+              kd_track_ms, grid_track_ms, kd_track_ms / grid_track_ms,
+              grid_mt_track_ms);
+  std::printf("tracking byte-identical across engines and threads: %s\n\n",
+              tracking_identical ? "yes" : "NO — EQUIVALENCE BROKEN");
+
+  const bool identity = sweeps_identical && tracking_identical;
+  PT_GAUGE("verdict_displacement_identity", identity ? 1.0 : 0.0);
+  PT_GAUGE("advisory_displacement_speedup", speedup);
+  PT_GAUGE("advisory_displacement_speedup_ge10", speedup >= 10.0 ? 1.0 : 0.0);
+  PT_GAUGE("displacement_kdtree_ms", kd.ms);
+  PT_GAUGE("displacement_grid_ms", grid.ms);
+  PT_GAUGE("displacement_grid_mt_ms", grid_mt.ms);
+  PT_GAUGE("tracking_kdtree_ms", kd_track_ms);
+  PT_GAUGE("tracking_grid_ms", grid_track_ms);
+  bench::write_telemetry("BENCH_perf_opt.json", "perf_opt");
+
+  const bool ok = identity && speedup >= 10.0;
+  std::printf("\nperf_displacement: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

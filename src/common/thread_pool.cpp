@@ -51,6 +51,15 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& body) {
   if (begin >= end) return;
+  // A single iteration gains nothing from a worker handoff — and running
+  // it on the caller keeps the caller OFF the worker set, so any nested
+  // parallel_for inside the body can still fan out instead of tripping
+  // the reentrancy guard. (A one-pair retrack parallelises its inner
+  // classification sweep this way.)
+  if (end - begin == 1) {
+    body(begin);
+    return;
+  }
   if (run_inline()) {
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;

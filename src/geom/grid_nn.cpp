@@ -1,0 +1,309 @@
+#include "geom/grid_nn.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "geom/grid_index.hpp"
+
+namespace perftrack::geom {
+
+namespace {
+
+/// Dimensionality cap that keeps per-query state in fixed-size stack
+/// arrays (no allocation on the hot path). The pipeline's metric spaces
+/// are 2-D or 3-D; build() vetoes anything above 3 anyway.
+constexpr std::size_t kMaxDims = 8;
+
+/// Queries further outside the data box than this many cells fall back to
+/// a full scan: the ring walk would spin through that many empty rings
+/// before reaching the data, and a query that far out is pathological for
+/// a grid in the first place.
+constexpr std::ptrdiff_t kFarRings = 4096;
+
+/// Per-dim resolution (same saturation rationale as GridIndex).
+std::size_t resolution(double lo, double hi, double cell) {
+  double extent = hi - lo;
+  if (!(extent > 0.0)) return 1;
+  double cells = std::floor(extent / cell);
+  if (!(cells < 9.0e18)) return std::numeric_limits<std::size_t>::max();
+  return static_cast<std::size_t>(cells) + 1;
+}
+
+}  // namespace
+
+GridNn::GridNn(const PointSet& points, double cell_size)
+    : cell_size_(cell_size) {
+  PT_REQUIRE(cell_size > 0.0, "grid cell size must be positive");
+  PT_REQUIRE(points.dims() >= 1 && points.dims() <= kMaxDims,
+             "grid NN index supports 1 to 8 dimensions");
+  PT_REQUIRE(points.size() < 0xffffffffull,
+             "grid NN index limited to < 2^32 points");
+  const std::size_t dims = points.dims();
+  const std::size_t n = points.size();
+
+  lo_ = n == 0 ? std::vector<double>(dims, 0.0) : points.min_corner();
+  const std::vector<double> hi =
+      n == 0 ? std::vector<double>(dims, 0.0) : points.max_corner();
+  res_.resize(dims);
+  stride_.resize(dims);
+  cells_ = 1;
+  for (std::size_t d = 0; d < dims; ++d) {
+    res_[d] = resolution(lo_[d], hi[d], cell_size);
+    stride_[d] = cells_;
+    PT_REQUIRE(cells_ <= kMaxCellCount / res_[d],
+               "grid NN cell table overflow: " + std::to_string(res_[d]) +
+                   " cells along dim " + std::to_string(d) +
+                   " exceed the limit; use a larger cell size or a kd-tree");
+    cells_ *= res_[d];
+  }
+
+  // Cell of each point, clamped to the boundary cells against FP rounding.
+  auto cell_of = [&](std::span<const double> p) {
+    std::size_t cell = 0;
+    for (std::size_t d = 0; d < dims; ++d) {
+      double offset = std::floor((p[d] - lo_[d]) / cell_size_);
+      std::size_t c = offset <= 0.0 ? 0 : static_cast<std::size_t>(offset);
+      if (c >= res_[d]) c = res_[d] - 1;
+      cell += c * stride_[d];
+    }
+    return cell;
+  };
+
+  // CSR buckets in two counting passes, then the cell-grouped SoA copy.
+  // Filling in point order keeps every bucket ascending by original
+  // index, which the lowest-index tie-break leans on.
+  std::vector<std::uint32_t> cell_of_point(n);
+  cell_start_.assign(cells_ + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto cell = static_cast<std::uint32_t>(cell_of(points[i]));
+    cell_of_point[i] = cell;
+    ++cell_start_[cell + 1];
+  }
+  for (std::size_t c = 0; c < cells_; ++c)
+    cell_start_[c + 1] += cell_start_[c];
+  orig_.resize(n);
+  slot_of_.resize(n);
+  col_.assign(dims, std::vector<double>(n));
+  std::vector<std::uint32_t> cursor(cell_start_.begin(),
+                                    cell_start_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t slot = cursor[cell_of_point[i]]++;
+    orig_[slot] = static_cast<std::uint32_t>(i);
+    slot_of_[i] = slot;
+    auto p = points[i];
+    for (std::size_t d = 0; d < dims; ++d) col_[d][slot] = p[d];
+  }
+}
+
+std::unique_ptr<GridNn> GridNn::build(const PointSet& points) {
+  const std::size_t n = points.size();
+  const std::size_t dims = points.dims();
+  if (n == 0 || dims == 0 || dims > 3) return nullptr;
+
+  const std::vector<double> lo = points.min_corner();
+  const std::vector<double> hi = points.max_corner();
+  double max_extent = 0.0;
+  for (std::size_t d = 0; d < dims; ++d)
+    max_extent = std::max(max_extent, hi[d] - lo[d]);
+  if (!std::isfinite(max_extent)) return nullptr;
+  // All-duplicate cloud: any positive cell works, everything shares one.
+  if (!(max_extent > 0.0)) max_extent = 1.0;
+
+  // Cell edge targeting a handful of points per occupied cell on
+  // uniform-ish data; clustered data leaves most cells empty and the
+  // dense ones larger, which the ring search absorbs (the first occupied
+  // ring usually settles the query).
+  double target = std::ceil(
+      std::pow(static_cast<double>(n) / 4.0, 1.0 / static_cast<double>(dims)));
+  target = std::clamp(target, 1.0, 2048.0);
+  const double cell = max_extent / target;
+  if (!(cell > 0.0) ||
+      GridIndex::plan_cells(points, cell, kMaxCellCount) == 0)
+    return nullptr;
+  return std::make_unique<GridNn>(points, cell);
+}
+
+void GridNn::scan_bucket(std::size_t cell, std::span<const double> query,
+                         double& best_sq, std::size_t& best_idx) const {
+  const std::uint32_t begin = cell_start_[cell];
+  const std::uint32_t end = cell_start_[cell + 1];
+  if (dims() == 2) {
+    // The dominant case: contiguous per-axis columns, trivially
+    // vectorisable distance kernel.
+    const double* xs = col_[0].data();
+    const double* ys = col_[1].data();
+    const double qx = query[0], qy = query[1];
+    for (std::uint32_t s = begin; s < end; ++s) {
+      const double dx = xs[s] - qx, dy = ys[s] - qy;
+      const double d2 = dx * dx + dy * dy;
+      if (d2 < best_sq || (d2 == best_sq && orig_[s] < best_idx)) {
+        best_sq = d2;
+        best_idx = orig_[s];
+      }
+    }
+    return;
+  }
+  for (std::uint32_t s = begin; s < end; ++s) {
+    double d2 = 0.0;
+    for (std::size_t d = 0; d < dims(); ++d) {
+      const double diff = col_[d][s] - query[d];
+      d2 += diff * diff;
+    }
+    if (d2 < best_sq || (d2 == best_sq && orig_[s] < best_idx)) {
+      best_sq = d2;
+      best_idx = orig_[s];
+    }
+  }
+}
+
+std::size_t GridNn::scan_all(std::span<const double> query) const {
+  double best_sq = std::numeric_limits<double>::infinity();
+  std::size_t best_idx = orig_[0];
+  for (std::size_t c = 0; c < cells_; ++c)
+    scan_bucket(c, query, best_sq, best_idx);
+  return best_idx;
+}
+
+std::size_t GridNn::nearest(std::span<const double> query,
+                            std::size_t hint) const {
+  PT_REQUIRE(!empty(), "nearest() on empty grid");
+  PT_REQUIRE(query.size() == dims(), "query dimension mismatch");
+  const std::size_t dims_n = dims();
+
+  // Virtual (unclamped) cell coordinate of the query per dim. The ring
+  // bounds below assume the query sits inside this virtual cell, which a
+  // cast of a non-finite or astronomically large offset would break —
+  // such queries take the exact full scan instead.
+  std::array<std::ptrdiff_t, kMaxDims> qc;
+  std::ptrdiff_t first_ring = 0;   // smallest ring intersecting the grid
+  std::ptrdiff_t last_ring = 0;    // largest ring intersecting the grid
+  for (std::size_t d = 0; d < dims_n; ++d) {
+    const double offset = std::floor((query[d] - lo_[d]) / cell_size_);
+    if (!(std::abs(offset) <= 1e15)) return scan_all(query);
+    qc[d] = static_cast<std::ptrdiff_t>(offset);
+    const auto hi_c = static_cast<std::ptrdiff_t>(res_[d]) - 1;
+    const std::ptrdiff_t below = -qc[d];          // cells to reach coord 0
+    const std::ptrdiff_t above = qc[d] - hi_c;    // cells past the far end
+    first_ring = std::max({first_ring, below, above});
+    last_ring = std::max({last_ring, std::abs(qc[d]), std::abs(hi_c - qc[d])});
+  }
+  if (first_ring > kFarRings) return scan_all(query);
+
+  double best_sq = std::numeric_limits<double>::infinity();
+  std::size_t best_idx = orig_[0];
+
+  // Seed the bound from the hint point, when given. Every cell that could
+  // hold a strictly closer point — or an equally close one with a lower
+  // index — is still visited below (the break and the box prune are both
+  // strict), so the hint cannot change the answer, only shrink the walk.
+  if (hint < slot_of_.size()) {
+    const std::uint32_t slot = slot_of_[hint];
+    double d2 = 0.0;
+    for (std::size_t d = 0; d < dims_n; ++d) {
+      const double diff = col_[d][slot] - query[d];
+      d2 += diff * diff;
+    }
+    best_sq = d2;
+    best_idx = hint;
+  }
+
+  // Query's position inside its virtual cell, used for the per-ring lower
+  // bound: a cell at offset +r along dim d is at least r*cell - frac away,
+  // one at -r at least (r-1)*cell + frac. Every ring-r cell has some dim
+  // pinned at +-r, so the min over dims and signs bounds the whole ring —
+  // much tighter than the bare (r-1)*cell when the query sits mid-cell,
+  // and it lets dense queries stop after scanning their own cell.
+  std::array<double, kMaxDims> frac;
+  for (std::size_t d = 0; d < dims_n; ++d)
+    frac[d] = query[d] - (lo_[d] + static_cast<double>(qc[d]) * cell_size_);
+
+  // Scan one cell: skip empties, then prune on the exact distance from
+  // the query to the cell's bounding box. The prune is strict ('<=' keeps
+  // the scan), so boxes touching at exactly best_sq still get scanned —
+  // their points may tie at a lower index.
+  auto visit = [&](const std::array<std::ptrdiff_t, kMaxDims>& cur) {
+    std::size_t cell = 0;
+    for (std::size_t d = 0; d < dims_n; ++d)
+      cell += static_cast<std::size_t>(cur[d]) * stride_[d];
+    if (cell_start_[cell] == cell_start_[cell + 1]) return;
+    double box_d2 = 0.0;
+    for (std::size_t d = 0; d < dims_n; ++d) {
+      const double cell_lo = lo_[d] + static_cast<double>(cur[d]) * cell_size_;
+      const double gap = std::max(
+          {0.0, cell_lo - query[d], query[d] - (cell_lo + cell_size_)});
+      box_d2 += gap * gap;
+    }
+    if (box_d2 <= best_sq) scan_bucket(cell, query, best_sq, best_idx);
+  };
+
+  std::array<std::ptrdiff_t, kMaxDims> face_lo, face_hi, cursor;
+  for (std::ptrdiff_t r = first_ring; r <= last_ring; ++r) {
+    // Stop once even the closest conceivable cell of this ring cannot
+    // beat the best; '>' not '>=', so an exact tie in a farther ring can
+    // still win on a lower index. (The bound ignores clamping — a clipped
+    // ring only moves farther away — so it stays a valid lower bound.)
+    if (r >= 1) {
+      double ring_min = std::numeric_limits<double>::infinity();
+      for (std::size_t d = 0; d < dims_n; ++d) {
+        const double up = static_cast<double>(r) * cell_size_ - frac[d];
+        const double down =
+            static_cast<double>(r - 1) * cell_size_ + frac[d];
+        ring_min = std::min({ring_min, up, down});
+      }
+      ring_min = std::max(ring_min, 0.0);
+      if (ring_min * ring_min > best_sq) break;
+    }
+    if (r == 0) {  // ring 0 is the query's own cell (in bounds: first_ring=0)
+      for (std::size_t d = 0; d < dims_n; ++d) cursor[d] = qc[d];
+      visit(cursor);
+      continue;
+    }
+
+    // Enumerate only the shell (Chebyshev distance exactly r): for each
+    // face dim fd and sign, pin cursor[fd] = qc[fd] +- r; dims below fd
+    // range strictly inside (-r, r) and dims above range over [-r, r], so
+    // every shell cell is owned by exactly one face — the lowest dim
+    // where its offset hits +-r. Clamping to the grid box preserves that
+    // ownership; a face whose pinned coordinate falls outside is skipped.
+    for (std::size_t fd = 0; fd < dims_n; ++fd) {
+      for (int sign = -1; sign <= 1; sign += 2) {
+        const std::ptrdiff_t pinned = qc[fd] + sign * r;
+        if (pinned < 0 || pinned >= static_cast<std::ptrdiff_t>(res_[fd]))
+          continue;
+        bool face_clipped_away = false;
+        for (std::size_t j = 0; j < dims_n; ++j) {
+          if (j == fd) {
+            face_lo[j] = face_hi[j] = pinned;
+          } else {
+            const std::ptrdiff_t radius = j < fd ? r - 1 : r;
+            face_lo[j] = std::max<std::ptrdiff_t>(0, qc[j] - radius);
+            face_hi[j] = std::min(static_cast<std::ptrdiff_t>(res_[j]) - 1,
+                                  qc[j] + radius);
+            if (face_lo[j] > face_hi[j]) {
+              face_clipped_away = true;
+              break;
+            }
+          }
+          cursor[j] = face_lo[j];
+        }
+        if (face_clipped_away) continue;
+        for (;;) {
+          visit(cursor);
+          std::size_t j = 0;
+          while (j < dims_n && (j == fd || cursor[j] == face_hi[j])) {
+            cursor[j] = face_lo[j];
+            ++j;
+          }
+          if (j == dims_n) break;
+          ++cursor[j];
+        }
+      }
+    }
+  }
+  return best_idx;
+}
+
+}  // namespace perftrack::geom

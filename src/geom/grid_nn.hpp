@@ -1,0 +1,103 @@
+#pragma once
+// Grid-accelerated exact nearest-neighbour queries over a PointSet.
+//
+// The displacement evaluator's hot query is "which point of the other
+// frame is nearest to this one" — the same locality problem grid DBSCAN
+// solved for eps-neighbourhoods. GridNn answers it with an expanding
+// cell-ring search over a CSR uniform grid: scan the query's own cell,
+// then the ring of cells one step out, and so on, pruning each candidate
+// cell by the exact distance to its bounding box and stopping as soon as
+// no unvisited ring can hold a closer (or equally close, lower-index)
+// point. On the pipeline's dense normalised clouds the first occupied
+// ring almost always settles the answer, so a query touches a handful of
+// contiguous cells instead of walking a tree.
+//
+// Unlike GridIndex (which indexes a caller-owned PointSet in place),
+// GridNn copies the coordinates into cell-grouped per-dimension columns:
+// scanning a bucket reads consecutive doubles per axis — the SoA layout
+// the batched classification sweep wants — and the index is
+// self-contained, with no lifetime tie to the source PointSet.
+//
+// Contract: nearest() returns exactly what KdTree::nearest returns —
+// the index (into the source PointSet's original numbering) of the
+// closest point, ties broken by the lowest index. The displacement
+// engine's byte-identity across engines rests on this; it is pinned by
+// tests/geom/test_grid_nn.cpp against both brute force and the kd-tree.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "geom/pointset.hpp"
+
+namespace perftrack::geom {
+
+class GridNn {
+public:
+  /// Hard ceiling on the cell table (same rationale as GridIndex).
+  static constexpr std::size_t kMaxCellCount = std::size_t{1} << 22;
+
+  /// Build over `points` with cubic cells of edge `cell_size` (> 0); the
+  /// coordinates are copied, so `points` may be discarded afterwards.
+  /// Throws when the data spread and cell size would need more than
+  /// kMaxCellCount cells — callers wanting a graceful fallback should use
+  /// build() instead.
+  GridNn(const PointSet& points, double cell_size);
+
+  /// Build with an automatically sized cell (targeting a few points per
+  /// occupied cell), or nullptr when a grid is not applicable: empty or
+  /// zero-dimensional input, more than 3 dimensions, or a spread/cell
+  /// ratio whose cell table would overflow kMaxCellCount. Callers fall
+  /// back to the kd-tree exactly as dbscan() does.
+  static std::unique_ptr<GridNn> build(const PointSet& points);
+
+  std::size_t size() const { return orig_.size(); }
+  bool empty() const { return orig_.empty(); }
+  std::size_t dims() const { return res_.size(); }
+  std::size_t cell_count() const { return cells_; }
+  double cell_size() const { return cell_size_; }
+
+  /// "No hint" sentinel for the warm-started overload below.
+  static constexpr std::size_t kNoHint = static_cast<std::size_t>(-1);
+
+  /// Index of the nearest point to `query` in the source PointSet's
+  /// numbering, ties broken by the lowest index — the exact contract of
+  /// KdTree::nearest. size() must be > 0.
+  std::size_t nearest(std::span<const double> query) const {
+    return nearest(query, kNoHint);
+  }
+
+  /// Same contract, warm-started: `hint` (an original index, or kNoHint)
+  /// seeds the search radius with that point's distance before the ring
+  /// walk, which then only visits cells that could still hold a closer or
+  /// equally-close lower-index point. The hint never changes the answer —
+  /// it only tightens the initial bound — so callers may pass any index
+  /// (typically the previous query's result, since consecutive queries
+  /// tend to be spatially coherent).
+  std::size_t nearest(std::span<const double> query, std::size_t hint) const;
+
+private:
+  std::size_t scan_all(std::span<const double> query) const;
+  void scan_bucket(std::size_t cell, std::span<const double> query,
+                   double& best_sq, std::size_t& best_idx) const;
+
+  double cell_size_ = 0.0;
+  std::vector<double> lo_;           // per-dim lower bound of the data
+  std::vector<std::size_t> res_;     // per-dim cell resolution (>= 1)
+  std::vector<std::size_t> stride_;  // per-dim linearisation stride
+  std::size_t cells_ = 0;
+
+  // CSR buckets over cell-grouped copies: slot s of cell c (s in
+  // [cell_start_[c], cell_start_[c + 1])) holds original point
+  // orig_[s] with coordinates col_[d][s]. Slots within a cell are
+  // ascending by original index. slot_of_ inverts orig_ so a warm-start
+  // hint (an original index) can find its coordinates.
+  std::vector<std::uint32_t> cell_start_;
+  std::vector<std::uint32_t> orig_;
+  std::vector<std::uint32_t> slot_of_;
+  std::vector<std::vector<double>> col_;  // [dim][slot]
+};
+
+}  // namespace perftrack::geom

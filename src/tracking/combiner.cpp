@@ -56,7 +56,8 @@ PairTracking track_pair(const cluster::Frame& frame_a,
                         const ScaleNormalization& scale,
                         const TrackingParams& params,
                         const FrameCloud* cloud_a,
-                        const FrameCloud* cloud_b) {
+                        const FrameCloud* cloud_b,
+                        ThreadPool* pool) {
   PT_SPAN("track_pair");
   const std::size_t n = frame_a.object_count();
   const std::size_t m = frame_b.object_count();
@@ -77,10 +78,11 @@ PairTracking track_pair(const cluster::Frame& frame_a,
   if (params.use_displacement && cloud_a && cloud_b)
     out.displacement = evaluate_displacement(frame_a, *cloud_a, frame_b,
                                              *cloud_b,
-                                             params.outlier_threshold);
+                                             params.outlier_threshold, pool);
   else if (params.use_displacement)
     out.displacement = evaluate_displacement(frame_a, frame_b, scale,
-                                             params.outlier_threshold);
+                                             params.outlier_threshold, pool,
+                                             params.displacement_index);
   else
     out.displacement = {CorrelationMatrix(n, m), CorrelationMatrix(m, n)};
 

@@ -47,10 +47,14 @@ struct TrackingParams {
   bool use_sequence = true;
 
   /// Worker threads for the parallel stages (per-frame clustering and
-  /// alignment, per-pair tracking). 0 = hardware concurrency; 1 = serial.
-  /// The tracked result is identical for every value — only scheduling
-  /// changes (see docs/PERFORMANCE.md).
+  /// alignment, per-pair tracking, within-pair displacement sweeps).
+  /// 0 = hardware concurrency; 1 = serial. The tracked result is identical
+  /// for every value — only scheduling changes (see docs/PERFORMANCE.md).
   std::size_t threads = 0;
+
+  /// Nearest-neighbour engine for the displacement evaluator; kAuto picks
+  /// the grid when applicable, with byte-identical output either way.
+  DisplacementIndex displacement_index = DisplacementIndex::kAuto;
 };
 
 /// Everything learnt about one consecutive frame pair.
@@ -69,7 +73,8 @@ struct PairTracking {
 /// built from these frames; the ScaleNormalization from the whole sequence.
 /// `cloud_a`/`cloud_b` optionally pass the tracker's per-frame displacement
 /// cache (FrameClouds built from these frames with `scale`); when null the
-/// displacement evaluator builds its clouds on the fly.
+/// displacement evaluator builds its clouds on the fly. `pool` (optional)
+/// parallelises the displacement sweeps within the pair.
 PairTracking track_pair(const cluster::Frame& frame_a,
                         const FrameAlignment& alignment_a,
                         const cluster::Frame& frame_b,
@@ -77,6 +82,7 @@ PairTracking track_pair(const cluster::Frame& frame_a,
                         const ScaleNormalization& scale,
                         const TrackingParams& params,
                         const FrameCloud* cloud_a = nullptr,
-                        const FrameCloud* cloud_b = nullptr);
+                        const FrameCloud* cloud_b = nullptr,
+                        ThreadPool* pool = nullptr);
 
 }  // namespace perftrack::tracking

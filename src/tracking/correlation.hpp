@@ -47,6 +47,11 @@ public:
   std::string to_text(const std::string& row_prefix,
                       const std::string& col_prefix) const;
 
+  /// Cell-exact equality — the displacement engine equivalence gate
+  /// compares kd-tree and grid classifications with it.
+  friend bool operator==(const CorrelationMatrix&,
+                         const CorrelationMatrix&) = default;
+
 private:
   std::size_t rows_ = 0, cols_ = 0;
   std::vector<double> values_;

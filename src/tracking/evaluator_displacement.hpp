@@ -7,37 +7,92 @@
 // bursts whose nearest counterpart belongs to B_j. Short displacements
 // dominate when behaviour is stable; splits appear as one row distributing
 // over several columns.
+//
+// Engine: the nearest-neighbour sweep runs against a CSR uniform grid
+// (geom::GridNn, expanding cell-ring search) when the cloud is
+// low-dimensional, falling back to the kd-tree otherwise — the same
+// auto/kd/grid selection grid DBSCAN uses, and like there the two engines
+// are byte-identical (both break distance ties on the lowest point
+// index). The sweep is chunked over the caller's thread pool with a
+// deterministic integer-count fold, so the matrices are bit-identical for
+// every thread count, including 1.
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "cluster/frame.hpp"
+#include "geom/grid_nn.hpp"
 #include "geom/kdtree.hpp"
 #include "tracking/correlation.hpp"
 #include "tracking/scale.hpp"
 
+namespace perftrack {
+class ThreadPool;
+}
+
 namespace perftrack::tracking {
 
+/// Nearest-neighbour engine selection for FrameCloud, mirroring
+/// cluster::DbscanIndex: kAuto builds the grid when it is applicable
+/// (1-3 dimensions, cell table within bounds) and otherwise falls back
+/// to the kd-tree; kGrid insists on the grid (throws when it cannot be
+/// built); kKdTree pins the old engine (the equivalence baseline).
+enum class DisplacementIndex { kAuto, kKdTree, kGrid };
+
 /// One frame's clustered points in the common scale-normalised space plus
-/// the kd-tree over them. An interior frame of a sequence is classified
-/// against by both of its adjacent pairs; caching the cloud and tree here
-/// (the tracker owns one per frame) builds them once instead of twice.
-/// Pinned in memory: the kd-tree references the point storage.
+/// the nearest-neighbour index over them. An interior frame of a sequence
+/// is classified against by both of its adjacent pairs; caching the cloud
+/// here (the tracker owns one per frame) builds it once instead of twice.
+///
+/// v2 layout: normalisation and noise filtering are fused into one pass
+/// (ScaleNormalization::apply_clustered — no full-frame intermediate),
+/// and the grid engine re-groups the coordinates into cell-ordered
+/// per-dimension columns, so a classification sweep reads contiguous
+/// memory. Pinned in memory: the kd-tree fallback references `points_`.
 class FrameCloud {
 public:
-  FrameCloud(const cluster::Frame& frame, const ScaleNormalization& scale);
+  FrameCloud(const cluster::Frame& frame, const ScaleNormalization& scale,
+             DisplacementIndex index = DisplacementIndex::kAuto);
   FrameCloud(const FrameCloud&) = delete;
   FrameCloud& operator=(const FrameCloud&) = delete;
 
   const geom::PointSet& points() const { return points_; }
   bool empty() const { return points_.empty(); }
   cluster::ObjectId cluster_of(std::size_t i) const { return cluster_of_[i]; }
-  const geom::KdTree& tree() const { return *tree_; }
+  bool uses_grid() const { return grid_ != nullptr; }
+
+  /// Per-cluster geometry, precomputed for the classification sweep's
+  /// cluster-level short-circuit: the rows of each cluster, and the
+  /// cluster's axis-aligned bounding box (flattened [cluster * dims + d]).
+  /// Clusters with no rows have empty lists and inverted boxes.
+  std::size_t cluster_count() const { return cluster_rows_.size(); }
+  const std::vector<std::uint32_t>& cluster_rows(std::size_t c) const {
+    return cluster_rows_[c];
+  }
+  const std::vector<double>& cluster_lo() const { return cluster_lo_; }
+  const std::vector<double>& cluster_hi() const { return cluster_hi_; }
+
+  /// Index of the clustered row nearest to `query`, ties broken by the
+  /// lowest row index — identical for both engines. empty() must be false.
+  std::size_t nearest(std::span<const double> query) const {
+    return grid_ ? grid_->nearest(query) : tree_->nearest(query);
+  }
+
+  /// Warm-started variant: `hint` (a previous answer, or GridNn::kNoHint)
+  /// seeds the grid engine's search radius. Purely an accelerator — the
+  /// result is identical with or without it, on either engine.
+  std::size_t nearest(std::span<const double> query, std::size_t hint) const {
+    return grid_ ? grid_->nearest(query, hint) : tree_->nearest(query);
+  }
 
 private:
   geom::PointSet points_;  ///< clustered (non-noise) rows only
   std::vector<cluster::ObjectId> cluster_of_;
-  std::unique_ptr<geom::KdTree> tree_;
+  std::vector<std::vector<std::uint32_t>> cluster_rows_;
+  std::vector<double> cluster_lo_, cluster_hi_;  ///< [cluster * dims + d]
+  std::unique_ptr<geom::GridNn> grid_;
+  std::unique_ptr<geom::KdTree> tree_;  ///< fallback / pinned engine
 };
 
 struct DisplacementResult {
@@ -46,10 +101,13 @@ struct DisplacementResult {
 };
 
 /// `outlier_threshold` zeroes cells below it (the paper's 5% rule).
-DisplacementResult evaluate_displacement(const cluster::Frame& frame_a,
-                                         const cluster::Frame& frame_b,
-                                         const ScaleNormalization& scale,
-                                         double outlier_threshold = 0.05);
+/// `pool` (optional) parallelises the two directions and chunks each
+/// classification sweep; output is bit-identical for any thread count.
+DisplacementResult evaluate_displacement(
+    const cluster::Frame& frame_a, const cluster::Frame& frame_b,
+    const ScaleNormalization& scale, double outlier_threshold = 0.05,
+    ThreadPool* pool = nullptr,
+    DisplacementIndex index = DisplacementIndex::kAuto);
 
 /// As above but over pre-built per-frame clouds (the tracker's cache); the
 /// clouds must have been built from these frames with the sequence scale.
@@ -57,6 +115,7 @@ DisplacementResult evaluate_displacement(const cluster::Frame& frame_a,
                                          const FrameCloud& cloud_a,
                                          const cluster::Frame& frame_b,
                                          const FrameCloud& cloud_b,
-                                         double outlier_threshold = 0.05);
+                                         double outlier_threshold = 0.05,
+                                         ThreadPool* pool = nullptr);
 
 }  // namespace perftrack::tracking

@@ -72,6 +72,30 @@ geom::PointSet ScaleNormalization::apply(const cluster::Frame& frame) const {
   return out;
 }
 
+geom::PointSet ScaleNormalization::apply_clustered(
+    const cluster::Frame& frame,
+    std::vector<cluster::ObjectId>& cluster_of) const {
+  const auto& points = frame.projection().points;
+  PT_REQUIRE(points.dims() == dims(), "dimensionality mismatch");
+  geom::PointSet out(dims());
+  cluster_of.clear();
+  std::vector<double> row(dims());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const cluster::ObjectId id = frame.labels()[i];
+    if (id == cluster::kNoise) continue;
+    auto p = points[i];
+    for (std::size_t d = 0; d < dims(); ++d) {
+      double v = transform_value(p[d], weighted_[d], frame.num_tasks(),
+                                 log_[d]);
+      double range = hi_[d] - lo_[d];
+      row[d] = range > 0.0 ? (v - lo_[d]) / range : 0.5;
+    }
+    out.add(row);
+    cluster_of.push_back(id);
+  }
+  return out;
+}
+
 std::vector<double> ScaleNormalization::apply_one(
     std::span<const double> coords, std::uint32_t num_tasks) const {
   PT_REQUIRE(coords.size() == dims(), "dimensionality mismatch");

@@ -33,6 +33,14 @@ public:
   /// (same row indexing as frame.projection()).
   geom::PointSet apply(const cluster::Frame& frame) const;
 
+  /// Normalised coordinates of the clustered (non-noise) rows only, with
+  /// `cluster_of` filled with the matching labels (same order as the
+  /// returned rows). One pass, no full-frame intermediate — the noise
+  /// filter every tracking consumer applied after apply() is fused in.
+  geom::PointSet apply_clustered(
+      const cluster::Frame& frame,
+      std::vector<cluster::ObjectId>& cluster_of) const;
+
   /// Normalise one raw coordinate vector from a frame with `num_tasks`.
   std::vector<double> apply_one(std::span<const double> coords,
                                 std::uint32_t num_tasks) const;

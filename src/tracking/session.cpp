@@ -294,7 +294,8 @@ TrackingResult TrackingSession::retrack() {
         if (!slot.alignment.has_value())
           slot.alignment.emplace(*slot.frame, params.alignment_scores);
         if (params.use_displacement && needs_cloud[f])
-          clouds[f] = std::make_unique<FrameCloud>(frames[f], scale);
+          clouds[f] = std::make_unique<FrameCloud>(
+              frames[f], scale, params.displacement_index);
       });
     }
 
@@ -309,7 +310,7 @@ TrackingResult TrackingSession::retrack() {
         fresh[m] = track_pair(frames[p], *slots_[live[p]].alignment,
                               frames[p + 1], *slots_[live[p + 1]].alignment,
                               scale, params, clouds[p].get(),
-                              clouds[p + 1].get());
+                              clouds[p + 1].get(), &pool);
         PT_LOG(Debug) << "pair " << p << ": " << fresh[m].relations.size()
                       << " relations";
       });

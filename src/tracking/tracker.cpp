@@ -112,7 +112,8 @@ TrackingResult track_frames(std::vector<cluster::Frame> frames,
       alignments[f].emplace(result.frames[f], params.alignment_scores);
       if (params.use_displacement)
         clouds[f] = std::make_unique<FrameCloud>(result.frames[f],
-                                                 result.scale);
+                                                 result.scale,
+                                                 params.displacement_index);
     });
   }
 
@@ -127,7 +128,7 @@ TrackingResult track_frames(std::vector<cluster::Frame> frames,
       result.pairs[p] = track_pair(result.frames[p], *alignments[p],
                                    result.frames[p + 1], *alignments[p + 1],
                                    result.scale, params, clouds[p].get(),
-                                   clouds[p + 1].get());
+                                   clouds[p + 1].get(), &pool);
       PT_LOG(Debug) << "pair " << p << ": "
                     << result.pairs[p].relations.size() << " relations";
     });

@@ -1,0 +1,222 @@
+// GridNn must answer nearest() with the exact KdTree::nearest contract —
+// closest point, ties broken by the lowest original index — for every
+// input the displacement evaluator can produce. The cross-checks below
+// pin it against both brute force and the kd-tree, including the
+// adversarial shapes (duplicates, equidistant rings, collinear points,
+// one-cell grids, far-outside queries) where a sloppy ring bound or a
+// '>=' prune would silently pick a different, equally-near point.
+
+#include "geom/grid_nn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "geom/kdtree.hpp"
+
+namespace perftrack::geom {
+namespace {
+
+PointSet random_points(std::size_t n, std::size_t dims, Rng& rng) {
+  PointSet points(dims);
+  std::vector<double> coords(dims);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& c : coords) c = rng.uniform(0.0, 1.0);
+    points.add(coords);
+  }
+  return points;
+}
+
+std::size_t brute_nearest(const PointSet& points,
+                          std::span<const double> query) {
+  std::size_t best = 0;
+  double best_sq = 1e300;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    double d2 = squared_distance(query, points[i]);
+    if (d2 < best_sq || (d2 == best_sq && i < best)) {
+      best_sq = d2;
+      best = i;
+    }
+  }
+  return best;
+}
+
+TEST(GridNnTest, SinglePoint) {
+  PointSet points(2, {0.5, 0.5});
+  GridNn grid(points, 0.1);
+  EXPECT_EQ(grid.size(), 1u);
+  EXPECT_EQ(grid.nearest(std::vector<double>{0.0, 0.0}), 0u);
+  EXPECT_EQ(grid.nearest(std::vector<double>{0.5, 0.5}), 0u);
+}
+
+TEST(GridNnTest, BuildVetoes) {
+  // Empty and zero-dimensional clouds have nothing to index.
+  EXPECT_EQ(GridNn::build(PointSet(2)), nullptr);
+  EXPECT_EQ(GridNn::build(PointSet(0)), nullptr);
+  // Above 3 dimensions the cell table outgrows its usefulness; the
+  // evaluator falls back to the kd-tree.
+  PointSet wide(4, {0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0});
+  EXPECT_EQ(GridNn::build(wide), nullptr);
+  // Non-finite coordinates make the spread unusable.
+  PointSet inf(1, {0.0, std::numeric_limits<double>::infinity()});
+  EXPECT_EQ(GridNn::build(inf), nullptr);
+}
+
+TEST(GridNnTest, BuildHandlesDuplicateOnlyCloud) {
+  PointSet points(2);
+  for (int i = 0; i < 10; ++i) points.add(std::vector<double>{0.3, 0.7});
+  auto grid = GridNn::build(points);
+  ASSERT_NE(grid, nullptr);
+  EXPECT_EQ(grid->nearest(std::vector<double>{0.0, 0.0}), 0u);
+}
+
+TEST(GridNnTest, InvalidConstructionThrows) {
+  PointSet points(2, {0.0, 0.0});
+  EXPECT_THROW(GridNn(points, 0.0), PreconditionError);
+  EXPECT_THROW(GridNn(points, -1.0), PreconditionError);
+  // A cell table past kMaxCellCount fails loudly, like GridIndex.
+  PointSet spread(2, {0.0, 0.0, 1e6, 1e6});
+  EXPECT_THROW(GridNn(spread, 1e-4), PreconditionError);
+}
+
+TEST(GridNnTest, QueryErrors) {
+  PointSet points(2, {0.0, 0.0});
+  GridNn grid(points, 1.0);
+  EXPECT_THROW(grid.nearest(std::vector<double>{0.0}), PreconditionError);
+  GridNn empty(PointSet(2), 1.0);
+  EXPECT_THROW(empty.nearest(std::vector<double>{0.0, 0.0}),
+               PreconditionError);
+}
+
+TEST(GridNnTest, DuplicatePointsTieToLowestIndex) {
+  PointSet points(2);
+  for (int i = 0; i < 40; ++i) points.add(std::vector<double>{1.0, 1.0});
+  GridNn grid(points, 0.25);
+  EXPECT_EQ(grid.nearest(std::vector<double>{1.0, 1.0}), 0u);
+  EXPECT_EQ(grid.nearest(std::vector<double>{0.0, 0.0}), 0u);
+}
+
+TEST(GridNnTest, EquidistantPointsAcrossCellsTieToLowestIndex) {
+  // Four points exactly 0.25 from the query (offsets chosen to be exact
+  // in binary), each in a different grid cell: the tie must go to index
+  // 0 no matter which cell the ring walk reaches first.
+  PointSet points(2);
+  points.add(std::vector<double>{0.5, 0.75});   // above
+  points.add(std::vector<double>{0.5, 0.25});   // below
+  points.add(std::vector<double>{0.25, 0.5});   // left
+  points.add(std::vector<double>{0.75, 0.5});   // right
+  GridNn grid(points, 0.2);
+  EXPECT_EQ(grid.nearest(std::vector<double>{0.5, 0.5}), 0u);
+  KdTree tree(points);
+  EXPECT_EQ(tree.nearest(std::vector<double>{0.5, 0.5}), 0u);
+}
+
+TEST(GridNnTest, EqualDistanceInFartherRingWinsOnLowerIndex) {
+  // Index 0 lives one ring out; an equally-near (exact binary distance
+  // 0.25) higher-index point shares the query's own cell. Stopping at
+  // the ring-0 hit would return 1 — the walk must push one ring past the
+  // current best before giving up on ties.
+  PointSet points(1);
+  points.add(std::vector<double>{0.5});  // ring 1 from query 0.25
+  points.add(std::vector<double>{0.0});  // ring 0 from query 0.25
+  GridNn grid(points, 0.3);
+  EXPECT_EQ(grid.nearest(std::vector<double>{0.25}), 0u);
+  KdTree tree(points);
+  EXPECT_EQ(tree.nearest(std::vector<double>{0.25}), 0u);
+}
+
+TEST(GridNnTest, CollinearPoints) {
+  PointSet points(2);
+  for (int i = 0; i < 50; ++i)
+    points.add(std::vector<double>{static_cast<double>(i) * 0.02, 0.5});
+  GridNn grid(points, 0.1);
+  Rng rng(7);
+  for (int q = 0; q < 60; ++q) {
+    std::vector<double> query{rng.uniform(-0.2, 1.2), rng.uniform(-0.2, 1.2)};
+    EXPECT_EQ(grid.nearest(query), brute_nearest(points, query));
+  }
+}
+
+TEST(GridNnTest, AllPointsInOneCell) {
+  Rng rng(11);
+  PointSet points = random_points(100, 2, rng);
+  GridNn grid(points, 50.0);  // one cell swallows everything
+  EXPECT_EQ(grid.cell_count(), 1u);
+  for (int q = 0; q < 40; ++q) {
+    std::vector<double> query{rng.uniform(-0.5, 1.5), rng.uniform(-0.5, 1.5)};
+    EXPECT_EQ(grid.nearest(query), brute_nearest(points, query));
+  }
+}
+
+TEST(GridNnTest, QueryFarOutsideBoxFallsBackExactly) {
+  Rng rng(13);
+  PointSet points = random_points(64, 2, rng);
+  GridNn grid(points, 0.05);  // 1e5 away = millions of cells out
+  for (double far : {1e5, -1e5, 1e12}) {
+    std::vector<double> query{far, far};
+    EXPECT_EQ(grid.nearest(query), brute_nearest(points, query));
+  }
+}
+
+// Property tests: grid results must exactly match brute force and the
+// kd-tree, for auto-sized and pathological explicit cell sizes.
+struct GridNnCase {
+  std::size_t n;
+  std::size_t dims;
+  std::uint64_t seed;
+};
+
+class GridNnProperty : public ::testing::TestWithParam<GridNnCase> {};
+
+TEST_P(GridNnProperty, NearestMatchesBruteForceAndKdTree) {
+  auto [n, dims, seed] = GetParam();
+  Rng rng(seed);
+  PointSet points = random_points(n, dims, rng);
+  KdTree tree(points, /*leaf_size=*/4);
+  auto auto_grid = GridNn::build(points);
+  ASSERT_NE(auto_grid, nullptr);
+  for (double cell : {0.03, 0.21, 10.0}) {
+    GridNn grid(points, cell);
+    for (int q = 0; q < 50; ++q) {
+      std::vector<double> query(dims);
+      for (auto& c : query) c = rng.uniform(-0.2, 1.2);
+      const std::size_t expected = brute_nearest(points, query);
+      EXPECT_EQ(grid.nearest(query), expected);
+      EXPECT_EQ(auto_grid->nearest(query), expected);
+      EXPECT_EQ(tree.nearest(query), expected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, GridNnProperty,
+    ::testing::Values(GridNnCase{1, 2, 1}, GridNnCase{2, 2, 2},
+                      GridNnCase{17, 2, 3}, GridNnCase{100, 2, 4},
+                      GridNnCase{500, 2, 5}, GridNnCase{100, 3, 6},
+                      GridNnCase{999, 1, 8}));
+
+TEST(GridNnTest, ClusteredDataMatchesKdTree) {
+  // Clustered (non-uniform) data: most cells empty, a few dense — the
+  // shape the displacement evaluator actually feeds the grid.
+  Rng rng(55);
+  PointSet points(2);
+  for (int c = 0; c < 5; ++c) {
+    double cx = rng.uniform(0.0, 1.0), cy = rng.uniform(0.0, 1.0);
+    for (int i = 0; i < 60; ++i)
+      points.add(std::vector<double>{cx + rng.normal(0.0, 0.01),
+                                     cy + rng.normal(0.0, 0.01)});
+  }
+  auto grid = GridNn::build(points);
+  ASSERT_NE(grid, nullptr);
+  KdTree tree(points);
+  for (int q = 0; q < 80; ++q) {
+    std::vector<double> query{rng.uniform(-0.1, 1.1), rng.uniform(-0.1, 1.1)};
+    EXPECT_EQ(grid->nearest(query), tree.nearest(query));
+    EXPECT_EQ(grid->nearest(query), brute_nearest(points, query));
+  }
+}
+
+}  // namespace
+}  // namespace perftrack::geom

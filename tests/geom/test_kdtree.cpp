@@ -90,6 +90,39 @@ TEST(KdTreeTest, DuplicatePoints) {
   EXPECT_EQ(all.size(), 40u);
 }
 
+TEST(KdTreeTest, NearestTieBreaksToLowestIndexAcrossSplits) {
+  // The grid NN engine promises byte-identical labels by reproducing this
+  // exact rule, so it is pinned here adversarially: equidistant points
+  // (exact binary distances) on BOTH sides of the root split, with the
+  // lowest index placed on the far side, so a traversal that skips the
+  // far subtree on an exact tie (diff*diff == best_sq) would miss it.
+  PointSet points(2);
+  points.add(std::vector<double>{0.75, 0.5});   // right of the query
+  points.add(std::vector<double>{0.25, 0.5});   // left, same distance
+  points.add(std::vector<double>{0.5, 0.75});
+  points.add(std::vector<double>{0.5, 0.25});
+  // Padding spreads the x-axis so it is the widest dim and splits at 0.5.
+  points.add(std::vector<double>{0.0, 0.5});
+  points.add(std::vector<double>{1.0, 0.5});
+  KdTree tree(points, /*leaf_size=*/1);
+  EXPECT_EQ(tree.nearest(std::vector<double>{0.5, 0.5}), 0u);
+}
+
+TEST(KdTreeTest, NearestTieBreaksToLowestIndexWithinLeaf) {
+  // Interleaved duplicates of two equidistant locations in one leaf: the
+  // winner must be the first point added, not the first one scanned in
+  // any internal ordering.
+  PointSet points(1);
+  points.add(std::vector<double>{2.0});
+  points.add(std::vector<double>{0.0});
+  points.add(std::vector<double>{2.0});
+  points.add(std::vector<double>{0.0});
+  KdTree tree(points, /*leaf_size=*/8);
+  EXPECT_EQ(tree.nearest(std::vector<double>{1.0}), 0u);
+  EXPECT_EQ(tree.nearest(std::vector<double>{0.5}), 1u);
+  EXPECT_EQ(tree.nearest(std::vector<double>{2.5}), 0u);
+}
+
 TEST(KdTreeTest, RadiusBoundaryInclusive) {
   PointSet points(1, {0.0, 1.0, 2.0});
   KdTree tree(points);

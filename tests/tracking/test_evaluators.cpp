@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "sim/studies.hpp"
 #include "testing/test_traces.hpp"
 #include "tracking/evaluator_callstack.hpp"
 #include "tracking/evaluator_displacement.hpp"
 #include "tracking/evaluator_sequence.hpp"
 #include "tracking/evaluator_spmd.hpp"
 #include "tracking/frame_alignment.hpp"
+#include "tracking/tracker.hpp"
 
 namespace perftrack::tracking {
 namespace {
@@ -101,6 +105,70 @@ TEST(DisplacementEvaluator, OutlierThresholdDropsStragglers) {
       double v = strict.a_to_b.at(i, j);
       EXPECT_TRUE(v == 0.0 || v >= 0.25);
     }
+}
+
+TEST(DisplacementEvaluator, GridAndKdTreeEnginesAreByteIdentical) {
+  // The auto engine (grid over these 2-D clouds) must reproduce the
+  // kd-tree classification cell for cell, bitwise — this is the identity
+  // the tracker's byte-identical-labels guarantee rests on.
+  MiniTraceSpec a;
+  a.label = "A";
+  a.tasks = 16;
+  a.noise = 0.05;
+  a.phases = {MiniPhase{40e6, 2.0, {"anchor", "x.c", 99}},
+              MiniPhase{8e6, 1.0, {"p1", "x.c", 1}}};
+  MiniTraceSpec b;
+  b.label = "B";
+  b.tasks = 16;
+  b.seed = 3;
+  b.phases = {MiniPhase{40e6, 2.0, {"anchor", "x.c", 99}},
+              MiniPhase{6.2e6, 1.0, {"p1", "x.c", 1}},
+              MiniPhase{10.5e6, 1.0, {"p1", "x.c", 2}}};
+  cluster::Frame fa = frame_of(a), fb = frame_of(b);
+  std::vector<cluster::Frame> frames{fa, fb};
+  ScaleNormalization scale = ScaleNormalization::fit(frames, {true, false});
+
+  FrameCloud kd_a(fa, scale, DisplacementIndex::kKdTree);
+  FrameCloud kd_b(fb, scale, DisplacementIndex::kKdTree);
+  FrameCloud grid_a(fa, scale, DisplacementIndex::kGrid);
+  FrameCloud grid_b(fb, scale, DisplacementIndex::kGrid);
+  EXPECT_FALSE(kd_a.uses_grid());
+  EXPECT_TRUE(grid_a.uses_grid());
+
+  DisplacementResult kd = evaluate_displacement(fa, kd_a, fb, kd_b, 0.05);
+  DisplacementResult grid =
+      evaluate_displacement(fa, grid_a, fb, grid_b, 0.05);
+  EXPECT_TRUE(kd.a_to_b == grid.a_to_b);
+  EXPECT_TRUE(kd.b_to_a == grid.b_to_a);
+
+  // Auto selection picks the grid on a 2-D cloud.
+  FrameCloud auto_a(fa, scale);
+  EXPECT_TRUE(auto_a.uses_grid());
+}
+
+TEST(DisplacementEvaluator, ClusterShortCircuitMatchesKdTreeOnDistantFrames) {
+  // CGPOP's adjacent frames are nearly disjoint in the normalised space —
+  // the regime where the grid engine's cluster-level short-circuit fires
+  // for most source clusters. Its verdicts must reproduce the exact
+  // kd-tree sweep bitwise on every pair.
+  std::vector<cluster::Frame> frames = sim::study_cgpop().frames();
+  ScaleNormalization scale = ScaleNormalization::fit(
+      frames, tracking_log_scale(TrackingParams{}, frames[0]));
+  std::vector<std::unique_ptr<FrameCloud>> kd, grid;
+  for (const cluster::Frame& f : frames) {
+    kd.push_back(
+        std::make_unique<FrameCloud>(f, scale, DisplacementIndex::kKdTree));
+    grid.push_back(
+        std::make_unique<FrameCloud>(f, scale, DisplacementIndex::kGrid));
+  }
+  for (std::size_t p = 0; p + 1 < frames.size(); ++p) {
+    DisplacementResult a = evaluate_displacement(frames[p], *kd[p],
+                                                 frames[p + 1], *kd[p + 1]);
+    DisplacementResult b = evaluate_displacement(frames[p], *grid[p],
+                                                 frames[p + 1], *grid[p + 1]);
+    EXPECT_TRUE(a.a_to_b == b.a_to_b) << "pair " << p;
+    EXPECT_TRUE(a.b_to_a == b.b_to_a) << "pair " << p;
+  }
 }
 
 // --- SPMD ---------------------------------------------------------------

@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.hpp"
 #include "sim/studies.hpp"
 #include "testing/test_traces.hpp"
+#include "tracking/evaluator_displacement.hpp"
 #include "tracking/pipeline.hpp"
 #include "tracking/report.hpp"
 #include "tracking/tracker.hpp"
@@ -46,6 +48,35 @@ TEST(ParallelTrackingTest, StudiesMatchSerialForAnyThreadCount) {
       TrackingResult parallel = track_frames(study.frames(), params);
       expect_identical(serial, parallel,
                        study.name + " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(ParallelDisplacementTest, PooledClassificationMatchesSerialBitwise) {
+  // The chunked sweep folds per-chunk integer counts in chunk order, so
+  // any pool size must reproduce the serial matrices bit for bit — for
+  // both engines, on every adjacent pair of a real study.
+  std::vector<cluster::Frame> frames = sim::study_nas_bt().frames();
+  ScaleNormalization scale = ScaleNormalization::fit(
+      frames, tracking_log_scale(TrackingParams{}, frames[0]));
+  for (DisplacementIndex index :
+       {DisplacementIndex::kKdTree, DisplacementIndex::kGrid}) {
+    std::vector<std::unique_ptr<FrameCloud>> clouds;
+    for (const cluster::Frame& f : frames)
+      clouds.push_back(std::make_unique<FrameCloud>(f, scale, index));
+    for (std::size_t p = 0; p + 1 < frames.size(); ++p) {
+      DisplacementResult serial = evaluate_displacement(
+          frames[p], *clouds[p], frames[p + 1], *clouds[p + 1], 0.05);
+      for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+        ThreadPool pool(threads);
+        DisplacementResult pooled =
+            evaluate_displacement(frames[p], *clouds[p], frames[p + 1],
+                                  *clouds[p + 1], 0.05, &pool);
+        EXPECT_TRUE(serial.a_to_b == pooled.a_to_b)
+            << "pair " << p << " threads " << threads;
+        EXPECT_TRUE(serial.b_to_a == pooled.b_to_a)
+            << "pair " << p << " threads " << threads;
+      }
     }
   }
 }

@@ -97,5 +97,39 @@ TEST(ScaleNormalizationTest, ApplyCoversAllRows) {
   EXPECT_EQ(normalized.size(), frames[0].projection().size());
 }
 
+TEST(ScaleNormalizationTest, ApplyClusteredMatchesFilteredApply) {
+  // The fused path must produce exactly the rows the old two-step recipe
+  // (apply everything, then drop noise) produced, bit for bit, with the
+  // labels in the same order.
+  MiniTraceSpec spec;
+  spec.label = "noisy";
+  spec.tasks = 8;
+  spec.noise = 0.2;  // guarantee some kNoise rows
+  spec.phases = {MiniPhase{8e6, 1.0}, MiniPhase{2e6, 1.5}};
+  std::vector<cluster::Frame> frames;
+  frames.push_back(cluster::build_frame(make_mini_trace(spec), clustering()));
+  const cluster::Frame& frame = frames[0];
+  ScaleNormalization scale = ScaleNormalization::fit(frames, {true, false});
+
+  geom::PointSet full = scale.apply(frame);
+  geom::PointSet expected(full.dims());
+  std::vector<cluster::ObjectId> expected_labels;
+  for (std::size_t row = 0; row < full.size(); ++row) {
+    if (frame.labels()[row] == cluster::kNoise) continue;
+    expected.add(full[row]);
+    expected_labels.push_back(frame.labels()[row]);
+  }
+  ASSERT_LT(expected.size(), full.size());  // the noise actually filtered
+  ASSERT_FALSE(expected.empty());
+
+  std::vector<cluster::ObjectId> labels;
+  geom::PointSet clustered = scale.apply_clustered(frame, labels);
+  ASSERT_EQ(clustered.size(), expected.size());
+  EXPECT_EQ(labels, expected_labels);
+  for (std::size_t i = 0; i < clustered.size(); ++i)
+    for (std::size_t d = 0; d < clustered.dims(); ++d)
+      EXPECT_EQ(clustered[i][d], expected[i][d]) << "row " << i;
+}
+
 }  // namespace
 }  // namespace perftrack::tracking
