@@ -13,9 +13,12 @@
 // with the same configuration. Append wall time is reported next to the
 // batch run for context.
 //
-// Leg B: read throughput on a warm study, one reader vs a small pool.
-// Shared-lock reads should scale; the scaling factor is exported as an
-// advisory gauge because wall-clock ratios are flaky on shared runners.
+// Leg B: read throughput on a warm study, one reader vs a pool of 4.
+// Hot reads are render-cache hits (one hash lookup, no study lock), so
+// 4 pooled connections must deliver >= 4x one connection's throughput —
+// verdict_read_scaling_ge4, waived (and reported so) when the host has
+// fewer than 4 cores, where the ratio measures the scheduler instead.
+// The raw scaling factor is also exported as an advisory gauge.
 //
 // Leg C: the stream server end to end — a ping flood through serve_stream
 // with a bounded queue. Every request must be answered exactly once, in
@@ -35,12 +38,21 @@
 // regions/trends byte-for-byte against the uninterrupted Leg A bytes —
 // verdict_recovery_identity. The per-append latency of every fsync mode
 // is exported as advisory gauges, the journal's cost sheet.
+//
+// Leg F (the sharding verdict): a 2-shard ShardFront over in-process
+// TrackingService workers, fed the same raw request lines as a single
+// daemon. Every response — opens, appends, regions, trends, report, id
+// echoes included — must be byte-identical to the monolith's. Then both
+// journaled workers are destroyed ("crash") and rebuilt on their own
+// state dirs behind a fresh front, and the reads must still match —
+// verdict_shard_identity covers both halves.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -50,6 +62,7 @@
 #include "obs/json.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
+#include "serve/shard.hpp"
 #include "sim/studies.hpp"
 #include "trace/trace_io.hpp"
 #include "tracking/pipeline.hpp"
@@ -151,36 +164,48 @@ int main() {
   std::printf("served bytes identical to batch: %s\n\n",
               identical ? "yes" : "NO — EQUIVALENCE BROKEN");
 
-  // ---- Leg B: warm-study read throughput, 1 reader vs a pool. ----------
-  bench::print_section("warm read throughput (shared-lock regions reads)");
-  const int kReads = 200;
-  start = Clock::now();
-  for (int i = 0; i < kReads; ++i)
-    service.handle(request("regions", "hydroc"));
-  double single_ms = ms_since(start);
-  double single_rps = 1000.0 * kReads / single_ms;
+  // ---- Leg B: warm-study read throughput, 1 reader vs a pool of 4. -----
+  bench::print_section("warm read throughput (render-cache regions reads)");
+  const int kReads = 2000;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned pool = std::min(4u, hw);
 
-  const unsigned pool =
-      std::min(4u, std::max(1u, std::thread::hardware_concurrency()));
-  start = Clock::now();
-  std::vector<std::thread> readers;
-  for (unsigned t = 0; t < pool; ++t) {
-    readers.emplace_back([&] {
-      for (int i = 0; i < kReads; ++i)
-        service.handle(request("regions", "hydroc"));
-    });
+  // Warm the cache once so both sides measure the hit path, then take
+  // the best of several reps (wall-clock ratios are flaky on shared
+  // runners; the best rep is the least-preempted one).
+  service.handle(request("regions", "hydroc"));
+  double single_rps = 0.0, pooled_rps = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    start = Clock::now();
+    for (int i = 0; i < kReads; ++i)
+      service.handle(request("regions", "hydroc"));
+    single_rps = std::max(single_rps, 1000.0 * kReads / ms_since(start));
+
+    start = Clock::now();
+    std::vector<std::thread> readers;
+    for (unsigned t = 0; t < pool; ++t) {
+      readers.emplace_back([&] {
+        for (int i = 0; i < kReads; ++i)
+          service.handle(request("regions", "hydroc"));
+      });
+    }
+    for (std::thread& reader : readers) reader.join();
+    pooled_rps =
+        std::max(pooled_rps, 1000.0 * kReads * pool / ms_since(start));
   }
-  for (std::thread& reader : readers) reader.join();
-  double pooled_ms = ms_since(start);
-  double pooled_rps = 1000.0 * kReads * pool / pooled_ms;
   double scaling = pooled_rps / single_rps;
-  // The bar only means something with real parallelism underneath.
+  // The bars only mean something with real parallelism underneath: a
+  // host with < 4 cores cannot express 4x, so the verdict is waived (it
+  // measures cores, not the cache).
   bool scaling_ok = pool < 2 || scaling >= 1.2;
+  bool scaling_ge4 = hw < 4 || scaling >= 4.0;
 
-  std::printf("1 reader:  %7.0f reads/s\n", single_rps);
-  std::printf("%u readers: %7.0f reads/s (%.2fx, advisory bar >= 1.2x%s)\n\n",
-              pool, pooled_rps, scaling,
-              pool < 2 ? ", waived on a single core" : "");
+  std::printf("1 connection:  %9.0f reads/s\n", single_rps);
+  std::printf("%u connections: %9.0f reads/s (%.2fx)\n", pool, pooled_rps,
+              scaling);
+  std::printf("read scaling >= 4x with 4 connections: %s%s\n\n",
+              scaling_ge4 ? "yes" : "NO",
+              hw < 4 ? " (waived: fewer than 4 cores)" : "");
 
   // ---- Leg C: stream server ping flood through the bounded queue. ------
   bench::print_section("stream server (ping flood, bounded queue)");
@@ -336,6 +361,103 @@ int main() {
   std::printf("\n");
   fs::remove_all(state_root);
 
+  // ---- Leg F: 2-shard front vs one daemon, byte for byte, over a crash.
+  bench::print_section("shard-by-study front (2 shards vs one daemon)");
+  const fs::path shard_root =
+      fs::temp_directory_path() / "pt_bench_serve_shards";
+  fs::remove_all(shard_root);
+
+  auto worker_config = [&](std::size_t shard) {
+    serve::ServiceConfig config;
+    config.session = session_config;
+    config.journal.directory =
+        (shard_root / ("shard-" + std::to_string(shard))).string();
+    config.journal.fsync = serve::FsyncMode::Always;
+    return config;
+  };
+  std::unique_ptr<serve::TrackingService> workers[2] = {
+      std::make_unique<serve::TrackingService>(worker_config(0)),
+      std::make_unique<serve::TrackingService>(worker_config(1))};
+  auto make_front = [&] {
+    std::vector<serve::ShardFront::Backend> backends;
+    for (auto& slot : workers)
+      backends.push_back([&slot](const std::string& line) {
+        return serve::render_response(slot->handle_line(line));
+      });
+    return std::make_unique<serve::ShardFront>(std::move(backends));
+  };
+  std::unique_ptr<serve::ShardFront> front = make_front();
+  serve::TrackingService monolith(service_config);  // the reference bytes
+
+  bool shard_identity = true;
+  auto both = [&](const std::string& line) {
+    const std::string sharded = serve::render_response(
+        front->dispatch(serve::parse_request(line), line));
+    const std::string mono =
+        serve::render_response(monolith.handle_line(line));
+    if (sharded != mono) {
+      shard_identity = false;
+      std::fprintf(stderr, "shard bytes diverge for: %s\n", line.c_str());
+    }
+  };
+  auto raw_append = [](const std::string& name, const trace::Trace& t) {
+    std::ostringstream text;
+    trace::write_trace(text, t);
+    obs::JsonWriter json;
+    json.begin_object();
+    json.key("method").value("append_experiment");
+    json.key("study").value(name);
+    json.key("params").begin_object();
+    json.key("trace").value(text.str());
+    json.end_object();
+    json.end_object();
+    return json.str();
+  };
+  auto read_lines = [](const std::string& name) {
+    return std::vector<std::string>{
+        R"({"id":1,"method":"regions","study":")" + name + "\"}",
+        R"({"id":2,"method":"trends","study":")" + name +
+            R"(","params":{"metric":"IPC"}})",
+        R"({"id":"r-3","method":"report","study":")" + name + "\"}",
+        R"({"id":4,"method":"coverage","study":")" + name + "\"}",
+    };
+  };
+
+  // Two studies so the FNV routing has more than one possible home; the
+  // second takes a short prefix of the traces to bound the leg's cost.
+  const std::vector<std::string> shard_studies = {"hydroc",
+                                                  "hydroc-replay"};
+  start = Clock::now();
+  for (const std::string& name : shard_studies) {
+    both(R"({"method":"open_study","study":")" + name + "\"}");
+    const std::size_t count =
+        name == "hydroc" ? study.traces.size()
+                         : std::min<std::size_t>(3, study.traces.size());
+    for (std::size_t i = 0; i < count; ++i)
+      both(raw_append(name, *study.traces[i]));
+    for (const std::string& line : read_lines(name)) both(line);
+  }
+  both(R"({"id":9,"method":"regions","study":"never-opened"})");
+  double sharded_ms = ms_since(start);
+
+  // "Crash" both workers and rebuild them on their own state dirs behind
+  // a fresh front: the journals must hand back the same bytes.
+  front.reset();
+  for (auto& slot : workers) slot.reset();
+  for (std::size_t shard = 0; shard < 2; ++shard)
+    workers[shard] =
+        std::make_unique<serve::TrackingService>(worker_config(shard));
+  front = make_front();
+  for (const std::string& name : shard_studies)
+    for (const std::string& line : read_lines(name)) both(line);
+
+  std::printf("2-shard front, %zu studies driven twice: %.1f ms first pass\n",
+              shard_studies.size(), sharded_ms);
+  std::printf("sharded responses byte-identical to one daemon "
+              "(incl. crash-restart): %s\n\n",
+              shard_identity ? "yes" : "NO — SHARD IDENTITY BROKEN");
+  fs::remove_all(shard_root);
+
   PT_GAUGE("verdict_identical", identical ? 1.0 : 0.0);
   PT_GAUGE("verdict_recovery_identity", recovery_identity ? 1.0 : 0.0);
   PT_GAUGE("advisory_append_fsync_always_us", append_us[0]);
@@ -343,6 +465,8 @@ int main() {
   PT_GAUGE("advisory_append_fsync_off_us", append_us[2]);
   PT_GAUGE("verdict_all_answered", all_answered ? 1.0 : 0.0);
   PT_GAUGE("verdict_metrics_complete", metrics_complete ? 1.0 : 0.0);
+  PT_GAUGE("verdict_shard_identity", shard_identity ? 1.0 : 0.0);
+  PT_GAUGE("verdict_read_scaling_ge4", scaling_ge4 ? 1.0 : 0.0);
   PT_GAUGE("advisory_read_scaling_ge1_2", scaling_ok ? 1.0 : 0.0);
   PT_GAUGE("advisory_metrics_overhead_lt_1pct", overhead_ok ? 1.0 : 0.0);
   PT_GAUGE("advisory_ping_p50_ns",
@@ -356,8 +480,8 @@ int main() {
   PT_GAUGE("ping_rps", 1000.0 * kPings / flood_ms);
   bench::write_telemetry("BENCH_serve.json", "perf_serve");
 
-  bool pass =
-      identical && all_answered && metrics_complete && recovery_identity;
+  bool pass = identical && all_answered && metrics_complete &&
+              recovery_identity && shard_identity && scaling_ge4;
   std::printf("\nperf_serve: %s\n", pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

@@ -34,10 +34,10 @@ int main() {
   pipeline.add_experiment(wrf.simulate_shared(at_128));
   pipeline.add_experiment(wrf.simulate_shared(at_256));
 
-  cluster::ClusteringParams clustering = pipeline.clustering();
-  clustering.dbscan.eps = 0.025;
-  clustering.min_cluster_time_fraction = 0.005;
-  pipeline.set_clustering(clustering);
+  tracking::SessionConfig config = pipeline.config();
+  config.clustering.dbscan.eps = 0.025;
+  config.clustering.min_cluster_time_fraction = 0.005;
+  pipeline.set_config(config);
 
   tracking::TrackingResult result = pipeline.run();
 

@@ -30,9 +30,9 @@ int main() {
     scenario.seed = 40 + per_node;
     pipeline.add_experiment(app.simulate_shared(scenario));
   }
-  cluster::ClusteringParams clustering = pipeline.clustering();
-  clustering.dbscan.eps = 0.08;
-  pipeline.set_clustering(clustering);
+  tracking::SessionConfig config = pipeline.config();
+  config.clustering.dbscan.eps = 0.08;
+  pipeline.set_config(config);
 
   tracking::TrackingResult result = pipeline.run();
 

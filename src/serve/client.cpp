@@ -1,5 +1,7 @@
 #include "serve/client.hpp"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -90,19 +92,51 @@ NdjsonClient::~NdjsonClient() { disconnect(); }
 
 void NdjsonClient::connect_now() {
   disconnect();
-  sockaddr_un address{};
-  if (path_.size() >= sizeof(address.sun_path))
-    throw Error("socket path too long: " + path_);
-  address.sun_family = AF_UNIX;
-  std::memcpy(address.sun_path, path_.c_str(), path_.size() + 1);
+  // Endpoint grammar: "tcp://HOST:PORT" connects over TCP; anything else
+  // is an AF_UNIX socket path (the historical form).
+  sockaddr_un unix_address{};
+  sockaddr_in tcp_address{};
+  sockaddr* address = nullptr;
+  socklen_t address_len = 0;
+  int family = AF_UNIX;
+  if (path_.rfind("tcp://", 0) == 0) {
+    const std::string endpoint = path_.substr(6);
+    const std::size_t colon = endpoint.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == endpoint.size())
+      throw Error("tcp endpoint must be tcp://HOST:PORT, got " + path_);
+    const std::string host = endpoint.substr(0, colon);
+    int port = 0;
+    try {
+      port = std::stoi(endpoint.substr(colon + 1));
+    } catch (const std::exception&) {
+      port = -1;
+    }
+    if (port < 1 || port > 65535)
+      throw Error("tcp endpoint port out of range in " + path_);
+    tcp_address.sin_family = AF_INET;
+    tcp_address.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &tcp_address.sin_addr) != 1)
+      throw Error("tcp endpoint host must be a numeric IPv4 address, got " +
+                  host);
+    family = AF_INET;
+    address = reinterpret_cast<sockaddr*>(&tcp_address);
+    address_len = sizeof(tcp_address);
+  } else {
+    if (path_.size() >= sizeof(unix_address.sun_path))
+      throw Error("socket path too long: " + path_);
+    unix_address.sun_family = AF_UNIX;
+    std::memcpy(unix_address.sun_path, path_.c_str(), path_.size() + 1);
+    address = reinterpret_cast<sockaddr*>(&unix_address);
+    address_len = sizeof(unix_address);
+  }
 
   const auto deadline = attempt_deadline(retry_);
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  fd_ = ::socket(family, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (fd_ < 0)
     throw Error(std::string("socket(): ") + std::strerror(errno));
   try {
-    if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
-                  sizeof(address)) != 0) {
+    if (::connect(fd_, address, address_len) != 0) {
       if (errno != EINPROGRESS && errno != EAGAIN)
         throw Error("cannot connect to " + path_ + ": " +
                     std::strerror(errno) + " (is perftrackd running?)");

@@ -54,9 +54,10 @@ struct RetryPolicy {
 
 class NdjsonClient {
 public:
-  /// Connect to the AF_UNIX socket at `path`, retrying per `retry` (so a
-  /// client racing a daemon's startup can wait for the socket to appear).
-  /// Throws Error when every attempt fails.
+  /// Connect to `path`, retrying per `retry` (so a client racing a
+  /// daemon's startup can wait for the endpoint to appear). `path` is an
+  /// AF_UNIX socket path, or "tcp://HOST:PORT" (numeric IPv4) to reach a
+  /// daemon started with --listen. Throws Error when every attempt fails.
   explicit NdjsonClient(const std::string& path, RetryPolicy retry = {});
   ~NdjsonClient();
 

@@ -11,11 +11,11 @@ namespace {
 /// unknown method names (bounding the registry against a client spraying
 /// garbage methods); "invalid" is the slot for unparseable lines.
 const char* const kMethods[] = {
-    "ping",    "open_study", "close_study", "list_studies",
-    "append_experiment", "append_gap", "retrack", "regions",
-    "trends",  "coverage",   "stats",       "metrics",
-    "health",  "evict",      "sweep",       "shutdown",
-    "other",   "invalid",
+    "ping",    "hello",      "open_study",  "close_study",
+    "list_studies", "append_experiment", "append_gap", "retrack",
+    "regions", "trends",     "report",      "coverage",
+    "stats",   "metrics",    "health",      "evict",
+    "sweep",   "shutdown",   "other",       "invalid",
 };
 
 thread_local std::uint64_t t_lock_wait_ns = 0;
@@ -27,7 +27,7 @@ ServeMetrics::ServeMetrics(bool enabled) : enabled_(enabled) {
     const std::string labels = std::string("method=\"") + method + "\"";
     methods_.emplace(
         method,
-        PerMethod{
+        MethodMetrics{
             &registry_.counter("perftrackd_requests_total", labels,
                                "Requests dispatched, by method"),
             &registry_.histogram(
@@ -69,6 +69,16 @@ ServeMetrics::ServeMetrics(bool enabled) : enabled_(enabled) {
                   "Frame-cache misses over resident sessions");
   registry_.gauge("perftrackd_frame_cache_stores", "",
                   "Frame-cache stores over resident sessions");
+  registry_.gauge("perftrackd_render_cache_hits", "",
+                  "Render-cache hits (lock-free read responses)");
+  registry_.gauge("perftrackd_render_cache_misses", "",
+                  "Render-cache misses (responses rendered fresh)");
+  registry_.gauge("perftrackd_render_cache_inserts", "",
+                  "Render-cache entries inserted");
+  registry_.gauge("perftrackd_render_cache_evictions", "",
+                  "Render-cache entries dropped by capacity");
+  registry_.gauge("perftrackd_render_cache_entries", "",
+                  "Render-cache entries resident");
   // Zero-seed one error counter per code (the enum is closed), so the
   // family is always scrapeable and rate() starts from 0, not absence.
   for (int code = 0; code <= static_cast<int>(ErrorCode::Internal); ++code)
@@ -79,16 +89,11 @@ ServeMetrics::ServeMetrics(bool enabled) : enabled_(enabled) {
         "Error responses, by protocol error code");
 }
 
-const ServeMetrics::PerMethod& ServeMetrics::method_slot(
+const ServeMetrics::MethodMetrics* ServeMetrics::method_metrics(
     const std::string& method) const {
   auto it = methods_.find(method);
   if (it == methods_.end()) it = methods_.find("other");
-  return it->second;
-}
-
-void ServeMetrics::count_request(const std::string& method) {
-  if (!enabled_) return;
-  method_slot(method).requests->add();
+  return &it->second;
 }
 
 void ServeMetrics::count_error(std::string_view code) {
@@ -99,18 +104,6 @@ void ServeMetrics::count_error(std::string_view code) {
                     "code=\"" + std::string(code) + "\"",
                     "Error responses, by protocol error code")
       .add();
-}
-
-void ServeMetrics::record_request_ns(const std::string& method,
-                                     std::uint64_t ns) {
-  if (!enabled_) return;
-  method_slot(method).request_ns->record(ns);
-}
-
-void ServeMetrics::record_handler_ns(const std::string& method,
-                                     std::uint64_t ns) {
-  if (!enabled_) return;
-  method_slot(method).handler_ns->record(ns);
 }
 
 void ServeMetrics::record_phase_ns(Phase phase, std::uint64_t ns) {
@@ -133,7 +126,7 @@ std::vector<std::pair<std::string, obs::HistogramSnapshot>>
 ServeMetrics::per_method_latency() const {
   std::vector<std::pair<std::string, obs::HistogramSnapshot>> out;
   for (const char* method : kMethods) {
-    const PerMethod& slot = methods_.at(method);
+    const MethodMetrics& slot = methods_.at(method);
     obs::HistogramSnapshot snap = slot.request_ns->snapshot();
     if (snap.count == 0) snap = slot.handler_ns->snapshot();
     if (snap.count == 0) continue;

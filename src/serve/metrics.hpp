@@ -7,9 +7,11 @@
 //   parse -> queue_wait -> lock_wait -> handler -> write
 //
 // and recorded into per-method histograms plus request/error counters.
-// Recording is lock-free (see obs/metrics.hpp); per-method handles are
-// resolved once at construction so the hot path is one hash lookup and a
-// few relaxed atomics — cheap enough to leave on in production
+// Recording is lock-free (see obs/metrics.hpp); per-method handles
+// (MethodMetrics) are resolved once — the service binds them into its
+// endpoint table at construction, the server memoises them per
+// connection — so the hot path is a few relaxed atomics with no string
+// hashing at all, cheap enough to leave on in production
 // (bench/perf_serve pins the ping-flood overhead at < 1%).
 //
 // Metric catalogue (docs/OBSERVABILITY.md is the reference):
@@ -59,20 +61,49 @@ public:
   obs::MetricsRegistry& registry() { return registry_; }
   const obs::MetricsRegistry& registry() const { return registry_; }
 
-  /// Request dispatched (any outcome). `method` is mapped to its
-  /// pre-registered label slot; unknown methods share the "other" slot
-  /// and unparseable lines the "invalid" slot.
-  void count_request(const std::string& method);
+  /// Pre-resolved handles of one method's label slots. Stable for the
+  /// registry's lifetime; resolving once and recording through the
+  /// handle keeps the per-request hot path free of string hashing (the
+  /// service resolves per endpoint at construction, the server memoises
+  /// per connection).
+  struct MethodMetrics {
+    obs::Counter* requests;
+    obs::Histogram* request_ns;
+    obs::Histogram* handler_ns;
+  };
+
+  /// Resolve `method` to its handle. Unknown methods share the "other"
+  /// slot and unparseable lines the "invalid" slot; never null.
+  const MethodMetrics* method_metrics(const std::string& method) const;
+
+  /// Request dispatched (any outcome), by pre-resolved handle.
+  void count_request(const MethodMetrics* slot) {
+    if (enabled_) slot->requests->add();
+  }
+  /// Convenience: resolve-and-count (cold paths only).
+  void count_request(const std::string& method) {
+    count_request(method_metrics(method));
+  }
 
   /// Error response produced, by wire error code ("bad-request", ...).
   void count_error(std::string_view code);
 
   /// End-to-end latency (server transport loop: line read -> response
   /// bytes handed to the sink).
-  void record_request_ns(const std::string& method, std::uint64_t ns);
+  void record_request_ns(const MethodMetrics* slot, std::uint64_t ns) {
+    if (enabled_) slot->request_ns->record(ns);
+  }
+  void record_request_ns(const std::string& method, std::uint64_t ns) {
+    record_request_ns(method_metrics(method), ns);
+  }
 
   /// Handler execution alone (TrackingService::handle).
-  void record_handler_ns(const std::string& method, std::uint64_t ns);
+  void record_handler_ns(const MethodMetrics* slot, std::uint64_t ns) {
+    if (enabled_) slot->handler_ns->record(ns);
+  }
+  void record_handler_ns(const std::string& method, std::uint64_t ns) {
+    record_handler_ns(method_metrics(method), ns);
+  }
 
   enum class Phase { Parse, QueueWait, LockWait, Write };
   void record_phase_ns(Phase phase, std::uint64_t ns);
@@ -96,17 +127,9 @@ public:
   per_method_latency() const;
 
 private:
-  struct PerMethod {
-    obs::Counter* requests;
-    obs::Histogram* request_ns;
-    obs::Histogram* handler_ns;
-  };
-
-  const PerMethod& method_slot(const std::string& method) const;
-
   bool enabled_;
   obs::MetricsRegistry registry_;
-  std::unordered_map<std::string, PerMethod> methods_;
+  std::unordered_map<std::string, MethodMetrics> methods_;
   obs::Histogram* phase_parse_;
   obs::Histogram* phase_queue_wait_;
   obs::Histogram* phase_lock_wait_;

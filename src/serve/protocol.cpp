@@ -83,6 +83,7 @@ Request parse_request(const std::string& line) {
 }
 
 std::string render_response(const Response& response) {
+  if (!response.raw.empty()) return response.raw;
   std::string out = "{";
   if (!response.id.empty()) out += "\"id\":" + response.id + ",";
   if (response.ok) {

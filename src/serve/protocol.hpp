@@ -22,6 +22,7 @@
 // marks requests that arrived after a drain began. docs/SERVING.md is the
 // protocol reference.
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -29,6 +30,14 @@
 #include "obs/json.hpp"
 
 namespace perftrack::serve {
+
+/// Protocol revision spoken by this build. v2 added the `hello` method,
+/// the `proto` field in the `ping` result, and the capability list —
+/// all additive: a v1 client never sends `hello` and ignores fields it
+/// does not know, so both directions interoperate across versions. The
+/// tolerant-reader rule (unknown request fields are skipped, unknown
+/// methods answer with the closed error-code enum) is pinned by tests.
+inline constexpr std::uint64_t kProtocolVersion = 2;
 
 /// Closed set of protocol error codes. Stable wire strings via
 /// error_code_name(); clients dispatch on these, not on messages.
@@ -84,6 +93,13 @@ struct Response {
   ErrorCode code = ErrorCode::Internal;  ///< meaningful when !ok
   std::string message;             ///< error message when !ok
   std::string result_json;         ///< rendered result object when ok
+
+  /// Verbatim passthrough: when non-empty, render_response() returns this
+  /// exact line and every other field is ignored. The shard front answers
+  /// proxied requests with the worker's bytes unchanged (id echo
+  /// included), which is what makes sharded reads byte-identical to a
+  /// single daemon.
+  std::string raw;
 };
 
 /// Render `response` as one NDJSON line (no trailing newline).

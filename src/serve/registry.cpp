@@ -14,6 +14,7 @@ namespace perftrack::serve {
 std::shared_ptr<StudyState> StudyRegistry::create(
     const std::string& name, tracking::SessionConfig config) {
   auto study = std::make_shared<StudyState>(std::move(config));
+  study->instance_id = next_instance_.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock lock(mutex_);
   auto [it, inserted] = studies_.emplace(name, study);
   if (!inserted)

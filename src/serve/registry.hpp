@@ -68,6 +68,21 @@ struct StudyState {
   /// Atomic: readers refresh it while holding the lock only shared.
   std::atomic<std::uint64_t> last_used_ns{0};
 
+  /// Monotonically increasing content version: bumped (under the
+  /// exclusive lock) by every append/gap that changes what a read would
+  /// render. The render cache (serve/render_cache.hpp) keys responses by
+  /// it, so a generation mismatch is the whole invalidation story.
+  /// Session eviction does NOT bump it — the rebuilt session is
+  /// bit-identical, so cached renders stay valid. Atomic so the cache
+  /// lookup can read it without the study lock.
+  std::atomic<std::uint64_t> generation{0};
+
+  /// Registry-unique id, assigned once by StudyRegistry::create before
+  /// the study becomes visible. Folded into render-cache keys so a
+  /// closed-and-reopened study (whose generation restarts at zero) never
+  /// collides with its predecessor's cached bytes.
+  std::uint64_t instance_id = 0;
+
   std::uint64_t appends = 0;    ///< experiments + gaps ever appended
   std::uint64_t retracks = 0;   ///< explicit + implicit retrack executions
   std::uint64_t rebuilds = 0;   ///< sessions rebuilt after an eviction
@@ -104,6 +119,7 @@ public:
 private:
   mutable std::shared_mutex mutex_;
   std::map<std::string, std::shared_ptr<StudyState>> studies_;
+  std::atomic<std::uint64_t> next_instance_{1};
 };
 
 /// Drop `study`'s session and cached result, keeping the append log.

@@ -1,0 +1,85 @@
+#include "serve/render_cache.hpp"
+
+#include <mutex>
+
+#include "store/serialize.hpp"
+
+namespace perftrack::serve {
+
+RenderCache::RenderCache(std::size_t capacity)
+    : per_shard_cap_(capacity / kShards) {
+  if (capacity > 0 && per_shard_cap_ == 0) per_shard_cap_ = 1;
+}
+
+RenderCache::Shard& RenderCache::shard_of(const std::string& key) {
+  return shards_[store::fnv1a64(key) % kShards];
+}
+
+std::shared_ptr<const std::string> RenderCache::get(const std::string& key) {
+  if (per_shard_cap_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  Shard& shard = shard_of(key);
+  {
+    std::shared_lock lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void RenderCache::put(const std::string& key,
+                      std::shared_ptr<const std::string> value) {
+  if (per_shard_cap_ == 0) return;
+  Shard& shard = shard_of(key);
+  std::unique_lock lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    it->second = std::move(value);
+    return;
+  }
+  if (shard.map.size() >= per_shard_cap_) {
+    shard.map.erase(shard.map.begin());
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.map.emplace(key, std::move(value));
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string RenderCache::key(const std::string& study,
+                             std::uint64_t instance_id,
+                             std::uint64_t generation,
+                             std::string_view shape) {
+  // '\x1f' (unit separator) cannot appear in study names or shapes that
+  // come off the JSON wire as printable text, so the key is unambiguous.
+  std::string out;
+  out.reserve(study.size() + shape.size() + 48);
+  out += study;
+  out += '\x1f';
+  out += std::to_string(instance_id);
+  out += ':';
+  out += std::to_string(generation);
+  out += '\x1f';
+  out.append(shape.data(), shape.size());
+  return out;
+}
+
+RenderCache::Counters RenderCache::counters() const {
+  Counters out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.inserts = inserts_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mutex);
+    out.entries += shard.map.size();
+  }
+  return out;
+}
+
+}  // namespace perftrack::serve

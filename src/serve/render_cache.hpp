@@ -1,0 +1,96 @@
+#pragma once
+// Versioned render cache: hot reads without the study lock.
+//
+// Rendering a read response (regions text, trends table, the HTML
+// report) costs far more than looking it up, and the bytes only change
+// when the study does. Every StudyState carries a monotonically
+// increasing generation, bumped under the exclusive lock by every
+// append/gap; rendered responses are cached keyed by
+//
+//   (study instance, generation, request shape)
+//
+// so a hot read is one hash lookup under a sharded shared_mutex — no
+// study lock, no session, no retrack. Invalidation is implicit: an
+// append bumps the generation, the next read misses and renders fresh,
+// and the stale entry ages out of its shard by capacity. The instance id
+// (assigned by StudyRegistry::create) keeps a closed-and-reopened study
+// from colliding with its predecessor's entries, whose generations
+// restart at zero.
+//
+// Eviction of a study's *session* does not bump the generation: the
+// rebuilt session is bit-identical by contract, so cached renders stay
+// valid and an evicted study keeps answering reads from the cache
+// without rebuilding at all.
+//
+// Thread safety: get/put from any thread. Values are shared_ptr<const
+// string> so a hit can be handed out while the entry is concurrently
+// evicted. Counters are relaxed atomics, exported through the metrics
+// plane (perftrackd_render_cache_*) and the `stats` method.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace perftrack::serve {
+
+class RenderCache {
+public:
+  /// `capacity` bounds the total cached entries (split evenly across the
+  /// internal shards); 0 disables caching entirely (get always misses,
+  /// put drops).
+  explicit RenderCache(std::size_t capacity = 4096);
+
+  RenderCache(const RenderCache&) = delete;
+  RenderCache& operator=(const RenderCache&) = delete;
+
+  /// Cached bytes for `key`, or null on a miss.
+  std::shared_ptr<const std::string> get(const std::string& key);
+
+  /// Insert (or overwrite) `key`. When the shard is full an arbitrary
+  /// resident entry is dropped first — stale generations are the usual
+  /// victims since nothing looks them up again.
+  void put(const std::string& key, std::shared_ptr<const std::string> value);
+
+  /// Render the canonical cache key. `shape` folds in everything the
+  /// response bytes depend on besides the study state (method name plus
+  /// normalised parameters, e.g. "trends:IPC").
+  static std::string key(const std::string& study, std::uint64_t instance_id,
+                         std::uint64_t generation, std::string_view shape);
+
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;  ///< currently resident
+  };
+  Counters counters() const;
+
+private:
+  static constexpr std::size_t kShards = 16;
+
+  struct alignas(64) Shard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<std::string, std::shared_ptr<const std::string>> map;
+  };
+
+  Shard& shard_of(const std::string& key);
+
+  std::size_t per_shard_cap_;
+  std::array<Shard, kShards> shards_;
+
+  // On separate cache lines: the hit counter is the one every pooled
+  // reader hammers, and false sharing there is exactly the scaling tax
+  // this cache exists to remove.
+  alignas(64) std::atomic<std::uint64_t> hits_{0};
+  alignas(64) std::atomic<std::uint64_t> misses_{0};
+  alignas(64) std::atomic<std::uint64_t> inserts_{0};
+  alignas(64) std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace perftrack::serve

@@ -1,6 +1,8 @@
 #include "serve/server.hpp"
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netinet/in.h>
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
@@ -102,16 +104,16 @@ enum class LineRead { Eof, Line, Overlong };
 /// Background idle-study eviction; joined (and woken) on destruction.
 class Sweeper {
 public:
-  Sweeper(TrackingService& service, std::uint64_t interval_ms) {
+  Sweeper(Dispatcher& dispatcher, std::uint64_t interval_ms) {
     if (interval_ms == 0) return;
-    thread_ = std::thread([this, &service, interval_ms] {
+    thread_ = std::thread([this, &dispatcher, interval_ms] {
       std::unique_lock<std::mutex> lock(mutex_);
       while (!stop_) {
         if (wake_.wait_for(lock, std::chrono::milliseconds(interval_ms),
                            [this] { return stop_; }))
           break;
         lock.unlock();
-        service.sweep();
+        dispatcher.sweep();
         lock.lock();
       }
     });
@@ -165,10 +167,16 @@ void log_request(const ServerOptions& options, const RequestRecord& record,
 /// end-to-end latency under the request's method ("invalid" for lines
 /// that never parsed). Rejections count the error without a latency
 /// sample for the phases that never ran.
-void serve_requests(TrackingService& service, BoundedExecutor& executor,
+void serve_requests(Dispatcher& dispatcher, BoundedExecutor& executor,
                     const std::function<LineRead(std::string&)>& next_line,
                     OrderedWriter& writer, const ServerOptions& options) {
-  ServeMetrics& metrics = service.metrics();
+  ServeMetrics& metrics = dispatcher.metrics();
+  // Per-connection memo of the method's metrics handle: protocol clients
+  // overwhelmingly repeat one method down a connection (a reader pool
+  // floods `regions`), so the common case records latency through a
+  // pre-resolved handle with no string hashing.
+  std::string memo_method;
+  const ServeMetrics::MethodMetrics* memo_slot = nullptr;
   std::string line;
   LineRead status;
   while ((status = next_line(line)) != LineRead::Eof) {
@@ -215,27 +223,34 @@ void serve_requests(TrackingService& service, BoundedExecutor& executor,
     const std::uint64_t t_parsed = obs::now_ns();
     metrics.record_phase_ns(ServeMetrics::Phase::Parse, t_parsed - t_read);
 
-    if (service.shutdown_requested()) {
+    if (dispatcher.shutdown_requested()) {
       reject(request, request.method.c_str(), ErrorCode::ShuttingDown,
              "server is draining");
       continue;
     }
 
+    if (request.method != memo_method) {
+      memo_method = request.method;
+      memo_slot = metrics.method_metrics(memo_method);
+    }
+    const ServeMetrics::MethodMetrics* slot = memo_slot;
+
     const bool is_shutdown = request.method == "shutdown";
-    bool admitted = executor.try_submit([&service, &metrics, &writer,
-                                         &options, seq, request, t_read,
+    bool admitted = executor.try_submit([&dispatcher, &metrics, &writer,
+                                         &options, seq, request,
+                                         raw_line = line, slot, t_read,
                                          t_parsed] {
       const std::uint64_t t_run = obs::now_ns();
       metrics.record_phase_ns(ServeMetrics::Phase::QueueWait,
                               t_run - t_parsed);
-      const Response response = service.handle(request);
+      const Response response = dispatcher.dispatch(request, raw_line);
       const std::uint64_t t_handled = obs::now_ns();
       const std::uint64_t lock_ns = ServeMetrics::context_lock_wait_ns();
       writer.write(seq, render_response(response) + "\n");
       const std::uint64_t t_written = obs::now_ns();
       metrics.record_phase_ns(ServeMetrics::Phase::Write,
                               t_written - t_handled);
-      metrics.record_request_ns(request.method, t_written - t_read);
+      metrics.record_request_ns(slot, t_written - t_read);
 
       if (options.access_log != nullptr ||
           t_written - t_read >= options.slow_ns) {
@@ -243,9 +258,15 @@ void serve_requests(TrackingService& service, BoundedExecutor& executor,
         record.id = request.id;
         record.method = request.method;
         record.study = request.study;
-        record.outcome = response.ok
-                             ? "ok"
-                             : std::string(error_code_name(response.code));
+        // A verbatim passthrough (shard front) carries the worker's
+        // outcome opaquely inside raw — log it as proxied, not as an
+        // error of the front's own.
+        record.outcome = !response.raw.empty()
+                             ? "proxied"
+                             : response.ok
+                                   ? "ok"
+                                   : std::string(
+                                         error_code_name(response.code));
         record.parse_ns = t_parsed - t_read;
         record.queue_ns = t_run - t_parsed;
         record.lock_ns = lock_ns;
@@ -272,22 +293,22 @@ void serve_requests(TrackingService& service, BoundedExecutor& executor,
 
 }  // namespace
 
-int serve_stream(TrackingService& service, std::istream& in,
+int serve_stream(Dispatcher& dispatcher, std::istream& in,
                  std::ostream& out, const ServerOptions& options) {
   BoundedExecutor executor(options.threads, options.queue_capacity);
-  service.set_queue_stats([&executor] { return executor.stats(); });
+  dispatcher.set_queue_stats([&executor] { return executor.stats(); });
   OrderedWriter writer([&out](const std::string& line) {
     out << line;
     out.flush();
   });
   {
-    Sweeper sweeper(service, options.sweep_interval_ms);
+    Sweeper sweeper(dispatcher, options.sweep_interval_ms);
     // The istream transport necessarily buffers the line before the cap
     // check (getline owns the read loop); the fd transport below enforces
     // the cap incrementally. Protocol behaviour is identical.
     const std::size_t cap = options.max_line_bytes;
     serve_requests(
-        service, executor,
+        dispatcher, executor,
         [&in, cap](std::string& line) {
           if (!std::getline(in, line)) return LineRead::Eof;
           if (cap != 0 && line.size() > cap) {
@@ -299,7 +320,7 @@ int serve_stream(TrackingService& service, std::istream& in,
         writer, options);
     executor.drain();
   }
-  service.set_queue_stats(nullptr);
+  dispatcher.set_queue_stats(nullptr);
   return out.good() ? 0 : 1;
 }
 
@@ -428,9 +449,111 @@ bool remove_stale_socket(const std::string& path, const sockaddr_un& address) {
   return true;
 }
 
+/// Accept loop shared by the AF_UNIX and TCP transports: signal handling,
+/// one reader thread per connection, one executor for all of them, and a
+/// full drain before returning. Owns (and closes) `listen_fd`.
+int run_socket_server(Dispatcher& dispatcher, int listen_fd,
+                      const ServerOptions& options) {
+  if (::pipe(g_signal_pipe) != 0) {
+    PT_LOG(Error) << "serve: pipe(): " << std::strerror(errno);
+    ::close(listen_fd);
+    return 1;
+  }
+  struct sigaction action{}, old_term{}, old_int{}, old_pipe{};
+  action.sa_handler = pt_serve_signal_handler;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGTERM, &action, &old_term);
+  ::sigaction(SIGINT, &action, &old_int);
+  struct sigaction ignore{};
+  ignore.sa_handler = SIG_IGN;
+  sigemptyset(&ignore.sa_mask);
+  ::sigaction(SIGPIPE, &ignore, &old_pipe);
+
+  BoundedExecutor executor(options.threads, options.queue_capacity);
+  dispatcher.set_queue_stats([&executor] { return executor.stats(); });
+
+  std::mutex connections_mutex;
+  std::vector<int> open_fds;
+  std::vector<std::thread> readers;
+
+  {
+    Sweeper sweeper(dispatcher, options.sweep_interval_ms);
+    bool draining = false;
+    while (!draining) {
+      pollfd fds[2] = {{listen_fd, POLLIN, 0}, {g_signal_pipe[0], POLLIN, 0}};
+      int ready = ::poll(fds, 2, 200);
+      if (dispatcher.shutdown_requested()) break;
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        PT_LOG(Error) << "serve: poll(): " << std::strerror(errno);
+        break;
+      }
+      if (fds[1].revents & POLLIN) {
+        PT_LOG(Info) << "serve: signal received, draining";
+        draining = true;
+        break;
+      }
+      if (!(fds[0].revents & POLLIN)) continue;
+      int client = ::accept(listen_fd, nullptr, nullptr);
+      if (client < 0) {
+        if (errno == EINTR) continue;
+        PT_LOG(Warn) << "serve: accept(): " << std::strerror(errno);
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lock(connections_mutex);
+        open_fds.push_back(client);
+      }
+      readers.emplace_back([&dispatcher, &executor, &options, client,
+                            &connections_mutex, &open_fds] {
+        OrderedWriter writer([client](const std::string& line) {
+          write_all(client, line);
+        });
+        FdLineReader reader(client, options.max_line_bytes);
+        serve_requests(
+            dispatcher, executor,
+            [&reader](std::string& line) { return reader.next(line); },
+            writer, options);
+        // This connection's responses may still be in flight; the global
+        // drain is the simple (if coarse) way to flush them before close.
+        executor.drain();
+        {
+          // De-register before close: once closed, the fd number can be
+          // reused by a new connection, and the drain loop must not
+          // shutdown() someone else's socket.
+          std::lock_guard<std::mutex> lock(connections_mutex);
+          open_fds.erase(
+              std::find(open_fds.begin(), open_fds.end(), client));
+        }
+        ::close(client);
+      });
+    }
+
+    // Stop readers blocked in read(): shut the read side down, keep the
+    // write side so drained responses still reach the client.
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex);
+      for (int fd : open_fds) ::shutdown(fd, SHUT_RD);
+    }
+    for (std::thread& reader : readers) reader.join();
+    executor.drain();
+  }
+
+  dispatcher.set_queue_stats(nullptr);
+  ::sigaction(SIGTERM, &old_term, nullptr);
+  ::sigaction(SIGINT, &old_int, nullptr);
+  ::sigaction(SIGPIPE, &old_pipe, nullptr);
+  ::close(g_signal_pipe[0]);
+  ::close(g_signal_pipe[1]);
+  g_signal_pipe[0] = g_signal_pipe[1] = -1;
+  ::close(listen_fd);
+  PT_LOG(Info) << "perftrackd drained, exiting";
+  return 0;
+}
+
 }  // namespace
 
-int serve_unix_socket(TrackingService& service, const std::string& path,
+int serve_unix_socket(Dispatcher& dispatcher, const std::string& path,
                       const ServerOptions& options) {
   sockaddr_un address{};
   if (path.size() >= sizeof(address.sun_path)) {
@@ -460,104 +583,50 @@ int serve_unix_socket(TrackingService& service, const std::string& path,
     return 1;
   }
 
-  if (::pipe(g_signal_pipe) != 0) {
-    PT_LOG(Error) << "serve: pipe(): " << std::strerror(errno);
+  PT_LOG(Info) << "perftrackd listening on " << path;
+  const int code = run_socket_server(dispatcher, listen_fd, options);
+  ::unlink(path.c_str());
+  return code;
+}
+
+int serve_tcp(Dispatcher& dispatcher, const std::string& host,
+              std::uint16_t port, const ServerOptions& options,
+              const std::function<void(std::uint16_t)>& on_listening) {
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    PT_LOG(Error) << "serve: --listen host must be a numeric IPv4 address "
+                  << "(got '" << host << "')";
+    return 1;
+  }
+
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    PT_LOG(Error) << "serve: socket(): " << std::strerror(errno);
+    return 1;
+  }
+  int yes = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &yes, sizeof yes);
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(listen_fd, 64) != 0) {
+    PT_LOG(Error) << "serve: cannot listen on " << host << ":" << port
+                  << ": " << std::strerror(errno);
     ::close(listen_fd);
     return 1;
   }
-  struct sigaction action{}, old_term{}, old_int{}, old_pipe{};
-  action.sa_handler = pt_serve_signal_handler;
-  sigemptyset(&action.sa_mask);
-  ::sigaction(SIGTERM, &action, &old_term);
-  ::sigaction(SIGINT, &action, &old_int);
-  struct sigaction ignore{};
-  ignore.sa_handler = SIG_IGN;
-  sigemptyset(&ignore.sa_mask);
-  ::sigaction(SIGPIPE, &ignore, &old_pipe);
+  // Port 0 asked the kernel to pick: report what it chose.
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  std::uint16_t actual_port = port;
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0)
+    actual_port = ntohs(bound.sin_port);
 
-  PT_LOG(Info) << "perftrackd listening on " << path;
-
-  BoundedExecutor executor(options.threads, options.queue_capacity);
-  service.set_queue_stats([&executor] { return executor.stats(); });
-
-  std::mutex connections_mutex;
-  std::vector<int> open_fds;
-  std::vector<std::thread> readers;
-
-  {
-    Sweeper sweeper(service, options.sweep_interval_ms);
-    bool draining = false;
-    while (!draining) {
-      pollfd fds[2] = {{listen_fd, POLLIN, 0}, {g_signal_pipe[0], POLLIN, 0}};
-      int ready = ::poll(fds, 2, 200);
-      if (service.shutdown_requested()) break;
-      if (ready < 0) {
-        if (errno == EINTR) continue;
-        PT_LOG(Error) << "serve: poll(): " << std::strerror(errno);
-        break;
-      }
-      if (fds[1].revents & POLLIN) {
-        PT_LOG(Info) << "serve: signal received, draining";
-        draining = true;
-        break;
-      }
-      if (!(fds[0].revents & POLLIN)) continue;
-      int client = ::accept(listen_fd, nullptr, nullptr);
-      if (client < 0) {
-        if (errno == EINTR) continue;
-        PT_LOG(Warn) << "serve: accept(): " << std::strerror(errno);
-        continue;
-      }
-      {
-        std::lock_guard<std::mutex> lock(connections_mutex);
-        open_fds.push_back(client);
-      }
-      readers.emplace_back([&service, &executor, &options, client,
-                            &connections_mutex, &open_fds] {
-        OrderedWriter writer([client](const std::string& line) {
-          write_all(client, line);
-        });
-        FdLineReader reader(client, options.max_line_bytes);
-        serve_requests(
-            service, executor,
-            [&reader](std::string& line) { return reader.next(line); },
-            writer, options);
-        // This connection's responses may still be in flight; the global
-        // drain is the simple (if coarse) way to flush them before close.
-        executor.drain();
-        {
-          // De-register before close: once closed, the fd number can be
-          // reused by a new connection, and the drain loop must not
-          // shutdown() someone else's socket.
-          std::lock_guard<std::mutex> lock(connections_mutex);
-          open_fds.erase(
-              std::find(open_fds.begin(), open_fds.end(), client));
-        }
-        ::close(client);
-      });
-    }
-
-    // Stop readers blocked in read(): shut the read side down, keep the
-    // write side so drained responses still reach the client.
-    {
-      std::lock_guard<std::mutex> lock(connections_mutex);
-      for (int fd : open_fds) ::shutdown(fd, SHUT_RD);
-    }
-    for (std::thread& reader : readers) reader.join();
-    executor.drain();
-  }
-
-  service.set_queue_stats(nullptr);
-  ::sigaction(SIGTERM, &old_term, nullptr);
-  ::sigaction(SIGINT, &old_int, nullptr);
-  ::sigaction(SIGPIPE, &old_pipe, nullptr);
-  ::close(g_signal_pipe[0]);
-  ::close(g_signal_pipe[1]);
-  g_signal_pipe[0] = g_signal_pipe[1] = -1;
-  ::close(listen_fd);
-  ::unlink(path.c_str());
-  PT_LOG(Info) << "perftrackd drained, exiting";
-  return 0;
+  PT_LOG(Info) << "perftrackd listening on " << host << ":" << actual_port;
+  if (on_listening) on_listening(actual_port);
+  return run_socket_server(dispatcher, listen_fd, options);
 }
 
 }  // namespace perftrack::serve

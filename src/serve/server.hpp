@@ -25,8 +25,12 @@
 //
 // Transports: serve_stream() speaks NDJSON over any istream/ostream pair
 // (perftrackd --stdio, and the unit tests); serve_unix_socket() listens on
-// a local AF_UNIX stream socket with one reader thread per connection and
-// one executor (one backpressure budget) shared by all of them.
+// a local AF_UNIX stream socket and serve_tcp() on a TCP host:port
+// (--listen), each with one reader thread per connection and one executor
+// (one backpressure budget) shared by all of them. Every transport serves
+// a Dispatcher — TrackingService in a plain daemon, ShardFront in a
+// --front daemon — and hands it the raw request line next to the parsed
+// request so a forwarding dispatcher can pass bytes through verbatim.
 
 #include <condition_variable>
 #include <cstdint>
@@ -38,6 +42,7 @@
 
 #include "common/thread_pool.hpp"
 #include "serve/access_log.hpp"
+#include "serve/dispatcher.hpp"
 #include "serve/service.hpp"
 
 namespace perftrack::serve {
@@ -128,7 +133,7 @@ private:
 /// Serve NDJSON requests from `in` to `out` until EOF or a `shutdown`
 /// request, then drain. Returns the process exit code (0, or 1 on an
 /// unrecoverable transport error).
-int serve_stream(TrackingService& service, std::istream& in,
+int serve_stream(Dispatcher& dispatcher, std::istream& in,
                  std::ostream& out, const ServerOptions& options);
 
 /// Listen on an AF_UNIX stream socket at `path` until SIGTERM/SIGINT or a
@@ -136,7 +141,16 @@ int serve_stream(TrackingService& service, std::istream& in,
 /// a crashed daemon is probed (connect) and unlinked when dead; a live
 /// daemon's socket, or a non-socket file, is never removed (returns 1).
 /// Returns the process exit code.
-int serve_unix_socket(TrackingService& service, const std::string& path,
+int serve_unix_socket(Dispatcher& dispatcher, const std::string& path,
                       const ServerOptions& options);
+
+/// Listen on TCP `host`:`port` (--listen). Same protocol, framing, and
+/// line-length bounds as the AF_UNIX transport; `host` must be a numeric
+/// IPv4 address ("127.0.0.1", "0.0.0.0"). Port 0 binds an ephemeral port;
+/// `on_listening`, when set, receives the actually bound port before the
+/// first accept (tests use it to connect). Returns the process exit code.
+int serve_tcp(Dispatcher& dispatcher, const std::string& host,
+              std::uint16_t port, const ServerOptions& options,
+              const std::function<void(std::uint16_t)>& on_listening = {});
 
 }  // namespace perftrack::serve

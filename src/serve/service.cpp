@@ -10,6 +10,7 @@
 #include "obs/telemetry.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace_io.hpp"
+#include "tracking/html_report.hpp"
 #include "tracking/report.hpp"
 #include "tracking/trends.hpp"
 
@@ -130,9 +131,51 @@ void write_result_summary(obs::JsonWriter& json,
 TrackingService::TrackingService(ServiceConfig config)
     : config_(std::move(config)),
       metrics_(config_.metrics),
+      render_cache_(config_.render_cache_capacity),
       start_ns_(obs::now_ns()) {
   config_.session.validate_or_throw();
+  // Dispatch table: method name -> handler + the static span literal that
+  // gives the endpoint its latency/throughput slot in the run report +
+  // the pre-resolved metrics handle (no string hashing per request).
+  const struct {
+    const char* method;
+    const char* span;
+    std::string (TrackingService::*fn)(const Request&);
+  } kTable[] = {
+      {"ping", "serve_ping", &TrackingService::do_ping},
+      {"hello", "serve_hello", &TrackingService::do_hello},
+      {"open_study", "serve_open_study", &TrackingService::do_open_study},
+      {"close_study", "serve_close_study", &TrackingService::do_close_study},
+      {"list_studies", "serve_list_studies",
+       &TrackingService::do_list_studies},
+      {"append_experiment", "serve_append_experiment",
+       &TrackingService::do_append_experiment},
+      {"append_gap", "serve_append_gap", &TrackingService::do_append_gap},
+      {"retrack", "serve_retrack", &TrackingService::do_retrack},
+      {"regions", "serve_regions", &TrackingService::do_regions},
+      {"trends", "serve_trends", &TrackingService::do_trends},
+      {"report", "serve_report", &TrackingService::do_report},
+      {"coverage", "serve_coverage", &TrackingService::do_coverage},
+      {"stats", "serve_stats", &TrackingService::do_stats},
+      {"metrics", "serve_metrics", &TrackingService::do_metrics},
+      {"health", "serve_health", &TrackingService::do_health},
+      {"evict", "serve_evict", &TrackingService::do_evict},
+      {"sweep", "serve_sweep", &TrackingService::do_sweep},
+      {"shutdown", "serve_shutdown", &TrackingService::do_shutdown},
+  };
+  for (const auto& row : kTable)
+    endpoints_.emplace(row.method,
+                       Endpoint{row.span, row.fn,
+                                metrics_.method_metrics(row.method)});
   if (durable()) recover_state();
+}
+
+/// Wire names of every supported method, for the `hello` handshake.
+std::vector<std::string> TrackingService::method_names() const {
+  std::vector<std::string> out;
+  out.reserve(endpoints_.size());
+  for (const auto& [name, endpoint] : endpoints_) out.push_back(name);
+  return out;
 }
 
 void TrackingService::recover_state() {
@@ -160,6 +203,9 @@ void TrackingService::recover_state() {
     study->log = std::move(rec.entries);
     study->last_seq = rec.last_seq;
     study->appends = study->log.size();
+    // Any monotone starting point works — the fresh instance_id already
+    // separates this incarnation's cache keys from any predecessor's.
+    study->generation.store(study->log.size(), std::memory_order_release);
     try {
       study->journal = Journal::attach(config_.journal, rec.name,
                                        rec.records, rec.bytes);
@@ -244,46 +290,25 @@ Response TrackingService::handle(const Request& request) {
   PT_SPAN("serve_request");
   PT_COUNTER("serve_requests", 1.0);
 
-  // Dispatch table: method name -> handler + the static span literal that
-  // gives the endpoint its latency/throughput slot in the run report.
-  struct Endpoint {
-    const char* span;
-    std::string (TrackingService::*fn)(const Request&);
-  };
-  static const std::map<std::string, Endpoint, std::less<>> kEndpoints = {
-      {"ping", {"serve_ping", &TrackingService::do_ping}},
-      {"open_study", {"serve_open_study", &TrackingService::do_open_study}},
-      {"close_study",
-       {"serve_close_study", &TrackingService::do_close_study}},
-      {"list_studies",
-       {"serve_list_studies", &TrackingService::do_list_studies}},
-      {"append_experiment",
-       {"serve_append_experiment", &TrackingService::do_append_experiment}},
-      {"append_gap", {"serve_append_gap", &TrackingService::do_append_gap}},
-      {"retrack", {"serve_retrack", &TrackingService::do_retrack}},
-      {"regions", {"serve_regions", &TrackingService::do_regions}},
-      {"trends", {"serve_trends", &TrackingService::do_trends}},
-      {"coverage", {"serve_coverage", &TrackingService::do_coverage}},
-      {"stats", {"serve_stats", &TrackingService::do_stats}},
-      {"metrics", {"serve_metrics", &TrackingService::do_metrics}},
-      {"health", {"serve_health", &TrackingService::do_health}},
-      {"evict", {"serve_evict", &TrackingService::do_evict}},
-      {"sweep", {"serve_sweep", &TrackingService::do_sweep}},
-      {"shutdown", {"serve_shutdown", &TrackingService::do_shutdown}},
-  };
+  // One endpoints_ find resolves the handler, its span literal, and its
+  // metrics handle together — the per-request hot path does no string
+  // hashing at all (the handles were bound in the constructor).
+  auto it = endpoints_.find(request.method);
+  const ServeMetrics::MethodMetrics* slot =
+      it != endpoints_.end() ? it->second.metrics
+                             : metrics_.method_metrics(request.method);
 
   // Live-metrics side: the lock-wait context is per handle() call, and
   // the handler histogram times everything below (dispatch included), so
   // direct callers — tests, benches — fill the same histograms the
   // daemon does.
   ServeMetrics::reset_request_context();
-  metrics_.count_request(request.method);
+  metrics_.count_request(slot);
   const std::uint64_t handler_begin_ns = obs::now_ns();
 
   Response response = [&] {
     try {
-      auto it = kEndpoints.find(request.method);
-      if (it == kEndpoints.end())
+      if (it == endpoints_.end())
         throw ServeError(ErrorCode::UnknownMethod,
                          "unknown method '" + request.method + "'");
       PT_SPAN(it->second.span);
@@ -307,8 +332,7 @@ Response TrackingService::handle(const Request& request) {
     }
   }();
 
-  metrics_.record_handler_ns(request.method,
-                             obs::now_ns() - handler_begin_ns);
+  metrics_.record_handler_ns(slot, obs::now_ns() - handler_begin_ns);
   return response;
 }
 
@@ -322,12 +346,16 @@ std::shared_ptr<StudyState> TrackingService::study_of(
 }
 
 std::shared_ptr<const tracking::TrackingResult> TrackingService::tracked_result(
-    StudyState& study) {
+    StudyState& study, std::uint64_t* generation) {
   {
     std::shared_lock lock(study.mutex, std::defer_lock);
     acquire_timed(lock, metrics_);
     touch(study);
-    if (study.tracked()) return study.result;
+    if (study.tracked()) {
+      if (generation != nullptr)
+        *generation = study.generation.load(std::memory_order_acquire);
+      return study.result;
+    }
   }
   // Stale (or never tracked): upgrade and retrack. Another writer may get
   // there first — re-check under the exclusive lock; a double retrack
@@ -335,7 +363,39 @@ std::shared_ptr<const tracking::TrackingResult> TrackingService::tracked_result(
   std::unique_lock lock(study.mutex, std::defer_lock);
   acquire_timed(lock, metrics_);
   if (!study.tracked()) retrack_locked(study);
+  if (generation != nullptr)
+    *generation = study.generation.load(std::memory_order_acquire);
   return study.result;
+}
+
+std::string TrackingService::cached_render(
+    StudyState& study, const std::string& name, const std::string& shape,
+    const std::function<std::string(const tracking::TrackingResult&)>&
+        render) {
+  // Fast path: a cache entry keyed by the generation we observe now is
+  // current — generation only moves forward, and any append that made it
+  // move rewrote what a read would render. The lock-free read here may
+  // race an in-flight append; that is fine either way: an older
+  // generation misses (we render fresh below), a newer one was stored by
+  // a reader that already saw the append applied.
+  const std::uint64_t observed =
+      study.generation.load(std::memory_order_acquire);
+  const std::string key =
+      RenderCache::key(name, study.instance_id, observed, shape);
+  if (auto hit = render_cache_.get(key)) {
+    touch(study);
+    return *hit;
+  }
+  // Miss: take the read path (shared lock, retrack if stale) and record
+  // the generation the result actually corresponds to — it may be newer
+  // than `observed` if an append landed in between, and the bytes must
+  // be stored under the generation they were rendered from.
+  std::uint64_t generation = 0;
+  auto result = tracked_result(study, &generation);
+  auto body = std::make_shared<const std::string>(render(*result));
+  render_cache_.put(
+      RenderCache::key(name, study.instance_id, generation, shape), body);
+  return *body;
 }
 
 void TrackingService::retrack_locked(StudyState& study) {
@@ -357,7 +417,28 @@ void TrackingService::retrack_locked(StudyState& study) {
 
 std::string TrackingService::do_ping(const Request&) {
   obs::JsonWriter json;
-  json.begin_object().key("pong").value(true).end_object();
+  json.begin_object()
+      .key("pong")
+      .value(true)
+      .key("proto")
+      .value(kProtocolVersion)
+      .end_object();
+  return json.str();
+}
+
+std::string TrackingService::do_hello(const Request&) {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("proto").value(kProtocolVersion);
+  json.key("server").value("perftrackd");
+  json.key("methods").begin_array();
+  for (const std::string& name : method_names()) json.value(name);
+  json.end_array();
+  json.key("capabilities").begin_array();
+  json.value("render_cache");
+  if (durable()) json.value("journal");
+  json.end_array();
+  json.end_object();
   return json.str();
 }
 
@@ -539,6 +620,7 @@ std::string TrackingService::do_append_experiment(const Request& request) {
   else
     slot = study->session->append_gap(entry.label, failure);
   study->log.push_back(std::move(entry));
+  study->generation.fetch_add(1, std::memory_order_acq_rel);
   if (seq != 0) study->last_seq = seq;
   ++study->appends;
   maybe_compact(request.study, *study);
@@ -581,6 +663,7 @@ std::string TrackingService::do_append_gap(const Request& request) {
   journal_append(*study, entry);
   std::size_t slot = study->session->append_gap(label, reason);
   study->log.push_back(std::move(entry));
+  study->generation.fetch_add(1, std::memory_order_acq_rel);
   if (seq != 0) study->last_seq = seq;
   ++study->appends;
   maybe_compact(request.study, *study);
@@ -610,14 +693,16 @@ std::string TrackingService::do_retrack(const Request& request) {
 
 std::string TrackingService::do_regions(const Request& request) {
   auto study = study_of(request);
-  auto result = tracked_result(*study);
-
-  obs::JsonWriter json;
-  json.begin_object();
-  write_result_summary(json, *result);
-  json.key("text").value(tracking::describe_tracking(*result));
-  json.end_object();
-  return json.str();
+  return cached_render(
+      *study, request.study, "regions",
+      [](const tracking::TrackingResult& result) {
+        obs::JsonWriter json;
+        json.begin_object();
+        write_result_summary(json, result);
+        json.key("text").value(tracking::describe_tracking(result));
+        json.end_object();
+        return json.str();
+      });
 }
 
 std::string TrackingService::do_trends(const Request& request) {
@@ -631,16 +716,39 @@ std::string TrackingService::do_trends(const Request& request) {
       throw ServeError(ErrorCode::BadRequest, error.what());
     }
   }
-  auto result = tracked_result(*study);
+  // The resolved metric is part of the request shape: trends over ipc and
+  // trends over l2_miss_rate are distinct cached responses.
+  return cached_render(
+      *study, request.study,
+      std::string("trends:") + std::string(trace::metric_name(metric)),
+      [metric](const tracking::TrackingResult& result) {
+        obs::JsonWriter json;
+        json.begin_object();
+        json.key("metric").value(trace::metric_name(metric));
+        json.key("table").value(
+            tracking::trend_table(result, metric).to_text(2));
+        json.key("csv").value(tracking::trends_csv(result));
+        json.end_object();
+        return json.str();
+      });
+}
 
-  obs::JsonWriter json;
-  json.begin_object();
-  json.key("metric").value(trace::metric_name(metric));
-  json.key("table").value(
-      tracking::trend_table(*result, metric).to_text(2));
-  json.key("csv").value(tracking::trends_csv(*result));
-  json.end_object();
-  return json.str();
+std::string TrackingService::do_report(const Request& request) {
+  auto study = study_of(request);
+  std::string title = param_string(request, "title");
+  if (title.empty()) title = request.study;
+  return cached_render(
+      *study, request.study, std::string("report:") + title,
+      [&title](const tracking::TrackingResult& result) {
+        tracking::HtmlReportOptions options;
+        options.title = title;
+        obs::JsonWriter json;
+        json.begin_object();
+        write_result_summary(json, result);
+        json.key("html").value(tracking::html_report(result, options));
+        json.end_object();
+        return json.str();
+      });
 }
 
 std::string TrackingService::do_coverage(const Request& request) {
@@ -669,6 +777,8 @@ std::string TrackingService::do_stats(const Request& request) {
     json.key("retracks").value(study->retracks);
     json.key("rebuilds").value(study->rebuilds);
     json.key("evictions").value(study->evictions);
+    json.key("generation")
+        .value(study->generation.load(std::memory_order_acquire));
     if (study->journal != nullptr) {
       json.key("journal").begin_object();
       json.key("records").value(study->journal->records());
@@ -731,6 +841,14 @@ std::string TrackingService::do_stats(const Request& request) {
   json.key("hits").value(cache_hits);
   json.key("misses").value(cache_misses);
   json.key("stores").value(cache_stores);
+  json.end_object();
+  const RenderCache::Counters rc = render_cache_.counters();
+  json.key("render_cache").begin_object();
+  json.key("hits").value(rc.hits);
+  json.key("misses").value(rc.misses);
+  json.key("inserts").value(rc.inserts);
+  json.key("evictions").value(rc.evictions);
+  json.key("entries").value(rc.entries);
   json.end_object();
   json.key("journal").begin_object();
   json.key("enabled").value(durable());
@@ -796,6 +914,16 @@ void TrackingService::refresh_gauges() {
       .set(static_cast<double>(cache_misses));
   reg.gauge("perftrackd_frame_cache_stores")
       .set(static_cast<double>(cache_stores));
+  const RenderCache::Counters rc = render_cache_.counters();
+  reg.gauge("perftrackd_render_cache_hits").set(static_cast<double>(rc.hits));
+  reg.gauge("perftrackd_render_cache_misses")
+      .set(static_cast<double>(rc.misses));
+  reg.gauge("perftrackd_render_cache_inserts")
+      .set(static_cast<double>(rc.inserts));
+  reg.gauge("perftrackd_render_cache_evictions")
+      .set(static_cast<double>(rc.evictions));
+  reg.gauge("perftrackd_render_cache_entries")
+      .set(static_cast<double>(rc.entries));
   if (durable()) {
     reg.gauge("perftrackd_journal_recovered")
         .set(static_cast<double>(journal_recovered_.load()));

@@ -34,23 +34,18 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "serve/dispatcher.hpp"
 #include "serve/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "serve/registry.hpp"
+#include "serve/render_cache.hpp"
 
 namespace perftrack::serve {
-
-/// Bounded-queue counters, injected by the server layer so the `stats`
-/// endpoint can report backpressure without the service owning the queue.
-struct QueueStats {
-  std::size_t capacity = 0;
-  std::size_t in_flight = 0;
-  std::uint64_t admitted = 0;
-  std::uint64_t rejected = 0;
-};
 
 struct ServiceConfig {
   /// Base session configuration; open_study parameters override per study.
@@ -74,9 +69,13 @@ struct ServiceConfig {
   /// journal.directory, recovered on construction. An empty directory
   /// keeps the registry purely in-memory (the pre-state-dir behaviour).
   JournalConfig journal;
+
+  /// Total rendered responses kept by the versioned render cache
+  /// (0 disables it; reads then always render fresh).
+  std::size_t render_cache_capacity = 4096;
 };
 
-class TrackingService {
+class TrackingService : public Dispatcher {
 public:
   explicit TrackingService(ServiceConfig config = {});
 
@@ -84,18 +83,26 @@ public:
   /// error response. Thread-safe.
   Response handle(const Request& request);
 
+  /// Dispatcher seam for the transports; the raw line is unused here
+  /// (the shard front is the dispatcher that forwards it).
+  Response dispatch(const Request& request,
+                    const std::string& raw_line) override {
+    (void)raw_line;
+    return handle(request);
+  }
+
   /// Convenience: parse one NDJSON line and handle it.
   Response handle_line(const std::string& line);
 
   /// Set by a "shutdown" request; the server drains and exits when it
   /// sees this.
-  bool shutdown_requested() const {
+  bool shutdown_requested() const override {
     return shutdown_.load(std::memory_order_acquire);
   }
 
   /// Run the idle-eviction policy now (also exposed as the "sweep"
   /// method). Returns the number of sessions evicted.
-  std::size_t sweep();
+  std::size_t sweep() override;
 
   /// Fsync every study's unsynced journal records (the graceful-drain /
   /// SIGTERM path; perftrackd calls it after the serve loop returns).
@@ -103,13 +110,13 @@ public:
   void flush_journals();
 
   /// Installed by the server so `stats` can report queue backpressure.
-  void set_queue_stats(std::function<QueueStats()> fn) {
+  void set_queue_stats(std::function<QueueStats()> fn) override {
     queue_stats_ = std::move(fn);
   }
 
   /// The live metrics plane. The server records transport-side phases
   /// through it; the HTTP endpoint samples it.
-  ServeMetrics& metrics() { return metrics_; }
+  ServeMetrics& metrics() override { return metrics_; }
 
   /// Refresh the occupancy gauges (studies, resident sessions, queue,
   /// uptime, cache totals) and render the registry in Prometheus text
@@ -122,9 +129,14 @@ public:
 
   const ServiceConfig& config() const { return config_; }
   StudyRegistry& registry() { return registry_; }
+  RenderCache& render_cache() { return render_cache_; }
+
+  /// Wire names of every supported method, sorted (the `hello` surface).
+  std::vector<std::string> method_names() const;
 
 private:
   std::string do_ping(const Request& request);
+  std::string do_hello(const Request& request);
   std::string do_open_study(const Request& request);
   std::string do_close_study(const Request& request);
   std::string do_list_studies(const Request& request);
@@ -133,6 +145,7 @@ private:
   std::string do_retrack(const Request& request);
   std::string do_regions(const Request& request);
   std::string do_trends(const Request& request);
+  std::string do_report(const Request& request);
   std::string do_coverage(const Request& request);
   std::string do_stats(const Request& request);
   std::string do_metrics(const Request& request);
@@ -144,9 +157,19 @@ private:
   std::shared_ptr<StudyState> study_of(const Request& request) const;
 
   /// Serve-side read path: shared lock when the study is tracked,
-  /// exclusive retrack first when it is stale.
+  /// exclusive retrack first when it is stale. When `generation` is
+  /// non-null it receives the study generation observed under the lock —
+  /// the version the returned result corresponds to.
   std::shared_ptr<const tracking::TrackingResult> tracked_result(
-      StudyState& study);
+      StudyState& study, std::uint64_t* generation = nullptr);
+
+  /// Read path shared by regions/trends/report: serve `shape` for
+  /// `study` from the render cache when its bytes are current, render
+  /// via `render` and cache otherwise.
+  std::string cached_render(
+      StudyState& study, const std::string& name, const std::string& shape,
+      const std::function<std::string(const tracking::TrackingResult&)>&
+          render);
 
   /// Retrack under an already-held exclusive lock.
   void retrack_locked(StudyState& study);
@@ -169,11 +192,21 @@ private:
 
   bool durable() const { return config_.journal.enabled(); }
 
+  /// One dispatch-table entry: handler, its telemetry span literal, and
+  /// the pre-resolved metrics handle — one map find covers all three.
+  struct Endpoint {
+    const char* span;
+    std::string (TrackingService::*fn)(const Request&);
+    const ServeMetrics::MethodMetrics* metrics;
+  };
+
   ServiceConfig config_;
   StudyRegistry registry_;
   std::atomic<bool> shutdown_{false};
   std::function<QueueStats()> queue_stats_;
   ServeMetrics metrics_;
+  RenderCache render_cache_;
+  std::map<std::string, Endpoint, std::less<>> endpoints_;
   std::uint64_t start_ns_;  ///< telemetry-clock birth time (uptime base)
 
   // Recovery + journal-health counters (stats/metrics surface them).

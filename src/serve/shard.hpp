@@ -1,0 +1,101 @@
+#pragma once
+// Shard-by-study front: one Dispatcher fanning a fleet of workers.
+//
+// `perftrackd --front --shards N` scales reads past one process: the
+// front owns no studies — it routes every study-addressed request to the
+// worker that owns the study (FNV-1a of the study name, mod N) and
+// forwards the client's raw NDJSON line verbatim. The worker's response
+// line comes back equally verbatim (Response::raw), so sharded responses
+// are byte-identical to a single daemon's — the front adds routing, not
+// re-rendering (bench/perf_serve pins this with verdict_shard_identity).
+//
+// Study-less methods fall into three buckets:
+//
+//   * ping / hello       answered locally (same bytes a worker produces;
+//                        hello advertises the "sharding" capability),
+//   * list_studies, stats, metrics, health, sweep, shutdown
+//                        fanned out to every shard and merged (counters
+//                        sum, uptimes max, draining ORs; see the merge
+//                        notes on each helper),
+//   * everything else    forwarded to shard 0, so unknown methods and
+//                        study-less study methods produce exactly the
+//                        single-daemon typed error (closed error enum).
+//
+// The backend seam is a plain function from request line to response
+// line: the daemon wires NdjsonClient roundtrips into it, tests and the
+// bench wire TrackingService::handle_line directly and exercise the full
+// routing/merge logic in-process with zero sockets.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/dispatcher.hpp"
+#include "serve/metrics.hpp"
+#include "serve/protocol.hpp"
+
+namespace perftrack::serve {
+
+class ShardFront : public Dispatcher {
+public:
+  /// One worker: takes a complete request line (no trailing newline),
+  /// returns the complete response line (no trailing newline). Must be
+  /// callable from multiple threads; throws on transport failure.
+  using Backend = std::function<std::string(const std::string& line)>;
+
+  /// At least one backend; `metrics` false disables the front's own
+  /// metrics plane (the workers keep theirs regardless).
+  explicit ShardFront(std::vector<Backend> backends, bool metrics = true);
+
+  /// The routing function: which shard owns `study` out of `shards`.
+  /// Stable across runs (pure FNV-1a 64) — clients may rely on it.
+  static std::size_t shard_of(const std::string& study, std::size_t shards);
+
+  std::size_t shards() const { return backends_.size(); }
+
+  Response dispatch(const Request& request,
+                    const std::string& raw_line) override;
+
+  bool shutdown_requested() const override {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  ServeMetrics& metrics() override { return metrics_; }
+
+  void set_queue_stats(std::function<QueueStats()> fn) override {
+    queue_stats_ = std::move(fn);
+  }
+
+  /// The front holds no sessions; each worker runs its own idle sweeper.
+  /// (The `sweep` protocol request does fan out — this is only the
+  /// front's local timer hook.)
+  std::size_t sweep() override { return 0; }
+
+private:
+  /// Forward the raw line to one shard; the reply becomes Response::raw.
+  Response forward(std::size_t shard, const std::string& raw_line);
+
+  /// Send `line` to every shard and return the parsed result objects.
+  /// Throws ServeError{Internal} naming the shard on transport failure
+  /// or a worker-side error response.
+  std::vector<obs::JsonValue> fan_out(const std::string& line);
+
+  std::string ping_body() const;
+  std::string hello_body() const;
+  std::string merged_list_studies();
+  std::string merged_stats();
+  std::string merged_metrics(const Request& request);
+  std::string merged_health();
+  std::string merged_sweep();
+  std::string merged_shutdown();
+
+  std::vector<Backend> backends_;
+  std::atomic<bool> shutdown_{false};
+  std::function<QueueStats()> queue_stats_;
+  ServeMetrics metrics_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace perftrack::serve

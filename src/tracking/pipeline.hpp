@@ -14,9 +14,10 @@
 //
 // run() is a thin wrapper over TrackingSession (tracking/session.hpp): it
 // replays the recorded experiments into a fresh session and retracks once,
-// so batch and incremental runs share one engine and cannot drift. The
-// individual setters survive as forwarders into the SessionConfig
-// aggregate; new code should prefer set_config().
+// so batch and incremental runs share one engine and cannot drift.
+// Configuration goes through one surface: build a SessionConfig and pass
+// it to set_config(); validate() (run by the session) reports every
+// problem at once. The per-field setters that once shadowed it are gone.
 //
 // Degraded mode: with lenient resilience enabled, an experiment that fails
 // to cluster (or that the caller already failed to load — add_gap) becomes
@@ -51,31 +52,12 @@ public:
   void set_config(SessionConfig config) { config_ = std::move(config); }
   const SessionConfig& config() const { return config_; }
 
-  /// Clustering configuration used to build every frame.
-  /// (Forwarder; prefer set_config.)
-  void set_clustering(cluster::ClusteringParams params) {
-    config_.clustering = std::move(params);
-  }
+  /// Read-only views into the aggregate, for callers that only inspect.
   const cluster::ClusteringParams& clustering() const {
     return config_.clustering;
   }
-
-  /// Tracking (evaluator/combiner) configuration. (Forwarder.)
-  void set_tracking(TrackingParams params) {
-    config_.tracking = std::move(params);
-  }
   const TrackingParams& tracking() const { return config_.tracking; }
-
-  /// Degraded-mode policy (strict by default). (Forwarder.)
-  void set_resilience(ResilienceParams params) {
-    config_.resilience = params;
-  }
   const ResilienceParams& resilience() const { return config_.resilience; }
-
-  /// On-disk frame cache (disabled by default). (Forwarder.)
-  void set_cache(store::StoreConfig config) {
-    config_.cache = std::move(config);
-  }
   const store::StoreConfig& cache() const { return config_.cache; }
 
   /// Sequence slots added so far (experiments plus pre-declared gaps).

@@ -213,6 +213,10 @@ TEST(ServeConcurrencyTest, EvictionRacesWithReadsSafely) {
         ASSERT_TRUE(r.ok) << r.message;
         // Rebuild-after-evict must reproduce the identical result.
         EXPECT_EQ(obs::parse_json(r.result_json).at("text").string, expected);
+        // coverage is not render-cached, so this read races an actual
+        // session rebuild against the evictor.
+        Response c = service.handle(req("coverage", "churn"));
+        ASSERT_TRUE(c.ok) << c.message;
       }
     });
   }

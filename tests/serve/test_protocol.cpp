@@ -89,8 +89,8 @@ TEST(ProtocolTest, ErrorCodeNamesAreStableAndDistinct) {
       ErrorCode::UnknownStudy, ErrorCode::StudyExists,
       ErrorCode::InvalidConfig, ErrorCode::ParseFailure,
       ErrorCode::IoFailure,    ErrorCode::TrackingFailed,
-      ErrorCode::Overloaded,   ErrorCode::ShuttingDown,
-      ErrorCode::Internal,
+      ErrorCode::ReplayFailed, ErrorCode::Overloaded,
+      ErrorCode::ShuttingDown, ErrorCode::Internal,
   };
   std::set<std::string> names;
   for (ErrorCode code : codes) {
@@ -103,6 +103,39 @@ TEST(ProtocolTest, ErrorCodeNamesAreStableAndDistinct) {
   EXPECT_EQ(names.size(), std::size(codes));
   EXPECT_EQ(error_code_name(ErrorCode::Overloaded), "overloaded");
   EXPECT_EQ(error_code_name(ErrorCode::ShuttingDown), "shutting-down");
+}
+
+// ---------------------------------------------------------------------------
+// Protocol v2 pins. The version is additive: these tests are the contract
+// that lets a v1 client keep talking to a v2 daemon and vice versa.
+
+TEST(ProtocolV2Test, VersionIsTwo) { EXPECT_EQ(kProtocolVersion, 2u); }
+
+TEST(ProtocolV2Test, TolerantReaderSkipsUnknownRequestFields) {
+  // A v3 client may send fields this build has never heard of; the parse
+  // must succeed and keep the fields it knows.
+  Request r = parse_request(
+      R"({"id":7,"method":"ping","future":{"deep":[1,{"x":2}]},)"
+      R"("flag":true,"note":"from tomorrow"})");
+  EXPECT_EQ(r.method, "ping");
+  EXPECT_EQ(r.id, "7");
+}
+
+TEST(ProtocolV2Test, UnknownMethodsStayInsideTheClosedEnum) {
+  // Forward compatibility for *methods* is the error enum, not a parse
+  // failure: the request parses, and the service answers unknown-method.
+  Request r = parse_request(R"({"method":"method_from_v9"})");
+  EXPECT_EQ(r.method, "method_from_v9");
+  EXPECT_EQ(error_code_name(ErrorCode::UnknownMethod), "unknown-method");
+}
+
+TEST(ProtocolV2Test, RawPassthroughRendersVerbatim) {
+  // The shard front answers proxied requests with the worker's bytes
+  // unchanged; render_response must not touch them.
+  Response proxied;
+  proxied.ok = false;  // ignored: raw wins over every other field
+  proxied.raw = R"({"id":"x-1","ok":true,"result":{"pong":true,"proto":2}})";
+  EXPECT_EQ(render_response(proxied), proxied.raw);
 }
 
 }  // namespace

@@ -1,0 +1,288 @@
+// The versioned render cache: generation-keyed invalidation, byte-identical
+// hits, eviction survival, and the read-while-append race (run under tsan
+// by the concurrency preset).
+
+#include "serve/render_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "serve/service.hpp"
+#include "testing/test_traces.hpp"
+#include "trace/trace_io.hpp"
+
+namespace perftrack::serve {
+namespace {
+
+using perftrack::testing::MiniPhase;
+using perftrack::testing::MiniTraceSpec;
+using perftrack::testing::make_mini_trace;
+
+std::string trace_text(const std::string& label, std::uint64_t seed) {
+  MiniTraceSpec spec;
+  spec.label = label;
+  spec.seed = seed;
+  spec.noise = 0.02;
+  spec.phases = {MiniPhase{8e6, 1.0, {"p1", "x.c", 1}},
+                 MiniPhase{1e6, 2.0, {"p2", "x.c", 2}}};
+  std::ostringstream out;
+  trace::write_trace(out, *make_mini_trace(spec));
+  return out.str();
+}
+
+ServiceConfig test_config() {
+  ServiceConfig config;
+  config.session.clustering.dbscan.eps = 0.05;
+  config.session.clustering.dbscan.min_pts = 3;
+  return config;
+}
+
+Response line(TrackingService& service, const std::string& request) {
+  return service.handle_line(request);
+}
+
+std::string ok_line(TrackingService& service, const std::string& request) {
+  Response response = line(service, request);
+  EXPECT_TRUE(response.ok) << response.message;
+  return render_response(response);
+}
+
+void append(TrackingService& service, const std::string& study,
+            const std::string& label, std::uint64_t seed) {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("method").value("append_experiment");
+  json.key("study").value(study);
+  json.key("params").begin_object();
+  json.key("trace").value(trace_text(label, seed));
+  json.key("label").value(label);
+  json.end_object();
+  json.end_object();
+  ok_line(service, json.str());
+}
+
+double stat_number(TrackingService& service, const std::string& study,
+                   const char* outer, const char* inner = nullptr) {
+  Response response = service.handle_line(
+      study.empty() ? std::string(R"({"method":"stats"})")
+                    : R"({"method":"stats","study":")" + study + "\"}");
+  EXPECT_TRUE(response.ok) << response.message;
+  obs::JsonValue stats = obs::parse_json(response.result_json);
+  const obs::JsonValue& v = inner ? stats.at(outer).at(inner)
+                                  : stats.at(outer);
+  return v.number;
+}
+
+// ---------------------------------------------------------------------------
+// Unit level
+
+TEST(RenderCacheTest, MissThenHitThenCounters) {
+  RenderCache cache(64);
+  const std::string key = RenderCache::key("wrf", 1, 3, "regions");
+  EXPECT_EQ(cache.get(key), nullptr);
+  cache.put(key, std::make_shared<const std::string>("bytes"));
+  auto hit = cache.get(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "bytes");
+  RenderCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.misses, 1u);
+  EXPECT_EQ(counters.inserts, 1u);
+  EXPECT_EQ(counters.entries, 1u);
+}
+
+TEST(RenderCacheTest, KeySeparatesStudyInstanceGenerationAndShape) {
+  // Adjacent fields must not be able to alias by concatenation.
+  EXPECT_NE(RenderCache::key("a", 1, 2, "regions"),
+            RenderCache::key("a", 1, 3, "regions"));
+  EXPECT_NE(RenderCache::key("a", 1, 2, "regions"),
+            RenderCache::key("a", 2, 2, "regions"));
+  EXPECT_NE(RenderCache::key("a", 1, 2, "regions"),
+            RenderCache::key("b", 1, 2, "regions"));
+  EXPECT_NE(RenderCache::key("a", 1, 2, "trends:IPC"),
+            RenderCache::key("a", 1, 2, "trends:Instructions"));
+  EXPECT_NE(RenderCache::key("a", 11, 2, "x"),
+            RenderCache::key("a", 1, 12, "x"));
+}
+
+TEST(RenderCacheTest, ZeroCapacityDisables) {
+  RenderCache cache(0);
+  const std::string key = RenderCache::key("s", 1, 1, "regions");
+  cache.put(key, std::make_shared<const std::string>("bytes"));
+  EXPECT_EQ(cache.get(key), nullptr);
+  EXPECT_EQ(cache.counters().entries, 0u);
+}
+
+TEST(RenderCacheTest, CapacityBoundsResidentEntries) {
+  RenderCache cache(32);  // 2 per internal shard
+  for (int i = 0; i < 1000; ++i)
+    cache.put(RenderCache::key("s", 1, static_cast<std::uint64_t>(i), "r"),
+              std::make_shared<const std::string>("x"));
+  RenderCache::Counters counters = cache.counters();
+  EXPECT_LE(counters.entries, 32u);
+  EXPECT_EQ(counters.inserts, 1000u);
+  EXPECT_EQ(counters.evictions, counters.inserts - counters.entries);
+}
+
+// ---------------------------------------------------------------------------
+// Service level
+
+TEST(RenderCacheServiceTest, CacheHitIsByteIdentical) {
+  TrackingService service(test_config());
+  ok_line(service, R"({"method":"open_study","study":"s"})");
+  append(service, "s", "A", 1);
+  append(service, "s", "B", 2);
+
+  const std::string first =
+      ok_line(service, R"({"id":1,"method":"regions","study":"s"})");
+  const std::string second =
+      ok_line(service, R"({"id":1,"method":"regions","study":"s"})");
+  EXPECT_EQ(first, second);
+
+  RenderCache::Counters counters = service.render_cache().counters();
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.misses, 1u);
+
+  // Same study, different shape: trends and report are cached separately.
+  ok_line(service, R"({"method":"trends","study":"s"})");
+  ok_line(service, R"({"method":"trends","study":"s"})");
+  ok_line(service, R"({"method":"report","study":"s"})");
+  counters = service.render_cache().counters();
+  EXPECT_EQ(counters.hits, 2u);
+  EXPECT_EQ(counters.misses, 3u);
+}
+
+TEST(RenderCacheServiceTest, AppendBumpsGenerationAndInvalidates) {
+  TrackingService service(test_config());
+  ok_line(service, R"({"method":"open_study","study":"s"})");
+  append(service, "s", "A", 1);
+  append(service, "s", "B", 2);
+  EXPECT_EQ(stat_number(service, "s", "generation"), 2.0);
+
+  ok_line(service, R"({"method":"regions","study":"s"})");  // miss, insert
+  append(service, "s", "C", 3);  // generation 2 -> 3
+  EXPECT_EQ(stat_number(service, "s", "generation"), 3.0);
+
+  // The next read must not serve the 2-experiment bytes.
+  Response fresh =
+      service.handle_line(R"({"method":"regions","study":"s"})");
+  ASSERT_TRUE(fresh.ok) << fresh.message;
+  obs::JsonValue regions = obs::parse_json(fresh.result_json);
+  EXPECT_EQ(regions.at("experiments").number, 3.0);
+
+  RenderCache::Counters counters = service.render_cache().counters();
+  EXPECT_EQ(counters.hits, 0u);
+  EXPECT_EQ(counters.misses, 2u);
+}
+
+TEST(RenderCacheServiceTest, GapAppendInvalidatesToo) {
+  ServiceConfig config = test_config();
+  config.session.resilience.lenient = true;
+  TrackingService service(config);
+  ok_line(service, R"({"method":"open_study","study":"s"})");
+  append(service, "s", "A", 1);
+  append(service, "s", "B", 2);
+  ok_line(service, R"({"method":"regions","study":"s"})");
+  EXPECT_EQ(stat_number(service, "s", "generation"), 2.0);
+
+  ok_line(service,
+          R"({"method":"append_gap","study":"s",)"
+          R"("params":{"label":"lost.ptt","reason":"unreadable"}})");
+  EXPECT_EQ(stat_number(service, "s", "generation"), 3.0);
+
+  Response fresh =
+      service.handle_line(R"({"method":"regions","study":"s"})");
+  ASSERT_TRUE(fresh.ok) << fresh.message;
+  EXPECT_EQ(service.render_cache().counters().hits, 0u);
+}
+
+TEST(RenderCacheServiceTest, EvictedStudyKeepsServingFromCache) {
+  TrackingService service(test_config());
+  ok_line(service, R"({"method":"open_study","study":"s"})");
+  append(service, "s", "A", 1);
+  append(service, "s", "B", 2);
+
+  const std::string before =
+      ok_line(service, R"({"id":7,"method":"regions","study":"s"})");
+  ok_line(service, R"({"method":"evict","study":"s"})");
+  EXPECT_EQ(stat_number(service, "", "resident_sessions"), 0.0);
+
+  // Cached render, not a rebuild: the session stays evicted.
+  const std::string after =
+      ok_line(service, R"({"id":7,"method":"regions","study":"s"})");
+  EXPECT_EQ(before, after);
+  EXPECT_EQ(stat_number(service, "", "resident_sessions"), 0.0);
+  EXPECT_EQ(stat_number(service, "", "rebuilds"), 0.0);
+  EXPECT_EQ(service.render_cache().counters().hits, 1u);
+
+  // An uncached shape forces the rebuild — and stays byte-compatible.
+  Response trends =
+      service.handle_line(R"({"method":"trends","study":"s"})");
+  ASSERT_TRUE(trends.ok) << trends.message;
+  EXPECT_EQ(stat_number(service, "", "rebuilds"), 1.0);
+}
+
+TEST(RenderCacheServiceTest, ReopenedStudyDoesNotCollide) {
+  // close_study then open_study restarts generations at zero; the
+  // instance id must keep the old entries from answering for the new
+  // study's (different) contents.
+  TrackingService service(test_config());
+  ok_line(service, R"({"method":"open_study","study":"s"})");
+  append(service, "s", "A", 1);
+  append(service, "s", "B", 2);
+  ok_line(service, R"({"method":"regions","study":"s"})");
+  ok_line(service, R"({"method":"close_study","study":"s"})");
+
+  ok_line(service, R"({"method":"open_study","study":"s"})");
+  append(service, "s", "C", 3);
+  append(service, "s", "D", 4);
+  Response fresh =
+      service.handle_line(R"({"method":"regions","study":"s"})");
+  ASSERT_TRUE(fresh.ok) << fresh.message;
+  EXPECT_EQ(service.render_cache().counters().hits, 0u);
+}
+
+TEST(RenderCacheServiceTest, ConcurrentReadsWhileAppending) {
+  // tsan target: pooled readers hammer regions/trends while a writer
+  // appends. Every response must be ok and reflect a consistent
+  // generation (no torn renders, no data races).
+  TrackingService service(test_config());
+  ok_line(service, R"({"method":"open_study","study":"s"})");
+  append(service, "s", "A", 1);
+  append(service, "s", "B", 2);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&service, &stop] {
+      while (!stop.load(std::memory_order_acquire)) {
+        Response r =
+            service.handle_line(R"({"method":"regions","study":"s"})");
+        EXPECT_TRUE(r.ok) << r.message;
+        Response trends =
+            service.handle_line(R"({"method":"trends","study":"s"})");
+        EXPECT_TRUE(trends.ok) << trends.message;
+      }
+    });
+  }
+  for (std::uint64_t seed = 3; seed < 7; ++seed)
+    append(service, "s", "E" + std::to_string(seed), seed);
+  stop.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+
+  Response final_read =
+      service.handle_line(R"({"method":"regions","study":"s"})");
+  ASSERT_TRUE(final_read.ok) << final_read.message;
+  EXPECT_EQ(obs::parse_json(final_read.result_json).at("experiments").number,
+            6.0);
+}
+
+}  // namespace
+}  // namespace perftrack::serve

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "serve/client.hpp"
 #include "serve/service.hpp"
 #include "testing/test_traces.hpp"
 #include "trace/trace_io.hpp"
@@ -457,6 +458,62 @@ TEST(ServeUnixSocketTest, NonSocketFileIsRefusedNotRemoved) {
   ASSERT_TRUE(fs::exists(path)) << "a non-socket file must never be unlinked";
   EXPECT_TRUE(fs::is_regular_file(path));
   fs::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport (--listen): same protocol and framing over a socketpair the
+// client reaches with NdjsonClient's tcp://HOST:PORT endpoint form.
+
+TEST(ServeTcpTest, ServesOverEphemeralPortAndDrainsOnShutdown) {
+  TrackingService service;
+  ServerOptions options;
+  options.threads = 2;
+
+  std::mutex mutex;
+  std::condition_variable ready;
+  std::uint16_t port = 0;
+  std::thread server([&] {
+    EXPECT_EQ(serve_tcp(service, "127.0.0.1", 0, options,
+                        [&](std::uint16_t bound) {
+                          std::lock_guard<std::mutex> lock(mutex);
+                          port = bound;
+                          ready.notify_one();
+                        }),
+              0);
+  });
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    ready.wait(lock, [&] { return port != 0; });
+  }
+
+  NdjsonClient client("tcp://127.0.0.1:" + std::to_string(port));
+  ClientResponse pong = client.call("ping");
+  ASSERT_TRUE(pong.ok) << pong.error_message;
+  EXPECT_TRUE(pong.result.at("pong").boolean);
+  EXPECT_EQ(pong.result.at("proto").number,
+            static_cast<double>(kProtocolVersion));
+
+  ASSERT_TRUE(client.call("open_study", "a").ok);
+  ClientResponse list = client.call("list_studies");
+  ASSERT_TRUE(list.ok);
+  EXPECT_EQ(list.result.at("studies").array.size(), 1u);
+
+  ClientResponse down = client.call("shutdown");
+  ASSERT_TRUE(down.ok);
+  EXPECT_TRUE(down.result.at("draining").boolean);
+  server.join();
+}
+
+TEST(ServeTcpTest, NonNumericHostIsRefused) {
+  TrackingService service;
+  EXPECT_EQ(serve_tcp(service, "localhost", 0, ServerOptions{}), 1);
+}
+
+TEST(ServeTcpTest, ClientRejectsMalformedTcpEndpoints) {
+  EXPECT_THROW(NdjsonClient("tcp://127.0.0.1"), Error);       // no port
+  EXPECT_THROW(NdjsonClient("tcp://127.0.0.1:0"), Error);     // port range
+  EXPECT_THROW(NdjsonClient("tcp://127.0.0.1:70000"), Error);
+  EXPECT_THROW(NdjsonClient("tcp://nothost:1234"), Error);    // not numeric
 }
 
 }  // namespace

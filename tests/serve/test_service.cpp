@@ -293,14 +293,23 @@ TEST(ServiceTest, EvictedStudyRebuildsWithIdenticalResults) {
   EXPECT_FALSE(stats.at("resident").boolean);
   EXPECT_FALSE(stats.at("tracked").boolean);
 
-  // The next read replays the append log into a fresh session; the result
-  // is byte-identical to the pre-eviction one.
+  // A repeat regions read is served from the render cache — identical
+  // bytes, no session rebuild.
   obs::JsonValue after = ok(service, req("regions", "s"));
   EXPECT_EQ(after.at("text").string, before.at("text").string);
   obs::JsonValue stats2 = ok(service, req("stats", "s"));
-  EXPECT_TRUE(stats2.at("resident").boolean);
-  EXPECT_EQ(static_cast<int>(stats2.at("rebuilds").number), 1);
-  EXPECT_EQ(static_cast<int>(stats2.at("evictions").number), 1);
+  EXPECT_FALSE(stats2.at("resident").boolean);
+  EXPECT_EQ(static_cast<int>(stats2.at("rebuilds").number), 0);
+
+  // An uncached read replays the append log into a fresh session; the
+  // rebuilt state answers byte-identically to the pre-eviction one.
+  ok(service, req("coverage", "s"));
+  obs::JsonValue stats3 = ok(service, req("stats", "s"));
+  EXPECT_TRUE(stats3.at("resident").boolean);
+  EXPECT_EQ(static_cast<int>(stats3.at("rebuilds").number), 1);
+  EXPECT_EQ(static_cast<int>(stats3.at("evictions").number), 1);
+  obs::JsonValue again = ok(service, req("regions", "s"));
+  EXPECT_EQ(again.at("text").string, before.at("text").string);
 }
 
 TEST(ServiceTest, ReopenedStudyWarmsFromFrameCache) {

@@ -1,0 +1,281 @@
+// The shard-by-study front, exercised in-process: TrackingService
+// instances as backends, zero sockets. The load-bearing test is
+// TwoShardFrontIsByteIdenticalToOneDaemon — sharding must add routing,
+// never re-rendering.
+
+#include "serve/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "serve/service.hpp"
+#include "testing/test_traces.hpp"
+#include "trace/trace_io.hpp"
+
+namespace perftrack::serve {
+namespace {
+
+using perftrack::testing::MiniPhase;
+using perftrack::testing::MiniTraceSpec;
+using perftrack::testing::make_mini_trace;
+
+std::string trace_text(const std::string& label, std::uint64_t seed) {
+  MiniTraceSpec spec;
+  spec.label = label;
+  spec.seed = seed;
+  spec.noise = 0.02;
+  spec.phases = {MiniPhase{8e6, 1.0, {"p1", "x.c", 1}},
+                 MiniPhase{1e6, 2.0, {"p2", "x.c", 2}}};
+  std::ostringstream out;
+  trace::write_trace(out, *make_mini_trace(spec));
+  return out.str();
+}
+
+ServiceConfig test_config() {
+  ServiceConfig config;
+  config.session.clustering.dbscan.eps = 0.05;
+  config.session.clustering.dbscan.min_pts = 3;
+  return config;
+}
+
+ShardFront::Backend backend_of(TrackingService& service) {
+  return [&service](const std::string& line) {
+    return render_response(service.handle_line(line));
+  };
+}
+
+/// Drive the front exactly like a transport would: parsed request plus
+/// the raw line, rendered response line back.
+std::string front_line(ShardFront& front, const std::string& line) {
+  Request request;
+  try {
+    request = parse_request(line);
+  } catch (const ServeError& error) {
+    return render_response(
+        make_error(Request{}, error.code(), error.what()));
+  }
+  return render_response(front.dispatch(request, line));
+}
+
+std::string append_line(const std::string& study, const std::string& label,
+                        std::uint64_t seed) {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("method").value("append_experiment");
+  json.key("study").value(study);
+  json.key("params").begin_object();
+  json.key("trace").value(trace_text(label, seed));
+  json.key("label").value(label);
+  json.end_object();
+  json.end_object();
+  return json.str();
+}
+
+/// A front over `shards` fresh services, plus one monolithic service fed
+/// the same requests — the byte-identity reference.
+struct Fixture {
+  explicit Fixture(std::size_t shards) {
+    for (std::size_t i = 0; i < shards; ++i)
+      workers.push_back(std::make_unique<TrackingService>(test_config()));
+    std::vector<ShardFront::Backend> backends;
+    for (auto& worker : workers) backends.push_back(backend_of(*worker));
+    front = std::make_unique<ShardFront>(std::move(backends));
+    single = std::make_unique<TrackingService>(test_config());
+  }
+
+  /// Send to both deployments; expect byte-identical responses.
+  std::string both(const std::string& line) {
+    const std::string sharded = front_line(*front, line);
+    const std::string monolith =
+        render_response(single->handle_line(line));
+    EXPECT_EQ(sharded, monolith) << "for request: " << line;
+    return sharded;
+  }
+
+  std::vector<std::unique_ptr<TrackingService>> workers;
+  std::unique_ptr<ShardFront> front;
+  std::unique_ptr<TrackingService> single;
+};
+
+TEST(ShardRoutingTest, ShardOfIsStableAndCoversAllShards) {
+  std::set<std::size_t> used;
+  for (int i = 0; i < 64; ++i) {
+    const std::string study = "study-" + std::to_string(i);
+    const std::size_t shard = ShardFront::shard_of(study, 4);
+    EXPECT_LT(shard, 4u);
+    EXPECT_EQ(shard, ShardFront::shard_of(study, 4));  // deterministic
+    used.insert(shard);
+  }
+  EXPECT_EQ(used.size(), 4u) << "64 names should hit all 4 shards";
+}
+
+TEST(ShardFrontTest, RequiresABackend) {
+  EXPECT_THROW(ShardFront({}), Error);
+}
+
+TEST(ShardFrontTest, TwoShardFrontIsByteIdenticalToOneDaemon) {
+  Fixture fx(2);
+  const std::vector<std::string> studies = {"alpha", "beta", "gamma",
+                                            "delta"};
+  for (const auto& s : studies) {
+    fx.both(R"({"id":"open-)" + s + R"(","method":"open_study","study":")" +
+            s + "\"}");
+    std::uint64_t seed = 1;
+    for (const char* label : {"A", "B", "C"})
+      fx.both(append_line(s, label, seed++));
+  }
+  // Reads with ids: regions, trends (explicit metric), report, coverage —
+  // responses including the id echo must match byte for byte.
+  for (const auto& s : studies) {
+    fx.both(R"({"id":1,"method":"regions","study":")" + s + "\"}");
+    fx.both(R"({"id":2,"method":"trends","study":")" + s +
+            R"(","params":{"metric":"IPC"}})");
+    fx.both(R"({"id":"r-3","method":"report","study":")" + s + "\"}");
+    fx.both(R"({"id":4,"method":"coverage","study":")" + s + "\"}");
+  }
+  // Typed errors are byte-identical too.
+  fx.both(R"({"id":9,"method":"regions","study":"never-opened"})");
+  fx.both(R"({"id":10,"method":"frobnicate","study":"alpha"})");
+  // Study-less unknown method goes to shard 0 and still matches.
+  fx.both(R"({"id":11,"method":"frobnicate"})");
+
+  // The studies actually spread: with 4 names over 2 shards at least one
+  // study must land on each (pinned: this set does split).
+  std::set<std::size_t> used;
+  for (const auto& s : studies) used.insert(ShardFront::shard_of(s, 2));
+  EXPECT_EQ(used.size(), 2u);
+}
+
+TEST(ShardFrontTest, PingMatchesWorkerBytesAndHelloAdvertisesSharding) {
+  Fixture fx(2);
+  fx.both(R"({"id":1,"method":"ping"})");
+
+  obs::JsonValue hello = obs::parse_json(
+      front_line(*fx.front, R"({"method":"hello"})"));
+  ASSERT_TRUE(hello.at("ok").boolean);
+  const obs::JsonValue& result = hello.at("result");
+  EXPECT_EQ(result.at("proto").number,
+            static_cast<double>(kProtocolVersion));
+  bool sharding = false;
+  for (const auto& cap : result.at("capabilities").array)
+    if (cap.string == "sharding") sharding = true;
+  EXPECT_TRUE(sharding);
+
+  // The front's method list is pinned to the service's: a method added to
+  // one and not the other breaks the v2 handshake contract.
+  std::vector<std::string> advertised;
+  for (const auto& m : result.at("methods").array)
+    advertised.push_back(m.string);
+  EXPECT_EQ(advertised, fx.single->method_names());
+}
+
+TEST(ShardFrontTest, ListStudiesMergesSortedUnion) {
+  Fixture fx(2);
+  for (const char* s : {"zeta", "alpha", "mid"})
+    front_line(*fx.front, R"({"method":"open_study","study":")" +
+                              std::string(s) + "\"}");
+  obs::JsonValue list = obs::parse_json(
+      front_line(*fx.front, R"({"method":"list_studies"})"));
+  ASSERT_TRUE(list.at("ok").boolean);
+  std::vector<std::string> names;
+  for (const auto& s : list.at("result").at("studies").array)
+    names.push_back(s.string);
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+TEST(ShardFrontTest, StatsAndHealthMergeAcrossShards) {
+  Fixture fx(2);
+  std::uint64_t seed = 1;
+  for (const char* s : {"alpha", "beta", "gamma"}) {
+    front_line(*fx.front, R"({"method":"open_study","study":")" +
+                              std::string(s) + "\"}");
+    front_line(*fx.front, append_line(s, "A", seed++));
+    front_line(*fx.front, append_line(s, "B", seed++));
+  }
+  obs::JsonValue stats = obs::parse_json(
+      front_line(*fx.front, R"({"method":"stats"})"));
+  ASSERT_TRUE(stats.at("ok").boolean) << "stats failed";
+  const obs::JsonValue& result = stats.at("result");
+  EXPECT_EQ(result.at("shards").number, 2.0);
+  EXPECT_EQ(result.at("studies").number, 3.0);   // summed across shards
+  EXPECT_EQ(result.at("appends").number, 6.0);
+  EXPECT_FALSE(result.at("draining").boolean);
+
+  obs::JsonValue health = obs::parse_json(
+      front_line(*fx.front, R"({"method":"health"})"));
+  ASSERT_TRUE(health.at("ok").boolean);
+  EXPECT_TRUE(health.at("result").at("ok").boolean);
+  EXPECT_EQ(health.at("result").at("studies").number, 3.0);
+
+  obs::JsonValue metrics = obs::parse_json(
+      front_line(*fx.front, R"({"method":"metrics"})"));
+  ASSERT_TRUE(metrics.at("ok").boolean);
+  EXPECT_EQ(metrics.at("result")
+                .at("counters")
+                .at("perftrackd_requests_total{method=\"append_experiment\"}")
+                .number,
+            6.0);
+
+  // Prometheus exposition does not merge across processes; the front
+  // says so with a typed error instead of serving misleading text.
+  obs::JsonValue prom = obs::parse_json(front_line(
+      *fx.front, R"({"method":"metrics","params":{"format":"prometheus"}})"));
+  EXPECT_FALSE(prom.at("ok").boolean);
+  EXPECT_EQ(prom.at("error").at("code").string, "bad-request");
+}
+
+TEST(ShardFrontTest, ShutdownFansOutAndDrains) {
+  Fixture fx(2);
+  obs::JsonValue down = obs::parse_json(
+      front_line(*fx.front, R"({"method":"shutdown"})"));
+  ASSERT_TRUE(down.at("ok").boolean);
+  EXPECT_TRUE(down.at("result").at("draining").boolean);
+  EXPECT_TRUE(fx.front->shutdown_requested());
+  for (auto& worker : fx.workers)
+    EXPECT_TRUE(worker->shutdown_requested());
+}
+
+TEST(ShardFrontTest, UnreachableShardIsATypedInternalError) {
+  std::vector<ShardFront::Backend> backends;
+  backends.push_back([](const std::string&) -> std::string {
+    throw Error("connection refused");
+  });
+  ShardFront front(std::move(backends));
+  obs::JsonValue v = obs::parse_json(
+      front_line(front, R"({"id":1,"method":"regions","study":"s"})"));
+  EXPECT_FALSE(v.at("ok").boolean);
+  EXPECT_EQ(v.at("error").at("code").string, "internal");
+  EXPECT_NE(v.at("error").at("message").string.find("shard"),
+            std::string::npos);
+}
+
+TEST(ShardFrontTest, MethodTableStaysPinnedToTheService) {
+  // The front's local method list (hello) is a copy of the service's
+  // dispatch table by construction; this pin fails when someone adds an
+  // endpoint to TrackingService and forgets the shard front.
+  TrackingService service(test_config());
+  std::vector<ShardFront::Backend> backends;
+  backends.push_back(backend_of(service));
+  ShardFront front(std::move(backends));
+  obs::JsonValue front_hello = obs::parse_json(
+      front_line(front, R"({"method":"hello"})"));
+  obs::JsonValue service_hello = obs::parse_json(
+      render_response(service.handle_line(R"({"method":"hello"})")));
+  ASSERT_TRUE(front_hello.at("ok").boolean);
+  ASSERT_TRUE(service_hello.at("ok").boolean);
+  std::vector<std::string> front_methods, service_methods;
+  for (const auto& m : front_hello.at("result").at("methods").array)
+    front_methods.push_back(m.string);
+  for (const auto& m : service_hello.at("result").at("methods").array)
+    service_methods.push_back(m.string);
+  EXPECT_EQ(front_methods, service_methods);
+}
+
+}  // namespace
+}  // namespace perftrack::serve

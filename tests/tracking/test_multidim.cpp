@@ -36,7 +36,9 @@ TEST(MultiDimTracking, ThreeMetricSpaceTracksNasBt) {
     scenario.seed = 600 + static_cast<std::uint64_t>(scale);
     pipeline.add_experiment(app.simulate_shared(scenario));
   }
-  pipeline.set_clustering(three_axis_params());
+  SessionConfig config;
+  config.clustering = three_axis_params();
+  pipeline.set_config(config);
   TrackingResult result = pipeline.run();
   // The six regions stay identifiable and tracked in 3-D as well.
   for (const auto& frame : result.frames)
@@ -62,12 +64,12 @@ TEST(MultiDimTracking, SingleMetricSpaceStillWorks) {
     scenario.seed = 700 + static_cast<std::uint64_t>(i);
     pipeline.add_experiment(app.simulate_shared(scenario));
   }
-  cluster::ClusteringParams params;
-  params.projection.metrics = {trace::Metric::Instructions};
-  params.log_scale = {true};
-  params.dbscan.eps = 0.05;
-  params.dbscan.min_pts = 5;
-  pipeline.set_clustering(params);
+  SessionConfig config;
+  config.clustering.projection.metrics = {trace::Metric::Instructions};
+  config.clustering.log_scale = {true};
+  config.clustering.dbscan.eps = 0.05;
+  config.clustering.dbscan.min_pts = 5;
+  pipeline.set_config(config);
   TrackingResult result = pipeline.run();
   EXPECT_EQ(result.complete_count, 2u);
   EXPECT_DOUBLE_EQ(result.coverage, 1.0);

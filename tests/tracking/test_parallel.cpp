@@ -97,13 +97,11 @@ TrackingResult run_pipeline(std::size_t threads) {
     pipeline.add_experiment(
         experiment(std::string(1, static_cast<char>('A' + i)),
                    static_cast<std::uint64_t>(i + 1)));
-  cluster::ClusteringParams clustering = pipeline.clustering();
-  clustering.dbscan.eps = 0.05;
-  clustering.dbscan.min_pts = 3;
-  pipeline.set_clustering(clustering);
-  TrackingParams params;
-  params.threads = threads;
-  pipeline.set_tracking(params);
+  SessionConfig config = pipeline.config();
+  config.clustering.dbscan.eps = 0.05;
+  config.clustering.dbscan.min_pts = 3;
+  config.tracking.threads = threads;
+  pipeline.set_config(config);
   return pipeline.run();
 }
 

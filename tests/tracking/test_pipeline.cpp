@@ -43,10 +43,10 @@ TEST(PipelineTest, EndToEndRun) {
   pipeline.add_experiment(experiment("A", 1));
   pipeline.add_experiment(experiment("B", 2));
   pipeline.add_experiment(experiment("C", 3));
-  cluster::ClusteringParams params = pipeline.clustering();
-  params.dbscan.eps = 0.05;
-  params.dbscan.min_pts = 3;
-  pipeline.set_clustering(params);
+  SessionConfig config = pipeline.config();
+  config.clustering.dbscan.eps = 0.05;
+  config.clustering.dbscan.min_pts = 3;
+  pipeline.set_config(config);
 
   TrackingResult result = pipeline.run();
   EXPECT_EQ(result.frames.size(), 3u);
@@ -60,15 +60,12 @@ TEST(PipelineTest, TrackingParamsArePassedThrough) {
   TrackingPipeline pipeline;
   pipeline.add_experiment(experiment("A", 1));
   pipeline.add_experiment(experiment("B", 2));
-  cluster::ClusteringParams cparams = pipeline.clustering();
-  cparams.dbscan.eps = 0.05;
-  cparams.dbscan.min_pts = 3;
-  pipeline.set_clustering(cparams);
-
-  TrackingParams tparams;
-  tparams.use_sequence = false;
-  tparams.use_spmd = false;
-  pipeline.set_tracking(tparams);
+  SessionConfig config = pipeline.config();
+  config.clustering.dbscan.eps = 0.05;
+  config.clustering.dbscan.min_pts = 3;
+  config.tracking.use_sequence = false;
+  config.tracking.use_spmd = false;
+  pipeline.set_config(config);
   EXPECT_FALSE(pipeline.tracking().use_sequence);
   TrackingResult result = pipeline.run();
   EXPECT_EQ(result.complete_count, 2u);

@@ -29,11 +29,12 @@ std::shared_ptr<const trace::Trace> experiment(const std::string& label,
   return make_mini_trace(spec);
 }
 
-cluster::ClusteringParams test_clustering(const TrackingPipeline& pipeline) {
-  cluster::ClusteringParams params = pipeline.clustering();
-  params.dbscan.eps = 0.05;
-  params.dbscan.min_pts = 3;
-  return params;
+SessionConfig test_config(bool lenient = false) {
+  SessionConfig config;
+  config.clustering.dbscan.eps = 0.05;
+  config.clustering.dbscan.min_pts = 3;
+  config.resilience.lenient = lenient;
+  return config;
 }
 
 class PipelineFaultTest : public ::testing::Test {
@@ -49,10 +50,7 @@ TEST_F(PipelineFaultTest, PoisonedExperimentsBecomeGaps) {
   for (int i = 0; i < 10; ++i)
     pipeline.add_experiment(
         experiment("E" + std::to_string(i), static_cast<std::uint64_t>(i + 1)));
-  pipeline.set_clustering(test_clustering(pipeline));
-  ResilienceParams resilience;
-  resilience.lenient = true;
-  pipeline.set_resilience(resilience);
+  pipeline.set_config(test_config(/*lenient=*/true));
 
   failpoint::activate("cluster_experiment", "@3,7");
   TrackingResult result = pipeline.run();
@@ -92,10 +90,7 @@ TEST_F(PipelineFaultTest, SurvivingFramesMatchNoFaultRun) {
 
   TrackingPipeline faulty;
   for (const auto& t : all) faulty.add_experiment(t);
-  faulty.set_clustering(test_clustering(faulty));
-  ResilienceParams resilience;
-  resilience.lenient = true;
-  faulty.set_resilience(resilience);
+  faulty.set_config(test_config(/*lenient=*/true));
   failpoint::activate("cluster_experiment", "@3,7");
   TrackingResult degraded = faulty.run();
   failpoint::clear();
@@ -103,7 +98,7 @@ TEST_F(PipelineFaultTest, SurvivingFramesMatchNoFaultRun) {
   TrackingPipeline clean;
   for (std::size_t i = 0; i < all.size(); ++i)
     if (i != 2 && i != 6) clean.add_experiment(all[i]);
-  clean.set_clustering(test_clustering(clean));
+  clean.set_config(test_config());
   TrackingResult expected = clean.run();
 
   ASSERT_EQ(degraded.frames.size(), expected.frames.size());
@@ -123,7 +118,7 @@ TEST_F(PipelineFaultTest, StrictModePropagatesInjectedFault) {
   for (int i = 0; i < 4; ++i)
     pipeline.add_experiment(
         experiment("E" + std::to_string(i), static_cast<std::uint64_t>(i + 1)));
-  pipeline.set_clustering(test_clustering(pipeline));
+  pipeline.set_config(test_config());
   failpoint::activate("cluster_experiment", "@2");
   EXPECT_THROW(pipeline.run(), InjectedFault);
 }
@@ -133,11 +128,9 @@ TEST_F(PipelineFaultTest, GapBudgetExhaustionThrows) {
   for (int i = 0; i < 4; ++i)
     pipeline.add_experiment(
         experiment("E" + std::to_string(i), static_cast<std::uint64_t>(i + 1)));
-  pipeline.set_clustering(test_clustering(pipeline));
-  ResilienceParams resilience;
-  resilience.lenient = true;
-  resilience.max_gap_fraction = 0.5;
-  pipeline.set_resilience(resilience);
+  SessionConfig config = test_config(/*lenient=*/true);
+  config.resilience.max_gap_fraction = 0.5;
+  pipeline.set_config(config);
   failpoint::activate("cluster_experiment", "@1,2,3");
   try {
     pipeline.run();
@@ -155,10 +148,7 @@ TEST_F(PipelineFaultTest, PreDeclaredGapsCountAndReport) {
   pipeline.add_gap("missing.ptt", "cannot open for reading");
   pipeline.add_experiment(experiment("B", 2));
   pipeline.add_experiment(experiment("C", 3));
-  pipeline.set_clustering(test_clustering(pipeline));
-  ResilienceParams resilience;
-  resilience.lenient = true;
-  pipeline.set_resilience(resilience);
+  pipeline.set_config(test_config(/*lenient=*/true));
 
   EXPECT_EQ(pipeline.experiment_count(), 4u);
   EXPECT_EQ(pipeline.gap_count(), 1u);
@@ -177,7 +167,7 @@ TEST_F(PipelineFaultTest, StrictModeRejectsPreDeclaredGaps) {
   pipeline.add_experiment(experiment("A", 1));
   pipeline.add_gap("missing.ptt", "cannot open for reading");
   pipeline.add_experiment(experiment("B", 2));
-  pipeline.set_clustering(test_clustering(pipeline));
+  pipeline.set_config(test_config());
   EXPECT_THROW(pipeline.run(), Error);
 }
 

@@ -125,26 +125,24 @@ TEST(SessionConfigTest, SessionConstructorValidates) {
   EXPECT_THROW(TrackingSession{config}, Error);
 }
 
-TEST(SessionConfigTest, PipelineForwardersLandInConfig) {
+TEST(SessionConfigTest, PipelineConfigIsTheOneSurface) {
   TrackingPipeline pipeline;
-  cluster::ClusteringParams clustering = pipeline.clustering();
-  clustering.dbscan.eps = 0.123;
-  pipeline.set_clustering(clustering);
-  TrackingParams tracking;
-  tracking.use_spmd = false;
-  pipeline.set_tracking(tracking);
-  ResilienceParams resilience;
-  resilience.lenient = true;
-  pipeline.set_resilience(resilience);
-  store::StoreConfig cache;
-  cache.directory = "/tmp/somewhere";
-  pipeline.set_cache(cache);
+  SessionConfig config = pipeline.config();
+  config.clustering.dbscan.eps = 0.123;
+  config.tracking.use_spmd = false;
+  config.resilience.lenient = true;
+  config.cache.directory = "/tmp/somewhere";
+  pipeline.set_config(config);
 
   EXPECT_EQ(pipeline.config().clustering.dbscan.eps, 0.123);
   EXPECT_FALSE(pipeline.config().tracking.use_spmd);
   EXPECT_TRUE(pipeline.config().resilience.lenient);
   EXPECT_EQ(pipeline.config().cache.directory, "/tmp/somewhere");
+  // The read-only views mirror the aggregate.
   EXPECT_EQ(pipeline.clustering().dbscan.eps, 0.123);
+  EXPECT_FALSE(pipeline.tracking().use_spmd);
+  EXPECT_TRUE(pipeline.resilience().lenient);
+  EXPECT_EQ(pipeline.cache().directory, "/tmp/somewhere");
 }
 
 TEST(SessionTest, NeedsTwoSlots) {

@@ -7,11 +7,19 @@
 //   perftrack evolve  [options] --intervals N RUN.ptt
 //   perftrack inspect TRACE.ptt
 //   perftrack stat    SOCKET [--watch [--interval SEC] [--count N]]
+//   perftrack connect ENDPOINT [--call METHOD [--study S] [--params JSON]]
 //
 // `stat` talks to a running perftrackd over its unix socket and prints a
 // live operational summary (qps, per-method p50/p99, cache hit ratio,
 // queue depth) from the daemon's `stats` method; --watch refreshes it
 // periodically.
+//
+// `connect` is the general-purpose protocol client: ENDPOINT is a unix
+// socket path or "tcp://HOST:PORT" (a daemon started with --listen).
+// With --call it sends one request and prints the response line; without
+// it, it reads NDJSON request lines from stdin and prints each response
+// line to stdout (a scriptable REPL). --retries/--deadline bound each
+// roundtrip with the client's retry policy.
 //
 // Flags live in the cli::OptionTable below — the table generates the usage
 // text, so run `perftrack` with no arguments for the current list.
@@ -77,6 +85,11 @@ struct Options {
   bool watch = false;
   std::size_t watch_interval_sec = 2;
   std::size_t watch_count = 0;
+  std::string call_method;
+  std::string call_study;
+  std::string call_params;
+  std::size_t retries = 1;
+  std::size_t deadline_ms = 0;
   store::StoreConfig cache;
   tracking::TrackingParams tracking;
 };
@@ -92,6 +105,7 @@ cli::OptionTable option_table(Options& options) {
       "evolve  [options] --intervals N RUN.ptt",
       "inspect [options] TRACE.ptt",
       "stat    SOCKET [--watch [--interval SEC] [--count N]]",
+      "connect ENDPOINT [--call METHOD [--study S] [--params JSON]]",
   };
   table.footer =
       "exit codes: 0 ok, 1 error, 2 usage, 3 parse, 4 io,\n"
@@ -182,6 +196,23 @@ cli::OptionTable option_table(Options& options) {
             "stat --watch: stop after N refreshes (0 = forever)",
             [o](const std::string& v) {
               o->watch_count = cli::parse_count("--count", v);
+            });
+  table.add("--call", "METHOD", "connect: send one request and exit",
+            [o](const std::string& v) { o->call_method = v; });
+  table.add("--study", "NAME", "connect --call: the target study",
+            [o](const std::string& v) { o->call_study = v; });
+  table.add("--params", "JSON",
+            "connect --call: params object to send with the request",
+            [o](const std::string& v) { o->call_params = v; });
+  table.add("--retries", "N",
+            "connect: attempts per roundtrip, with backoff (1)",
+            [o](const std::string& v) {
+              o->retries = cli::parse_count("--retries", v, 1);
+            });
+  table.add("--deadline", "MS",
+            "connect: per-attempt connect/send/recv deadline (0 = none)",
+            [o](const std::string& v) {
+              o->deadline_ms = cli::parse_count("--deadline", v);
             });
   return table;
 }
@@ -486,6 +517,68 @@ int cmd_stat(const Options& options) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// connect: scriptable protocol client (one-shot --call, or stdin REPL)
+
+serve::RetryPolicy retry_policy(const Options& options) {
+  serve::RetryPolicy retry;
+  retry.attempts = static_cast<int>(options.retries);
+  retry.deadline_ms = options.deadline_ms;
+  return retry;
+}
+
+/// One request, one response line on stdout. The response is printed
+/// verbatim (byte-identical to the wire), so the output composes with jq
+/// and with the daemon's own NDJSON tooling. Exit code 1 when the daemon
+/// answered with a protocol error.
+int connect_call(const Options& options, serve::NdjsonClient& client) {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("method").value(options.call_method);
+  if (!options.call_study.empty())
+    json.key("study").value(options.call_study);
+  json.end_object();
+  std::string line = json.str();
+  if (!options.call_params.empty())
+    line.insert(line.size() - 1, ",\"params\":" + options.call_params);
+  const std::string response = client.roundtrip(line);
+  std::printf("%s\n", response.c_str());
+  return serve::parse_client_response(response).ok ? kExitOk : kExitInternal;
+}
+
+/// REPL: every non-blank stdin line is sent as-is; every response line is
+/// printed as-is. The exit code reports whether any request failed.
+int connect_repl(const Options& options, serve::NdjsonClient& client) {
+  (void)options;
+  std::string line;
+  bool any_error = false;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    const std::string response = client.roundtrip(line);
+    std::printf("%s\n", response.c_str());
+    std::fflush(stdout);
+    if (!serve::parse_client_response(response).ok) any_error = true;
+  }
+  return any_error ? kExitInternal : kExitOk;
+}
+
+int cmd_connect(const Options& options) {
+  if (options.inputs.size() != 1) {
+    std::fprintf(stderr,
+                 "connect needs one endpoint (socket path or "
+                 "tcp://HOST:PORT)\n");
+    return kExitUsage;
+  }
+  if (options.call_method.empty() &&
+      (!options.call_study.empty() || !options.call_params.empty())) {
+    std::fprintf(stderr, "--study/--params need --call METHOD\n");
+    return kExitUsage;
+  }
+  serve::NdjsonClient client(options.inputs[0], retry_policy(options));
+  return options.call_method.empty() ? connect_repl(options, client)
+                                     : connect_call(options, client);
+}
+
 }  // namespace
 
 // Write the requested telemetry sinks; the per-stage summary goes to
@@ -525,6 +618,7 @@ int main(int argc, char** argv) {
     else if (options.command == "evolve") rc = cmd_evolve(options);
     else if (options.command == "inspect") rc = cmd_inspect(options);
     else if (options.command == "stat") rc = cmd_stat(options);
+    else if (options.command == "connect") rc = cmd_connect(options);
     else return usage(table);
 
     // A degraded success still produced a full result: emit its telemetry

@@ -40,10 +40,18 @@
 //
 // Exit codes: 0 clean shutdown, 1 internal error, 2 usage.
 
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,9 +59,11 @@
 #include "common/error.hpp"
 #include "obs/report.hpp"
 #include "obs/telemetry.hpp"
+#include "serve/client.hpp"
 #include "serve/metrics_http.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
+#include "serve/shard.hpp"
 #include "sim/studies.hpp"
 #include "store/frame_store.hpp"
 
@@ -68,6 +78,10 @@ constexpr int kExitUsage = 2;
 struct Options {
   bool stdio = false;
   std::string socket_path;
+  std::string listen;  ///< TCP HOST:PORT ("" = no TCP listener)
+  bool front = false;
+  std::size_t shards = 2;
+  std::string shard_dir;
   double eps = 0.025;
   std::size_t min_pts = 5;
   double min_cluster_frac = 0.005;
@@ -95,7 +109,9 @@ cli::OptionTable option_table(Options& options) {
   table.tool = "perftrackd";
   table.commands = {
       "--socket PATH [options]",
+      "--listen HOST:PORT [options]",
       "--stdio [options]",
+      "--front --shards N (--socket PATH | --listen HOST:PORT) [options]",
   };
   table.footer =
       "exit codes: 0 clean shutdown, 1 error, 2 usage\n"
@@ -103,9 +119,24 @@ cli::OptionTable option_table(Options& options) {
   auto* o = &options;
   table.add("--socket", "PATH", "listen on an AF_UNIX stream socket",
             [o](const std::string& v) { o->socket_path = v; });
+  table.add("--listen", "HOST:PORT",
+            "listen on a TCP socket (numeric IPv4; port 0 = ephemeral)",
+            [o](const std::string& v) { o->listen = v; });
   table.add_switch("--stdio",
                    "serve one connection on stdin/stdout (tests, scripts)",
                    [o] { o->stdio = true; });
+  table.add_switch("--front",
+                   "shard-by-study front: spawn worker daemons and route "
+                   "requests by study name (see --shards)",
+                   [o] { o->front = true; });
+  table.add("--shards", "N", "worker daemons behind --front (2)",
+            [o](const std::string& v) {
+              o->shards = cli::parse_count("--shards", v, 1);
+            });
+  table.add("--shard-dir", "DIR",
+            "directory for the workers' AF_UNIX sockets (default: under "
+            "--state-dir, or /tmp/perftrackd-<pid>-shards)",
+            [o](const std::string& v) { o->shard_dir = v; });
   table.add("--threads", "N",
             "request worker threads (0 = hardware concurrency)",
             [o](const std::string& v) {
@@ -256,6 +287,163 @@ serve::ServiceConfig service_config(const Options& options) {
   return config;
 }
 
+/// Split --listen HOST:PORT; throws UsageError on anything malformed.
+void parse_listen(const std::string& value, std::string& host,
+                  std::uint16_t& port) {
+  const std::size_t colon = value.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == value.size())
+    throw cli::UsageError("--listen needs HOST:PORT, got '" + value + "'");
+  host = value.substr(0, colon);
+  const std::size_t parsed =
+      cli::parse_count("--listen", value.substr(colon + 1));
+  if (parsed > 65535)
+    throw cli::UsageError("--listen port out of range in '" + value + "'");
+  port = static_cast<std::uint16_t>(parsed);
+}
+
+/// One worker connection of the shard front: NdjsonClient is
+/// one-request-at-a-time, so the mutex serializes the front's threads
+/// over it. Reconnects (daemon restart) are the client's retry policy.
+struct ShardConn {
+  std::mutex mutex;
+  std::unique_ptr<serve::NdjsonClient> client;
+};
+
+/// Spawn one worker daemon re-execing this binary with the per-shard
+/// socket/state paths plus every study-affecting option passed through.
+/// Returns the child pid.
+pid_t spawn_worker(const Options& options, const std::string& socket_path,
+                   const std::string& state_dir) {
+  std::vector<std::string> args = {
+      "/proc/self/exe", "--socket", socket_path,
+      "--eps", std::to_string(options.eps),
+      "--min-pts", std::to_string(options.min_pts),
+      "--min-cluster-frac", std::to_string(options.min_cluster_frac),
+      "--max-errors", std::to_string(options.max_errors),
+      "--idle-ttl", std::to_string(options.idle_ttl_sec),
+      "--max-sessions", std::to_string(options.max_sessions),
+      "--sweep-interval", std::to_string(options.sweep_interval_ms),
+      "--queue", std::to_string(options.server.queue_capacity),
+      "--max-line-bytes", std::to_string(options.server.max_line_bytes),
+      "--journal-compact", std::to_string(options.journal_compact),
+      "--fsync", std::string(serve::fsync_mode_name(options.fsync)),
+  };
+  if (options.lenient) args.push_back("--lenient");
+  if (options.no_cache) args.push_back("--no-cache");
+  if (!options.cache_dir.empty()) {
+    args.push_back("--cache-dir");
+    args.push_back(options.cache_dir);
+  }
+  if (!state_dir.empty()) {
+    args.push_back("--state-dir");
+    args.push_back(state_dir);
+  }
+  if (options.server.threads != 0) {
+    args.push_back("--threads");
+    args.push_back(std::to_string(options.server.threads));
+  }
+  if (options.no_metrics) args.push_back("--no-metrics");
+
+  const pid_t pid = ::fork();
+  if (pid < 0) throw Error(std::string("fork(): ") + std::strerror(errno));
+  if (pid == 0) {
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    std::fprintf(stderr, "perftrackd: execv(%s): %s\n", argv[0],
+                 std::strerror(errno));
+    ::_exit(kExitInternal);
+  }
+  return pid;
+}
+
+/// --front: spawn the worker fleet, build a ShardFront over NdjsonClient
+/// backends, serve it on the requested transport, then shut the workers
+/// down and reap them.
+int run_front(const Options& options,
+              const std::function<int(serve::Dispatcher&)>& serve_with) {
+  std::string shard_dir = options.shard_dir;
+  if (shard_dir.empty())
+    shard_dir = options.state_dir.empty()
+                    ? "/tmp/perftrackd-" + std::to_string(::getpid()) +
+                          "-shards"
+                    : options.state_dir + "/shards";
+  // mkdir -p: the default lives under --state-dir, which may not exist
+  // yet on a first run.
+  for (std::size_t slash = shard_dir.find('/', 1);;
+       slash = shard_dir.find('/', slash + 1)) {
+    const std::string prefix =
+        slash == std::string::npos ? shard_dir : shard_dir.substr(0, slash);
+    if (!prefix.empty() && ::mkdir(prefix.c_str(), 0700) != 0 &&
+        errno != EEXIST)
+      throw Error("cannot create shard dir " + prefix + ": " +
+                  std::strerror(errno));
+    if (slash == std::string::npos) break;
+  }
+
+  std::vector<pid_t> pids;
+  std::vector<std::string> sockets;
+  for (std::size_t i = 0; i < options.shards; ++i) {
+    const std::string socket_path =
+        shard_dir + "/shard-" + std::to_string(i) + ".sock";
+    const std::string state_dir =
+        options.state_dir.empty()
+            ? ""
+            : options.state_dir + "/shard-" + std::to_string(i);
+    sockets.push_back(socket_path);
+    pids.push_back(spawn_worker(options, socket_path, state_dir));
+  }
+
+  int rc = kExitInternal;
+  {
+    // Generous connect retries: the workers are booting (and possibly
+    // replaying journals) while we connect. Modest roundtrip retries: a
+    // worker that died mid-serve should fail requests, not hang them.
+    serve::RetryPolicy retry;
+    retry.attempts = 50;
+    retry.deadline_ms = 2000;
+    retry.backoff_ms = 20;
+    retry.backoff_max_ms = 200;
+
+    std::vector<std::shared_ptr<ShardConn>> conns;
+    std::vector<serve::ShardFront::Backend> backends;
+    for (const std::string& socket_path : sockets) {
+      auto conn = std::make_shared<ShardConn>();
+      conn->client =
+          std::make_unique<serve::NdjsonClient>(socket_path, retry);
+      conns.push_back(conn);
+      backends.push_back([conn](const std::string& line) {
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        return conn->client->roundtrip(line);
+      });
+    }
+
+    serve::ShardFront front(std::move(backends), !options.no_metrics);
+    std::fprintf(stderr, "front: %zu shards under %s\n", options.shards,
+                 shard_dir.c_str());
+    rc = serve_with(front);
+
+    // The protocol `shutdown` already drained the workers through the
+    // front; the signal path did not. Either way, tell every worker to
+    // drain now — a second shutdown is idempotent — and reap them.
+    for (auto& conn : conns) {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      try {
+        conn->client->roundtrip("{\"method\":\"shutdown\"}");
+      } catch (const Error&) {
+        // Already gone — that is what we wanted.
+      }
+    }
+  }
+  for (pid_t pid : pids) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  return rc;
+}
+
 void emit_telemetry(const Options& options) {
   if (options.profile_path.empty() && options.trace_events_path.empty())
     return;
@@ -285,8 +473,22 @@ int main(int argc, char** argv) {
     if (!positionals.empty())
       throw cli::UsageError("unexpected argument '" + positionals.front() +
                             "'");
-    if (options.stdio == !options.socket_path.empty())
-      throw cli::UsageError("pick exactly one of --stdio or --socket PATH");
+    const int transports = (options.stdio ? 1 : 0) +
+                           (options.socket_path.empty() ? 0 : 1) +
+                           (options.listen.empty() ? 0 : 1);
+    if (transports != 1)
+      throw cli::UsageError(
+          "pick exactly one of --stdio, --socket PATH, or --listen "
+          "HOST:PORT");
+    std::string listen_host;
+    std::uint16_t listen_port = 0;
+    if (!options.listen.empty())
+      parse_listen(options.listen, listen_host, listen_port);
+    if (options.front &&
+        (!options.metrics_socket.empty() || options.metrics_port >= 0))
+      throw cli::UsageError(
+          "--front has no HTTP metrics listener; scrape the workers' "
+          "(each worker exposes the full metrics plane)");
 
     if (!options.profile_path.empty() || !options.trace_events_path.empty())
       obs::set_enabled(true);
@@ -305,6 +507,28 @@ int main(int argc, char** argv) {
       options.server.access_log = access_log.get();
     }
 
+    auto serve_with = [&](serve::Dispatcher& dispatcher) {
+      if (options.stdio)
+        return serve::serve_stream(dispatcher, std::cin, std::cout,
+                                   options.server);
+      if (!options.listen.empty())
+        return serve::serve_tcp(dispatcher, listen_host, listen_port,
+                                options.server, [](std::uint16_t port) {
+                                  // Print the resolved port so scripts
+                                  // using --listen HOST:0 can connect.
+                                  std::fprintf(stderr, "listen port %u\n",
+                                               port);
+                                });
+      return serve::serve_unix_socket(dispatcher, options.socket_path,
+                                      options.server);
+    };
+
+    if (options.front) {
+      const int rc = run_front(options, serve_with);
+      emit_telemetry(options);
+      return rc == 0 ? kExitOk : kExitInternal;
+    }
+
     serve::TrackingService service(service_config(options));
 
     serve::MetricsHttpServer metrics_http(service);
@@ -320,11 +544,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "metrics port %u\n", metrics_http.port());
     }
 
-    int rc = options.stdio
-                 ? serve::serve_stream(service, std::cin, std::cout,
-                                       options.server)
-                 : serve::serve_unix_socket(service, options.socket_path,
-                                            options.server);
+    int rc = serve_with(service);
     metrics_http.stop();
     // Part of the graceful drain: batch-mode journals may hold unsynced
     // records; flush them before reporting a clean exit.
