@@ -30,7 +30,9 @@
 #include <string>
 #include <vector>
 
+#include "align/msa.hpp"
 #include "bench_util.hpp"
+#include "common/rng.hpp"
 #include "common/table.hpp"
 #include "sim/studies.hpp"
 #include "store/frame_store.hpp"
@@ -266,6 +268,45 @@ int main() {
   std::printf("warm output identical: %s\n\n", cache_ok ? "yes" : "NO");
   fs::remove_all(cache_dir);
 
+  // ---- Leg D: the alignment stage at production sequence lengths. ------
+  // The per-frame MSA is the fixed cost every retrack pays before any
+  // pair work. The simulator's ladders are short; production traces run
+  // thousands of iterations, so the stage is timed on a 64-task,
+  // ~1500-symbol SPMD workload: full DP vs the banded engine, which must
+  // return the identical alignment (see bench/perf_alignment for the full
+  // engine matrix).
+  bench::print_section("alignment stage: full DP vs banded NW (>= 3x bar)");
+  double align_full_ms = 0.0;
+  double align_banded_ms = 0.0;
+  bool align_identical = true;
+  {
+    Rng rng(23);
+    std::vector<std::vector<align::Symbol>> tasks;
+    for (std::size_t t = 0; t < 64; ++t) {
+      std::vector<align::Symbol> seq;
+      for (std::size_t it = 0; it < 128; ++it)
+        for (std::size_t p = 0; p < 12; ++p)
+          if (!rng.chance(0.02)) seq.push_back(static_cast<align::Symbol>(p));
+      tasks.push_back(std::move(seq));
+    }
+    start = Clock::now();
+    align::MultipleAlignment full =
+        align::star_align(tasks, {}, align::AlignmentEngine::kFull);
+    align_full_ms = ms_since(start);
+    start = Clock::now();
+    align::MultipleAlignment banded =
+        align::star_align(tasks, {}, align::AlignmentEngine::kBanded);
+    align_banded_ms = ms_since(start);
+    align_identical =
+        full.rows() == banded.rows() && full.consensus() == banded.consensus();
+  }
+  const double alignment_speedup = align_full_ms / align_banded_ms;
+  std::printf("full DP : %8.1f ms\n", align_full_ms);
+  std::printf("banded  : %8.1f ms (%.1fx, bar: >= 3x)\n", align_banded_ms,
+              alignment_speedup);
+  std::printf("alignments identical: %s\n\n",
+              align_identical ? "yes" : "NO — EQUIVALENCE BROKEN");
+
   // Run report with the frame_cache_* counters (the same schema perftrack
   // --profile emits). The gauges let CI separate the equivalence gates
   // (verdict_*, must hold anywhere) from the timing bar (advisory_*,
@@ -273,12 +314,17 @@ int main() {
   // on the former and only warns on the latter.
   PT_GAUGE("verdict_identical", identical ? 1.0 : 0.0);
   PT_GAUGE("verdict_cache_ok", cache_ok ? 1.0 : 0.0);
+  PT_GAUGE("verdict_alignment_identity", align_identical ? 1.0 : 0.0);
   PT_GAUGE("advisory_evolution_speedup_ge5",
            evolution_speedup >= 5.0 ? 1.0 : 0.0);
   PT_GAUGE("evolution_speedup", evolution_speedup);
+  PT_GAUGE("advisory_alignment_speedup", alignment_speedup);
+  PT_GAUGE("advisory_alignment_speedup_ge3",
+           alignment_speedup >= 3.0 ? 1.0 : 0.0);
   bench::write_telemetry("BENCH_session.json", "perf_session");
 
-  bool ok = identical && cache_ok && evolution_speedup >= 5.0;
+  bool ok = identical && cache_ok && align_identical &&
+            evolution_speedup >= 5.0;
   std::printf("\nperf_session: %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }

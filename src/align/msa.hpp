@@ -9,11 +9,30 @@
 // Exact MSA is NP-hard; for the highly regular SPMD sequences here the star
 // heuristic recovers the phase structure reliably and runs in
 // O(k · L²) for k sequences of length L.
+//
+// Two implementation levers keep the output a pure function of the input:
+//
+//  * Pairwise memoisation — SPMD tasks mostly share one sequence, so each
+//    distinct member sequence is aligned against the current centre once
+//    and duplicates reuse the result (the alignment depends only on the
+//    centre state and the member symbols).
+//  * Speculative parallelism — members must merge in input order because a
+//    merge that re-gaps the centre changes what later members align
+//    against. With a thread pool, pending members are aligned against the
+//    current centre in parallel rounds; the serial merge walk accepts
+//    results in input order up to the first centre change and recomputes
+//    the rest next round. Accepted alignments are exactly the ones the
+//    serial loop computes, so the result is bit-identical at any thread
+//    count (including none).
 
 #include <span>
 #include <vector>
 
 #include "align/nw.hpp"
+
+namespace perftrack {
+class ThreadPool;
+}
 
 namespace perftrack::align {
 
@@ -50,7 +69,12 @@ private:
 /// Centre-star MSA over `sequences`. The centre is the longest sequence
 /// (ties -> lowest index). Row order matches input order. An empty input
 /// yields an empty alignment; empty member sequences become all-gap rows.
+/// `engine` selects the pairwise DP; `pool` (optional) parallelises the
+/// per-member alignments — the result is bit-identical for any engine,
+/// pool, and thread count.
 MultipleAlignment star_align(const std::vector<std::vector<Symbol>>& sequences,
-                             const AlignmentScores& scores = {});
+                             const AlignmentScores& scores = {},
+                             AlignmentEngine engine = AlignmentEngine::kAuto,
+                             ThreadPool* pool = nullptr);
 
 }  // namespace perftrack::align

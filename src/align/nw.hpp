@@ -8,10 +8,33 @@
 // match/mismatch scheme or an arbitrary symbol-pair function (used by the
 // execution-sequence evaluator, whose "match" is defined by pivot relations
 // between two *different* experiments' identifier spaces).
+//
+// Two engines compute the same alignment:
+//
+//  * kFull — the reference (n+1)x(m+1) dynamic program.
+//  * kBanded — an adaptive diagonal corridor. SPMD cluster sequences are
+//    near-identical, so the optimal path hugs the diagonal; the banded
+//    engine fills only the cells within a corridor of offsets i-j, widens
+//    and re-runs when the per-row optimum touches the corridor boundary,
+//    and certifies the result against an upper bound on every path that
+//    leaves the corridor. The certificate makes the equality *provable*,
+//    tie-breaking included: the banded engine only returns when every
+//    complete path visiting an out-of-corridor cell scores strictly below
+//    the banded optimum, which forces the full DP's deterministic
+//    traceback (diagonal > up > left on ties) through the corridor along
+//    the exact cells the banded traceback visits. Otherwise it widens
+//    (doubling) until the corridor covers the whole matrix, at which point
+//    it *is* the full DP.
+//
+// kAuto picks the banded engine when the scoring scheme admits the
+// certificate (negative gap penalty below half the maximum pair score) and
+// the problem is big enough to profit; kFull/kBanded force an engine.
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 namespace perftrack::align {
@@ -27,6 +50,20 @@ struct AlignmentScores {
   double mismatch = -1.0;
   double gap = -1.0;
 };
+
+/// Which dynamic program computes the alignment. All three produce
+/// byte-identical results (score, rows, tie-broken traceback).
+enum class AlignmentEngine {
+  kAuto,    ///< banded when the scoring admits it and the input is large
+  kFull,    ///< reference full-matrix DP
+  kBanded,  ///< force the certified banded DP (falls back when ineligible)
+};
+
+/// "auto" / "full" / "banded".
+const char* to_string(AlignmentEngine engine);
+
+/// Inverse of to_string; nullopt for unknown names.
+std::optional<AlignmentEngine> parse_alignment_engine(std::string_view name);
 
 /// Result of a pairwise global alignment: both sequences padded with kGap to
 /// a common length.
@@ -47,12 +84,24 @@ struct PairAlignment {
 /// Align with the default match/mismatch/gap scheme.
 PairAlignment needleman_wunsch(std::span<const Symbol> a,
                                std::span<const Symbol> b,
-                               const AlignmentScores& scores = {});
+                               const AlignmentScores& scores = {},
+                               AlignmentEngine engine = AlignmentEngine::kAuto);
 
-/// Align with an arbitrary pair score and linear gap penalty.
+/// Align with an arbitrary pair score and linear gap penalty (full DP: the
+/// banded certificate needs a pair-score bound the callable cannot supply).
 PairAlignment needleman_wunsch(
     std::span<const Symbol> a, std::span<const Symbol> b,
     const std::function<double(Symbol, Symbol)>& pair_score,
     double gap_penalty);
+
+/// Align with an arbitrary pair score, an engine choice, and the bound the
+/// banded certificate needs: `max_pair_score` must satisfy
+/// pair_score(x, y) <= max_pair_score for every symbol pair the sequences
+/// can form. An unsound bound breaks the equality guarantee; when in doubt
+/// use the kFull overload above.
+PairAlignment needleman_wunsch(
+    std::span<const Symbol> a, std::span<const Symbol> b,
+    const std::function<double(Symbol, Symbol)>& pair_score,
+    double gap_penalty, AlignmentEngine engine, double max_pair_score);
 
 }  // namespace perftrack::align

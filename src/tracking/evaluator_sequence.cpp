@@ -13,7 +13,8 @@ CorrelationMatrix evaluate_sequence(const cluster::Frame& frame_a,
                                     const cluster::Frame& frame_b,
                                     const FrameAlignment& alignment_b,
                                     const RelationSet& pivots,
-                                    double outlier_threshold) {
+                                    double outlier_threshold,
+                                    align::AlignmentEngine engine) {
   PT_SPAN("evaluator_sequence");
   PT_FAILPOINT("evaluator_sequence");
   const std::size_t n = frame_a.object_count();
@@ -45,8 +46,11 @@ CorrelationMatrix evaluate_sequence(const cluster::Frame& frame_a,
     if (known_a || known_b) return -1.0;  // known against unknown: unlikely
     return 0.5;  // two unknowns: alignable, mild reward
   };
-  align::PairAlignment pa =
-      align::needleman_wunsch(seq_a, seq_b, score, /*gap_penalty=*/-1.0);
+  // The pivot score above never exceeds the pivot-match reward, which makes
+  // 3.0 a sound per-cell bound for the banded identity certificate.
+  align::PairAlignment pa = align::needleman_wunsch(
+      seq_a, seq_b, score, /*gap_penalty=*/-1.0, engine,
+      /*max_pair_score=*/3.0);
 
   std::vector<std::size_t> occurrences(n, 0);
   for (std::size_t c = 0; c < pa.length(); ++c) {

@@ -11,6 +11,7 @@
 // the fraction of i's aligned occurrences that face j — the evidence used
 // to split wide relations and attach unmatched objects.
 
+#include "align/nw.hpp"
 #include "cluster/frame.hpp"
 #include "tracking/correlation.hpp"
 #include "tracking/frame_alignment.hpp"
@@ -18,11 +19,10 @@
 
 namespace perftrack::tracking {
 
-CorrelationMatrix evaluate_sequence(const cluster::Frame& frame_a,
-                                    const FrameAlignment& alignment_a,
-                                    const cluster::Frame& frame_b,
-                                    const FrameAlignment& alignment_b,
-                                    const RelationSet& pivots,
-                                    double outlier_threshold = 0.05);
+CorrelationMatrix evaluate_sequence(
+    const cluster::Frame& frame_a, const FrameAlignment& alignment_a,
+    const cluster::Frame& frame_b, const FrameAlignment& alignment_b,
+    const RelationSet& pivots, double outlier_threshold = 0.05,
+    align::AlignmentEngine engine = align::AlignmentEngine::kAuto);
 
 }  // namespace perftrack::tracking

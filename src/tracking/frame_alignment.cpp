@@ -6,10 +6,12 @@
 namespace perftrack::tracking {
 
 FrameAlignment::FrameAlignment(const cluster::Frame& frame,
-                               const align::AlignmentScores& scores) {
+                               const align::AlignmentScores& scores,
+                               align::AlignmentEngine engine,
+                               ThreadPool* pool) {
   PT_SPAN("frame_alignment");
   PT_FAILPOINT("frame_alignment");
-  msa_ = align::star_align(frame.task_sequences(), scores);
+  msa_ = align::star_align(frame.task_sequences(), scores, engine, pool);
   consensus_ = msa_.consensus();
 }
 

@@ -17,8 +17,13 @@ namespace perftrack::tracking {
 
 class FrameAlignment {
 public:
-  explicit FrameAlignment(const cluster::Frame& frame,
-                          const align::AlignmentScores& scores = {});
+  /// `engine` selects the pairwise DP inside the star alignment and `pool`
+  /// (optional) parallelises the per-task alignments; the result is
+  /// bit-identical for every combination (see align/msa.hpp).
+  explicit FrameAlignment(
+      const cluster::Frame& frame, const align::AlignmentScores& scores = {},
+      align::AlignmentEngine engine = align::AlignmentEngine::kAuto,
+      ThreadPool* pool = nullptr);
 
   const align::MultipleAlignment& alignment() const { return msa_; }
 

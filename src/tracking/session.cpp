@@ -9,9 +9,32 @@
 #include "common/log.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/telemetry.hpp"
+#include "store/serialize.hpp"
 #include "tracking/evaluator_displacement.hpp"
 
 namespace perftrack::tracking {
+
+namespace {
+
+/// Order- and length-sensitive fingerprint of a frame's task sequences,
+/// used to bucket the session's star-align memo.
+std::uint64_t sequences_fingerprint(
+    const std::vector<std::vector<align::Symbol>>& sequences) {
+  std::uint64_t h = store::fnv1a64(std::string_view{});
+  for (const auto& seq : sequences) {
+    const std::uint64_t len = seq.size();
+    h = store::fnv1a64(
+        std::string_view(reinterpret_cast<const char*>(&len), sizeof(len)),
+        h);
+    h = store::fnv1a64(
+        std::string_view(reinterpret_cast<const char*>(seq.data()),
+                         seq.size() * sizeof(align::Symbol)),
+        h);
+  }
+  return h;
+}
+
+}  // namespace
 
 SessionConfig::SessionConfig() {
   // The paper's default metric space: Instructions x IPC, instruction axis
@@ -287,16 +310,81 @@ TrackingResult TrackingSession::retrack() {
     std::vector<std::unique_ptr<FrameCloud>> clouds(live.size());
     {
       PT_SPAN("frame_alignments");
-      const std::vector<const char*> here = obs::current_span_path();
-      pool.parallel_for(0, live.size(), [&](std::size_t f) {
-        obs::SpanContext ctx(here);
+
+      // Serial memo probe in slot order: slots whose task sequences were
+      // already star-aligned (any earlier retrack, any slot) share the
+      // profile; only genuinely new sequence sets are built, in parallel
+      // below, then published to the memo serially in slot order.
+      struct Build {
+        std::size_t f;
+        std::uint64_t fp;
+      };
+      std::vector<Build> to_align;
+      std::vector<std::pair<std::size_t, std::size_t>> duplicate;  // f, build
+      std::uint64_t memoized_now = 0;
+      for (std::size_t f = 0; f < live.size(); ++f) {
         Slot& slot = slots_[live[f]];
-        if (!slot.alignment.has_value())
-          slot.alignment.emplace(*slot.frame, params.alignment_scores);
-        if (params.use_displacement && needs_cloud[f])
-          clouds[f] = std::make_unique<FrameCloud>(
-              frames[f], scale, params.displacement_index);
+        if (slot.alignment != nullptr) continue;
+        const auto& sequences = slot.frame->task_sequences();
+        const std::uint64_t fp = sequences_fingerprint(sequences);
+        auto bucket = alignment_memo_.find(fp);
+        if (bucket != alignment_memo_.end()) {
+          bool hit = false;
+          for (const AlignmentMemoEntry& entry : bucket->second)
+            if (entry.sequences == sequences) {
+              slot.alignment = entry.alignment;
+              ++stats_.alignments_memoized;
+              ++memoized_now;
+              hit = true;
+              break;
+            }
+          if (hit) continue;
+        }
+        bool pending = false;
+        for (std::size_t u = 0; u < to_align.size() && !pending; ++u)
+          if (to_align[u].fp == fp &&
+              slots_[live[to_align[u].f]].frame->task_sequences() ==
+                  sequences) {
+            duplicate.emplace_back(f, u);
+            pending = true;
+          }
+        if (!pending) to_align.push_back({f, fp});
+      }
+
+      std::vector<std::shared_ptr<const FrameAlignment>> built(
+          to_align.size());
+      const std::vector<const char*> here = obs::current_span_path();
+      pool.parallel_for(0, to_align.size() + live.size(), [&](std::size_t t) {
+        obs::SpanContext ctx(here);
+        if (t < to_align.size()) {
+          const Slot& slot = slots_[live[to_align[t].f]];
+          built[t] = std::make_shared<FrameAlignment>(
+              *slot.frame, params.alignment_scores, params.alignment_engine,
+              &pool);
+        } else {
+          const std::size_t f = t - to_align.size();
+          if (params.use_displacement && needs_cloud[f])
+            clouds[f] = std::make_unique<FrameCloud>(
+                frames[f], scale, params.displacement_index);
+        }
       });
+
+      for (std::size_t u = 0; u < to_align.size(); ++u) {
+        Slot& slot = slots_[live[to_align[u].f]];
+        slot.alignment = built[u];
+        alignment_memo_[to_align[u].fp].push_back(
+            {slot.frame->task_sequences(), built[u]});
+        ++stats_.alignments_computed;
+      }
+      for (const auto& [f, u] : duplicate) {
+        slots_[live[f]].alignment = built[u];
+        ++stats_.alignments_memoized;
+        ++memoized_now;
+      }
+      PT_COUNTER("session_alignments_computed",
+                 static_cast<double>(to_align.size()));
+      PT_COUNTER("session_alignments_memoized",
+                 static_cast<double>(memoized_now));
     }
 
     // Track only the missing pairs; results land in their slot, so the

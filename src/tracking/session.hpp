@@ -82,6 +82,8 @@ struct SessionStats {
   std::uint64_t pairs_tracked = 0;     ///< track_pair executions
   std::uint64_t pairs_memoized = 0;    ///< pair relations reused
   std::uint64_t scale_invalidations = 0;  ///< pair memo flushes (scale moved)
+  std::uint64_t alignments_computed = 0;  ///< star alignments actually run
+  std::uint64_t alignments_memoized = 0;  ///< profiles shared across slots
   store::StoreStats cache;             ///< disk store counters
 };
 
@@ -122,7 +124,7 @@ private:
     std::string reason;      ///< gap reason (append_gap or failed build)
     bool attempted = false;  ///< clustering tried (memoised outcome below)
     std::optional<cluster::Frame> frame;
-    std::optional<FrameAlignment> alignment;
+    std::shared_ptr<const FrameAlignment> alignment;  ///< from alignment_memo_
     std::exception_ptr rethrow;  ///< original failure, for strict mode
   };
 
@@ -136,6 +138,18 @@ private:
   /// relations, valid only under pair_scale_.
   std::map<std::pair<std::size_t, std::size_t>, PairTracking> pair_memo_;
   std::optional<ScaleNormalization> pair_scale_;
+
+  /// Star-align memo: fingerprint of a frame's task sequences -> profiles
+  /// computed for that fingerprint (a bucket, probed with an exact sequence
+  /// comparison, so hash collisions cannot alias two frames). Slots whose
+  /// frames share task sequences — re-appended experiments, symmetric runs
+  /// — share one immutable FrameAlignment. Never invalidated: a profile
+  /// depends only on the sequences and the session-fixed scores/engine.
+  struct AlignmentMemoEntry {
+    std::vector<std::vector<align::Symbol>> sequences;
+    std::shared_ptr<const FrameAlignment> alignment;
+  };
+  std::map<std::uint64_t, std::vector<AlignmentMemoEntry>> alignment_memo_;
 
   SessionStats stats_;
 };

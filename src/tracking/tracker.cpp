@@ -109,7 +109,8 @@ TrackingResult track_frames(std::vector<cluster::Frame> frames,
     const std::vector<const char*> here = obs::current_span_path();
     pool.parallel_for(0, frame_count, [&](std::size_t f) {
       obs::SpanContext ctx(here);
-      alignments[f].emplace(result.frames[f], params.alignment_scores);
+      alignments[f].emplace(result.frames[f], params.alignment_scores,
+                            params.alignment_engine, &pool);
       if (params.use_displacement)
         clouds[f] = std::make_unique<FrameCloud>(result.frames[f],
                                                  result.scale,

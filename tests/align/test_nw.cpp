@@ -113,5 +113,123 @@ TEST_P(NwProperty, AlignmentPreservesInputSequences) {
 INSTANTIATE_TEST_SUITE_P(Seeds, NwProperty,
                          ::testing::Values(3, 7, 19, 31, 57, 91));
 
+// --- Engine knob and banded/full identity -------------------------------
+
+void expect_same_alignment(const PairAlignment& x, const PairAlignment& y) {
+  EXPECT_EQ(x.a, y.a);
+  EXPECT_EQ(x.b, y.b);
+  EXPECT_DOUBLE_EQ(x.score, y.score);
+}
+
+TEST(AlignmentEngineTest, ParseAndToStringRoundTrip) {
+  for (AlignmentEngine engine :
+       {AlignmentEngine::kAuto, AlignmentEngine::kFull,
+        AlignmentEngine::kBanded}) {
+    auto parsed = parse_alignment_engine(to_string(engine));
+    ASSERT_TRUE(parsed.has_value()) << to_string(engine);
+    EXPECT_EQ(*parsed, engine);
+  }
+  EXPECT_FALSE(parse_alignment_engine("diagonal").has_value());
+  EXPECT_FALSE(parse_alignment_engine("").has_value());
+  EXPECT_FALSE(parse_alignment_engine("Banded").has_value());
+}
+
+TEST(NeedlemanWunschBanded, DegenerateShapesMatchFull) {
+  const std::vector<std::pair<std::vector<Symbol>, std::vector<Symbol>>>
+      cases = {{{}, {}},         {seq({1}), {}},      {{}, seq({2})},
+               {seq({1}), seq({1})}, {seq({1}), seq({2})},
+               {seq({3, 3, 3}), seq({3})}};
+  for (const auto& [a, b] : cases) {
+    PairAlignment full = needleman_wunsch(a, b, {}, AlignmentEngine::kFull);
+    PairAlignment banded =
+        needleman_wunsch(a, b, {}, AlignmentEngine::kBanded);
+    expect_same_alignment(full, banded);
+  }
+}
+
+TEST(NeedlemanWunschBanded, ShiftedLadderForcesWideningAndStaysIdentical) {
+  // b is a distant suffix of a: the optimum needs ~60 leading gaps, far
+  // outside the initial half-width of the corridor, so the band must widen
+  // (and re-run) several times before the certificate holds.
+  std::vector<Symbol> a, b;
+  for (int i = 0; i < 120; ++i) a.push_back(static_cast<Symbol>(i % 6));
+  for (int i = 60; i < 120; ++i) b.push_back(static_cast<Symbol>(i % 6));
+  PairAlignment full = needleman_wunsch(a, b, {}, AlignmentEngine::kFull);
+  PairAlignment banded = needleman_wunsch(a, b, {}, AlignmentEngine::kBanded);
+  expect_same_alignment(full, banded);
+}
+
+TEST(NeedlemanWunschBanded, CustomScoreMatchesFull) {
+  // The evaluator_sequence scoring shape: pivot pairs reward, crossed
+  // pivots punish, unknowns are mildly alignable.
+  auto score = [](Symbol x, Symbol y) -> double {
+    if (x == y) return 3.0;
+    if ((x + y) % 2 == 0) return -2.0;
+    return 0.5;
+  };
+  perftrack::Rng rng(41);
+  std::vector<Symbol> a, b;
+  for (int i = 0; i < 80; ++i) {
+    Symbol s = static_cast<Symbol>(rng.uniform_int(0, 5));
+    a.push_back(s);
+    if (!rng.chance(0.1)) b.push_back(s);
+  }
+  PairAlignment full = needleman_wunsch(a, b, score, -1.0,
+                                        AlignmentEngine::kFull, 3.0);
+  PairAlignment banded = needleman_wunsch(a, b, score, -1.0,
+                                          AlignmentEngine::kBanded, 3.0);
+  expect_same_alignment(full, banded);
+  // The two-argument overload is the full DP.
+  expect_same_alignment(full, needleman_wunsch(a, b, score, -1.0));
+}
+
+TEST(NeedlemanWunschBanded, IneligibleScoringFallsBackToFull) {
+  // gap >= s_max/2 breaks the certificate's monotonicity precondition, so
+  // the banded engine must refuse to band and still answer correctly.
+  AlignmentScores scores;
+  scores.match = -1.0;
+  scores.mismatch = -2.0;
+  scores.gap = -0.4;  // >= s_max/2 = -0.5
+  auto a = seq({1, 2, 3, 4});
+  auto b = seq({1, 3, 4, 5});
+  PairAlignment full = needleman_wunsch(a, b, scores, AlignmentEngine::kFull);
+  PairAlignment banded =
+      needleman_wunsch(a, b, scores, AlignmentEngine::kBanded);
+  expect_same_alignment(full, banded);
+}
+
+class BandedProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BandedProperty, BandedAndAutoMatchFullOnSpmdLikeInputs) {
+  perftrack::Rng rng(GetParam());
+  // Near-identical phase ladders with dropouts, substitutions and a random
+  // relative shift — the distribution the tracker feeds the engine, plus
+  // enough adversarial drift to hit corridor contact.
+  std::vector<Symbol> a, b;
+  const int phases = static_cast<int>(rng.uniform_int(2, 10));
+  const int len = static_cast<int>(rng.uniform_int(0, 150));
+  const int shift = static_cast<int>(rng.uniform_int(0, 40));
+  for (int i = 0; i < len; ++i) {
+    Symbol s = static_cast<Symbol>(i % phases);
+    if (!rng.chance(0.05)) a.push_back(s);
+    if (i >= shift && !rng.chance(0.05))
+      b.push_back(rng.chance(0.05) ? s + 100 : s);
+  }
+  AlignmentScores scores;
+  scores.match = 1.0 + rng.uniform_int(0, 3);
+  scores.mismatch = -static_cast<double>(rng.uniform_int(0, 2));
+  scores.gap = -0.5 - rng.uniform_int(0, 2);
+
+  PairAlignment full = needleman_wunsch(a, b, scores, AlignmentEngine::kFull);
+  expect_same_alignment(
+      full, needleman_wunsch(a, b, scores, AlignmentEngine::kBanded));
+  expect_same_alignment(
+      full, needleman_wunsch(a, b, scores, AlignmentEngine::kAuto));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BandedProperty,
+                         ::testing::Values(5, 11, 23, 37, 53, 71, 89, 101,
+                                           113, 127));
+
 }  // namespace
 }  // namespace perftrack::align

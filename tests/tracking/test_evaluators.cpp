@@ -284,5 +284,29 @@ TEST(SequenceEvaluator, ContradictingPivotsScoreNothing) {
   EXPECT_DOUBLE_EQ(seq.at(1, 1), 0.0);
 }
 
+TEST(SequenceEvaluator, BandedEngineMatchesFullDp) {
+  // The evaluator's pivot-scored custom DP must be engine-independent:
+  // the banded run (certified against the 3.0 pivot-match bound) and the
+  // full DP must produce cell-identical correlation matrices.
+  MiniTraceSpec a;
+  a.label = "A";
+  a.phases = {MiniPhase{8e6, 1.0, {"p1", "x.c", 1}},
+              MiniPhase{3e6, 1.5, {"p2", "x.c", 2}},
+              MiniPhase{1e6, 0.5, {"p3", "x.c", 3}}};
+  MiniTraceSpec b = a;
+  b.label = "B";
+  cluster::Frame fa = frame_of(a), fb = frame_of(b);
+  FrameAlignment align_a(fa), align_b(fb);
+
+  RelationSet pivots;
+  pivots.relations.push_back(Relation{{0}, {0}});
+  CorrelationMatrix full = evaluate_sequence(
+      fa, align_a, fb, align_b, pivots, 0.05, align::AlignmentEngine::kFull);
+  CorrelationMatrix banded =
+      evaluate_sequence(fa, align_a, fb, align_b, pivots, 0.05,
+                        align::AlignmentEngine::kBanded);
+  EXPECT_TRUE(full == banded);
+}
+
 }  // namespace
 }  // namespace perftrack::tracking

@@ -318,5 +318,84 @@ TEST(SessionTest, StrictModeRefusesGaps) {
   }
 }
 
+// --- Star-align memo ----------------------------------------------------
+
+/// A trace whose frame clusters into three phases — a different task
+/// sequence shape than the two-phase experiment() above.
+std::shared_ptr<const trace::Trace> three_phase_experiment(
+    const std::string& label, std::uint64_t seed) {
+  MiniTraceSpec spec;
+  spec.label = label;
+  spec.seed = seed;
+  spec.phases = {MiniPhase{8e6, 1.0, {"p1", "x.c", 1}},
+                 MiniPhase{4e6, 1.5, {"p3", "x.c", 3}},
+                 MiniPhase{1e6, 2.0, {"p2", "x.c", 2}}};
+  return make_mini_trace(spec);
+}
+
+TEST(SessionTest, ReappendedExperimentHitsTheAlignmentMemo) {
+  auto a = experiment("A", 1);
+  auto b = three_phase_experiment("B", 2);
+
+  TrackingSession session(test_config());
+  session.append_experiment(a);
+  session.append_experiment(b);
+  session.retrack();
+  const SessionStats before = session.stats();
+  EXPECT_GE(before.alignments_computed, 1u);
+
+  // Re-appending A re-clusters it into a frame with the same task
+  // sequences: the profile must come from the memo, not a fresh MSA.
+  session.append_experiment(a);
+  TrackingResult warm = session.retrack();
+  const SessionStats after = session.stats();
+  EXPECT_EQ(after.alignments_computed, before.alignments_computed);
+  EXPECT_EQ(after.alignments_memoized, before.alignments_memoized + 1);
+
+  // And the memoized profile must not change the output.
+  TrackingPipeline batch;
+  batch.set_config(test_config());
+  for (const auto& t : {a, b, a}) batch.add_experiment(t);
+  expect_same_tracking(warm, batch.run());
+}
+
+TEST(SessionTest, DistinctAppendComputesAFreshAlignment) {
+  TrackingSession session(test_config());
+  session.append_experiment(experiment("A", 1));
+  session.append_experiment(experiment("B", 2));
+  session.retrack();
+  const SessionStats before = session.stats();
+
+  // A three-phase experiment has different task sequences than anything
+  // aligned so far: no fingerprint bucket may serve it.
+  session.append_experiment(three_phase_experiment("C", 3));
+  session.retrack();
+  const SessionStats after = session.stats();
+  EXPECT_EQ(after.alignments_computed, before.alignments_computed + 1);
+  EXPECT_EQ(after.alignments_memoized, before.alignments_memoized);
+}
+
+TEST(SessionTest, AlignmentMemoServesAcrossGapSlots) {
+  SessionConfig config = test_config();
+  config.resilience.lenient = true;
+
+  auto a = experiment("A", 1);
+  TrackingSession session(config);
+  session.append_experiment(a);
+  session.append_experiment(three_phase_experiment("B", 2));
+  session.retrack();
+  const SessionStats before = session.stats();
+
+  // A gap slot between the original and the re-append: gaps own no frame
+  // and no alignment, and must not disturb the memo probe for live slots.
+  session.append_gap("missing.ptt", "file not found");
+  session.append_experiment(a);
+  TrackingResult result = session.retrack();
+  const SessionStats after = session.stats();
+  EXPECT_EQ(result.gaps.size(), 1u);
+  EXPECT_EQ(after.alignments_computed, before.alignments_computed);
+  EXPECT_EQ(after.alignments_memoized, before.alignments_memoized + 1);
+}
+
 }  // namespace
 }  // namespace perftrack::tracking

@@ -173,6 +173,17 @@ cli::OptionTable option_table(Options& options) {
             [o](const std::string& v) {
               o->tracking.threads = cli::parse_count("--threads", v);
             });
+  table.add("--align-engine", "ENGINE",
+            "pairwise alignment engine: auto | full | banded (auto; "
+            "byte-identical output for every choice)",
+            [o](const std::string& v) {
+              auto engine = align::parse_alignment_engine(v);
+              if (!engine)
+                throw cli::UsageError(
+                    "invalid value for --align-engine: '" + v +
+                    "' (expected auto, full or banded)");
+              o->tracking.alignment_engine = *engine;
+            });
   table.add("--cache-dir", "DIR",
             "cache clustered frames in DIR (default: $PERFTRACK_CACHE)",
             [o](const std::string& v) { o->cache.directory = v; });

@@ -55,6 +55,7 @@
 #include <string>
 #include <vector>
 
+#include "align/nw.hpp"
 #include "cli.hpp"
 #include "common/error.hpp"
 #include "obs/report.hpp"
@@ -85,6 +86,7 @@ struct Options {
   double eps = 0.025;
   std::size_t min_pts = 5;
   double min_cluster_frac = 0.005;
+  align::AlignmentEngine align_engine = align::AlignmentEngine::kAuto;
   bool lenient = false;
   bool no_cache = false;
   std::size_t max_errors = 100;
@@ -183,6 +185,17 @@ cli::OptionTable option_table(Options& options) {
                     "invalid value for --min-cluster-frac: '" + v +
                     "' (must be in [0, 1))");
             });
+  table.add("--align-engine", "ENGINE",
+            "pairwise alignment engine for every study: auto | full | "
+            "banded (auto; byte-identical output for every choice)",
+            [o](const std::string& v) {
+              auto engine = align::parse_alignment_engine(v);
+              if (!engine)
+                throw cli::UsageError(
+                    "invalid value for --align-engine: '" + v +
+                    "' (expected auto, full or banded)");
+              o->align_engine = *engine;
+            });
   table.add_switch("--strict",
                    "abort ingestion on the first malformed record (default)",
                    [o] { o->lenient = false; });
@@ -271,6 +284,7 @@ serve::ServiceConfig service_config(const Options& options) {
   config.session.clustering.dbscan.min_pts = options.min_pts;
   config.session.clustering.min_cluster_time_fraction =
       options.min_cluster_frac;
+  config.session.tracking.alignment_engine = options.align_engine;
   config.session.resilience.lenient = options.lenient;
   if (!options.no_cache)
     config.session.cache.directory =
@@ -341,6 +355,10 @@ pid_t spawn_worker(const Options& options, const std::string& socket_path,
   if (options.server.threads != 0) {
     args.push_back("--threads");
     args.push_back(std::to_string(options.server.threads));
+  }
+  if (options.align_engine != align::AlignmentEngine::kAuto) {
+    args.push_back("--align-engine");
+    args.push_back(align::to_string(options.align_engine));
   }
   if (options.no_metrics) args.push_back("--no-metrics");
 
